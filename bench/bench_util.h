@@ -1,0 +1,63 @@
+// Shared setup for the figure-reproduction binaries.
+//
+// Two scan modes over the fleet model:
+//  - WeightedScan: popularity-weighted samples, for invocation-weighted
+//    figures (3, 8, 10, 20, 23).
+//  - StratifiedScan: a fixed number of samples per method, for per-method
+//    distribution figures (2, 6, 7, 11, 12, 13, 21) — the paper similarly
+//    requires >= 100 samples per method for well-defined tail quantiles.
+#ifndef RPCSCOPE_BENCH_BENCH_UTIL_H_
+#define RPCSCOPE_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+
+#include "src/core/analyses.h"
+#include "src/fleet/fleet_sampler.h"
+#include "src/fleet/method_catalog.h"
+#include "src/fleet/service_catalog.h"
+#include "src/net/topology.h"
+#include "src/rpc/cost_model.h"
+
+namespace rpcscope {
+
+struct FleetContext {
+  ServiceCatalog services;
+  MethodCatalog methods;
+  Topology topology;
+  CycleCostModel costs;
+
+  FleetContext()
+      : services(ServiceCatalog::BuildDefault()),
+        methods(MethodCatalog::Generate(services, {})),
+        topology(TopologyOptions{}) {}
+
+  FleetSampler MakeSampler(uint64_t seed = 7) const {
+    FleetSamplerOptions opts;
+    opts.seed = seed;
+    return FleetSampler(&services, &methods, &topology, &costs, opts);
+  }
+};
+
+inline FleetScan WeightedScan(const FleetContext& ctx, int64_t n, uint64_t seed = 7) {
+  FleetScan scan(ctx.methods.size());
+  FleetSampler sampler = ctx.MakeSampler(seed);
+  for (int64_t i = 0; i < n; ++i) {
+    scan.Add(sampler.Sample());
+  }
+  return scan;
+}
+
+inline FleetScan StratifiedScan(const FleetContext& ctx, int per_method, uint64_t seed = 7) {
+  FleetScan scan(ctx.methods.size());
+  FleetSampler sampler = ctx.MakeSampler(seed);
+  for (int32_t m = 0; m < ctx.methods.size(); ++m) {
+    for (int i = 0; i < per_method; ++i) {
+      scan.Add(sampler.SampleMethod(m));
+    }
+  }
+  return scan;
+}
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_BENCH_BENCH_UTIL_H_

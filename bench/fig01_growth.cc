@@ -1,0 +1,13 @@
+// Regenerates Fig. 1: normalized RPS per CPU cycle over 700 days.
+#include "src/core/analyses.h"
+#include "src/fleet/growth_model.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  GrowthModelOptions opts;
+  MetricRegistry registry(
+      MetricRegistry::Options{.sample_window = Minutes(30), .retention = Days(701)});
+  GrowthModel model(opts);
+  model.GenerateInto(registry);
+  return RunFigureMain(argc, argv, AnalyzeGrowth(registry, opts.days));
+}

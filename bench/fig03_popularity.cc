@@ -1,0 +1,9 @@
+// Regenerates Fig. 3: per-method RPC frequency and popularity skew.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  const FleetScan scan = WeightedScan(ctx, 3000000);
+  return RunFigureMain(argc, argv, AnalyzePopularity(scan.agg, ctx.methods));
+}

@@ -1,0 +1,10 @@
+// Regenerates Fig. 4: per-method descendant counts of nested call trees.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  CallGraphModel model(&ctx.methods, {});
+  const TreeShapeStats stats = CollectTreeShapes(model, 12000);
+  return RunFigureMain(argc, argv, AnalyzeDescendants(stats));
+}

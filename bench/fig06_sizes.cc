@@ -1,0 +1,9 @@
+// Regenerates Fig. 6: per-method request/response sizes.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  const FleetScan scan = StratifiedScan(ctx, 300);
+  return RunFigureMain(argc, argv, AnalyzeSizes(scan.agg));
+}

@@ -1,0 +1,9 @@
+// Regenerates Fig. 7: per-method response/request size ratio.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  const FleetScan scan = StratifiedScan(ctx, 300);
+  return RunFigureMain(argc, argv, AnalyzeSizeRatio(scan.agg));
+}

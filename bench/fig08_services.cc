@@ -1,0 +1,9 @@
+// Regenerates Fig. 8: fraction of top services by calls, bytes, and cycles.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  const FleetScan scan = WeightedScan(ctx, 3000000);
+  return RunFigureMain(argc, argv, AnalyzeServiceMix(scan.agg, scan.profile, ctx.services));
+}

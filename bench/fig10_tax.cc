@@ -1,0 +1,10 @@
+// Regenerates Fig. 10: fleet-wide RPC latency tax, mean and P95 tail.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  return RunFigureMain(
+      argc, argv,
+      AnalyzeTaxOverview([&ctx]() { return ctx.MakeSampler(7); }, 2000000));
+}

@@ -1,0 +1,9 @@
+// Regenerates Fig. 11: per-method ratio of RPC latency tax to RCT.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  const FleetScan scan = StratifiedScan(ctx, 300);
+  return RunFigureMain(argc, argv, AnalyzeTaxRatio(scan.agg));
+}

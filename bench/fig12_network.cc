@@ -1,0 +1,9 @@
+// Regenerates Fig. 12: per-method network wire + proc/stack latency.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  const FleetScan scan = StratifiedScan(ctx, 300);
+  return RunFigureMain(argc, argv, AnalyzeWireStack(scan.agg));
+}

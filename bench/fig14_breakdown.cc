@@ -1,0 +1,16 @@
+// Regenerates Fig. 14: intra-cluster RPC completion-time breakdown CDFs for
+// the eight studied services, from full discrete-event runs of the RPC stack.
+#include "bench/bench_util.h"
+#include "src/fleet/service_study.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  std::vector<ServiceSpans> studies;
+  for (ServiceStudyConfig config : MakeAllStudyConfigs(ctx.services)) {
+    config.duration = Seconds(6);
+    ServiceStudyResult result = RunServiceStudy(config, {});
+    studies.push_back({config.service_name, std::move(result.spans)});
+  }
+  return RunFigureMain(argc, argv, AnalyzeServiceBreakdown(studies));
+}

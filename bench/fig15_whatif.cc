@@ -1,0 +1,19 @@
+// Regenerates Fig. 15: what-if analysis — percentage of P95-tail RPCs that
+// become non-tail when each latency component is reduced to its median.
+#include "bench/bench_util.h"
+#include "src/fleet/service_study.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  std::vector<ServiceSpans> studies;
+  // The paper's Fig. 15 includes BigQuery alongside the Table-1 services.
+  std::vector<ServiceStudyConfig> configs = MakeAllStudyConfigs(ctx.services);
+  configs.push_back(MakeStudyConfig(ctx.services, ctx.services.studied().bigquery));
+  for (ServiceStudyConfig config : configs) {
+    config.duration = Seconds(6);
+    ServiceStudyResult result = RunServiceStudy(config, {});
+    studies.push_back({config.service_name, std::move(result.spans)});
+  }
+  return RunFigureMain(argc, argv, AnalyzeWhatIf(studies));
+}

@@ -1,0 +1,35 @@
+// Regenerates Fig. 16: P95 latency breakdown of each studied service across
+// clusters — same workload and platform, different exogenous cluster state.
+#include "bench/bench_util.h"
+#include "src/fleet/cluster_state.h"
+#include "src/fleet/service_study.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  const ClusterStateModel state_model({});
+  // Cluster counts per service follow the paper's x-axes (5-44 clusters).
+  const std::vector<int> cluster_counts = {22, 26, 44, 22, 5, 44, 14, 16};
+
+  std::vector<std::pair<std::string, std::vector<ClusterRunSpans>>> per_service;
+  const auto configs = MakeAllStudyConfigs(ctx.services);
+  for (size_t i = 0; i < configs.size(); ++i) {
+    ServiceStudyConfig config = configs[i];
+    config.duration = Seconds(2);
+    std::vector<ClusterRunSpans> runs;
+    const int n_clusters = std::min(cluster_counts[i], ctx.topology.num_clusters());
+    for (int c = 0; c < n_clusters; ++c) {
+      const ExogenousState state =
+          state_model.StateAt(static_cast<ClusterId>(c), Hours(12));
+      ServiceStudyRun run;
+      run.server_cluster = static_cast<ClusterId>(c);
+      run.app_slowdown = ClusterStateModel::AppSlowdown(state);
+      run.wakeup_latency = ClusterStateModel::WakeupLatency(state);
+      run.seed_salt = static_cast<uint64_t>(c);
+      ServiceStudyResult result = RunServiceStudy(config, run);
+      runs.push_back({c, state.cpu_util, std::move(result.spans)});
+    }
+    per_service.emplace_back(config.service_name, std::move(runs));
+  }
+  return RunFigureMain(argc, argv, AnalyzeClusterVariation(per_service));
+}

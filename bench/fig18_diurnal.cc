@@ -1,0 +1,60 @@
+// Regenerates Fig. 18: 24-hour co-movement of Bigtable tail latency with the
+// exogenous variables, in a representative fast and slow cluster.
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/fleet/cluster_state.h"
+#include "src/fleet/service_study.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  const ClusterStateModel state_model({});
+  ServiceStudyConfig config = MakeStudyConfig(ctx.services, ctx.services.studied().bigtable);
+  config.duration = Seconds(1);
+  config.warmup = Millis(200);
+
+  // Pick a fast and a slow cluster by midday CPU utilization.
+  ClusterId fast = 0, slow = 0;
+  double best_util = 1.0, worst_util = 0.0;
+  for (ClusterId c = 0; c < ctx.topology.num_clusters(); ++c) {
+    const double util = state_model.StateAt(c, Hours(12)).cpu_util;
+    if (util < best_util) {
+      best_util = util;
+      fast = c;
+    }
+    if (util > worst_util) {
+      worst_util = util;
+      slow = c;
+    }
+  }
+
+  std::vector<std::pair<std::string, std::vector<DiurnalWindow>>> clusters;
+  for (const auto& [name, cluster] :
+       std::vector<std::pair<std::string, ClusterId>>{{"fast cluster", fast},
+                                                      {"slow cluster", slow}}) {
+    std::vector<DiurnalWindow> windows;
+    for (int half_hour = 0; half_hour < 48; ++half_hour) {
+      const SimTime t = Minutes(30 * half_hour);
+      const ExogenousState state = state_model.StateAt(cluster, t);
+      ServiceStudyRun run;
+      run.server_cluster = cluster;
+      run.app_slowdown = ClusterStateModel::AppSlowdown(state);
+      run.wakeup_latency = ClusterStateModel::WakeupLatency(state);
+      run.seed_salt = static_cast<uint64_t>(half_hour) * 31 + static_cast<uint64_t>(cluster);
+      ServiceStudyResult result = RunServiceStudy(config, run);
+      std::vector<double> totals;
+      for (const Span& s : result.spans) {
+        if (s.status == StatusCode::kOk) {
+          totals.push_back(ToMillis(s.latency.Total()));
+        }
+      }
+      DiurnalWindow w;
+      w.hour = half_hour / 2.0;
+      w.p95_latency_ms = ExactQuantile(totals, 0.95);
+      w.state = state;
+      windows.push_back(w);
+    }
+    clusters.emplace_back(name, std::move(windows));
+  }
+  return RunFigureMain(argc, argv, AnalyzeDiurnal(clusters));
+}

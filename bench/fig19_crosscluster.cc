@@ -1,0 +1,31 @@
+// Regenerates Fig. 19: Spanner cross-cluster latency — clients in many
+// clusters calling servers in one cluster; the wire dominates with distance.
+#include "bench/bench_util.h"
+#include "src/fleet/service_study.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  ServiceStudyConfig config = MakeStudyConfig(ctx.services, ctx.services.studied().spanner);
+  config.duration = Seconds(1);
+  config.warmup = Millis(200);
+  config.target_utilization = 0.3;
+  config.num_clients = 4;
+
+  const ClusterId server_cluster = 0;
+  std::vector<CrossClusterPoint> points;
+  for (ClusterId client = 0; client < ctx.topology.num_clusters(); ++client) {
+    ServiceStudyRun run;
+    run.server_cluster = server_cluster;
+    run.client_cluster = client;
+    run.seed_salt = static_cast<uint64_t>(client) + 7000;
+    ServiceStudyResult result = RunServiceStudy(config, run);
+    CrossClusterPoint p;
+    p.client_cluster = client;
+    p.distance_class =
+        std::string(DistanceClassName(ctx.topology.ClusterDistance(client, server_cluster)));
+    p.spans = std::move(result.spans);
+    points.push_back(std::move(p));
+  }
+  return RunFigureMain(argc, argv, AnalyzeCrossCluster(points));
+}

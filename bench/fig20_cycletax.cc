@@ -1,0 +1,9 @@
+// Regenerates Fig. 20: the RPC cycle tax and its breakdown.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  const FleetScan scan = WeightedScan(ctx, 2000000);
+  return RunFigureMain(argc, argv, AnalyzeCycleTax(scan.profile));
+}

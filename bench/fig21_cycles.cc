@@ -1,0 +1,9 @@
+// Regenerates Fig. 21: per-method normalized CPU cycles.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  const FleetScan scan = StratifiedScan(ctx, 300);
+  return RunFigureMain(argc, argv, AnalyzeMethodCycles(scan.agg));
+}

@@ -1,0 +1,24 @@
+// Regenerates Fig. 22: CPU usage distribution across clusters vs across
+// machines within clusters, per studied service.
+#include "bench/bench_util.h"
+#include "src/fleet/load_balancer.h"
+#include "src/fleet/service_study.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  const StudiedServices& ids = ctx.services.studied();
+
+  std::vector<std::pair<std::string, LoadBalanceResult>> results;
+  const auto configs = MakeAllStudyConfigs(ctx.services);
+  for (const ServiceStudyConfig& config : configs) {
+    LoadBalanceStudyOptions opts;
+    opts.seed = 4242 + static_cast<uint64_t>(config.service_id);
+    // Spanner, F1, and ML Inference route by data affinity (§4.3).
+    opts.data_dependent = config.service_id == ids.spanner || config.service_id == ids.f1 ||
+                          config.service_id == ids.ml_inference;
+    LoadBalanceStudy study(&ctx.topology, opts);
+    results.emplace_back(config.service_name, study.Run());
+  }
+  return RunFigureMain(argc, argv, AnalyzeLoadBalance(results));
+}

@@ -1,0 +1,10 @@
+// Regenerates Fig. 23: RPC error taxonomy by count and wasted cycles.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  const FleetScan scan = WeightedScan(ctx, 3000000);
+  return RunFigureMain(argc, argv,
+                       AnalyzeErrors(scan.error_counts, scan.error_cycles, scan.total_calls));
+}

@@ -1,0 +1,173 @@
+// google-benchmark microbenchmarks of the RPC stack's byte-level operations:
+// varint codecs, message serialization/parsing, Ratel compression, stream
+// encryption, CRC32C, full frame encode/decode, and end-to-end simulated RPCs.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/rpc/client.h"
+#include "src/rpc/codec.h"
+#include "src/rpc/server.h"
+#include "src/wire/checksum.h"
+#include "src/wire/cipher.h"
+#include "src/wire/compressor.h"
+#include "src/wire/message.h"
+#include "src/wire/varint.h"
+
+namespace rpcscope {
+namespace {
+
+void BM_VarintEncode(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<uint64_t> values(1024);
+  for (auto& v : values) {
+    v = rng.NextUint64() >> rng.NextBounded(64);
+  }
+  std::vector<uint8_t> out;
+  for (auto _ : state) {
+    out.clear();
+    for (uint64_t v : values) {
+      PutVarint64(out, v);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_VarintEncode);
+
+void BM_VarintDecode(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<uint8_t> buf;
+  for (int i = 0; i < 1024; ++i) {
+    PutVarint64(buf, rng.NextUint64() >> rng.NextBounded(64));
+  }
+  for (auto _ : state) {
+    size_t pos = 0;
+    uint64_t v = 0;
+    while (pos < buf.size()) {
+      GetVarint64(buf, pos, v);
+    }
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_VarintDecode);
+
+void BM_MessageSerialize(benchmark::State& state) {
+  Rng rng(3);
+  const Message msg =
+      Message::GeneratePayload(rng, static_cast<size_t>(state.range(0)), 0.5);
+  for (auto _ : state) {
+    std::vector<uint8_t> buf = msg.Serialize();
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(msg.ByteSize()));
+}
+BENCHMARK(BM_MessageSerialize)->Arg(128)->Arg(1530)->Arg(32768)->Arg(196000);
+
+void BM_MessageParse(benchmark::State& state) {
+  Rng rng(4);
+  const Message msg =
+      Message::GeneratePayload(rng, static_cast<size_t>(state.range(0)), 0.5);
+  const std::vector<uint8_t> buf = msg.Serialize();
+  for (auto _ : state) {
+    Result<Message> parsed = Message::Parse(buf);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_MessageParse)->Arg(128)->Arg(1530)->Arg(32768);
+
+void BM_Compress(benchmark::State& state) {
+  Rng rng(5);
+  const double redundancy = static_cast<double>(state.range(1)) / 100.0;
+  const std::vector<uint8_t> data =
+      Message::GeneratePayload(rng, static_cast<size_t>(state.range(0)), redundancy)
+          .Serialize();
+  size_t compressed_size = 0;
+  for (auto _ : state) {
+    std::vector<uint8_t> out = RatelCompress(data);
+    compressed_size = out.size();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(data.size()));
+  state.counters["ratio"] = CompressionRatio(data.size(), compressed_size);
+}
+BENCHMARK(BM_Compress)->Args({32768, 0})->Args({32768, 50})->Args({32768, 95});
+
+void BM_Decompress(benchmark::State& state) {
+  Rng rng(6);
+  const std::vector<uint8_t> data = Message::GeneratePayload(rng, 32768, 0.7).Serialize();
+  const std::vector<uint8_t> block = RatelCompress(data);
+  for (auto _ : state) {
+    Result<std::vector<uint8_t>> out = RatelDecompress(block);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Decompress);
+
+void BM_Encrypt(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0xab);
+  uint64_t nonce = 0;
+  for (auto _ : state) {
+    StreamCipher cipher(42, nonce++);
+    cipher.Apply(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Encrypt)->Arg(1530)->Arg(32768);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::vector<uint8_t> data(static_cast<size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Crc32c)->Arg(1530)->Arg(32768);
+
+void BM_FrameEncodeDecode(benchmark::State& state) {
+  Rng rng(7);
+  const Message msg =
+      Message::GeneratePayload(rng, static_cast<size_t>(state.range(0)), 0.6);
+  uint64_t nonce = 0;
+  for (auto _ : state) {
+    WireFrame frame = EncodeFrame(Payload::Real(msg), 99, nonce++);
+    Result<Payload> decoded = DecodeFrame(frame, 99);
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(msg.ByteSize()));
+}
+BENCHMARK(BM_FrameEncodeDecode)->Arg(1530)->Arg(32768);
+
+// Host-side throughput of the full simulated stack: one complete RPC through
+// client tx -> fabric -> server pipeline -> response path.
+void BM_SimulatedRpc(benchmark::State& state) {
+  RpcSystemOptions opts;
+  opts.fabric.congestion_probability = 0;
+  RpcSystem system(opts);
+  const MachineId server_machine = system.topology().MachineAt(0, 0);
+  Server server(&system, server_machine, ServerOptions{});
+  server.RegisterMethod(1, "Echo", [](std::shared_ptr<ServerCall> call) {
+    call->Compute(Micros(100), [call]() {
+      call->Finish(Status::Ok(), Payload::Modeled(512));
+    });
+  });
+  Client client(&system, system.topology().MachineAt(0, 1));
+  for (auto _ : state) {
+    bool done = false;
+    client.Call(server_machine, 1, Payload::Modeled(1024), {},
+                [&done](const CallResult&, Payload) { done = true; });
+    system.sim().Run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatedRpc);
+
+}  // namespace
+}  // namespace rpcscope
+
+BENCHMARK_MAIN();

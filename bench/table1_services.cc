@@ -1,0 +1,8 @@
+// Regenerates Table 1: the eight studied services.
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace rpcscope;
+  const FleetContext ctx;
+  return RunFigureMain(argc, argv, MakeTable1(ctx.services));
+}

@@ -1,0 +1,41 @@
+// Tail-latency what-if on a live service: run the SSD-cache study (the
+// paper's queueing-heavy exemplar) at two utilizations through the full
+// discrete-event RPC stack, then answer "which pipeline stage should we fix?"
+// with the Fig. 15 what-if method — replace each component of every P95-tail
+// RPC with its median and count how many leave the tail.
+//
+//   ./tail_whatif
+#include <cstdio>
+
+#include "src/core/analyses.h"
+#include "src/fleet/service_study.h"
+
+using namespace rpcscope;
+
+int main() {
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  ServiceStudyConfig config = MakeStudyConfig(catalog, catalog.studied().ssd_cache);
+  config.duration = Seconds(5);
+
+  std::vector<ServiceSpans> studies;
+  for (double utilization : {0.45, 0.85}) {
+    ServiceStudyConfig variant = config;
+    variant.target_utilization = utilization;
+    ServiceStudyResult result = RunServiceStudy(variant, {});
+    char name[64];
+    std::snprintf(name, sizeof(name), "SSD cache @ %.0f%% util", utilization * 100);
+    std::printf("%-22s %zu RPCs, measured server utilization %.0f%%\n", name,
+                result.spans.size(), result.server_app_utilization * 100);
+    studies.push_back({name, std::move(result.spans)});
+  }
+  std::printf("\n");
+
+  // The same spans, viewed as Fig. 14 (breakdown) and Fig. 15 (what-if).
+  std::fputs(AnalyzeServiceBreakdown(studies).Render().c_str(), stdout);
+  std::fputs(AnalyzeWhatIf(studies).Render().c_str(), stdout);
+
+  std::printf("reading: at low utilization the tail is application time; as load rises the\n"
+              "server receive queue takes over both the breakdown and the what-if — better\n"
+              "scheduling/load-balancing, not a faster stack, is what would cut this tail.\n");
+  return 0;
+}

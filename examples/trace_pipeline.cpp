@@ -1,0 +1,53 @@
+// Collect once, analyze many: the Dapper workflow.
+//
+// Runs a DES service study, persists its spans with TraceStore's binary
+// format, reloads them from disk, and runs figure analyses over the reloaded
+// data — exactly how the original study consumed months-old traces without
+// touching production.
+//
+//   ./trace_pipeline [path]
+#include <cstdio>
+
+#include "src/core/analyses.h"
+#include "src/fleet/service_study.h"
+#include "src/trace/storage.h"
+
+using namespace rpcscope;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "/tmp/rpcscope_spans.bin";
+
+  // 1. Collect: run the SSD-cache study through the DES stack.
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  ServiceStudyConfig config = MakeStudyConfig(catalog, catalog.studied().ssd_cache);
+  config.duration = Seconds(4);
+  ServiceStudyResult result = RunServiceStudy(config, {});
+  std::printf("collected %zu spans from a live run\n", result.spans.size());
+
+  // 2. Persist.
+  TraceStore store;
+  store.AddAll(result.spans);
+  if (Status s = store.SaveToFile(path); !s.ok()) {
+    std::printf("save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved to %s\n", path.c_str());
+
+  // 3. Reload and analyze offline.
+  Result<TraceStore> loaded = TraceStore::LoadFromFile(path);
+  if (!loaded.ok()) {
+    std::printf("load failed: %s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("reloaded %zu spans; querying...\n", loaded->size());
+  const auto by_service = loaded->ByService(config.service_id);
+  std::printf("spans for service %d: %zu\n", config.service_id, by_service.size());
+  const auto first_seconds = loaded->InTimeRange(0, Seconds(2));
+  std::printf("spans in the first 2s: %zu\n", first_seconds.size());
+
+  std::vector<ServiceSpans> studies;
+  studies.push_back({config.service_name + " (reloaded)", loaded->spans()});
+  std::fputs(AnalyzeServiceBreakdown(studies).Render().c_str(), stdout);
+  std::fputs(AnalyzeWhatIf(studies).Render().c_str(), stdout);
+  return 0;
+}

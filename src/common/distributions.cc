@@ -1,0 +1,174 @@
+#include "src/common/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+
+namespace rpcscope {
+
+namespace {
+
+// Standard normal quantile (Acklam's rational approximation, |err| < 1.2e-8).
+double NormalQuantile(double p) {
+  assert(p > 0.0 && p < 1.0);
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double q, r;
+  if (p < p_low) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= 1 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+}  // namespace
+
+LognormalDist LognormalDist::FromMedianSigma(double median, double sigma) {
+  return LognormalDist(std::log(median), sigma);
+}
+
+double LognormalDist::Quantile(double p) const {
+  return std::exp(mu_ + sigma_ * NormalQuantile(p));
+}
+
+MixtureDist::MixtureDist(std::vector<std::unique_ptr<Distribution>> components,
+                         std::vector<double> weights)
+    : components_(std::move(components)) {
+  assert(components_.size() == weights.size());
+  assert(!components_.empty());
+  double total = 0;
+  for (double w : weights) {
+    total += w;
+  }
+  double acc = 0;
+  cumulative_.reserve(weights.size());
+  for (double w : weights) {
+    acc += w / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;
+}
+
+double MixtureDist::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const size_t idx = static_cast<size_t>(it - cumulative_.begin());
+  return components_[std::min(idx, components_.size() - 1)]->Sample(rng);
+}
+
+QuantileCurve::QuantileCurve(std::vector<Anchor> anchors, double min_value, double max_value)
+    : min_value_(min_value), max_value_(max_value) {
+  assert(anchors.size() >= 2);
+  anchors_.reserve(anchors.size());
+  for (const Anchor& a : anchors) {
+    assert(a.p > 0.0 && a.p < 1.0);
+    assert(a.value > 0.0);
+    anchors_.push_back({a.p, std::log(a.value)});
+  }
+  for (size_t i = 1; i < anchors_.size(); ++i) {
+    assert(anchors_[i].p > anchors_[i - 1].p);
+    assert(anchors_[i].value >= anchors_[i - 1].value);
+  }
+}
+
+double QuantileCurve::Quantile(double p) const {
+  p = std::clamp(p, 1e-9, 1.0 - 1e-9);
+  size_t hi = 0;
+  while (hi < anchors_.size() && anchors_[hi].p < p) {
+    ++hi;
+  }
+  double log_v;
+  if (hi == 0) {
+    // Extrapolate below the first anchor using the first segment's slope.
+    const auto& a0 = anchors_[0];
+    const auto& a1 = anchors_[1];
+    const double slope = (a1.value - a0.value) / (a1.p - a0.p);
+    log_v = a0.value + slope * (p - a0.p);
+  } else if (hi == anchors_.size()) {
+    const auto& a0 = anchors_[anchors_.size() - 2];
+    const auto& a1 = anchors_.back();
+    const double slope = (a1.value - a0.value) / (a1.p - a0.p);
+    log_v = a1.value + slope * (p - a1.p);
+  } else {
+    const auto& a0 = anchors_[hi - 1];
+    const auto& a1 = anchors_[hi];
+    const double t = (p - a0.p) / (a1.p - a0.p);
+    log_v = a0.value + t * (a1.value - a0.value);
+  }
+  return std::clamp(std::exp(log_v), min_value_, max_value_);
+}
+
+DiscreteDist::DiscreteDist(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  const size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  double total = 0;
+  for (double w : weights) {
+    assert(w >= 0);
+    total += w;
+  }
+  assert(total > 0);
+
+  // Walker's alias method: partition scaled probabilities into "small" and
+  // "large" and pair them so every column has unit mass.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+  std::deque<size_t> small, large;
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.front();
+    small.pop_front();
+    const size_t l = large.front();
+    large.pop_front();
+    prob_[s] = scaled[s];
+    alias_[s] = static_cast<int64_t>(l);
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (size_t i : large) {
+    prob_[i] = 1.0;
+  }
+  for (size_t i : small) {
+    prob_[i] = 1.0;  // Numerical leftovers.
+  }
+}
+
+int64_t DiscreteDist::Sample(Rng& rng) const {
+  const size_t column = static_cast<size_t>(rng.NextBounded(prob_.size()));
+  return rng.NextDouble() < prob_[column] ? static_cast<int64_t>(column) : alias_[column];
+}
+
+std::vector<double> ZipfWeights(size_t n, double exponent, double offset) {
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1) + offset, exponent);
+  }
+  return weights;
+}
+
+}  // namespace rpcscope

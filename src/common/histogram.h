@@ -1,0 +1,65 @@
+// Log-bucketed histograms for latency/size/cycle distributions.
+//
+// Monarch-style distribution metrics need bounded memory regardless of sample
+// count; LogHistogram uses geometrically spaced buckets (configurable buckets
+// per decade) over a configurable positive range, supporting quantile queries
+// with bounded relative error and mergeability for cross-cluster aggregation.
+#ifndef RPCSCOPE_SRC_COMMON_HISTOGRAM_H_
+#define RPCSCOPE_SRC_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rpcscope {
+
+class LogHistogram {
+ public:
+  struct Options {
+    double min_value = 1.0;       // Values below land in the underflow bucket.
+    double max_value = 1e13;      // Values above land in the overflow bucket.
+    int buckets_per_decade = 20;  // ~12% relative bucket width.
+  };
+
+  LogHistogram() : LogHistogram(Options{}) {}
+  explicit LogHistogram(const Options& options);
+
+  void Add(double value) { AddCount(value, 1); }
+  void AddCount(double value, int64_t count);
+
+  // Merges another histogram with identical options. Precondition: the bucket
+  // layouts match.
+  void Merge(const LogHistogram& other);
+
+  int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  // Quantile via linear interpolation within the containing bucket (geometric
+  // midpoint for degenerate cases). p in [0, 1].
+  double Quantile(double p) const;
+
+  // Fraction of samples with value <= x.
+  double CdfAt(double x) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  size_t BucketIndex(double value) const;
+  double BucketLowerBound(size_t index) const;
+
+  Options options_;
+  double log_min_;
+  double inv_log_step_;  // buckets_per_decade / ln(10)
+  std::vector<int64_t> buckets_;  // [underflow][core...][overflow]
+  int64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_COMMON_HISTOGRAM_H_

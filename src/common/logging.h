@@ -1,0 +1,44 @@
+// Minimal leveled logging to stderr.
+//
+// The library itself is silent by default (benches print reports to stdout);
+// logging exists for debugging simulations and is compiled in at all levels,
+// gated by a process-wide runtime threshold.
+#ifndef RPCSCOPE_SRC_COMMON_LOGGING_H_
+#define RPCSCOPE_SRC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rpcscope {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global threshold; messages below it are dropped. Default: kWarning.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+// Implementation detail of the RPCSCOPE_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace rpcscope
+
+// Usage: RPCSCOPE_LOG(kInfo) << "served " << n << " requests";
+#define RPCSCOPE_LOG(severity)                                                       \
+  if (::rpcscope::LogLevel::severity < ::rpcscope::GetLogLevel()) {                  \
+  } else                                                                             \
+    ::rpcscope::LogMessage(::rpcscope::LogLevel::severity, __FILE__, __LINE__).stream()
+
+#endif  // RPCSCOPE_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,39 @@
+// Small statistics helpers: exact quantiles over sample vectors, running
+// moments, and Pearson correlation (used by the exogenous-variable analysis).
+#ifndef RPCSCOPE_SRC_COMMON_STATS_H_
+#define RPCSCOPE_SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rpcscope {
+
+// Exact quantile of `values` (copied and partially sorted), p in [0, 1],
+// using linear interpolation between order statistics. Returns 0 for empty.
+double ExactQuantile(std::vector<double> values, double p);
+
+// Quantile over a pre-sorted ascending vector without copying.
+double SortedQuantile(const std::vector<double>& sorted, double p);
+
+// Welford running mean/variance accumulator.
+class RunningStats {
+ public:
+  void Add(double value);
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+// Pearson correlation coefficient of paired samples; 0 if degenerate.
+double PearsonCorrelation(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_COMMON_STATS_H_

@@ -1,0 +1,122 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rpcscope {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      line += cell;
+      if (c + 1 < headers_.size()) {
+        line.append(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    line += '\n';
+    return line;
+  };
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(total, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    out += render_row(row);
+  }
+  return out;
+}
+
+std::string TextTable::RenderCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      return cell;
+    }
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') {
+        out += '"';
+      }
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::string out;
+  auto render_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) {
+        out += ',';
+      }
+      out += escape(c < row.size() ? row[c] : std::string());
+    }
+    out += '\n';
+  };
+  render_row(headers_);
+  for (const auto& row : rows_) {
+    render_row(row);
+  }
+  return out;
+}
+
+std::string FormatDouble(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string FormatPercent(double fraction, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  char buf[64];
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof(buf), "%.0fB", bytes);
+  } else if (bytes < 1024.0 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2fKiB", bytes / 1024.0);
+  } else if (bytes < 1024.0 * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.2fMiB", bytes / (1024.0 * 1024));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fGiB", bytes / (1024.0 * 1024 * 1024));
+  }
+  return buf;
+}
+
+std::string FormatCount(double count) {
+  char buf[64];
+  if (count < 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.0f", count);
+  } else if (count < 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fK", count / 1e3);
+  } else if (count < 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", count / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fB", count / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace rpcscope

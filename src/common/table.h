@@ -1,0 +1,42 @@
+// Aligned text-table and CSV rendering for bench/figure output.
+//
+// Every figure-reproduction binary prints one or more TextTables so the
+// regenerated series can be compared to the paper at a glance, plus an
+// optional CSV dump for plotting.
+#ifndef RPCSCOPE_SRC_COMMON_TABLE_H_
+#define RPCSCOPE_SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace rpcscope {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with a header rule and right-padded columns.
+  std::string Render() const;
+
+  // RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string RenderCsv() const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Numeric cell formatting helpers.
+std::string FormatDouble(double v, int precision = 3);
+std::string FormatPercent(double fraction, int precision = 1);  // 0.283 -> "28.3%"
+std::string FormatBytes(double bytes);                          // 1530 -> "1.49KiB"
+std::string FormatCount(double count);                          // 1.2e6 -> "1.20M"
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_COMMON_TABLE_H_

@@ -1,0 +1,48 @@
+#include "src/common/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rpcscope {
+
+namespace {
+
+SimDuration FromScaled(double value, double scale) {
+  if (!(value > 0)) {
+    return 0;
+  }
+  double ns = value * scale;
+  if (ns >= 9.2e18) {
+    return INT64_MAX;
+  }
+  return static_cast<SimDuration>(std::llround(ns));
+}
+
+}  // namespace
+
+SimDuration DurationFromSeconds(double seconds) { return FromScaled(seconds, 1e9); }
+SimDuration DurationFromMillis(double millis) { return FromScaled(millis, 1e6); }
+SimDuration DurationFromMicros(double micros) { return FromScaled(micros, 1e3); }
+
+std::string FormatDuration(SimDuration d) {
+  char buf[32];
+  double v = static_cast<double>(d);
+  if (d < kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%lldns", static_cast<long long>(d));
+  } else if (d < kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", v / kMicrosecond);
+  } else if (d < kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", v / kMillisecond);
+  } else if (d < kMinute) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", v / kSecond);
+  } else if (d < kHour) {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", v / kMinute);
+  } else if (d < kDay) {
+    std::snprintf(buf, sizeof(buf), "%.1fh", v / kHour);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fd", v / kDay);
+  }
+  return buf;
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,102 @@
+#include "src/core/method_stats.h"
+
+#include <algorithm>
+
+namespace rpcscope {
+
+namespace {
+
+LogHistogram::Options LatencyHist() {
+  // 1 us .. 1e8 us (100 s), 10 buckets/decade.
+  return {.min_value = 1.0, .max_value = 1e8, .buckets_per_decade = 10};
+}
+
+LogHistogram::Options RatioHist() {
+  return {.min_value = 1e-6, .max_value = 1e4, .buckets_per_decade = 10};
+}
+
+LogHistogram::Options SizeHist() {
+  return {.min_value = 1.0, .max_value = 1e9, .buckets_per_decade = 10};
+}
+
+LogHistogram::Options CycleHist() {
+  return {.min_value = 1e-6, .max_value = 1e6, .buckets_per_decade = 10};
+}
+
+}  // namespace
+
+MethodAccum::MethodAccum()
+    : rct(LatencyHist()),
+      tax_ratio(RatioHist()),
+      queue(LatencyHist()),
+      wire_stack(LatencyHist()),
+      req_size(SizeHist()),
+      resp_size(SizeHist()),
+      size_ratio(RatioHist()),
+      cycles(CycleHist()) {}
+
+MethodAggregator::MethodAggregator(int32_t num_methods)
+    : methods_(static_cast<size_t>(num_methods)) {}
+
+void MethodAggregator::Add(const Span& span) {
+  if (span.method_id < 0 || span.method_id >= static_cast<int32_t>(methods_.size())) {
+    return;
+  }
+  MethodAccum& m = methods_[static_cast<size_t>(span.method_id)];
+  m.method_id = span.method_id;
+  m.service_id = span.service_id;
+  ++m.calls;
+  ++total_calls_;
+  if (span.status != StatusCode::kOk) {
+    ++m.errors;
+    // Per §2.1, error RPC latency is excluded from latency measurements.
+    return;
+  }
+  const double total_us = ToMicros(span.latency.Total());
+  const double tax_us = ToMicros(span.latency.Tax());
+  m.total_time_us += total_us;
+  m.rct.Add(total_us);
+  if (total_us > 0) {
+    m.tax_ratio.Add(std::max(tax_us / total_us, 1e-6));
+  }
+  m.queue.Add(ToMicros(span.latency.QueueTotal()));
+  m.wire_stack.Add(ToMicros(span.latency.WireTotal() + span.latency.ProcStackTotal()));
+  // Sizes are measured on serialized payloads, falling back to wire bytes
+  // for spans recorded by stacks that don't report payload sizes.
+  const double req_b = static_cast<double>(
+      span.request_payload_bytes > 0 ? span.request_payload_bytes : span.request_wire_bytes);
+  const double resp_b = static_cast<double>(span.response_payload_bytes > 0
+                                                ? span.response_payload_bytes
+                                                : span.response_wire_bytes);
+  m.req_size.Add(req_b);
+  m.resp_size.Add(resp_b);
+  if (req_b > 0) {
+    m.size_ratio.Add(resp_b / req_b);
+  }
+  if (span.has_cpu_annotation) {
+    m.cycles.Add(std::max(span.normalized_cpu_cycles, 1e-6));
+    ++m.annotated_calls;
+  }
+}
+
+std::vector<const MethodAccum*> MethodAggregator::Eligible(int64_t min_calls) const {
+  std::vector<const MethodAccum*> out;
+  for (const MethodAccum& m : methods_) {
+    if (m.calls >= min_calls && m.rct.count() > 0) {
+      out.push_back(&m);
+    }
+  }
+  return out;
+}
+
+std::vector<double> MethodAggregator::CollectSorted(
+    int64_t min_calls, const std::function<double(const MethodAccum&)>& extract) const {
+  std::vector<double> out;
+  for (const MethodAccum* m : Eligible(min_calls)) {
+    out.push_back(extract(*m));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rpcscope

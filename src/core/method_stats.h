@@ -1,0 +1,66 @@
+// MethodAggregator: per-method distribution accumulation over sampled RPCs.
+//
+// One pass over spans builds, for every method, bounded-memory histograms of
+// the quantities the per-method figures need: completion time, tax ratio,
+// queueing, wire+stack, sizes, response/request ratio, and normalized CPU
+// cycles. The per-method views (Figs. 2, 3, 6, 7, 11, 12, 13, 21) then
+// reduce these to quantiles-of-quantiles across the method population.
+#ifndef RPCSCOPE_SRC_CORE_METHOD_STATS_H_
+#define RPCSCOPE_SRC_CORE_METHOD_STATS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/trace/span.h"
+
+namespace rpcscope {
+
+// Per-method accumulated distributions. Histogram value units:
+//   latency histograms: microseconds; sizes: bytes; ratios: dimensionless.
+struct MethodAccum {
+  int32_t method_id = -1;
+  int32_t service_id = -1;
+  int64_t calls = 0;
+  int64_t errors = 0;
+  double total_time_us = 0;  // Sum of completion times (for time shares).
+  LogHistogram rct;          // Completion time.
+  LogHistogram tax_ratio;    // Tax / RCT in [~1e-6, 1].
+  LogHistogram queue;        // Sum of the four queue components.
+  LogHistogram wire_stack;   // Network wire + proc/stack (Fig. 12's RW+RN).
+  LogHistogram req_size;
+  LogHistogram resp_size;
+  LogHistogram size_ratio;   // response bytes / request bytes.
+  LogHistogram cycles;       // Normalized CPU cycles (annotated spans only).
+  int64_t annotated_calls = 0;
+
+  MethodAccum();
+};
+
+class MethodAggregator {
+ public:
+  explicit MethodAggregator(int32_t num_methods);
+
+  void Add(const Span& span);
+
+  const std::vector<MethodAccum>& methods() const { return methods_; }
+  int64_t total_calls() const { return total_calls_; }
+
+  // Methods with at least `min_calls` samples (the paper requires >= 100 for
+  // a well-defined P99), optionally sorted by a key extracted per method.
+  std::vector<const MethodAccum*> Eligible(int64_t min_calls) const;
+
+  // Across eligible methods, collects `extract(method)` values and returns
+  // them sorted ascending (for quantile-of-quantile queries).
+  std::vector<double> CollectSorted(
+      int64_t min_calls, const std::function<double(const MethodAccum&)>& extract) const;
+
+ private:
+  std::vector<MethodAccum> methods_;
+  int64_t total_calls_ = 0;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_CORE_METHOD_STATS_H_

@@ -1,0 +1,79 @@
+#include "src/core/plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rpcscope {
+
+std::string RenderAsciiCdf(std::vector<double> values, int width, int height,
+                           const std::string& x_unit) {
+  std::string out;
+  if (values.empty() || width < 8 || height < 2) {
+    return out;
+  }
+  std::sort(values.begin(), values.end());
+  const double lo = std::max(values.front(), 1e-12);
+  const double hi = std::max(values.back(), lo * 1.0000001);
+  const double log_lo = std::log(lo);
+  const double log_hi = std::log(hi);
+
+  // CDF value at each column's x position (log-spaced).
+  std::vector<double> cdf(static_cast<size_t>(width));
+  for (int c = 0; c < width; ++c) {
+    const double x =
+        std::exp(log_lo + (log_hi - log_lo) * (static_cast<double>(c) + 0.5) / width);
+    const auto it = std::upper_bound(values.begin(), values.end(), x);
+    cdf[static_cast<size_t>(c)] =
+        static_cast<double>(it - values.begin()) / static_cast<double>(values.size());
+  }
+
+  for (int r = height - 1; r >= 0; --r) {
+    const double row_top = static_cast<double>(r + 1) / height;
+    const double row_bottom = static_cast<double>(r) / height;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%3.0f%% |", row_top * 100);
+    out += label;
+    for (int c = 0; c < width; ++c) {
+      const double v = cdf[static_cast<size_t>(c)];
+      out += v >= row_top ? '#' : (v > row_bottom ? '+' : ' ');
+    }
+    out += '\n';
+  }
+  out += "     +";
+  out.append(static_cast<size_t>(width), '-');
+  out += '\n';
+  char footer[128];
+  std::snprintf(footer, sizeof(footer), "      %.3g%s%*s%.3g%s (log scale)\n", lo,
+                x_unit.c_str(), width - 18, "", hi, x_unit.c_str());
+  out += footer;
+  return out;
+}
+
+std::string RenderAsciiBars(const std::vector<Bar>& bars, int width) {
+  std::string out;
+  if (bars.empty() || width < 4) {
+    return out;
+  }
+  size_t label_width = 0;
+  double max_value = 0;
+  for (const Bar& b : bars) {
+    label_width = std::max(label_width, b.label.size());
+    max_value = std::max(max_value, b.value);
+  }
+  if (max_value <= 0) {
+    return out;
+  }
+  for (const Bar& b : bars) {
+    out += b.label;
+    out.append(label_width - b.label.size() + 1, ' ');
+    const int fill = static_cast<int>(std::lround(b.value / max_value * width));
+    out.append(static_cast<size_t>(fill), '#');
+    char value[32];
+    std::snprintf(value, sizeof(value), " %.3g\n", b.value);
+    out += value;
+  }
+  return out;
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,29 @@
+// Terminal plotting: ASCII CDFs and bar charts for figure reports.
+//
+// The bench binaries are the paper's figures; a coarse visual alongside the
+// numeric tables makes distribution shapes (heavy tails, staircases,
+// crossovers) reviewable without leaving the terminal.
+#ifndef RPCSCOPE_SRC_CORE_PLOT_H_
+#define RPCSCOPE_SRC_CORE_PLOT_H_
+
+#include <string>
+#include <vector>
+
+namespace rpcscope {
+
+// Renders the CDF of `values` on a log-x grid: `width` columns spanning
+// [min, max] of the data, `height` rows spanning 0..100%. Values must be
+// positive; empty input renders an empty string.
+std::string RenderAsciiCdf(std::vector<double> values, int width = 60, int height = 12,
+                           const std::string& x_unit = "");
+
+// Renders labeled horizontal bars scaled to the largest value.
+struct Bar {
+  std::string label;
+  double value = 0;
+};
+std::string RenderAsciiBars(const std::vector<Bar>& bars, int width = 48);
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_CORE_PLOT_H_

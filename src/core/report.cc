@@ -1,0 +1,48 @@
+#include "src/core/report.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace rpcscope {
+
+std::string FigureReport::Render() const {
+  std::string out = "== " + id + ": " + title + " ==\n";
+  for (const std::string& note : notes) {
+    out += "   " + note + "\n";
+  }
+  for (const TextTable& t : tables) {
+    out += "\n";
+    out += t.Render();
+  }
+  out += "\n";
+  return out;
+}
+
+std::string FigureReport::RenderCsv() const {
+  std::string out;
+  for (const TextTable& t : tables) {
+    out += t.RenderCsv();
+    out += "\n";
+  }
+  return out;
+}
+
+ComparisonTable::ComparisonTable() : table_({"metric", "paper", "measured"}) {}
+
+void ComparisonTable::Add(const std::string& metric, const std::string& paper,
+                          const std::string& measured) {
+  table_.AddRow({metric, paper, measured});
+}
+
+int RunFigureMain(int argc, char** argv, const FigureReport& report) {
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0) {
+      csv = true;
+    }
+  }
+  std::fputs((csv ? report.RenderCsv() : report.Render()).c_str(), stdout);
+  return 0;
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,417 @@
+// Analyses over DES service-study spans: Figs. 14-19 and 22.
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/stats.h"
+#include "src/core/analyses.h"
+
+namespace rpcscope {
+
+namespace {
+
+// Component sums of OK spans.
+struct ComponentSums {
+  std::array<double, kNumRpcComponents> sums{};
+  double total = 0;
+  int64_t count = 0;
+
+  void Add(const Span& span) {
+    for (int c = 0; c < kNumRpcComponents; ++c) {
+      sums[static_cast<size_t>(c)] +=
+          ToMicros(span.latency.components[static_cast<size_t>(c)]);
+    }
+    total += ToMicros(span.latency.Total());
+    ++count;
+  }
+};
+
+std::vector<double> OkTotalsMs(const std::vector<Span>& spans) {
+  std::vector<double> out;
+  for (const Span& s : spans) {
+    if (s.status == StatusCode::kOk) {
+      out.push_back(ToMillis(s.latency.Total()));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+RpcComponent DominantComponent(const ComponentSums& sums) {
+  size_t best = 0;
+  for (size_t c = 1; c < sums.sums.size(); ++c) {
+    if (sums.sums[c] > sums.sums[best]) {
+      best = c;
+    }
+  }
+  return static_cast<RpcComponent>(best);
+}
+
+// Groups the dominant component into the paper's three categories.
+std::string CategoryOf(RpcComponent c) {
+  switch (c) {
+    case RpcComponent::kServerApp:
+      return "application-heavy";
+    case RpcComponent::kClientSendQueue:
+    case RpcComponent::kServerRecvQueue:
+    case RpcComponent::kServerSendQueue:
+    case RpcComponent::kClientRecvQueue:
+      return "queueing-heavy";
+    case RpcComponent::kRequestProcStack:
+    case RpcComponent::kResponseProcStack:
+      return "RPC-stack-heavy";
+    default:
+      return "network-heavy";
+  }
+}
+
+}  // namespace
+
+FigureReport AnalyzeServiceBreakdown(const std::vector<ServiceSpans>& studies) {
+  FigureReport report;
+  report.id = "fig14";
+  report.title = "CDF of RPC completion-time breakdown per service (Fig. 14)";
+
+  TextTable t({"service", "median RCT", "P95 RCT", "P95/median", "dominant component",
+               "dom. share", "category"});
+  for (const ServiceSpans& study : studies) {
+    ComponentSums sums;
+    for (const Span& s : study.spans) {
+      if (s.status == StatusCode::kOk) {
+        sums.Add(s);
+      }
+    }
+    if (sums.count == 0) {
+      continue;
+    }
+    const std::vector<double> totals = OkTotalsMs(study.spans);
+    const double median = SortedQuantile(totals, 0.5);
+    const double p95 = SortedQuantile(totals, 0.95);
+    const RpcComponent dom = DominantComponent(sums);
+    const double dom_share = sums.sums[static_cast<size_t>(dom)] / sums.total;
+    t.AddRow({study.name, FormatDouble(median, 2) + "ms", FormatDouble(p95, 2) + "ms",
+              FormatDouble(p95 / std::max(median, 1e-9), 2) + "x",
+              std::string(RpcComponentName(dom)), FormatPercent(dom_share),
+              CategoryOf(dom)});
+  }
+  report.tables.push_back(t);
+
+  // Full per-component shares (one row per service, columns per component).
+  TextTable shares({"service", "CSQ", "ReqPS", "ReqW", "SRQ", "App", "SSQ", "RspPS", "RspW",
+                    "CRQ"});
+  for (const ServiceSpans& study : studies) {
+    ComponentSums sums;
+    for (const Span& s : study.spans) {
+      if (s.status == StatusCode::kOk) {
+        sums.Add(s);
+      }
+    }
+    if (sums.count == 0) {
+      continue;
+    }
+    std::vector<std::string> row = {study.name};
+    for (size_t c = 0; c < kNumRpcComponents; ++c) {
+      row.push_back(FormatPercent(sums.sums[c] / sums.total));
+    }
+    shares.AddRow(row);
+  }
+  report.tables.push_back(shares);
+  report.notes.push_back("Paper: dominant components take 25-66% of latency at the median and "
+                         "P95 is 1.86-10.6x the median (F1 largest).");
+  return report;
+}
+
+FigureReport AnalyzeWhatIf(const std::vector<ServiceSpans>& studies) {
+  FigureReport report;
+  report.id = "fig15";
+  report.title = "What-if: % of P95-tail RPCs made non-tail per component (Fig. 15)";
+
+  TextTable t({"service", "CSQ", "ReqW", "ReqPS", "SRQ", "App", "SSQ", "RspPS", "RspW", "CRQ"});
+  for (const ServiceSpans& study : studies) {
+    // Medians per component and the P95 threshold.
+    std::vector<std::vector<double>> comp(kNumRpcComponents);
+    std::vector<double> totals;
+    for (const Span& s : study.spans) {
+      if (s.status != StatusCode::kOk) {
+        continue;
+      }
+      for (size_t c = 0; c < kNumRpcComponents; ++c) {
+        comp[c].push_back(ToMicros(s.latency.components[c]));
+      }
+      totals.push_back(ToMicros(s.latency.Total()));
+    }
+    if (totals.empty()) {
+      continue;
+    }
+    std::vector<double> medians(kNumRpcComponents);
+    for (size_t c = 0; c < kNumRpcComponents; ++c) {
+      medians[c] = ExactQuantile(comp[c], 0.5);
+    }
+    const double p95 = ExactQuantile(totals, 0.95);
+
+    // For each tail RPC, would replacing component c by its median move the
+    // RPC below the old P95?
+    std::array<int64_t, kNumRpcComponents> rescued{};
+    int64_t tail_count = 0;
+    for (const Span& s : study.spans) {
+      if (s.status != StatusCode::kOk) {
+        continue;
+      }
+      const double total = ToMicros(s.latency.Total());
+      if (total < p95) {
+        continue;
+      }
+      ++tail_count;
+      for (size_t c = 0; c < kNumRpcComponents; ++c) {
+        const double replaced =
+            total - ToMicros(s.latency.components[c]) + medians[c];
+        if (replaced < p95) {
+          ++rescued[c];
+        }
+      }
+    }
+    if (tail_count == 0) {
+      continue;
+    }
+    // Render in the paper's column order (Fig. 15).
+    const RpcComponent order[] = {
+        RpcComponent::kClientSendQueue, RpcComponent::kRequestWire,
+        RpcComponent::kRequestProcStack, RpcComponent::kServerRecvQueue,
+        RpcComponent::kServerApp, RpcComponent::kServerSendQueue,
+        RpcComponent::kResponseProcStack, RpcComponent::kResponseWire,
+        RpcComponent::kClientRecvQueue};
+    std::vector<std::string> row = {study.name};
+    for (RpcComponent c : order) {
+      row.push_back(FormatPercent(
+          static_cast<double>(rescued[static_cast<size_t>(c)]) /
+              static_cast<double>(tail_count),
+          1));
+    }
+    t.AddRow(row);
+  }
+  report.tables.push_back(t);
+  report.notes.push_back("The component that dominates a service's latency in general is also "
+                         "the main cause of its tail (cf. paper Fig. 15: ML Inference app 68%, "
+                         "SSD cache SRQ 33.6%, KV-Store RspPS 15.5%, F1 CRQ 28.6%).");
+  return report;
+}
+
+FigureReport AnalyzeClusterVariation(
+    const std::vector<std::pair<std::string, std::vector<ClusterRunSpans>>>& per_service) {
+  FigureReport report;
+  report.id = "fig16";
+  report.title = "P95 latency breakdown across clusters (Fig. 16)";
+
+  TextTable t({"service", "clusters", "P95 min", "P95 max", "spread", "dominant stable?"});
+  for (const auto& [name, runs] : per_service) {
+    double p95_min = 1e18, p95_max = 0;
+    std::string first_dom;
+    bool stable = true;
+    for (const ClusterRunSpans& run : runs) {
+      const std::vector<double> totals = OkTotalsMs(run.spans);
+      if (totals.empty()) {
+        continue;
+      }
+      const double p95 = SortedQuantile(totals, 0.95);
+      p95_min = std::min(p95_min, p95);
+      p95_max = std::max(p95_max, p95);
+      ComponentSums sums;
+      for (const Span& s : run.spans) {
+        if (s.status == StatusCode::kOk) {
+          sums.Add(s);
+        }
+      }
+      const std::string dom = std::string(RpcComponentName(DominantComponent(sums)));
+      if (first_dom.empty()) {
+        first_dom = dom;
+      } else if (dom != first_dom) {
+        stable = false;
+      }
+    }
+    t.AddRow({name, std::to_string(runs.size()), FormatDouble(p95_min, 2) + "ms",
+              FormatDouble(p95_max, 2) + "ms",
+              FormatDouble(p95_max / std::max(p95_min, 1e-9), 2) + "x",
+              stable ? "yes" : "mostly"});
+  }
+  report.tables.push_back(t);
+  report.notes.push_back("Paper: the dominant component stays the same across clusters while "
+                         "P95 varies 1.24-10x with cluster state (exogenous variables).");
+  return report;
+}
+
+ExogenousBucket SummarizeRun(double variable_value, const std::vector<Span>& spans) {
+  ExogenousBucket b;
+  b.variable_value = variable_value;
+  const std::vector<double> totals = OkTotalsMs(spans);
+  if (totals.empty()) {
+    return b;
+  }
+  ComponentSums sums;
+  for (const Span& s : spans) {
+    if (s.status == StatusCode::kOk) {
+      sums.Add(s);
+    }
+  }
+  b.p95_latency_ms = SortedQuantile(totals, 0.95);
+  b.app_share = sums.sums[static_cast<size_t>(RpcComponent::kServerApp)] / sums.total;
+  b.queue_share = (sums.sums[static_cast<size_t>(RpcComponent::kServerRecvQueue)] +
+                   sums.sums[static_cast<size_t>(RpcComponent::kServerSendQueue)] +
+                   sums.sums[static_cast<size_t>(RpcComponent::kClientSendQueue)] +
+                   sums.sums[static_cast<size_t>(RpcComponent::kClientRecvQueue)]) /
+                  sums.total;
+  return b;
+}
+
+FigureReport AnalyzeExogenousSweep(
+    const std::vector<std::pair<std::string, std::vector<ExogenousBucket>>>& sweeps) {
+  FigureReport report;
+  report.id = "fig17";
+  report.title = "Exogenous variables vs P95 latency breakdown (Fig. 17)";
+
+  for (const auto& [variable, buckets] : sweeps) {
+    TextTable t({variable, "P95 RCT", "app share", "queue share"});
+    std::vector<double> xs, ys;
+    for (const ExogenousBucket& b : buckets) {
+      if (b.p95_latency_ms <= 0) {
+        continue;
+      }
+      xs.push_back(b.variable_value);
+      ys.push_back(b.p95_latency_ms);
+      t.AddRow({FormatDouble(b.variable_value, 3), FormatDouble(b.p95_latency_ms, 2) + "ms",
+                FormatPercent(b.app_share), FormatPercent(b.queue_share)});
+    }
+    TextTable corr({"metric", "value"});
+    corr.AddRow({"correlation(" + variable + ", P95 latency)",
+                 FormatDouble(PearsonCorrelation(xs, ys), 2)});
+    report.tables.push_back(t);
+    report.tables.push_back(corr);
+  }
+  report.notes.push_back("Server-state variables (CPU util, memory BW, wake-up rate, CPI) "
+                         "correlate with tail RPC latency.");
+  return report;
+}
+
+FigureReport AnalyzeDiurnal(
+    const std::vector<std::pair<std::string, std::vector<DiurnalWindow>>>& clusters) {
+  FigureReport report;
+  report.id = "fig18";
+  report.title = "24h co-movement of latency and exogenous variables (Fig. 18)";
+
+  for (const auto& [name, windows] : clusters) {
+    TextTable t({"hour (" + name + ")", "P95 RCT", "CPU util", "mem BW GB/s",
+                 "long-wakeup rate", "CPI"});
+    std::vector<double> lat, util, bw, wake, cpi;
+    for (const DiurnalWindow& w : windows) {
+      lat.push_back(w.p95_latency_ms);
+      util.push_back(w.state.cpu_util);
+      bw.push_back(w.state.memory_bw_gbps);
+      wake.push_back(w.state.long_wakeup_rate);
+      cpi.push_back(w.state.cycles_per_instr);
+      if (static_cast<int64_t>(std::llround(w.hour * 2)) % 4 == 0) {  // Every 2 hours.
+        t.AddRow({FormatDouble(w.hour, 1), FormatDouble(w.p95_latency_ms, 2) + "ms",
+                  FormatPercent(w.state.cpu_util), FormatDouble(w.state.memory_bw_gbps, 1),
+                  FormatDouble(w.state.long_wakeup_rate * 1000, 2) + "e-3",
+                  FormatDouble(w.state.cycles_per_instr, 3)});
+      }
+    }
+    report.tables.push_back(t);
+    TextTable corr({"correlate (" + name + ")", "r with P95 latency"});
+    corr.AddRow({"CPU util", FormatDouble(PearsonCorrelation(util, lat), 2)});
+    corr.AddRow({"memory BW", FormatDouble(PearsonCorrelation(bw, lat), 2)});
+    corr.AddRow({"long-wakeup rate", FormatDouble(PearsonCorrelation(wake, lat), 2)});
+    corr.AddRow({"cycles per instr", FormatDouble(PearsonCorrelation(cpi, lat), 2)});
+    report.tables.push_back(corr);
+  }
+  report.notes.push_back("RPC latency fluctuates with the same diurnal trend as the cluster's "
+                         "exogenous variables, in both fast and slow clusters.");
+  return report;
+}
+
+FigureReport AnalyzeCrossCluster(const std::vector<CrossClusterPoint>& points) {
+  FigureReport report;
+  report.id = "fig19";
+  report.title = "Spanner cross-cluster latency breakdown (Fig. 19)";
+
+  struct Row {
+    int cluster;
+    std::string dc;
+    double median_ms;
+    double wire_share;
+    double app_share;
+  };
+  std::vector<Row> rows;
+  for (const CrossClusterPoint& p : points) {
+    const std::vector<double> totals = OkTotalsMs(p.spans);
+    if (totals.empty()) {
+      continue;
+    }
+    ComponentSums sums;
+    for (const Span& s : p.spans) {
+      if (s.status == StatusCode::kOk) {
+        sums.Add(s);
+      }
+    }
+    rows.push_back({p.client_cluster, p.distance_class, SortedQuantile(totals, 0.5),
+                    (sums.sums[static_cast<size_t>(RpcComponent::kRequestWire)] +
+                     sums.sums[static_cast<size_t>(RpcComponent::kResponseWire)]) /
+                        sums.total,
+                    sums.sums[static_cast<size_t>(RpcComponent::kServerApp)] / sums.total});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.median_ms < b.median_ms; });
+
+  TextTable t({"client cluster", "distance", "median RCT", "wire share", "app share"});
+  for (const Row& r : rows) {
+    t.AddRow({std::to_string(r.cluster), r.dc, FormatDouble(r.median_ms, 2) + "ms",
+              FormatPercent(r.wire_share), FormatPercent(r.app_share)});
+  }
+  report.tables.push_back(t);
+
+  // Per-distance-class aggregates (the staircase).
+  TextTable stairs({"distance class", "clients", "median RCT (avg)", "wire share (avg)"});
+  std::map<std::string, std::vector<const Row*>> by_class;
+  for (const Row& r : rows) {
+    by_class[r.dc].push_back(&r);
+  }
+  for (const auto& [dc, members] : by_class) {
+    double median_sum = 0, wire_sum = 0;
+    for (const Row* r : members) {
+      median_sum += r->median_ms;
+      wire_sum += r->wire_share;
+    }
+    stairs.AddRow({dc, std::to_string(members.size()),
+                   FormatDouble(median_sum / static_cast<double>(members.size()), 2) + "ms",
+                   FormatPercent(wire_sum / static_cast<double>(members.size()))});
+  }
+  report.tables.push_back(stairs);
+  report.notes.push_back("As client-server distance grows the network wire dominates; the "
+                         "latency closely tracks propagation (speed of light), not congestion.");
+  return report;
+}
+
+FigureReport AnalyzeLoadBalance(
+    const std::vector<std::pair<std::string, LoadBalanceResult>>& services) {
+  FigureReport report;
+  report.id = "fig22";
+  report.title = "CPU usage across clusters and machines (Fig. 22)";
+
+  TextTable t({"service", "cluster P10", "cluster P50", "cluster P90", "cluster P99",
+               "machine P10", "machine P50", "machine P90", "machine P99"});
+  for (const auto& [name, result] : services) {
+    const auto& machines = result.median_cluster_machine_usage;
+    t.AddRow({name, FormatPercent(SortedQuantile(result.cluster_usage, 0.10)),
+              FormatPercent(SortedQuantile(result.cluster_usage, 0.50)),
+              FormatPercent(SortedQuantile(result.cluster_usage, 0.90)),
+              FormatPercent(SortedQuantile(result.cluster_usage, 0.99)),
+              FormatPercent(SortedQuantile(machines, 0.10)),
+              FormatPercent(SortedQuantile(machines, 0.50)),
+              FormatPercent(SortedQuantile(machines, 0.90)),
+              FormatPercent(SortedQuantile(machines, 0.99))});
+  }
+  report.tables.push_back(t);
+  report.notes.push_back("Load is significantly imbalanced across clusters (latency-aware "
+                         "routing does not balance CPU); within a cluster, load is tight except "
+                         "for data-dependent services whose hot machines approach the limit.");
+  return report;
+}
+
+}  // namespace rpcscope

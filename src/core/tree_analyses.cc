@@ -1,0 +1,152 @@
+// Call-tree shape analyses: descendants (Fig. 4) and ancestors (Fig. 5).
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/stats.h"
+#include "src/core/analyses.h"
+
+namespace rpcscope {
+
+namespace {
+
+// Per-method quantile-of-quantiles over the collected shape samples.
+double ShapeQQ(const std::map<int32_t, std::vector<double>>& by_method, double method_q,
+               double sample_q, size_t min_samples) {
+  std::vector<double> per_method;
+  for (const auto& [method, samples] : by_method) {
+    if (samples.size() >= min_samples) {
+      per_method.push_back(ExactQuantile(samples, sample_q));
+    }
+  }
+  std::sort(per_method.begin(), per_method.end());
+  return SortedQuantile(per_method, method_q);
+}
+
+size_t CountEligible(const std::map<int32_t, std::vector<double>>& by_method,
+                     size_t min_samples) {
+  size_t n = 0;
+  for (const auto& [method, samples] : by_method) {
+    if (samples.size() >= min_samples) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+TreeShapeStats CollectTreeShapes(CallGraphModel& model, int num_trees) {
+  TreeShapeStats stats;
+  std::map<int32_t, int64_t> method_max_desc;
+  std::map<int32_t, int32_t> method_max_depth;
+  for (int t = 0; t < num_trees; ++t) {
+    const CallTree tree = model.SampleTree();
+    // Subtree sizes via reverse scan (children appear after parents).
+    std::vector<int64_t> descendants(tree.nodes.size(), 0);
+    int max_depth = 0;
+    std::vector<int64_t> width(32, 0);
+    for (size_t i = tree.nodes.size(); i-- > 1;) {
+      descendants[static_cast<size_t>(tree.nodes[i].parent)] += 1 + descendants[i];
+    }
+    // One sample per (method, trace): the method's largest responsibility in
+    // this trace. A popular method appears in a trace both as interior fan-out
+    // points and as leaves; the study's per-method descendant counts reflect
+    // the distributed computation the method presides over, so the per-trace
+    // maximum — not the leaf-dominated per-occurrence view — is aggregated.
+    // Ancestors likewise use the shallowest occurrence (return distance of
+    // the method's top-most call to the root).
+    method_max_desc.clear();
+    method_max_depth.clear();
+    for (size_t i = 0; i < tree.nodes.size(); ++i) {
+      const CallTreeNode& node = tree.nodes[i];
+      auto [dit, dnew] = method_max_desc.try_emplace(node.method_id, descendants[i]);
+      if (!dnew) {
+        dit->second = std::max(dit->second, descendants[i]);
+      }
+      auto [ait, anew] = method_max_depth.try_emplace(node.method_id, node.depth);
+      if (!anew) {
+        ait->second = std::min(ait->second, node.depth);
+      }
+      max_depth = std::max(max_depth, node.depth);
+      ++width[static_cast<size_t>(node.depth)];
+    }
+    for (const auto& [method, desc] : method_max_desc) {
+      stats.descendants_by_method[method].push_back(static_cast<double>(desc));
+    }
+    for (const auto& [method, depth] : method_max_depth) {
+      stats.ancestors_by_method[method].push_back(static_cast<double>(depth));
+    }
+    stats.tree_depths.push_back(max_depth);
+    stats.tree_widths.push_back(
+        static_cast<double>(*std::max_element(width.begin(), width.end())));
+  }
+  return stats;
+}
+
+FigureReport AnalyzeDescendants(const TreeShapeStats& stats) {
+  FigureReport report;
+  report.id = "fig04";
+  report.title = "Per-method number of descendants (Fig. 4)";
+  const auto& d = stats.descendants_by_method;
+  ComparisonTable cmp;
+  cmp.Add("median-method median descendants <=", "13",
+          FormatDouble(ShapeQQ(d, 0.5, 0.5, 100), 0));
+  cmp.Add("P90 descendants, 10th-pct method >=", "105",
+          FormatDouble(ShapeQQ(d, 0.10, 0.90, 100), 0));
+  cmp.Add("P99 descendants, 10th-pct method >=", "1155",
+          FormatDouble(ShapeQQ(d, 0.10, 0.99, 100), 0));
+  cmp.Add("methods with >=100 tree samples", "-",
+          FormatCount(static_cast<double>(CountEligible(d, 100))));
+  report.tables.push_back(cmp.Build());
+
+  TextTable dist({"method quantile", "median", "P90", "P99"});
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    dist.AddRow({FormatPercent(q, 0), FormatDouble(ShapeQQ(d, q, 0.5, 100), 0),
+                 FormatDouble(ShapeQQ(d, q, 0.9, 100), 0),
+                 FormatDouble(ShapeQQ(d, q, 0.99, 100), 0)});
+  }
+  report.tables.push_back(dist);
+  report.notes.push_back("Nested RPCs fan out widely: descendant tails reach thousands via "
+                         "partition/aggregate bursts.");
+  return report;
+}
+
+FigureReport AnalyzeAncestors(const TreeShapeStats& stats) {
+  FigureReport report;
+  report.id = "fig05";
+  report.title = "Per-method number of ancestors (Fig. 5)";
+  const auto& a = stats.ancestors_by_method;
+  ComparisonTable cmp;
+  cmp.Add("median-method P99 ancestors <", "10", FormatDouble(ShapeQQ(a, 0.5, 0.99, 100), 0));
+  cmp.Add("max observed tree depth", "<=19 (Meta reports 9-19)",
+          FormatDouble(stats.tree_depths.empty()
+                           ? 0
+                           : *std::max_element(stats.tree_depths.begin(),
+                                               stats.tree_depths.end()),
+                       0));
+  const double mean_depth =
+      stats.tree_depths.empty()
+          ? 0
+          : std::accumulate(stats.tree_depths.begin(), stats.tree_depths.end(), 0.0) /
+                static_cast<double>(stats.tree_depths.size());
+  const double mean_width =
+      stats.tree_widths.empty()
+          ? 0
+          : std::accumulate(stats.tree_widths.begin(), stats.tree_widths.end(), 0.0) /
+                static_cast<double>(stats.tree_widths.size());
+  cmp.Add("mean tree width vs mean depth", "wider than deep",
+          FormatDouble(mean_width, 1) + " vs " + FormatDouble(mean_depth, 1));
+  report.tables.push_back(cmp.Build());
+
+  TextTable dist({"method quantile", "median ancestors", "P99 ancestors"});
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    dist.AddRow({FormatPercent(q, 0), FormatDouble(ShapeQQ(a, q, 0.5, 100), 1),
+                 FormatDouble(ShapeQQ(a, q, 0.99, 100), 0)});
+  }
+  report.tables.push_back(dist);
+  report.notes.push_back("Ancestor counts are small compared to descendant counts: the typical "
+                         "call tree is much wider than it is deep.");
+  return report;
+}
+
+}  // namespace rpcscope

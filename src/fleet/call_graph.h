@@ -1,0 +1,72 @@
+// CallGraphModel: generates nested RPC call trees (§2.4).
+//
+// A tree grows from a root method: each node is either a leaf, branches into
+// a small number of children, or — with the method's burst probability —
+// fans out partition/aggregate style into tens..hundreds of children. Child
+// methods are drawn popularity-weighted from tiers at or below the parent's
+// (computation flows frontend -> backend -> storage), and effective leaf
+// probability rises with depth, which is what makes the resulting trees much
+// wider than they are deep (max depth ~19, as Huye et al. report for Meta).
+#ifndef RPCSCOPE_SRC_FLEET_CALL_GRAPH_H_
+#define RPCSCOPE_SRC_FLEET_CALL_GRAPH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/distributions.h"
+#include "src/common/rng.h"
+#include "src/fleet/method_catalog.h"
+
+namespace rpcscope {
+
+struct CallTreeNode {
+  int32_t method_id = -1;
+  int32_t parent = -1;  // Index into the tree's node vector; -1 for the root.
+  int32_t depth = 0;
+};
+
+struct CallTree {
+  std::vector<CallTreeNode> nodes;  // nodes[0] is the root.
+};
+
+struct CallGraphOptions {
+  uint64_t seed = 99;
+  int max_depth = 19;
+  int max_nodes = 20000;         // Hard safety cap per tree.
+  // Leaf probability ramps up only below this depth (the upper tree branches
+  // freely; depth pressure is what keeps trees wider than deep).
+  int ramp_start_depth = 11;
+  double depth_leaf_ramp = 0.30; // Added leaf probability per level past start.
+  int burst_max_depth = 3;       // Partition/aggregate fires in the upper tree.
+};
+
+class CallGraphModel {
+ public:
+  CallGraphModel(const MethodCatalog* methods, const CallGraphOptions& options);
+
+  // Grows one tree from the given root method.
+  CallTree SampleTree(int32_t root_method);
+
+  // Grows a tree from a popularity-weighted random *root-capable* method
+  // (tiers 0-1, where user requests enter the fleet).
+  CallTree SampleTree();
+
+  Rng& rng() { return rng_; }
+
+ private:
+  int32_t SampleChildMethod(int parent_tier);
+
+  const MethodCatalog* methods_;
+  CallGraphOptions options_;
+  Rng rng_;
+  // Popularity-weighted samplers over methods with tier >= t, for t = 0..3.
+  std::vector<std::unique_ptr<DiscreteDist>> tier_dists_;
+  std::vector<std::vector<int32_t>> tier_members_;
+  std::unique_ptr<DiscreteDist> root_dist_;
+  std::vector<int32_t> root_members_;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_FLEET_CALL_GRAPH_H_

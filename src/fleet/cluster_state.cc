@@ -1,0 +1,54 @@
+#include "src/fleet/cluster_state.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace rpcscope {
+
+ExogenousState ClusterStateModel::StateAt(ClusterId cluster, SimTime time) const {
+  const uint64_t ch = Mix64(options_.seed ^ static_cast<uint64_t>(cluster));
+  auto unit = [&](uint64_t salt) {
+    return static_cast<double>(Mix64(ch ^ salt) >> 11) * 0x1.0p-53;
+  };
+  // Cluster-specific baseline load and diurnal phase.
+  const double base_util = 0.25 + 0.45 * unit(1);
+  const double phase = unit(2);
+  const double day_frac = ToSeconds(time) / 86400.0;
+  // Deterministic "noise" varying by 30-minute bucket.
+  const int64_t bucket = time / Minutes(30);
+  const double n1 =
+      (static_cast<double>(Mix64(ch ^ static_cast<uint64_t>(bucket) ^ 0xa1) >> 11) * 0x1.0p-53 -
+       0.5) *
+      2.0;
+
+  ExogenousState s;
+  s.cpu_util = std::clamp(
+      base_util + options_.diurnal_amplitude * std::sin(2 * M_PI * (day_frac + phase)) +
+          options_.noise_sigma * 3 * n1,
+      0.05, 0.97);
+  // Memory bandwidth tracks CPU activity with a cluster-specific slope.
+  s.memory_bw_gbps = 20.0 + 90.0 * s.cpu_util * (0.8 + 0.4 * unit(3));
+  // Long wake-ups grow superlinearly as the cluster saturates.
+  s.long_wakeup_rate = 0.0008 + 0.02 * s.cpu_util * s.cpu_util * (0.7 + 0.6 * unit(4));
+  // CPI rises with memory pressure.
+  s.cycles_per_instr = 0.85 + 0.55 * (s.memory_bw_gbps / 110.0) + 0.05 * n1;
+  return s;
+}
+
+double ClusterStateModel::AppSlowdown(const ExogenousState& state) {
+  // Mild until ~70% utilization, then sharply contended; CPI multiplies.
+  const double util_term = 1.0 / std::max(0.25, 1.0 - 0.75 * state.cpu_util);
+  const double cpi_term = state.cycles_per_instr / 1.0;
+  return std::max(1.0, 0.7 * util_term * cpi_term);
+}
+
+SimDuration ClusterStateModel::WakeupLatency(const ExogenousState& state) {
+  // Mean wake-up cost: baseline scheduling latency plus the long-wakeup tail
+  // (50+ us events) weighted by its rate.
+  const double mean_us = 3.0 + state.long_wakeup_rate * 4000.0;
+  return DurationFromMicros(mean_us);
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,51 @@
+// ClusterStateModel: exogenous per-cluster system state (§3.3.4, Table 2).
+//
+// Four observable variables — CPU utilization, memory bandwidth, long-wakeup
+// rate, and cycles-per-instruction — evolve per cluster with a diurnal cycle
+// plus cluster-specific baselines. The same state maps onto the two knobs the
+// DES servers expose (application slowdown and scheduler wake-up latency), so
+// the correlation the paper measures between exogenous variables and RPC
+// latency (Figs. 17, 18) arises mechanically rather than by construction.
+#ifndef RPCSCOPE_SRC_FLEET_CLUSTER_STATE_H_
+#define RPCSCOPE_SRC_FLEET_CLUSTER_STATE_H_
+
+#include <cstdint>
+
+#include "src/common/time.h"
+#include "src/net/topology.h"
+
+namespace rpcscope {
+
+struct ExogenousState {
+  double cpu_util = 0.4;          // Fraction in [0, 1].
+  double memory_bw_gbps = 50;     // GB/s consumed.
+  double long_wakeup_rate = 0.004;  // Fraction of scheduling events > 50 us.
+  double cycles_per_instr = 1.0;
+};
+
+struct ClusterStateOptions {
+  uint64_t seed = 31337;
+  double diurnal_amplitude = 0.18;  // CPU-util swing over a day.
+  double noise_sigma = 0.03;
+};
+
+class ClusterStateModel {
+ public:
+  explicit ClusterStateModel(const ClusterStateOptions& options) : options_(options) {}
+
+  // State of a cluster at a virtual time (deterministic).
+  ExogenousState StateAt(ClusterId cluster, SimTime time) const;
+
+  // Knob mappings used by the DES studies.
+  // Application slowdown factor (>= 1): contention inflates compute time.
+  static double AppSlowdown(const ExogenousState& state);
+  // Mean scheduler wake-up latency added before a handler starts.
+  static SimDuration WakeupLatency(const ExogenousState& state);
+
+ private:
+  ClusterStateOptions options_;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_FLEET_CLUSTER_STATE_H_

@@ -1,0 +1,76 @@
+#include "src/fleet/growth_model.h"
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace rpcscope {
+
+void GrowthModel::GenerateInto(MetricRegistry& registry) const {
+  Rng rng(options_.seed);
+  Counter& rpcs = registry.GetCounter("fleet/rpcs");
+  Counter& cycles = registry.GetCounter("fleet/cpu_cycles");
+
+  const double window_seconds = ToSeconds(options_.sample_window);
+  const int64_t windows =
+      options_.days * (kDay / options_.sample_window);
+  const double ln_rps_growth = std::log(options_.rps_annual_growth) / 365.0;
+  const double ln_ratio_growth = std::log(options_.rps_per_cpu_annual_growth) / 365.0;
+
+  for (int64_t w = 0; w <= windows; ++w) {
+    const SimTime now = w * options_.sample_window;
+    const double day = ToSeconds(now) / 86400.0;
+    // Traffic: exponential growth with diurnal and weekly seasonality.
+    const double diurnal =
+        1.0 + options_.diurnal_amplitude * std::sin(2 * M_PI * day);
+    const double weekly =
+        1.0 + options_.weekly_amplitude * std::sin(2 * M_PI * day / 7.0);
+    const double noise = std::exp(options_.noise_sigma * rng.NextGaussian());
+    const double rps =
+        options_.base_rps * std::exp(ln_rps_growth * day) * diurnal * weekly * noise;
+    // Cycles per RPC decline so that RPS/CPU grows at the calibrated rate.
+    const double cycles_per_rpc =
+        options_.base_cycles_per_rpc * std::exp(-ln_ratio_growth * day) *
+        std::exp(options_.noise_sigma * rng.NextGaussian());
+    rpcs.Increment(rps * window_seconds);
+    cycles.Increment(rps * window_seconds * cycles_per_rpc);
+    registry.SampleAll(now);
+  }
+}
+
+std::vector<double> GrowthModel::NormalizedDailyRatio(const MetricRegistry& registry, int days) {
+  const TimeSeries* rpcs = registry.Series("fleet/rpcs");
+  const TimeSeries* cycles = registry.Series("fleet/cpu_cycles");
+  std::vector<double> out;
+  if (rpcs == nullptr || cycles == nullptr) {
+    return out;
+  }
+  double first = 0;
+  for (int d = 0; d < days; ++d) {
+    const SimTime begin = Days(d);
+    const SimTime end = Days(d + 1);
+    const auto rpc_rate = rpcs->RatePerSecond(begin, end);
+    const auto cycle_rate = cycles->RatePerSecond(begin, end);
+    if (rpc_rate.empty() || cycle_rate.empty()) {
+      continue;
+    }
+    double rpc_sum = 0, cycle_sum = 0;
+    for (const TimePoint& p : rpc_rate) {
+      rpc_sum += p.value;
+    }
+    for (const TimePoint& p : cycle_rate) {
+      cycle_sum += p.value;
+    }
+    if (cycle_sum <= 0) {
+      continue;
+    }
+    const double ratio = rpc_sum / cycle_sum;
+    if (out.empty()) {
+      first = ratio;
+    }
+    out.push_back(ratio / first);
+  }
+  return out;
+}
+
+}  // namespace rpcscope

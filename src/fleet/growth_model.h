@@ -1,0 +1,53 @@
+// GrowthModel: the 700-day fleet RPC/CPU growth trend behind Fig. 1.
+//
+// Generates Monarch-style 30-minute counter samples for fleet RPC count and
+// fleet CPU cycles over the measurement window. Two real trends drive the
+// ratio: per-RPC stack cycles shrink as the stack gets optimized, and
+// microservice adoption shifts work toward more, cheaper RPCs. The combined
+// effect is calibrated to the paper's ~30%/year (+64% over 700 days) growth
+// in RPS per CPU cycle.
+#ifndef RPCSCOPE_SRC_FLEET_GROWTH_MODEL_H_
+#define RPCSCOPE_SRC_FLEET_GROWTH_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/monitor/metrics.h"
+
+namespace rpcscope {
+
+struct GrowthModelOptions {
+  int days = 700;
+  SimDuration sample_window = Minutes(30);
+  double base_rps = 1.0e9;                 // Fleet RPCs per second on day 0.
+  double base_cycles_per_rpc = 1.0e6;      // Including application cycles.
+  double rps_annual_growth = 1.45;         // Raw traffic growth.
+  double rps_per_cpu_annual_growth = 1.30; // The paper's headline ratio trend.
+  double weekly_amplitude = 0.08;          // Weekday/weekend swing.
+  double diurnal_amplitude = 0.15;
+  double noise_sigma = 0.02;
+  uint64_t seed = 1701;
+};
+
+class GrowthModel {
+ public:
+  explicit GrowthModel(const GrowthModelOptions& options) : options_(options) {}
+
+  // Streams 30-minute samples of the cumulative counters "fleet/rpcs" and
+  // "fleet/cpu_cycles" into the registry.
+  void GenerateInto(MetricRegistry& registry) const;
+
+  // Daily RPS-per-CPU-cycle ratio, normalized to day 0 (the Fig. 1 series),
+  // computed from the registry's sampled counters.
+  static std::vector<double> NormalizedDailyRatio(const MetricRegistry& registry, int days);
+
+  const GrowthModelOptions& options() const { return options_; }
+
+ private:
+  GrowthModelOptions options_;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_FLEET_GROWTH_MODEL_H_

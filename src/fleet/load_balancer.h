@@ -1,0 +1,68 @@
+// Load-balancing model (§4.3, Fig. 22).
+//
+// Inter-cluster: the fleet's balancer is latency-aware — demand originating
+// in a metro is routed to the nearest cluster running the service, with CPU
+// balance NOT an objective — so per-cluster CPU usage/limit ratios end up
+// widely imbalanced. Intra-cluster: stateless services spread load nearly
+// evenly across machines (power-of-two-choices); data-dependent services
+// (Spanner, F1, ML Inference) route by key affinity over a Zipf-skewed key
+// population, leaving some machines near their limit.
+#ifndef RPCSCOPE_SRC_FLEET_LOAD_BALANCER_H_
+#define RPCSCOPE_SRC_FLEET_LOAD_BALANCER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fleet/service_catalog.h"
+#include "src/net/topology.h"
+
+namespace rpcscope {
+
+// Intra-cluster request-to-machine routing policy.
+enum class IntraClusterPolicy {
+  kPowerOfTwoChoices,  // Stateless services: join the less-loaded of two.
+  kRandom,             // Naive uniform random choice.
+  kKeyAffinity,        // Data-dependent: route by key over a Zipf population.
+};
+
+struct LoadBalanceStudyOptions {
+  uint64_t seed = 4242;
+  int clusters_with_service = 24;   // Deployment footprint.
+  int machines_per_cluster = 48;
+  int64_t demand_units = 2000000;   // Total RPC demand routed.
+  double capacity_headroom = 1.6;   // Provisioned capacity vs mean demand.
+  IntraClusterPolicy policy = IntraClusterPolicy::kPowerOfTwoChoices;
+  bool data_dependent = false;      // Shorthand: forces kKeyAffinity.
+  double key_zipf_exponent = 1.05;  // Skew of the key population.
+  int num_keys = 4096;
+};
+
+struct LoadBalanceResult {
+  // CPU usage as a fraction of the allocated limit, capped at 1 (the Fig. 22
+  // CDFs plot usage/limit).
+  std::vector<double> cluster_usage;
+  std::vector<double> machine_usage;  // Machines of all clusters, pooled.
+  // Uncapped demand/limit ratios, for measuring skew past saturation.
+  std::vector<double> cluster_usage_raw;
+  std::vector<double> machine_usage_raw;
+  // Machine usage of the median-loaded cluster (the paper's dashed lines
+  // plot machines within one cluster).
+  std::vector<double> median_cluster_machine_usage;
+};
+
+class LoadBalanceStudy {
+ public:
+  LoadBalanceStudy(const Topology* topology, const LoadBalanceStudyOptions& options);
+
+  LoadBalanceResult Run();
+
+ private:
+  const Topology* topology_;
+  LoadBalanceStudyOptions options_;
+  Rng rng_;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_FLEET_LOAD_BALANCER_H_

@@ -1,0 +1,257 @@
+#include "src/fleet/mini_fleet.h"
+
+#include <cmath>
+
+#include "src/fleet/workload.h"
+
+namespace rpcscope {
+
+namespace {
+
+constexpr MethodId kServe = 1;
+
+// One deployed service: a couple of replicas plus a co-located client for
+// issuing child RPCs from handlers.
+struct Deployment {
+  int32_t service_id = -1;
+  std::vector<MachineId> machines;
+  std::vector<std::unique_ptr<Server>> servers;
+  std::shared_ptr<Client> client;  // Bound to machines[0].
+  std::shared_ptr<Rng> rng;
+
+  MachineId Pick(Rng& chooser) const {
+    return machines[chooser.NextBounded(machines.size())];
+  }
+};
+
+}  // namespace
+
+MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptions& options) {
+  RpcSystemOptions sys_opts;
+  sys_opts.seed = options.seed;
+  sys_opts.fabric.congestion_probability = 0.01;
+  RpcSystem system(sys_opts);
+  const Topology& topo = system.topology();
+  const StudiedServices& ids = catalog.studied();
+
+  Rng placement(options.seed ^ 0x111);
+  int next_machine = 0;
+  auto deploy = [&](int32_t service_id, int replicas, int app_workers) {
+    auto d = std::make_unique<Deployment>();
+    d->service_id = service_id;
+    d->rng = std::make_shared<Rng>(placement.Fork(static_cast<uint64_t>(service_id)));
+    ServerOptions server_opts;
+    server_opts.app_workers = app_workers;
+    for (int r = 0; r < replicas; ++r) {
+      const MachineId m = topo.MachineAt(0, next_machine++);
+      d->machines.push_back(m);
+      d->servers.push_back(std::make_unique<Server>(&system, m, server_opts));
+    }
+    d->client = std::make_shared<Client>(&system, d->machines[0]);
+    return d;
+  };
+
+  // --- Deploy the Table-1 services bottom-up.
+  auto network_disk = deploy(ids.network_disk, 3, 8);
+  auto bigtable = deploy(ids.bigtable, 2, 8);
+  auto kv_store = deploy(ids.kv_store, 2, 8);
+  auto ssd_cache = deploy(ids.ssd_cache, 2, 4);
+  auto bigquery = deploy(ids.bigquery, 2, 8);
+  auto video_metadata = deploy(ids.video_metadata, 2, 4);
+  auto spanner = deploy(ids.spanner, 2, 8);
+  auto f1 = deploy(ids.f1, 2, 8);
+  auto ml = deploy(ids.ml_inference, 2, 8);
+
+  // Helper: issue a child call linked to the parent span.
+  auto child_call = [](Deployment& target, std::shared_ptr<ServerCall> parent,
+                       int64_t request_bytes, CallCallback done) {
+    CallOptions opts;
+    opts.trace_id = parent->trace_id();
+    opts.parent_span_id = parent->span_id();
+    opts.service_id = target.service_id;
+    const MachineId machine = target.Pick(*target.rng);
+    target.client->Call(machine, kServe, Payload::Modeled(request_bytes), opts,
+                        std::move(done));
+  };
+
+  // --- Handlers wire the Table-1 dependency edges.
+  // Network Disk: leaf SSD read, 32 KB responses.
+  for (auto& server : network_disk->servers) {
+    server->RegisterMethod(kServe, "NetworkDisk/Read",
+                           [d = network_disk.get()](std::shared_ptr<ServerCall> call) {
+                             const double us = d->rng->NextLognormal(std::log(900.0), 0.6);
+                             call->Compute(DurationFromMicros(us), [call]() {
+                               call->Finish(Status::Ok(), Payload::Modeled(32 * 1024, 1.0));
+                             });
+                           });
+  }
+  // Bigtable: tablet lookup; ~45% of lookups miss the memtable and read disk.
+  for (auto& server : bigtable->servers) {
+    server->RegisterMethod(
+        kServe, "Bigtable/Search",
+        [d = bigtable.get(), nd = network_disk.get(),
+         &child_call](std::shared_ptr<ServerCall> call) {
+          const double us = d->rng->NextLognormal(std::log(350.0), 0.6);
+          call->Compute(DurationFromMicros(us), [d, nd, &child_call, call]() {
+            if (d->rng->NextBool(0.45)) {
+              child_call(*nd, call, 512, [call](const CallResult&, Payload) {
+                call->Finish(Status::Ok(), Payload::Modeled(2048));
+              });
+            } else {
+              call->Finish(Status::Ok(), Payload::Modeled(2048));
+            }
+          });
+        });
+  }
+  // KV-Store: in-memory with a ~20% backing-store miss to Bigtable.
+  for (auto& server : kv_store->servers) {
+    server->RegisterMethod(
+        kServe, "KVStore/Search",
+        [d = kv_store.get(), bt = bigtable.get(),
+         &child_call](std::shared_ptr<ServerCall> call) {
+          const double us = d->rng->NextLognormal(std::log(25.0), 0.4);
+          call->Compute(DurationFromMicros(us), [d, bt, &child_call, call]() {
+            if (d->rng->NextBool(0.20)) {
+              child_call(*bt, call, 1024, [call](const CallResult&, Payload) {
+                call->Finish(Status::Ok(), Payload::Modeled(512));
+              });
+            } else {
+              call->Finish(Status::Ok(), Payload::Modeled(512));
+            }
+          });
+        });
+  }
+  // SSD cache: leaf streaming-data lookup.
+  for (auto& server : ssd_cache->servers) {
+    server->RegisterMethod(kServe, "SSDCache/Lookup",
+                           [d = ssd_cache.get()](std::shared_ptr<ServerCall> call) {
+                             const double us = d->rng->NextLognormal(std::log(260.0), 0.55);
+                             call->Compute(DurationFromMicros(us), [call]() {
+                               call->Finish(Status::Ok(), Payload::Modeled(1024));
+                             });
+                           });
+  }
+  // BigQuery: partition/aggregate — 4 parallel SSD-cache lookups + compute.
+  for (auto& server : bigquery->servers) {
+    server->RegisterMethod(
+        kServe, "BigQuery/Query",
+        [d = bigquery.get(), sc = ssd_cache.get(),
+         &child_call](std::shared_ptr<ServerCall> call) {
+          auto pending = std::make_shared<int>(4);
+          for (int i = 0; i < 4; ++i) {
+            child_call(*sc, call, 400, [d, call, pending](const CallResult&, Payload) {
+              if (--*pending == 0) {
+                const double us = d->rng->NextLognormal(std::log(2000.0), 1.0);
+                call->Compute(DurationFromMicros(us), [call]() {
+                  call->Finish(Status::Ok(), Payload::Modeled(64 * 1024));
+                });
+              }
+            });
+          }
+        });
+  }
+  // Video Metadata: leaf.
+  for (auto& server : video_metadata->servers) {
+    server->RegisterMethod(kServe, "VideoMetadata/Get",
+                           [d = video_metadata.get()](std::shared_ptr<ServerCall> call) {
+                             const double us = d->rng->NextLognormal(std::log(120.0), 0.6);
+                             call->Compute(DurationFromMicros(us), [call]() {
+                               call->Finish(Status::Ok(), Payload::Modeled(4096));
+                             });
+                           });
+  }
+  // Spanner: row read, occasionally consulting Bigtable-backed storage.
+  for (auto& server : spanner->servers) {
+    server->RegisterMethod(
+        kServe, "Spanner/Read",
+        [d = spanner.get(), nd = network_disk.get(),
+         &child_call](std::shared_ptr<ServerCall> call) {
+          const double us = d->rng->NextLognormal(std::log(380.0), 0.8);
+          call->Compute(DurationFromMicros(us), [d, nd, &child_call, call]() {
+            if (d->rng->NextBool(0.3)) {
+              child_call(*nd, call, 800, [call](const CallResult&, Payload) {
+                call->Finish(Status::Ok(), Payload::Modeled(4096));
+              });
+            } else {
+              call->Finish(Status::Ok(), Payload::Modeled(4096));
+            }
+          });
+        });
+  }
+  // F1: "Process data packet" — F1 calls F1 (Table 1's client for F1 is F1).
+  for (auto& server : f1->servers) {
+    server->RegisterMethod(
+        kServe, "F1/Process",
+        [d = f1.get(), sp = spanner.get(), &child_call](std::shared_ptr<ServerCall> call) {
+          const double us = d->rng->NextLognormal(std::log(700.0), 1.2);
+          call->Compute(DurationFromMicros(us), [d, sp, &child_call, call]() {
+            if (d->rng->NextBool(0.5)) {
+              child_call(*sp, call, 800, [call](const CallResult&, Payload) {
+                call->Finish(Status::Ok(), Payload::Modeled(8192));
+              });
+            } else {
+              call->Finish(Status::Ok(), Payload::Modeled(8192));
+            }
+          });
+        });
+  }
+  // ML Inference: compute-bound leaf.
+  for (auto& server : ml->servers) {
+    server->RegisterMethod(kServe, "ML/Infer",
+                           [d = ml.get()](std::shared_ptr<ServerCall> call) {
+                             const double us = d->rng->NextLognormal(std::log(1800.0), 0.8);
+                             call->Compute(DurationFromMicros(us), [call]() {
+                               call->Finish(Status::Ok(), Payload::Modeled(2048));
+                             });
+                           });
+  }
+
+  // --- Frontends: each entry point drives its Table-1 server.
+  struct Frontend {
+    Deployment* target;
+    int64_t request_bytes;
+  };
+  std::vector<Frontend> frontends = {
+      {kv_store.get(), 128},        // Recommendation service -> KV-Store.
+      {bigquery.get(), 2048},       // Analyst queries -> BigQuery.
+      {video_metadata.get(), 32 * 1024},  // Video Search -> Video Metadata.
+      {f1.get(), 75},               // F1 -> F1.
+      {ml.get(), 512},              // ML Client -> ML Inference.
+      {spanner.get(), 800},         // Network information service -> Spanner.
+  };
+  std::vector<std::unique_ptr<Client>> frontend_clients;
+  std::vector<std::unique_ptr<PoissonArrivals>> arrivals;
+  Rng workload(options.seed ^ 0x222);
+  uint64_t root_calls = 0;
+  for (size_t i = 0; i < frontends.size(); ++i) {
+    frontend_clients.push_back(std::make_unique<Client>(
+        &system, topo.MachineAt(1, static_cast<int>(i))));
+    Client* client = frontend_clients.back().get();
+    Frontend& fe = frontends[i];
+    auto chooser = std::make_shared<Rng>(workload.Fork(i));
+    arrivals.push_back(std::make_unique<PoissonArrivals>(
+        &system.sim(), options.frontend_rps, options.duration, workload.NextUint64(),
+        [client, &fe, chooser, &root_calls]() {
+          ++root_calls;
+          CallOptions opts;
+          opts.service_id = fe.target->service_id;
+          client->Call(fe.target->Pick(*chooser), kServe,
+                       Payload::Modeled(fe.request_bytes), opts,
+                       [](const CallResult&, Payload) {});
+        }));
+  }
+
+  system.sim().Run();
+
+  MiniFleetResult result;
+  result.root_calls = root_calls;
+  for (const Span& span : system.tracer().spans()) {
+    if (span.start_time >= options.warmup) {
+      result.spans.push_back(span);
+      ++result.spans_per_service[span.service_id];
+    }
+  }
+  return result;
+}
+
+}  // namespace rpcscope

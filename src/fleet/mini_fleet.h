@@ -1,0 +1,45 @@
+// MiniFleet: the Table-1 service graph, live.
+//
+// Table 1 names each studied service's *client*: Recommendation calls
+// KV-Store, KV-Store's data comes from Bigtable, Bigtable reads Network Disk,
+// BigQuery looks up the SSD cache, Video Search fetches Video Metadata. This
+// module deploys those services as real DES servers with handlers that call
+// their Table-1 dependencies, drives the frontends with open-loop load, and
+// returns the full nested traces — a running miniature of the fleet the paper
+// measured, rather than eight isolated studies.
+#ifndef RPCSCOPE_SRC_FLEET_MINI_FLEET_H_
+#define RPCSCOPE_SRC_FLEET_MINI_FLEET_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fleet/service_catalog.h"
+#include "src/rpc/client.h"
+#include "src/rpc/server.h"
+
+namespace rpcscope {
+
+struct MiniFleetOptions {
+  SimDuration duration = Seconds(4);
+  SimDuration warmup = Millis(500);
+  // Root request rate driven into each frontend entry point.
+  double frontend_rps = 600;
+  uint64_t seed = 0xf1ee7;
+};
+
+struct MiniFleetResult {
+  std::vector<Span> spans;  // All spans (every tier), post-warmup.
+  uint64_t root_calls = 0;
+  // Spans per service id, for mix sanity checks.
+  std::map<int32_t, int64_t> spans_per_service;
+};
+
+// Deploys the graph, runs it, and collects traces. `catalog` supplies service
+// ids and names (BuildDefault()).
+MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptions& options);
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_FLEET_MINI_FLEET_H_

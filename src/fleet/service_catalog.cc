@@ -1,0 +1,159 @@
+#include "src/fleet/service_catalog.h"
+
+#include <algorithm>
+
+namespace rpcscope {
+
+namespace {
+
+ServiceSpec Make(std::string name, ServiceCategory category, int tier, double call_share,
+                 double cycles_scale, double req_bytes, double resp_bytes, double latency_band) {
+  ServiceSpec s;
+  s.name = std::move(name);
+  s.category = category;
+  s.tier = tier;
+  s.call_share = call_share;
+  s.cycles_per_call_scale = cycles_scale;
+  s.typical_request_bytes = req_bytes;
+  s.typical_response_bytes = resp_bytes;
+  s.latency_band = latency_band;
+  return s;
+}
+
+}  // namespace
+
+ServiceCatalog ServiceCatalog::BuildDefault() {
+  ServiceCatalog catalog;
+  auto& services = catalog.services_;
+  auto add = [&services](ServiceSpec s) {
+    s.service_id = static_cast<int32_t>(services.size());
+    services.push_back(std::move(s));
+    return services.back().service_id;
+  };
+
+  // --- The eight studied services (Table 1) plus BigQuery (Fig. 15). ---
+  // Network Disk: the most popular service — 35% of all RPCs, the most bytes,
+  // yet disproportionately few cycles (<2%).
+  {
+    ServiceSpec s = Make("Network Disk", ServiceCategory::kAppHeavy, 3, 0.35, 0.03,
+                         32 * 1024, 2048, 0.05);
+    s.studied = true;
+    s.table1_client = "Bigtable";
+    s.table1_rpc_size = "32 kB";
+    s.table1_description = "Read from SSD";
+    catalog.studied_.network_disk = add(std::move(s));
+  }
+  {
+    ServiceSpec s = Make("Spanner", ServiceCategory::kAppHeavy, 3, 0.07, 0.8, 800, 4096, 0.25);
+    s.studied = true;
+    s.table1_client = "Network information service";
+    s.table1_rpc_size = "800 B";
+    s.table1_description = "Read rows";
+    catalog.studied_.spanner = add(std::move(s));
+  }
+  {
+    ServiceSpec s =
+        Make("KV-Store", ServiceCategory::kStackHeavy, 3, 0.06, 0.12, 128, 512, 0.02);
+    s.studied = true;
+    s.table1_client = "Recommendation service";
+    s.table1_rpc_size = "128 B";
+    s.table1_description = "Search value";
+    catalog.studied_.kv_store = add(std::move(s));
+  }
+  {
+    ServiceSpec s = Make("F1", ServiceCategory::kAppHeavy, 2, 0.018, 0.55, 75, 8192, 0.75);
+    s.studied = true;
+    s.table1_client = "F1";
+    s.table1_rpc_size = "75 B";
+    s.table1_description = "Process data packet";
+    catalog.studied_.f1 = add(std::move(s));
+  }
+  {
+    ServiceSpec s = Make("Bigtable", ServiceCategory::kAppHeavy, 3, 0.05, 0.5, 1024, 2048, 0.2);
+    s.studied = true;
+    s.table1_client = "KV-Store";
+    s.table1_rpc_size = "1 kB";
+    s.table1_description = "Search value";
+    catalog.studied_.bigtable = add(std::move(s));
+  }
+  {
+    ServiceSpec s =
+        Make("SSD cache", ServiceCategory::kQueueHeavy, 3, 0.025, 0.35, 400, 1024, 0.15);
+    s.studied = true;
+    s.table1_client = "BigQuery";
+    s.table1_rpc_size = "400 B";
+    s.table1_description = "Look up streaming data";
+    catalog.studied_.ssd_cache = add(std::move(s));
+  }
+  {
+    ServiceSpec s = Make("Video Metadata", ServiceCategory::kQueueHeavy, 2, 0.02, 0.7,
+                         32 * 1024, 4096, 0.35);
+    s.studied = true;
+    s.table1_client = "Video Search";
+    s.table1_rpc_size = "32 kB";
+    s.table1_description = "Get metadata";
+    catalog.studied_.video_metadata = add(std::move(s));
+  }
+  {
+    ServiceSpec s =
+        Make("ML Inference", ServiceCategory::kAppHeavy, 2, 0.0017, 2.6, 512, 2048, 0.85);
+    s.studied = true;
+    s.table1_client = "ML Client";
+    s.table1_rpc_size = "512 B";
+    s.table1_description = "Perform inference";
+    catalog.studied_.ml_inference = add(std::move(s));
+  }
+  catalog.studied_.bigquery = add(
+      Make("BigQuery", ServiceCategory::kAppHeavy, 2, 0.025, 1.6, 2048, 64 * 1024, 0.8));
+
+  // --- Supporting population (shares normalized below). ---
+  add(Make("Web Search", ServiceCategory::kMixed, 0, 0.040, 1.2, 512, 16 * 1024, 0.45));
+  add(Make("Video Search", ServiceCategory::kMixed, 0, 0.010, 1.2, 512, 16 * 1024, 0.5));
+  add(Make("Mail Backend", ServiceCategory::kMixed, 0, 0.030, 1.0, 2048, 8192, 0.5));
+  add(Make("Ads Serving", ServiceCategory::kMixed, 1, 0.040, 1.0, 1024, 4096, 0.4));
+  add(Make("Analytics Pipeline", ServiceCategory::kAppHeavy, 2, 0.020, 2.5, 4096, 1024, 0.9));
+  add(Make("Lock Service", ServiceCategory::kMixed, 3, 0.015, 0.10, 128, 128, 0.1));
+  add(Make("Cluster FS Metadata", ServiceCategory::kMixed, 3, 0.030, 0.2, 256, 512, 0.12));
+  add(Make("Monitoring", ServiceCategory::kMixed, 1, 0.035, 0.5, 2048, 512, 0.3));
+  add(Make("Recommendation", ServiceCategory::kMixed, 1, 0.030, 1.3, 512, 4096, 0.55));
+  add(Make("Auth", ServiceCategory::kMixed, 1, 0.030, 0.3, 256, 256, 0.15));
+  add(Make("Data Transfer", ServiceCategory::kMixed, 2, 0.020, 0.8, 64 * 1024, 512, 0.6));
+  add(Make("Translation", ServiceCategory::kMixed, 1, 0.020, 2.0, 1024, 2048, 0.6));
+  add(Make("Photos Backend", ServiceCategory::kMixed, 0, 0.020, 0.8, 4096, 32 * 1024, 0.55));
+  add(Make("Docs Backend", ServiceCategory::kMixed, 0, 0.020, 0.8, 2048, 8192, 0.5));
+  add(Make("Search Indexing", ServiceCategory::kAppHeavy, 2, 0.020, 2.0, 8192, 1024, 0.85));
+  add(Make("Pub/Sub", ServiceCategory::kMixed, 2, 0.030, 0.4, 2048, 256, 0.3));
+  add(Make("Maps Tiles", ServiceCategory::kMixed, 1, 0.025, 0.7, 512, 24 * 1024, 0.45));
+  add(Make("Batch Scheduler", ServiceCategory::kMixed, 2, 0.010, 1.5, 1024, 1024, 0.7));
+
+  // Normalize: the studied services keep their paper-anchored shares
+  // (Network Disk must stay at 35% of calls); the supporting population is
+  // scaled to absorb exactly the remainder.
+  double studied_total = 0;
+  double population_total = 0;
+  for (const ServiceSpec& s : services) {
+    (s.studied || s.name == "BigQuery" ? studied_total : population_total) += s.call_share;
+  }
+  const double scale = (1.0 - studied_total) / population_total;
+  for (ServiceSpec& s : services) {
+    if (!s.studied && s.name != "BigQuery") {
+      s.call_share *= scale;
+    }
+  }
+  return catalog;
+}
+
+std::vector<int32_t> ServiceCatalog::TopByCallShare(size_t n) const {
+  std::vector<int32_t> ids(services_.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<int32_t>(i);
+  }
+  std::sort(ids.begin(), ids.end(), [this](int32_t a, int32_t b) {
+    return services_[static_cast<size_t>(a)].call_share >
+           services_[static_cast<size_t>(b)].call_share;
+  });
+  ids.resize(std::min(n, ids.size()));
+  return ids;
+}
+
+}  // namespace rpcscope

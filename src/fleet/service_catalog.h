@@ -1,0 +1,84 @@
+// ServiceCatalog: the population of first-party services the fleet runs.
+//
+// Contains the paper's eight studied services (Table 1) with their documented
+// client/size/method metadata and workload category (application-heavy,
+// queue-heavy, or stack-heavy, per §3.3.1), plus a broader population of
+// supporting services so that fleet-wide mixes (Fig. 8) have realistic
+// diversity. Call shares, relative cycles per call, and bytes per call are
+// calibrated to Fig. 8's anchors (Network Disk 35% of calls yet <2% of
+// cycles; ML Inference 0.17% of calls yet 0.89% of cycles; F1 1.8%/1.8%).
+#ifndef RPCSCOPE_SRC_FLEET_SERVICE_CATALOG_H_
+#define RPCSCOPE_SRC_FLEET_SERVICE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rpcscope {
+
+// Dominant-bottleneck category (§3.3.1).
+enum class ServiceCategory : int32_t {
+  kAppHeavy = 0,    // Bigtable, Network Disk, F1, ML Inference, Spanner.
+  kQueueHeavy = 1,  // SSD cache, Video Metadata.
+  kStackHeavy = 2,  // KV-Store.
+  kMixed = 3,       // Population services without a single dominant stage.
+};
+
+struct ServiceSpec {
+  int32_t service_id = -1;
+  std::string name;
+  ServiceCategory category = ServiceCategory::kMixed;
+  // Call-tree tier: 0 = user-facing frontend, 3 = deepest storage substrate.
+  int tier = 1;
+  // Target fraction of all fleet RPC invocations (normalized at build time).
+  double call_share = 0;
+  // Relative CPU cycles per call (1.0 = fleet-typical); drives Fig. 8c.
+  double cycles_per_call_scale = 1.0;
+  // Typical request payload bytes (median); drives Fig. 8b with call share.
+  double typical_request_bytes = 1024;
+  double typical_response_bytes = 1024;
+  // Latency-band bias: typical method-latency quantile u in [0,1] for this
+  // service's methods (0 = fastest band). Methods scatter around it.
+  double latency_band = 0.5;
+
+  // Table 1 metadata (only for the eight studied services).
+  bool studied = false;
+  std::string table1_client;       // e.g. "KV-Store" for Bigtable.
+  std::string table1_rpc_size;     // e.g. "1 kB".
+  std::string table1_description;  // e.g. "Search value".
+};
+
+// Well-known ids for the studied services (indices into the catalog).
+struct StudiedServices {
+  int32_t bigtable = -1;
+  int32_t network_disk = -1;
+  int32_t ssd_cache = -1;
+  int32_t video_metadata = -1;
+  int32_t spanner = -1;
+  int32_t f1 = -1;
+  int32_t ml_inference = -1;
+  int32_t kv_store = -1;
+  int32_t bigquery = -1;  // Studied in Fig. 15 but not Table 1's eight.
+};
+
+class ServiceCatalog {
+ public:
+  // Builds the default fleet population (call shares normalized to 1).
+  static ServiceCatalog BuildDefault();
+
+  const std::vector<ServiceSpec>& services() const { return services_; }
+  const ServiceSpec& service(int32_t id) const { return services_[static_cast<size_t>(id)]; }
+  int32_t size() const { return static_cast<int32_t>(services_.size()); }
+  const StudiedServices& studied() const { return studied_; }
+
+  // Eight most-popular services by call share (Fig. 8 uses "top 8").
+  std::vector<int32_t> TopByCallShare(size_t n) const;
+
+ private:
+  std::vector<ServiceSpec> services_;
+  StudiedServices studied_;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_FLEET_SERVICE_CATALOG_H_

@@ -1,0 +1,93 @@
+// ServiceStudy: discrete-event experiments on individual services (§3.3).
+//
+// Unlike the model-driven fleet sampler, these experiments run real client
+// and server endpoints through the full RPC stack over the simulated fabric:
+// queueing emerges from worker occupancy under open-loop Poisson load,
+// proc+stack time from the cycle cost model, and wire time from the
+// topology. The eight studied services (Table 1) have presets that land them
+// in the paper's three bottleneck categories; exogenous knobs (application
+// slowdown, scheduler wake-up latency) plug in the cluster-state model for
+// the Figs. 16–18 sweeps, and placing clients in a remote cluster reproduces
+// the Fig. 19 cross-cluster staircase.
+#ifndef RPCSCOPE_SRC_FLEET_SERVICE_STUDY_H_
+#define RPCSCOPE_SRC_FLEET_SERVICE_STUDY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fleet/service_catalog.h"
+#include "src/rpc/rpc_system.h"
+#include "src/trace/span.h"
+
+namespace rpcscope {
+
+struct ServiceStudyConfig {
+  int32_t service_id = -1;
+  std::string service_name;
+  ServiceCategory category = ServiceCategory::kMixed;
+
+  // Handler compute model (mixture of a fast path and a lognormal body).
+  double app_median_us = 500;
+  double app_sigma = 0.8;
+  double fast_weight = 0.04;
+  double fast_median_us = 80;
+
+  // Payload sizes (Table 1).
+  int64_t request_bytes = 1024;
+  int64_t response_bytes = 1024;
+
+  // Deployment and load.
+  int num_servers = 4;
+  int app_workers = 8;
+  int io_workers = 2;
+  int num_clients = 8;
+  int client_rx_workers = 2;
+  double client_rx_overhead_us = 0;  // Per-response client-side handling.
+  double target_utilization = 0.55;
+
+  // Stack-cost multiplier for this service's channel configuration (a
+  // latency-sensitive service running the full auth/validation stack pays
+  // more per message than a bulk pipe).
+  double cost_scale = 1.0;
+
+  bool hedged = false;
+  double hedge_delay_multiplier = 4.0;  // x app median.
+  double error_prob = 0.004;
+
+  SimDuration duration = Seconds(8);
+  SimDuration warmup = Seconds(1);
+  uint64_t seed = 12345;
+};
+
+// Per-run environment: which cluster serves, exogenous state knobs, and where
+// the clients sit (defaults to the serving cluster).
+struct ServiceStudyRun {
+  ClusterId server_cluster = 0;
+  ClusterId client_cluster = -1;  // -1 => same as server_cluster.
+  double app_slowdown = 1.0;
+  SimDuration wakeup_latency = 0;
+  uint64_t seed_salt = 0;
+};
+
+struct ServiceStudyResult {
+  std::vector<Span> spans;  // Post-warmup spans, client-observed.
+  double server_app_utilization = 0;
+  uint64_t calls_issued = 0;
+  double wasted_cycles = 0;
+};
+
+// Preset configs for the studied services (Table 1 + §3.3.1 categories).
+ServiceStudyConfig MakeStudyConfig(const ServiceCatalog& catalog, int32_t service_id);
+
+// All eight Table-1 services in the paper's figure order:
+// Bigtable, Network Disk, F1, SSD cache, KV-Store, ML Inference, Spanner,
+// Video Metadata.
+std::vector<ServiceStudyConfig> MakeAllStudyConfigs(const ServiceCatalog& catalog);
+
+ServiceStudyResult RunServiceStudy(const ServiceStudyConfig& config,
+                                   const ServiceStudyRun& run);
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_FLEET_SERVICE_STUDY_H_

@@ -1,0 +1,38 @@
+#include "src/fleet/workload.h"
+
+#include <cassert>
+
+namespace rpcscope {
+
+PoissonArrivals::PoissonArrivals(Simulator* sim, double rate_per_second, SimTime until,
+                                 uint64_t seed, Arrival on_arrival)
+    : sim_(sim),
+      mean_gap_us_(1e6 / rate_per_second),
+      until_(until),
+      rng_(seed),
+      on_arrival_(std::move(on_arrival)) {
+  assert(sim != nullptr);
+  assert(rate_per_second > 0);
+  ScheduleNext();
+}
+
+void PoissonArrivals::ScheduleNext() {
+  const SimDuration gap = DurationFromMicros(rng_.NextExponential(mean_gap_us_));
+  sim_->Schedule(gap, [this]() {
+    if (sim_->Now() >= until_) {
+      return;
+    }
+    ++arrivals_;
+    on_arrival_();
+    ScheduleNext();
+  });
+}
+
+double ArrivalRateForUtilization(double utilization, int workers, SimDuration mean_service) {
+  assert(utilization > 0);
+  assert(workers > 0);
+  assert(mean_service > 0);
+  return utilization * workers / ToSeconds(mean_service);
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,51 @@
+// Open-loop workload generation.
+//
+// Hyperscale services see open-loop arrivals: clients do not slow down when
+// the server queues (which is exactly why utilization drives the queueing
+// tails of §3.3). PoissonArrivals schedules an exponential-gap arrival
+// process on the simulator until a stop time; ArrivalRateForUtilization
+// derives the rate that loads a worker pool to a target utilization.
+#ifndef RPCSCOPE_SRC_FLEET_WORKLOAD_H_
+#define RPCSCOPE_SRC_FLEET_WORKLOAD_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+
+namespace rpcscope {
+
+class PoissonArrivals {
+ public:
+  using Arrival = std::function<void()>;
+
+  // Schedules `on_arrival` with exponential inter-arrival gaps of mean
+  // 1/rate_per_second, starting now and stopping at `until` (virtual time).
+  // The object must outlive the simulation run.
+  PoissonArrivals(Simulator* sim, double rate_per_second, SimTime until, uint64_t seed,
+                  Arrival on_arrival);
+
+  PoissonArrivals(const PoissonArrivals&) = delete;
+  PoissonArrivals& operator=(const PoissonArrivals&) = delete;
+
+  int64_t arrivals() const { return arrivals_; }
+
+ private:
+  void ScheduleNext();
+
+  Simulator* sim_;
+  double mean_gap_us_;
+  SimTime until_;
+  Rng rng_;
+  Arrival on_arrival_;
+  int64_t arrivals_ = 0;
+};
+
+// Arrival rate (per second) that drives `workers` servers, each with mean
+// service time `mean_service`, to `utilization` (0..1).
+double ArrivalRateForUtilization(double utilization, int workers, SimDuration mean_service);
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_FLEET_WORKLOAD_H_

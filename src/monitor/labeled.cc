@@ -1,0 +1,56 @@
+#include "src/monitor/labeled.h"
+
+namespace rpcscope {
+
+Counter& LabeledCounter::WithLabel(const std::string& label) {
+  auto& slot = streams_[label];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+double LabeledCounter::Total() const {
+  double total = 0;
+  for (const auto& [label, counter] : streams_) {
+    total += counter->value();
+  }
+  return total;
+}
+
+void LabeledDistribution::Record(const std::string& label, double value) {
+  auto& slot = streams_[label];
+  if (!slot) {
+    slot = std::make_unique<LogHistogram>(options_);
+  }
+  slot->Add(value);
+}
+
+const LogHistogram* LabeledDistribution::ForLabel(const std::string& label) const {
+  auto it = streams_.find(label);
+  return it == streams_.end() ? nullptr : it->second.get();
+}
+
+LogHistogram LabeledDistribution::Merged() const {
+  LogHistogram merged(options_);
+  for (const auto& [label, hist] : streams_) {
+    merged.Merge(*hist);
+  }
+  return merged;
+}
+
+void SampleLabeledCounter(const LabeledCounter& family, MetricRegistry& registry, SimTime now) {
+  for (const auto& [label, counter] : family.streams()) {
+    // Mirror the per-stream cumulative value into the registry so retention
+    // and rate queries apply uniformly.
+    registry.GetCounter(family.name() + "{" + label + "}").Increment(0);
+    Counter& mirror = registry.GetCounter(family.name() + "{" + label + "}");
+    const double delta = counter->value() - mirror.value();
+    if (delta > 0) {
+      mirror.Increment(delta);
+    }
+  }
+  registry.SampleAll(now);
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,66 @@
+// Dimensional metrics: Monarch's defining feature.
+//
+// A metric family ("rpc/server/latency") fans out into one stream per label
+// value ("cluster=aa", "method=Write"); queries either read one stream or
+// aggregate across all of them. This is what lets the paper slice the same
+// counters per-cluster (Figs. 16-18) and fleet-wide (Fig. 1) from one
+// instrumentation point.
+#ifndef RPCSCOPE_SRC_MONITOR_LABELED_H_
+#define RPCSCOPE_SRC_MONITOR_LABELED_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/common/histogram.h"
+#include "src/monitor/metrics.h"
+
+namespace rpcscope {
+
+// Counter family keyed by a label value.
+class LabeledCounter {
+ public:
+  explicit LabeledCounter(std::string name) : name_(std::move(name)) {}
+
+  Counter& WithLabel(const std::string& label);
+
+  // Sum of all streams' current values.
+  double Total() const;
+  const std::string& name() const { return name_; }
+  const std::map<std::string, std::unique_ptr<Counter>>& streams() const { return streams_; }
+
+ private:
+  std::string name_;
+  std::map<std::string, std::unique_ptr<Counter>> streams_;
+};
+
+// Distribution family keyed by a label value; supports cross-label merge.
+class LabeledDistribution {
+ public:
+  LabeledDistribution(std::string name, const LogHistogram::Options& options)
+      : name_(std::move(name)), options_(options) {}
+
+  void Record(const std::string& label, double value);
+
+  // Histogram for one label (nullptr if never recorded).
+  const LogHistogram* ForLabel(const std::string& label) const;
+
+  // Merged histogram across every label (the fleet-wide view).
+  LogHistogram Merged() const;
+
+  const std::string& name() const { return name_; }
+  size_t num_streams() const { return streams_.size(); }
+
+ private:
+  std::string name_;
+  LogHistogram::Options options_;
+  std::map<std::string, std::unique_ptr<LogHistogram>> streams_;
+};
+
+// Samples every stream of a labeled counter into a registry's time series
+// under "<family>{<label>}".
+void SampleLabeledCounter(const LabeledCounter& family, MetricRegistry& registry, SimTime now);
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_MONITOR_LABELED_H_

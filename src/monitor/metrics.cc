@@ -1,0 +1,82 @@
+#include "src/monitor/metrics.h"
+
+namespace rpcscope {
+
+void TimeSeries::Expire(SimTime now, SimDuration retention) {
+  const SimTime cutoff = now - retention;
+  while (!points_.empty() && points_.front().time < cutoff) {
+    points_.pop_front();
+  }
+}
+
+std::vector<TimePoint> TimeSeries::Range(SimTime begin, SimTime end) const {
+  std::vector<TimePoint> out;
+  for (const TimePoint& p : points_) {
+    if (p.time >= begin && p.time <= end) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+std::vector<TimePoint> TimeSeries::RatePerSecond(SimTime begin, SimTime end) const {
+  std::vector<TimePoint> range = Range(begin, end);
+  std::vector<TimePoint> out;
+  for (size_t i = 1; i < range.size(); ++i) {
+    const SimDuration dt = range[i].time - range[i - 1].time;
+    if (dt <= 0) {
+      continue;
+    }
+    out.push_back({range[i].time, (range[i].value - range[i - 1].value) / ToSeconds(dt)});
+  }
+  return out;
+}
+
+Counter& MetricRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+DistributionMetric& MetricRegistry::GetDistribution(const std::string& name) {
+  auto& slot = distributions_[name];
+  if (!slot) {
+    slot = std::make_unique<DistributionMetric>();
+  }
+  return *slot;
+}
+
+void MetricRegistry::SampleAll(SimTime now) {
+  for (const auto& [name, counter] : counters_) {
+    TimeSeries& ts = series_[name];
+    ts.Append(now, counter->value());
+    ts.Expire(now, options_.retention);
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    TimeSeries& ts = series_[name];
+    ts.Append(now, gauge->value());
+    ts.Expire(now, options_.retention);
+  }
+  for (const auto& [name, dist] : distributions_) {
+    TimeSeries& ts = series_[name];
+    ts.Append(now, static_cast<double>(dist->histogram().count()));
+    ts.Expire(now, options_.retention);
+  }
+}
+
+const TimeSeries* MetricRegistry::Series(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+}  // namespace rpcscope

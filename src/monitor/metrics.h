@@ -1,0 +1,115 @@
+// Monarch-like metrics: counters, gauges, and distribution metrics, sampled
+// periodically into a retained time-series store.
+//
+// The paper's Fig. 1 is built from exactly this kind of data: counters
+// sampled every 30 minutes with a 700-day retention. MetricRegistry owns the
+// live instruments; TimeSeriesStore holds the sampled points and answers
+// range/rate queries.
+#ifndef RPCSCOPE_SRC_MONITOR_METRICS_H_
+#define RPCSCOPE_SRC_MONITOR_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/time.h"
+
+namespace rpcscope {
+
+// Monotonically increasing counter.
+class Counter {
+ public:
+  void Increment(double delta = 1.0) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+// Point-in-time gauge.
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+// Distribution-valued metric (latency, size); cumulative log histogram.
+class DistributionMetric {
+ public:
+  DistributionMetric() = default;
+  explicit DistributionMetric(const LogHistogram::Options& options) : hist_(options) {}
+
+  void Record(double value) { hist_.Add(value); }
+  const LogHistogram& histogram() const { return hist_; }
+
+ private:
+  LogHistogram hist_;
+};
+
+struct TimePoint {
+  SimTime time;
+  double value;
+};
+
+// Retained samples for one metric stream.
+class TimeSeries {
+ public:
+  void Append(SimTime time, double value) { points_.push_back({time, value}); }
+
+  // Drops points older than `retention` before `now`.
+  void Expire(SimTime now, SimDuration retention);
+
+  const std::deque<TimePoint>& points() const { return points_; }
+
+  // Values in [begin, end].
+  std::vector<TimePoint> Range(SimTime begin, SimTime end) const;
+
+  // Rate of change between consecutive cumulative samples over the window
+  // [begin, end] (for counter streams): (v[i] - v[i-1]) / dt, per second.
+  std::vector<TimePoint> RatePerSecond(SimTime begin, SimTime end) const;
+
+ private:
+  std::deque<TimePoint> points_;
+};
+
+class MetricRegistry {
+ public:
+  struct Options {
+    SimDuration sample_window = Minutes(30);
+    SimDuration retention = Days(700);
+  };
+
+  MetricRegistry() : MetricRegistry(Options{}) {}
+  explicit MetricRegistry(const Options& options) : options_(options) {}
+
+  // Instruments are created on first use and owned by the registry.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  DistributionMetric& GetDistribution(const std::string& name);
+
+  // Samples every registered instrument into its time series at `now`
+  // (counters record their cumulative value; gauges their current value;
+  // distributions their cumulative count). Applies retention.
+  void SampleAll(SimTime now);
+
+  const TimeSeries* Series(const std::string& name) const;
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<DistributionMetric>> distributions_;
+  std::unordered_map<std::string, TimeSeries> series_;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_MONITOR_METRICS_H_

@@ -1,0 +1,58 @@
+#include "src/monitor/windowed.h"
+
+#include <cassert>
+
+namespace rpcscope {
+
+WindowedDistribution::WindowedDistribution(const Options& options) : options_(options) {
+  assert(options.window > 0);
+  assert(options.max_windows > 0);
+}
+
+void WindowedDistribution::Record(SimTime time, double value) {
+  const SimTime start = (time / options_.window) * options_.window;
+  // Find the window from the back (recent samples dominate); insert in order
+  // if it does not exist yet.
+  auto it = windows_.end();
+  while (it != windows_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->start == start) {
+      prev->histogram.Add(value);
+      return;
+    }
+    if (prev->start < start) {
+      break;
+    }
+    it = prev;
+  }
+  if (!windows_.empty() && start < windows_.front().start &&
+      static_cast<int>(windows_.size()) >= options_.max_windows) {
+    return;  // Older than the retention horizon: drop.
+  }
+  auto inserted = windows_.insert(it, {start, LogHistogram(options_.histogram)});
+  inserted->histogram.Add(value);
+  while (static_cast<int>(windows_.size()) > options_.max_windows) {
+    windows_.pop_front();
+  }
+}
+
+std::vector<WindowedDistribution::WindowQuantile> WindowedDistribution::QuantileSeries(
+    SimTime begin, SimTime end, double q) const {
+  std::vector<WindowQuantile> out;
+  for (const Window& w : windows_) {
+    if (w.start >= begin && w.start < end && w.histogram.count() > 0) {
+      out.push_back({w.start, w.histogram.Quantile(q), w.histogram.count()});
+    }
+  }
+  return out;
+}
+
+LogHistogram WindowedDistribution::Merged() const {
+  LogHistogram merged(options_.histogram);
+  for (const Window& w : windows_) {
+    merged.Merge(w.histogram);
+  }
+  return merged;
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,62 @@
+// WindowedDistribution: distribution metrics over time windows.
+//
+// Monarch answers "P95 latency per 30-minute window" queries; a cumulative
+// histogram cannot. WindowedDistribution keeps one log-histogram per aligned
+// window with bounded retention, supporting quantile-over-time series like
+// Fig. 18's 24-hour latency traces.
+#ifndef RPCSCOPE_SRC_MONITOR_WINDOWED_H_
+#define RPCSCOPE_SRC_MONITOR_WINDOWED_H_
+
+#include <deque>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/time.h"
+
+namespace rpcscope {
+
+class WindowedDistribution {
+ public:
+  struct Options {
+    SimDuration window = Minutes(30);
+    int max_windows = 48 * 700;  // 700 days of 30-minute windows.
+    LogHistogram::Options histogram = {.min_value = 1.0,
+                                       .max_value = 1e10,
+                                       .buckets_per_decade = 10};
+  };
+
+  WindowedDistribution() : WindowedDistribution(Options{}) {}
+  explicit WindowedDistribution(const Options& options);
+
+  // Records a value at a timestamp. Timestamps may arrive slightly out of
+  // order within retained windows; values older than the retention are
+  // dropped.
+  void Record(SimTime time, double value);
+
+  struct WindowQuantile {
+    SimTime window_start;
+    double value;
+    int64_t count;
+  };
+
+  // Per-window quantiles over [begin, end).
+  std::vector<WindowQuantile> QuantileSeries(SimTime begin, SimTime end, double q) const;
+
+  // Merged histogram across all retained windows.
+  LogHistogram Merged() const;
+
+  size_t num_windows() const { return windows_.size(); }
+
+ private:
+  struct Window {
+    SimTime start;
+    LogHistogram histogram;
+  };
+
+  Options options_;
+  std::deque<Window> windows_;  // Ascending by start.
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_MONITOR_WINDOWED_H_

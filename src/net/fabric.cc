@@ -1,0 +1,46 @@
+#include "src/net/fabric.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace rpcscope {
+
+Fabric::Fabric(Simulator* sim, const Topology* topology, const FabricOptions& options)
+    : sim_(sim), topology_(topology), options_(options), rng_(options.seed) {
+  assert(sim != nullptr);
+  assert(topology != nullptr);
+}
+
+SimDuration Fabric::MinOneWayLatency(MachineId src, MachineId dst, int64_t bytes) const {
+  const DistanceClass dc = topology_->Distance(src, dst);
+  const bool wan = dc >= DistanceClass::kSameContinent;
+  const double bw = wan ? options_.wan_bytes_per_second : options_.lan_bytes_per_second;
+  const SimDuration propagation = topology_->BaseRtt(src, dst) / 2;
+  const SimDuration serialization =
+      DurationFromSeconds(static_cast<double>(bytes) / bw);
+  return propagation + serialization;
+}
+
+SimDuration Fabric::SampleOneWayLatency(MachineId src, MachineId dst, int64_t bytes) {
+  SimDuration latency = MinOneWayLatency(src, dst, bytes);
+  if (rng_.NextBool(options_.congestion_probability)) {
+    const DistanceClass dc = topology_->Distance(src, dst);
+    const bool wan = dc >= DistanceClass::kSameContinent;
+    double mean = static_cast<double>(options_.congestion_mean);
+    if (wan) {
+      mean *= options_.wan_congestion_multiplier;
+    }
+    latency += static_cast<SimDuration>(std::llround(rng_.NextExponential(mean)));
+  }
+  return latency;
+}
+
+void Fabric::Send(MachineId src, MachineId dst, int64_t bytes, Delivery on_delivered) {
+  ++messages_sent_;
+  bytes_sent_ += bytes;
+  const SimDuration latency = SampleOneWayLatency(src, dst, bytes);
+  sim_->Schedule(latency, [latency, done = std::move(on_delivered)]() { done(latency); });
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,68 @@
+// Fabric: message delivery over the simulated network.
+//
+// One-way delivery latency =
+//   propagation (BaseRtt/2 from the topology)
+// + serialization (bytes / per-path bandwidth; WAN paths are slower)
+// + congestion (with probability p_congestion, an exponential extra delay —
+//   the paper finds congestion still impacts the WAN tail, §3.2/§5.1).
+//
+// The fabric is where "RPC Network Wire" latency (Fig. 9) comes from.
+#ifndef RPCSCOPE_SRC_NET_FABRIC_H_
+#define RPCSCOPE_SRC_NET_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rng.h"
+#include "src/common/time.h"
+#include "src/net/topology.h"
+#include "src/sim/simulator.h"
+
+namespace rpcscope {
+
+struct FabricOptions {
+  // Within-datacenter NIC-limited bandwidth.
+  double lan_bytes_per_second = 12.5e9;  // 100 Gbps.
+  // Effective per-flow WAN bandwidth (shared long-haul links).
+  double wan_bytes_per_second = 1.25e9;  // 10 Gbps.
+  // Probability that a message hits a congested queue.
+  double congestion_probability = 0.03;
+  // Mean of the exponential extra delay when congested, scaled by distance:
+  // LAN paths see this mean; WAN paths see wan_congestion_multiplier x it.
+  SimDuration congestion_mean = Micros(150);
+  double wan_congestion_multiplier = 400.0;  // WAN congestion is tens of ms.
+  uint64_t seed = 0xfab;
+};
+
+class Fabric {
+ public:
+  using Delivery = std::function<void(SimDuration wire_latency)>;
+
+  Fabric(Simulator* sim, const Topology* topology, const FabricOptions& options);
+
+  // Sends `bytes` from `src` to `dst`; invokes `on_delivered` at arrival with
+  // the one-way wire latency actually experienced.
+  void Send(MachineId src, MachineId dst, int64_t bytes, Delivery on_delivered);
+
+  // Computes a one-way latency sample without scheduling (used by the
+  // model-driven fleet path and by tests).
+  SimDuration SampleOneWayLatency(MachineId src, MachineId dst, int64_t bytes);
+
+  // Deterministic minimum (no congestion) one-way latency for a path.
+  SimDuration MinOneWayLatency(MachineId src, MachineId dst, int64_t bytes) const;
+
+  uint64_t messages_sent() const { return messages_sent_; }
+  int64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  Simulator* sim_;
+  const Topology* topology_;
+  FabricOptions options_;
+  Rng rng_;
+  uint64_t messages_sent_ = 0;
+  int64_t bytes_sent_ = 0;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_NET_FABRIC_H_

@@ -1,0 +1,93 @@
+// Shared client/server call types: options, results, and the server reply
+// envelope that carries the server-side latency phases back to the client.
+#ifndef RPCSCOPE_SRC_RPC_CALL_H_
+#define RPCSCOPE_SRC_RPC_CALL_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/net/topology.h"
+#include "src/rpc/codec.h"
+#include "src/rpc/cost_model.h"
+#include "src/rpc/payload.h"
+#include "src/trace/span.h"
+
+namespace rpcscope {
+
+using MethodId = int32_t;
+
+struct CallOptions {
+  // Absolute budget for the call from issue time; 0 disables the deadline.
+  SimDuration deadline = 0;
+
+  // Request hedging (§4.4 attributes most Cancelled errors to hedging): if no
+  // response arrives within hedge_delay, a second attempt is sent to
+  // hedge_target; the first response wins and the loser is cancelled.
+  SimDuration hedge_delay = 0;  // 0 disables hedging.
+  MachineId hedge_target = -1;
+
+  // Retries on UNAVAILABLE (e.g. no server at the target machine): truncated
+  // exponential backoff with full jitter — attempt k waits
+  // U(0, min(retry_backoff * 2^k, retry_backoff_cap)).
+  int max_retries = 0;
+  SimDuration retry_backoff = Millis(5);
+  SimDuration retry_backoff_cap = Seconds(2);
+
+  // Trace linkage; zero trace_id starts a new root trace.
+  TraceId trace_id = 0;
+  SpanId parent_span_id = 0;
+
+  // Service the target method belongs to (recorded on spans; -1 = unknown).
+  int32_t service_id = -1;
+};
+
+struct CallResult {
+  Status status;
+  LatencyBreakdown latency;
+  CycleBreakdown cycles;  // Client + server stack cycles plus application cycles.
+  int64_t request_wire_bytes = 0;
+  int64_t response_wire_bytes = 0;
+  int attempts = 0;
+  TraceId trace_id = 0;
+  SpanId span_id = 0;  // Span of the winning attempt.
+};
+
+using CallCallback = std::function<void(const CallResult& result, Payload response)>;
+
+// Server-side phase durations reported back with every reply. The response
+// travels as an encoded WireFrame; the client decodes it on its receive path.
+struct ServerReply {
+  Status status;
+  WireFrame response_frame;
+  // Server-streaming responses (§2.1 excludes these from Dapper sampling;
+  // rpcscope implements them as an extension): number of chunks delivered and
+  // the total on-wire bytes across all chunks. chunk_count == 0 means unary.
+  int chunk_count = 0;
+  int64_t stream_wire_bytes = 0;
+  SimDuration recv_queue = 0;  // rx processing + wait for an app worker.
+  SimDuration app_time = 0;
+  SimDuration send_queue = 0;
+  SimDuration resp_proc = 0;  // Server-side share of response proc+stack.
+  SimDuration resp_wire = 0;
+  CycleBreakdown server_cycles;
+};
+
+using ServerResponder = std::function<void(ServerReply reply)>;
+
+// A request as delivered to a server by the fabric (still encoded; the
+// server's receive pipeline decodes it).
+struct IncomingRequest {
+  MethodId method = -1;
+  WireFrame request_frame;
+  MachineId client_machine = -1;
+  SimTime deadline_time = 0;  // Absolute; 0 = none.
+  TraceId trace_id = 0;
+  SpanId span_id = 0;
+  ServerResponder respond;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_RPC_CALL_H_

@@ -1,0 +1,105 @@
+#include "src/rpc/channel.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rpcscope {
+
+Channel::Channel(Client* client, std::string service_name, std::vector<MachineId> backends,
+                 const ChannelOptions& options)
+    : client_(client),
+      service_name_(std::move(service_name)),
+      backends_(std::move(backends)),
+      options_(options),
+      rng_(options.seed),
+      outstanding_(backends_.size(), 0) {
+  assert(client != nullptr);
+  assert(!backends_.empty());
+  // Deterministic subsetting: shuffle the backend list with a client-derived
+  // seed and keep the first subset_size entries. Distinct clients land on
+  // distinct-but-evenly-spread subsets; the same client always gets the same
+  // subset.
+  if (options_.subset_size > 0 &&
+      options_.subset_size < static_cast<int>(backends_.size())) {
+    Rng shuffle_rng(Mix64(options_.seed ^ static_cast<uint64_t>(client_->machine())));
+    for (size_t i = backends_.size(); i > 1; --i) {
+      std::swap(backends_[i - 1], backends_[shuffle_rng.NextBounded(i)]);
+    }
+    backends_.resize(static_cast<size_t>(options_.subset_size));
+    outstanding_.assign(backends_.size(), 0);
+  }
+  // Precompute the latency-aware order once: base RTTs are static.
+  nearest_order_.resize(backends_.size());
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    nearest_order_[i] = i;
+  }
+  const Topology& topo = client_->system().topology();
+  const MachineId self = client_->machine();
+  std::stable_sort(nearest_order_.begin(), nearest_order_.end(),
+                   [&](size_t a, size_t b) {
+                     return topo.BaseRtt(self, backends_[a]) < topo.BaseRtt(self, backends_[b]);
+                   });
+}
+
+size_t Channel::PickIndex() {
+  switch (options_.policy) {
+    case PickPolicy::kRoundRobin:
+      return round_robin_next_++ % backends_.size();
+    case PickPolicy::kRandom:
+      return rng_.NextBounded(backends_.size());
+    case PickPolicy::kLeastLoaded: {
+      const size_t a = rng_.NextBounded(backends_.size());
+      const size_t b = rng_.NextBounded(backends_.size());
+      return outstanding_[a] <= outstanding_[b] ? a : b;
+    }
+    case PickPolicy::kNearest:
+      // Prefer the closest backend; spill to the next-closest when it has
+      // twice the outstanding calls of the runner-up (coarse overload guard).
+      for (size_t i = 0; i + 1 < nearest_order_.size(); ++i) {
+        const size_t here = nearest_order_[i];
+        const size_t next = nearest_order_[i + 1];
+        if (outstanding_[here] <= 2 * outstanding_[next] + 4) {
+          return here;
+        }
+      }
+      return nearest_order_.back();
+  }
+  return 0;
+}
+
+MachineId Channel::PeekTarget() {
+  if (options_.policy == PickPolicy::kRoundRobin) {
+    return backends_[round_robin_next_ % backends_.size()];
+  }
+  if (options_.policy == PickPolicy::kNearest) {
+    return backends_[nearest_order_.front()];
+  }
+  return backends_[0];
+}
+
+void Channel::Call(MethodId method, Payload request, CallOptions options, CallCallback done) {
+  const size_t index = PickIndex();
+  if (options.deadline == 0) {
+    options.deadline = options_.default_deadline;
+  }
+  if (options.max_retries == 0) {
+    options.max_retries = options_.default_max_retries;
+  }
+  if (options_.hedge_delay > 0 && options.hedge_delay == 0 && backends_.size() > 1) {
+    options.hedge_delay = options_.hedge_delay;
+    size_t alt = PickIndex();
+    if (alt == index) {
+      alt = (index + 1) % backends_.size();
+    }
+    options.hedge_target = backends_[alt];
+  }
+  ++outstanding_[index];
+  client_->Call(backends_[index], method, std::move(request), options,
+                [this, index, done = std::move(done)](const CallResult& result,
+                                                      Payload response) {
+                  --outstanding_[index];
+                  done(result, std::move(response));
+                });
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,80 @@
+// Channel: a client-side view of a replicated service.
+//
+// Production RPC stacks do not call machines, they call *services*: a channel
+// owns the backend set, picks a target per call (the paper's §4.3 notes the
+// fleet balancer is latency-aware, not CPU-aware), applies the service's
+// default call policy (deadline, retries, hedging against a second backend),
+// and keeps per-backend outstanding-call counts for least-loaded picking.
+#ifndef RPCSCOPE_SRC_RPC_CHANNEL_H_
+#define RPCSCOPE_SRC_RPC_CHANNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/rpc/client.h"
+
+namespace rpcscope {
+
+enum class PickPolicy : int32_t {
+  kRoundRobin = 0,
+  kRandom = 1,
+  // Least outstanding calls among two random backends (power of two choices).
+  kLeastLoaded = 2,
+  // Lowest base RTT from the client; ties broken round-robin. This is the
+  // latency-aware policy the paper's fleet uses across clusters.
+  kNearest = 3,
+};
+
+struct ChannelOptions {
+  PickPolicy policy = PickPolicy::kLeastLoaded;
+  // Deterministic subsetting: each client deterministically restricts itself
+  // to `subset_size` of the backends (0 = use all). Keeps per-server
+  // connection counts bounded at fleet scale while spreading clients evenly
+  // across backends.
+  int subset_size = 0;
+  // Defaults merged into every call (explicit CallOptions fields win).
+  SimDuration default_deadline = 0;
+  int default_max_retries = 0;
+  // If > 0, hedge each call after this delay against a second pick.
+  SimDuration hedge_delay = 0;
+  uint64_t seed = 0xc4a77e1;
+};
+
+class Channel {
+ public:
+  // `backends` must be non-empty; the channel keeps a reference to `client`.
+  Channel(Client* client, std::string service_name, std::vector<MachineId> backends,
+          const ChannelOptions& options);
+
+  // Issues a call to a picked backend with the channel's defaults applied.
+  void Call(MethodId method, Payload request, CallOptions options, CallCallback done);
+  void Call(MethodId method, Payload request, CallCallback done) {
+    Call(method, std::move(request), CallOptions{}, std::move(done));
+  }
+
+  // The backend the next kRoundRobin/kNearest pick would use (for tests).
+  MachineId PeekTarget();
+
+  const std::string& service_name() const { return service_name_; }
+  const std::vector<MachineId>& backends() const { return backends_; }
+  int64_t outstanding(size_t backend_index) const {
+    return outstanding_[backend_index];
+  }
+
+ private:
+  size_t PickIndex();
+
+  Client* client_;
+  std::string service_name_;
+  std::vector<MachineId> backends_;
+  ChannelOptions options_;
+  Rng rng_;
+  size_t round_robin_next_ = 0;
+  std::vector<int64_t> outstanding_;
+  std::vector<size_t> nearest_order_;  // Backend indexes sorted by base RTT.
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_RPC_CHANNEL_H_

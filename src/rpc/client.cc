@@ -1,0 +1,269 @@
+#include "src/rpc/client.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/rpc/codec.h"
+#include "src/rpc/server.h"
+
+namespace rpcscope {
+
+struct Client::CallState {
+  CallOptions options;
+  CallCallback done;
+  MachineId primary_target = -1;
+  MethodId method = -1;
+  Payload request;
+  TraceId trace_id = 0;
+  SimTime issue_time = 0;
+  bool completed = false;
+  StatusCode completion_reason = StatusCode::kOk;
+  int attempts_started = 0;
+  int retries_used = 0;
+  bool hedge_launched = false;
+};
+
+struct Client::Attempt {
+  SpanId span_id = 0;
+  MachineId target = -1;
+  SimTime start = 0;
+  LatencyBreakdown bd;
+  CycleBreakdown cycles;
+  int64_t request_wire_bytes = 0;
+  int64_t response_wire_bytes = 0;
+  int64_t request_payload_bytes = 0;
+  int64_t response_payload_bytes = 0;
+};
+
+Client::Client(RpcSystem* system, MachineId machine, const ClientOptions& options)
+    : system_(system),
+      machine_(machine),
+      machine_speed_(system->MachineSpeed(machine)),
+      tx_pool_(&system->sim(),
+               {.workers = options.tx_workers, .max_queue_depth = options.max_queue_depth}),
+      rx_pool_(&system->sim(),
+               {.workers = options.rx_workers, .max_queue_depth = options.max_queue_depth}),
+      rx_processing_overhead_(options.rx_processing_overhead) {}
+
+void Client::Call(MachineId target, MethodId method, Payload request, const CallOptions& options,
+                  CallCallback done) {
+  ++calls_issued_;
+  auto st = std::make_shared<CallState>();
+  st->options = options;
+  st->done = std::move(done);
+  st->primary_target = target;
+  st->method = method;
+  st->request = std::move(request);
+  st->trace_id = options.trace_id != 0 ? options.trace_id : system_->tracer().NewTraceId();
+  st->issue_time = system_->sim().Now();
+
+  StartAttempt(st, target);
+
+  if (options.hedge_delay > 0 && options.hedge_target >= 0) {
+    system_->sim().Schedule(options.hedge_delay, [this, st]() {
+      if (!st->completed && !st->hedge_launched) {
+        st->hedge_launched = true;
+        StartAttempt(st, st->options.hedge_target);
+      }
+    });
+  }
+
+  if (options.deadline > 0) {
+    system_->sim().Schedule(options.deadline, [this, st]() {
+      if (st->completed) {
+        return;
+      }
+      st->completed = true;
+      st->completion_reason = StatusCode::kDeadlineExceeded;
+      ++calls_completed_;
+      CallResult result;
+      result.status = DeadlineExceededError("call deadline expired");
+      result.attempts = st->attempts_started;
+      result.trace_id = st->trace_id;
+      st->done(result, Payload());
+    });
+  }
+}
+
+void Client::StartAttempt(std::shared_ptr<CallState> st, MachineId target) {
+  auto att = std::make_shared<Attempt>();
+  att->span_id = system_->tracer().NewSpanId();
+  att->target = target;
+  att->start = system_->sim().Now();
+  ++st->attempts_started;
+
+  const CycleCostModel& costs = system_->costs();
+  WireFrame frame =
+      EncodeFrame(st->request, system_->options().encryption_key, att->span_id);
+  const CycleBreakdown tx_cost = costs.SendSideCost(frame.payload_bytes, frame.wire_bytes);
+  att->cycles.Accumulate(tx_cost);
+  att->request_wire_bytes = frame.wire_bytes;
+  att->request_payload_bytes = frame.payload_bytes;
+  const SimDuration tx_time = costs.CyclesToDuration(tx_cost.TaxTotal(), machine_speed_);
+
+  tx_pool_.Submit(tx_time, [this, st, att, frame = std::move(frame)](
+                               SimDuration tx_wait, SimDuration tx_service) mutable {
+    if (tx_wait == ServerResource::kRejected) {
+      AttemptFinished(st, att, ResourceExhaustedError("client tx queue full"), Payload());
+      return;
+    }
+    att->bd[RpcComponent::kClientSendQueue] = tx_wait;
+    att->bd[RpcComponent::kRequestProcStack] = tx_service;
+    const int64_t wire_bytes = frame.wire_bytes;
+    system_->fabric().Send(
+        machine_, att->target, wire_bytes,
+        [this, st, att, frame = std::move(frame)](SimDuration wire) mutable {
+          att->bd[RpcComponent::kRequestWire] = wire;
+          Server* server = system_->ServerAt(att->target);
+          if (server == nullptr) {
+            AttemptFinished(st, att, UnavailableError("no server at target machine"), Payload());
+            return;
+          }
+          IncomingRequest req;
+          req.method = st->method;
+          req.request_frame = std::move(frame);
+          req.client_machine = machine_;
+          req.deadline_time =
+              st->options.deadline > 0 ? st->issue_time + st->options.deadline : 0;
+          req.trace_id = st->trace_id;
+          req.span_id = att->span_id;
+          req.respond = [this, st, att](ServerReply reply) {
+            OnReply(st, att, std::move(reply));
+          };
+          server->DeliverRequest(std::move(req));
+        });
+  });
+}
+
+void Client::OnReply(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att,
+                     ServerReply reply) {
+  att->bd[RpcComponent::kServerRecvQueue] = reply.recv_queue;
+  att->bd[RpcComponent::kServerApp] = reply.app_time;
+  att->bd[RpcComponent::kServerSendQueue] = reply.send_queue;
+  att->bd[RpcComponent::kResponseProcStack] = reply.resp_proc;
+  att->bd[RpcComponent::kResponseWire] = reply.resp_wire;
+  att->cycles.Accumulate(reply.server_cycles);
+  const bool streamed = reply.chunk_count > 0;
+  att->response_wire_bytes =
+      streamed ? reply.stream_wire_bytes : reply.response_frame.wire_bytes;
+  att->response_payload_bytes =
+      reply.response_frame.payload_bytes * std::max(reply.chunk_count, 1);
+
+  const CycleCostModel& costs = system_->costs();
+  CycleBreakdown rx_cost = costs.RecvSideCost(reply.response_frame.payload_bytes,
+                                              reply.response_frame.wire_bytes);
+  if (streamed) {
+    // Per-chunk receive costs: the client decodes every chunk.
+    CycleBreakdown total;
+    for (int c = 0; c < reply.chunk_count; ++c) {
+      total.Accumulate(rx_cost);
+    }
+    rx_cost = total;
+  }
+  const SimDuration rx_time =
+      costs.CyclesToDuration(rx_cost.TaxTotal(), machine_speed_) + rx_processing_overhead_;
+
+  rx_pool_.Submit(rx_time, [this, st, att, reply = std::move(reply), rx_cost](
+                               SimDuration rx_wait, SimDuration rx_service) mutable {
+    if (rx_wait == ServerResource::kRejected) {
+      AttemptFinished(st, att, ResourceExhaustedError("client rx queue full"), Payload());
+      return;
+    }
+    att->bd[RpcComponent::kClientRecvQueue] = rx_wait;
+    att->bd[RpcComponent::kResponseProcStack] += rx_service;
+    att->cycles.Accumulate(rx_cost);
+    Payload response;
+    Status status = reply.status;
+    if (status.ok()) {
+      Result<Payload> decoded =
+          DecodeFrame(reply.response_frame, system_->options().encryption_key);
+      if (decoded.ok()) {
+        response = std::move(decoded.value());
+      } else {
+        status = decoded.status();
+      }
+    }
+    AttemptFinished(st, att, std::move(status), std::move(response));
+  });
+}
+
+void Client::RecordAttemptSpan(const CallState& st, const Attempt& att, StatusCode code) {
+  Span span;
+  span.trace_id = st.trace_id;
+  span.span_id = att.span_id;
+  span.parent_span_id = st.options.parent_span_id;
+  span.method_id = st.method;
+  span.service_id = st.options.service_id;
+  span.client_cluster = system_->topology().ClusterOf(machine_);
+  span.server_cluster = system_->topology().ClusterOf(att.target);
+  span.start_time = att.start;
+  span.latency = att.bd;
+  span.status = code;
+  span.request_wire_bytes = att.request_wire_bytes;
+  span.response_wire_bytes = att.response_wire_bytes;
+  span.request_payload_bytes = att.request_payload_bytes;
+  span.response_payload_bytes = att.response_payload_bytes;
+  // GWP-style cost annotation on a deterministic subset of spans.
+  const double p = system_->options().cpu_annotation_probability;
+  span.has_cpu_annotation =
+      static_cast<double>(Mix64(att.span_id ^ 0xc0c) >> 11) * 0x1.0p-53 < p;
+  span.normalized_cpu_cycles =
+      att.cycles.Total() / system_->costs().normalization_cycles;
+  system_->tracer().Record(span);
+  if (system_->options().span_observer) {
+    system_->options().span_observer(span);
+  }
+}
+
+void Client::AttemptFinished(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att,
+                             Status status, Payload response) {
+  StatusCode record_code = status.code();
+  if (st->completed) {
+    // The call already concluded without this attempt: a hedge loser is
+    // CANCELLED; an arrival after the deadline is DEADLINE_EXCEEDED.
+    record_code = st->completion_reason == StatusCode::kDeadlineExceeded
+                      ? StatusCode::kDeadlineExceeded
+                      : StatusCode::kCancelled;
+    RecordAttemptSpan(*st, *att, record_code);
+    wasted_cycles_ += att->cycles.Total();
+    return;
+  }
+  RecordAttemptSpan(*st, *att, record_code);
+
+  if (status.code() == StatusCode::kUnavailable &&
+      st->retries_used < st->options.max_retries) {
+    ++st->retries_used;
+    wasted_cycles_ += att->cycles.Total();
+    // Truncated exponential backoff with full jitter (avoids synchronized
+    // retry storms when a backend goes away).
+    const double ceiling = std::min<double>(
+        static_cast<double>(st->options.retry_backoff) *
+            std::pow(2.0, st->retries_used - 1),
+        static_cast<double>(st->options.retry_backoff_cap));
+    const SimDuration backoff =
+        static_cast<SimDuration>(backoff_rng_.NextDouble() * ceiling);
+    system_->sim().Schedule(backoff, [this, st, target = att->target]() {
+      if (!st->completed) {
+        StartAttempt(st, target);
+      }
+    });
+    return;
+  }
+
+  st->completed = true;
+  st->completion_reason = status.code();
+  ++calls_completed_;
+  CallResult result;
+  result.status = std::move(status);
+  result.latency = att->bd;
+  result.cycles = att->cycles;
+  result.request_wire_bytes = att->request_wire_bytes;
+  result.response_wire_bytes = att->response_wire_bytes;
+  result.attempts = st->attempts_started;
+  result.trace_id = st->trace_id;
+  result.span_id = att->span_id;
+  st->done(result, std::move(response));
+}
+
+}  // namespace rpcscope

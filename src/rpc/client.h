@@ -1,0 +1,76 @@
+// Client: the caller side of the RPC stack.
+//
+// Implements the client pipeline stages (send queue, request proc+stack,
+// receive queue, response proc+stack), deadlines, retries on UNAVAILABLE, and
+// hedged requests. Every attempt is recorded as a Dapper span; hedge losers
+// and post-deadline arrivals are recorded with CANCELLED / DEADLINE_EXCEEDED
+// status so the error taxonomy (Fig. 23) and wasted-cycle accounting emerge
+// from real mechanics.
+#ifndef RPCSCOPE_SRC_RPC_CLIENT_H_
+#define RPCSCOPE_SRC_RPC_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/rpc/call.h"
+#include "src/rpc/rpc_system.h"
+#include "src/sim/server_resource.h"
+
+namespace rpcscope {
+
+struct ClientOptions {
+  int tx_workers = 2;
+  int rx_workers = 2;
+  size_t max_queue_depth = 0;  // 0 = unbounded.
+  // Application-side response handling performed on the rx pool before the
+  // caller's callback runs (deserialization into app structures, bookkeeping).
+  // Under high per-client response rates this is what builds the Client Recv
+  // Queue component.
+  SimDuration rx_processing_overhead = 0;
+};
+
+class Client {
+ public:
+  Client(RpcSystem* system, MachineId machine, const ClientOptions& options = {});
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // Issues an RPC to `method` on the server at `target`. `done` fires exactly
+  // once, at completion (success, error, or deadline).
+  void Call(MachineId target, MethodId method, Payload request, const CallOptions& options,
+            CallCallback done);
+
+  MachineId machine() const { return machine_; }
+  RpcSystem& system() const { return *system_; }
+  uint64_t calls_issued() const { return calls_issued_; }
+  uint64_t calls_completed() const { return calls_completed_; }
+  // Cycles burned by attempts whose result was discarded (hedge losers,
+  // post-deadline arrivals) — the "wasted cycles" of §4.4.
+  double wasted_cycles() const { return wasted_cycles_; }
+
+ private:
+  struct CallState;
+  struct Attempt;
+
+  void StartAttempt(std::shared_ptr<CallState> st, MachineId target);
+  void OnReply(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att, ServerReply reply);
+  void AttemptFinished(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att,
+                       Status status, Payload response);
+  void RecordAttemptSpan(const CallState& st, const Attempt& att, StatusCode code);
+
+  RpcSystem* system_;
+  MachineId machine_;
+  double machine_speed_;
+  ServerResource tx_pool_;
+  ServerResource rx_pool_;
+  Rng backoff_rng_{0xb0ff};
+  SimDuration rx_processing_overhead_ = 0;
+  uint64_t calls_issued_ = 0;
+  uint64_t calls_completed_ = 0;
+  double wasted_cycles_ = 0;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_RPC_CLIENT_H_

@@ -1,0 +1,53 @@
+#include "src/rpc/codec.h"
+
+#include <cmath>
+#include <utility>
+
+#include "src/wire/checksum.h"
+#include "src/wire/cipher.h"
+#include "src/wire/compressor.h"
+
+namespace rpcscope {
+
+WireFrame EncodeFrame(const Payload& payload, uint64_t key, uint64_t nonce) {
+  WireFrame frame;
+  frame.nonce = nonce;
+  frame.payload_bytes = payload.SerializedSize();
+  if (payload.is_real()) {
+    frame.real = true;
+    std::vector<uint8_t> serialized = payload.message().Serialize();
+    frame.body = RatelCompress(serialized);
+    frame.crc = Crc32c(frame.body);
+    StreamCipher cipher(key, nonce);
+    cipher.Apply(frame.body);
+    frame.wire_bytes = static_cast<int64_t>(frame.body.size()) + kFrameHeaderBytes;
+  } else {
+    frame.real = false;
+    const double body = static_cast<double>(frame.payload_bytes) * payload.assumed_ratio();
+    frame.wire_bytes = static_cast<int64_t>(std::llround(body)) + kFrameHeaderBytes;
+  }
+  return frame;
+}
+
+Result<Payload> DecodeFrame(const WireFrame& frame, uint64_t key) {
+  if (!frame.real) {
+    return Payload::Modeled(frame.payload_bytes);
+  }
+  std::vector<uint8_t> body = frame.body;
+  StreamCipher cipher(key, frame.nonce);
+  cipher.Apply(body);
+  if (Crc32c(body) != frame.crc) {
+    return Status(StatusCode::kDataLoss, "frame checksum mismatch");
+  }
+  Result<std::vector<uint8_t>> decompressed = RatelDecompress(body);
+  if (!decompressed.ok()) {
+    return decompressed.status();
+  }
+  Result<Message> message = Message::Parse(decompressed.value());
+  if (!message.ok()) {
+    return message.status();
+  }
+  return Payload::Real(std::move(message.value()));
+}
+
+}  // namespace rpcscope

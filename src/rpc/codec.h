@@ -1,0 +1,41 @@
+// On-wire encoding of RPC payloads: serialize -> compress -> encrypt -> frame.
+//
+// Real payloads go through the full byte pipeline (Message serialization,
+// Ratel compression, stream-cipher encryption, CRC32C framing); modeled
+// payloads compute the same sizes from the assumed compression ratio without
+// materializing bytes. Frame layout:
+//   [u8 flags][varint payload_bytes][varint body_len][u32 crc][u64 nonce][body]
+#ifndef RPCSCOPE_SRC_RPC_CODEC_H_
+#define RPCSCOPE_SRC_RPC_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/rpc/payload.h"
+
+namespace rpcscope {
+
+struct WireFrame {
+  bool real = false;
+  int64_t payload_bytes = 0;  // Uncompressed serialized size.
+  int64_t wire_bytes = 0;     // Frame size on the wire (body + header).
+  std::vector<uint8_t> body;  // Encrypted compressed bytes (real mode only).
+  uint32_t crc = 0;
+  uint64_t nonce = 0;
+};
+
+// Encodes a payload for transmission. `key` is the channel encryption key and
+// `nonce` must be unique per message (the span id is used in practice).
+WireFrame EncodeFrame(const Payload& payload, uint64_t key, uint64_t nonce);
+
+// Decodes a frame back into a payload: decrypt, CRC-check, decompress, parse.
+// Modeled frames decode to an equivalent modeled payload.
+Result<Payload> DecodeFrame(const WireFrame& frame, uint64_t key);
+
+// Frame header overhead in bytes (flags + sizes + crc + nonce).
+constexpr int64_t kFrameHeaderBytes = 24;
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_RPC_CODEC_H_

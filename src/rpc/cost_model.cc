@@ -1,0 +1,85 @@
+#include "src/rpc/cost_model.h"
+
+#include <cmath>
+
+namespace rpcscope {
+
+std::string_view CycleCategoryName(CycleCategory c) {
+  switch (c) {
+    case CycleCategory::kCompression:
+      return "Compression";
+    case CycleCategory::kNetworking:
+      return "Networking";
+    case CycleCategory::kSerialization:
+      return "Serialization";
+    case CycleCategory::kRpcLibrary:
+      return "RPC Library";
+    case CycleCategory::kEncryption:
+      return "Encryption";
+    case CycleCategory::kChecksum:
+      return "Checksum";
+    case CycleCategory::kApplication:
+      return "Application";
+  }
+  return "invalid";
+}
+
+double CycleBreakdown::Total() const {
+  double total = 0;
+  for (double c : cycles) {
+    total += c;
+  }
+  return total;
+}
+
+double CycleBreakdown::TaxTotal() const {
+  return Total() - (*this)[CycleCategory::kApplication];
+}
+
+void CycleBreakdown::Accumulate(const CycleBreakdown& other) {
+  for (size_t i = 0; i < cycles.size(); ++i) {
+    cycles[i] += other.cycles[i];
+  }
+}
+
+SimDuration CycleCostModel::CyclesToDuration(double cycles, double speed) const {
+  if (cycles <= 0) {
+    return 0;
+  }
+  const double seconds = cycles / (cycles_per_second * speed);
+  return DurationFromSeconds(seconds);
+}
+
+CycleBreakdown CycleCostModel::SendSideCost(int64_t payload_bytes, int64_t wire_bytes,
+                                            double byte_cost_scale) const {
+  const double pb = static_cast<double>(payload_bytes) * byte_cost_scale;
+  const double wb = static_cast<double>(wire_bytes) * byte_cost_scale;
+  const double packets = std::ceil(wb / 1500.0);
+  CycleBreakdown b;
+  b[CycleCategory::kSerialization] = serialize_fixed + serialize_per_byte * pb;
+  b[CycleCategory::kCompression] = compress_fixed + compress_per_byte * pb;
+  b[CycleCategory::kEncryption] = encrypt_fixed + encrypt_per_byte * wb;
+  b[CycleCategory::kChecksum] = checksum_per_byte * wb;
+  b[CycleCategory::kNetworking] = netstack_fixed + netstack_per_packet * packets +
+                                  netstack_per_byte * wb;
+  b[CycleCategory::kRpcLibrary] = rpclib_fixed_per_side;
+  return b;
+}
+
+CycleBreakdown CycleCostModel::RecvSideCost(int64_t payload_bytes, int64_t wire_bytes,
+                                            double byte_cost_scale) const {
+  const double pb = static_cast<double>(payload_bytes) * byte_cost_scale;
+  const double wb = static_cast<double>(wire_bytes) * byte_cost_scale;
+  const double packets = std::ceil(wb / 1500.0);
+  CycleBreakdown b;
+  b[CycleCategory::kSerialization] = parse_fixed + parse_per_byte * pb;
+  b[CycleCategory::kCompression] = decompress_fixed + decompress_per_byte * pb;
+  b[CycleCategory::kEncryption] = encrypt_fixed + encrypt_per_byte * wb;
+  b[CycleCategory::kChecksum] = checksum_per_byte * wb;
+  b[CycleCategory::kNetworking] = netstack_fixed + netstack_per_packet * packets +
+                                  netstack_per_byte * wb;
+  b[CycleCategory::kRpcLibrary] = rpclib_fixed_per_side;
+  return b;
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,105 @@
+// CPU cycle cost model for RPC stack operations.
+//
+// Every stack stage (serialization, compression, encryption, checksum,
+// network stack, RPC library bookkeeping) charges cycles as fixed + per-byte
+// terms; cycles convert to virtual time via the machine clock. The same
+// numbers feed (a) the latency of the proc+stack pipeline stages and (b) the
+// GWP profile used for the cycle-tax figures (Figs. 20, 21). Default
+// coefficients are calibrated so a fleet-representative RPC mix lands at the
+// paper's tax split (compression > networking > serialization > RPC library).
+#ifndef RPCSCOPE_SRC_RPC_COST_MODEL_H_
+#define RPCSCOPE_SRC_RPC_COST_MODEL_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/time.h"
+
+namespace rpcscope {
+
+// Cycle-consuming categories of the RPC cycle tax (Fig. 20b), plus
+// application cycles for totals.
+enum class CycleCategory : int32_t {
+  kCompression = 0,
+  kNetworking = 1,     // Kernel/user network stack processing.
+  kSerialization = 2,  // Marshal + unmarshal.
+  kRpcLibrary = 3,     // Stub dispatch, channel bookkeeping.
+  kEncryption = 4,
+  kChecksum = 5,
+  kApplication = 6,    // Handler cycles (not part of the tax).
+};
+
+constexpr int kNumCycleCategories = 7;
+constexpr int kNumTaxCategories = 6;  // All but kApplication.
+
+std::string_view CycleCategoryName(CycleCategory c);
+
+// Per-call cycle accounting.
+struct CycleBreakdown {
+  std::array<double, kNumCycleCategories> cycles{};
+
+  double& operator[](CycleCategory c) { return cycles[static_cast<size_t>(c)]; }
+  double operator[](CycleCategory c) const { return cycles[static_cast<size_t>(c)]; }
+
+  double Total() const;
+  double TaxTotal() const;  // Total minus application cycles.
+
+  void Accumulate(const CycleBreakdown& other);
+};
+
+struct CycleCostModel {
+  double cycles_per_second = 3.0e9;  // Machine clock for cycle -> time.
+
+  // Serialization / parsing.
+  double serialize_fixed = 280;
+  double serialize_per_byte = 0.85;
+  double parse_fixed = 330;
+  double parse_per_byte = 1.0;
+
+  // Compression (compress on send, decompress on receive).
+  double compress_fixed = 250;
+  double compress_per_byte = 5.0;
+  double decompress_fixed = 150;
+  double decompress_per_byte = 1.4;
+
+  // Encryption (symmetric per direction; AES-NI-class throughput).
+  double encrypt_per_byte = 0.25;
+  double encrypt_fixed = 100;
+
+  // Checksumming (hardware CRC32C-class).
+  double checksum_per_byte = 0.04;
+
+  // Network stack: per message plus per 1500-byte packet plus per byte.
+  double netstack_fixed = 1100;
+  double netstack_per_packet = 300;
+  double netstack_per_byte = 0.45;
+
+  // RPC library bookkeeping per call per side.
+  double rpclib_fixed_per_side = 1800;
+
+  // Normalization divisor converting raw cycles to the paper's
+  // "normalized CPU cycles" unit (Fig. 21 plots most methods between
+  // ~0.01 and ~10 in that unit).
+  double normalization_cycles = 1.0e6;
+
+  // Converts cycles to virtual time on a machine running at
+  // `cycles_per_second * speed`, where speed captures per-machine
+  // heterogeneity (CPU generations).
+  SimDuration CyclesToDuration(double cycles, double speed = 1.0) const;
+
+  // Stage costs used by the stack. `payload_bytes` is the uncompressed
+  // serialized size; `wire_bytes` the post-compression on-wire size.
+  // `byte_cost_scale` discounts the per-byte and per-packet terms for
+  // blob-style channels (storage byte pipes use flat single-field payloads,
+  // zero-copy paths, and NIC checksum offload — this is what lets Network
+  // Disk carry the most bytes in the fleet at <2% of fleet cycles, Fig. 8).
+  CycleBreakdown SendSideCost(int64_t payload_bytes, int64_t wire_bytes,
+                              double byte_cost_scale = 1.0) const;
+  CycleBreakdown RecvSideCost(int64_t payload_bytes, int64_t wire_bytes,
+                              double byte_cost_scale = 1.0) const;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_RPC_COST_MODEL_H_

@@ -1,0 +1,62 @@
+// Payload: what travels in an RPC request or response.
+//
+// Two fidelity modes share one type:
+//  - Real: an actual Message; the stack serializes, compresses, encrypts and
+//    checksums its bytes, so sizes, ratios, and cycle costs are measured.
+//  - Modeled: only a size (plus an assumed compression ratio); the stack
+//    charges the same cost formulas without touching bytes. Used for the
+//    large parameter sweeps where regenerating gigabytes of payload would
+//    dominate bench wall time without changing any figure.
+#ifndef RPCSCOPE_SRC_RPC_PAYLOAD_H_
+#define RPCSCOPE_SRC_RPC_PAYLOAD_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+
+#include "src/wire/message.h"
+
+namespace rpcscope {
+
+class Payload {
+ public:
+  // Default: an empty modeled payload.
+  Payload() = default;
+
+  static Payload Real(Message message) {
+    Payload p;
+    p.message_ = std::move(message);
+    return p;
+  }
+
+  static Payload Modeled(int64_t serialized_bytes, double assumed_compression_ratio = 0.65) {
+    Payload p;
+    p.modeled_bytes_ = serialized_bytes;
+    p.assumed_ratio_ = assumed_compression_ratio;
+    return p;
+  }
+
+  bool is_real() const { return message_.has_value(); }
+  const Message& message() const { return *message_; }
+  Message& message() { return *message_; }
+
+  int64_t modeled_bytes() const { return modeled_bytes_; }
+  double assumed_ratio() const { return assumed_ratio_; }
+
+  // Uncompressed serialized size in bytes for either mode.
+  int64_t SerializedSize() const {
+    if (is_real()) {
+      return static_cast<int64_t>(message_->ByteSize());
+    }
+    return modeled_bytes_;
+  }
+
+ private:
+  std::optional<Message> message_;
+  int64_t modeled_bytes_ = 0;
+  double assumed_ratio_ = 0.65;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_RPC_PAYLOAD_H_

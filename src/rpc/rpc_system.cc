@@ -1,0 +1,30 @@
+#include "src/rpc/rpc_system.h"
+
+namespace rpcscope {
+
+RpcSystem::RpcSystem(const RpcSystemOptions& options)
+    : options_(options),
+      topology_(options.topology),
+      fabric_(&sim_, &topology_, options.fabric),
+      tracer_(options.tracing),
+      rng_(options.seed) {}
+
+double RpcSystem::MachineSpeed(MachineId machine) const {
+  const uint64_t h = Mix64(options_.seed ^ Mix64(static_cast<uint64_t>(machine) + 0x5eedUL));
+  const double frac = static_cast<double>(h >> 11) * 0x1.0p-53;
+  const double spread = options_.machine_speed_spread;
+  return 1.0 - spread + 2.0 * spread * frac;
+}
+
+void RpcSystem::RegisterServer(MachineId machine, Server* server) {
+  servers_[machine] = server;
+}
+
+void RpcSystem::UnregisterServer(MachineId machine) { servers_.erase(machine); }
+
+Server* RpcSystem::ServerAt(MachineId machine) const {
+  auto it = servers_.find(machine);
+  return it == servers_.end() ? nullptr : it->second;
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,76 @@
+// RpcSystem: the shared substrate an RPC deployment runs on.
+//
+// Owns the simulator, topology, fabric, trace collector, and cost model, and
+// maintains the machine -> Server routing table. Servers and Clients are
+// constructed against a system and must not outlive it.
+#ifndef RPCSCOPE_SRC_RPC_RPC_SYSTEM_H_
+#define RPCSCOPE_SRC_RPC_RPC_SYSTEM_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/net/fabric.h"
+#include "src/net/topology.h"
+#include "src/rpc/cost_model.h"
+#include "src/sim/simulator.h"
+#include "src/trace/collector.h"
+
+namespace rpcscope {
+
+class Server;
+
+struct RpcSystemOptions {
+  TopologyOptions topology;
+  FabricOptions fabric;
+  TraceCollector::Options tracing;
+  CycleCostModel costs;
+  uint64_t seed = 42;
+  uint64_t encryption_key = 0x9a7bull;
+  // Fraction of spans carrying CPU-cycle annotations (§4.2: not all samples
+  // are annotated with cost information).
+  double cpu_annotation_probability = 0.5;
+  // Machine speed heterogeneity: speeds are uniform in [1-spread, 1+spread].
+  double machine_speed_spread = 0.15;
+
+  // Observer invoked for every span the stack produces (after sampling is
+  // applied by the collector, independently of whether it was kept). Use it
+  // to feed live monitoring (e.g. WindowedDistribution per service) without
+  // retaining spans.
+  std::function<void(const Span&)> span_observer;
+};
+
+class RpcSystem {
+ public:
+  explicit RpcSystem(const RpcSystemOptions& options);
+
+  Simulator& sim() { return sim_; }
+  const Topology& topology() const { return topology_; }
+  Fabric& fabric() { return fabric_; }
+  TraceCollector& tracer() { return tracer_; }
+  const CycleCostModel& costs() const { return options_.costs; }
+  const RpcSystemOptions& options() const { return options_; }
+  Rng& rng() { return rng_; }
+
+  // Per-machine relative CPU speed (deterministic; models CPU generations).
+  double MachineSpeed(MachineId machine) const;
+
+  // Server routing. RegisterServer replaces any previous registration.
+  void RegisterServer(MachineId machine, Server* server);
+  void UnregisterServer(MachineId machine);
+  Server* ServerAt(MachineId machine) const;
+
+ private:
+  RpcSystemOptions options_;
+  Simulator sim_;
+  Topology topology_;
+  Fabric fabric_;
+  TraceCollector tracer_;
+  Rng rng_;
+  std::unordered_map<MachineId, Server*> servers_;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_RPC_RPC_SYSTEM_H_

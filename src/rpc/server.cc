@@ -1,0 +1,248 @@
+#include "src/rpc/server.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/rpc/codec.h"
+
+namespace rpcscope {
+
+MachineId ServerCall::server_machine() const { return server_->machine(); }
+
+Simulator& ServerCall::sim() { return server_->system().sim(); }
+
+SimTime ServerCall::Now() { return server_->system().sim().Now(); }
+
+void ServerCall::Compute(SimDuration duration, std::function<void()> then) {
+  // Nominal work takes longer under exogenous slowdown and on slower machines.
+  const double scale = server_->options().app_speed_factor / server_->machine_speed();
+  const SimDuration scaled =
+      static_cast<SimDuration>(static_cast<double>(duration) * scale);
+  server_->system().sim().Schedule(scaled, std::move(then));
+}
+
+void ServerCall::Finish(Status status, Payload response) {
+  server_->FinishCall(this, std::move(status), std::move(response));
+}
+
+void ServerCall::FinishStream(Status status, Payload chunk, int num_chunks) {
+  server_->FinishStreamCall(this, std::move(status), std::move(chunk), num_chunks);
+}
+
+Server::Server(RpcSystem* system, MachineId machine, const ServerOptions& options)
+    : system_(system),
+      machine_(machine),
+      options_(options),
+      machine_speed_(system->MachineSpeed(machine)),
+      rx_pool_(&system->sim(),
+               {.workers = options.io_workers, .max_queue_depth = options.max_io_queue_depth}),
+      app_pool_(&system->sim(),
+                {.workers = options.app_workers, .max_queue_depth = options.max_app_queue_depth}),
+      tx_pool_(&system->sim(),
+               {.workers = options.io_workers, .max_queue_depth = options.max_io_queue_depth}) {
+  system_->RegisterServer(machine_, this);
+}
+
+Server::~Server() { system_->UnregisterServer(machine_); }
+
+void Server::RegisterMethod(MethodId method, std::string name, MethodHandler handler) {
+  handlers_[method] = std::move(handler);
+  method_names_[method] = std::move(name);
+}
+
+double Server::AppUtilization(SimDuration elapsed) {
+  if (elapsed <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(app_pool_.busy_time()) /
+         (static_cast<double>(elapsed) * options_.app_workers);
+}
+
+namespace {
+
+// Sends an error reply straight back over the fabric (no payload pipeline).
+void RespondWithError(RpcSystem* system, MachineId server_machine,
+                      std::shared_ptr<IncomingRequest> req, CycleBreakdown cycles_so_far,
+                      SimDuration recv_queue, Status status) {
+  WireFrame frame = EncodeFrame(Payload::Modeled(64), system->options().encryption_key,
+                                req->span_id ^ 0x2);
+  ServerReply reply;
+  reply.status = std::move(status);
+  reply.recv_queue = recv_queue;
+  reply.server_cycles = cycles_so_far;
+  reply.response_frame = frame;
+  auto respond = std::move(req->respond);
+  system->fabric().Send(server_machine, req->client_machine, frame.wire_bytes,
+                        [reply = std::move(reply), respond = std::move(respond)](
+                            SimDuration wire) mutable {
+                          reply.resp_wire = wire;
+                          respond(std::move(reply));
+                        });
+}
+
+}  // namespace
+
+void Server::DeliverRequest(IncomingRequest request) {
+  auto req = std::make_shared<IncomingRequest>(std::move(request));
+  const CycleCostModel& costs = system_->costs();
+  const CycleBreakdown rx_cost =
+      costs.RecvSideCost(req->request_frame.payload_bytes, req->request_frame.wire_bytes);
+  const SimDuration rx_time = costs.CyclesToDuration(rx_cost.TaxTotal(), machine_speed_);
+
+  rx_pool_.Submit(rx_time, [this, req, rx_cost](SimDuration rx_wait, SimDuration rx_service) {
+    if (rx_wait == ServerResource::kRejected) {
+      RespondWithError(system_, machine_, req, rx_cost, 0,
+                       ResourceExhaustedError("server rx queue full"));
+      return;
+    }
+    const SimDuration recv_so_far = rx_wait + rx_service;
+    const int priority =
+        options_.request_priority ? options_.request_priority(*req) : 0;
+    app_pool_.AcquireWithPriority(priority, [this, req, rx_cost,
+                                             recv_so_far](SimDuration app_wait) {
+      if (app_wait == ServerResource::kRejected) {
+        RespondWithError(system_, machine_, req, rx_cost, recv_so_far,
+                         ResourceExhaustedError("server app queue full"));
+        return;
+      }
+      // Scheduler wake-up delay before the handler actually starts running;
+      // the worker is held throughout.
+      const SimDuration wakeup = options_.wakeup_latency;
+      system_->sim().Schedule(wakeup, [this, req, rx_cost, recv_so_far, app_wait, wakeup]() {
+        // Deadline short-circuit: if the caller's budget already expired while
+        // the request queued, don't burn handler cycles on a result nobody
+        // will read (the client records the span as DEADLINE_EXCEEDED).
+        if (req->deadline_time > 0 && system_->sim().Now() > req->deadline_time) {
+          app_pool_.Release();
+          RespondWithError(system_, machine_, req, rx_cost, recv_so_far + app_wait + wakeup,
+                           DeadlineExceededError("deadline expired before handler start"));
+          return;
+        }
+        Result<Payload> decoded =
+            DecodeFrame(req->request_frame, system_->options().encryption_key);
+        if (!decoded.ok()) {
+          app_pool_.Release();
+          RespondWithError(system_, machine_, req, rx_cost,
+                           recv_so_far + app_wait + wakeup, decoded.status());
+          return;
+        }
+        auto call = std::make_shared<ServerCall>();
+        call->server_ = this;
+        call->request_ = std::move(decoded.value());
+        call->method_ = req->method;
+        call->client_machine_ = req->client_machine;
+        call->deadline_time_ = req->deadline_time;
+        call->trace_id_ = req->trace_id;
+        call->span_id_ = req->span_id;
+        call->app_start_ = system_->sim().Now();
+        call->recv_queue_ = recv_so_far + app_wait + wakeup;
+        call->respond_ = std::move(req->respond);
+        call->cycles_ = rx_cost;
+        call->self_ = call;
+        auto it = handlers_.find(req->method);
+        if (it == handlers_.end()) {
+          call->Finish(UnimplementedError("no such method"), Payload::Modeled(64));
+          return;
+        }
+        it->second(call);
+      });
+    });
+  });
+}
+
+void Server::FinishCall(ServerCall* call, Status status, Payload response) {
+  assert(!call->finished_);
+  call->finished_ = true;
+  const CycleCostModel& costs = system_->costs();
+  const SimTime now = system_->sim().Now();
+  const SimDuration app_time = now - call->app_start_;
+  // Cycles the handler actually executed on this machine.
+  call->cycles_[CycleCategory::kApplication] +=
+      ToSeconds(app_time) * costs.cycles_per_second * machine_speed_;
+  app_pool_.Release();
+  ++requests_served_;
+
+  WireFrame frame =
+      EncodeFrame(response, system_->options().encryption_key, call->span_id_ ^ 0x1);
+  const CycleBreakdown tx_cost = costs.SendSideCost(frame.payload_bytes, frame.wire_bytes);
+  call->cycles_.Accumulate(tx_cost);
+  const SimDuration tx_time = costs.CyclesToDuration(tx_cost.TaxTotal(), machine_speed_);
+
+  std::shared_ptr<ServerCall> self = call->self_;
+  tx_pool_.Submit(
+      tx_time, [this, self, status = std::move(status), frame = std::move(frame), app_time](
+                   SimDuration tx_wait, SimDuration tx_service) mutable {
+        ServerReply reply;
+        reply.status = std::move(status);
+        reply.recv_queue = self->recv_queue_;
+        reply.app_time = app_time;
+        reply.send_queue = tx_wait == ServerResource::kRejected ? 0 : tx_wait;
+        reply.resp_proc = tx_service;
+        reply.server_cycles = self->cycles_;
+        reply.response_frame = std::move(frame);
+        const int64_t wire_bytes = reply.response_frame.wire_bytes;
+        auto respond = std::move(self->respond_);
+        self->self_.reset();
+        system_->fabric().Send(
+            machine_, self->client_machine_, wire_bytes,
+            [reply = std::move(reply), respond = std::move(respond)](SimDuration wire) mutable {
+              reply.resp_wire = wire;
+              respond(std::move(reply));
+            });
+      });
+}
+
+void Server::FinishStreamCall(ServerCall* call, Status status, Payload chunk,
+                              int num_chunks) {
+  assert(!call->finished_);
+  assert(num_chunks >= 1);
+  call->finished_ = true;
+  const CycleCostModel& costs = system_->costs();
+  const SimTime now = system_->sim().Now();
+  const SimDuration app_time = now - call->app_start_;
+  call->cycles_[CycleCategory::kApplication] +=
+      ToSeconds(app_time) * costs.cycles_per_second * machine_speed_;
+  app_pool_.Release();
+  ++requests_served_;
+
+  // Every chunk is a full message: per-chunk framing/stack/library costs are
+  // what make streams more expensive per byte than one big unary response.
+  WireFrame frame =
+      EncodeFrame(chunk, system_->options().encryption_key, call->span_id_ ^ 0x3);
+  const CycleBreakdown per_chunk = costs.SendSideCost(frame.payload_bytes, frame.wire_bytes);
+  CycleBreakdown tx_cost;
+  for (int c = 0; c < num_chunks; ++c) {
+    tx_cost.Accumulate(per_chunk);
+  }
+  call->cycles_.Accumulate(tx_cost);
+  // The tx worker is held for the whole stream (chunks go out back-to-back).
+  const SimDuration tx_time = costs.CyclesToDuration(tx_cost.TaxTotal(), machine_speed_);
+  const int64_t total_wire = frame.wire_bytes * num_chunks;
+
+  std::shared_ptr<ServerCall> self = call->self_;
+  tx_pool_.Submit(
+      tx_time, [this, self, status = std::move(status), frame = std::move(frame), app_time,
+                num_chunks, total_wire](SimDuration tx_wait, SimDuration tx_service) mutable {
+        ServerReply reply;
+        reply.status = std::move(status);
+        reply.recv_queue = self->recv_queue_;
+        reply.app_time = app_time;
+        reply.send_queue = tx_wait == ServerResource::kRejected ? 0 : tx_wait;
+        reply.resp_proc = tx_service;
+        reply.server_cycles = self->cycles_;
+        reply.response_frame = std::move(frame);
+        reply.chunk_count = num_chunks;
+        reply.stream_wire_bytes = total_wire;
+        auto respond = std::move(self->respond_);
+        self->self_.reset();
+        // The wire carries all chunks; bandwidth delay scales with the total.
+        system_->fabric().Send(
+            machine_, self->client_machine_, total_wire,
+            [reply = std::move(reply), respond = std::move(respond)](SimDuration wire) mutable {
+              reply.resp_wire = wire;
+              respond(std::move(reply));
+            });
+      });
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,144 @@
+// Server: the callee side of the RPC stack.
+//
+// Pipeline per request (Fig. 9): the fabric delivers a frame; an I/O worker
+// decrypts/parses it (Server Recv Queue time); the call waits for an
+// application worker (also Server Recv Queue); the registered handler runs —
+// holding its worker for the full, possibly asynchronous, handler duration —
+// (Server Application); the response waits for a transmit worker (Server Send
+// Queue), is serialized/compressed/encrypted (Response Proc+Net Stack), and
+// returns over the fabric.
+#ifndef RPCSCOPE_SRC_RPC_SERVER_H_
+#define RPCSCOPE_SRC_RPC_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/rpc/call.h"
+#include "src/rpc/rpc_system.h"
+#include "src/sim/server_resource.h"
+
+namespace rpcscope {
+
+class Server;
+
+// Context handed to method handlers. Handlers must eventually call Finish()
+// exactly once; they may first Compute() virtual work or issue child RPCs
+// (via a Client bound to this server's machine, linked with trace_id/span_id).
+class ServerCall {
+ public:
+  const Payload& request() const { return request_; }
+  MethodId method() const { return method_; }
+  MachineId client_machine() const { return client_machine_; }
+  MachineId server_machine() const;
+  SimTime deadline_time() const { return deadline_time_; }
+  TraceId trace_id() const { return trace_id_; }
+  SpanId span_id() const { return span_id_; }
+  Simulator& sim();
+  SimTime Now();
+
+  // Performs `duration` of virtual application work, then invokes `then`.
+  // The application worker remains held throughout.
+  void Compute(SimDuration duration, std::function<void()> then);
+
+  // Completes the call. Consumes the context's one completion.
+  void Finish(Status status, Payload response);
+
+  // Server-streaming completion: delivers `num_chunks` copies of `chunk`
+  // back-to-back. Each chunk pays the full per-message stack cost (framing,
+  // network stack, RPC library), which is what distinguishes a stream from
+  // one large unary response of the same total size.
+  void FinishStream(Status status, Payload chunk, int num_chunks);
+
+ private:
+  friend class Server;
+
+  Server* server_ = nullptr;
+  Payload request_;
+  MethodId method_ = -1;
+  MachineId client_machine_ = -1;
+  SimTime deadline_time_ = 0;
+  TraceId trace_id_ = 0;
+  SpanId span_id_ = 0;
+  SimTime app_start_ = 0;
+  SimDuration recv_queue_ = 0;
+  ServerResponder respond_;
+  CycleBreakdown cycles_;
+  bool finished_ = false;
+  // Self-reference keeping the call alive until its response is on the wire;
+  // cleared when the response path completes. A handler that never calls
+  // Finish() leaks its call (contract violation).
+  std::shared_ptr<ServerCall> self_;
+};
+
+using MethodHandler = std::function<void(std::shared_ptr<ServerCall> call)>;
+
+// Maps an incoming request to a scheduling priority class (0 = high runs
+// first, >0 = low). The default treats all requests equally (FIFO).
+using RequestPriorityFn = std::function<int(const IncomingRequest&)>;
+
+struct ServerOptions {
+  int app_workers = 8;
+  int io_workers = 2;
+  RequestPriorityFn request_priority;  // Null => single FIFO class.
+  size_t max_app_queue_depth = 0;  // 0 = unbounded.
+  size_t max_io_queue_depth = 0;
+  // Multiplies handler Compute() durations; models exogenous server slowdown
+  // (CPU utilization, memory bandwidth pressure — §3.3.4).
+  double app_speed_factor = 1.0;
+  // Added to every app-worker grant; models scheduler wake-up delay (the
+  // "long wakeup rate" exogenous variable of Table 2).
+  SimDuration wakeup_latency = 0;
+};
+
+class Server {
+ public:
+  Server(RpcSystem* system, MachineId machine, const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  void RegisterMethod(MethodId method, std::string name, MethodHandler handler);
+  bool HasMethod(MethodId method) const { return handlers_.contains(method); }
+
+  // Entry point used by clients (via the fabric): runs the server pipeline
+  // and eventually invokes request.respond exactly once.
+  void DeliverRequest(IncomingRequest request);
+
+  MachineId machine() const { return machine_; }
+  RpcSystem& system() { return *system_; }
+  double machine_speed() const { return machine_speed_; }
+  const ServerOptions& options() const { return options_; }
+
+  // Exogenous-state knobs (adjustable while running).
+  void set_app_speed_factor(double f) { options_.app_speed_factor = f; }
+  void set_wakeup_latency(SimDuration d) { options_.wakeup_latency = d; }
+
+  // Utilization accounting.
+  double AppUtilization(SimDuration elapsed);
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  friend class ServerCall;
+
+  void FinishCall(ServerCall* call, Status status, Payload response);
+  void FinishStreamCall(ServerCall* call, Status status, Payload chunk, int num_chunks);
+
+  RpcSystem* system_;
+  MachineId machine_;
+  ServerOptions options_;
+  double machine_speed_;
+  ServerResource rx_pool_;
+  ServerResource app_pool_;
+  ServerResource tx_pool_;
+  std::unordered_map<MethodId, MethodHandler> handlers_;
+  std::unordered_map<MethodId, std::string> method_names_;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_RPC_SERVER_H_

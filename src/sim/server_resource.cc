@@ -1,0 +1,76 @@
+#include "src/sim/server_resource.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace rpcscope {
+
+ServerResource::ServerResource(Simulator* sim, const Options& options)
+    : sim_(sim), options_(options), last_change_(sim->Now()) {
+  assert(sim != nullptr);
+  assert(options.workers > 0);
+}
+
+void ServerResource::UpdateBusyTime() {
+  const SimTime now = sim_->Now();
+  busy_time_ += static_cast<SimDuration>(busy_workers_) * (now - last_change_);
+  last_change_ = now;
+}
+
+SimDuration ServerResource::busy_time() {
+  UpdateBusyTime();
+  return busy_time_;
+}
+
+void ServerResource::AcquireWithPriority(int priority, Grant on_grant) {
+  if (options_.max_queue_depth != 0 && busy_workers_ >= options_.workers &&
+      QueuedJobs() >= options_.max_queue_depth) {
+    ++jobs_rejected_;
+    on_grant(kRejected);
+    return;
+  }
+  Job job{sim_->Now(), std::move(on_grant)};
+  if (busy_workers_ < options_.workers) {
+    GrantJob(std::move(job));
+  } else {
+    (priority <= 0 ? queue_ : low_queue_).push_back(std::move(job));
+  }
+}
+
+void ServerResource::GrantJob(Job job) {
+  UpdateBusyTime();
+  ++busy_workers_;
+  const SimDuration queue_delay = sim_->Now() - job.enqueue_time;
+  job.on_grant(queue_delay);
+}
+
+void ServerResource::Release() {
+  assert(busy_workers_ > 0);
+  UpdateBusyTime();
+  --busy_workers_;
+  ++jobs_completed_;
+  std::deque<Job>& next_queue = !queue_.empty() ? queue_ : low_queue_;
+  if (!next_queue.empty() && busy_workers_ < options_.workers) {
+    Job next = std::move(next_queue.front());
+    next_queue.pop_front();
+    GrantJob(std::move(next));
+  }
+}
+
+void ServerResource::Submit(SimDuration service_time, Completion done) {
+  const SimDuration scaled =
+      static_cast<SimDuration>(std::llround(static_cast<double>(service_time) * speed_factor_));
+  Acquire([this, scaled, done = std::move(done)](SimDuration queue_delay) mutable {
+    if (queue_delay == kRejected) {
+      done(kRejected, 0);
+      return;
+    }
+    sim_->Schedule(scaled, [this, queue_delay, scaled, done = std::move(done)]() {
+      Release();
+      done(queue_delay, scaled);
+    });
+  });
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,51 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace rpcscope {
+
+void Simulator::Schedule(SimDuration delay, Callback fn) {
+  if (delay < 0) {
+    delay = 0;
+  }
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime when, Callback fn) {
+  if (when < now_) {
+    when = now_;
+  }
+  queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+uint64_t Simulator::Run() {
+  uint64_t executed = 0;
+  while (!queue_.empty()) {
+    // The callback may schedule more events; copy out before popping.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  events_executed_ += executed;
+  return executed;
+}
+
+uint64_t Simulator::RunUntil(SimTime until) {
+  uint64_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.fn();
+    ++executed;
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+  events_executed_ += executed;
+  return executed;
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,72 @@
+// Discrete-event simulation engine.
+//
+// The fleet substrate runs entirely on virtual time: events carry a callback
+// and execute in (time, insertion-sequence) order, making every run
+// deterministic for a fixed seed. The engine is single-threaded on purpose —
+// concurrency in the modeled system (server worker pools, network links) is
+// expressed as resources over virtual time, not as host threads.
+#ifndef RPCSCOPE_SRC_SIM_SIMULATOR_H_
+#define RPCSCOPE_SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace rpcscope {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` after the current time (delay >= 0; negative
+  // delays are clamped to zero).
+  void Schedule(SimDuration delay, Callback fn);
+
+  // Schedules `fn` at an absolute time (clamped to now if in the past).
+  void ScheduleAt(SimTime when, Callback fn);
+
+  // Runs until the event queue drains. Returns the number of events executed.
+  uint64_t Run();
+
+  // Runs events with time <= until (events exactly at `until` execute).
+  // Advances Now() to `until` even if the queue drains earlier.
+  uint64_t RunUntil(SimTime until);
+
+  uint64_t RunFor(SimDuration duration) { return RunUntil(now_ + duration); }
+
+  bool empty() const { return queue_.empty(); }
+  uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,47 @@
+#include "src/trace/collector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpcscope {
+
+TraceCollector::TraceCollector(const Options& options) : options_(options), rng_(options.seed) {
+  const double p = std::clamp(options.sampling_probability, 0.0, 1.0);
+  if (p >= 1.0) {
+    sample_threshold_ = UINT64_MAX;
+  } else {
+    sample_threshold_ = static_cast<uint64_t>(p * 1.8446744073709552e19);
+  }
+}
+
+bool TraceCollector::IsSampled(TraceId trace_id) const {
+  if (sample_threshold_ == UINT64_MAX) {
+    return true;
+  }
+  return Mix64(trace_id ^ options_.seed) < sample_threshold_;
+}
+
+bool TraceCollector::Record(const Span& span) {
+  if (!IsSampled(span.trace_id)) {
+    ++dropped_;
+    return false;
+  }
+  spans_.push_back(span);
+  ++recorded_;
+  return true;
+}
+
+TraceId TraceCollector::NewTraceId() {
+  // Ids are both unique and well-distributed so that sampling by hash works.
+  return Mix64(next_id_++) | 1;
+}
+
+SpanId TraceCollector::NewSpanId() { return Mix64(0x5eed ^ next_id_++) | 1; }
+
+void TraceCollector::Clear() {
+  spans_.clear();
+  recorded_ = 0;
+  dropped_ = 0;
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,55 @@
+// TraceCollector: the Dapper-like trace sink.
+//
+// Collects spans with probabilistic head sampling (a root's sampling decision
+// propagates to the whole tree via the trace id, as in Dapper). Stores spans
+// in memory; analyses read them back as a flat view or assembled trees.
+#ifndef RPCSCOPE_SRC_TRACE_COLLECTOR_H_
+#define RPCSCOPE_SRC_TRACE_COLLECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/trace/span.h"
+
+namespace rpcscope {
+
+class TraceCollector {
+ public:
+  struct Options {
+    double sampling_probability = 1.0;  // Head-based, per trace id.
+    uint64_t seed = 0xdadbeef;
+  };
+
+  TraceCollector() : TraceCollector(Options{}) {}
+  explicit TraceCollector(const Options& options);
+
+  // Whether a trace id is selected for collection (deterministic per id).
+  bool IsSampled(TraceId trace_id) const;
+
+  // Records the span if its trace is sampled. Returns true if kept.
+  bool Record(const Span& span);
+
+  // Allocates fresh trace/span ids (never zero).
+  TraceId NewTraceId();
+  SpanId NewSpanId();
+
+  const std::vector<Span>& spans() const { return spans_; }
+  uint64_t recorded() const { return recorded_; }
+  uint64_t dropped() const { return dropped_; }
+
+  void Clear();
+
+ private:
+  Options options_;
+  Rng rng_;
+  uint64_t sample_threshold_;  // Trace kept iff Mix64(id ^ seed) < threshold.
+  std::vector<Span> spans_;
+  uint64_t recorded_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_TRACE_COLLECTOR_H_

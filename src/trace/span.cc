@@ -1,0 +1,54 @@
+#include "src/trace/span.h"
+
+namespace rpcscope {
+
+std::string_view RpcComponentName(RpcComponent c) {
+  switch (c) {
+    case RpcComponent::kClientSendQueue:
+      return "Client Send Queue";
+    case RpcComponent::kRequestProcStack:
+      return "Request Proc+Net Stack";
+    case RpcComponent::kRequestWire:
+      return "Request Network Wire";
+    case RpcComponent::kServerRecvQueue:
+      return "Server Recv Queue";
+    case RpcComponent::kServerApp:
+      return "Server Application";
+    case RpcComponent::kServerSendQueue:
+      return "Server Send Queue";
+    case RpcComponent::kResponseProcStack:
+      return "Resp Proc+Net Stack";
+    case RpcComponent::kResponseWire:
+      return "Resp Network Wire";
+    case RpcComponent::kClientRecvQueue:
+      return "Client Recv Queue";
+  }
+  return "invalid";
+}
+
+SimDuration LatencyBreakdown::Total() const {
+  SimDuration total = 0;
+  for (SimDuration d : components) {
+    total += d;
+  }
+  return total;
+}
+
+SimDuration LatencyBreakdown::Tax() const {
+  return Total() - (*this)[RpcComponent::kServerApp];
+}
+
+SimDuration LatencyBreakdown::WireTotal() const {
+  return (*this)[RpcComponent::kRequestWire] + (*this)[RpcComponent::kResponseWire];
+}
+
+SimDuration LatencyBreakdown::ProcStackTotal() const {
+  return (*this)[RpcComponent::kRequestProcStack] + (*this)[RpcComponent::kResponseProcStack];
+}
+
+SimDuration LatencyBreakdown::QueueTotal() const {
+  return (*this)[RpcComponent::kClientSendQueue] + (*this)[RpcComponent::kServerRecvQueue] +
+         (*this)[RpcComponent::kServerSendQueue] + (*this)[RpcComponent::kClientRecvQueue];
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,239 @@
+#include "src/trace/storage.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/wire/varint.h"
+
+namespace rpcscope {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'S', 'P', 'N'};
+constexpr uint64_t kVersion = 1;
+
+void PutDouble(std::vector<uint8_t>& out, double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutVarint64(out, bits);
+}
+
+bool GetDouble(const std::vector<uint8_t>& buf, size_t& pos, double& value) {
+  uint64_t bits;
+  if (!GetVarint64(buf, pos, bits)) {
+    return false;
+  }
+  std::memcpy(&value, &bits, sizeof(value));
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeSpans(const std::vector<Span>& spans) {
+  std::vector<uint8_t> out;
+  out.reserve(spans.size() * 64 + 16);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  PutVarint64(out, kVersion);
+  PutVarint64(out, spans.size());
+  for (const Span& s : spans) {
+    PutVarint64(out, s.trace_id);
+    PutVarint64(out, s.span_id);
+    PutVarint64(out, s.parent_span_id);
+    PutVarint64(out, ZigzagEncode(s.method_id));
+    PutVarint64(out, ZigzagEncode(s.service_id));
+    PutVarint64(out, ZigzagEncode(s.client_cluster));
+    PutVarint64(out, ZigzagEncode(s.server_cluster));
+    PutVarint64(out, ZigzagEncode(s.start_time));
+    for (SimDuration d : s.latency.components) {
+      PutVarint64(out, ZigzagEncode(d));
+    }
+    PutVarint64(out, static_cast<uint64_t>(s.status));
+    PutVarint64(out, ZigzagEncode(s.request_payload_bytes));
+    PutVarint64(out, ZigzagEncode(s.response_payload_bytes));
+    PutVarint64(out, ZigzagEncode(s.request_wire_bytes));
+    PutVarint64(out, ZigzagEncode(s.response_wire_bytes));
+    PutVarint64(out, s.has_cpu_annotation ? 1 : 0);
+    PutDouble(out, s.normalized_cpu_cycles);
+  }
+  return out;
+}
+
+Result<std::vector<Span>> DeserializeSpans(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return InvalidArgumentError("not a span batch (bad magic)");
+  }
+  size_t pos = 4;
+  uint64_t version, count;
+  if (!GetVarint64(bytes, pos, version) || version != kVersion) {
+    return InvalidArgumentError("unsupported span batch version");
+  }
+  if (!GetVarint64(bytes, pos, count)) {
+    return InternalError("truncated span count");
+  }
+  std::vector<Span> spans;
+  spans.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Span s;
+    uint64_t u = 0;
+    auto get_u64 = [&](uint64_t& v) { return GetVarint64(bytes, pos, v); };
+    auto get_i64 = [&](int64_t& v) {
+      uint64_t raw;
+      if (!GetVarint64(bytes, pos, raw)) {
+        return false;
+      }
+      v = ZigzagDecode(raw);
+      return true;
+    };
+    int64_t i64 = 0;
+    if (!get_u64(s.trace_id) || !get_u64(s.span_id) || !get_u64(s.parent_span_id)) {
+      return InternalError("truncated span ids");
+    }
+    if (!get_i64(i64)) {
+      return InternalError("truncated method id");
+    }
+    s.method_id = static_cast<int32_t>(i64);
+    if (!get_i64(i64)) {
+      return InternalError("truncated service id");
+    }
+    s.service_id = static_cast<int32_t>(i64);
+    if (!get_i64(i64)) {
+      return InternalError("truncated client cluster");
+    }
+    s.client_cluster = static_cast<ClusterId>(i64);
+    if (!get_i64(i64)) {
+      return InternalError("truncated server cluster");
+    }
+    s.server_cluster = static_cast<ClusterId>(i64);
+    if (!get_i64(s.start_time)) {
+      return InternalError("truncated start time");
+    }
+    for (SimDuration& d : s.latency.components) {
+      if (!get_i64(d)) {
+        return InternalError("truncated latency component");
+      }
+    }
+    if (!get_u64(u)) {
+      return InternalError("truncated status");
+    }
+    if (u > 16) {
+      return InvalidArgumentError("invalid status code");
+    }
+    s.status = static_cast<StatusCode>(u);
+    if (!get_i64(s.request_payload_bytes) || !get_i64(s.response_payload_bytes) ||
+        !get_i64(s.request_wire_bytes) || !get_i64(s.response_wire_bytes)) {
+      return InternalError("truncated byte counts");
+    }
+    if (!get_u64(u)) {
+      return InternalError("truncated annotation flag");
+    }
+    s.has_cpu_annotation = u != 0;
+    if (!GetDouble(bytes, pos, s.normalized_cpu_cycles)) {
+      return InternalError("truncated cycle annotation");
+    }
+    spans.push_back(s);
+  }
+  if (pos != bytes.size()) {
+    return InternalError("trailing bytes after span batch");
+  }
+  return spans;
+}
+
+void TraceStore::Add(const Span& span) {
+  const size_t index = spans_.size();
+  spans_.push_back(span);
+  by_method_[span.method_id].push_back(index);
+  by_service_[span.service_id].push_back(index);
+  by_trace_[span.trace_id].push_back(index);
+}
+
+void TraceStore::AddAll(const std::vector<Span>& spans) {
+  for (const Span& s : spans) {
+    Add(s);
+  }
+}
+
+namespace {
+
+std::vector<const Span*> Resolve(const std::vector<Span>& spans,
+                                 const std::unordered_map<int32_t, std::vector<size_t>>& index,
+                                 int32_t key) {
+  std::vector<const Span*> out;
+  auto it = index.find(key);
+  if (it != index.end()) {
+    out.reserve(it->second.size());
+    for (size_t i : it->second) {
+      out.push_back(&spans[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<const Span*> TraceStore::ByMethod(int32_t method_id) const {
+  return Resolve(spans_, by_method_, method_id);
+}
+
+std::vector<const Span*> TraceStore::ByService(int32_t service_id) const {
+  return Resolve(spans_, by_service_, service_id);
+}
+
+std::vector<const Span*> TraceStore::ByTrace(TraceId trace_id) const {
+  std::vector<const Span*> out;
+  auto it = by_trace_.find(trace_id);
+  if (it != by_trace_.end()) {
+    for (size_t i : it->second) {
+      out.push_back(&spans_[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<const Span*> TraceStore::InTimeRange(SimTime begin, SimTime end) const {
+  std::vector<const Span*> out;
+  for (const Span& s : spans_) {
+    if (s.start_time >= begin && s.start_time < end) {
+      out.push_back(&s);
+    }
+  }
+  return out;
+}
+
+Status TraceStore::SaveToFile(const std::string& path) const {
+  const std::vector<uint8_t> bytes = SerializeSpans(spans_);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return InternalError("cannot open " + path + " for writing");
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) {
+    return InternalError("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<TraceStore> TraceStore::LoadFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return NotFoundError("cannot open " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  const size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) {
+    return InternalError("short read from " + path);
+  }
+  Result<std::vector<Span>> spans = DeserializeSpans(bytes);
+  if (!spans.ok()) {
+    return spans.status();
+  }
+  TraceStore store;
+  store.AddAll(spans.value());
+  return store;
+}
+
+}  // namespace rpcscope

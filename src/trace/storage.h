@@ -1,0 +1,57 @@
+// TraceStore: persisted, queryable span storage.
+//
+// Dapper separates collection from analysis: traces are written once and
+// queried many times. TraceStore holds spans with by-method / by-service /
+// by-trace indexes and serializes to a compact varint-encoded binary format
+// so a bench run's spans can be written to disk and re-analyzed without
+// re-simulating.
+#ifndef RPCSCOPE_SRC_TRACE_STORAGE_H_
+#define RPCSCOPE_SRC_TRACE_STORAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/trace/span.h"
+
+namespace rpcscope {
+
+// Binary codec for span batches. The format is self-describing:
+//   [magic "RSPN"][varint version][varint count][span records...]
+// Each span record encodes its fields as varints (durations as ns, doubles
+// as IEEE-754 bit patterns).
+std::vector<uint8_t> SerializeSpans(const std::vector<Span>& spans);
+Result<std::vector<Span>> DeserializeSpans(const std::vector<uint8_t>& bytes);
+
+class TraceStore {
+ public:
+  void Add(const Span& span);
+  void AddAll(const std::vector<Span>& spans);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  size_t size() const { return spans_.size(); }
+
+  // Index lookups; returned pointers are invalidated by Add.
+  std::vector<const Span*> ByMethod(int32_t method_id) const;
+  std::vector<const Span*> ByService(int32_t service_id) const;
+  std::vector<const Span*> ByTrace(TraceId trace_id) const;
+
+  // Spans with start_time in [begin, end).
+  std::vector<const Span*> InTimeRange(SimTime begin, SimTime end) const;
+
+  // Disk round trip (binary format above).
+  Status SaveToFile(const std::string& path) const;
+  static Result<TraceStore> LoadFromFile(const std::string& path);
+
+ private:
+  std::vector<Span> spans_;
+  std::unordered_map<int32_t, std::vector<size_t>> by_method_;
+  std::unordered_map<int32_t, std::vector<size_t>> by_service_;
+  std::unordered_map<TraceId, std::vector<size_t>> by_trace_;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_TRACE_STORAGE_H_

@@ -1,0 +1,82 @@
+#include "src/trace/tree.h"
+
+#include <algorithm>
+
+namespace rpcscope {
+
+TraceForest::TraceForest(const std::vector<Span>& spans) {
+  // Index spans by id and group by trace.
+  std::unordered_map<SpanId, size_t> by_span_id;
+  by_span_id.reserve(spans.size());
+  for (size_t i = 0; i < spans.size(); ++i) {
+    by_span_id.emplace(spans[i].span_id, i);
+  }
+
+  // children[i] lists indexes of spans whose parent is spans[i].
+  std::vector<std::vector<size_t>> children(spans.size());
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& s = spans[i];
+    if (s.parent_span_id == 0) {
+      roots.push_back(i);
+      continue;
+    }
+    auto it = by_span_id.find(s.parent_span_id);
+    if (it == by_span_id.end() || it->second == i) {
+      roots.push_back(i);  // Orphan: treat as root.
+    } else {
+      children[it->second].push_back(i);
+    }
+  }
+
+  span_shapes_.resize(spans.size());
+  std::unordered_map<TraceId, TraceShape> traces;
+
+  // Iterative DFS per root: compute depth on the way down, descendant counts
+  // on the way back up (post-order).
+  std::vector<std::pair<size_t, int64_t>> stack;  // (index, depth)
+  std::vector<size_t> order;
+  for (size_t root : roots) {
+    stack.clear();
+    order.clear();
+    stack.push_back({root, 0});
+    int64_t max_depth = 0;
+    std::unordered_map<int64_t, int64_t> width_at_depth;
+    while (!stack.empty()) {
+      auto [idx, depth] = stack.back();
+      stack.pop_back();
+      order.push_back(idx);
+      span_shapes_[idx].span_index = idx;
+      span_shapes_[idx].ancestors = depth;
+      max_depth = std::max(max_depth, depth);
+      ++width_at_depth[depth];
+      for (size_t child : children[idx]) {
+        stack.push_back({child, depth + 1});
+      }
+    }
+    // Post-order descendant accumulation: process in reverse DFS order.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      int64_t desc = 0;
+      for (size_t child : children[*it]) {
+        desc += 1 + span_shapes_[child].descendants;
+      }
+      span_shapes_[*it].descendants = desc;
+    }
+    TraceShape& shape = traces[spans[root].trace_id];
+    shape.trace_id = spans[root].trace_id;
+    shape.total_spans += static_cast<int64_t>(order.size());
+    shape.max_depth = std::max(shape.max_depth, max_depth);
+    for (const auto& [depth, width] : width_at_depth) {
+      shape.max_width = std::max(shape.max_width, width);
+    }
+  }
+
+  trace_shapes_.reserve(traces.size());
+  for (auto& [id, shape] : traces) {
+    trace_shapes_.push_back(shape);
+  }
+  std::sort(trace_shapes_.begin(), trace_shapes_.end(),
+            [](const TraceShape& a, const TraceShape& b) { return a.trace_id < b.trace_id; });
+}
+
+}  // namespace rpcscope

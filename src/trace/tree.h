@@ -1,0 +1,47 @@
+// Trace-tree assembly and shape statistics (descendants / ancestors).
+//
+// §2.4 of the paper characterizes nested RPC call graphs by the number of
+// descendants (the scale of distributed computation below a call) and the
+// number of ancestors (return distance to the root). TraceForest assembles
+// collected spans into trees and computes both per span.
+#ifndef RPCSCOPE_SRC_TRACE_TREE_H_
+#define RPCSCOPE_SRC_TRACE_TREE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/trace/span.h"
+
+namespace rpcscope {
+
+struct SpanShape {
+  size_t span_index = 0;    // Index into the input span vector.
+  int64_t descendants = 0;  // Spans strictly below this one in its tree.
+  int64_t ancestors = 0;    // Depth: hops from this span up to the root.
+};
+
+struct TraceShape {
+  TraceId trace_id = 0;
+  int64_t total_spans = 0;
+  int64_t max_depth = 0;     // Longest root-to-leaf ancestor count.
+  int64_t max_width = 0;     // Largest number of spans at a single depth.
+};
+
+class TraceForest {
+ public:
+  // Builds the forest. Spans whose parent is missing from the collection are
+  // treated as roots (Dapper shows the same artifact with partial traces).
+  explicit TraceForest(const std::vector<Span>& spans);
+
+  const std::vector<SpanShape>& span_shapes() const { return span_shapes_; }
+  const std::vector<TraceShape>& trace_shapes() const { return trace_shapes_; }
+
+ private:
+  std::vector<SpanShape> span_shapes_;
+  std::vector<TraceShape> trace_shapes_;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_TRACE_TREE_H_

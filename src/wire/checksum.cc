@@ -1,0 +1,41 @@
+#include "src/wire/checksum.h"
+
+#include <array>
+
+namespace rpcscope {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78;  // CRC32C reflected polynomial.
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const uint8_t* data, size_t size) {
+  const auto& table = Table();
+  uint32_t crc = 0xffffffff;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ data[i]) & 0xff];
+  }
+  return crc ^ 0xffffffff;
+}
+
+uint32_t Crc32c(const std::vector<uint8_t>& data) { return Crc32c(data.data(), data.size()); }
+
+}  // namespace rpcscope

@@ -1,0 +1,47 @@
+#include "src/wire/cipher.h"
+
+#include <cstddef>
+
+#include "src/common/rng.h"
+
+namespace rpcscope {
+
+StreamCipher::StreamCipher(uint64_t key, uint64_t nonce) {
+  uint64_t sm = key ^ Mix64(nonce);
+  for (auto& lane : s_) {
+    lane = SplitMix64(sm);
+  }
+}
+
+uint64_t StreamCipher::NextBlock() {
+  auto rotl = [](uint64_t x, int k) { return (x << k) | (x >> (64 - k)); };
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void StreamCipher::Apply(std::vector<uint8_t>& data) {
+  size_t i = 0;
+  while (i + 8 <= data.size()) {
+    const uint64_t ks = NextBlock();
+    for (int b = 0; b < 8; ++b) {
+      data[i + static_cast<size_t>(b)] ^= static_cast<uint8_t>(ks >> (8 * b));
+    }
+    i += 8;
+  }
+  if (i < data.size()) {
+    const uint64_t ks = NextBlock();
+    int b = 0;
+    for (; i < data.size(); ++i, ++b) {
+      data[i] ^= static_cast<uint8_t>(ks >> (8 * b));
+    }
+  }
+}
+
+}  // namespace rpcscope

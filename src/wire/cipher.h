@@ -1,0 +1,32 @@
+// Stream cipher for RPC payload encryption.
+//
+// NOT cryptographically secure: this is a cost-model stand-in for the
+// ChaCha20-class ciphers the production stack uses. It is a keyed
+// xoshiro256** keystream XOR, which (a) is byte-for-byte reversible,
+// (b) touches every payload byte exactly once like a real stream cipher, and
+// (c) gives the cycle meter a realistic per-byte cost shape.
+#ifndef RPCSCOPE_SRC_WIRE_CIPHER_H_
+#define RPCSCOPE_SRC_WIRE_CIPHER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace rpcscope {
+
+class StreamCipher {
+ public:
+  // Key + per-message nonce select the keystream.
+  StreamCipher(uint64_t key, uint64_t nonce);
+
+  // XORs the keystream over `data` in place. Calling twice with a cipher
+  // constructed from the same (key, nonce) restores the original bytes.
+  void Apply(std::vector<uint8_t>& data);
+
+ private:
+  uint64_t s_[4];
+  uint64_t NextBlock();
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_WIRE_CIPHER_H_

@@ -1,0 +1,165 @@
+#include "src/wire/compressor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/wire/varint.h"
+
+namespace rpcscope {
+
+namespace {
+
+constexpr uint8_t kStoredBlock = 0;
+constexpr uint8_t kLzBlock = 1;
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxOffset = 65535;
+constexpr size_t kHashBits = 15;
+
+inline uint32_t HashFour(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<uint8_t> RatelCompress(const std::vector<uint8_t>& input) {
+  std::vector<uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+  out.push_back(kLzBlock);
+  PutVarint64(out, input.size());
+
+  if (input.size() < kMinMatch + 4) {
+    out[0] = kStoredBlock;
+    out.insert(out.end(), input.begin(), input.end());
+    return out;
+  }
+
+  std::vector<int64_t> head(static_cast<size_t>(1) << kHashBits, -1);
+  const uint8_t* data = input.data();
+  const size_t n = input.size();
+  size_t pos = 0;
+  size_t literal_start = 0;
+
+  auto flush_literals = [&](size_t end) {
+    PutVarint64(out, (end - literal_start) << 1);  // LSB 0 => literal run.
+    out.insert(out.end(), data + literal_start, data + end);
+  };
+
+  while (pos + kMinMatch <= n) {
+    const uint32_t h = HashFour(data + pos);
+    const int64_t candidate = head[h];
+    head[h] = static_cast<int64_t>(pos);
+    if (candidate >= 0 && pos - static_cast<size_t>(candidate) <= kMaxOffset &&
+        std::memcmp(data + candidate, data + pos, kMinMatch) == 0) {
+      // Extend the match.
+      size_t len = kMinMatch;
+      const size_t cand = static_cast<size_t>(candidate);
+      while (pos + len < n && data[cand + len] == data[pos + len]) {
+        ++len;
+      }
+      flush_literals(pos);
+      PutVarint64(out, ((len - kMinMatch) << 1) | 1);  // LSB 1 => match.
+      PutVarint64(out, pos - cand);
+      // Insert hash entries inside the match so later data can reference it.
+      const size_t insert_end = std::min(pos + len, n - kMinMatch);
+      for (size_t i = pos + 1; i < insert_end; ++i) {
+        head[HashFour(data + i)] = static_cast<int64_t>(i);
+      }
+      pos += len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  flush_literals(n);
+
+  if (out.size() >= input.size() + 1 + VarintSize(input.size())) {
+    // Incompressible: fall back to a stored block.
+    std::vector<uint8_t> stored;
+    stored.reserve(input.size() + 10);
+    stored.push_back(kStoredBlock);
+    PutVarint64(stored, input.size());
+    stored.insert(stored.end(), input.begin(), input.end());
+    return stored;
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> RatelDecompress(const std::vector<uint8_t>& block) {
+  if (block.empty()) {
+    return InvalidArgumentError("empty block");
+  }
+  const uint8_t kind = block[0];
+  size_t pos = 1;
+  uint64_t original_size;
+  if (!GetVarint64(block, pos, original_size)) {
+    return InternalError("corrupt block header");
+  }
+  // The declared size is attacker-controlled: cap it absolutely, reserve
+  // conservatively, and let the per-token bounds below keep the output from
+  // ever exceeding the declaration.
+  constexpr uint64_t kMaxBlockBytes = uint64_t{1} << 30;
+  if (original_size > kMaxBlockBytes) {
+    return InvalidArgumentError("declared size exceeds the 1 GiB block limit");
+  }
+  std::vector<uint8_t> out;
+  out.reserve(static_cast<size_t>(std::min<uint64_t>(original_size, 1 << 20)));
+
+  if (kind == kStoredBlock) {
+    if (block.size() - pos != original_size) {
+      return InternalError("stored block size mismatch");
+    }
+    out.insert(out.end(), block.begin() + static_cast<int64_t>(pos), block.end());
+    return out;
+  }
+  if (kind != kLzBlock) {
+    return InvalidArgumentError("unknown block kind");
+  }
+
+  while (pos < block.size()) {
+    uint64_t token;
+    if (!GetVarint64(block, pos, token)) {
+      return InternalError("corrupt token");
+    }
+    if ((token & 1) == 0) {
+      const uint64_t run = token >> 1;
+      if (pos + run > block.size() || out.size() + run > original_size) {
+        return InternalError("literal run overflows block");
+      }
+      out.insert(out.end(), block.begin() + static_cast<int64_t>(pos),
+                 block.begin() + static_cast<int64_t>(pos + run));
+      pos += run;
+    } else {
+      const uint64_t len = (token >> 1) + kMinMatch;
+      uint64_t offset;
+      if (!GetVarint64(block, pos, offset)) {
+        return InternalError("corrupt match offset");
+      }
+      if (offset == 0 || offset > out.size()) {
+        return InternalError("match offset out of range");
+      }
+      if (out.size() + len > original_size) {
+        return InternalError("match overflows declared size");
+      }
+      // Byte-at-a-time copy supports overlapping matches (RLE-style).
+      size_t src = out.size() - offset;
+      for (uint64_t i = 0; i < len; ++i) {
+        out.push_back(out[src + i]);
+      }
+    }
+  }
+  if (out.size() != original_size) {
+    return InternalError("decompressed size mismatch");
+  }
+  return out;
+}
+
+double CompressionRatio(size_t original, size_t compressed) {
+  if (original == 0) {
+    return 1.0;
+  }
+  return static_cast<double>(compressed) / static_cast<double>(original);
+}
+
+}  // namespace rpcscope

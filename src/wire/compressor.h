@@ -1,0 +1,30 @@
+// LZ-style block compressor ("Ratel": an LZ4-family format).
+//
+// Compression is the single largest RPC cycle-tax component in the study
+// (3.1% of all fleet cycles, Fig. 20b), so the stack compresses real bytes
+// with a real algorithm: greedy hash-chain LZ with 64 KiB windows, emitting
+// (literal-run, match) token pairs. Ratios and byte counts feed both the
+// latency model (bytes on the wire) and the cycle model (cycles/byte).
+#ifndef RPCSCOPE_SRC_WIRE_COMPRESSOR_H_
+#define RPCSCOPE_SRC_WIRE_COMPRESSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace rpcscope {
+
+// Compresses `input` into a self-describing block. Always succeeds; for
+// incompressible input the output is |input| + small header (a stored block).
+std::vector<uint8_t> RatelCompress(const std::vector<uint8_t>& input);
+
+// Decompresses a block produced by RatelCompress. Fails on corrupt input.
+Result<std::vector<uint8_t>> RatelDecompress(const std::vector<uint8_t>& block);
+
+// Ratio helper: compressed size / original size (1.0 for empty input).
+double CompressionRatio(size_t original, size_t compressed);
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_WIRE_COMPRESSOR_H_

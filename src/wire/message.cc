@@ -1,0 +1,289 @@
+#include "src/wire/message.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "src/wire/varint.h"
+
+namespace rpcscope {
+
+namespace {
+
+constexpr uint64_t MakeKey(uint32_t tag, WireType type) {
+  return (static_cast<uint64_t>(tag) << 3) | static_cast<uint64_t>(type);
+}
+
+}  // namespace
+
+Message::Field::Field(const Field& other)
+    : tag(other.tag),
+      type(other.type),
+      varint(other.varint),
+      fixed64(other.fixed64),
+      bytes(other.bytes),
+      child(other.child ? std::make_unique<Message>(*other.child) : nullptr) {}
+
+Message::Field& Message::Field::operator=(const Field& other) {
+  if (this != &other) {
+    tag = other.tag;
+    type = other.type;
+    varint = other.varint;
+    fixed64 = other.fixed64;
+    bytes = other.bytes;
+    child = other.child ? std::make_unique<Message>(*other.child) : nullptr;
+  }
+  return *this;
+}
+
+void Message::AddVarint(uint32_t tag, uint64_t value) {
+  Field f;
+  f.tag = tag;
+  f.type = WireType::kVarint;
+  f.varint = value;
+  fields_.push_back(std::move(f));
+}
+
+void Message::AddDouble(uint32_t tag, double value) {
+  Field f;
+  f.tag = tag;
+  f.type = WireType::kFixed64;
+  f.fixed64 = value;
+  fields_.push_back(std::move(f));
+}
+
+void Message::AddBytes(uint32_t tag, std::string value) {
+  Field f;
+  f.tag = tag;
+  f.type = WireType::kBytes;
+  f.bytes = std::move(value);
+  fields_.push_back(std::move(f));
+}
+
+void Message::AddMessage(uint32_t tag, Message child) {
+  Field f;
+  f.tag = tag;
+  f.type = WireType::kMessage;
+  f.child = std::make_unique<Message>(std::move(child));
+  fields_.push_back(std::move(f));
+}
+
+const Message::Field* Message::FindField(uint32_t tag) const {
+  for (const Field& f : fields_) {
+    if (f.tag == tag) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+size_t Message::ByteSize() const {
+  size_t total = 0;
+  for (const Field& f : fields_) {
+    total += VarintSize(MakeKey(f.tag, f.type));
+    switch (f.type) {
+      case WireType::kVarint:
+        total += VarintSize(f.varint);
+        break;
+      case WireType::kFixed64:
+        total += 8;
+        break;
+      case WireType::kBytes:
+        total += VarintSize(f.bytes.size()) + f.bytes.size();
+        break;
+      case WireType::kMessage: {
+        const size_t child_size = f.child->ByteSize();
+        total += VarintSize(child_size) + child_size;
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+void Message::SerializeTo(std::vector<uint8_t>& out) const {
+  for (const Field& f : fields_) {
+    PutVarint64(out, MakeKey(f.tag, f.type));
+    switch (f.type) {
+      case WireType::kVarint:
+        PutVarint64(out, f.varint);
+        break;
+      case WireType::kFixed64: {
+        uint64_t bits;
+        std::memcpy(&bits, &f.fixed64, sizeof(bits));
+        for (int i = 0; i < 8; ++i) {
+          out.push_back(static_cast<uint8_t>(bits >> (8 * i)));
+        }
+        break;
+      }
+      case WireType::kBytes:
+        PutVarint64(out, f.bytes.size());
+        out.insert(out.end(), f.bytes.begin(), f.bytes.end());
+        break;
+      case WireType::kMessage:
+        PutVarint64(out, f.child->ByteSize());
+        f.child->SerializeTo(out);
+        break;
+    }
+  }
+}
+
+std::vector<uint8_t> Message::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(ByteSize());
+  SerializeTo(out);
+  return out;
+}
+
+Result<Message> Message::ParseRange(const std::vector<uint8_t>& buf, size_t begin, size_t end) {
+  Message msg;
+  size_t pos = begin;
+  while (pos < end) {
+    uint64_t key;
+    if (!GetVarint64(buf, pos, key) || pos > end) {
+      return InternalError("truncated field key");
+    }
+    const uint32_t tag = static_cast<uint32_t>(key >> 3);
+    const uint8_t type_bits = static_cast<uint8_t>(key & 0x7);
+    if (type_bits > static_cast<uint8_t>(WireType::kMessage)) {
+      return InvalidArgumentError("unknown wire type");
+    }
+    const WireType type = static_cast<WireType>(type_bits);
+    switch (type) {
+      case WireType::kVarint: {
+        uint64_t v;
+        if (!GetVarint64(buf, pos, v) || pos > end) {
+          return InternalError("truncated varint field");
+        }
+        msg.AddVarint(tag, v);
+        break;
+      }
+      case WireType::kFixed64: {
+        if (pos + 8 > end) {
+          return InternalError("truncated fixed64 field");
+        }
+        uint64_t bits = 0;
+        for (int i = 0; i < 8; ++i) {
+          bits |= static_cast<uint64_t>(buf[pos + static_cast<size_t>(i)]) << (8 * i);
+        }
+        pos += 8;
+        double d;
+        std::memcpy(&d, &bits, sizeof(d));
+        msg.AddDouble(tag, d);
+        break;
+      }
+      case WireType::kBytes: {
+        uint64_t len;
+        if (!GetVarint64(buf, pos, len) || pos + len > end) {
+          return InternalError("truncated bytes field");
+        }
+        msg.AddBytes(tag, std::string(buf.begin() + static_cast<int64_t>(pos),
+                                      buf.begin() + static_cast<int64_t>(pos + len)));
+        pos += len;
+        break;
+      }
+      case WireType::kMessage: {
+        uint64_t len;
+        if (!GetVarint64(buf, pos, len) || pos + len > end) {
+          return InternalError("truncated submessage");
+        }
+        Result<Message> child = ParseRange(buf, pos, pos + len);
+        if (!child.ok()) {
+          return child.status();
+        }
+        msg.AddMessage(tag, std::move(child.value()));
+        pos += len;
+        break;
+      }
+    }
+  }
+  return msg;
+}
+
+Result<Message> Message::Parse(const std::vector<uint8_t>& buf) {
+  return ParseRange(buf, 0, buf.size());
+}
+
+bool Message::Equals(const Message& other) const {
+  if (fields_.size() != other.fields_.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    const Field& a = fields_[i];
+    const Field& b = other.fields_[i];
+    if (a.tag != b.tag || a.type != b.type) {
+      return false;
+    }
+    switch (a.type) {
+      case WireType::kVarint:
+        if (a.varint != b.varint) {
+          return false;
+        }
+        break;
+      case WireType::kFixed64:
+        if (a.fixed64 != b.fixed64) {
+          return false;
+        }
+        break;
+      case WireType::kBytes:
+        if (a.bytes != b.bytes) {
+          return false;
+        }
+        break;
+      case WireType::kMessage:
+        if (!a.child->Equals(*b.child)) {
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+Message Message::GeneratePayload(Rng& rng, size_t target_bytes, double redundancy) {
+  Message msg;
+  uint32_t tag = 1;
+  // Small header-like scalar fields first.
+  msg.AddVarint(tag++, rng.NextUint64() & 0xffffff);
+  msg.AddVarint(tag++, rng.NextUint64() & 0xffff);
+  size_t used = msg.ByteSize();
+  if (target_bytes <= used) {
+    return msg;
+  }
+  // Fill the remainder with string fields whose content compressibility is
+  // controlled by `redundancy`: each byte is either drawn fresh or copied
+  // from a short sliding window, producing LZ-matchable runs.
+  size_t remaining = target_bytes - used;
+  while (remaining > 0) {
+    // Chunk fields at ~8 KiB to mimic repeated sub-records.
+    const size_t overhead = 4;  // tag + length estimate
+    const size_t chunk =
+        remaining > 8192 + overhead ? 8192 : (remaining > overhead ? remaining - overhead : 1);
+    std::string data(chunk, '\0');
+    size_t i = 0;
+    while (i < chunk) {
+      // With probability `redundancy`, copy a contiguous run from earlier in
+      // the buffer (an LZ-matchable repeat); otherwise emit fresh bytes.
+      if (i >= 64 && rng.NextBool(redundancy)) {
+        size_t len = 8 + rng.NextBounded(57);  // 8..64 byte repeats.
+        len = std::min(len, chunk - i);
+        const size_t src = rng.NextBounded(i - len + 1);
+        for (size_t k = 0; k < len; ++k) {
+          data[i + k] = data[src + k];
+        }
+        i += len;
+      } else {
+        data[i++] = static_cast<char>('a' + rng.NextBounded(26));
+      }
+    }
+    msg.AddBytes(tag++, std::move(data));
+    const size_t now_used = msg.ByteSize();
+    if (now_used >= target_bytes) {
+      break;
+    }
+    remaining = target_bytes - now_used;
+  }
+  return msg;
+}
+
+}  // namespace rpcscope

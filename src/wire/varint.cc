@@ -1,0 +1,39 @@
+#include "src/wire/varint.h"
+
+namespace rpcscope {
+
+void PutVarint64(std::vector<uint8_t>& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<uint8_t>(value | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(value));
+}
+
+bool GetVarint64(const std::vector<uint8_t>& buf, size_t& pos, uint64_t& value) {
+  uint64_t result = 0;
+  int shift = 0;
+  size_t p = pos;
+  while (p < buf.size() && shift < 64) {
+    const uint8_t byte = buf[p++];
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      pos = p;
+      value = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+size_t VarintSize(uint64_t value) {
+  size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace rpcscope

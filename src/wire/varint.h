@@ -1,0 +1,31 @@
+// Varint and zigzag codecs (protobuf-compatible encoding rules).
+#ifndef RPCSCOPE_SRC_WIRE_VARINT_H_
+#define RPCSCOPE_SRC_WIRE_VARINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rpcscope {
+
+// Appends the LEB128 varint encoding of `value` to `out`.
+void PutVarint64(std::vector<uint8_t>& out, uint64_t value);
+
+// Decodes a varint starting at `pos`; advances `pos` past it. Returns false on
+// truncation or overlong (>10 byte) encodings.
+bool GetVarint64(const std::vector<uint8_t>& buf, size_t& pos, uint64_t& value);
+
+// Number of bytes PutVarint64 will emit.
+size_t VarintSize(uint64_t value);
+
+// Zigzag mapping for signed values.
+constexpr uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+constexpr int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_WIRE_VARINT_H_

@@ -1,0 +1,32 @@
+#include "src/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace rpcscope {
+namespace {
+
+TEST(LoggingTest, ThresholdGatesMessages) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto count = [&evaluations]() {
+    ++evaluations;
+    return "x";
+  };
+  RPCSCOPE_LOG(kDebug) << count();    // Dropped: argument not evaluated.
+  RPCSCOPE_LOG(kWarning) << count();  // Dropped.
+  EXPECT_EQ(evaluations, 0);
+  RPCSCOPE_LOG(kError) << "error path " << count();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SetAndGetLevel) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,53 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace rpcscope {
+namespace {
+
+TEST(ExactQuantileTest, BasicQuantiles) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_EQ(ExactQuantile(v, 0.0), 1);
+  EXPECT_EQ(ExactQuantile(v, 0.5), 3);
+  EXPECT_EQ(ExactQuantile(v, 1.0), 5);
+  EXPECT_NEAR(ExactQuantile(v, 0.25), 2.0, 1e-9);
+}
+
+TEST(ExactQuantileTest, EmptyAndSingle) {
+  EXPECT_EQ(ExactQuantile({}, 0.5), 0.0);
+  EXPECT_EQ(ExactQuantile({7.0}, 0.99), 7.0);
+}
+
+TEST(SortedQuantileTest, InterpolatesBetweenOrderStats) {
+  std::vector<double> v = {0, 10};
+  EXPECT_NEAR(SortedQuantile(v, 0.5), 5.0, 1e-9);
+  EXPECT_NEAR(SortedQuantile(v, 0.9), 9.0, 1e-9);
+}
+
+TEST(RunningStatsTest, MeanAndVariance) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 8);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-9);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(PearsonCorrelationTest, PerfectPositiveAndNegative) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {2, 4, 6, 8};
+  std::vector<double> z = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-9);
+  EXPECT_NEAR(PearsonCorrelation(x, z), -1.0, 1e-9);
+}
+
+TEST(PearsonCorrelationTest, DegenerateIsZero) {
+  std::vector<double> x = {1, 1, 1};
+  std::vector<double> y = {2, 3, 4};
+  EXPECT_EQ(PearsonCorrelation(x, y), 0.0);
+  EXPECT_EQ(PearsonCorrelation({1.0}, {2.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace rpcscope

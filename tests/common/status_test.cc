@@ -1,0 +1,55 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace rpcscope {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("no such entity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such entity");
+}
+
+TEST(StatusTest, AllCanonicalCodesHaveNames) {
+  for (int code = 0; code <= 16; ++code) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(code)), "INVALID_CODE") << code;
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(NotFoundError("a"), NotFoundError("b"));
+  EXPECT_FALSE(NotFoundError("a") == CancelledError("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = InternalError("boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(3);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 3);
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,48 @@
+#include "src/common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace rpcscope {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(TextTableTest, MissingCellsRenderEmpty) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"x"});
+  EXPECT_EQ(t.row_count(), 1u);
+  EXPECT_NE(t.Render().find('x'), std::string::npos);
+}
+
+TEST(TextTableTest, CsvEscapesSpecials) {
+  TextTable t({"k", "v"});
+  t.AddRow({"with,comma", "with\"quote"});
+  const std::string csv = t.RenderCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(FormattersTest, Percent) { EXPECT_EQ(FormatPercent(0.283), "28.3%"); }
+
+TEST(FormattersTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512B");
+  EXPECT_EQ(FormatBytes(2048), "2.00KiB");
+}
+
+TEST(FormattersTest, Count) {
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1.2e6), "1.20M");
+}
+
+TEST(FormattersTest, Double) { EXPECT_EQ(FormatDouble(3.14159, 2), "3.14"); }
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,37 @@
+#include "src/common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace rpcscope {
+namespace {
+
+TEST(TimeTest, UnitArithmetic) {
+  EXPECT_EQ(Micros(1), 1000);
+  EXPECT_EQ(Millis(1), Micros(1000));
+  EXPECT_EQ(Seconds(1), Millis(1000));
+  EXPECT_EQ(Days(1), Hours(24));
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(10)), 10.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMicros(Micros(657)), 657.0);
+}
+
+TEST(TimeTest, FromFloating) {
+  EXPECT_EQ(DurationFromSeconds(1.5), Millis(1500));
+  EXPECT_EQ(DurationFromMillis(0.001), Micros(1));
+  EXPECT_EQ(DurationFromMicros(2.5), 2500);
+  EXPECT_EQ(DurationFromSeconds(-3.0), 0);  // Negative saturates at zero.
+}
+
+TEST(TimeTest, FormatPicksUnit) {
+  EXPECT_EQ(FormatDuration(Nanos(12)), "12ns");
+  EXPECT_EQ(FormatDuration(Micros(657)), "657.0us");
+  EXPECT_EQ(FormatDuration(Millis(11)), "11.00ms");
+  EXPECT_EQ(FormatDuration(Seconds(5)), "5.00s");
+  EXPECT_EQ(FormatDuration(Days(2)), "2.0d");
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,94 @@
+#include "src/core/method_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace rpcscope {
+namespace {
+
+Span MakeSpan(int32_t method, SimDuration app, SimDuration queue, int64_t req, int64_t resp,
+              StatusCode status = StatusCode::kOk) {
+  Span s;
+  s.method_id = method;
+  s.service_id = method % 3;
+  s.latency[RpcComponent::kServerApp] = app;
+  s.latency[RpcComponent::kServerRecvQueue] = queue;
+  s.latency[RpcComponent::kRequestWire] = Micros(50);
+  s.request_payload_bytes = req;
+  s.response_payload_bytes = resp;
+  s.request_wire_bytes = req;
+  s.response_wire_bytes = resp;
+  s.status = status;
+  s.has_cpu_annotation = true;
+  s.normalized_cpu_cycles = 0.5;
+  return s;
+}
+
+TEST(MethodAggregatorTest, AggregatesPerMethod) {
+  MethodAggregator agg(10);
+  for (int i = 0; i < 200; ++i) {
+    agg.Add(MakeSpan(3, Millis(10), Micros(100), 1024, 512));
+  }
+  const MethodAccum& m = agg.methods()[3];
+  EXPECT_EQ(m.calls, 200);
+  EXPECT_EQ(m.method_id, 3);
+  EXPECT_NEAR(m.rct.Quantile(0.5), 10150.0, 1500.0);  // ~10.15ms in us.
+  EXPECT_NEAR(m.queue.Quantile(0.5), 100.0, 20.0);
+  EXPECT_NEAR(m.req_size.Quantile(0.5), 1024.0, 200.0);
+  EXPECT_EQ(m.annotated_calls, 200);
+}
+
+TEST(MethodAggregatorTest, ErrorsExcludedFromLatency) {
+  MethodAggregator agg(4);
+  agg.Add(MakeSpan(1, Millis(5), 0, 100, 100));
+  agg.Add(MakeSpan(1, Seconds(100), 0, 100, 100, StatusCode::kCancelled));
+  const MethodAccum& m = agg.methods()[1];
+  EXPECT_EQ(m.calls, 2);
+  EXPECT_EQ(m.errors, 1);
+  // The cancelled RPC's latency does not pollute the distribution (§2.1).
+  EXPECT_EQ(m.rct.count(), 1);
+  EXPECT_LT(m.rct.max(), 1e7);
+}
+
+TEST(MethodAggregatorTest, TaxRatioComputed) {
+  MethodAggregator agg(2);
+  // app 9ms + queue 0.95ms + wire 50us => tax = 1ms of 10ms total.
+  agg.Add(MakeSpan(0, Millis(9), Micros(950), 64, 64));
+  const MethodAccum& m = agg.methods()[0];
+  EXPECT_NEAR(m.tax_ratio.Quantile(0.5), 0.1, 0.03);
+}
+
+TEST(MethodAggregatorTest, EligibleFiltersByCount) {
+  MethodAggregator agg(3);
+  for (int i = 0; i < 150; ++i) {
+    agg.Add(MakeSpan(0, Millis(1), 0, 64, 64));
+  }
+  for (int i = 0; i < 10; ++i) {
+    agg.Add(MakeSpan(1, Millis(1), 0, 64, 64));
+  }
+  EXPECT_EQ(agg.Eligible(100).size(), 1u);
+  EXPECT_EQ(agg.Eligible(5).size(), 2u);
+  EXPECT_EQ(agg.total_calls(), 160);
+}
+
+TEST(MethodAggregatorTest, CollectSortedAscending) {
+  MethodAggregator agg(4);
+  for (int m = 0; m < 3; ++m) {
+    for (int i = 0; i < 120; ++i) {
+      agg.Add(MakeSpan(m, Millis(1 + 3 * m), 0, 64, 64));
+    }
+  }
+  const auto medians = agg.CollectSorted(
+      100, [](const MethodAccum& a) { return a.rct.Quantile(0.5); });
+  ASSERT_EQ(medians.size(), 3u);
+  EXPECT_LT(medians[0], medians[1]);
+  EXPECT_LT(medians[1], medians[2]);
+}
+
+TEST(MethodAggregatorTest, OutOfRangeMethodIgnored) {
+  MethodAggregator agg(2);
+  agg.Add(MakeSpan(99, Millis(1), 0, 64, 64));
+  EXPECT_EQ(agg.total_calls(), 0);
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,72 @@
+#include "src/core/plot.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/rng.h"
+
+namespace rpcscope {
+namespace {
+
+TEST(AsciiCdfTest, EmptyInputRendersNothing) {
+  EXPECT_TRUE(RenderAsciiCdf({}).empty());
+}
+
+TEST(AsciiCdfTest, RendersGridOfExpectedShape) {
+  Rng rng(1);
+  std::vector<double> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(rng.NextLognormal(std::log(100.0), 1.0));
+  }
+  const std::string plot = RenderAsciiCdf(values, 40, 8, "us");
+  // 8 rows + axis + footer.
+  int lines = 0;
+  for (char c : plot) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  EXPECT_EQ(lines, 10);
+  EXPECT_NE(plot.find("100%"), std::string::npos);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+  EXPECT_NE(plot.find("us"), std::string::npos);
+}
+
+TEST(AsciiCdfTest, MonotoneFillLeftToRight) {
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) {
+    values.push_back(i);
+  }
+  const std::string plot = RenderAsciiCdf(values, 30, 6);
+  // Rows fill from the bottom: each row's '#' count is at least the row
+  // above it, and the bottom row is much fuller than the top.
+  std::vector<int> fills;
+  size_t start = 0;
+  for (int r = 0; r < 6; ++r) {
+    const size_t end = plot.find('\n', start);
+    int fill = 0;
+    for (size_t i = start; i < end; ++i) {
+      if (plot[i] == '#') {
+        ++fill;
+      }
+    }
+    fills.push_back(fill);
+    start = end + 1;
+  }
+  for (size_t r = 1; r < fills.size(); ++r) {
+    EXPECT_GE(fills[r], fills[r - 1]) << r;
+  }
+  EXPECT_GT(fills.back(), fills.front() + 5);
+}
+
+TEST(AsciiBarsTest, ScalesToLargest) {
+  const std::string bars = RenderAsciiBars({{"alpha", 10}, {"beta", 5}, {"gamma", 0}}, 20);
+  EXPECT_NE(bars.find("alpha"), std::string::npos);
+  // alpha's bar is full width.
+  EXPECT_NE(bars.find(std::string(20, '#')), std::string::npos);
+  EXPECT_TRUE(RenderAsciiBars({}).empty());
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,110 @@
+// Unit tests for the DES-study analyses on synthetic span sets.
+#include <gtest/gtest.h>
+
+#include "src/core/analyses.h"
+
+namespace rpcscope {
+namespace {
+
+std::vector<Span> MakeSpans(int n, SimDuration app, SimDuration queue, SimDuration wire) {
+  std::vector<Span> spans;
+  for (int i = 0; i < n; ++i) {
+    Span s;
+    s.method_id = 1;
+    s.latency[RpcComponent::kServerApp] = app;
+    s.latency[RpcComponent::kServerRecvQueue] = queue;
+    s.latency[RpcComponent::kRequestWire] = wire / 2;
+    s.latency[RpcComponent::kResponseWire] = wire / 2;
+    // A deterministic tail so P95 > median.
+    if (i % 20 == 0) {
+      s.latency[RpcComponent::kServerRecvQueue] += queue * 10;
+    }
+    spans.push_back(s);
+  }
+  return spans;
+}
+
+TEST(StudyAnalysesTest, BreakdownIdentifiesDominantAndCategory) {
+  std::vector<ServiceSpans> studies;
+  studies.push_back({"app-heavy", MakeSpans(1000, Millis(5), Micros(100), Micros(100))});
+  studies.push_back({"queue-heavy", MakeSpans(1000, Micros(100), Millis(3), Micros(100))});
+  const FigureReport report = AnalyzeServiceBreakdown(studies);
+  const std::string out = report.Render();
+  EXPECT_NE(out.find("application-heavy"), std::string::npos);
+  EXPECT_NE(out.find("queueing-heavy"), std::string::npos);
+  EXPECT_NE(out.find("Server Application"), std::string::npos);
+  EXPECT_NE(out.find("Server Recv Queue"), std::string::npos);
+}
+
+TEST(StudyAnalysesTest, ClusterVariationComputesSpread) {
+  std::vector<std::pair<std::string, std::vector<ClusterRunSpans>>> per_service;
+  std::vector<ClusterRunSpans> runs;
+  runs.push_back({0, 0.3, MakeSpans(500, Millis(1), Micros(50), Micros(50))});
+  runs.push_back({1, 0.8, MakeSpans(500, Millis(4), Micros(50), Micros(50))});
+  per_service.emplace_back("svc", std::move(runs));
+  const FigureReport report = AnalyzeClusterVariation(per_service);
+  const std::string out = report.Render();
+  // ~4x spread between the two clusters.
+  EXPECT_NE(out.find("svc"), std::string::npos);
+  EXPECT_NE(out.find("yes"), std::string::npos);
+  EXPECT_EQ(report.id, "fig16");
+}
+
+TEST(StudyAnalysesTest, DiurnalCorrelationsComputed) {
+  std::vector<std::pair<std::string, std::vector<DiurnalWindow>>> clusters;
+  std::vector<DiurnalWindow> windows;
+  for (int h = 0; h < 24; ++h) {
+    DiurnalWindow w;
+    w.hour = h;
+    w.state.cpu_util = 0.3 + 0.02 * h;
+    w.state.memory_bw_gbps = 30 + h;
+    w.state.long_wakeup_rate = 0.001 * (h + 1);
+    w.state.cycles_per_instr = 0.9 + 0.01 * h;
+    w.p95_latency_ms = 1.0 + 0.1 * h;  // Perfectly correlated with all four.
+    windows.push_back(w);
+  }
+  clusters.emplace_back("test cluster", std::move(windows));
+  const FigureReport report = AnalyzeDiurnal(clusters);
+  const std::string out = report.Render();
+  EXPECT_NE(out.find("1.00"), std::string::npos);  // r == 1.0 rendered.
+  EXPECT_EQ(report.id, "fig18");
+}
+
+TEST(StudyAnalysesTest, LoadBalanceReportRenders) {
+  LoadBalanceResult result;
+  for (int i = 0; i < 24; ++i) {
+    result.cluster_usage.push_back(0.3 + 0.03 * i);
+  }
+  for (int i = 0; i < 48; ++i) {
+    result.median_cluster_machine_usage.push_back(0.5);
+    result.machine_usage.push_back(0.5);
+  }
+  const FigureReport report =
+      AnalyzeLoadBalance({{"svc", result}});
+  const std::string out = report.Render();
+  EXPECT_NE(out.find("svc"), std::string::npos);
+  EXPECT_NE(out.find("cluster P99"), std::string::npos);
+  EXPECT_EQ(report.id, "fig22");
+}
+
+TEST(StudyAnalysesTest, SummarizeRunSharesSumSensibly) {
+  const ExogenousBucket b = SummarizeRun(0.5, MakeSpans(500, Millis(2), Millis(1), Micros(200)));
+  EXPECT_DOUBLE_EQ(b.variable_value, 0.5);
+  EXPECT_GT(b.p95_latency_ms, 0);
+  EXPECT_GT(b.app_share, 0.3);
+  EXPECT_GT(b.queue_share, 0.2);
+  EXPECT_LE(b.app_share + b.queue_share, 1.0);
+}
+
+TEST(StudyAnalysesTest, ErrorSpansExcluded) {
+  std::vector<Span> spans = MakeSpans(100, Millis(1), 0, 0);
+  Span bad;
+  bad.status = StatusCode::kCancelled;
+  bad.latency[RpcComponent::kServerApp] = Seconds(100);
+  spans.push_back(bad);
+  const ExogenousBucket b = SummarizeRun(0, spans);
+  EXPECT_LT(b.p95_latency_ms, 10.0);  // The cancelled outlier is ignored.
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,119 @@
+#include "src/fleet/call_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/common/stats.h"
+
+namespace rpcscope {
+namespace {
+
+class CallGraphTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    services_ = new ServiceCatalog(ServiceCatalog::BuildDefault());
+    catalog_ = new MethodCatalog(MethodCatalog::Generate(*services_, {}));
+  }
+  static void TearDownTestSuite() {
+    delete services_;
+    delete catalog_;
+  }
+  static ServiceCatalog* services_;
+  static MethodCatalog* catalog_;
+};
+
+ServiceCatalog* CallGraphTest::services_ = nullptr;
+MethodCatalog* CallGraphTest::catalog_ = nullptr;
+
+TEST_F(CallGraphTest, TreesRespectStructuralInvariants) {
+  CallGraphModel model(catalog_, {});
+  for (int t = 0; t < 200; ++t) {
+    const CallTree tree = model.SampleTree();
+    ASSERT_FALSE(tree.nodes.empty());
+    EXPECT_EQ(tree.nodes[0].parent, -1);
+    EXPECT_EQ(tree.nodes[0].depth, 0);
+    for (size_t i = 1; i < tree.nodes.size(); ++i) {
+      const CallTreeNode& n = tree.nodes[i];
+      ASSERT_GE(n.parent, 0);
+      ASSERT_LT(n.parent, static_cast<int32_t>(i));
+      EXPECT_EQ(n.depth, tree.nodes[static_cast<size_t>(n.parent)].depth + 1);
+      EXPECT_LE(n.depth, 19);
+    }
+  }
+}
+
+TEST_F(CallGraphTest, ChildTiersNeverDecrease) {
+  CallGraphModel model(catalog_, {});
+  for (int t = 0; t < 50; ++t) {
+    const CallTree tree = model.SampleTree();
+    for (size_t i = 1; i < tree.nodes.size(); ++i) {
+      const int parent_tier =
+          catalog_->method(tree.nodes[static_cast<size_t>(tree.nodes[i].parent)].method_id).tier;
+      const int child_tier = catalog_->method(tree.nodes[i].method_id).tier;
+      EXPECT_GE(child_tier, parent_tier);
+    }
+  }
+}
+
+TEST_F(CallGraphTest, TreesAreWiderThanDeep) {
+  CallGraphModel model(catalog_, {});
+  double total_width = 0, total_depth = 0;
+  int trees = 0;
+  for (int t = 0; t < 400; ++t) {
+    const CallTree tree = model.SampleTree();
+    if (tree.nodes.size() < 3) {
+      continue;
+    }
+    int max_depth = 0;
+    std::vector<int> width(20, 0);
+    for (const CallTreeNode& n : tree.nodes) {
+      max_depth = std::max(max_depth, n.depth);
+      ++width[static_cast<size_t>(n.depth)];
+    }
+    total_depth += max_depth;
+    total_width += *std::max_element(width.begin(), width.end());
+    ++trees;
+  }
+  ASSERT_GT(trees, 50);
+  // §2.4: call trees are much wider than they are deep.
+  EXPECT_GT(total_width / trees, total_depth / trees);
+}
+
+TEST_F(CallGraphTest, DescendantTailIsHeavy) {
+  CallGraphModel model(catalog_, {});
+  std::vector<double> sizes;
+  for (int t = 0; t < 1500; ++t) {
+    sizes.push_back(static_cast<double>(model.SampleTree().nodes.size()) - 1);
+  }
+  const double median = ExactQuantile(sizes, 0.5);
+  const double p99 = ExactQuantile(sizes, 0.99);
+  // Root descendant counts: modest median, heavy tail (bursts).
+  EXPECT_LT(median, 400);
+  EXPECT_GT(p99, 10 * std::max(median, 1.0));
+}
+
+TEST_F(CallGraphTest, MaxNodesCapRespected) {
+  CallGraphOptions opts;
+  opts.max_nodes = 500;
+  CallGraphModel model(catalog_, opts);
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_LE(model.SampleTree().nodes.size(), 500u);
+  }
+}
+
+TEST_F(CallGraphTest, DeterministicForSeed) {
+  CallGraphModel a(catalog_, {});
+  CallGraphModel b(catalog_, {});
+  for (int t = 0; t < 20; ++t) {
+    const CallTree ta = a.SampleTree();
+    const CallTree tb = b.SampleTree();
+    ASSERT_EQ(ta.nodes.size(), tb.nodes.size());
+    for (size_t i = 0; i < ta.nodes.size(); ++i) {
+      EXPECT_EQ(ta.nodes[i].method_id, tb.nodes[i].method_id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,91 @@
+#include "src/fleet/cluster_state.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/stats.h"
+
+namespace rpcscope {
+namespace {
+
+TEST(ClusterStateTest, DeterministicPerClusterAndTime) {
+  ClusterStateModel model({});
+  const ExogenousState a = model.StateAt(3, Hours(5));
+  const ExogenousState b = model.StateAt(3, Hours(5));
+  EXPECT_EQ(a.cpu_util, b.cpu_util);
+  EXPECT_EQ(a.memory_bw_gbps, b.memory_bw_gbps);
+}
+
+TEST(ClusterStateTest, StateWithinPhysicalBounds) {
+  ClusterStateModel model({});
+  for (ClusterId c = 0; c < 50; ++c) {
+    for (int h = 0; h < 48; ++h) {
+      const ExogenousState s = model.StateAt(c, Hours(h));
+      EXPECT_GT(s.cpu_util, 0.0);
+      EXPECT_LT(s.cpu_util, 1.0);
+      EXPECT_GT(s.memory_bw_gbps, 5.0);
+      EXPECT_LT(s.memory_bw_gbps, 200.0);
+      EXPECT_GT(s.long_wakeup_rate, 0.0);
+      EXPECT_LT(s.long_wakeup_rate, 0.1);
+      EXPECT_GT(s.cycles_per_instr, 0.5);
+      EXPECT_LT(s.cycles_per_instr, 2.5);
+    }
+  }
+}
+
+TEST(ClusterStateTest, ClustersDiffer) {
+  ClusterStateModel model({});
+  std::vector<double> utils;
+  for (ClusterId c = 0; c < 40; ++c) {
+    utils.push_back(model.StateAt(c, Hours(12)).cpu_util);
+  }
+  const double spread = *std::max_element(utils.begin(), utils.end()) -
+                        *std::min_element(utils.begin(), utils.end());
+  EXPECT_GT(spread, 0.2);
+}
+
+TEST(ClusterStateTest, DiurnalCycleVisible) {
+  ClusterStateModel model({});
+  std::vector<double> day;
+  for (int m = 0; m < 48; ++m) {
+    day.push_back(model.StateAt(7, Minutes(30 * m)).cpu_util);
+  }
+  const double spread = *std::max_element(day.begin(), day.end()) -
+                        *std::min_element(day.begin(), day.end());
+  EXPECT_GT(spread, 0.15);
+}
+
+TEST(ClusterStateTest, ExogenousVariablesCorrelate) {
+  // Memory bandwidth and wake-up rate both track CPU utilization (Fig. 18
+  // shows them moving together).
+  ClusterStateModel model({});
+  std::vector<double> util, membw, wakeup;
+  for (ClusterId c = 0; c < 30; ++c) {
+    for (int h = 0; h < 24; ++h) {
+      const ExogenousState s = model.StateAt(c, Hours(h));
+      util.push_back(s.cpu_util);
+      membw.push_back(s.memory_bw_gbps);
+      wakeup.push_back(s.long_wakeup_rate);
+    }
+  }
+  EXPECT_GT(PearsonCorrelation(util, membw), 0.5);
+  EXPECT_GT(PearsonCorrelation(util, wakeup), 0.5);
+}
+
+TEST(ClusterStateTest, SlowdownAndWakeupGrowWithLoad) {
+  ExogenousState idle;
+  idle.cpu_util = 0.1;
+  idle.long_wakeup_rate = 0.001;
+  idle.cycles_per_instr = 0.9;
+  ExogenousState busy;
+  busy.cpu_util = 0.9;
+  busy.long_wakeup_rate = 0.02;
+  busy.cycles_per_instr = 1.3;
+  EXPECT_GT(ClusterStateModel::AppSlowdown(busy), ClusterStateModel::AppSlowdown(idle));
+  EXPECT_GT(ClusterStateModel::WakeupLatency(busy), ClusterStateModel::WakeupLatency(idle));
+  EXPECT_GE(ClusterStateModel::AppSlowdown(idle), 1.0);
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,67 @@
+#include "src/fleet/growth_model.h"
+
+#include <gtest/gtest.h>
+
+namespace rpcscope {
+namespace {
+
+TEST(GrowthModelTest, RatioGrowsAboutSixtyFourPercentOver700Days) {
+  GrowthModelOptions opts;
+  MetricRegistry registry(MetricRegistry::Options{.sample_window = Minutes(30),
+                                                  .retention = Days(701)});
+  GrowthModel model(opts);
+  model.GenerateInto(registry);
+  const auto ratio = GrowthModel::NormalizedDailyRatio(registry, 700);
+  ASSERT_GT(ratio.size(), 650u);
+  EXPECT_NEAR(ratio.front(), 1.0, 0.05);
+  // Paper: +64% over the 700-day window (~30%/yr); allow noise.
+  EXPECT_NEAR(ratio.back(), 1.64, 0.15);
+}
+
+TEST(GrowthModelTest, RatioApproximatelyMonotoneTrend) {
+  GrowthModelOptions opts;
+  opts.days = 200;
+  MetricRegistry registry;
+  GrowthModel model(opts);
+  model.GenerateInto(registry);
+  const auto ratio = GrowthModel::NormalizedDailyRatio(registry, 200);
+  ASSERT_GT(ratio.size(), 150u);
+  // Quarter-over-quarter averages increase.
+  double first_quarter = 0, last_quarter = 0;
+  const size_t q = ratio.size() / 4;
+  for (size_t i = 0; i < q; ++i) {
+    first_quarter += ratio[i];
+    last_quarter += ratio[ratio.size() - 1 - i];
+  }
+  EXPECT_GT(last_quarter, first_quarter * 1.05);
+}
+
+TEST(GrowthModelTest, SamplesEveryThirtyMinutes) {
+  GrowthModelOptions opts;
+  opts.days = 2;
+  MetricRegistry registry;
+  GrowthModel model(opts);
+  model.GenerateInto(registry);
+  const TimeSeries* ts = registry.Series("fleet/rpcs");
+  ASSERT_NE(ts, nullptr);
+  EXPECT_EQ(ts->points().size(), 2u * 48 + 1);
+  EXPECT_EQ(ts->points()[1].time - ts->points()[0].time, Minutes(30));
+}
+
+TEST(GrowthModelTest, CountersAreCumulative) {
+  GrowthModelOptions opts;
+  opts.days = 3;
+  MetricRegistry registry;
+  GrowthModel model(opts);
+  model.GenerateInto(registry);
+  const TimeSeries* ts = registry.Series("fleet/cpu_cycles");
+  ASSERT_NE(ts, nullptr);
+  double prev = -1;
+  for (const TimePoint& p : ts->points()) {
+    EXPECT_GE(p.value, prev);
+    prev = p.value;
+  }
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,80 @@
+#include "src/fleet/load_balancer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/stats.h"
+
+namespace rpcscope {
+namespace {
+
+class LoadBalancerTest : public ::testing::Test {
+ protected:
+  LoadBalancerTest() : topology_(TopologyOptions{}) {}
+  Topology topology_;
+};
+
+TEST_F(LoadBalancerTest, InterClusterImbalanceEmerges) {
+  LoadBalanceStudyOptions opts;
+  LoadBalanceStudy study(&topology_, opts);
+  const LoadBalanceResult result = study.Run();
+  ASSERT_FALSE(result.cluster_usage.empty());
+  // Latency-aware routing ignores CPU balance: the spread across clusters is
+  // wide (Fig. 22's solid lines).
+  const double p10 = SortedQuantile(result.cluster_usage, 0.1);
+  const double p90 = SortedQuantile(result.cluster_usage, 0.9);
+  EXPECT_GT(p90, 2.0 * std::max(p10, 0.01));
+  for (double u : result.cluster_usage) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST_F(LoadBalancerTest, StatelessIntraClusterIsTight) {
+  LoadBalanceStudyOptions opts;
+  opts.data_dependent = false;
+  LoadBalanceStudy study(&topology_, opts);
+  const LoadBalanceResult result = study.Run();
+  // Power-of-two-choices spreads machines of one cluster almost evenly;
+  // pooled across clusters the machine spread should not exceed the cluster
+  // spread by much.
+  const double m_p25 = SortedQuantile(result.machine_usage, 0.25);
+  const double m_p75 = SortedQuantile(result.machine_usage, 0.75);
+  const double c_p25 = SortedQuantile(result.cluster_usage, 0.25);
+  const double c_p75 = SortedQuantile(result.cluster_usage, 0.75);
+  EXPECT_LE(m_p75 - m_p25, (c_p75 - c_p25) * 1.6 + 0.05);
+}
+
+TEST_F(LoadBalancerTest, DataDependentServicesSaturateSomeMachines) {
+  LoadBalanceStudyOptions skewed;
+  skewed.data_dependent = true;
+  LoadBalanceStudy study(&topology_, skewed);
+  const LoadBalanceResult result = study.Run();
+
+  LoadBalanceStudyOptions uniform;
+  uniform.data_dependent = false;
+  LoadBalanceStudy baseline(&topology_, uniform);
+  const LoadBalanceResult base = baseline.Run();
+
+  // Key affinity over a Zipf key population drives the hot machines far
+  // beyond the stateless case (Spanner/F1/ML in Fig. 22); measured on the
+  // uncapped ratios since hot clusters saturate in both runs.
+  EXPECT_GT(SortedQuantile(result.machine_usage_raw, 0.99),
+            SortedQuantile(base.machine_usage_raw, 0.99) * 1.5);
+  EXPECT_GE(SortedQuantile(result.machine_usage, 0.999), 0.95);
+}
+
+TEST_F(LoadBalancerTest, DeterministicForSeed) {
+  LoadBalanceStudyOptions opts;
+  opts.demand_units = 100000;
+  LoadBalanceStudy a(&topology_, opts);
+  LoadBalanceStudy b(&topology_, opts);
+  const LoadBalanceResult ra = a.Run();
+  const LoadBalanceResult rb = b.Run();
+  ASSERT_EQ(ra.cluster_usage.size(), rb.cluster_usage.size());
+  for (size_t i = 0; i < ra.cluster_usage.size(); ++i) {
+    EXPECT_EQ(ra.cluster_usage[i], rb.cluster_usage[i]);
+  }
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,209 @@
+#include "src/fleet/method_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace rpcscope {
+namespace {
+
+class MethodCatalogTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    services_ = new ServiceCatalog(ServiceCatalog::BuildDefault());
+    catalog_ = new MethodCatalog(MethodCatalog::Generate(*services_, {}));
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    delete services_;
+    catalog_ = nullptr;
+    services_ = nullptr;
+  }
+  static ServiceCatalog* services_;
+  static MethodCatalog* catalog_;
+};
+
+ServiceCatalog* MethodCatalogTest::services_ = nullptr;
+MethodCatalog* MethodCatalogTest::catalog_ = nullptr;
+
+TEST_F(MethodCatalogTest, TenThousandMethods) {
+  EXPECT_EQ(catalog_->size(), 10000);
+}
+
+TEST_F(MethodCatalogTest, WeightsNormalized) {
+  double total = 0;
+  for (const MethodModel& m : catalog_->methods()) {
+    EXPECT_GE(m.popularity_weight, 0);
+    total += m.popularity_weight;
+  }
+  EXPECT_NEAR(total, 1.0, 0.02);
+}
+
+TEST_F(MethodCatalogTest, NetworkDiskWriteIsTwentyEightPercent) {
+  const int32_t id = catalog_->network_disk_write_id();
+  ASSERT_GE(id, 0);
+  const MethodModel& write = catalog_->method(id);
+  EXPECT_NEAR(write.popularity_weight, 0.28, 1e-6);
+  EXPECT_EQ(write.service_id, services_->studied().network_disk);
+  EXPECT_EQ(write.name, "Network Disk/Write");
+}
+
+TEST_F(MethodCatalogTest, TopTenMethodsNearFiftyEightPercent) {
+  std::vector<double> weights;
+  for (const MethodModel& m : catalog_->methods()) {
+    weights.push_back(m.popularity_weight);
+  }
+  std::sort(weights.rbegin(), weights.rend());
+  const double top10 = std::accumulate(weights.begin(), weights.begin() + 10, 0.0);
+  const double top100 = std::accumulate(weights.begin(), weights.begin() + 100, 0.0);
+  // Paper: 58% and 91%.
+  EXPECT_NEAR(top10, 0.58, 0.07);
+  EXPECT_NEAR(top100, 0.91, 0.06);
+}
+
+TEST_F(MethodCatalogTest, FastestHundredNearFortyPercent) {
+  double mass = 0;
+  for (int i = 0; i < 100; ++i) {
+    mass += catalog_->method(i).popularity_weight;
+  }
+  // Paper: the 100 lowest-latency methods are 40% of all calls.
+  EXPECT_NEAR(mass, 0.40, 0.08);
+}
+
+TEST_F(MethodCatalogTest, SlowestThousandNearOnePercent) {
+  double mass = 0;
+  for (int i = 9000; i < 10000; ++i) {
+    mass += catalog_->method(i).popularity_weight;
+  }
+  // Paper: the slowest 1000 methods are 1.1% of calls.
+  EXPECT_NEAR(mass, 0.011, 0.006);
+}
+
+TEST_F(MethodCatalogTest, ServiceSharesMatchCatalog) {
+  std::vector<double> per_service(static_cast<size_t>(services_->size()), 0.0);
+  for (const MethodModel& m : catalog_->methods()) {
+    per_service[static_cast<size_t>(m.service_id)] += m.popularity_weight;
+  }
+  for (const ServiceSpec& s : services_->services()) {
+    EXPECT_NEAR(per_service[static_cast<size_t>(s.service_id)], s.call_share, 0.01) << s.name;
+  }
+}
+
+TEST_F(MethodCatalogTest, MedianLatencyAnchors) {
+  // 10th-percentile method (by latency rank) has median app time ~10.7ms x
+  // the calibrated application share of RCT (1.05).
+  const MethodModel& p10 = catalog_->method(1000);
+  EXPECT_NEAR(p10.app_median_us / (10700.0 * 1.05), 1.0, 0.15);
+  // Median method ~45ms x 1.05.
+  const MethodModel& p50 = catalog_->method(5000);
+  EXPECT_NEAR(p50.app_median_us / (45000.0 * 1.05), 1.0, 0.15);
+  // Monotone in rank.
+  EXPECT_LT(catalog_->method(100).app_median_us, catalog_->method(5000).app_median_us);
+  EXPECT_LT(catalog_->method(5000).app_median_us, catalog_->method(9900).app_median_us);
+}
+
+TEST_F(MethodCatalogTest, QueueAnchors) {
+  // Fig. 13: half of methods have median queueing <= 360us. Queue medians are
+  // correlated with (not equal to) rank, so test the population quantile.
+  std::vector<double> queue_medians;
+  for (const MethodModel& m : catalog_->methods()) {
+    queue_medians.push_back(m.queue_median_us);
+  }
+  std::sort(queue_medians.begin(), queue_medians.end());
+  EXPECT_NEAR(queue_medians[5000] / 360.0, 1.0, 0.5);
+  for (const MethodModel& m : catalog_->methods()) {
+    const double split_sum = m.queue_split[0] + m.queue_split[1] + m.queue_split[2] +
+                             m.queue_split[3];
+    ASSERT_NEAR(split_sum, 1.0, 1e-9);
+  }
+}
+
+TEST_F(MethodCatalogTest, SizeAnchors) {
+  std::vector<double> req, resp;
+  for (const MethodModel& m : catalog_->methods()) {
+    req.push_back(m.req_median_bytes);
+    resp.push_back(m.resp_median_bytes);
+    EXPECT_GE(m.req_median_bytes, 64.0);
+    EXPECT_GE(m.resp_median_bytes, 64.0);
+  }
+  std::sort(req.begin(), req.end());
+  std::sort(resp.begin(), resp.end());
+  // Fig. 6: half of methods have median requests under ~1530 B and median
+  // responses under ~315 B (wide tolerance: service blending shifts these).
+  EXPECT_GT(req[5000], 400);
+  EXPECT_LT(req[5000], 4000);
+  EXPECT_GT(resp[9000], 2000);  // Heavy tail exists.
+}
+
+TEST_F(MethodCatalogTest, LocalityShiftsOutwardWithLatency) {
+  const MethodModel& fast = catalog_->method(50);
+  const MethodModel& slow = catalog_->method(9900);
+  EXPECT_GT(fast.locality[0], 0.75);  // Fast methods are intra-cluster.
+  EXPECT_GT(slow.locality[3] + slow.locality[4], fast.locality[3] + fast.locality[4]);
+  for (const MethodModel* m : {&fast, &slow}) {
+    double sum = 0;
+    for (double p : m->locality) {
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_F(MethodCatalogTest, NetworkDiskMethodsSkipCompression) {
+  for (int32_t id : catalog_->MethodsOfService(services_->studied().network_disk)) {
+    EXPECT_FALSE(catalog_->method(id).compression_enabled);
+  }
+}
+
+TEST_F(MethodCatalogTest, DeterministicForSeed) {
+  const MethodCatalog again = MethodCatalog::Generate(*services_, {});
+  for (int i = 0; i < 100; ++i) {
+    const int32_t idx = i * 97;
+    EXPECT_EQ(catalog_->method(idx).popularity_weight,
+              again.method(idx).popularity_weight);
+    EXPECT_EQ(catalog_->method(idx).service_id, again.method(idx).service_id);
+    EXPECT_EQ(catalog_->method(idx).app_median_us, again.method(idx).app_median_us);
+  }
+}
+
+TEST_F(MethodCatalogTest, PopularitySamplerMatchesWeights) {
+  Rng rng(8);
+  int64_t write_hits = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    if (catalog_->SampleMethod(rng) == catalog_->network_disk_write_id()) {
+      ++write_hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(write_hits) / n, 0.28, 0.01);
+}
+
+TEST_F(MethodCatalogTest, SmallCatalogStillWorks) {
+  MethodCatalogOptions opts;
+  opts.num_methods = 500;
+  const MethodCatalog small = MethodCatalog::Generate(*services_, opts);
+  EXPECT_EQ(small.size(), 500);
+  double total = 0;
+  for (const MethodModel& m : small.methods()) {
+    total += m.popularity_weight;
+  }
+  EXPECT_NEAR(total, 1.0, 0.05);
+}
+
+TEST_F(MethodCatalogTest, CsvExportHasAllMethods) {
+  const std::string csv = catalog_->ExportCsv(*services_);
+  // Header + one row per method.
+  size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  EXPECT_EQ(lines, static_cast<size_t>(catalog_->size()) + 1);
+  EXPECT_NE(csv.find("Network Disk/Write"), std::string::npos);
+  EXPECT_NE(csv.find("method_id,name,service"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rpcscope

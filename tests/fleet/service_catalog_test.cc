@@ -1,0 +1,70 @@
+#include "src/fleet/service_catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace rpcscope {
+namespace {
+
+TEST(ServiceCatalogTest, SharesNormalized) {
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  double total = 0;
+  for (const ServiceSpec& s : catalog.services()) {
+    EXPECT_GT(s.call_share, 0) << s.name;
+    total += s.call_share;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ServiceCatalogTest, NetworkDiskAnchors) {
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  const ServiceSpec& nd = catalog.service(catalog.studied().network_disk);
+  EXPECT_EQ(nd.name, "Network Disk");
+  // Paper: Network Disk alone receives 35% of all RPCs.
+  EXPECT_NEAR(nd.call_share, 0.35, 1e-9);
+  EXPECT_TRUE(nd.studied);
+}
+
+TEST(ServiceCatalogTest, AllEightStudiedServicesPresent) {
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  const StudiedServices& ids = catalog.studied();
+  for (int32_t id : {ids.bigtable, ids.network_disk, ids.ssd_cache, ids.video_metadata,
+                     ids.spanner, ids.f1, ids.ml_inference, ids.kv_store}) {
+    ASSERT_GE(id, 0);
+    const ServiceSpec& s = catalog.service(id);
+    EXPECT_TRUE(s.studied) << s.name;
+    EXPECT_FALSE(s.table1_client.empty()) << s.name;
+    EXPECT_FALSE(s.table1_rpc_size.empty()) << s.name;
+    EXPECT_FALSE(s.table1_description.empty()) << s.name;
+  }
+}
+
+TEST(ServiceCatalogTest, CategoriesMatchPaper) {
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  const StudiedServices& ids = catalog.studied();
+  for (int32_t id : {ids.bigtable, ids.network_disk, ids.f1, ids.ml_inference, ids.spanner}) {
+    EXPECT_EQ(catalog.service(id).category, ServiceCategory::kAppHeavy);
+  }
+  EXPECT_EQ(catalog.service(ids.ssd_cache).category, ServiceCategory::kQueueHeavy);
+  EXPECT_EQ(catalog.service(ids.video_metadata).category, ServiceCategory::kQueueHeavy);
+  EXPECT_EQ(catalog.service(ids.kv_store).category, ServiceCategory::kStackHeavy);
+}
+
+TEST(ServiceCatalogTest, TopEightCoverAboutSixtyPercent) {
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  double share = 0;
+  for (int32_t id : catalog.TopByCallShare(8)) {
+    share += catalog.service(id).call_share;
+  }
+  // Paper: the top 8 applications account for 60% of total invocations.
+  EXPECT_NEAR(share, 0.60, 0.06);
+}
+
+TEST(ServiceCatalogTest, MlInferenceIsExpensivePerCall) {
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  const ServiceSpec& ml = catalog.service(catalog.studied().ml_inference);
+  const ServiceSpec& nd = catalog.service(catalog.studied().network_disk);
+  EXPECT_GT(ml.cycles_per_call_scale, 20 * nd.cycles_per_call_scale);
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,78 @@
+#include "src/fleet/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/sim/server_resource.h"
+
+namespace rpcscope {
+namespace {
+
+TEST(PoissonArrivalsTest, RateApproximatelyHonored) {
+  Simulator sim;
+  int64_t hits = 0;
+  PoissonArrivals arrivals(&sim, /*rate_per_second=*/1000.0, Seconds(20), 5,
+                           [&hits]() { ++hits; });
+  sim.Run();
+  // 20s at 1000/s => ~20000 arrivals; Poisson sd ~141.
+  EXPECT_NEAR(static_cast<double>(hits), 20000.0, 600.0);
+  EXPECT_EQ(arrivals.arrivals(), hits);
+}
+
+TEST(PoissonArrivalsTest, StopsAtDeadline) {
+  Simulator sim;
+  SimTime last = 0;
+  PoissonArrivals arrivals(&sim, 500.0, Seconds(2), 6, [&]() { last = sim.Now(); });
+  sim.Run();
+  EXPECT_LT(last, Seconds(2));
+  EXPECT_GT(last, Millis(1900));
+}
+
+TEST(PoissonArrivalsTest, GapsAreExponential) {
+  Simulator sim;
+  std::vector<double> gaps;
+  SimTime prev = 0;
+  PoissonArrivals arrivals(&sim, 10000.0, Seconds(5), 7, [&]() {
+    gaps.push_back(ToMicros(sim.Now() - prev));
+    prev = sim.Now();
+  });
+  sim.Run();
+  ASSERT_GT(gaps.size(), 10000u);
+  // Mean gap ~100us; CV of an exponential is 1.
+  double sum = 0, sumsq = 0;
+  for (double g : gaps) {
+    sum += g;
+    sumsq += g * g;
+  }
+  const double n = static_cast<double>(gaps.size());
+  const double mean = sum / n;
+  const double var = sumsq / n - mean * mean;
+  EXPECT_NEAR(mean, 100.0, 5.0);
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.05);
+}
+
+TEST(ArrivalRateTest, UtilizationFormula) {
+  // 8 workers, 2ms mean service, 50% utilization => 2000 RPC/s.
+  EXPECT_NEAR(ArrivalRateForUtilization(0.5, 8, Millis(2)), 2000.0, 1e-6);
+  EXPECT_NEAR(ArrivalRateForUtilization(1.0, 1, Seconds(1)), 1.0, 1e-9);
+}
+
+TEST(ArrivalRateTest, DrivesResourceToTargetUtilization) {
+  Simulator sim;
+  ServerResource res(&sim, {.workers = 4});
+  Rng service_rng(8);
+  const double rate = ArrivalRateForUtilization(0.6, 4, Millis(1));
+  PoissonArrivals arrivals(&sim, rate, Seconds(30), 9, [&]() {
+    res.Submit(DurationFromMicros(service_rng.NextExponential(1000.0)),
+               [](SimDuration, SimDuration) {});
+  });
+  sim.Run();
+  const double utilization =
+      static_cast<double>(res.busy_time()) / (static_cast<double>(sim.Now()) * 4);
+  EXPECT_NEAR(utilization, 0.6, 0.06);
+}
+
+}  // namespace
+}  // namespace rpcscope

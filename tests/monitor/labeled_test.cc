@@ -1,0 +1,54 @@
+#include "src/monitor/labeled.h"
+
+#include <gtest/gtest.h>
+
+namespace rpcscope {
+namespace {
+
+TEST(LabeledCounterTest, StreamsAreIndependent) {
+  LabeledCounter rpcs("rpc/count");
+  rpcs.WithLabel("cluster=aa").Increment(10);
+  rpcs.WithLabel("cluster=bb").Increment(5);
+  rpcs.WithLabel("cluster=aa").Increment(1);
+  EXPECT_EQ(rpcs.WithLabel("cluster=aa").value(), 11);
+  EXPECT_EQ(rpcs.WithLabel("cluster=bb").value(), 5);
+  EXPECT_EQ(rpcs.Total(), 16);
+  EXPECT_EQ(rpcs.streams().size(), 2u);
+}
+
+TEST(LabeledDistributionTest, PerLabelAndMergedViews) {
+  LabeledDistribution latency("rpc/latency",
+                              {.min_value = 1, .max_value = 1e7, .buckets_per_decade = 20});
+  for (int i = 0; i < 1000; ++i) {
+    latency.Record("cluster=fast", 500.0);
+    latency.Record("cluster=slow", 5000.0);
+  }
+  ASSERT_NE(latency.ForLabel("cluster=fast"), nullptr);
+  EXPECT_EQ(latency.ForLabel("cluster=missing"), nullptr);
+  EXPECT_NEAR(latency.ForLabel("cluster=fast")->Quantile(0.5), 500, 80);
+  EXPECT_NEAR(latency.ForLabel("cluster=slow")->Quantile(0.5), 5000, 800);
+  // The merged (fleet-wide) view straddles both modes.
+  const LogHistogram merged = latency.Merged();
+  EXPECT_EQ(merged.count(), 2000);
+  EXPECT_LT(merged.Quantile(0.25), 1000);
+  EXPECT_GT(merged.Quantile(0.75), 3000);
+}
+
+TEST(LabeledCounterTest, SamplesIntoRegistryStreams) {
+  LabeledCounter rpcs("rpc/count");
+  MetricRegistry registry;
+  rpcs.WithLabel("cluster=aa").Increment(3);
+  SampleLabeledCounter(rpcs, registry, Minutes(30));
+  rpcs.WithLabel("cluster=aa").Increment(2);
+  rpcs.WithLabel("cluster=bb").Increment(7);
+  SampleLabeledCounter(rpcs, registry, Minutes(60));
+  const TimeSeries* aa = registry.Series("rpc/count{cluster=aa}");
+  ASSERT_NE(aa, nullptr);
+  EXPECT_EQ(aa->points().back().value, 5);
+  const TimeSeries* bb = registry.Series("rpc/count{cluster=bb}");
+  ASSERT_NE(bb, nullptr);
+  EXPECT_EQ(bb->points().back().value, 7);
+}
+
+}  // namespace
+}  // namespace rpcscope

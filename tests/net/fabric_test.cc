@@ -1,0 +1,97 @@
+#include "src/net/fabric.h"
+
+#include <gtest/gtest.h>
+
+namespace rpcscope {
+namespace {
+
+struct FabricFixture {
+  FabricFixture() : topology(TopologyOptions{}), fabric(&sim, &topology, FabricOptions{}) {}
+  Simulator sim;
+  Topology topology;
+  Fabric fabric;
+};
+
+TEST(FabricTest, DeliversAtComputedLatency) {
+  FabricFixture f;
+  const MachineId a = f.topology.MachineAt(0, 0);
+  const MachineId b = f.topology.MachineAt(0, 1);
+  SimDuration delivered = -1;
+  f.fabric.Send(a, b, 1024, [&](SimDuration wire) { delivered = wire; });
+  f.sim.Run();
+  EXPECT_GT(delivered, 0);
+  EXPECT_EQ(f.sim.Now(), delivered);
+}
+
+TEST(FabricTest, MinLatencyIncludesSerialization) {
+  FabricFixture f;
+  const MachineId a = f.topology.MachineAt(0, 0);
+  const MachineId b = f.topology.MachineAt(0, 1);
+  const SimDuration small = f.fabric.MinOneWayLatency(a, b, 64);
+  const SimDuration large = f.fabric.MinOneWayLatency(a, b, 10 * 1024 * 1024);
+  EXPECT_GT(large, small);
+  // 10 MiB at 100 Gb/s is ~839 us of serialization.
+  EXPECT_GE(large - small, Micros(800));
+}
+
+TEST(FabricTest, WanSlowerThanLan) {
+  FabricFixture f;
+  const MachineId a = f.topology.MachineAt(0, 0);
+  const MachineId lan = f.topology.MachineAt(1, 0);
+  // Find an intercontinental peer.
+  ClusterId far = -1;
+  for (ClusterId c = 0; c < f.topology.num_clusters(); ++c) {
+    if (f.topology.ClusterDistance(0, c) == DistanceClass::kIntercontinental) {
+      far = c;
+      break;
+    }
+  }
+  ASSERT_GE(far, 0);
+  const MachineId wan = f.topology.MachineAt(far, 0);
+  EXPECT_GT(f.fabric.MinOneWayLatency(a, wan, 1024), f.fabric.MinOneWayLatency(a, lan, 1024));
+}
+
+TEST(FabricTest, CongestionInflatesTail) {
+  Simulator sim;
+  Topology topo(TopologyOptions{});
+  FabricOptions opts;
+  opts.congestion_probability = 0.5;
+  opts.congestion_mean = Millis(1);
+  Fabric fabric(&sim, &topo, opts);
+  const MachineId a = topo.MachineAt(0, 0);
+  const MachineId b = topo.MachineAt(0, 1);
+  const SimDuration base = fabric.MinOneWayLatency(a, b, 100);
+  int congested = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (fabric.SampleOneWayLatency(a, b, 100) > base) {
+      ++congested;
+    }
+  }
+  EXPECT_NEAR(congested / 2000.0, 0.5, 0.05);
+}
+
+TEST(FabricTest, NoCongestionMatchesMin) {
+  Simulator sim;
+  Topology topo(TopologyOptions{});
+  FabricOptions opts;
+  opts.congestion_probability = 0.0;
+  Fabric fabric(&sim, &topo, opts);
+  const MachineId a = topo.MachineAt(0, 0);
+  const MachineId b = topo.MachineAt(2, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(fabric.SampleOneWayLatency(a, b, 5000), fabric.MinOneWayLatency(a, b, 5000));
+  }
+}
+
+TEST(FabricTest, CountsTraffic) {
+  FabricFixture f;
+  const MachineId a = f.topology.MachineAt(0, 0);
+  f.fabric.Send(a, f.topology.MachineAt(0, 1), 100, [](SimDuration) {});
+  f.fabric.Send(a, f.topology.MachineAt(0, 2), 200, [](SimDuration) {});
+  f.sim.Run();
+  EXPECT_EQ(f.fabric.messages_sent(), 2u);
+  EXPECT_EQ(f.fabric.bytes_sent(), 300);
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,76 @@
+// Parameterized sweeps over topology scale and fabric behaviour.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/net/fabric.h"
+
+namespace rpcscope {
+namespace {
+
+class TopologyScaleTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(TopologyScaleTest, StructureHoldsAtEveryScale) {
+  const auto [continents, metros, dcs, clusters] = GetParam();
+  TopologyOptions opts;
+  opts.continents = continents;
+  opts.metros_per_continent = metros;
+  opts.datacenters_per_metro = dcs;
+  opts.clusters_per_datacenter = clusters;
+  opts.machines_per_cluster = 8;
+  Topology topo(opts);
+  EXPECT_EQ(topo.num_clusters(), continents * metros * dcs * clusters);
+  EXPECT_EQ(topo.num_machines(), topo.num_clusters() * 8);
+  // Distances are symmetric and RTTs respect class ordering at every scale.
+  const MachineId a = topo.MachineAt(0, 0);
+  for (ClusterId c = 0; c < topo.num_clusters(); c += std::max(1, topo.num_clusters() / 11)) {
+    const MachineId b = topo.MachineAt(c, 1);
+    EXPECT_EQ(topo.Distance(a, b), topo.Distance(b, a));
+    EXPECT_EQ(topo.BaseRtt(a, b), topo.BaseRtt(b, a));
+    EXPECT_GT(topo.BaseRtt(a, b), 0);
+    EXPECT_LE(topo.BaseRtt(a, b), Millis(200));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, TopologyScaleTest,
+                         ::testing::Values(std::make_tuple(1, 1, 1, 1),
+                                           std::make_tuple(1, 1, 1, 4),
+                                           std::make_tuple(2, 3, 2, 2),
+                                           std::make_tuple(4, 4, 2, 3),
+                                           std::make_tuple(6, 5, 3, 4)));
+
+class FabricBytesTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(FabricBytesTest, LatencyMonotoneInBytes) {
+  Simulator sim;
+  Topology topo(TopologyOptions{});
+  FabricOptions opts;
+  opts.congestion_probability = 0;
+  Fabric fabric(&sim, &topo, opts);
+  const MachineId a = topo.MachineAt(0, 0);
+  const MachineId b = topo.MachineAt(0, 1);
+  const int64_t bytes = GetParam();
+  EXPECT_LE(fabric.MinOneWayLatency(a, b, bytes), fabric.MinOneWayLatency(a, b, bytes * 2));
+  // WAN serialization is slower than LAN for the same bytes.
+  ClusterId far = -1;
+  for (ClusterId c = 0; c < topo.num_clusters(); ++c) {
+    if (topo.ClusterDistance(0, c) == DistanceClass::kIntercontinental) {
+      far = c;
+      break;
+    }
+  }
+  ASSERT_GE(far, 0);
+  const MachineId w = topo.MachineAt(far, 0);
+  const SimDuration lan_delta =
+      fabric.MinOneWayLatency(a, b, bytes * 2) - fabric.MinOneWayLatency(a, b, bytes);
+  const SimDuration wan_delta =
+      fabric.MinOneWayLatency(a, w, bytes * 2) - fabric.MinOneWayLatency(a, w, bytes);
+  EXPECT_GE(wan_delta, lan_delta);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bytes, FabricBytesTest,
+                         ::testing::Values(64, 1530, 65536, 1 << 20, 16 << 20));
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,179 @@
+#include "src/rpc/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/rpc/server.h"
+
+namespace rpcscope {
+namespace {
+
+constexpr MethodId kEcho = 1;
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  ChannelTest() : system_(MakeOptions()) {
+    client_ = std::make_unique<Client>(&system_, system_.topology().MachineAt(0, 30));
+    // Backends: two local, one in another cluster of the same DC, one remote.
+    for (MachineId m : {system_.topology().MachineAt(0, 0), system_.topology().MachineAt(0, 1),
+                        system_.topology().MachineAt(1, 0),
+                        system_.topology().MachineAt(40, 0)}) {
+      backends_.push_back(m);
+      auto server = std::make_unique<Server>(&system_, m, ServerOptions{});
+      server->RegisterMethod(kEcho, "Echo", [](std::shared_ptr<ServerCall> call) {
+        call->Compute(Micros(200), [call]() {
+          call->Finish(Status::Ok(), Payload::Modeled(128));
+        });
+      });
+      servers_.push_back(std::move(server));
+    }
+  }
+
+  static RpcSystemOptions MakeOptions() {
+    RpcSystemOptions o;
+    o.fabric.congestion_probability = 0;
+    return o;
+  }
+
+  int CountServed(size_t index) const {
+    return static_cast<int>(servers_[index]->requests_served());
+  }
+
+  RpcSystem system_;
+  std::unique_ptr<Client> client_;
+  std::vector<MachineId> backends_;
+  std::vector<std::unique_ptr<Server>> servers_;
+};
+
+TEST_F(ChannelTest, RoundRobinCyclesThroughBackends) {
+  ChannelOptions opts;
+  opts.policy = PickPolicy::kRoundRobin;
+  Channel channel(client_.get(), "echo", backends_, opts);
+  for (int i = 0; i < 8; ++i) {
+    channel.Call(kEcho, Payload::Modeled(64), [](const CallResult& r, Payload) {
+      EXPECT_TRUE(r.status.ok());
+    });
+  }
+  system_.sim().Run();
+  for (size_t s = 0; s < servers_.size(); ++s) {
+    EXPECT_EQ(CountServed(s), 2) << s;
+  }
+}
+
+TEST_F(ChannelTest, NearestPrefersLocalBackend) {
+  ChannelOptions opts;
+  opts.policy = PickPolicy::kNearest;
+  Channel channel(client_.get(), "echo", backends_, opts);
+  // The nearest backend is one of the two in the client's cluster.
+  const MachineId target = channel.PeekTarget();
+  EXPECT_EQ(system_.topology().ClusterOf(target), 0);
+  for (int i = 0; i < 16; ++i) {
+    channel.Call(kEcho, Payload::Modeled(64), [](const CallResult&, Payload) {});
+  }
+  system_.sim().Run();
+  // The cross-continent backend should see no traffic at low load.
+  EXPECT_EQ(CountServed(3), 0);
+}
+
+TEST_F(ChannelTest, LeastLoadedTracksOutstanding) {
+  ChannelOptions opts;
+  opts.policy = PickPolicy::kLeastLoaded;
+  Channel channel(client_.get(), "echo", backends_, opts);
+  int completed = 0;
+  for (int i = 0; i < 64; ++i) {
+    channel.Call(kEcho, Payload::Modeled(64),
+                 [&](const CallResult&, Payload) { ++completed; });
+  }
+  system_.sim().Run();
+  EXPECT_EQ(completed, 64);
+  for (size_t b = 0; b < backends_.size(); ++b) {
+    EXPECT_EQ(channel.outstanding(b), 0) << b;
+  }
+  // Power-of-two-choices spreads: no backend starves completely.
+  for (size_t s = 0; s < servers_.size(); ++s) {
+    EXPECT_GT(CountServed(s), 0) << s;
+  }
+}
+
+TEST_F(ChannelTest, DefaultsAppliedToCalls) {
+  ChannelOptions opts;
+  opts.policy = PickPolicy::kRoundRobin;
+  opts.default_deadline = Micros(1);  // Impossibly tight.
+  Channel channel(client_.get(), "echo", backends_, opts);
+  StatusCode got = StatusCode::kOk;
+  channel.Call(kEcho, Payload::Modeled(64),
+               [&](const CallResult& r, Payload) { got = r.status.code(); });
+  system_.sim().Run();
+  EXPECT_EQ(got, StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(ChannelTest, ChannelHedgingUsesSecondBackend) {
+  ChannelOptions opts;
+  opts.policy = PickPolicy::kRoundRobin;
+  opts.hedge_delay = Micros(10);  // Fires before the 200us handler completes.
+  Channel channel(client_.get(), "echo", backends_, opts);
+  CallResult got;
+  channel.Call(kEcho, Payload::Modeled(64),
+               [&](const CallResult& r, Payload) { got = r; });
+  system_.sim().Run();
+  EXPECT_TRUE(got.status.ok());
+  EXPECT_EQ(got.attempts, 2);
+}
+
+TEST_F(ChannelTest, SubsettingIsDeterministicPerClient) {
+  ChannelOptions opts;
+  opts.policy = PickPolicy::kRoundRobin;
+  opts.subset_size = 2;
+  Channel a(client_.get(), "echo", backends_, opts);
+  Channel b(client_.get(), "echo", backends_, opts);
+  ASSERT_EQ(a.backends().size(), 2u);
+  EXPECT_EQ(a.backends(), b.backends());
+  // A client on a different machine gets a (generally) different subset but
+  // the same size.
+  Client other(&system_, system_.topology().MachineAt(0, 31));
+  Channel c(&other, "echo", backends_, opts);
+  EXPECT_EQ(c.backends().size(), 2u);
+}
+
+TEST_F(ChannelTest, SubsetClientsCoverAllBackendsCollectively) {
+  ChannelOptions opts;
+  opts.policy = PickPolicy::kRoundRobin;
+  opts.subset_size = 2;
+  std::set<MachineId> covered;
+  std::vector<std::unique_ptr<Client>> clients;
+  for (int i = 0; i < 16; ++i) {
+    clients.push_back(
+        std::make_unique<Client>(&system_, system_.topology().MachineAt(2, i)));
+    Channel channel(clients.back().get(), "echo", backends_, opts);
+    covered.insert(channel.backends().begin(), channel.backends().end());
+  }
+  EXPECT_EQ(covered.size(), backends_.size());
+}
+
+TEST_F(ChannelTest, RetryBackoffIsJitteredExponential) {
+  // Call an empty machine with retries; measure total time across attempts.
+  CallOptions opts;
+  opts.max_retries = 4;
+  opts.retry_backoff = Millis(10);
+  opts.retry_backoff_cap = Millis(40);
+  const MachineId empty = system_.topology().MachineAt(3, 0);
+  CallResult got;
+  SimTime done_at = 0;
+  client_->Call(empty, kEcho, Payload::Modeled(64), opts,
+                [&](const CallResult& r, Payload) {
+                  got = r;
+                  done_at = system_.sim().Now();
+                });
+  system_.sim().Run();
+  EXPECT_EQ(got.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(got.attempts, 5);
+  // Backoffs are jittered in (0, ceiling): total below the sum of ceilings
+  // (10+20+40+40 = 110ms) plus wire time, and above zero.
+  EXPECT_GT(done_at, Millis(1));
+  EXPECT_LT(done_at, Millis(130));
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,70 @@
+#include "src/rpc/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace rpcscope {
+namespace {
+
+TEST(CodecTest, RealPayloadRoundTrips) {
+  Rng rng(21);
+  Message msg = Message::GeneratePayload(rng, 4096, 0.6);
+  const Payload original = Payload::Real(msg);
+  WireFrame frame = EncodeFrame(original, 777, 42);
+  EXPECT_TRUE(frame.real);
+  EXPECT_EQ(frame.payload_bytes, static_cast<int64_t>(msg.ByteSize()));
+  EXPECT_GT(frame.wire_bytes, 0);
+  Result<Payload> decoded = DecodeFrame(frame, 777);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(decoded->is_real());
+  EXPECT_TRUE(decoded->message().Equals(msg));
+}
+
+TEST(CodecTest, CompressibleDataShrinksOnWire) {
+  Rng rng(22);
+  Message msg = Message::GeneratePayload(rng, 32768, 0.95);
+  WireFrame frame = EncodeFrame(Payload::Real(msg), 1, 2);
+  EXPECT_LT(frame.wire_bytes, frame.payload_bytes);
+}
+
+TEST(CodecTest, WrongKeyFailsChecksum) {
+  Rng rng(23);
+  Message msg = Message::GeneratePayload(rng, 1024, 0.5);
+  WireFrame frame = EncodeFrame(Payload::Real(msg), 100, 5);
+  Result<Payload> decoded = DecodeFrame(frame, 101);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(CodecTest, CorruptedBodyDetected) {
+  Rng rng(24);
+  Message msg = Message::GeneratePayload(rng, 2048, 0.5);
+  WireFrame frame = EncodeFrame(Payload::Real(msg), 9, 9);
+  frame.body[frame.body.size() / 2] ^= 0x80;
+  EXPECT_FALSE(DecodeFrame(frame, 9).ok());
+}
+
+TEST(CodecTest, ModeledPayloadComputesSizesWithoutBytes) {
+  const Payload p = Payload::Modeled(10000, 0.5);
+  WireFrame frame = EncodeFrame(p, 1, 1);
+  EXPECT_FALSE(frame.real);
+  EXPECT_TRUE(frame.body.empty());
+  EXPECT_EQ(frame.payload_bytes, 10000);
+  EXPECT_EQ(frame.wire_bytes, 5000 + kFrameHeaderBytes);
+  Result<Payload> decoded = DecodeFrame(frame, 1);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->is_real());
+  EXPECT_EQ(decoded->SerializedSize(), 10000);
+}
+
+TEST(CodecTest, DistinctNoncesProduceDistinctBodies) {
+  Rng rng(25);
+  Message msg = Message::GeneratePayload(rng, 512, 0.3);
+  WireFrame a = EncodeFrame(Payload::Real(msg), 7, 1);
+  WireFrame b = EncodeFrame(Payload::Real(msg), 7, 2);
+  EXPECT_NE(a.body, b.body);
+}
+
+}  // namespace
+}  // namespace rpcscope

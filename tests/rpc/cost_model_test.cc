@@ -1,0 +1,68 @@
+#include "src/rpc/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace rpcscope {
+namespace {
+
+TEST(CycleBreakdownTest, TotalsAndTax) {
+  CycleBreakdown b;
+  b[CycleCategory::kCompression] = 100;
+  b[CycleCategory::kApplication] = 900;
+  EXPECT_DOUBLE_EQ(b.Total(), 1000);
+  EXPECT_DOUBLE_EQ(b.TaxTotal(), 100);
+}
+
+TEST(CycleBreakdownTest, AccumulateAdds) {
+  CycleBreakdown a, b;
+  a[CycleCategory::kSerialization] = 10;
+  b[CycleCategory::kSerialization] = 5;
+  b[CycleCategory::kNetworking] = 7;
+  a.Accumulate(b);
+  EXPECT_DOUBLE_EQ(a[CycleCategory::kSerialization], 15);
+  EXPECT_DOUBLE_EQ(a[CycleCategory::kNetworking], 7);
+}
+
+TEST(CycleCostModelTest, CyclesToDurationUsesClock) {
+  CycleCostModel m;
+  m.cycles_per_second = 1e9;
+  EXPECT_EQ(m.CyclesToDuration(1e9), Seconds(1));
+  EXPECT_EQ(m.CyclesToDuration(1e6), Millis(1));
+  // A 2x faster machine takes half the time.
+  EXPECT_EQ(m.CyclesToDuration(1e6, 2.0), Micros(500));
+  EXPECT_EQ(m.CyclesToDuration(0), 0);
+  EXPECT_EQ(m.CyclesToDuration(-5), 0);
+}
+
+TEST(CycleCostModelTest, CostsScaleWithBytes) {
+  CycleCostModel m;
+  const CycleBreakdown small = m.SendSideCost(100, 80);
+  const CycleBreakdown large = m.SendSideCost(100000, 80000);
+  EXPECT_GT(large[CycleCategory::kSerialization], small[CycleCategory::kSerialization]);
+  EXPECT_GT(large[CycleCategory::kCompression], small[CycleCategory::kCompression]);
+  EXPECT_GT(large[CycleCategory::kNetworking], small[CycleCategory::kNetworking]);
+  // RPC library bookkeeping is per call, not per byte.
+  EXPECT_DOUBLE_EQ(large[CycleCategory::kRpcLibrary], small[CycleCategory::kRpcLibrary]);
+}
+
+TEST(CycleCostModelTest, SendAndRecvBothChargeAllTaxCategories) {
+  CycleCostModel m;
+  for (const CycleBreakdown& b : {m.SendSideCost(1000, 800), m.RecvSideCost(1000, 800)}) {
+    EXPECT_GT(b[CycleCategory::kSerialization], 0);
+    EXPECT_GT(b[CycleCategory::kCompression], 0);
+    EXPECT_GT(b[CycleCategory::kEncryption], 0);
+    EXPECT_GT(b[CycleCategory::kChecksum], 0);
+    EXPECT_GT(b[CycleCategory::kNetworking], 0);
+    EXPECT_GT(b[CycleCategory::kRpcLibrary], 0);
+    EXPECT_DOUBLE_EQ(b[CycleCategory::kApplication], 0);
+  }
+}
+
+TEST(CycleCostModelTest, CategoryNamesComplete) {
+  for (int i = 0; i < kNumCycleCategories; ++i) {
+    EXPECT_NE(CycleCategoryName(static_cast<CycleCategory>(i)), "invalid");
+  }
+}
+
+}  // namespace
+}  // namespace rpcscope

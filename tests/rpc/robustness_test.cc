@@ -1,0 +1,188 @@
+// Edge-case and failure-injection tests for the RPC stack.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/rpc/client.h"
+#include "src/rpc/server.h"
+
+namespace rpcscope {
+namespace {
+
+constexpr MethodId kEcho = 1;
+
+RpcSystemOptions QuietFabric() {
+  RpcSystemOptions o;
+  o.fabric.congestion_probability = 0;
+  return o;
+}
+
+void RegisterEcho(Server& server, SimDuration app_time = Micros(100)) {
+  server.RegisterMethod(kEcho, "Echo", [app_time](std::shared_ptr<ServerCall> call) {
+    call->Compute(app_time, [call]() {
+      call->Finish(Status::Ok(), Payload::Modeled(256));
+    });
+  });
+}
+
+TEST(RpcRobustnessTest, BoundedServerQueueRejectsOverload) {
+  RpcSystem system(QuietFabric());
+  ServerOptions opts;
+  opts.app_workers = 1;
+  opts.max_app_queue_depth = 2;
+  Server server(&system, system.topology().MachineAt(0, 0), opts);
+  RegisterEcho(server, Millis(10));
+  Client client(&system, system.topology().MachineAt(0, 1));
+  int ok = 0, exhausted = 0;
+  for (int i = 0; i < 10; ++i) {
+    client.Call(server.machine(), kEcho, Payload::Modeled(64), {},
+                [&](const CallResult& result, Payload) {
+                  if (result.status.ok()) {
+                    ++ok;
+                  } else if (result.status.code() == StatusCode::kResourceExhausted) {
+                    ++exhausted;
+                  }
+                });
+  }
+  system.sim().Run();
+  EXPECT_EQ(ok + exhausted, 10);
+  EXPECT_GT(exhausted, 0);
+  EXPECT_GE(ok, 3);  // 1 running + 2 queued at minimum.
+}
+
+TEST(RpcRobustnessTest, WakeupLatencyAddsToRecvQueue) {
+  RpcSystem system(QuietFabric());
+  ServerOptions slow;
+  slow.wakeup_latency = Micros(500);
+  Server server(&system, system.topology().MachineAt(0, 0), slow);
+  RegisterEcho(server);
+  Client client(&system, system.topology().MachineAt(0, 1));
+  CallResult got;
+  client.Call(server.machine(), kEcho, Payload::Modeled(64), {},
+              [&](const CallResult& result, Payload) { got = result; });
+  system.sim().Run();
+  EXPECT_GE(got.latency[RpcComponent::kServerRecvQueue], Micros(500));
+}
+
+TEST(RpcRobustnessTest, AppSpeedFactorSlowsHandlers) {
+  SimDuration fast_app = 0, slow_app = 0;
+  for (double factor : {1.0, 3.0}) {
+    RpcSystem system(QuietFabric());
+    ServerOptions opts;
+    opts.app_speed_factor = factor;
+    Server server(&system, system.topology().MachineAt(0, 0), opts);
+    RegisterEcho(server, Millis(1));
+    Client client(&system, system.topology().MachineAt(0, 1));
+    client.Call(server.machine(), kEcho, Payload::Modeled(64), {},
+                [&](const CallResult& result, Payload) {
+                  (factor == 1.0 ? fast_app : slow_app) =
+                      result.latency[RpcComponent::kServerApp];
+                });
+    system.sim().Run();
+  }
+  EXPECT_GT(slow_app, fast_app * 2);
+}
+
+TEST(RpcRobustnessTest, HedgeNotLaunchedWhenPrimaryFastEnough) {
+  RpcSystem system(QuietFabric());
+  Server primary(&system, system.topology().MachineAt(0, 0), ServerOptions{});
+  Server backup(&system, system.topology().MachineAt(0, 1), ServerOptions{});
+  RegisterEcho(primary, Micros(50));
+  RegisterEcho(backup, Micros(50));
+  Client client(&system, system.topology().MachineAt(0, 2));
+  CallOptions opts;
+  opts.hedge_delay = Seconds(1);  // Far beyond the expected completion.
+  opts.hedge_target = backup.machine();
+  CallResult got;
+  client.Call(primary.machine(), kEcho, Payload::Modeled(64), opts,
+              [&](const CallResult& result, Payload) { got = result; });
+  system.sim().Run();
+  EXPECT_TRUE(got.status.ok());
+  EXPECT_EQ(got.attempts, 1);
+  EXPECT_EQ(backup.requests_served(), 0u);
+}
+
+TEST(RpcRobustnessTest, ManyConcurrentCallsAllComplete) {
+  RpcSystem system(QuietFabric());
+  Server server(&system, system.topology().MachineAt(0, 0), ServerOptions{});
+  RegisterEcho(server, Micros(30));
+  Client client(&system, system.topology().MachineAt(0, 1));
+  int completed = 0;
+  const int kCalls = 3000;
+  for (int i = 0; i < kCalls; ++i) {
+    system.sim().Schedule(Micros(5) * i, [&]() {
+      client.Call(server.machine(), kEcho, Payload::Modeled(128), {},
+                  [&](const CallResult& result, Payload) {
+                    EXPECT_TRUE(result.status.ok());
+                    ++completed;
+                  });
+    });
+  }
+  system.sim().Run();
+  EXPECT_EQ(completed, kCalls);
+  EXPECT_EQ(client.calls_issued(), static_cast<uint64_t>(kCalls));
+  EXPECT_EQ(client.calls_completed(), static_cast<uint64_t>(kCalls));
+  EXPECT_EQ(system.tracer().recorded(), static_cast<uint64_t>(kCalls));
+}
+
+TEST(RpcRobustnessTest, MachineSpeedsDeterministicAndBounded) {
+  RpcSystemOptions opts;
+  opts.machine_speed_spread = 0.2;
+  RpcSystem a(opts), b(opts);
+  for (MachineId m = 0; m < 200; ++m) {
+    const double speed = a.MachineSpeed(m);
+    EXPECT_EQ(speed, b.MachineSpeed(m));
+    EXPECT_GE(speed, 0.8);
+    EXPECT_LE(speed, 1.2);
+  }
+}
+
+TEST(RpcRobustnessTest, TraceSamplingReducesStoredSpans) {
+  RpcSystemOptions opts = QuietFabric();
+  opts.tracing.sampling_probability = 0.1;
+  RpcSystem system(opts);
+  Server server(&system, system.topology().MachineAt(0, 0), ServerOptions{});
+  RegisterEcho(server, Micros(10));
+  Client client(&system, system.topology().MachineAt(0, 1));
+  for (int i = 0; i < 2000; ++i) {
+    system.sim().Schedule(Micros(50) * i, [&]() {
+      client.Call(server.machine(), kEcho, Payload::Modeled(64), {},
+                  [](const CallResult&, Payload) {});
+    });
+  }
+  system.sim().Run();
+  const double kept = static_cast<double>(system.tracer().recorded()) / 2000.0;
+  EXPECT_NEAR(kept, 0.1, 0.04);
+}
+
+// Property sweep: the DES pipeline conserves latency — the client-observed
+// completion time equals the sum of the nine components for every payload size.
+class PipelineConservationTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(PipelineConservationTest, ComponentsSumToCompletionTime) {
+  RpcSystem system(QuietFabric());
+  Server server(&system, system.topology().MachineAt(0, 0), ServerOptions{});
+  RegisterEcho(server, Micros(77));
+  Client client(&system, system.topology().MachineAt(0, 1));
+  SimTime issued = 0;
+  SimTime completed = 0;
+  CallResult got;
+  system.sim().Schedule(Millis(1), [&]() {
+    issued = system.sim().Now();
+    client.Call(server.machine(), kEcho, Payload::Modeled(GetParam()), {},
+                [&](const CallResult& result, Payload) {
+                  got = result;
+                  completed = system.sim().Now();
+                });
+  });
+  system.sim().Run();
+  ASSERT_TRUE(got.status.ok());
+  // Wall-clock completion equals the breakdown's total (no unaccounted time).
+  EXPECT_EQ(completed - issued, got.latency.Total());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PipelineConservationTest,
+                         ::testing::Values(64, 512, 4096, 32768, 262144));
+
+}  // namespace
+}  // namespace rpcscope

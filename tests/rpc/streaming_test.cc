@@ -1,0 +1,109 @@
+// Server-streaming responses (stack extension; §2.1 excludes streams from the
+// paper's sampling, which is why bulk transfers need their own treatment).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/rpc/client.h"
+#include "src/rpc/server.h"
+
+namespace rpcscope {
+namespace {
+
+constexpr MethodId kBulkRead = 1;
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  StreamingTest() : system_(MakeOptions()) {
+    server_ = std::make_unique<Server>(&system_, system_.topology().MachineAt(0, 0),
+                                       ServerOptions{});
+    client_ = std::make_unique<Client>(&system_, system_.topology().MachineAt(0, 1));
+  }
+
+  static RpcSystemOptions MakeOptions() {
+    RpcSystemOptions o;
+    o.fabric.congestion_probability = 0;
+    return o;
+  }
+
+  void RegisterStream(int chunks, int64_t chunk_bytes) {
+    server_->RegisterMethod(kBulkRead, "BulkRead",
+                            [chunks, chunk_bytes](std::shared_ptr<ServerCall> call) {
+                              call->Compute(Micros(300), [call, chunks, chunk_bytes]() {
+                                call->FinishStream(Status::Ok(),
+                                                   Payload::Modeled(chunk_bytes, 1.0), chunks);
+                              });
+                            });
+  }
+
+  RpcSystem system_;
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<Client> client_;
+};
+
+TEST_F(StreamingTest, DeliversAllChunkBytes) {
+  RegisterStream(16, 16 * 1024);
+  CallResult got;
+  client_->Call(server_->machine(), kBulkRead, Payload::Modeled(128), {},
+                [&](const CallResult& result, Payload) { got = result; });
+  system_.sim().Run();
+  ASSERT_TRUE(got.status.ok());
+  // 16 chunks x (16 KiB + frame header).
+  EXPECT_GE(got.response_wire_bytes, 16 * 16 * 1024);
+  EXPECT_LT(got.response_wire_bytes, 17 * 16 * 1024);
+}
+
+TEST_F(StreamingTest, StreamCostsMoreThanEquivalentUnary) {
+  // Same total bytes: 64 x 16 KiB stream vs one 1 MiB unary response.
+  RegisterStream(64, 16 * 1024);
+  CallResult stream_result;
+  client_->Call(server_->machine(), kBulkRead, Payload::Modeled(128), {},
+                [&](const CallResult& result, Payload) { stream_result = result; });
+  system_.sim().Run();
+
+  Server unary_server(&system_, system_.topology().MachineAt(0, 2), ServerOptions{});
+  unary_server.RegisterMethod(kBulkRead, "BulkRead", [](std::shared_ptr<ServerCall> call) {
+    call->Compute(Micros(300), [call]() {
+      call->Finish(Status::Ok(), Payload::Modeled(64 * 16 * 1024, 1.0));
+    });
+  });
+  CallResult unary_result;
+  client_->Call(unary_server.machine(), kBulkRead, Payload::Modeled(128), {},
+                [&](const CallResult& result, Payload) { unary_result = result; });
+  system_.sim().Run();
+
+  ASSERT_TRUE(stream_result.status.ok());
+  ASSERT_TRUE(unary_result.status.ok());
+  // Per-byte work dominates at this size, but the stream pays per-chunk fixed
+  // costs on top: its library/framing cycles are an order of magnitude higher
+  // for the same payload bytes.
+  EXPECT_GT(stream_result.cycles[CycleCategory::kRpcLibrary],
+            unary_result.cycles[CycleCategory::kRpcLibrary] * 10);
+  EXPECT_GT(stream_result.cycles[CycleCategory::kNetworking],
+            unary_result.cycles[CycleCategory::kNetworking]);
+}
+
+TEST_F(StreamingTest, SingleChunkStreamMatchesUnaryShape) {
+  RegisterStream(1, 4096);
+  CallResult got;
+  client_->Call(server_->machine(), kBulkRead, Payload::Modeled(128), {},
+                [&](const CallResult& result, Payload) { got = result; });
+  system_.sim().Run();
+  ASSERT_TRUE(got.status.ok());
+  EXPECT_GT(got.latency[RpcComponent::kServerApp], Micros(290));
+  EXPECT_GT(got.latency[RpcComponent::kResponseWire], 0);
+}
+
+TEST_F(StreamingTest, StreamSpanRecordsTotals) {
+  RegisterStream(8, 8192);
+  client_->Call(server_->machine(), kBulkRead, Payload::Modeled(128), {},
+                [](const CallResult&, Payload) {});
+  system_.sim().Run();
+  ASSERT_FALSE(system_.tracer().spans().empty());
+  const Span& span = system_.tracer().spans().back();
+  EXPECT_GE(span.response_wire_bytes, 8 * 8192);
+  EXPECT_GE(span.response_payload_bytes, 8 * 8192);
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/server_resource.h"
+
+namespace rpcscope {
+namespace {
+
+TEST(PriorityTest, HighPriorityJumpsQueue) {
+  Simulator sim;
+  ServerResource res(&sim, {.workers = 1});
+  std::vector<int> order;
+  auto hold = [&](int id, SimDuration work) {
+    return [&, id, work](SimDuration) {
+      order.push_back(id);
+      sim.Schedule(work, [&res] { res.Release(); });
+    };
+  };
+  // Occupy the worker, then queue: low(1), low(2), high(3).
+  res.AcquireWithPriority(0, hold(0, Millis(10)));
+  res.AcquireWithPriority(1, hold(1, Millis(1)));
+  res.AcquireWithPriority(1, hold(2, Millis(1)));
+  res.AcquireWithPriority(0, hold(3, Millis(1)));
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 1, 2}));
+}
+
+TEST(PriorityTest, FifoWithinClass) {
+  Simulator sim;
+  ServerResource res(&sim, {.workers = 1});
+  std::vector<int> order;
+  auto hold = [&](int id) {
+    return [&, id](SimDuration) {
+      order.push_back(id);
+      sim.Schedule(Millis(1), [&res] { res.Release(); });
+    };
+  };
+  res.AcquireWithPriority(0, hold(0));
+  for (int i = 1; i <= 4; ++i) {
+    res.AcquireWithPriority(1, hold(i));
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(PriorityTest, LowPriorityEventuallyRuns) {
+  Simulator sim;
+  ServerResource res(&sim, {.workers = 2});
+  int low_done = 0;
+  res.AcquireWithPriority(1, [&](SimDuration) {
+    ++low_done;
+    res.Release();
+  });
+  sim.Run();
+  EXPECT_EQ(low_done, 1);
+}
+
+TEST(PriorityTest, BoundedQueueCountsBothClasses) {
+  Simulator sim;
+  ServerResource res(&sim, {.workers = 1, .max_queue_depth = 2});
+  int rejected = 0;
+  auto job = [&](int priority) {
+    res.AcquireWithPriority(priority, [&](SimDuration qd) {
+      if (qd == ServerResource::kRejected) {
+        ++rejected;
+        return;
+      }
+      sim.Schedule(Millis(1), [&res] { res.Release(); });
+    });
+  };
+  job(0);  // Running.
+  job(0);  // Queued high.
+  job(1);  // Queued low.
+  job(0);  // Rejected: depth 2 reached across classes.
+  job(1);  // Rejected.
+  sim.Run();
+  EXPECT_EQ(rejected, 2);
+}
+
+// Property sweep: under a mixed short/long workload, strict priority for
+// short jobs improves their tail without starving throughput.
+class SchedulingSweep : public ::testing::TestWithParam<bool> {};
+
+TEST_P(SchedulingSweep, ShortJobTailBetterWithPriority) {
+  const bool prioritize = GetParam();
+  Simulator sim;
+  ServerResource res(&sim, {.workers = 2});
+  std::vector<double> short_waits;
+  int long_done = 0;
+  // Offered load ~0.97: heavily loaded but stable.
+  for (int i = 0; i < 3000; ++i) {
+    sim.Schedule(Micros(150) * i, [&, i]() {
+      const bool is_long = (i % 10) == 0;  // 10% long jobs, 20x the work.
+      const SimDuration work = is_long ? Millis(2) : Micros(100);
+      const int priority = prioritize && is_long ? 1 : 0;
+      res.AcquireWithPriority(priority, [&, is_long, work](SimDuration qd) {
+        if (!is_long) {
+          short_waits.push_back(ToMicros(qd));
+        }
+        sim.Schedule(work, [&res, &long_done, is_long] {
+          if (is_long) {
+            ++long_done;
+          }
+          res.Release();
+        });
+      });
+    });
+  }
+  sim.Run();
+  ASSERT_FALSE(short_waits.empty());
+  std::sort(short_waits.begin(), short_waits.end());
+  const double p99 = short_waits[short_waits.size() * 99 / 100];
+  EXPECT_EQ(long_done, 300);
+  if (prioritize) {
+    // Non-preemptive priority: a short job waits at most roughly the residual
+    // of the long jobs occupying the two workers.
+    EXPECT_LT(p99, 4500.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, SchedulingSweep, ::testing::Bool());
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,82 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rpcscope {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(Millis(30), [&] { order.push_back(3); });
+  sim.Schedule(Millis(10), [&] { order.push_back(1); });
+  sim.Schedule(Millis(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Millis(30));
+}
+
+TEST(SimulatorTest, FifoTieBreakAtSameTime) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(Millis(1), [&, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, CallbacksCanScheduleMore) {
+  Simulator sim;
+  int hits = 0;
+  std::function<void()> chain = [&] {
+    ++hits;
+    if (hits < 10) {
+      sim.Schedule(Millis(1), chain);
+    }
+  };
+  sim.Schedule(0, chain);
+  sim.Run();
+  EXPECT_EQ(hits, 10);
+  EXPECT_EQ(sim.Now(), Millis(9));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int hits = 0;
+  sim.Schedule(Millis(5), [&] { ++hits; });
+  sim.Schedule(Millis(15), [&] { ++hits; });
+  sim.RunUntil(Millis(10));
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(sim.Now(), Millis(10));
+  sim.Run();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenQueueEmpty) {
+  Simulator sim;
+  sim.RunUntil(Seconds(100));
+  EXPECT_EQ(sim.Now(), Seconds(100));
+}
+
+TEST(SimulatorTest, NegativeDelayClampedToNow) {
+  Simulator sim;
+  sim.Schedule(Millis(10), [&] {
+    sim.Schedule(-Millis(5), [&] { EXPECT_EQ(sim.Now(), Millis(10)); });
+  });
+  sim.Run();
+}
+
+TEST(SimulatorTest, EventCountTracked) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) {
+    sim.Schedule(i, [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "src/trace/collector.h"
+#include "src/trace/span.h"
+#include "src/trace/tree.h"
+
+namespace rpcscope {
+namespace {
+
+TEST(LatencyBreakdownTest, TotalsTaxAndGroups) {
+  LatencyBreakdown b;
+  b[RpcComponent::kClientSendQueue] = 1;
+  b[RpcComponent::kRequestProcStack] = 2;
+  b[RpcComponent::kRequestWire] = 3;
+  b[RpcComponent::kServerRecvQueue] = 4;
+  b[RpcComponent::kServerApp] = 100;
+  b[RpcComponent::kServerSendQueue] = 5;
+  b[RpcComponent::kResponseProcStack] = 6;
+  b[RpcComponent::kResponseWire] = 7;
+  b[RpcComponent::kClientRecvQueue] = 8;
+  EXPECT_EQ(b.Total(), 136);
+  EXPECT_EQ(b.Tax(), 36);
+  EXPECT_EQ(b.WireTotal(), 10);
+  EXPECT_EQ(b.ProcStackTotal(), 8);
+  EXPECT_EQ(b.QueueTotal(), 18);
+  EXPECT_EQ(b.Tax(), b.WireTotal() + b.ProcStackTotal() + b.QueueTotal());
+}
+
+TEST(LatencyBreakdownTest, ComponentNames) {
+  for (int i = 0; i < kNumRpcComponents; ++i) {
+    EXPECT_NE(RpcComponentName(static_cast<RpcComponent>(i)), "invalid");
+  }
+}
+
+TEST(TraceCollectorTest, RecordsEverythingAtFullSampling) {
+  TraceCollector collector;
+  Span s;
+  s.trace_id = collector.NewTraceId();
+  EXPECT_TRUE(collector.Record(s));
+  EXPECT_EQ(collector.recorded(), 1u);
+  EXPECT_EQ(collector.dropped(), 0u);
+}
+
+TEST(TraceCollectorTest, SamplingIsPerTraceAndProportional) {
+  TraceCollector::Options opts;
+  opts.sampling_probability = 0.25;
+  TraceCollector collector(opts);
+  int kept = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    const TraceId id = collector.NewTraceId();
+    // The decision must be stable per trace id.
+    EXPECT_EQ(collector.IsSampled(id), collector.IsSampled(id));
+    Span s;
+    s.trace_id = id;
+    if (collector.Record(s)) {
+      ++kept;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(kept) / n, 0.25, 0.02);
+  EXPECT_EQ(collector.recorded() + collector.dropped(), static_cast<uint64_t>(n));
+}
+
+TEST(TraceCollectorTest, WholeTreeSharesSamplingDecision) {
+  TraceCollector::Options opts;
+  opts.sampling_probability = 0.5;
+  TraceCollector collector(opts);
+  for (int t = 0; t < 100; ++t) {
+    const TraceId id = collector.NewTraceId();
+    Span parent, child;
+    parent.trace_id = id;
+    child.trace_id = id;
+    const bool kept_parent = collector.Record(parent);
+    const bool kept_child = collector.Record(child);
+    EXPECT_EQ(kept_parent, kept_child);
+  }
+}
+
+TEST(TraceCollectorTest, ClearResets) {
+  TraceCollector collector;
+  Span s;
+  s.trace_id = 1;
+  collector.Record(s);
+  collector.Clear();
+  EXPECT_TRUE(collector.spans().empty());
+  EXPECT_EQ(collector.recorded(), 0u);
+}
+
+// Builds a small forest:
+//   trace 1: root(a) -> b -> c ; root -> d        (4 spans, depth 2)
+//   trace 2: lone orphan whose parent is missing  (treated as root)
+std::vector<Span> MakeForest() {
+  std::vector<Span> spans;
+  auto add = [&spans](TraceId t, SpanId id, SpanId parent, int32_t method) {
+    Span s;
+    s.trace_id = t;
+    s.span_id = id;
+    s.parent_span_id = parent;
+    s.method_id = method;
+    spans.push_back(s);
+  };
+  add(1, 10, 0, 100);   // root a
+  add(1, 11, 10, 101);  // b
+  add(1, 12, 11, 102);  // c
+  add(1, 13, 10, 103);  // d
+  add(2, 20, 999, 104); // orphan
+  return spans;
+}
+
+TEST(TraceForestTest, DescendantsAndAncestors) {
+  const std::vector<Span> spans = MakeForest();
+  TraceForest forest(spans);
+  const auto& shapes = forest.span_shapes();
+  ASSERT_EQ(shapes.size(), 5u);
+  EXPECT_EQ(shapes[0].descendants, 3);  // a
+  EXPECT_EQ(shapes[0].ancestors, 0);
+  EXPECT_EQ(shapes[1].descendants, 1);  // b
+  EXPECT_EQ(shapes[1].ancestors, 1);
+  EXPECT_EQ(shapes[2].descendants, 0);  // c
+  EXPECT_EQ(shapes[2].ancestors, 2);
+  EXPECT_EQ(shapes[3].descendants, 0);  // d
+  EXPECT_EQ(shapes[3].ancestors, 1);
+  EXPECT_EQ(shapes[4].descendants, 0);  // orphan
+  EXPECT_EQ(shapes[4].ancestors, 0);
+}
+
+TEST(TraceForestTest, TraceShapes) {
+  TraceForest forest(MakeForest());
+  const auto& traces = forest.trace_shapes();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].total_spans, 4);
+  EXPECT_EQ(traces[0].max_depth, 2);
+  EXPECT_EQ(traces[0].max_width, 2);  // b and d at depth 1.
+  EXPECT_EQ(traces[1].total_spans, 1);
+}
+
+TEST(TraceForestTest, EmptyInput) {
+  TraceForest forest({});
+  EXPECT_TRUE(forest.span_shapes().empty());
+  EXPECT_TRUE(forest.trace_shapes().empty());
+}
+
+}  // namespace
+}  // namespace rpcscope

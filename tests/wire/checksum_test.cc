@@ -1,0 +1,38 @@
+#include "src/wire/checksum.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rpcscope {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) { return {s.begin(), s.end()}; }
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 test vector: 32 bytes of zeros.
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros), 0x8a9136aau);
+  // 32 bytes of 0xff.
+  std::vector<uint8_t> ones(32, 0xff);
+  EXPECT_EQ(Crc32c(ones), 0x62a8ab43u);
+  // "123456789" standard check value.
+  EXPECT_EQ(Crc32c(Bytes("123456789")), 0xe3069283u);
+}
+
+TEST(Crc32cTest, EmptyIsZero) { EXPECT_EQ(Crc32c(std::vector<uint8_t>{}), 0u); }
+
+TEST(Crc32cTest, SensitiveToSingleBitFlip) {
+  auto data = Bytes("the quick brown fox");
+  const uint32_t before = Crc32c(data);
+  data[5] ^= 0x01;
+  EXPECT_NE(Crc32c(data), before);
+}
+
+TEST(Crc32cTest, DeterministicAcrossCalls) {
+  auto data = Bytes("determinism");
+  EXPECT_EQ(Crc32c(data), Crc32c(data));
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,56 @@
+#include "src/wire/cipher.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace rpcscope {
+namespace {
+
+TEST(StreamCipherTest, EncryptDecryptRoundTrips) {
+  Rng rng(10);
+  for (size_t n : {0u, 1u, 7u, 8u, 9u, 1000u, 65537u}) {
+    std::vector<uint8_t> data(n);
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.NextBounded(256));
+    }
+    const std::vector<uint8_t> original = data;
+    StreamCipher e(123456, 7);
+    e.Apply(data);
+    if (n > 8) {
+      EXPECT_NE(data, original);
+    }
+    StreamCipher d(123456, 7);
+    d.Apply(data);
+    EXPECT_EQ(data, original) << n;
+  }
+}
+
+TEST(StreamCipherTest, DifferentNoncesDifferentKeystreams) {
+  std::vector<uint8_t> a(64, 0), b(64, 0);
+  StreamCipher c1(42, 1), c2(42, 2);
+  c1.Apply(a);
+  c2.Apply(b);
+  EXPECT_NE(a, b);
+}
+
+TEST(StreamCipherTest, DifferentKeysDifferentKeystreams) {
+  std::vector<uint8_t> a(64, 0), b(64, 0);
+  StreamCipher c1(1, 9), c2(2, 9);
+  c1.Apply(a);
+  c2.Apply(b);
+  EXPECT_NE(a, b);
+}
+
+TEST(StreamCipherTest, WrongKeyDoesNotDecrypt) {
+  std::vector<uint8_t> data(32, 'x');
+  const std::vector<uint8_t> original = data;
+  StreamCipher e(111, 5);
+  e.Apply(data);
+  StreamCipher wrong(222, 5);
+  wrong.Apply(data);
+  EXPECT_NE(data, original);
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,108 @@
+#include "src/wire/message.h"
+
+#include <gtest/gtest.h>
+
+namespace rpcscope {
+namespace {
+
+TEST(MessageTest, RoundTripsAllFieldTypes) {
+  Message m;
+  m.AddVarint(1, 42);
+  m.AddDouble(2, 3.5);
+  m.AddBytes(3, "hello wire");
+  Message child;
+  child.AddVarint(7, 9);
+  m.AddMessage(4, child);
+
+  const std::vector<uint8_t> buf = m.Serialize();
+  EXPECT_EQ(buf.size(), m.ByteSize());
+  Result<Message> parsed = Message::Parse(buf);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->Equals(m));
+}
+
+TEST(MessageTest, EmptyMessageRoundTrips) {
+  Message m;
+  EXPECT_EQ(m.ByteSize(), 0u);
+  Result<Message> parsed = Message::Parse(m.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->field_count(), 0u);
+}
+
+TEST(MessageTest, FindFieldReturnsFirstMatch) {
+  Message m;
+  m.AddVarint(5, 1);
+  m.AddVarint(5, 2);
+  const Message::Field* f = m.FindField(5);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->varint, 1u);
+  EXPECT_EQ(m.FindField(99), nullptr);
+}
+
+TEST(MessageTest, TruncatedBufferFailsToParse) {
+  Message m;
+  m.AddBytes(1, std::string(100, 'x'));
+  std::vector<uint8_t> buf = m.Serialize();
+  buf.resize(buf.size() - 10);
+  EXPECT_FALSE(Message::Parse(buf).ok());
+}
+
+TEST(MessageTest, DeepNestingRoundTrips) {
+  Message inner;
+  inner.AddVarint(1, 7);
+  Message m = inner;
+  for (int depth = 0; depth < 10; ++depth) {
+    Message wrapper;
+    wrapper.AddMessage(2, m);
+    m = wrapper;
+  }
+  Result<Message> parsed = Message::Parse(m.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Equals(m));
+}
+
+TEST(MessageTest, CopySemanticsDeepCopyChildren) {
+  Message m;
+  Message child;
+  child.AddVarint(1, 5);
+  m.AddMessage(2, child);
+  Message copy = m;
+  EXPECT_TRUE(copy.Equals(m));
+  // Mutating the copy must not affect the original.
+  copy.AddVarint(3, 9);
+  EXPECT_FALSE(copy.Equals(m));
+}
+
+class GeneratePayloadTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GeneratePayloadTest, HitsTargetSizeApproximately) {
+  const size_t target = GetParam();
+  Rng rng(target);
+  const Message m = Message::GeneratePayload(rng, target, 0.5);
+  const size_t size = m.ByteSize();
+  // Within 15% or 32 bytes of target, whichever is looser.
+  const double tolerance = std::max<double>(32.0, static_cast<double>(target) * 0.15);
+  EXPECT_NEAR(static_cast<double>(size), static_cast<double>(target), tolerance);
+  // And it round-trips.
+  Result<Message> parsed = Message::Parse(m.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Equals(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GeneratePayloadTest,
+                         ::testing::Values(64, 128, 512, 1530, 8192, 32768, 196000));
+
+TEST(GeneratePayloadTest, RedundancyControlsCompressibility) {
+  Rng rng1(1), rng2(1);
+  const Message random_msg = Message::GeneratePayload(rng1, 16384, 0.0);
+  const Message redundant_msg = Message::GeneratePayload(rng2, 16384, 0.95);
+  // Both hit the size; contents differ in entropy (verified via compressor
+  // tests; here just check determinism given the same seed and params).
+  Rng rng3(1);
+  const Message again = Message::GeneratePayload(rng3, 16384, 0.0);
+  EXPECT_TRUE(random_msg.Equals(again));
+  EXPECT_FALSE(random_msg.Equals(redundant_msg));
+}
+
+}  // namespace
+}  // namespace rpcscope

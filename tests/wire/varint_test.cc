@@ -1,0 +1,73 @@
+#include "src/wire/varint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace rpcscope {
+namespace {
+
+TEST(VarintTest, RoundTripsBoundaryValues) {
+  const uint64_t cases[] = {0, 1, 127, 128, 16383, 16384, UINT64_MAX};
+  for (uint64_t v : cases) {
+    std::vector<uint8_t> buf;
+    PutVarint64(buf, v);
+    EXPECT_EQ(buf.size(), VarintSize(v));
+    size_t pos = 0;
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(buf, pos, out));
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(VarintTest, RoundTripsRandom) {
+  Rng rng(4);
+  std::vector<uint8_t> buf;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextUint64() >> (rng.NextBounded(64));
+    values.push_back(v);
+    PutVarint64(buf, v);
+  }
+  size_t pos = 0;
+  for (uint64_t expected : values) {
+    uint64_t out = 0;
+    ASSERT_TRUE(GetVarint64(buf, pos, out));
+    EXPECT_EQ(out, expected);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::vector<uint8_t> buf;
+  PutVarint64(buf, 1ULL << 40);
+  buf.pop_back();
+  size_t pos = 0;
+  uint64_t out;
+  EXPECT_FALSE(GetVarint64(buf, pos, out));
+}
+
+TEST(VarintTest, EmptyBufferFails) {
+  std::vector<uint8_t> buf;
+  size_t pos = 0;
+  uint64_t out;
+  EXPECT_FALSE(GetVarint64(buf, pos, out));
+}
+
+TEST(ZigzagTest, RoundTripsSigned) {
+  const int64_t cases[] = {0, 1, -1, 63, -64, INT64_MAX, INT64_MIN};
+  for (int64_t v : cases) {
+    EXPECT_EQ(ZigzagDecode(ZigzagEncode(v)), v);
+  }
+}
+
+TEST(ZigzagTest, SmallMagnitudesStaySmall) {
+  EXPECT_EQ(ZigzagEncode(0), 0u);
+  EXPECT_EQ(ZigzagEncode(-1), 1u);
+  EXPECT_EQ(ZigzagEncode(1), 2u);
+  EXPECT_EQ(ZigzagEncode(-2), 3u);
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -1,0 +1,140 @@
+// rpcscope_analyze: offline analysis of persisted span files.
+//
+// The downstream-user tool: point it at one or more TraceStore span files
+// (written by TraceStore::SaveToFile, e.g. from examples/trace_pipeline or
+// your own instrumentation) and get the paper's analyses over your traces.
+//
+// Usage:
+//   rpcscope_analyze <spans.bin>... [--analysis=summary|breakdown|whatif|
+//                                     taxratio|sizes|queueing|trees] [--csv]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/core/analyses.h"
+#include "src/trace/storage.h"
+#include "src/trace/tree.h"
+
+using namespace rpcscope;
+
+namespace {
+
+int Usage() {
+  std::fputs(
+      "usage: rpcscope_analyze <spans.bin>... [--analysis=NAME] [--csv]\n"
+      "  analyses: summary (default), breakdown, whatif, taxratio, sizes,\n"
+      "            queueing, trees\n",
+      stderr);
+  return 2;
+}
+
+void PrintSummary(const TraceStore& store) {
+  int64_t errors = 0;
+  double total_ms = 0, tax_ms = 0;
+  SimTime begin = INT64_MAX, end = 0;
+  for (const Span& s : store.spans()) {
+    if (s.status != StatusCode::kOk) {
+      ++errors;
+      continue;
+    }
+    total_ms += ToMillis(s.latency.Total());
+    tax_ms += ToMillis(s.latency.Tax());
+    begin = std::min(begin, s.start_time);
+    end = std::max(end, s.start_time);
+  }
+  const size_t n = store.spans().size();
+  std::printf("spans:        %zu (%lld errors, %.2f%%)\n", n, static_cast<long long>(errors),
+              n > 0 ? 100.0 * static_cast<double>(errors) / static_cast<double>(n) : 0.0);
+  if (n > 0 && end > begin) {
+    std::printf("time window:  %s\n", FormatDuration(end - begin).c_str());
+  }
+  if (total_ms > 0) {
+    std::printf("mean RCT:     %.3fms\n", total_ms / static_cast<double>(n - static_cast<size_t>(errors)));
+    std::printf("mean tax:     %.2f%% of completion time\n", 100.0 * tax_ms / total_ms);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string analysis = "summary";
+  bool csv = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--analysis=", 0) == 0) {
+      analysis = arg.substr(std::strlen("--analysis="));
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    return Usage();
+  }
+
+  TraceStore store;
+  for (const std::string& file : files) {
+    Result<TraceStore> loaded = TraceStore::LoadFromFile(file);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load %s: %s\n", file.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    store.AddAll(loaded->spans());
+  }
+
+  auto print = [csv](const FigureReport& report) {
+    std::fputs((csv ? report.RenderCsv() : report.Render()).c_str(), stdout);
+  };
+
+  if (analysis == "summary") {
+    PrintSummary(store);
+    return 0;
+  }
+  if (analysis == "breakdown" || analysis == "whatif") {
+    std::vector<ServiceSpans> studies = {{"all spans", store.spans()}};
+    print(analysis == "breakdown" ? AnalyzeServiceBreakdown(studies) : AnalyzeWhatIf(studies));
+    return 0;
+  }
+
+  // Per-method analyses need an aggregator sized for the largest method id.
+  int32_t max_method = 0;
+  for (const Span& s : store.spans()) {
+    max_method = std::max(max_method, s.method_id);
+  }
+  MethodAggregator agg(max_method + 1);
+  for (const Span& s : store.spans()) {
+    agg.Add(s);
+  }
+  if (analysis == "taxratio") {
+    print(AnalyzeTaxRatio(agg));
+  } else if (analysis == "sizes") {
+    print(AnalyzeSizes(agg));
+  } else if (analysis == "queueing") {
+    print(AnalyzeQueueing(agg));
+  } else if (analysis == "trees") {
+    TraceForest forest(store.spans());
+    TextTable t({"metric", "value"});
+    int64_t max_desc = 0, max_depth = 0;
+    for (const SpanShape& shape : forest.span_shapes()) {
+      max_desc = std::max(max_desc, shape.descendants);
+      max_depth = std::max(max_depth, shape.ancestors);
+    }
+    t.AddRow({"traces", std::to_string(forest.trace_shapes().size())});
+    t.AddRow({"max descendants", std::to_string(max_desc)});
+    t.AddRow({"max depth", std::to_string(max_depth)});
+    FigureReport report;
+    report.id = "trees";
+    report.title = "Trace forest shape";
+    report.tables.push_back(t);
+    print(report);
+  } else {
+    return Usage();
+  }
+  return 0;
+}

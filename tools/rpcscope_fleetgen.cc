@@ -1,0 +1,95 @@
+// rpcscope_fleetgen: generate fleet trace files for offline analysis.
+//
+// Samples the calibrated 10,000-method fleet model and writes the spans as a
+// TraceStore binary — feed the output to rpcscope_analyze, or to your own
+// tooling via trace/storage.h.
+//
+// Usage:
+//   rpcscope_fleetgen --out=spans.bin [--samples=N] [--per-method=K]
+//                     [--seed=S]
+//   --samples:    N popularity-weighted samples (default 1,000,000)
+//   --per-method: instead, K samples of every method (stratified)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/fleet/fleet_sampler.h"
+#include "src/trace/storage.h"
+
+using namespace rpcscope;
+
+int main(int argc, char** argv) {
+  std::string out;
+  std::string catalog_csv;
+  int64_t samples = 1000000;
+  int per_method = 0;
+  uint64_t seed = 7;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out=", 0) == 0) {
+      out = arg.substr(6);
+    } else if (arg.rfind("--samples=", 0) == 0) {
+      samples = std::atoll(arg.c_str() + 10);
+    } else if (arg.rfind("--per-method=", 0) == 0) {
+      per_method = std::atoi(arg.c_str() + 13);
+    } else if (arg.rfind("--catalog-csv=", 0) == 0) {
+      catalog_csv = arg.substr(14);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (out.empty() && catalog_csv.empty()) {
+    std::fputs("usage: rpcscope_fleetgen --out=spans.bin [--samples=N] "
+               "[--per-method=K] [--seed=S]\n",
+               stderr);
+    return 2;
+  }
+
+  const ServiceCatalog services = ServiceCatalog::BuildDefault();
+  const MethodCatalog methods = MethodCatalog::Generate(services, {});
+  if (!catalog_csv.empty()) {
+    std::FILE* f = std::fopen(catalog_csv.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", catalog_csv.c_str());
+      return 1;
+    }
+    const std::string csv = methods.ExportCsv(services);
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+    std::printf("wrote catalog (%d methods) to %s\n", methods.size(), catalog_csv.c_str());
+    if (out.empty()) {
+      return 0;
+    }
+  }
+  const Topology topology{TopologyOptions{}};
+  const CycleCostModel costs;
+  FleetSamplerOptions opts;
+  opts.seed = seed;
+  FleetSampler sampler(&services, &methods, &topology, &costs, opts);
+
+  TraceStore store;
+  if (per_method > 0) {
+    for (int32_t m = 0; m < methods.size(); ++m) {
+      for (int k = 0; k < per_method; ++k) {
+        store.Add(sampler.SampleMethod(m).span);
+      }
+    }
+    std::printf("generated %d spans per method x %d methods\n", per_method, methods.size());
+  } else {
+    for (int64_t i = 0; i < samples; ++i) {
+      store.Add(sampler.Sample().span);
+    }
+    std::printf("generated %lld popularity-weighted spans\n",
+                static_cast<long long>(samples));
+  }
+  if (Status s = store.SaveToFile(out); !s.ok()) {
+    std::fprintf(stderr, "write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu spans to %s\n", store.size(), out.c_str());
+  return 0;
+}
