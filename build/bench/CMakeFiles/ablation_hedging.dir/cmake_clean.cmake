@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hedging.dir/ablation_hedging.cc.o"
+  "CMakeFiles/ablation_hedging.dir/ablation_hedging.cc.o.d"
+  "ablation_hedging"
+  "ablation_hedging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hedging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

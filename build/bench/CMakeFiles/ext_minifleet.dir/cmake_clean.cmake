@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_minifleet.dir/ext_minifleet.cc.o"
+  "CMakeFiles/ext_minifleet.dir/ext_minifleet.cc.o.d"
+  "ext_minifleet"
+  "ext_minifleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_minifleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_scheduling.dir/ext_scheduling.cc.o"
+  "CMakeFiles/ext_scheduling.dir/ext_scheduling.cc.o.d"
+  "ext_scheduling"
+  "ext_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_popularity.dir/fig03_popularity.cc.o"
+  "CMakeFiles/fig03_popularity.dir/fig03_popularity.cc.o.d"
+  "fig03_popularity"
+  "fig03_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_descendants.dir/fig04_descendants.cc.o"
+  "CMakeFiles/fig04_descendants.dir/fig04_descendants.cc.o.d"
+  "fig04_descendants"
+  "fig04_descendants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_descendants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_ancestors.dir/fig05_ancestors.cc.o"
+  "CMakeFiles/fig05_ancestors.dir/fig05_ancestors.cc.o.d"
+  "fig05_ancestors"
+  "fig05_ancestors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_ancestors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

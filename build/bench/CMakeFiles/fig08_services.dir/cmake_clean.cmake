@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_services.dir/fig08_services.cc.o"
+  "CMakeFiles/fig08_services.dir/fig08_services.cc.o.d"
+  "fig08_services"
+  "fig08_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tax.dir/fig10_tax.cc.o"
+  "CMakeFiles/fig10_tax.dir/fig10_tax.cc.o.d"
+  "fig10_tax"
+  "fig10_tax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

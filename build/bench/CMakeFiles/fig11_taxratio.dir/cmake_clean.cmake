@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_taxratio.dir/fig11_taxratio.cc.o"
+  "CMakeFiles/fig11_taxratio.dir/fig11_taxratio.cc.o.d"
+  "fig11_taxratio"
+  "fig11_taxratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_taxratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

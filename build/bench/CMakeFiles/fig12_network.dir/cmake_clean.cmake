@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_network.dir/fig12_network.cc.o"
+  "CMakeFiles/fig12_network.dir/fig12_network.cc.o.d"
+  "fig12_network"
+  "fig12_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_queuing.dir/fig13_queuing.cc.o"
+  "CMakeFiles/fig13_queuing.dir/fig13_queuing.cc.o.d"
+  "fig13_queuing"
+  "fig13_queuing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_queuing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

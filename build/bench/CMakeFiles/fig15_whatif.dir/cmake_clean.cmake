@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_whatif.dir/fig15_whatif.cc.o"
+  "CMakeFiles/fig15_whatif.dir/fig15_whatif.cc.o.d"
+  "fig15_whatif"
+  "fig15_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_clusters.dir/fig16_clusters.cc.o"
+  "CMakeFiles/fig16_clusters.dir/fig16_clusters.cc.o.d"
+  "fig16_clusters"
+  "fig16_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_exogenous.dir/fig17_exogenous.cc.o"
+  "CMakeFiles/fig17_exogenous.dir/fig17_exogenous.cc.o.d"
+  "fig17_exogenous"
+  "fig17_exogenous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_exogenous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_diurnal.dir/fig18_diurnal.cc.o"
+  "CMakeFiles/fig18_diurnal.dir/fig18_diurnal.cc.o.d"
+  "fig18_diurnal"
+  "fig18_diurnal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_diurnal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_crosscluster.dir/fig19_crosscluster.cc.o"
+  "CMakeFiles/fig19_crosscluster.dir/fig19_crosscluster.cc.o.d"
+  "fig19_crosscluster"
+  "fig19_crosscluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_crosscluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_cycletax.dir/fig20_cycletax.cc.o"
+  "CMakeFiles/fig20_cycletax.dir/fig20_cycletax.cc.o.d"
+  "fig20_cycletax"
+  "fig20_cycletax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_cycletax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

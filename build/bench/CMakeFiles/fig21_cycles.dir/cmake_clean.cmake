@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_cycles.dir/fig21_cycles.cc.o"
+  "CMakeFiles/fig21_cycles.dir/fig21_cycles.cc.o.d"
+  "fig21_cycles"
+  "fig21_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_loadbalance.dir/fig22_loadbalance.cc.o"
+  "CMakeFiles/fig22_loadbalance.dir/fig22_loadbalance.cc.o.d"
+  "fig22_loadbalance"
+  "fig22_loadbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_loadbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_errors.dir/fig23_errors.cc.o"
+  "CMakeFiles/fig23_errors.dir/fig23_errors.cc.o.d"
+  "fig23_errors"
+  "fig23_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

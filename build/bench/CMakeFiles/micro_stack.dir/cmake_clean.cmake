@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_stack.dir/micro_stack.cc.o"
+  "CMakeFiles/micro_stack.dir/micro_stack.cc.o.d"
+  "micro_stack"
+  "micro_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_stack.dir/storage_stack.cpp.o"
+  "CMakeFiles/storage_stack.dir/storage_stack.cpp.o.d"
+  "storage_stack"
+  "storage_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tail_whatif.dir/tail_whatif.cpp.o"
+  "CMakeFiles/tail_whatif.dir/tail_whatif.cpp.o.d"
+  "tail_whatif"
+  "tail_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tail_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

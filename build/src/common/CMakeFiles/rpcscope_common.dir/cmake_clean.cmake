@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcscope_common.dir/distributions.cc.o"
+  "CMakeFiles/rpcscope_common.dir/distributions.cc.o.d"
+  "CMakeFiles/rpcscope_common.dir/histogram.cc.o"
+  "CMakeFiles/rpcscope_common.dir/histogram.cc.o.d"
+  "CMakeFiles/rpcscope_common.dir/logging.cc.o"
+  "CMakeFiles/rpcscope_common.dir/logging.cc.o.d"
+  "CMakeFiles/rpcscope_common.dir/rng.cc.o"
+  "CMakeFiles/rpcscope_common.dir/rng.cc.o.d"
+  "CMakeFiles/rpcscope_common.dir/stats.cc.o"
+  "CMakeFiles/rpcscope_common.dir/stats.cc.o.d"
+  "CMakeFiles/rpcscope_common.dir/status.cc.o"
+  "CMakeFiles/rpcscope_common.dir/status.cc.o.d"
+  "CMakeFiles/rpcscope_common.dir/table.cc.o"
+  "CMakeFiles/rpcscope_common.dir/table.cc.o.d"
+  "CMakeFiles/rpcscope_common.dir/time.cc.o"
+  "CMakeFiles/rpcscope_common.dir/time.cc.o.d"
+  "librpcscope_common.a"
+  "librpcscope_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcscope_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fleet_analyses.cc" "src/core/CMakeFiles/rpcscope_core.dir/fleet_analyses.cc.o" "gcc" "src/core/CMakeFiles/rpcscope_core.dir/fleet_analyses.cc.o.d"
+  "/root/repo/src/core/method_stats.cc" "src/core/CMakeFiles/rpcscope_core.dir/method_stats.cc.o" "gcc" "src/core/CMakeFiles/rpcscope_core.dir/method_stats.cc.o.d"
+  "/root/repo/src/core/plot.cc" "src/core/CMakeFiles/rpcscope_core.dir/plot.cc.o" "gcc" "src/core/CMakeFiles/rpcscope_core.dir/plot.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/rpcscope_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/rpcscope_core.dir/report.cc.o.d"
+  "/root/repo/src/core/study_analyses.cc" "src/core/CMakeFiles/rpcscope_core.dir/study_analyses.cc.o" "gcc" "src/core/CMakeFiles/rpcscope_core.dir/study_analyses.cc.o.d"
+  "/root/repo/src/core/tree_analyses.cc" "src/core/CMakeFiles/rpcscope_core.dir/tree_analyses.cc.o" "gcc" "src/core/CMakeFiles/rpcscope_core.dir/tree_analyses.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rpcscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/rpcscope_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/rpcscope_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/rpcscope_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rpcscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/rpcscope_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpcscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/rpcscope_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rpcscope_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcscope_core.dir/fleet_analyses.cc.o"
+  "CMakeFiles/rpcscope_core.dir/fleet_analyses.cc.o.d"
+  "CMakeFiles/rpcscope_core.dir/method_stats.cc.o"
+  "CMakeFiles/rpcscope_core.dir/method_stats.cc.o.d"
+  "CMakeFiles/rpcscope_core.dir/plot.cc.o"
+  "CMakeFiles/rpcscope_core.dir/plot.cc.o.d"
+  "CMakeFiles/rpcscope_core.dir/report.cc.o"
+  "CMakeFiles/rpcscope_core.dir/report.cc.o.d"
+  "CMakeFiles/rpcscope_core.dir/study_analyses.cc.o"
+  "CMakeFiles/rpcscope_core.dir/study_analyses.cc.o.d"
+  "CMakeFiles/rpcscope_core.dir/tree_analyses.cc.o"
+  "CMakeFiles/rpcscope_core.dir/tree_analyses.cc.o.d"
+  "librpcscope_core.a"
+  "librpcscope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcscope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fleet/call_graph.cc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/call_graph.cc.o" "gcc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/call_graph.cc.o.d"
+  "/root/repo/src/fleet/cluster_state.cc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/cluster_state.cc.o" "gcc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/cluster_state.cc.o.d"
+  "/root/repo/src/fleet/fleet_sampler.cc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/fleet_sampler.cc.o" "gcc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/fleet_sampler.cc.o.d"
+  "/root/repo/src/fleet/growth_model.cc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/growth_model.cc.o" "gcc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/growth_model.cc.o.d"
+  "/root/repo/src/fleet/load_balancer.cc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/load_balancer.cc.o" "gcc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/load_balancer.cc.o.d"
+  "/root/repo/src/fleet/method_catalog.cc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/method_catalog.cc.o" "gcc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/method_catalog.cc.o.d"
+  "/root/repo/src/fleet/mini_fleet.cc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/mini_fleet.cc.o" "gcc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/mini_fleet.cc.o.d"
+  "/root/repo/src/fleet/service_catalog.cc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/service_catalog.cc.o" "gcc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/service_catalog.cc.o.d"
+  "/root/repo/src/fleet/service_study.cc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/service_study.cc.o" "gcc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/service_study.cc.o.d"
+  "/root/repo/src/fleet/workload.cc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/workload.cc.o" "gcc" "src/fleet/CMakeFiles/rpcscope_fleet.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rpcscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/rpcscope_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpcscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/rpcscope_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/rpcscope_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rpcscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rpcscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/rpcscope_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

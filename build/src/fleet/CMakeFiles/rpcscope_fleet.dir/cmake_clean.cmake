@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcscope_fleet.dir/call_graph.cc.o"
+  "CMakeFiles/rpcscope_fleet.dir/call_graph.cc.o.d"
+  "CMakeFiles/rpcscope_fleet.dir/cluster_state.cc.o"
+  "CMakeFiles/rpcscope_fleet.dir/cluster_state.cc.o.d"
+  "CMakeFiles/rpcscope_fleet.dir/fleet_sampler.cc.o"
+  "CMakeFiles/rpcscope_fleet.dir/fleet_sampler.cc.o.d"
+  "CMakeFiles/rpcscope_fleet.dir/growth_model.cc.o"
+  "CMakeFiles/rpcscope_fleet.dir/growth_model.cc.o.d"
+  "CMakeFiles/rpcscope_fleet.dir/load_balancer.cc.o"
+  "CMakeFiles/rpcscope_fleet.dir/load_balancer.cc.o.d"
+  "CMakeFiles/rpcscope_fleet.dir/method_catalog.cc.o"
+  "CMakeFiles/rpcscope_fleet.dir/method_catalog.cc.o.d"
+  "CMakeFiles/rpcscope_fleet.dir/mini_fleet.cc.o"
+  "CMakeFiles/rpcscope_fleet.dir/mini_fleet.cc.o.d"
+  "CMakeFiles/rpcscope_fleet.dir/service_catalog.cc.o"
+  "CMakeFiles/rpcscope_fleet.dir/service_catalog.cc.o.d"
+  "CMakeFiles/rpcscope_fleet.dir/service_study.cc.o"
+  "CMakeFiles/rpcscope_fleet.dir/service_study.cc.o.d"
+  "CMakeFiles/rpcscope_fleet.dir/workload.cc.o"
+  "CMakeFiles/rpcscope_fleet.dir/workload.cc.o.d"
+  "librpcscope_fleet.a"
+  "librpcscope_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcscope_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcscope_monitor.dir/labeled.cc.o"
+  "CMakeFiles/rpcscope_monitor.dir/labeled.cc.o.d"
+  "CMakeFiles/rpcscope_monitor.dir/metrics.cc.o"
+  "CMakeFiles/rpcscope_monitor.dir/metrics.cc.o.d"
+  "CMakeFiles/rpcscope_monitor.dir/windowed.cc.o"
+  "CMakeFiles/rpcscope_monitor.dir/windowed.cc.o.d"
+  "librpcscope_monitor.a"
+  "librpcscope_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcscope_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

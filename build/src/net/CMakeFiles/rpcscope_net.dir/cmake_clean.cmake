@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcscope_net.dir/fabric.cc.o"
+  "CMakeFiles/rpcscope_net.dir/fabric.cc.o.d"
+  "CMakeFiles/rpcscope_net.dir/topology.cc.o"
+  "CMakeFiles/rpcscope_net.dir/topology.cc.o.d"
+  "librpcscope_net.a"
+  "librpcscope_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcscope_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

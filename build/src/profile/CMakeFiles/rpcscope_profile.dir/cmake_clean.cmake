@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcscope_profile.dir/profile.cc.o"
+  "CMakeFiles/rpcscope_profile.dir/profile.cc.o.d"
+  "librpcscope_profile.a"
+  "librpcscope_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcscope_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

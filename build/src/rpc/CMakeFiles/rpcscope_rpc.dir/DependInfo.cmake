@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/channel.cc" "src/rpc/CMakeFiles/rpcscope_rpc.dir/channel.cc.o" "gcc" "src/rpc/CMakeFiles/rpcscope_rpc.dir/channel.cc.o.d"
+  "/root/repo/src/rpc/client.cc" "src/rpc/CMakeFiles/rpcscope_rpc.dir/client.cc.o" "gcc" "src/rpc/CMakeFiles/rpcscope_rpc.dir/client.cc.o.d"
+  "/root/repo/src/rpc/codec.cc" "src/rpc/CMakeFiles/rpcscope_rpc.dir/codec.cc.o" "gcc" "src/rpc/CMakeFiles/rpcscope_rpc.dir/codec.cc.o.d"
+  "/root/repo/src/rpc/cost_model.cc" "src/rpc/CMakeFiles/rpcscope_rpc.dir/cost_model.cc.o" "gcc" "src/rpc/CMakeFiles/rpcscope_rpc.dir/cost_model.cc.o.d"
+  "/root/repo/src/rpc/rpc_system.cc" "src/rpc/CMakeFiles/rpcscope_rpc.dir/rpc_system.cc.o" "gcc" "src/rpc/CMakeFiles/rpcscope_rpc.dir/rpc_system.cc.o.d"
+  "/root/repo/src/rpc/server.cc" "src/rpc/CMakeFiles/rpcscope_rpc.dir/server.cc.o" "gcc" "src/rpc/CMakeFiles/rpcscope_rpc.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rpcscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpcscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rpcscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rpcscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/rpcscope_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

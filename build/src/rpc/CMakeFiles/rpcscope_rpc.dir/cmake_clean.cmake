@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcscope_rpc.dir/channel.cc.o"
+  "CMakeFiles/rpcscope_rpc.dir/channel.cc.o.d"
+  "CMakeFiles/rpcscope_rpc.dir/client.cc.o"
+  "CMakeFiles/rpcscope_rpc.dir/client.cc.o.d"
+  "CMakeFiles/rpcscope_rpc.dir/codec.cc.o"
+  "CMakeFiles/rpcscope_rpc.dir/codec.cc.o.d"
+  "CMakeFiles/rpcscope_rpc.dir/cost_model.cc.o"
+  "CMakeFiles/rpcscope_rpc.dir/cost_model.cc.o.d"
+  "CMakeFiles/rpcscope_rpc.dir/rpc_system.cc.o"
+  "CMakeFiles/rpcscope_rpc.dir/rpc_system.cc.o.d"
+  "CMakeFiles/rpcscope_rpc.dir/server.cc.o"
+  "CMakeFiles/rpcscope_rpc.dir/server.cc.o.d"
+  "librpcscope_rpc.a"
+  "librpcscope_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcscope_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcscope_sim.dir/server_resource.cc.o"
+  "CMakeFiles/rpcscope_sim.dir/server_resource.cc.o.d"
+  "CMakeFiles/rpcscope_sim.dir/simulator.cc.o"
+  "CMakeFiles/rpcscope_sim.dir/simulator.cc.o.d"
+  "librpcscope_sim.a"
+  "librpcscope_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcscope_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librpcscope_sim.a"
+)

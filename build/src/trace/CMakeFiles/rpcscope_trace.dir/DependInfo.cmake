@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/collector.cc" "src/trace/CMakeFiles/rpcscope_trace.dir/collector.cc.o" "gcc" "src/trace/CMakeFiles/rpcscope_trace.dir/collector.cc.o.d"
+  "/root/repo/src/trace/span.cc" "src/trace/CMakeFiles/rpcscope_trace.dir/span.cc.o" "gcc" "src/trace/CMakeFiles/rpcscope_trace.dir/span.cc.o.d"
+  "/root/repo/src/trace/storage.cc" "src/trace/CMakeFiles/rpcscope_trace.dir/storage.cc.o" "gcc" "src/trace/CMakeFiles/rpcscope_trace.dir/storage.cc.o.d"
+  "/root/repo/src/trace/tree.cc" "src/trace/CMakeFiles/rpcscope_trace.dir/tree.cc.o" "gcc" "src/trace/CMakeFiles/rpcscope_trace.dir/tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rpcscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpcscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/rpcscope_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rpcscope_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

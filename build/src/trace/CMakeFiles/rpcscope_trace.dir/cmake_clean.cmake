@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcscope_trace.dir/collector.cc.o"
+  "CMakeFiles/rpcscope_trace.dir/collector.cc.o.d"
+  "CMakeFiles/rpcscope_trace.dir/span.cc.o"
+  "CMakeFiles/rpcscope_trace.dir/span.cc.o.d"
+  "CMakeFiles/rpcscope_trace.dir/storage.cc.o"
+  "CMakeFiles/rpcscope_trace.dir/storage.cc.o.d"
+  "CMakeFiles/rpcscope_trace.dir/tree.cc.o"
+  "CMakeFiles/rpcscope_trace.dir/tree.cc.o.d"
+  "librpcscope_trace.a"
+  "librpcscope_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcscope_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

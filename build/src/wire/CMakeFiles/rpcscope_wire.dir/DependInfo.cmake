@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/checksum.cc" "src/wire/CMakeFiles/rpcscope_wire.dir/checksum.cc.o" "gcc" "src/wire/CMakeFiles/rpcscope_wire.dir/checksum.cc.o.d"
+  "/root/repo/src/wire/cipher.cc" "src/wire/CMakeFiles/rpcscope_wire.dir/cipher.cc.o" "gcc" "src/wire/CMakeFiles/rpcscope_wire.dir/cipher.cc.o.d"
+  "/root/repo/src/wire/compressor.cc" "src/wire/CMakeFiles/rpcscope_wire.dir/compressor.cc.o" "gcc" "src/wire/CMakeFiles/rpcscope_wire.dir/compressor.cc.o.d"
+  "/root/repo/src/wire/message.cc" "src/wire/CMakeFiles/rpcscope_wire.dir/message.cc.o" "gcc" "src/wire/CMakeFiles/rpcscope_wire.dir/message.cc.o.d"
+  "/root/repo/src/wire/varint.cc" "src/wire/CMakeFiles/rpcscope_wire.dir/varint.cc.o" "gcc" "src/wire/CMakeFiles/rpcscope_wire.dir/varint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rpcscope_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcscope_wire.dir/checksum.cc.o"
+  "CMakeFiles/rpcscope_wire.dir/checksum.cc.o.d"
+  "CMakeFiles/rpcscope_wire.dir/cipher.cc.o"
+  "CMakeFiles/rpcscope_wire.dir/cipher.cc.o.d"
+  "CMakeFiles/rpcscope_wire.dir/compressor.cc.o"
+  "CMakeFiles/rpcscope_wire.dir/compressor.cc.o.d"
+  "CMakeFiles/rpcscope_wire.dir/message.cc.o"
+  "CMakeFiles/rpcscope_wire.dir/message.cc.o.d"
+  "CMakeFiles/rpcscope_wire.dir/varint.cc.o"
+  "CMakeFiles/rpcscope_wire.dir/varint.cc.o.d"
+  "librpcscope_wire.a"
+  "librpcscope_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcscope_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

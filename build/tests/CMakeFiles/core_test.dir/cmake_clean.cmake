@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/analyses_test.cc.o"
+  "CMakeFiles/core_test.dir/core/analyses_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/method_stats_test.cc.o"
+  "CMakeFiles/core_test.dir/core/method_stats_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/plot_test.cc.o"
+  "CMakeFiles/core_test.dir/core/plot_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/report_test.cc.o"
+  "CMakeFiles/core_test.dir/core/report_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/study_analyses_test.cc.o"
+  "CMakeFiles/core_test.dir/core/study_analyses_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

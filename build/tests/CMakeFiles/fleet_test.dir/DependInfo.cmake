@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fleet/call_graph_test.cc" "tests/CMakeFiles/fleet_test.dir/fleet/call_graph_test.cc.o" "gcc" "tests/CMakeFiles/fleet_test.dir/fleet/call_graph_test.cc.o.d"
+  "/root/repo/tests/fleet/cluster_state_test.cc" "tests/CMakeFiles/fleet_test.dir/fleet/cluster_state_test.cc.o" "gcc" "tests/CMakeFiles/fleet_test.dir/fleet/cluster_state_test.cc.o.d"
+  "/root/repo/tests/fleet/fleet_sampler_test.cc" "tests/CMakeFiles/fleet_test.dir/fleet/fleet_sampler_test.cc.o" "gcc" "tests/CMakeFiles/fleet_test.dir/fleet/fleet_sampler_test.cc.o.d"
+  "/root/repo/tests/fleet/growth_model_test.cc" "tests/CMakeFiles/fleet_test.dir/fleet/growth_model_test.cc.o" "gcc" "tests/CMakeFiles/fleet_test.dir/fleet/growth_model_test.cc.o.d"
+  "/root/repo/tests/fleet/load_balancer_test.cc" "tests/CMakeFiles/fleet_test.dir/fleet/load_balancer_test.cc.o" "gcc" "tests/CMakeFiles/fleet_test.dir/fleet/load_balancer_test.cc.o.d"
+  "/root/repo/tests/fleet/method_catalog_test.cc" "tests/CMakeFiles/fleet_test.dir/fleet/method_catalog_test.cc.o" "gcc" "tests/CMakeFiles/fleet_test.dir/fleet/method_catalog_test.cc.o.d"
+  "/root/repo/tests/fleet/mini_fleet_test.cc" "tests/CMakeFiles/fleet_test.dir/fleet/mini_fleet_test.cc.o" "gcc" "tests/CMakeFiles/fleet_test.dir/fleet/mini_fleet_test.cc.o.d"
+  "/root/repo/tests/fleet/service_catalog_test.cc" "tests/CMakeFiles/fleet_test.dir/fleet/service_catalog_test.cc.o" "gcc" "tests/CMakeFiles/fleet_test.dir/fleet/service_catalog_test.cc.o.d"
+  "/root/repo/tests/fleet/service_study_test.cc" "tests/CMakeFiles/fleet_test.dir/fleet/service_study_test.cc.o" "gcc" "tests/CMakeFiles/fleet_test.dir/fleet/service_study_test.cc.o.d"
+  "/root/repo/tests/fleet/workload_test.cc" "tests/CMakeFiles/fleet_test.dir/fleet/workload_test.cc.o" "gcc" "tests/CMakeFiles/fleet_test.dir/fleet/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rpcscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rpcscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpcscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/rpcscope_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/rpcscope_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rpcscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/rpcscope_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/rpcscope_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/rpcscope_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rpcscope_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

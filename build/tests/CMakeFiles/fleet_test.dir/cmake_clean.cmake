@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_test.dir/fleet/call_graph_test.cc.o"
+  "CMakeFiles/fleet_test.dir/fleet/call_graph_test.cc.o.d"
+  "CMakeFiles/fleet_test.dir/fleet/cluster_state_test.cc.o"
+  "CMakeFiles/fleet_test.dir/fleet/cluster_state_test.cc.o.d"
+  "CMakeFiles/fleet_test.dir/fleet/fleet_sampler_test.cc.o"
+  "CMakeFiles/fleet_test.dir/fleet/fleet_sampler_test.cc.o.d"
+  "CMakeFiles/fleet_test.dir/fleet/growth_model_test.cc.o"
+  "CMakeFiles/fleet_test.dir/fleet/growth_model_test.cc.o.d"
+  "CMakeFiles/fleet_test.dir/fleet/load_balancer_test.cc.o"
+  "CMakeFiles/fleet_test.dir/fleet/load_balancer_test.cc.o.d"
+  "CMakeFiles/fleet_test.dir/fleet/method_catalog_test.cc.o"
+  "CMakeFiles/fleet_test.dir/fleet/method_catalog_test.cc.o.d"
+  "CMakeFiles/fleet_test.dir/fleet/mini_fleet_test.cc.o"
+  "CMakeFiles/fleet_test.dir/fleet/mini_fleet_test.cc.o.d"
+  "CMakeFiles/fleet_test.dir/fleet/service_catalog_test.cc.o"
+  "CMakeFiles/fleet_test.dir/fleet/service_catalog_test.cc.o.d"
+  "CMakeFiles/fleet_test.dir/fleet/service_study_test.cc.o"
+  "CMakeFiles/fleet_test.dir/fleet/service_study_test.cc.o.d"
+  "CMakeFiles/fleet_test.dir/fleet/workload_test.cc.o"
+  "CMakeFiles/fleet_test.dir/fleet/workload_test.cc.o.d"
+  "fleet_test"
+  "fleet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

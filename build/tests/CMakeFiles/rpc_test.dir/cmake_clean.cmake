@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_test.dir/rpc/channel_test.cc.o"
+  "CMakeFiles/rpc_test.dir/rpc/channel_test.cc.o.d"
+  "CMakeFiles/rpc_test.dir/rpc/codec_test.cc.o"
+  "CMakeFiles/rpc_test.dir/rpc/codec_test.cc.o.d"
+  "CMakeFiles/rpc_test.dir/rpc/cost_model_test.cc.o"
+  "CMakeFiles/rpc_test.dir/rpc/cost_model_test.cc.o.d"
+  "CMakeFiles/rpc_test.dir/rpc/end_to_end_test.cc.o"
+  "CMakeFiles/rpc_test.dir/rpc/end_to_end_test.cc.o.d"
+  "CMakeFiles/rpc_test.dir/rpc/robustness_test.cc.o"
+  "CMakeFiles/rpc_test.dir/rpc/robustness_test.cc.o.d"
+  "CMakeFiles/rpc_test.dir/rpc/streaming_test.cc.o"
+  "CMakeFiles/rpc_test.dir/rpc/streaming_test.cc.o.d"
+  "CMakeFiles/rpc_test.dir/rpc/system_test.cc.o"
+  "CMakeFiles/rpc_test.dir/rpc/system_test.cc.o.d"
+  "rpc_test"
+  "rpc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

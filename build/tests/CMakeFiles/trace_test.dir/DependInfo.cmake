@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/storage_test.cc" "tests/CMakeFiles/trace_test.dir/trace/storage_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/storage_test.cc.o.d"
+  "/root/repo/tests/trace/trace_test.cc" "tests/CMakeFiles/trace_test.dir/trace/trace_test.cc.o" "gcc" "tests/CMakeFiles/trace_test.dir/trace/trace_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rpcscope_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rpcscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/rpcscope_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/rpcscope_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/rpcscope_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/rpcscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/rpcscope_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/rpcscope_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/fleet/CMakeFiles/rpcscope_fleet.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rpcscope_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_test.dir/wire/checksum_test.cc.o"
+  "CMakeFiles/wire_test.dir/wire/checksum_test.cc.o.d"
+  "CMakeFiles/wire_test.dir/wire/cipher_test.cc.o"
+  "CMakeFiles/wire_test.dir/wire/cipher_test.cc.o.d"
+  "CMakeFiles/wire_test.dir/wire/compressor_test.cc.o"
+  "CMakeFiles/wire_test.dir/wire/compressor_test.cc.o.d"
+  "CMakeFiles/wire_test.dir/wire/fuzz_test.cc.o"
+  "CMakeFiles/wire_test.dir/wire/fuzz_test.cc.o.d"
+  "CMakeFiles/wire_test.dir/wire/message_test.cc.o"
+  "CMakeFiles/wire_test.dir/wire/message_test.cc.o.d"
+  "CMakeFiles/wire_test.dir/wire/varint_test.cc.o"
+  "CMakeFiles/wire_test.dir/wire/varint_test.cc.o.d"
+  "wire_test"
+  "wire_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

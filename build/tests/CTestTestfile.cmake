@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;rpcscope_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;23;rpcscope_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(net_test "/root/repo/build/tests/net_test")
+set_tests_properties(net_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;29;rpcscope_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(wire_test "/root/repo/build/tests/wire_test")
+set_tests_properties(wire_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;35;rpcscope_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rpc_test "/root/repo/build/tests/rpc_test")
+set_tests_properties(rpc_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;44;rpcscope_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(trace_test "/root/repo/build/tests/trace_test")
+set_tests_properties(trace_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;54;rpcscope_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(monitor_test "/root/repo/build/tests/monitor_test")
+set_tests_properties(monitor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;59;rpcscope_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(profile_test "/root/repo/build/tests/profile_test")
+set_tests_properties(profile_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;65;rpcscope_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;69;rpcscope_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fleet_test "/root/repo/build/tests/fleet_test")
+set_tests_properties(fleet_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;77;rpcscope_add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcscope_analyze.dir/rpcscope_analyze.cc.o"
+  "CMakeFiles/rpcscope_analyze.dir/rpcscope_analyze.cc.o.d"
+  "rpcscope_analyze"
+  "rpcscope_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcscope_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcscope_fleetgen.dir/rpcscope_fleetgen.cc.o"
+  "CMakeFiles/rpcscope_fleetgen.dir/rpcscope_fleetgen.cc.o.d"
+  "rpcscope_fleetgen"
+  "rpcscope_fleetgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcscope_fleetgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
