@@ -45,7 +45,9 @@ void BM_VarintDecode(benchmark::State& state) {
     size_t pos = 0;
     uint64_t v = 0;
     while (pos < buf.size()) {
-      GetVarint64(buf, pos, v);
+      if (!GetVarint64(buf, pos, v)) {
+        break;
+      }
     }
     benchmark::DoNotOptimize(v);
   }

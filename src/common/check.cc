@@ -1,0 +1,22 @@
+#include "src/common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rpcscope {
+namespace check_internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* condition) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << condition << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  const std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace check_internal
+}  // namespace rpcscope

@@ -1,0 +1,105 @@
+// Fail-fast invariant checking: RPCSCOPE_CHECK and RPCSCOPE_DCHECK.
+//
+// The observability pipeline built on the simulated fleet is only trustworthy
+// if the fleet's internal invariants hold (monotonic virtual clock, balanced
+// queue accounting, in-bounds codec cursors, acyclic trace trees). These
+// macros make invariant violations loud instead of silently corrupting
+// downstream statistics:
+//
+//   RPCSCOPE_CHECK(queue_depth <= limit) << "depth " << queue_depth;
+//   RPCSCOPE_CHECK_EQ(busy_workers, expected);
+//   RPCSCOPE_DCHECK_GE(delay, 0) << "negative delay clamped in release";
+//
+// CHECK is always on, in every build type: use it where a violated invariant
+// would poison results (codec bounds, accounting balance). DCHECK compiles to
+// a no-op in NDEBUG builds: use it on hot paths and for developer-visible
+// diagnostics of otherwise-silent release behavior (see docs/CORRECTNESS.md
+// for the full policy). A failed check prints file:line, the condition text,
+// and the streamed message to stderr, then aborts.
+#ifndef RPCSCOPE_SRC_COMMON_CHECK_H_
+#define RPCSCOPE_SRC_COMMON_CHECK_H_
+
+#include <sstream>
+
+namespace rpcscope {
+
+// True when RPCSCOPE_DCHECK evaluates its condition in this build. Exposed so
+// tests can assert death only when the check is live.
+#if defined(NDEBUG) && !defined(RPCSCOPE_DCHECK_ALWAYS_ON)
+inline constexpr bool kDCheckEnabled = false;
+#else
+inline constexpr bool kDCheckEnabled = true;
+#endif
+
+namespace check_internal {
+
+// Accumulates the streamed message; the destructor reports and aborts. Only
+// ever constructed on the failure path, so the cost of the stringstream is
+// irrelevant.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition);
+  [[noreturn]] ~CheckFailure();
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Makes the ternary in RPCSCOPE_CHECK type-check: both arms must be void.
+struct Voidify {
+  void operator&(std::ostream&) const {}
+};
+
+}  // namespace check_internal
+}  // namespace rpcscope
+
+// Always-on invariant check. Streams like a logger on failure.
+#define RPCSCOPE_CHECK(condition)                                          \
+  (condition) ? (void)0                                                    \
+              : ::rpcscope::check_internal::Voidify() &                    \
+                    ::rpcscope::check_internal::CheckFailure(__FILE__, __LINE__, #condition) \
+                        .stream()
+
+// Binary comparison forms; on failure the operand values are appended to the
+// message so the report is actionable without a debugger.
+#define RPCSCOPE_CHECK_OP_IMPL(a, b, op)                                     \
+  ((a)op(b)) ? (void)0                                                       \
+             : ::rpcscope::check_internal::Voidify() &                       \
+                   (::rpcscope::check_internal::CheckFailure(__FILE__, __LINE__, \
+                                                             #a " " #op " " #b) \
+                        .stream()                                            \
+                    << "(" << (a) << " vs " << (b) << ") ")
+
+#define RPCSCOPE_CHECK_EQ(a, b) RPCSCOPE_CHECK_OP_IMPL(a, b, ==)
+#define RPCSCOPE_CHECK_NE(a, b) RPCSCOPE_CHECK_OP_IMPL(a, b, !=)
+#define RPCSCOPE_CHECK_LT(a, b) RPCSCOPE_CHECK_OP_IMPL(a, b, <)
+#define RPCSCOPE_CHECK_LE(a, b) RPCSCOPE_CHECK_OP_IMPL(a, b, <=)
+#define RPCSCOPE_CHECK_GT(a, b) RPCSCOPE_CHECK_OP_IMPL(a, b, >)
+#define RPCSCOPE_CHECK_GE(a, b) RPCSCOPE_CHECK_OP_IMPL(a, b, >=)
+
+// Debug-only forms. When disabled, the condition is parsed (so it cannot rot
+// and operands do not become "unused") but never evaluated.
+#if defined(NDEBUG) && !defined(RPCSCOPE_DCHECK_ALWAYS_ON)
+#define RPCSCOPE_DCHECK(condition) RPCSCOPE_CHECK(true || (condition))
+#define RPCSCOPE_DCHECK_EQ(a, b) RPCSCOPE_DCHECK((a) == (b))
+#define RPCSCOPE_DCHECK_NE(a, b) RPCSCOPE_DCHECK((a) != (b))
+#define RPCSCOPE_DCHECK_LT(a, b) RPCSCOPE_DCHECK((a) < (b))
+#define RPCSCOPE_DCHECK_LE(a, b) RPCSCOPE_DCHECK((a) <= (b))
+#define RPCSCOPE_DCHECK_GT(a, b) RPCSCOPE_DCHECK((a) > (b))
+#define RPCSCOPE_DCHECK_GE(a, b) RPCSCOPE_DCHECK((a) >= (b))
+#else
+#define RPCSCOPE_DCHECK(condition) RPCSCOPE_CHECK(condition)
+#define RPCSCOPE_DCHECK_EQ(a, b) RPCSCOPE_CHECK_EQ(a, b)
+#define RPCSCOPE_DCHECK_NE(a, b) RPCSCOPE_CHECK_NE(a, b)
+#define RPCSCOPE_DCHECK_LT(a, b) RPCSCOPE_CHECK_LT(a, b)
+#define RPCSCOPE_DCHECK_LE(a, b) RPCSCOPE_CHECK_LE(a, b)
+#define RPCSCOPE_DCHECK_GT(a, b) RPCSCOPE_CHECK_GT(a, b)
+#define RPCSCOPE_DCHECK_GE(a, b) RPCSCOPE_CHECK_GE(a, b)
+#endif
+
+#endif  // RPCSCOPE_SRC_COMMON_CHECK_H_

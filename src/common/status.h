@@ -41,7 +41,11 @@ enum class StatusCode : int32_t {
 std::string_view StatusCodeName(StatusCode code);
 
 // A status: a code plus an optional diagnostic message. Cheap to copy when OK.
-class Status {
+//
+// The class itself is [[nodiscard]]: any call site that receives a Status by
+// value and drops it on the floor is a compile error (-Werror=unused-result).
+// Intentional drops must write `(void)DoThing();` — grep-able and reviewable.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
@@ -75,9 +79,10 @@ Status InternalError(std::string message);
 Status UnavailableError(std::string message);
 Status UnimplementedError(std::string message);
 
-// Result<T>: either a value or a non-OK Status.
+// Result<T>: either a value or a non-OK Status. [[nodiscard]] for the same
+// reason as Status: discarding one silently discards a possible error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit so functions can `return value;` / `return status;`.
   Result(T value) : data_(std::move(value)) {}

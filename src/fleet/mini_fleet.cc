@@ -245,6 +245,8 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
 
   MiniFleetResult result;
   result.root_calls = root_calls;
+  result.events_executed = system.sim().events_executed();
+  result.event_digest = system.sim().event_digest();
   for (const Span& span : system.tracer().spans()) {
     if (span.start_time >= options.warmup) {
       result.spans.push_back(span);

@@ -34,6 +34,11 @@ struct MiniFleetResult {
   uint64_t root_calls = 0;
   // Spans per service id, for mix sanity checks.
   std::map<int32_t, int64_t> spans_per_service;
+  // Determinism fingerprint: total events executed and the simulator's
+  // order-sensitive (time, seq) event digest. Two runs with the same options
+  // must match exactly; the determinism regression test asserts this.
+  uint64_t events_executed = 0;
+  uint64_t event_digest = 0;
 };
 
 // Deploys the graph, runs it, and collects traces. `catalog` supplies service

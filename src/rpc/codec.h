@@ -31,7 +31,7 @@ WireFrame EncodeFrame(const Payload& payload, uint64_t key, uint64_t nonce);
 
 // Decodes a frame back into a payload: decrypt, CRC-check, decompress, parse.
 // Modeled frames decode to an equivalent modeled payload.
-Result<Payload> DecodeFrame(const WireFrame& frame, uint64_t key);
+[[nodiscard]] Result<Payload> DecodeFrame(const WireFrame& frame, uint64_t key);
 
 // Frame header overhead in bytes (flags + sizes + crc + nonce).
 constexpr int64_t kFrameHeaderBytes = 24;

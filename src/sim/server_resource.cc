@@ -1,19 +1,21 @@
 #include "src/sim/server_resource.h"
 
-#include <cassert>
 #include <cmath>
 #include <utility>
+
+#include "src/common/check.h"
 
 namespace rpcscope {
 
 ServerResource::ServerResource(Simulator* sim, const Options& options)
     : sim_(sim), options_(options), last_change_(sim->Now()) {
-  assert(sim != nullptr);
-  assert(options.workers > 0);
+  RPCSCOPE_CHECK(sim != nullptr);
+  RPCSCOPE_CHECK_GT(options.workers, 0);
 }
 
 void ServerResource::UpdateBusyTime() {
   const SimTime now = sim_->Now();
+  RPCSCOPE_DCHECK_GE(now, last_change_) << "busy-time accounting saw the clock move backwards";
   busy_time_ += static_cast<SimDuration>(busy_workers_) * (now - last_change_);
   last_change_ = now;
 }
@@ -39,14 +41,18 @@ void ServerResource::AcquireWithPriority(int priority, Grant on_grant) {
 }
 
 void ServerResource::GrantJob(Job job) {
+  // Worker-pool accounting: a grant must take a free worker, and a job can
+  // never have waited a negative amount of virtual time.
+  RPCSCOPE_CHECK_LT(busy_workers_, options_.workers) << "grant with no free worker";
   UpdateBusyTime();
   ++busy_workers_;
   const SimDuration queue_delay = sim_->Now() - job.enqueue_time;
+  RPCSCOPE_CHECK_GE(queue_delay, 0) << "job granted before it was enqueued";
   job.on_grant(queue_delay);
 }
 
 void ServerResource::Release() {
-  assert(busy_workers_ > 0);
+  RPCSCOPE_CHECK_GT(busy_workers_, 0) << "Release() without a matching grant";
   UpdateBusyTime();
   --busy_workers_;
   ++jobs_completed_;

@@ -2,9 +2,26 @@
 
 #include <utility>
 
+#include "src/common/check.h"
+
 namespace rpcscope {
 
+namespace {
+
+// FNV-1a fold of one 64-bit word, byte by byte.
+uint64_t FnvMix(uint64_t digest, uint64_t word) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (int i = 0; i < 8; ++i) {
+    digest ^= (word >> (8 * i)) & 0xff;
+    digest *= kPrime;
+  }
+  return digest;
+}
+
+}  // namespace
+
 void Simulator::Schedule(SimDuration delay, Callback fn) {
+  RPCSCOPE_DCHECK_GE(delay, 0) << "negative delay; release builds clamp to zero";
   if (delay < 0) {
     delay = 0;
   }
@@ -12,19 +29,39 @@ void Simulator::Schedule(SimDuration delay, Callback fn) {
 }
 
 void Simulator::ScheduleAt(SimTime when, Callback fn) {
+  RPCSCOPE_DCHECK_GE(when, now_) << "scheduling in the past; release builds clamp to now";
   if (when < now_) {
     when = now_;
   }
   queue_.push(Event{when, next_seq_++, std::move(fn)});
 }
 
+Simulator::Event Simulator::PopEvent() {
+  // The callback may schedule more events; copy out before popping.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  // The virtual clock never moves backwards, and the queue hands out events in
+  // strict (time, seq) order. A violation here means the heap comparator or an
+  // event mutation corrupted the schedule — every downstream latency number
+  // would be wrong, so fail fast in all build types.
+  RPCSCOPE_CHECK_GE(ev.time, now_) << "virtual clock would move backwards";
+  if (any_executed_) {
+    RPCSCOPE_CHECK(ev.time > last_time_ || (ev.time == last_time_ && ev.seq > last_seq_))
+        << "event (time=" << ev.time << ", seq=" << ev.seq << ") out of order after (time="
+        << last_time_ << ", seq=" << last_seq_ << ")";
+  }
+  last_time_ = ev.time;
+  last_seq_ = ev.seq;
+  any_executed_ = true;
+  event_digest_ = FnvMix(FnvMix(event_digest_, static_cast<uint64_t>(ev.time)), ev.seq);
+  now_ = ev.time;
+  return ev;
+}
+
 uint64_t Simulator::Run() {
   uint64_t executed = 0;
   while (!queue_.empty()) {
-    // The callback may schedule more events; copy out before popping.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
+    Event ev = PopEvent();
     ev.fn();
     ++executed;
   }
@@ -35,9 +72,7 @@ uint64_t Simulator::Run() {
 uint64_t Simulator::RunUntil(SimTime until) {
   uint64_t executed = 0;
   while (!queue_.empty() && queue_.top().time <= until) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
+    Event ev = PopEvent();
     ev.fn();
     ++executed;
   }

@@ -13,6 +13,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/common/check.h"
 #include "src/common/time.h"
 
 namespace rpcscope {
@@ -27,11 +28,13 @@ class Simulator {
 
   SimTime Now() const { return now_; }
 
-  // Schedules `fn` to run `delay` after the current time (delay >= 0; negative
-  // delays are clamped to zero).
+  // Schedules `fn` to run `delay` after the current time (delay >= 0). A
+  // negative delay is a caller bug: debug builds DCHECK-fail on it, release
+  // builds clamp it to zero and continue.
   void Schedule(SimDuration delay, Callback fn);
 
-  // Schedules `fn` at an absolute time (clamped to now if in the past).
+  // Schedules `fn` at an absolute time. Scheduling in the past is a caller
+  // bug: debug builds DCHECK-fail, release builds clamp to now.
   void ScheduleAt(SimTime when, Callback fn);
 
   // Runs until the event queue drains. Returns the number of events executed.
@@ -45,6 +48,12 @@ class Simulator {
 
   bool empty() const { return queue_.empty(); }
   uint64_t events_executed() const { return events_executed_; }
+
+  // Order-sensitive digest of every (time, seq) pair executed so far (FNV-1a
+  // over the event stream). Two runs of the same seeded workload must produce
+  // identical digests; the determinism regression test and the CI smoke test
+  // diff this value across runs.
+  uint64_t event_digest() const { return event_digest_; }
 
  private:
   struct Event {
@@ -61,9 +70,18 @@ class Simulator {
     }
   };
 
+  // Pops the front event, advances the clock (checking monotonicity and
+  // (time, seq) ordering), and folds the event into the digest.
+  Event PopEvent();
+
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
+  uint64_t event_digest_ = 14695981039346656037ull;  // FNV-1a offset basis.
+  // (time, seq) of the most recently executed event, for ordering checks.
+  SimTime last_time_ = 0;
+  uint64_t last_seq_ = 0;
+  bool any_executed_ = false;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
 };
 

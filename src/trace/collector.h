@@ -25,7 +25,7 @@ class TraceCollector {
   explicit TraceCollector(const Options& options);
 
   // Whether a trace id is selected for collection (deterministic per id).
-  bool IsSampled(TraceId trace_id) const;
+  [[nodiscard]] bool IsSampled(TraceId trace_id) const;
 
   // Records the span if its trace is sampled. Returns true if kept.
   bool Record(const Span& span);

@@ -23,7 +23,7 @@ namespace rpcscope {
 // Each span record encodes its fields as varints (durations as ns, doubles
 // as IEEE-754 bit patterns).
 std::vector<uint8_t> SerializeSpans(const std::vector<Span>& spans);
-Result<std::vector<Span>> DeserializeSpans(const std::vector<uint8_t>& bytes);
+[[nodiscard]] Result<std::vector<Span>> DeserializeSpans(const std::vector<uint8_t>& bytes);
 
 class TraceStore {
  public:
@@ -42,8 +42,8 @@ class TraceStore {
   std::vector<const Span*> InTimeRange(SimTime begin, SimTime end) const;
 
   // Disk round trip (binary format above).
-  Status SaveToFile(const std::string& path) const;
-  static Result<TraceStore> LoadFromFile(const std::string& path);
+  [[nodiscard]] Status SaveToFile(const std::string& path) const;
+  [[nodiscard]] static Result<TraceStore> LoadFromFile(const std::string& path);
 
  private:
   std::vector<Span> spans_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/check.h"
+
 namespace rpcscope {
 
 TraceForest::TraceForest(const std::vector<Span>& spans) {
@@ -30,6 +32,7 @@ TraceForest::TraceForest(const std::vector<Span>& spans) {
   }
 
   span_shapes_.resize(spans.size());
+  std::vector<bool> visited(spans.size(), false);
   std::unordered_map<TraceId, TraceShape> traces;
 
   // Iterative DFS per root: compute depth on the way down, descendant counts
@@ -46,6 +49,7 @@ TraceForest::TraceForest(const std::vector<Span>& spans) {
       auto [idx, depth] = stack.back();
       stack.pop_back();
       order.push_back(idx);
+      visited[idx] = true;
       span_shapes_[idx].span_index = idx;
       span_shapes_[idx].ancestors = depth;
       max_depth = std::max(max_depth, depth);
@@ -69,6 +73,16 @@ TraceForest::TraceForest(const std::vector<Span>& spans) {
     for (const auto& [depth, width] : width_at_depth) {
       shape.max_width = std::max(shape.max_width, width);
     }
+  }
+
+  // Acyclicity: every span must be reachable from some root. A span left
+  // unvisited sits on a parent-link cycle (a -> b -> a), which would silently
+  // drop it — and its whole subtree — from every descendant/ancestor
+  // statistic. Collectors can only create such spans by corrupting ids, so
+  // treat it as a fatal invariant rather than partial-trace noise.
+  for (size_t i = 0; i < spans.size(); ++i) {
+    RPCSCOPE_CHECK(visited[i]) << "span index " << i << " (span_id=" << spans[i].span_id
+                               << ") unreachable from any root: parent-link cycle";
   }
 
   trace_shapes_.reserve(traces.size());

@@ -20,7 +20,7 @@ namespace rpcscope {
 std::vector<uint8_t> RatelCompress(const std::vector<uint8_t>& input);
 
 // Decompresses a block produced by RatelCompress. Fails on corrupt input.
-Result<std::vector<uint8_t>> RatelDecompress(const std::vector<uint8_t>& block);
+[[nodiscard]] Result<std::vector<uint8_t>> RatelDecompress(const std::vector<uint8_t>& block);
 
 // Ratio helper: compressed size / original size (1.0 for empty input).
 double CompressionRatio(size_t original, size_t compressed);

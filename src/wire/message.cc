@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/common/check.h"
 #include "src/wire/varint.h"
 
 namespace rpcscope {
@@ -136,6 +137,10 @@ std::vector<uint8_t> Message::Serialize() const {
 }
 
 Result<Message> Message::ParseRange(const std::vector<uint8_t>& buf, size_t begin, size_t end) {
+  // Malformed *content* inside [begin, end) is a Status; a cursor outside the
+  // buffer is a caller bug that would read out of bounds, so it fails fast.
+  RPCSCOPE_CHECK_LE(begin, end) << "inverted parse range";
+  RPCSCOPE_CHECK_LE(end, buf.size()) << "parse range beyond buffer";
   Message msg;
   size_t pos = begin;
   while (pos < end) {
@@ -174,7 +179,9 @@ Result<Message> Message::ParseRange(const std::vector<uint8_t>& buf, size_t begi
       }
       case WireType::kBytes: {
         uint64_t len;
-        if (!GetVarint64(buf, pos, len) || pos + len > end) {
+        // `end - pos` avoids the overflow in `pos + len` for adversarial
+        // lengths near 2^64.
+        if (!GetVarint64(buf, pos, len) || len > end - pos) {
           return InternalError("truncated bytes field");
         }
         msg.AddBytes(tag, std::string(buf.begin() + static_cast<int64_t>(pos),
@@ -184,7 +191,7 @@ Result<Message> Message::ParseRange(const std::vector<uint8_t>& buf, size_t begi
       }
       case WireType::kMessage: {
         uint64_t len;
-        if (!GetVarint64(buf, pos, len) || pos + len > end) {
+        if (!GetVarint64(buf, pos, len) || len > end - pos) {
           return InternalError("truncated submessage");
         }
         Result<Message> child = ParseRange(buf, pos, pos + len);

@@ -69,8 +69,9 @@ class Message {
 
   // Parses an encoding produced by SerializeTo. Unknown wire types or
   // truncated input yield an error.
-  static Result<Message> Parse(const std::vector<uint8_t>& buf);
-  static Result<Message> ParseRange(const std::vector<uint8_t>& buf, size_t begin, size_t end);
+  [[nodiscard]] static Result<Message> Parse(const std::vector<uint8_t>& buf);
+  [[nodiscard]] static Result<Message> ParseRange(const std::vector<uint8_t>& buf, size_t begin,
+                                                  size_t end);
 
   // Structural equality (field order matters, as on the wire).
   bool Equals(const Message& other) const;

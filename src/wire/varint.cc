@@ -1,5 +1,7 @@
 #include "src/wire/varint.h"
 
+#include "src/common/check.h"
+
 namespace rpcscope {
 
 void PutVarint64(std::vector<uint8_t>& out, uint64_t value) {
@@ -11,6 +13,7 @@ void PutVarint64(std::vector<uint8_t>& out, uint64_t value) {
 }
 
 bool GetVarint64(const std::vector<uint8_t>& buf, size_t& pos, uint64_t& value) {
+  RPCSCOPE_DCHECK_LE(pos, buf.size()) << "varint cursor past end of buffer";
   uint64_t result = 0;
   int shift = 0;
   size_t p = pos;

@@ -12,8 +12,9 @@ namespace rpcscope {
 void PutVarint64(std::vector<uint8_t>& out, uint64_t value);
 
 // Decodes a varint starting at `pos`; advances `pos` past it. Returns false on
-// truncation or overlong (>10 byte) encodings.
-bool GetVarint64(const std::vector<uint8_t>& buf, size_t& pos, uint64_t& value);
+// truncation or overlong (>10 byte) encodings. Ignoring the result means
+// consuming an undefined `value`, hence [[nodiscard]].
+[[nodiscard]] bool GetVarint64(const std::vector<uint8_t>& buf, size_t& pos, uint64_t& value);
 
 // Number of bytes PutVarint64 will emit.
 size_t VarintSize(uint64_t value);

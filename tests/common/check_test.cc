@@ -1,0 +1,69 @@
+#include "src/common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace rpcscope {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  RPCSCOPE_CHECK(1 + 1 == 2);
+  RPCSCOPE_CHECK_EQ(4, 4);
+  RPCSCOPE_CHECK_NE(4, 5);
+  RPCSCOPE_CHECK_LT(1, 2);
+  RPCSCOPE_CHECK_LE(2, 2);
+  RPCSCOPE_CHECK_GT(3, 2);
+  RPCSCOPE_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailureReportsFileLineAndCondition) {
+  EXPECT_DEATH(RPCSCOPE_CHECK(2 + 2 == 5), "CHECK failed at .*check_test.cc:.*2 \\+ 2 == 5");
+}
+
+TEST(CheckDeathTest, StreamedMessageIsIncluded) {
+  const int depth = 7;
+  EXPECT_DEATH(RPCSCOPE_CHECK(depth == 0) << "queue depth " << depth, "queue depth 7");
+}
+
+TEST(CheckDeathTest, ComparisonFormsPrintBothOperands) {
+  const int busy = 5;
+  const int limit = 4;
+  EXPECT_DEATH(RPCSCOPE_CHECK_LE(busy, limit), "busy <= limit.*\\(5 vs 4\\)");
+}
+
+TEST(CheckDeathTest, CheckIsLiveInEveryBuildType) {
+  // Unlike DCHECK, CHECK must fire in release builds too.
+  EXPECT_DEATH(RPCSCOPE_CHECK(false) << "always on", "always on");
+}
+
+TEST(CheckTest, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  auto count = [&calls]() {
+    ++calls;
+    return true;
+  };
+  RPCSCOPE_CHECK(count());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(CheckDeathTest, DCheckFiresOnlyWhenEnabled) {
+  if (kDCheckEnabled) {
+    EXPECT_DEATH(RPCSCOPE_DCHECK(false) << "debug invariant", "debug invariant");
+    EXPECT_DEATH(RPCSCOPE_DCHECK_EQ(1, 2), "1 == 2");
+  } else {
+    RPCSCOPE_DCHECK(false) << "no-op in NDEBUG";
+    RPCSCOPE_DCHECK_EQ(1, 2);
+  }
+}
+
+TEST(CheckTest, DisabledDCheckDoesNotEvaluateCondition) {
+  int calls = 0;
+  auto count = [&calls]() {
+    ++calls;
+    return true;
+  };
+  RPCSCOPE_DCHECK(count());
+  EXPECT_EQ(calls, kDCheckEnabled ? 1 : 0);
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "src/common/check.h"
+
 namespace rpcscope {
 namespace {
 
@@ -61,12 +63,58 @@ TEST(SimulatorTest, RunUntilAdvancesClockWhenQueueEmpty) {
   EXPECT_EQ(sim.Now(), Seconds(100));
 }
 
-TEST(SimulatorTest, NegativeDelayClampedToNow) {
+TEST(SimulatorTest, NegativeDelayClampedInReleaseDiesInDebug) {
+  if (kDCheckEnabled) {
+    EXPECT_DEATH(
+        {
+          Simulator sim;
+          sim.Schedule(-Millis(5), [] {});
+        },
+        "negative delay");
+    return;
+  }
   Simulator sim;
   sim.Schedule(Millis(10), [&] {
     sim.Schedule(-Millis(5), [&] { EXPECT_EQ(sim.Now(), Millis(10)); });
   });
   sim.Run();
+}
+
+TEST(SimulatorTest, ScheduleAtInThePastClampedInReleaseDiesInDebug) {
+  if (kDCheckEnabled) {
+    EXPECT_DEATH(
+        {
+          Simulator sim;
+          sim.RunUntil(Millis(10));
+          sim.ScheduleAt(Millis(5), [] {});
+        },
+        "scheduling in the past");
+    return;
+  }
+  Simulator sim;
+  sim.RunUntil(Millis(10));
+  sim.ScheduleAt(Millis(5), [&] { EXPECT_EQ(sim.Now(), Millis(10)); });
+  sim.Run();
+}
+
+TEST(SimulatorTest, EventDigestIsOrderSensitive) {
+  Simulator a;
+  a.Schedule(Millis(1), [] {});
+  a.Schedule(Millis(2), [] {});
+  a.Run();
+
+  Simulator b;  // Same events, scheduled in reverse: different seq pairing.
+  b.Schedule(Millis(2), [] {});
+  b.Schedule(Millis(1), [] {});
+  b.Run();
+
+  Simulator c;  // Identical schedule to `a` must reproduce its digest.
+  c.Schedule(Millis(1), [] {});
+  c.Schedule(Millis(2), [] {});
+  c.Run();
+
+  EXPECT_NE(a.event_digest(), b.event_digest());
+  EXPECT_EQ(a.event_digest(), c.event_digest());
 }
 
 TEST(SimulatorTest, EventCountTracked) {

@@ -1,0 +1,16 @@
+// Lint fixture: stdout writes from library code.
+// Linted under the pretend path src/core/cout_in_library.cc.
+#include <cstdio>
+#include <iostream>
+
+namespace rpcscope {
+
+void BadReporting(int n) {
+  std::cout << "served " << n << " requests\n";  // line 9: rpcscope-cout
+  printf("served %d requests\n", n);             // line 10: rpcscope-cout
+  std::cerr << "stderr is fine for diagnostics\n";
+  fprintf(stderr, "so is fprintf(stderr)\n");
+  std::cout << n;  // NOLINT(rpcscope-cout)
+}
+
+}  // namespace rpcscope

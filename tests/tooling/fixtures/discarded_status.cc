@@ -1,0 +1,30 @@
+// Lint fixture: fallible call results dropped on the floor.
+// Linted under the pretend path src/trace/discarded_status.cc with the
+// fallible set {SaveToFile, Parse}.
+#include <string>
+
+namespace rpcscope {
+
+struct FakeStore {
+  int SaveToFile(const std::string& path) const;
+  static int Parse(const std::string& text);
+};
+
+void Exercise(const FakeStore& store) {
+  store.SaveToFile("/tmp/out.bin");          // line 14: rpcscope-discarded-status
+  FakeStore::Parse("abc");                   // line 15: rpcscope-discarded-status
+  (void)store.SaveToFile("/tmp/explicit");   // clean: sanctioned explicit discard
+  const int rc = store.SaveToFile("/tmp/x");  // clean: result consumed
+  (void)rc;
+  if (FakeStore::Parse("y")) {               // clean: result tested
+    (void)store;
+  }
+  store.SaveToFile(                          // NOLINT(rpcscope-discarded-status)
+      "/tmp/suppressed");
+  // A wrapped argument list is a continuation, not a discard:
+  const int sum = rc +
+      FakeStore::Parse("wrapped");           // clean: continuation line
+  (void)sum;
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,11 @@
+// Lint fixture: header with a non-canonical include guard.
+// Linted under the pretend path src/wire/missing_guard.h, whose canonical
+// guard is RPCSCOPE_SRC_WIRE_MISSING_GUARD_H_.
+#ifndef SOME_OTHER_GUARD_H
+#define SOME_OTHER_GUARD_H
+
+namespace rpcscope {
+inline int FixtureValue() { return 42; }
+}  // namespace rpcscope
+
+#endif  // SOME_OTHER_GUARD_H

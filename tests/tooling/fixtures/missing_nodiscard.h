@@ -1,0 +1,29 @@
+// Lint fixture: fallible declarations missing [[nodiscard]].
+// Linted under the pretend path src/rpc/missing_nodiscard.h.
+#ifndef RPCSCOPE_SRC_RPC_MISSING_NODISCARD_H_
+#define RPCSCOPE_SRC_RPC_MISSING_NODISCARD_H_
+
+#include "src/common/status.h"
+
+namespace rpcscope {
+
+Status Unmarked(int x);                       // line 10: rpcscope-nodiscard-status
+Result<int> AlsoUnmarked();                   // line 11: rpcscope-nodiscard-status
+[[nodiscard]] Status Marked(int x);           // clean
+[[nodiscard]] Result<int> MarkedToo();        // clean
+
+// Wrapped form: attribute on the previous line is accepted.
+[[nodiscard]]
+Status MarkedOnPreviousLine(int x);
+
+// NOLINTNEXTLINE(rpcscope-nodiscard-status)
+Status SuppressedUnmarked(int x);
+
+struct Holder {
+  Status status;        // member field, not a declaration — clean
+  int Consume(Status status, int y);  // parameter, not a return type — clean
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_RPC_MISSING_NODISCARD_H_

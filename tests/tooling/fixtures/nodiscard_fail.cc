@@ -1,0 +1,26 @@
+// Compile-enforcement fixture for the [[nodiscard]] Status discipline.
+//
+// Compiled two ways by ctest (never linked into any target):
+//   - bare: discards a Status and a Result<T>; the build MUST fail under
+//     -Werror=unused-result (the nodiscard_status_compile_fails test, which
+//     is registered with WILL_FAIL).
+//   - -DRPCSCOPE_NODISCARD_FIXTURE_USE_VOID: the sanctioned (void) explicit
+//     discard; the build MUST succeed (nodiscard_void_discard_compiles).
+#include "src/common/status.h"
+
+namespace rpcscope {
+
+Status MakeStatus() { return InternalError("fixture"); }
+Result<int> MakeResult() { return 42; }
+
+void DiscardsFallibleResults() {
+#ifdef RPCSCOPE_NODISCARD_FIXTURE_USE_VOID
+  (void)MakeStatus();
+  (void)MakeResult();
+#else
+  MakeStatus();   // error: ignoring [[nodiscard]] Status
+  MakeResult();   // error: ignoring [[nodiscard]] Result<int>
+#endif
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,26 @@
+// Lint fixture: unordered-container iteration in a scheduling layer.
+// Linted under the pretend path src/net/unordered_iter.cc.
+#include <map>
+#include <unordered_map>
+
+namespace rpcscope {
+
+void BadIteration() {
+  std::unordered_map<int, int> pending_events;
+  std::map<int, int> ordered_events;
+  for (const auto& [k, v] : pending_events) {  // line 11: rpcscope-unordered-iter
+    (void)k;
+    (void)v;
+  }
+  for (const auto& [k, v] : ordered_events) {  // clean: std::map is ordered
+    (void)k;
+    (void)v;
+  }
+  // NOLINTNEXTLINE(rpcscope-unordered-iter)
+  for (const auto& [k, v] : pending_events) {
+    (void)k;
+    (void)v;
+  }
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,21 @@
+// Lint fixture: wall-clock and libc randomness in a virtual-time layer.
+// Linted under the pretend path src/sim/wallclock.cc.
+#include <ctime>
+
+namespace rpcscope {
+
+void BadWallclock() {
+  time(nullptr);                             // line 8: rpcscope-wallclock
+  rand();                                    // line 9: rpcscope-wallclock
+  (void)sizeof(int);                         // clean line
+  srand(42);  // NOLINT(rpcscope-wallclock)  -- suppressed
+  // NOLINTNEXTLINE(rpcscope-wallclock)
+  rand();
+  // A comment mentioning time( and rand( must not be flagged.
+  const char* s = "time( rand( in a string is fine";
+  (void)s;
+  int busy_time(0);  // Identifier ending in "time" is not the libc call.
+  (void)busy_time;
+}
+
+}  // namespace rpcscope

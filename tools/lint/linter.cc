@@ -1,0 +1,475 @@
+#include "tools/lint/linter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rpcscope {
+namespace lint {
+
+namespace {
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    lines.push_back(current);
+  }
+  return lines;
+}
+
+// Replaces comments and string/char literal contents with spaces so patterns
+// never match inside them. Tracks block comments across lines. Literal
+// delimiters are kept (a string becomes "   ") so column positions and syntax
+// shape survive.
+std::vector<std::string> Sanitize(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block_comment = false;
+  for (const std::string& line : lines) {
+    std::string s;
+    s.reserve(line.size());
+    size_t i = 0;
+    while (i < line.size()) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          s += "  ";
+          i += 2;
+        } else {
+          s += ' ';
+          ++i;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        break;  // Rest of the line is a comment.
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        s += "  ";
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        s += quote;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            s += "  ";
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            s += quote;
+            ++i;
+            break;
+          }
+          s += ' ';
+          ++i;
+        }
+        continue;
+      }
+      s += c;
+      ++i;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// True if `raw_lines[idx]` carries a suppression for `rule`: NOLINT on the
+// line itself or NOLINTNEXTLINE on the line above. Suppressions must name the
+// rule (or rpcscope-all) — bare NOLINT belongs to other tools and is ignored.
+bool IsSuppressed(const std::vector<std::string>& raw_lines, size_t idx, const std::string& rule) {
+  auto matches = [&rule](const std::string& line, const char* marker) {
+    const size_t at = line.find(marker);
+    if (at == std::string::npos) {
+      return false;
+    }
+    const size_t open = line.find('(', at);
+    if (open == std::string::npos) {
+      return false;
+    }
+    const size_t close = line.find(')', open);
+    if (close == std::string::npos) {
+      return false;
+    }
+    const std::string args = line.substr(open + 1, close - open - 1);
+    return args.find(rule) != std::string::npos || args.find("rpcscope-all") != std::string::npos;
+  };
+  if (idx < raw_lines.size() && matches(raw_lines[idx], "NOLINT")) {
+    // NOLINTNEXTLINE on the *same* line suppresses the next line, not this
+    // one; only a plain NOLINT counts here.
+    if (raw_lines[idx].find("NOLINTNEXTLINE") == std::string::npos) {
+      return true;
+    }
+  }
+  return idx > 0 && matches(raw_lines[idx - 1], "NOLINTNEXTLINE");
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool IsHeader(const std::string& path) {
+  return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
+}
+
+// Expected canonical include guard for a repo-relative header path:
+// src/common/check.h -> RPCSCOPE_SRC_COMMON_CHECK_H_.
+std::string ExpectedGuard(const std::string& rel_path) {
+  std::string guard = "RPCSCOPE_";
+  for (char c : rel_path) {
+    if (c == '/' || c == '.' || c == '-') {
+      guard += '_';
+    } else {
+      guard += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+// Identifier names declared as unordered containers in this file (variables
+// and members; token-level, so template parameters inside <> are skipped by
+// matching the name after the closing angle or after the full type).
+std::vector<std::string> CollectUnorderedNames(const std::vector<std::string>& lines) {
+  static const std::regex kDecl(
+      R"(unordered_(?:map|set|multimap|multiset)\s*<[^;{}]*>\s+([A-Za-z_]\w*))");
+  std::vector<std::string> names;
+  for (const std::string& line : lines) {
+    auto begin = std::sregex_iterator(line.begin(), line.end(), kDecl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      names.push_back((*it)[1].str());
+    }
+  }
+  return names;
+}
+
+bool ContainsWord(const std::string& haystack, const std::string& word) {
+  size_t at = 0;
+  while ((at = haystack.find(word, at)) != std::string::npos) {
+    const bool left_ok =
+        at == 0 || (!std::isalnum(static_cast<unsigned char>(haystack[at - 1])) &&
+                    haystack[at - 1] != '_');
+    const size_t end = at + word.size();
+    const bool right_ok =
+        end >= haystack.size() || (!std::isalnum(static_cast<unsigned char>(haystack[end])) &&
+                                   haystack[end] != '_');
+    if (left_ok && right_ok) {
+      return true;
+    }
+    at = end;
+  }
+  return false;
+}
+
+struct RulePattern {
+  const char* pattern;
+  const char* what;
+};
+
+}  // namespace
+
+std::vector<std::string> CollectFallibleFunctions(const std::string& content) {
+  const std::vector<std::string> raw = SplitLines(content);
+  const std::vector<std::string> lines = Sanitize(raw);
+  // A declaration line: optional attributes/specifiers, then Status or
+  // Result<...> as the return type, then the function name and '('. Member
+  // fields ("Status status;") and parameters ("Status status,") have no '('
+  // directly after the name, so they do not match.
+  static const std::regex kDecl(
+      R"(^\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+|inline\s+|virtual\s+|friend\s+|constexpr\s+)*(?:Status|Result<[^;{}()]*>)\s+([A-Za-z_]\w*)\s*\()");
+  std::vector<std::string> names;
+  for (const std::string& line : lines) {
+    std::smatch m;
+    if (std::regex_search(line, m, kDecl)) {
+      const std::string name = m[1].str();
+      if (name != "operator" && name != "Ok") {
+        names.push_back(name);
+      }
+    }
+  }
+  return names;
+}
+
+std::vector<Finding> LintFile(const std::string& rel_path, const std::string& content,
+                              const std::vector<std::string>& fallible) {
+  std::vector<Finding> findings;
+  const std::vector<std::string> raw = SplitLines(content);
+  const std::vector<std::string> lines = Sanitize(raw);
+
+  const bool in_src = StartsWith(rel_path, "src/");
+  const bool virtual_time_layer = StartsWith(rel_path, "src/sim/") ||
+                                  StartsWith(rel_path, "src/net/") ||
+                                  StartsWith(rel_path, "src/fleet/");
+  const bool fallible_api_layer = StartsWith(rel_path, "src/rpc/") ||
+                                  StartsWith(rel_path, "src/wire/") ||
+                                  StartsWith(rel_path, "src/trace/") ||
+                                  StartsWith(rel_path, "src/monitor/");
+
+  auto add = [&](size_t idx, const char* rule, std::string message) {
+    if (!IsSuppressed(raw, idx, rule)) {
+      findings.push_back(Finding{rel_path, static_cast<int>(idx) + 1, rule, std::move(message)});
+    }
+  };
+
+  // --- rpcscope-include-guard -----------------------------------------------
+  if (IsHeader(rel_path)) {
+    const std::string guard = ExpectedGuard(rel_path);
+    bool found = false;
+    for (size_t i = 0; i + 1 < lines.size() && !found; ++i) {
+      if (lines[i].find("#ifndef " + guard) != std::string::npos &&
+          lines[i + 1].find("#define " + guard) != std::string::npos) {
+        found = true;
+      }
+    }
+    bool suppressed = false;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (IsSuppressed(raw, i, "rpcscope-include-guard")) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!found && !suppressed) {
+      findings.push_back(Finding{rel_path, 1, "rpcscope-include-guard",
+                                 "header must use the canonical include guard " + guard});
+    }
+  }
+
+  // --- rpcscope-nodiscard-status --------------------------------------------
+  if (fallible_api_layer && IsHeader(rel_path)) {
+    static const std::regex kDecl(
+        R"(^\s*(?:static\s+|inline\s+|virtual\s+|friend\s+|constexpr\s+)*(?:Status|Result<[^;{}()]*>)\s+([A-Za-z_]\w*)\s*\()");
+    for (size_t i = 0; i < lines.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(lines[i], m, kDecl)) {
+        continue;
+      }
+      const bool marked = lines[i].find("[[nodiscard]]") != std::string::npos ||
+                          (i > 0 && lines[i - 1].find("[[nodiscard]]") != std::string::npos);
+      if (!marked) {
+        add(i, "rpcscope-nodiscard-status",
+            "fallible declaration '" + m[1].str() + "' must be [[nodiscard]]");
+      }
+    }
+  }
+
+  // --- rpcscope-discarded-status --------------------------------------------
+  if (!fallible.empty()) {
+    // An expression-statement that is just a call to a fallible function:
+    // optional object/namespace qualification, the name, '('. Assignments,
+    // returns, conditions, and initializations do not match because the call
+    // is not at statement start.
+    std::string alternation;
+    for (const std::string& name : fallible) {
+      if (!alternation.empty()) {
+        alternation += '|';
+      }
+      alternation += name;
+    }
+    const std::regex call_stmt(R"(^\s*(?:[A-Za-z_]\w*\s*(?:\.|->|::)\s*)*()" + alternation +
+                               R"()\s*\()");
+    auto starts_statement = [&lines](size_t i) {
+      // A line begins a statement only if the previous non-blank line ended
+      // one. Otherwise it is a continuation (wrapped argument list, RHS of an
+      // initialization) and the call result is consumed by the outer
+      // expression.
+      for (size_t j = i; j > 0; --j) {
+        const std::string& prev = lines[j - 1];
+        const size_t last = prev.find_last_not_of(" \t");
+        if (last == std::string::npos) {
+          continue;  // Blank; keep looking up.
+        }
+        const char c = prev[last];
+        return c == ';' || c == '{' || c == '}' || c == ':';
+      }
+      return true;  // First line of the file.
+    };
+    for (size_t i = 0; i < lines.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(lines[i], m, call_stmt)) {
+        continue;
+      }
+      if (!starts_statement(i)) {
+        continue;
+      }
+      // Declarations/definitions of the function itself start with a type
+      // name, so a match here is genuinely a call at statement start. Skip
+      // lines that are part of a larger expression.
+      const std::string& line = lines[i];
+      if (line.find("return") != std::string::npos || line.find('=') != std::string::npos ||
+          line.find("if") != std::string::npos || line.find("while") != std::string::npos ||
+          line.find("EXPECT") != std::string::npos || line.find("ASSERT") != std::string::npos ||
+          line.find("CHECK") != std::string::npos) {
+        continue;
+      }
+      // `(void)Foo();` is the sanctioned explicit discard.
+      if (line.find("(void)") != std::string::npos) {
+        continue;
+      }
+      add(i, "rpcscope-discarded-status",
+          "result of fallible call '" + m[1].str() + "' is discarded");
+    }
+  }
+
+  // --- rpcscope-wallclock ---------------------------------------------------
+  if (virtual_time_layer) {
+    static const RulePattern kWallclock[] = {
+        {R"(std::chrono::system_clock)", "std::chrono::system_clock"},
+        {R"(std::chrono::steady_clock)", "std::chrono::steady_clock"},
+        {R"(std::chrono::high_resolution_clock)", "std::chrono::high_resolution_clock"},
+        {R"(\bgettimeofday\s*\()", "gettimeofday()"},
+        {R"(\bclock_gettime\s*\()", "clock_gettime()"},
+        {R"(\btime\s*\()", "time()"},
+        {R"(\brand\s*\()", "rand()"},
+        {R"(\bsrand\s*\()", "srand()"},
+        {R"(std::random_device)", "std::random_device"},
+    };
+    for (size_t i = 0; i < lines.size(); ++i) {
+      for (const RulePattern& p : kWallclock) {
+        if (std::regex_search(lines[i], std::regex(p.pattern))) {
+          add(i, "rpcscope-wallclock",
+              std::string(p.what) +
+                  " in a virtual-time layer; use Simulator::Now() / seeded Rng");
+          break;
+        }
+      }
+    }
+  }
+
+  // --- rpcscope-unordered-iter ----------------------------------------------
+  if (virtual_time_layer) {
+    const std::vector<std::string> unordered_names = CollectUnorderedNames(lines);
+    static const std::regex kRangeFor(R"(for\s*\(.*:(.*)\))");
+    for (size_t i = 0; i < lines.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(lines[i], m, kRangeFor)) {
+        continue;
+      }
+      const std::string range_expr = m[1].str();
+      bool hazardous = range_expr.find("unordered_") != std::string::npos;
+      for (const std::string& name : unordered_names) {
+        hazardous = hazardous || ContainsWord(range_expr, name);
+      }
+      if (hazardous) {
+        add(i, "rpcscope-unordered-iter",
+            "iteration over an unordered container in a scheduling layer; order feeds "
+            "event timing — use a sorted container or sort keys first");
+      }
+    }
+  }
+
+  // --- rpcscope-cout --------------------------------------------------------
+  if (in_src) {
+    static const RulePattern kStdout[] = {
+        {R"(std::cout)", "std::cout"},
+        {R"(\bprintf\s*\()", "printf()"},
+        {R"(\bfprintf\s*\(\s*stdout)", "fprintf(stdout, ...)"},
+        {R"(\bputs\s*\()", "puts()"},
+    };
+    for (size_t i = 0; i < lines.size(); ++i) {
+      for (const RulePattern& p : kStdout) {
+        if (std::regex_search(lines[i], std::regex(p.pattern))) {
+          add(i, "rpcscope-cout",
+              std::string(p.what) +
+                  " in library code; report via Status or take an std::ostream&");
+          break;
+        }
+      }
+    }
+  }
+
+  return findings;
+}
+
+std::vector<Finding> LintTree(const std::string& root) {
+  namespace fs = std::filesystem;
+  const std::vector<std::string> scan_dirs = {"src", "tests", "bench", "examples", "tools"};
+
+  auto rel_of = [&root](const fs::path& p) {
+    std::string rel = fs::relative(p, root).generic_string();
+    return rel;
+  };
+  auto lintable = [](const std::string& rel) {
+    if (rel.find("fixtures") != std::string::npos) {
+      return false;  // Lint self-test fixtures violate rules on purpose.
+    }
+    return rel.ends_with(".h") || rel.ends_with(".cc") || rel.ends_with(".cpp");
+  };
+
+  // Pass 1: fallible-function names from src/ headers.
+  std::set<std::string> fallible_set;
+  fallible_set.insert("GetVarint64");  // bool-fallible: out-param undefined on false.
+  const fs::path src_dir = fs::path(root) / "src";
+  if (fs::exists(src_dir)) {
+    for (const auto& entry : fs::recursive_directory_iterator(src_dir)) {
+      if (!entry.is_regular_file() || entry.path().extension() != ".h") {
+        continue;
+      }
+      std::ifstream in(entry.path());
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      for (const std::string& name : CollectFallibleFunctions(buffer.str())) {
+        fallible_set.insert(name);
+      }
+    }
+  }
+  const std::vector<std::string> fallible(fallible_set.begin(), fallible_set.end());
+
+  // Pass 2: lint every file.
+  std::vector<Finding> findings;
+  for (const std::string& dir : scan_dirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      const std::string rel = rel_of(entry.path());
+      if (!lintable(rel)) {
+        continue;
+      }
+      std::ifstream in(entry.path());
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      std::vector<Finding> file_findings = LintFile(rel, buffer.str(), fallible);
+      findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+    }
+  }
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) {
+      return a.file < b.file;
+    }
+    return a.line < b.line;
+  });
+  return findings;
+}
+
+std::string FormatFinding(const Finding& f) {
+  std::ostringstream out;
+  out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  return out.str();
+}
+
+}  // namespace lint
+}  // namespace rpcscope

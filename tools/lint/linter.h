@@ -1,0 +1,68 @@
+// rpcscope_lint: repo-specific static analysis, token/regex level.
+//
+// The rules encode correctness contracts the compiler cannot see:
+//   rpcscope-nodiscard-status  fallible declarations (Status / Result<T>) in
+//                              src/rpc, src/wire, src/trace, src/monitor
+//                              headers must be [[nodiscard]].
+//   rpcscope-discarded-status  expression-statements that call a known
+//                              fallible function and drop the result.
+//   rpcscope-wallclock         wall-clock / libc randomness inside src/sim,
+//                              src/net, src/fleet — those layers must stay on
+//                              deterministic virtual time and seeded Rng.
+//   rpcscope-unordered-iter    range-for over an unordered container in
+//                              src/sim, src/net, src/fleet — iteration order
+//                              feeds event scheduling, a determinism hazard.
+//   rpcscope-include-guard     headers must carry the canonical
+//                              RPCSCOPE_<PATH>_H_ include guard.
+//   rpcscope-cout              std::cout / printf in library code (src/);
+//                              libraries report through Status and ostream&
+//                              parameters, never the process's stdout.
+//
+// Any finding is suppressible on its line with // NOLINT(rpcscope-<rule>) or
+// on the preceding line with // NOLINTNEXTLINE(rpcscope-<rule>);
+// NOLINT(rpcscope-all) suppresses every rule. No libclang: the linter reads
+// files as text, strips comments and string literals, and pattern-matches —
+// fast enough to gate every CI build.
+#ifndef RPCSCOPE_TOOLS_LINT_LINTER_H_
+#define RPCSCOPE_TOOLS_LINT_LINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace rpcscope {
+namespace lint {
+
+struct Finding {
+  std::string file;  // Repo-relative path, forward slashes.
+  int line = 0;      // 1-based.
+  std::string rule;  // e.g. "rpcscope-wallclock".
+  std::string message;
+
+  friend bool operator==(const Finding& a, const Finding& b) {
+    return a.file == b.file && a.line == b.line && a.rule == b.rule;
+  }
+};
+
+// Scans header content for fallible function declarations (returning Status
+// or Result<T>) and returns their names. Used to build the project-wide set
+// that rpcscope-discarded-status checks call sites against.
+std::vector<std::string> CollectFallibleFunctions(const std::string& content);
+
+// Lints one file. `rel_path` selects which rules apply (directory scoping);
+// `fallible` is the project-wide fallible-function name set.
+std::vector<Finding> LintFile(const std::string& rel_path, const std::string& content,
+                              const std::vector<std::string>& fallible);
+
+// Walks `root` (the repo checkout), collects fallible names from src/
+// headers, lints every .h/.cc/.cpp under src/, tests/, bench/, examples/,
+// tools/ (skipping any path containing "fixtures"), and returns all findings
+// sorted by (file, line).
+std::vector<Finding> LintTree(const std::string& root);
+
+// Renders "file:line: [rule] message".
+std::string FormatFinding(const Finding& f);
+
+}  // namespace lint
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_TOOLS_LINT_LINTER_H_

@@ -1,0 +1,48 @@
+// rpcscope_lint CLI: walks the repo and reports rule violations.
+//
+// Usage:
+//   rpcscope_lint [--root <repo-root>]
+//
+// Exit status 0 when the tree is clean, 1 when any unsuppressed finding
+// remains, 2 on usage errors. CI runs this as a gating step; see
+// docs/CORRECTNESS.md for the rule catalogue and suppression syntax.
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/linter.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: rpcscope_lint [--root <repo-root>]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+
+  // A typo'd --root would otherwise walk nothing and report a clean tree,
+  // silently passing the CI gate.
+  if (!std::filesystem::is_directory(root)) {
+    std::cerr << "rpcscope_lint: root is not a directory: " << root << "\n";
+    return 2;
+  }
+
+  const std::vector<rpcscope::lint::Finding> findings = rpcscope::lint::LintTree(root);
+  for (const rpcscope::lint::Finding& f : findings) {
+    std::cout << rpcscope::lint::FormatFinding(f) << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "rpcscope_lint: clean\n";
+    return 0;
+  }
+  std::cout << "rpcscope_lint: " << findings.size() << " finding(s)\n";
+  return 1;
+}
