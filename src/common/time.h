@@ -15,6 +15,9 @@ namespace rpcscope {
 using SimTime = int64_t;      // Nanoseconds since simulation epoch.
 using SimDuration = int64_t;  // Nanoseconds.
 
+constexpr SimTime kMinSimTime = INT64_MIN;
+constexpr SimTime kMaxSimTime = INT64_MAX;
+
 constexpr SimDuration kNanosecond = 1;
 constexpr SimDuration kMicrosecond = 1000;
 constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
@@ -30,6 +33,18 @@ constexpr SimDuration Seconds(int64_t n) { return n * kSecond; }
 constexpr SimDuration Minutes(int64_t n) { return n * kMinute; }
 constexpr SimDuration Hours(int64_t n) { return n * kHour; }
 constexpr SimDuration Days(int64_t n) { return n * kDay; }
+
+// Saturating instant + duration addition: clamps to the SimTime range
+// instead of wrapping. `Simulator::Schedule`/`RunFor` route through this so a
+// caller passing "effectively forever" (e.g. INT64_MAX) schedules at the far
+// end of virtual time rather than silently wrapping into the past in release
+// builds.
+constexpr SimTime AddClamped(SimTime t, SimDuration d) {
+  if (d >= 0) {
+    return t > kMaxSimTime - d ? kMaxSimTime : t + d;
+  }
+  return t < kMinSimTime - d ? kMinSimTime : t + d;
+}
 
 // Conversions to floating-point units (for statistics and reporting).
 constexpr double ToMicros(SimDuration d) { return static_cast<double>(d) / kMicrosecond; }

@@ -29,6 +29,7 @@ struct Deployment {
 MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptions& options) {
   RpcSystemOptions sys_opts;
   sys_opts.seed = options.seed;
+  sys_opts.sim_queue = options.sim_queue;
   sys_opts.fabric.congestion_probability = 0.01;
   RpcSystem system(sys_opts);
   const Topology& topo = system.topology();
@@ -221,6 +222,8 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   };
   std::vector<std::unique_ptr<Client>> frontend_clients;
   std::vector<std::unique_ptr<PoissonArrivals>> arrivals;
+  frontend_clients.reserve(frontends.size());
+  arrivals.reserve(frontends.size());
   Rng workload(options.seed ^ 0x222);
   uint64_t root_calls = 0;
   for (size_t i = 0; i < frontends.size(); ++i) {
@@ -247,6 +250,7 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   result.root_calls = root_calls;
   result.events_executed = system.sim().events_executed();
   result.event_digest = system.sim().event_digest();
+  result.spans.reserve(system.tracer().spans().size());
   for (const Span& span : system.tracer().spans()) {
     if (span.start_time >= options.warmup) {
       result.spans.push_back(span);

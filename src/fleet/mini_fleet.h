@@ -27,6 +27,9 @@ struct MiniFleetOptions {
   // Root request rate driven into each frontend entry point.
   double frontend_rps = 600;
   uint64_t seed = 0xf1ee7;
+  // Simulator event-queue implementation. The cross-queue determinism test
+  // runs the same fleet under both kinds and requires identical results.
+  SimQueueKind sim_queue = SimQueueKind::kLadder;
 };
 
 struct MiniFleetResult {

@@ -95,7 +95,7 @@ void Client::StartAttempt(std::shared_ptr<CallState> st, MachineId target) {
 
   const CycleCostModel& costs = system_->costs();
   WireFrame frame =
-      EncodeFrame(st->request, system_->options().encryption_key, att->span_id);
+      EncodeFrame(st->request, system_->options().encryption_key, att->span_id, scratch_);
   const CycleBreakdown tx_cost = costs.SendSideCost(frame.payload_bytes, frame.wire_bytes);
   att->cycles.Accumulate(tx_cost);
   att->request_wire_bytes = frame.wire_bytes;
@@ -177,7 +177,7 @@ void Client::OnReply(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att
     Status status = reply.status;
     if (status.ok()) {
       Result<Payload> decoded =
-          DecodeFrame(reply.response_frame, system_->options().encryption_key);
+          DecodeFrame(reply.response_frame, system_->options().encryption_key, scratch_);
       if (decoded.ok()) {
         response = std::move(decoded.value());
       } else {

@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "src/rpc/call.h"
+#include "src/rpc/codec.h"
 #include "src/rpc/rpc_system.h"
 #include "src/sim/server_resource.h"
 
@@ -65,6 +66,8 @@ class Client {
   ServerResource tx_pool_;
   ServerResource rx_pool_;
   Rng backoff_rng_{0xb0ff};
+  // Reused across every frame this client encodes/decodes; see WireScratch.
+  WireScratch scratch_;
   SimDuration rx_processing_overhead_ = 0;
   uint64_t calls_issued_ = 0;
   uint64_t calls_completed_ = 0;

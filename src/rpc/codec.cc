@@ -9,14 +9,17 @@
 
 namespace rpcscope {
 
-WireFrame EncodeFrame(const Payload& payload, uint64_t key, uint64_t nonce) {
+WireFrame EncodeFrame(const Payload& payload, uint64_t key, uint64_t nonce,
+                      WireScratch& scratch) {
   WireFrame frame;
   frame.nonce = nonce;
   frame.payload_bytes = payload.SerializedSize();
   if (payload.is_real()) {
     frame.real = true;
-    std::vector<uint8_t> serialized = payload.message().Serialize();
-    frame.body = RatelCompress(serialized);
+    scratch.serialized.clear();
+    scratch.serialized.reserve(payload.message().ByteSize());
+    payload.message().SerializeTo(scratch.serialized);
+    RatelCompress(scratch.serialized, scratch.lz, frame.body);
     frame.crc = Crc32c(frame.body);
     StreamCipher cipher(key, nonce);
     cipher.Apply(frame.body);
@@ -29,25 +32,36 @@ WireFrame EncodeFrame(const Payload& payload, uint64_t key, uint64_t nonce) {
   return frame;
 }
 
-Result<Payload> DecodeFrame(const WireFrame& frame, uint64_t key) {
+WireFrame EncodeFrame(const Payload& payload, uint64_t key, uint64_t nonce) {
+  WireScratch scratch;
+  return EncodeFrame(payload, key, nonce, scratch);
+}
+
+Result<Payload> DecodeFrame(const WireFrame& frame, uint64_t key,
+                            WireScratch& scratch) {
   if (!frame.real) {
     return Payload::Modeled(frame.payload_bytes);
   }
-  std::vector<uint8_t> body = frame.body;
+  scratch.decrypted.assign(frame.body.begin(), frame.body.end());
   StreamCipher cipher(key, frame.nonce);
-  cipher.Apply(body);
-  if (Crc32c(body) != frame.crc) {
+  cipher.Apply(scratch.decrypted);
+  if (Crc32c(scratch.decrypted) != frame.crc) {
     return Status(StatusCode::kDataLoss, "frame checksum mismatch");
   }
-  Result<std::vector<uint8_t>> decompressed = RatelDecompress(body);
+  Status decompressed = RatelDecompress(scratch.decrypted, scratch.decompressed);
   if (!decompressed.ok()) {
-    return decompressed.status();
+    return decompressed;
   }
-  Result<Message> message = Message::Parse(decompressed.value());
+  Result<Message> message = Message::Parse(scratch.decompressed);
   if (!message.ok()) {
     return message.status();
   }
   return Payload::Real(std::move(message.value()));
+}
+
+Result<Payload> DecodeFrame(const WireFrame& frame, uint64_t key) {
+  WireScratch scratch;
+  return DecodeFrame(frame, key, scratch);
 }
 
 }  // namespace rpcscope

@@ -13,6 +13,7 @@
 
 #include "src/common/status.h"
 #include "src/rpc/payload.h"
+#include "src/wire/compressor.h"
 
 namespace rpcscope {
 
@@ -25,12 +26,35 @@ struct WireFrame {
   uint64_t nonce = 0;
 };
 
+// Reusable per-endpoint working buffers for the encode/decode byte pipeline.
+// Client and Server each own one and pass it to every frame they process, so
+// steady-state serialization, compression, and decryption run entirely in
+// recycled storage (docs/PERF.md). The simulation is single-threaded; one
+// scratch per endpoint is safe because frames are encoded/decoded one at a
+// time, never nested.
+struct WireScratch {
+  std::vector<uint8_t> serialized;    // Encode: pre-compression message bytes.
+  std::vector<uint8_t> decrypted;     // Decode: body after the cipher pass.
+  std::vector<uint8_t> decompressed;  // Decode: bytes handed to Message::Parse.
+  RatelScratch lz;                    // Compressor hash-chain state (~256 KiB).
+};
+
 // Encodes a payload for transmission. `key` is the channel encryption key and
 // `nonce` must be unique per message (the span id is used in practice).
+// `scratch` holds the intermediate buffers; the returned frame owns only its
+// final body bytes.
+WireFrame EncodeFrame(const Payload& payload, uint64_t key, uint64_t nonce,
+                      WireScratch& scratch);
+
+// Convenience wrapper with throwaway scratch (cold paths, tests).
 WireFrame EncodeFrame(const Payload& payload, uint64_t key, uint64_t nonce);
 
 // Decodes a frame back into a payload: decrypt, CRC-check, decompress, parse.
 // Modeled frames decode to an equivalent modeled payload.
+[[nodiscard]] Result<Payload> DecodeFrame(const WireFrame& frame, uint64_t key,
+                                          WireScratch& scratch);
+
+// Convenience wrapper with throwaway scratch (cold paths, tests).
 [[nodiscard]] Result<Payload> DecodeFrame(const WireFrame& frame, uint64_t key);
 
 // Frame header overhead in bytes (flags + sizes + crc + nonce).

@@ -28,6 +28,10 @@ struct RpcSystemOptions {
   CycleCostModel costs;
   uint64_t seed = 42;
   uint64_t encryption_key = 0x9a7bull;
+  // Event-queue implementation for the simulator. kLadder is the production
+  // default; kBinaryHeap is the reference for the cross-validation test and
+  // bench_simcore (both produce bit-for-bit identical event streams).
+  SimQueueKind sim_queue = SimQueueKind::kLadder;
   // Fraction of spans carrying CPU-cycle annotations (§4.2: not all samples
   // are annotated with cost information).
   double cpu_annotation_probability = 0.5;
@@ -63,7 +67,7 @@ class RpcSystem {
 
  private:
   RpcSystemOptions options_;
-  Simulator sim_;
+  Simulator sim_{options_.sim_queue};
   Topology topology_;
   Fabric fabric_;
   TraceCollector tracer_;

@@ -63,9 +63,9 @@ namespace {
 // Sends an error reply straight back over the fabric (no payload pipeline).
 void RespondWithError(RpcSystem* system, MachineId server_machine,
                       std::shared_ptr<IncomingRequest> req, CycleBreakdown cycles_so_far,
-                      SimDuration recv_queue, Status status) {
+                      SimDuration recv_queue, Status status, WireScratch& scratch) {
   WireFrame frame = EncodeFrame(Payload::Modeled(64), system->options().encryption_key,
-                                req->span_id ^ 0x2);
+                                req->span_id ^ 0x2, scratch);
   ServerReply reply;
   reply.status = std::move(status);
   reply.recv_queue = recv_queue;
@@ -92,7 +92,7 @@ void Server::DeliverRequest(IncomingRequest request) {
   rx_pool_.Submit(rx_time, [this, req, rx_cost](SimDuration rx_wait, SimDuration rx_service) {
     if (rx_wait == ServerResource::kRejected) {
       RespondWithError(system_, machine_, req, rx_cost, 0,
-                       ResourceExhaustedError("server rx queue full"));
+                       ResourceExhaustedError("server rx queue full"), scratch_);
       return;
     }
     const SimDuration recv_so_far = rx_wait + rx_service;
@@ -102,7 +102,7 @@ void Server::DeliverRequest(IncomingRequest request) {
                                              recv_so_far](SimDuration app_wait) {
       if (app_wait == ServerResource::kRejected) {
         RespondWithError(system_, machine_, req, rx_cost, recv_so_far,
-                         ResourceExhaustedError("server app queue full"));
+                         ResourceExhaustedError("server app queue full"), scratch_);
         return;
       }
       // Scheduler wake-up delay before the handler actually starts running;
@@ -115,15 +115,16 @@ void Server::DeliverRequest(IncomingRequest request) {
         if (req->deadline_time > 0 && system_->sim().Now() > req->deadline_time) {
           app_pool_.Release();
           RespondWithError(system_, machine_, req, rx_cost, recv_so_far + app_wait + wakeup,
-                           DeadlineExceededError("deadline expired before handler start"));
+                           DeadlineExceededError("deadline expired before handler start"),
+                           scratch_);
           return;
         }
         Result<Payload> decoded =
-            DecodeFrame(req->request_frame, system_->options().encryption_key);
+            DecodeFrame(req->request_frame, system_->options().encryption_key, scratch_);
         if (!decoded.ok()) {
           app_pool_.Release();
           RespondWithError(system_, machine_, req, rx_cost,
-                           recv_so_far + app_wait + wakeup, decoded.status());
+                           recv_so_far + app_wait + wakeup, decoded.status(), scratch_);
           return;
         }
         auto call = std::make_shared<ServerCall>();
@@ -163,7 +164,7 @@ void Server::FinishCall(ServerCall* call, Status status, Payload response) {
   ++requests_served_;
 
   WireFrame frame =
-      EncodeFrame(response, system_->options().encryption_key, call->span_id_ ^ 0x1);
+      EncodeFrame(response, system_->options().encryption_key, call->span_id_ ^ 0x1, scratch_);
   const CycleBreakdown tx_cost = costs.SendSideCost(frame.payload_bytes, frame.wire_bytes);
   call->cycles_.Accumulate(tx_cost);
   const SimDuration tx_time = costs.CyclesToDuration(tx_cost.TaxTotal(), machine_speed_);
@@ -208,7 +209,7 @@ void Server::FinishStreamCall(ServerCall* call, Status status, Payload chunk,
   // Every chunk is a full message: per-chunk framing/stack/library costs are
   // what make streams more expensive per byte than one big unary response.
   WireFrame frame =
-      EncodeFrame(chunk, system_->options().encryption_key, call->span_id_ ^ 0x3);
+      EncodeFrame(chunk, system_->options().encryption_key, call->span_id_ ^ 0x3, scratch_);
   const CycleBreakdown per_chunk = costs.SendSideCost(frame.payload_bytes, frame.wire_bytes);
   CycleBreakdown tx_cost;
   for (int c = 0; c < num_chunks; ++c) {

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "src/rpc/call.h"
+#include "src/rpc/codec.h"
 #include "src/rpc/rpc_system.h"
 #include "src/sim/server_resource.h"
 
@@ -134,6 +135,8 @@ class Server {
   ServerResource rx_pool_;
   ServerResource app_pool_;
   ServerResource tx_pool_;
+  // Reused across every frame this server encodes/decodes; see WireScratch.
+  WireScratch scratch_;
   std::unordered_map<MethodId, MethodHandler> handlers_;
   std::unordered_map<MethodId, std::string> method_names_;
   uint64_t requests_served_ = 0;

@@ -1,0 +1,105 @@
+#include "src/sim/callback.h"
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace rpcscope {
+namespace callback_internal {
+
+namespace {
+
+// Size classes: 64, 128, 256, 512, 1024, 2048 usable bytes. Larger captures
+// (pathological; nothing in the stack gets close) bypass the pool.
+constexpr size_t kNumClasses = 6;
+constexpr size_t kMinClassBytes = 64;
+constexpr size_t kMaxClassBytes = kMinClassBytes << (kNumClasses - 1);
+// Per-class cap on parked blocks, bounding idle pool memory at ~8 MiB total
+// while comfortably covering the deepest event backlogs the benches reach.
+constexpr size_t kMaxFreePerClass = 2048;
+
+// Every block starts with a header recording its size class so Free() can
+// route it back without a size parameter. The header is max_align-sized to
+// keep the usable region max_align aligned.
+struct alignas(std::max_align_t) BlockHeader {
+  uint32_t size_class;  // kNumClasses means "unpooled, straight to free()".
+};
+
+struct FreeList {
+  // Freed blocks are chained through their usable region (they hold no live
+  // capture, so the bytes are ours).
+  void* head = nullptr;
+  size_t count = 0;
+};
+
+struct PoolState {
+  FreeList free_lists[kNumClasses];
+};
+
+PoolState& State() {
+  // The simulator is single-threaded, but thread_local keeps the pool safe if
+  // independent simulations ever run on worker threads side by side.
+  static thread_local PoolState state;
+  return state;
+}
+
+size_t ClassFor(size_t bytes) {
+  size_t cls = 0;
+  size_t cap = kMinClassBytes;
+  while (cap < bytes) {
+    cap <<= 1;
+    ++cls;
+  }
+  return cls;
+}
+
+}  // namespace
+
+void* CapturePool::Alloc(size_t bytes) {
+  if (bytes > kMaxClassBytes) {
+    auto* header = static_cast<BlockHeader*>(std::malloc(sizeof(BlockHeader) + bytes));
+    RPCSCOPE_CHECK(header != nullptr) << "callback capture allocation failed";
+    header->size_class = kNumClasses;
+    return header + 1;
+  }
+  const size_t cls = ClassFor(bytes);
+  FreeList& list = State().free_lists[cls];
+  if (list.head != nullptr) {
+    void* block = list.head;
+    list.head = *static_cast<void**>(block);
+    --list.count;
+    return block;
+  }
+  const size_t usable = kMinClassBytes << cls;
+  auto* header = static_cast<BlockHeader*>(std::malloc(sizeof(BlockHeader) + usable));
+  RPCSCOPE_CHECK(header != nullptr) << "callback capture allocation failed";
+  header->size_class = static_cast<uint32_t>(cls);
+  return header + 1;
+}
+
+void CapturePool::Free(void* block) {
+  BlockHeader* header = static_cast<BlockHeader*>(block) - 1;
+  const uint32_t cls = header->size_class;
+  if (cls >= kNumClasses) {
+    std::free(header);
+    return;
+  }
+  FreeList& list = State().free_lists[cls];
+  if (list.count >= kMaxFreePerClass) {
+    std::free(header);
+    return;
+  }
+  *static_cast<void**>(block) = list.head;
+  list.head = block;
+  ++list.count;
+}
+
+size_t CapturePool::FreeListBlocks() {
+  size_t total = 0;
+  for (const FreeList& list : State().free_lists) {
+    total += list.count;
+  }
+  return total;
+}
+
+}  // namespace callback_internal
+}  // namespace rpcscope

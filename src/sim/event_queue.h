@@ -1,0 +1,205 @@
+// Event queues for the discrete-event simulator.
+//
+// Both queues hand out events in exact (time, insertion-sequence) order — the
+// order the determinism digest folds — and differ only in cost profile:
+//
+//  - LadderEventQueue (the default): a two-level ladder/calendar queue. A
+//    window of near-future buckets gives O(1) insertion and amortized O(1)
+//    extraction for the dominant case (events scheduled microseconds ahead);
+//    a min-heap overflow holds far-future events until the window advances
+//    over them. Bucket width adapts to the observed event density two ways:
+//    gradually at window rebuilds, and immediately (multiplicatively) when the
+//    cursor reaches a bucket crowded enough that per-bucket sorting would be
+//    doing the heap's job. Pushes that land at or behind the cursor go to a
+//    small side heap instead of re-sorting the drained bucket, so no push
+//    ever pays more than O(log side) regardless of bucket occupancy.
+//  - BinaryHeapEventQueue: the classic binary min-heap the seed simulator
+//    used. Kept as the reference implementation: the cross-validation test
+//    and bench_simcore run both and require bit-for-bit identical execution.
+//
+// Neither queue allocates per event in steady state: events embed a
+// SimCallback (inline storage / pooled captures) and bucket vectors retain
+// their capacity across windows.
+#ifndef RPCSCOPE_SRC_SIM_EVENT_QUEUE_H_
+#define RPCSCOPE_SRC_SIM_EVENT_QUEUE_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/time.h"
+#include "src/sim/callback.h"
+
+namespace rpcscope {
+
+struct SimEvent {
+  SimTime time = 0;
+  uint64_t seq = 0;
+  SimCallback fn;
+};
+
+// Which event queue a Simulator runs on. kLadder is the production default;
+// kBinaryHeap is the reference for cross-validation and benchmarking.
+enum class SimQueueKind : uint8_t {
+  kLadder = 0,
+  kBinaryHeap = 1,
+};
+
+namespace event_queue_internal {
+
+// "a executes after b": orders a max-heap whose front is the earliest event.
+struct ExecutesAfter {
+  bool operator()(const SimEvent& a, const SimEvent& b) const {
+    if (a.time != b.time) {
+      return a.time > b.time;
+    }
+    return a.seq > b.seq;
+  }
+};
+
+// "(time, seq) of a before b": sort order within a ladder bucket.
+struct ExecutesBefore {
+  bool operator()(const SimEvent& a, const SimEvent& b) const {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    return a.seq < b.seq;
+  }
+};
+
+}  // namespace event_queue_internal
+
+class BinaryHeapEventQueue {
+ public:
+  void Push(SimEvent ev) {
+    heap_.push_back(std::move(ev));
+    std::push_heap(heap_.begin(), heap_.end(), event_queue_internal::ExecutesAfter{});
+  }
+
+  bool Empty() const { return heap_.empty(); }
+  size_t Size() const { return heap_.size(); }
+
+  // Time of the earliest event. Requires !Empty().
+  SimTime PeekTime() { return heap_.front().time; }
+
+  // Removes and returns the earliest event. Requires !Empty().
+  SimEvent PopFront() {
+    std::pop_heap(heap_.begin(), heap_.end(), event_queue_internal::ExecutesAfter{});
+    SimEvent ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+  }
+
+ private:
+  std::vector<SimEvent> heap_;
+};
+
+class LadderEventQueue {
+ public:
+  void Push(SimEvent ev) {
+    // Every pushed event satisfies ev.time >= the simulator clock >= floor_,
+    // but not necessarily >= win_start_: a rebalance may anchor the window at
+    // a pending cluster ahead of the clock, and RunUntil can then schedule
+    // into the gap before it.
+    RPCSCOPE_DCHECK_GE(ev.time, floor_) << "event scheduled before the pop floor";
+    const int64_t delta = ev.time - win_start_;
+    ++size_;
+    if (delta >= 0) {
+      const uint64_t idx = static_cast<uint64_t>(delta) >> shift_;
+      if (idx >= kNumBuckets) {
+        overflow_.push_back(std::move(ev));
+        std::push_heap(overflow_.begin(), overflow_.end(),
+                       event_queue_internal::ExecutesAfter{});
+        return;
+      }
+      if (idx > cur_ || (idx == cur_ && !cur_sorted_)) {
+        buckets_[idx].push_back(std::move(ev));
+        return;
+      }
+    }
+    // Before the window, behind the drain position (the cursor peeked past
+    // empty buckets and the clock advanced), or inside the bucket being
+    // drained. The side heap keeps these ordered without re-sorting or
+    // shifting the drained bucket; Front() merges the two streams.
+    side_.push_back(std::move(ev));
+    std::push_heap(side_.begin(), side_.end(), event_queue_internal::ExecutesAfter{});
+  }
+
+  bool Empty() const { return size_ == 0; }
+  size_t Size() const { return size_; }
+
+  // Time of the earliest event; advances the internal cursor to it (cheap and
+  // idempotent). Requires !Empty().
+  SimTime PeekTime() { return Front().time; }
+
+  // Removes and returns the earliest event. Requires !Empty().
+  SimEvent PopFront() {
+    Front();  // Position the cursor and decide which stream is earliest.
+    SimEvent ev;
+    if (front_in_side_) {
+      std::pop_heap(side_.begin(), side_.end(), event_queue_internal::ExecutesAfter{});
+      ev = std::move(side_.back());
+      side_.pop_back();
+    } else {
+      ev = std::move(buckets_[cur_][cur_pos_]);
+      ++cur_pos_;
+    }
+    --size_;
+    ++drained_in_window_;
+    floor_ = ev.time;
+    return ev;
+  }
+
+  // Current bucket-width exponent (bucket spans 1 << shift ns); for tests.
+  int width_shift() const { return shift_; }
+
+ private:
+  static constexpr size_t kBucketBits = 9;
+  static constexpr size_t kNumBuckets = size_t{1} << kBucketBits;  // 512
+  // Width starts at 4.1us (2 ms window): wide enough that typical RPC-stack
+  // delays land in-window, and density adaptation takes it from there.
+  static constexpr int kInitialShift = 12;
+  // At shift 55 the window spans > 2^63 ns, so any representable event time
+  // lands in-window and RebuildWindow always makes progress.
+  static constexpr int kMaxShift = 55;
+  // A bucket the cursor is about to sort that holds more than kSplitOccupancy
+  // events triggers an immediate Rebalance targeting ~kTargetOccupancy per
+  // bucket, so density spikes never degrade into one giant sorted bucket.
+  static constexpr size_t kSplitOccupancy = 64;
+  static constexpr size_t kTargetOccupancy = 8;
+
+  // Earliest pending event; positions the cursor on it and records whether it
+  // lives in the side heap or the current bucket. Requires size_ > 0.
+  const SimEvent& Front();
+
+  // Narrows the bucket width and redistributes every in-window event so the
+  // dense current bucket spreads to ~kTargetOccupancy events per bucket.
+  // Returns false (no change) when the bucket is pure timestamp ties, which
+  // no width can separate.
+  bool TryRebalance();
+  void RebuildWindow();
+
+  std::array<std::vector<SimEvent>, kNumBuckets> buckets_;
+  // Min-heap (via ExecutesAfter) of events beyond the current window.
+  std::vector<SimEvent> overflow_;
+  // Min-heap of events at or behind the cursor; merged with the current
+  // bucket by Front(). Always drained before the cursor advances.
+  std::vector<SimEvent> side_;
+  // Reused gather buffer for Rebalance (capacity retained across calls).
+  std::vector<SimEvent> rebalance_scratch_;
+  SimTime win_start_ = 0;  // Inclusive start of the bucket window.
+  SimTime floor_ = 0;      // Time of the most recently popped event.
+  int shift_ = kInitialShift;
+  size_t cur_ = 0;        // Bucket the cursor drains next.
+  size_t cur_pos_ = 0;    // Next undrained element of buckets_[cur_].
+  bool cur_sorted_ = false;
+  bool front_in_side_ = false;  // Set by Front(): where the earliest event is.
+  size_t size_ = 0;
+  size_t drained_in_window_ = 0;  // Pops since the last window rebuild.
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_SIM_EVENT_QUEUE_H_

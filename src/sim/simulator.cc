@@ -25,7 +25,10 @@ void Simulator::Schedule(SimDuration delay, Callback fn) {
   if (delay < 0) {
     delay = 0;
   }
-  ScheduleAt(now_ + delay, std::move(fn));
+  // AddClamped saturates at the end of virtual time: a caller passing an
+  // "effectively forever" delay must not wrap into the past (which release
+  // builds would then silently clamp to now, firing the event immediately).
+  ScheduleAt(AddClamped(now_, delay), std::move(fn));
 }
 
 void Simulator::ScheduleAt(SimTime when, Callback fn) {
@@ -33,17 +36,15 @@ void Simulator::ScheduleAt(SimTime when, Callback fn) {
   if (when < now_) {
     when = now_;
   }
-  queue_.push(Event{when, next_seq_++, std::move(fn)});
+  QueuePush(SimEvent{when, next_seq_++, std::move(fn)});
 }
 
-Simulator::Event Simulator::PopEvent() {
-  // The callback may schedule more events; copy out before popping.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
+SimEvent Simulator::PopEvent() {
+  SimEvent ev = queue_kind_ == SimQueueKind::kLadder ? ladder_.PopFront() : heap_.PopFront();
   // The virtual clock never moves backwards, and the queue hands out events in
-  // strict (time, seq) order. A violation here means the heap comparator or an
-  // event mutation corrupted the schedule — every downstream latency number
-  // would be wrong, so fail fast in all build types.
+  // strict (time, seq) order. A violation here means the queue or an event
+  // mutation corrupted the schedule — every downstream latency number would be
+  // wrong, so fail fast in all build types.
   RPCSCOPE_CHECK_GE(ev.time, now_) << "virtual clock would move backwards";
   if (any_executed_) {
     RPCSCOPE_CHECK(ev.time > last_time_ || (ev.time == last_time_ && ev.seq > last_seq_))
@@ -60,8 +61,8 @@ Simulator::Event Simulator::PopEvent() {
 
 uint64_t Simulator::Run() {
   uint64_t executed = 0;
-  while (!queue_.empty()) {
-    Event ev = PopEvent();
+  while (!QueueEmpty()) {
+    SimEvent ev = PopEvent();
     ev.fn();
     ++executed;
   }
@@ -71,8 +72,8 @@ uint64_t Simulator::Run() {
 
 uint64_t Simulator::RunUntil(SimTime until) {
   uint64_t executed = 0;
-  while (!queue_.empty() && queue_.top().time <= until) {
-    Event ev = PopEvent();
+  while (!QueueEmpty() && QueuePeekTime() <= until) {
+    SimEvent ev = PopEvent();
     ev.fn();
     ++executed;
   }

@@ -5,32 +5,41 @@
 // deterministic for a fixed seed. The engine is single-threaded on purpose —
 // concurrency in the modeled system (server worker pools, network links) is
 // expressed as resources over virtual time, not as host threads.
+//
+// Hot-path design (docs/PERF.md): callbacks are SimCallback (inline storage,
+// pooled arena for large captures) and the pending-event set lives in a
+// ladder/calendar queue by default, so steady-state Schedule/dispatch is
+// allocation-free and mostly O(1). The seed binary-heap queue remains
+// available as SimQueueKind::kBinaryHeap; both produce bit-for-bit identical
+// event streams, which the cross-validation test enforces via event_digest().
 #ifndef RPCSCOPE_SRC_SIM_SIMULATOR_H_
 #define RPCSCOPE_SRC_SIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
 
 #include "src/common/check.h"
 #include "src/common/time.h"
+#include "src/sim/callback.h"
+#include "src/sim/event_queue.h"
 
 namespace rpcscope {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SimCallback;
 
-  Simulator() = default;
+  explicit Simulator(SimQueueKind queue_kind = SimQueueKind::kLadder)
+      : queue_kind_(queue_kind) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime Now() const { return now_; }
+  SimQueueKind queue_kind() const { return queue_kind_; }
 
   // Schedules `fn` to run `delay` after the current time (delay >= 0). A
   // negative delay is a caller bug: debug builds DCHECK-fail on it, release
-  // builds clamp it to zero and continue.
+  // builds clamp it to zero and continue. `now + delay` saturates at the end
+  // of virtual time instead of wrapping.
   void Schedule(SimDuration delay, Callback fn);
 
   // Schedules `fn` at an absolute time. Scheduling in the past is a caller
@@ -44,36 +53,41 @@ class Simulator {
   // Advances Now() to `until` even if the queue drains earlier.
   uint64_t RunUntil(SimTime until);
 
-  uint64_t RunFor(SimDuration duration) { return RunUntil(now_ + duration); }
+  // RunUntil(now + duration), saturating instead of wrapping on overflow.
+  uint64_t RunFor(SimDuration duration) { return RunUntil(AddClamped(now_, duration)); }
 
-  bool empty() const { return queue_.empty(); }
+  bool empty() const { return QueueEmpty(); }
   uint64_t events_executed() const { return events_executed_; }
 
   // Order-sensitive digest of every (time, seq) pair executed so far (FNV-1a
   // over the event stream). Two runs of the same seeded workload must produce
-  // identical digests; the determinism regression test and the CI smoke test
-  // diff this value across runs.
+  // identical digests; the determinism regression test, the CI smoke test,
+  // and the ladder-vs-heap cross-validation test diff this value.
   uint64_t event_digest() const { return event_digest_; }
 
  private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;
-    Callback fn;
-  };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) {
-        return a.time > b.time;
-      }
-      return a.seq > b.seq;
+  // Queue operations dispatch on queue_kind_: one perfectly-predicted branch
+  // per op, which keeps both implementations first-class (the reference heap
+  // must stay runnable for cross-validation and benchmarking).
+  void QueuePush(SimEvent ev) {
+    if (queue_kind_ == SimQueueKind::kLadder) {
+      ladder_.Push(std::move(ev));
+    } else {
+      heap_.Push(std::move(ev));
     }
-  };
+  }
+  bool QueueEmpty() const {
+    return queue_kind_ == SimQueueKind::kLadder ? ladder_.Empty() : heap_.Empty();
+  }
+  SimTime QueuePeekTime() {
+    return queue_kind_ == SimQueueKind::kLadder ? ladder_.PeekTime() : heap_.PeekTime();
+  }
 
   // Pops the front event, advances the clock (checking monotonicity and
   // (time, seq) ordering), and folds the event into the digest.
-  Event PopEvent();
+  SimEvent PopEvent();
 
+  SimQueueKind queue_kind_;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t events_executed_ = 0;
@@ -82,7 +96,8 @@ class Simulator {
   SimTime last_time_ = 0;
   uint64_t last_seq_ = 0;
   bool any_executed_ = false;
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  LadderEventQueue ladder_;
+  BinaryHeapEventQueue heap_;
 };
 
 }  // namespace rpcscope

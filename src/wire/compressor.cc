@@ -21,21 +21,40 @@ inline uint32_t HashFour(const uint8_t* p) {
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 
+void WriteStoredBlock(const std::vector<uint8_t>& input, std::vector<uint8_t>& out) {
+  out.clear();
+  out.reserve(input.size() + 10);
+  out.push_back(kStoredBlock);
+  PutVarint64(out, input.size());
+  out.insert(out.end(), input.begin(), input.end());
+}
+
 }  // namespace
 
-std::vector<uint8_t> RatelCompress(const std::vector<uint8_t>& input) {
-  std::vector<uint8_t> out;
+void RatelCompress(const std::vector<uint8_t>& input, RatelScratch& scratch,
+                   std::vector<uint8_t>& out) {
+  out.clear();
   out.reserve(input.size() / 2 + 16);
   out.push_back(kLzBlock);
   PutVarint64(out, input.size());
 
   if (input.size() < kMinMatch + 4) {
-    out[0] = kStoredBlock;
-    out.insert(out.end(), input.begin(), input.end());
-    return out;
+    WriteStoredBlock(input, out);
+    return;
   }
 
-  std::vector<int64_t> head(static_cast<size_t>(1) << kHashBits, -1);
+  // Generation-tagged hash slots: a slot belongs to this call only if its
+  // high 32 bits match the current generation, so reusing the table costs one
+  // counter bump, not a 256 KiB clear. Positions occupy the low 32 bits
+  // (inputs here are messages, far below 4 GiB).
+  constexpr size_t kHashSize = size_t{1} << kHashBits;
+  if (scratch.slots.size() != kHashSize || scratch.generation == UINT32_MAX) {
+    scratch.slots.assign(kHashSize, 0);
+    scratch.generation = 0;
+  }
+  ++scratch.generation;
+  const uint64_t gen_tag = uint64_t{scratch.generation} << 32;
+  uint64_t* const slots = scratch.slots.data();
   const uint8_t* data = input.data();
   const size_t n = input.size();
   size_t pos = 0;
@@ -48,8 +67,10 @@ std::vector<uint8_t> RatelCompress(const std::vector<uint8_t>& input) {
 
   while (pos + kMinMatch <= n) {
     const uint32_t h = HashFour(data + pos);
-    const int64_t candidate = head[h];
-    head[h] = static_cast<int64_t>(pos);
+    const uint64_t slot = slots[h];
+    const int64_t candidate =
+        (slot >> 32) == scratch.generation ? static_cast<int64_t>(slot & 0xffffffff) : -1;
+    slots[h] = gen_tag | static_cast<uint32_t>(pos);
     if (candidate >= 0 && pos - static_cast<size_t>(candidate) <= kMaxOffset &&
         std::memcmp(data + candidate, data + pos, kMinMatch) == 0) {
       // Extend the match.
@@ -64,7 +85,7 @@ std::vector<uint8_t> RatelCompress(const std::vector<uint8_t>& input) {
       // Insert hash entries inside the match so later data can reference it.
       const size_t insert_end = std::min(pos + len, n - kMinMatch);
       for (size_t i = pos + 1; i < insert_end; ++i) {
-        head[HashFour(data + i)] = static_cast<int64_t>(i);
+        slots[HashFour(data + i)] = gen_tag | static_cast<uint32_t>(i);
       }
       pos += len;
       literal_start = pos;
@@ -76,17 +97,19 @@ std::vector<uint8_t> RatelCompress(const std::vector<uint8_t>& input) {
 
   if (out.size() >= input.size() + 1 + VarintSize(input.size())) {
     // Incompressible: fall back to a stored block.
-    std::vector<uint8_t> stored;
-    stored.reserve(input.size() + 10);
-    stored.push_back(kStoredBlock);
-    PutVarint64(stored, input.size());
-    stored.insert(stored.end(), input.begin(), input.end());
-    return stored;
+    WriteStoredBlock(input, out);
   }
+}
+
+std::vector<uint8_t> RatelCompress(const std::vector<uint8_t>& input) {
+  RatelScratch scratch;
+  std::vector<uint8_t> out;
+  RatelCompress(input, scratch, out);
   return out;
 }
 
-Result<std::vector<uint8_t>> RatelDecompress(const std::vector<uint8_t>& block) {
+Status RatelDecompress(const std::vector<uint8_t>& block, std::vector<uint8_t>& out) {
+  out.clear();
   if (block.empty()) {
     return InvalidArgumentError("empty block");
   }
@@ -103,7 +126,6 @@ Result<std::vector<uint8_t>> RatelDecompress(const std::vector<uint8_t>& block) 
   if (original_size > kMaxBlockBytes) {
     return InvalidArgumentError("declared size exceeds the 1 GiB block limit");
   }
-  std::vector<uint8_t> out;
   out.reserve(static_cast<size_t>(std::min<uint64_t>(original_size, 1 << 20)));
 
   if (kind == kStoredBlock) {
@@ -111,7 +133,7 @@ Result<std::vector<uint8_t>> RatelDecompress(const std::vector<uint8_t>& block) 
       return InternalError("stored block size mismatch");
     }
     out.insert(out.end(), block.begin() + static_cast<int64_t>(pos), block.end());
-    return out;
+    return Status::Ok();
   }
   if (kind != kLzBlock) {
     return InvalidArgumentError("unknown block kind");
@@ -151,6 +173,15 @@ Result<std::vector<uint8_t>> RatelDecompress(const std::vector<uint8_t>& block) 
   }
   if (out.size() != original_size) {
     return InternalError("decompressed size mismatch");
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> RatelDecompress(const std::vector<uint8_t>& block) {
+  std::vector<uint8_t> out;
+  Status status = RatelDecompress(block, out);
+  if (!status.ok()) {
+    return status;
   }
   return out;
 }

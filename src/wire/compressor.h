@@ -15,11 +15,32 @@
 
 namespace rpcscope {
 
-// Compresses `input` into a self-describing block. Always succeeds; for
-// incompressible input the output is |input| + small header (a stored block).
+// Reusable compression state. The hash table is ~256 KiB; hot paths (the
+// codec encodes a frame per RPC attempt) hold one of these and reuse it so
+// per-message compression is allocation-free in steady state. Slots are
+// generation-tagged ((generation << 32) | position), so reuse costs a single
+// counter bump instead of a 256 KiB clear per message.
+struct RatelScratch {
+  std::vector<uint64_t> slots;
+  uint32_t generation = 0;
+};
+
+// Compresses `input` into a self-describing block, replacing the contents of
+// `out`. Always succeeds; for incompressible input the output is |input| +
+// small header (a stored block). `scratch` is reset internally and may be
+// reused across calls.
+void RatelCompress(const std::vector<uint8_t>& input, RatelScratch& scratch,
+                   std::vector<uint8_t>& out);
+
+// Convenience wrapper allocating fresh scratch and output (cold paths, tests).
 std::vector<uint8_t> RatelCompress(const std::vector<uint8_t>& input);
 
-// Decompresses a block produced by RatelCompress. Fails on corrupt input.
+// Decompresses a block produced by RatelCompress into `out` (contents
+// replaced). Fails on corrupt input.
+[[nodiscard]] Status RatelDecompress(const std::vector<uint8_t>& block,
+                                     std::vector<uint8_t>& out);
+
+// Convenience wrapper returning a fresh vector (cold paths, tests).
 [[nodiscard]] Result<std::vector<uint8_t>> RatelDecompress(const std::vector<uint8_t>& block);
 
 // Ratio helper: compressed size / original size (1.0 for empty input).

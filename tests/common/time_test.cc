@@ -25,6 +25,22 @@ TEST(TimeTest, FromFloating) {
   EXPECT_EQ(DurationFromSeconds(-3.0), 0);  // Negative saturates at zero.
 }
 
+TEST(TimeTest, AddClampedSaturatesInsteadOfWrapping) {
+  EXPECT_EQ(AddClamped(Seconds(1), Millis(5)), Seconds(1) + Millis(5));
+  EXPECT_EQ(AddClamped(Seconds(1), -Millis(5)), Seconds(1) - Millis(5));
+  // Positive overflow saturates at the end of virtual time.
+  EXPECT_EQ(AddClamped(kMaxSimTime, 1), kMaxSimTime);
+  EXPECT_EQ(AddClamped(Seconds(1), kMaxSimTime), kMaxSimTime);
+  EXPECT_EQ(AddClamped(kMaxSimTime, kMaxSimTime), kMaxSimTime);
+  // Negative overflow saturates at the start.
+  EXPECT_EQ(AddClamped(kMinSimTime, -1), kMinSimTime);
+  EXPECT_EQ(AddClamped(-Seconds(1), kMinSimTime), kMinSimTime);
+  // Exact boundary arithmetic stays exact.
+  EXPECT_EQ(AddClamped(kMaxSimTime - 10, 10), kMaxSimTime);
+  EXPECT_EQ(AddClamped(kMaxSimTime, 0), kMaxSimTime);
+  EXPECT_EQ(AddClamped(kMinSimTime, 0), kMinSimTime);
+}
+
 TEST(TimeTest, FormatPicksUnit) {
   EXPECT_EQ(FormatDuration(Nanos(12)), "12ns");
   EXPECT_EQ(FormatDuration(Micros(657)), "657.0us");

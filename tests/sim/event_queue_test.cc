@@ -1,0 +1,193 @@
+// Cross-validation of the ladder queue against the reference binary heap.
+//
+// The two queues must be observably identical: any interleaving of pushes and
+// pops yields the same (time, seq) sequence from both. The randomized test
+// drives both through the same op stream the way the simulator does (pushed
+// times never precede the last popped time), mixing same-time ties, far-future
+// jumps that land in the overflow heap, and full drain/refill cycles that
+// force window rebuilds.
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/simulator.h"
+
+namespace rpcscope {
+namespace {
+
+using TimeSeq = std::pair<SimTime, uint64_t>;
+
+SimEvent MakeEvent(SimTime time, uint64_t seq) {
+  SimEvent ev;
+  ev.time = time;
+  ev.seq = seq;
+  ev.fn = SimCallback([] {});
+  return ev;
+}
+
+TEST(EventQueueTest, LadderMatchesHeapOnSequentialPops) {
+  LadderEventQueue ladder;
+  BinaryHeapEventQueue heap;
+  uint64_t seq = 0;
+  for (SimTime t : {Millis(3), Millis(1), Millis(2), Millis(1), SimTime{0}}) {
+    ladder.Push(MakeEvent(t, seq));
+    heap.Push(MakeEvent(t, seq));
+    ++seq;
+  }
+  while (!heap.Empty()) {
+    ASSERT_FALSE(ladder.Empty());
+    EXPECT_EQ(ladder.PeekTime(), heap.PeekTime());
+    const SimEvent a = ladder.PopFront();
+    const SimEvent b = heap.PopFront();
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.seq, b.seq);
+  }
+  EXPECT_TRUE(ladder.Empty());
+}
+
+TEST(EventQueueTest, FarFutureEventsGoThroughOverflowIntact) {
+  LadderEventQueue ladder;
+  BinaryHeapEventQueue heap;
+  // Events far beyond the initial 2 ms window, interleaved with near ones.
+  uint64_t seq = 0;
+  for (SimTime t : {Seconds(20), Micros(5), Seconds(3), Micros(9), Hours(1),
+                    Seconds(3), Micros(5)}) {
+    ladder.Push(MakeEvent(t, seq));
+    heap.Push(MakeEvent(t, seq));
+    ++seq;
+  }
+  std::vector<TimeSeq> from_ladder;
+  std::vector<TimeSeq> from_heap;
+  while (!ladder.Empty()) {
+    const SimEvent ev = ladder.PopFront();
+    from_ladder.emplace_back(ev.time, ev.seq);
+  }
+  while (!heap.Empty()) {
+    const SimEvent ev = heap.PopFront();
+    from_heap.emplace_back(ev.time, ev.seq);
+  }
+  EXPECT_EQ(from_ladder, from_heap);
+}
+
+TEST(EventQueueTest, PushBehindPeekedCursorStaysOrdered) {
+  LadderEventQueue ladder;
+  // Seed one event well into the window, peek so the cursor walks past the
+  // empty buckets before it, then push earlier events into that skipped span.
+  ladder.Push(MakeEvent(Micros(1000), 0));
+  EXPECT_EQ(ladder.PeekTime(), Micros(1000));
+  ladder.Push(MakeEvent(Micros(10), 1));
+  ladder.Push(MakeEvent(Micros(500), 2));
+  EXPECT_EQ(ladder.PeekTime(), Micros(10));
+
+  std::vector<TimeSeq> order;
+  while (!ladder.Empty()) {
+    const SimEvent ev = ladder.PopFront();
+    order.emplace_back(ev.time, ev.seq);
+  }
+  EXPECT_EQ(order, (std::vector<TimeSeq>{
+                       {Micros(10), 1}, {Micros(500), 2}, {Micros(1000), 0}}));
+}
+
+TEST(EventQueueTest, RandomizedInterleavedOpsMatchReferenceExactly) {
+  Rng rng(0xbadf00d);
+  LadderEventQueue ladder;
+  BinaryHeapEventQueue heap;
+  SimTime now = 0;  // Simulator invariant: pushes never precede the last pop.
+  uint64_t seq = 0;
+  uint64_t pops = 0;
+  for (int op = 0; op < 200000; ++op) {
+    const bool push = heap.Empty() || rng.NextDouble() < 0.55;
+    if (push) {
+      SimDuration delta;
+      const double r = rng.NextDouble();
+      if (r < 0.70) {
+        delta = static_cast<SimDuration>(rng.NextBounded(Micros(50)));  // Dense.
+      } else if (r < 0.95) {
+        delta = static_cast<SimDuration>(rng.NextBounded(Millis(5)));   // Window edge.
+      } else {
+        delta = static_cast<SimDuration>(rng.NextBounded(Seconds(30))); // Overflow.
+      }
+      if (rng.NextDouble() < 0.05) {
+        delta = 0;  // Same-time tie with the current floor.
+      }
+      ladder.Push(MakeEvent(now + delta, seq));
+      heap.Push(MakeEvent(now + delta, seq));
+      ++seq;
+    } else {
+      ASSERT_EQ(ladder.PeekTime(), heap.PeekTime()) << "op " << op;
+      const SimEvent a = ladder.PopFront();
+      const SimEvent b = heap.PopFront();
+      ASSERT_EQ(a.time, b.time) << "op " << op;
+      ASSERT_EQ(a.seq, b.seq) << "op " << op;
+      now = a.time;
+      ++pops;
+    }
+    ASSERT_EQ(ladder.Size(), heap.Size());
+  }
+  // Full drain at the end exercises window rebuilds over the whole backlog.
+  while (!heap.Empty()) {
+    const SimEvent a = ladder.PopFront();
+    const SimEvent b = heap.PopFront();
+    ASSERT_EQ(a.time, b.time);
+    ASSERT_EQ(a.seq, b.seq);
+    ++pops;
+  }
+  EXPECT_TRUE(ladder.Empty());
+  EXPECT_EQ(pops, seq);
+}
+
+TEST(EventQueueTest, BucketWidthAdaptsToDensity) {
+  LadderEventQueue sparse;
+  const int initial = sparse.width_shift();
+  // A long sparse phase (one event per ~50 ms) must widen the buckets.
+  SimTime t = 0;
+  uint64_t seq = 0;
+  for (int i = 0; i < 64; ++i) {
+    t += Millis(50);
+    sparse.Push(MakeEvent(t, seq++));
+    (void)sparse.PopFront();
+  }
+  EXPECT_GT(sparse.width_shift(), initial);
+}
+
+// Simulator-level cross-validation: identical workloads on both queue kinds
+// must produce identical event digests (the determinism fingerprint folds
+// every executed (time, seq) pair in order).
+TEST(EventQueueTest, SimulatorDigestIdenticalAcrossQueueKinds) {
+  auto run = [](SimQueueKind kind) {
+    Simulator sim(kind);
+    Rng rng(0x5eed);
+    // Self-rescheduling chains with random fan-out: a workload whose event
+    // interleaving covers ties, bursts, and long jumps.
+    std::function<void(int)> spawn = [&](int depth) {
+      if (depth >= 6) {
+        return;
+      }
+      const int children = 1 + static_cast<int>(rng.NextBounded(3));
+      for (int c = 0; c < children; ++c) {
+        const SimDuration d = static_cast<SimDuration>(rng.NextBounded(Millis(20)));
+        sim.Schedule(d, [&spawn, depth] { spawn(depth + 1); });
+      }
+    };
+    for (int i = 0; i < 8; ++i) {
+      sim.Schedule(static_cast<SimDuration>(rng.NextBounded(Micros(100))),
+                   [&spawn] { spawn(0); });
+    }
+    sim.Schedule(Hours(2), [] {});  // One far-future overflow resident.
+    sim.Run();
+    return std::pair<uint64_t, uint64_t>(sim.events_executed(), sim.event_digest());
+  };
+  const auto ladder = run(SimQueueKind::kLadder);
+  const auto heap = run(SimQueueKind::kBinaryHeap);
+  EXPECT_EQ(ladder.first, heap.first);
+  EXPECT_EQ(ladder.second, heap.second);
+  EXPECT_GT(ladder.first, 100u);
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -97,6 +97,65 @@ TEST(SimulatorTest, ScheduleAtInThePastClampedInReleaseDiesInDebug) {
   sim.Run();
 }
 
+TEST(SimulatorTest, RunUntilQueueDrainsEarlyStillAdvancesToBoundary) {
+  Simulator sim;
+  int hits = 0;
+  sim.Schedule(Millis(2), [&] { ++hits; });
+  const uint64_t executed = sim.RunUntil(Millis(50));
+  EXPECT_EQ(executed, 1u);
+  EXPECT_EQ(hits, 1);
+  // The queue drained at 2 ms but virtual time still reaches the boundary.
+  EXPECT_EQ(sim.Now(), Millis(50));
+}
+
+TEST(SimulatorTest, RunUntilEventExactlyAtBoundaryRuns) {
+  Simulator sim;
+  int hits = 0;
+  sim.Schedule(Millis(10), [&] { ++hits; });
+  sim.Schedule(Millis(10) + 1, [&] { ++hits; });
+  sim.RunUntil(Millis(10));
+  // An event at exactly `until` executes; one a nanosecond later does not.
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(sim.Now(), Millis(10));
+  sim.Run();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(SimulatorTest, RunUntilInThePastIsANoOp) {
+  Simulator sim;
+  sim.RunUntil(Millis(20));
+  int hits = 0;
+  sim.Schedule(Millis(5), [&] { ++hits; });
+  const uint64_t executed = sim.RunUntil(Millis(10));  // Before Now().
+  EXPECT_EQ(executed, 0u);
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(sim.Now(), Millis(20));  // Clock never moves backwards.
+  sim.Run();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SimulatorTest, ScheduleClampsAtMaxSimTimeInsteadOfOverflowing) {
+  Simulator sim;
+  sim.RunUntil(Seconds(1));
+  SimTime seen = 0;
+  // now_ + kMaxSimTime would overflow; the event must land at kMaxSimTime.
+  sim.Schedule(kMaxSimTime, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, kMaxSimTime);
+}
+
+TEST(SimulatorTest, RunForClampsAtMaxSimTime) {
+  Simulator sim;
+  sim.RunUntil(Seconds(5));
+  int hits = 0;
+  sim.Schedule(Seconds(1), [&] { ++hits; });
+  // RunFor(max duration) saturates to kMaxSimTime rather than wrapping to a
+  // boundary in the past (which would silently run nothing).
+  sim.RunFor(kMaxSimTime);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(sim.Now(), kMaxSimTime);
+}
+
 TEST(SimulatorTest, EventDigestIsOrderSensitive) {
   Simulator a;
   a.Schedule(Millis(1), [] {});

@@ -64,6 +64,28 @@ TEST(DeterminismTest, SameSeedReproducesIdenticalEventStreamAndSpans) {
   EXPECT_EQ(a.spans_per_service, b.spans_per_service);
 }
 
+TEST(DeterminismTest, LadderAndHeapQueuesProduceBitForBitIdenticalRuns) {
+  // The ladder queue is a pure performance substitution: the same fleet on
+  // the reference binary heap must execute the identical event stream and
+  // emit the identical spans, bit for bit.
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  MiniFleetOptions ladder_opts = TestOptions(0xf1ee7);
+  ladder_opts.sim_queue = SimQueueKind::kLadder;
+  MiniFleetOptions heap_opts = TestOptions(0xf1ee7);
+  heap_opts.sim_queue = SimQueueKind::kBinaryHeap;
+
+  const MiniFleetResult ladder = RunMiniFleet(catalog, ladder_opts);
+  const MiniFleetResult heap = RunMiniFleet(catalog, heap_opts);
+
+  EXPECT_GT(ladder.events_executed, 0u);
+  EXPECT_EQ(ladder.events_executed, heap.events_executed);
+  EXPECT_EQ(ladder.event_digest, heap.event_digest);
+  EXPECT_EQ(ladder.root_calls, heap.root_calls);
+  EXPECT_EQ(ladder.spans.size(), heap.spans.size());
+  EXPECT_EQ(HashSpans(ladder.spans), HashSpans(heap.spans));
+  EXPECT_EQ(ladder.spans_per_service, heap.spans_per_service);
+}
+
 TEST(DeterminismTest, DifferentSeedProducesDifferentEventStream) {
   const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
   const MiniFleetResult a = RunMiniFleet(catalog, TestOptions(0xf1ee7));

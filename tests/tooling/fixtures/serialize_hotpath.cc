@@ -1,0 +1,28 @@
+// Lint fixture: vector-returning Message::Serialize() on the wire path.
+// Linted under the pretend path src/rpc/serialize_hotpath.cc.
+#include <cstdint>
+#include <vector>
+
+namespace rpcscope {
+
+struct Msg {
+  std::vector<uint8_t> Serialize() const { return {}; }
+  void SerializeTo(std::vector<uint8_t>& out) const { out.clear(); }
+};
+
+void Encode(const Msg& m, Msg* pm, std::vector<uint8_t>& scratch) {
+  auto a = m.Serialize();          // line 14: rpcscope-serialize-hotpath
+  auto b = pm->Serialize();        // line 15: rpcscope-serialize-hotpath
+  m.SerializeTo(scratch);          // clean: the buffer-reusing form
+  auto c = pm -> Serialize();      // line 17: spaced member access still fires
+  // NOLINTNEXTLINE(rpcscope-serialize-hotpath)
+  auto d = m.Serialize();
+  auto e = m.Serialize();  // NOLINT(rpcscope-serialize-hotpath)
+  (void)a;
+  (void)b;
+  (void)c;
+  (void)d;
+  (void)e;
+}
+
+}  // namespace rpcscope

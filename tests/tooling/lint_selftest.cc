@@ -112,6 +112,23 @@ TEST(LintSelfTest, CoutRuleDoesNotApplyOutsideSrc) {
   EXPECT_TRUE(findings.empty());
 }
 
+TEST(LintSelfTest, SerializeHotpathRule) {
+  const auto findings =
+      LintFile("src/rpc/serialize_hotpath.cc", ReadFixture("serialize_hotpath.cc"), {});
+  EXPECT_EQ(Summarize(findings), (std::vector<std::pair<int, std::string>>{
+                                     {14, "rpcscope-serialize-hotpath"},
+                                     {15, "rpcscope-serialize-hotpath"},
+                                     {17, "rpcscope-serialize-hotpath"},
+                                 }));
+}
+
+TEST(LintSelfTest, SerializeHotpathRuleDoesNotApplyOutsideSrc) {
+  // Tests and benches may use the allocating convenience form freely.
+  const auto findings =
+      LintFile("bench/serialize_hotpath.cc", ReadFixture("serialize_hotpath.cc"), {});
+  EXPECT_TRUE(findings.empty());
+}
+
 TEST(LintSelfTest, CollectFallibleFunctionsFindsDeclarations) {
   const std::string header = R"(
     Status DoWrite(int fd);

@@ -377,6 +377,20 @@ std::vector<Finding> LintFile(const std::string& rel_path, const std::string& co
     }
   }
 
+  // --- rpcscope-serialize-hotpath -------------------------------------------
+  if (in_src) {
+    // Matches member calls `.Serialize(` / `->Serialize(`. The definition
+    // (`Message::Serialize`) and the SerializeTo() replacement do not match.
+    static const std::regex kSerializeCall(R"((\.|->)\s*Serialize\s*\()");
+    for (size_t i = 0; i < lines.size(); ++i) {
+      if (std::regex_search(lines[i], kSerializeCall)) {
+        add(i, "rpcscope-serialize-hotpath",
+            "vector-returning Serialize() allocates per message on the wire path; "
+            "use SerializeTo() with a reused buffer (see docs/PERF.md)");
+      }
+    }
+  }
+
   // --- rpcscope-cout --------------------------------------------------------
   if (in_src) {
     static const RulePattern kStdout[] = {

@@ -17,6 +17,12 @@
 //   rpcscope-cout              std::cout / printf in library code (src/);
 //                              libraries report through Status and ostream&
 //                              parameters, never the process's stdout.
+//   rpcscope-serialize-hotpath calls to the vector-returning
+//                              Message::Serialize() in src/ — library code
+//                              sits on the per-RPC wire path and must use
+//                              SerializeTo() into a reused buffer
+//                              (docs/PERF.md); the allocating form is for
+//                              tests and tools only.
 //
 // Any finding is suppressible on its line with // NOLINT(rpcscope-<rule>) or
 // on the preceding line with // NOLINTNEXTLINE(rpcscope-<rule>);

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds bench_simcore in Release mode and refreshes the tracked perf
+# baseline (BENCH_simcore.json at the repo root). See docs/PERF.md.
+#
+# Usage: tools/run_bench_simcore.sh [extra --benchmark_* flags...]
+# Note: the system google-benchmark wants --benchmark_min_time as a plain
+# double (seconds); the "0.1s" suffix form is rejected.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build-rel}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" --target bench_simcore -j >/dev/null
+
+"$BUILD/bench/bench_simcore" \
+  --benchmark_out="$ROOT/BENCH_simcore.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.3 \
+  "$@"
+
+echo "Wrote $ROOT/BENCH_simcore.json"
