@@ -1,0 +1,47 @@
+#include "src/fault/fault_plan.h"
+
+namespace rpcscope {
+
+Status FaultPlan::Validate() const {
+  for (const CrashFault& c : crashes) {
+    if (c.machine < 0) {
+      return InvalidArgumentError("crash fault: machine must be >= 0");
+    }
+    if (c.at < 0) {
+      return InvalidArgumentError("crash fault: crash time must be >= 0");
+    }
+    if (c.restart_at != 0 && c.restart_at <= c.at) {
+      return InvalidArgumentError("crash fault: restart must come after the crash");
+    }
+  }
+  for (const PartitionFault& p : partitions) {
+    if (p.group_a.empty() || p.group_b.empty()) {
+      return InvalidArgumentError("partition fault: both groups must be non-empty");
+    }
+    if (p.end <= p.start) {
+      return InvalidArgumentError("partition fault: window must have end > start");
+    }
+  }
+  for (const PacketLossFault& l : losses) {
+    if (l.loss_probability < 0.0 || l.loss_probability > 1.0) {
+      return InvalidArgumentError("packet loss fault: probability must be in [0, 1]");
+    }
+    if (l.end <= l.start) {
+      return InvalidArgumentError("packet loss fault: window must have end > start");
+    }
+  }
+  for (const GraySlowFault& g : gray_slowdowns) {
+    if (g.machine < 0) {
+      return InvalidArgumentError("gray-slow fault: machine must be >= 0");
+    }
+    if (g.factor < 1.0) {
+      return InvalidArgumentError("gray-slow fault: factor must be >= 1");
+    }
+    if (g.end <= g.start) {
+      return InvalidArgumentError("gray-slow fault: window must have end > start");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,75 @@
+// FaultPlan: a declarative, replayable timeline of infrastructure faults.
+//
+// A plan is plain data — machine crashes/restarts, network partitions,
+// per-path packet loss, and gray-failure slowdowns, each with virtual-time
+// windows — validated up front and executed by the FaultInjector against a
+// running RpcSystem. Because everything is scheduled on the simulator's
+// virtual clock and all randomness comes from a seeded stream, the same plan
+// against the same workload replays bit-for-bit (asserted via event digests).
+#ifndef RPCSCOPE_SRC_FAULT_FAULT_PLAN_H_
+#define RPCSCOPE_SRC_FAULT_FAULT_PLAN_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/time.h"
+#include "src/net/topology.h"
+
+namespace rpcscope {
+
+// Kills the server process on `machine` at `at`: queued pipeline work is
+// dropped and every in-flight call is answered with UNAVAILABLE (connection
+// reset). If restart_at > at, the machine comes back empty at that instant;
+// restart_at == 0 means it stays down.
+struct CrashFault {
+  MachineId machine = -1;
+  SimTime at = 0;
+  SimTime restart_at = 0;
+};
+
+// Full bidirectional partition between every machine in group_a and every
+// machine in group_b during [start, end): frames silently vanish, exactly as
+// a real partition looks to the endpoints (no resets — watchdogs fire).
+struct PartitionFault {
+  std::vector<MachineId> group_a;
+  std::vector<MachineId> group_b;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+// Random per-frame loss on a path during [start, end). src/dst of -1 are
+// wildcards (any machine); bidirectional also matches the reverse path.
+struct PacketLossFault {
+  MachineId src = -1;
+  MachineId dst = -1;
+  double loss_probability = 0.0;
+  SimTime start = 0;
+  SimTime end = 0;
+  bool bidirectional = true;
+};
+
+// Gray failure: `machine` keeps answering, but its application work runs
+// `factor` times slower during [start, end) — the failure mode health checks
+// miss and outlier ejection (latency_threshold) exists to catch.
+struct GraySlowFault {
+  MachineId machine = -1;
+  double factor = 1.0;
+  SimTime start = 0;
+  SimTime end = 0;
+};
+
+struct FaultPlan {
+  std::vector<CrashFault> crashes;
+  std::vector<PartitionFault> partitions;
+  std::vector<PacketLossFault> losses;
+  std::vector<GraySlowFault> gray_slowdowns;
+
+  // Structural validation (windows ordered, probabilities in range, machines
+  // and factors sane). Does not check machines against a topology — plans
+  // may be authored before deployment.
+  [[nodiscard]] Status Validate() const;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_FAULT_FAULT_PLAN_H_

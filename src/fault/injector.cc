@@ -1,0 +1,157 @@
+#include "src/fault/injector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/rpc/server.h"
+
+namespace rpcscope {
+
+namespace {
+
+bool Contains(const std::vector<MachineId>& sorted, MachineId m) {
+  return std::binary_search(sorted.begin(), sorted.end(), m);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(RpcSystem* system, FaultPlan plan, const Options& options)
+    : system_(system),
+      plan_(std::move(plan)),
+      options_(options),
+      drop_rng_(Mix64(options.seed ^ system->options().seed)),
+      crashes_counter_(&system->metrics().GetCounter("fault.crashes")),
+      restarts_counter_(&system->metrics().GetCounter("fault.restarts")),
+      partition_drops_counter_(&system->metrics().GetCounter("fault.partition_drops")),
+      loss_drops_counter_(&system->metrics().GetCounter("fault.loss_drops")),
+      gray_windows_counter_(&system->metrics().GetCounter("fault.gray_windows")) {}
+
+FaultInjector::FaultInjector(RpcSystem* system, FaultPlan plan)
+    : FaultInjector(system, std::move(plan), Options{}) {}
+
+FaultInjector::~FaultInjector() {
+  if (system_->fabric().interceptor() == this) {
+    system_->fabric().set_interceptor(nullptr);
+  }
+}
+
+void FaultInjector::ScheduleCrash(const CrashFault& fault) {
+  Simulator& sim = system_->sim();
+  const MachineId machine = fault.machine;
+  sim.ScheduleAt(std::max(fault.at, sim.Now()), [this, machine]() {
+    Server* server = system_->ServerAt(machine);
+    if (server == nullptr || !server->up()) {
+      return;
+    }
+    server->Crash();
+    ++crashes_applied_;
+    crashes_counter_->Increment();
+  });
+  if (fault.restart_at > fault.at) {
+    sim.ScheduleAt(std::max(fault.restart_at, sim.Now()), [this, machine]() {
+      Server* server = system_->ServerAt(machine);
+      if (server == nullptr || server->up()) {
+        return;
+      }
+      server->Restart();
+      ++restarts_applied_;
+      restarts_counter_->Increment();
+    });
+  }
+}
+
+void FaultInjector::ScheduleGray(size_t gray_index) {
+  Simulator& sim = system_->sim();
+  const GraySlowFault& fault = plan_.gray_slowdowns[gray_index];
+  const MachineId machine = fault.machine;
+  const double factor = fault.factor;
+  sim.ScheduleAt(std::max(fault.start, sim.Now()), [this, gray_index, machine, factor]() {
+    Server* server = system_->ServerAt(machine);
+    if (server == nullptr) {
+      return;
+    }
+    gray_saved_factor_[gray_index] = server->options().app_speed_factor;
+    server->set_app_speed_factor(gray_saved_factor_[gray_index] * factor);
+    ++gray_windows_applied_;
+    gray_windows_counter_->Increment();
+  });
+  sim.ScheduleAt(std::max(fault.end, sim.Now()), [this, gray_index, machine]() {
+    Server* server = system_->ServerAt(machine);
+    if (server == nullptr || gray_saved_factor_[gray_index] == 0) {
+      return;  // The start event never fired (no server then, either).
+    }
+    server->set_app_speed_factor(gray_saved_factor_[gray_index]);
+  });
+}
+
+Status FaultInjector::Arm() {
+  if (armed_) {
+    return InvalidArgumentError("fault injector already armed");
+  }
+  Status valid = plan_.Validate();
+  if (!valid.ok()) {
+    return valid;
+  }
+  armed_ = true;
+
+  for (const CrashFault& fault : plan_.crashes) {
+    ScheduleCrash(fault);
+  }
+  gray_saved_factor_.assign(plan_.gray_slowdowns.size(), 0.0);
+  for (size_t i = 0; i < plan_.gray_slowdowns.size(); ++i) {
+    ScheduleGray(i);
+  }
+  armed_partitions_.reserve(plan_.partitions.size());
+  for (const PartitionFault& fault : plan_.partitions) {
+    ArmedPartition armed;
+    armed.group_a = fault.group_a;
+    armed.group_b = fault.group_b;
+    std::sort(armed.group_a.begin(), armed.group_a.end());
+    std::sort(armed.group_b.begin(), armed.group_b.end());
+    armed.start = fault.start;
+    armed.end = fault.end;
+    armed_partitions_.push_back(std::move(armed));
+  }
+  // Partitions and packet loss act on frames, so the injector hooks the
+  // fabric (crash replies included: a reset racing a partition is lost).
+  if (!armed_partitions_.empty() || !plan_.losses.empty()) {
+    system_->fabric().set_interceptor(this);
+  }
+  return Status::Ok();
+}
+
+bool FaultInjector::OnSend(MachineId src, MachineId dst, int64_t /*bytes*/) {
+  const SimTime now = system_->sim().Now();
+  for (const ArmedPartition& p : armed_partitions_) {
+    if (now < p.start || now >= p.end) {
+      continue;
+    }
+    if ((Contains(p.group_a, src) && Contains(p.group_b, dst)) ||
+        (Contains(p.group_a, dst) && Contains(p.group_b, src))) {
+      ++partition_drops_;
+      partition_drops_counter_->Increment();
+      return true;
+    }
+  }
+  for (const PacketLossFault& l : plan_.losses) {
+    if (now < l.start || now >= l.end) {
+      continue;
+    }
+    const bool forward = (l.src < 0 || l.src == src) && (l.dst < 0 || l.dst == dst);
+    const bool reverse =
+        l.bidirectional && (l.src < 0 || l.src == dst) && (l.dst < 0 || l.dst == src);
+    if (!forward && !reverse) {
+      continue;
+    }
+    // The RNG is drawn only for matched frames inside an active window, so
+    // the draw sequence — and with it the whole run — is plan-deterministic.
+    if (drop_rng_.NextDouble() < l.loss_probability) {
+      ++loss_drops_;
+      loss_drops_counter_->Increment();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,89 @@
+// FaultInjector: executes a FaultPlan against a running RpcSystem.
+//
+// Crashes and gray-failure windows are scheduled as simulator events that
+// call into the target Server; partitions and packet loss are enforced by
+// installing the injector as the fabric's FabricInterceptor and window-
+// checking each frame against the plan in virtual time. All loss randomness
+// comes from one seeded stream whose draws happen only for frames matched by
+// an active loss window, so a given (plan, workload, seed) triple replays
+// bit-for-bit — chaos runs are debuggable, not merely repeatable on average.
+#ifndef RPCSCOPE_SRC_FAULT_INJECTOR_H_
+#define RPCSCOPE_SRC_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/fault/fault_plan.h"
+#include "src/monitor/metrics.h"
+#include "src/net/fabric.h"
+#include "src/rpc/rpc_system.h"
+
+namespace rpcscope {
+
+class FaultInjector : public FabricInterceptor {
+ public:
+  struct Options {
+    uint64_t seed = 0xfa017;
+  };
+
+  FaultInjector(RpcSystem* system, FaultPlan plan, const Options& options);
+  FaultInjector(RpcSystem* system, FaultPlan plan);  // Default Options.
+  ~FaultInjector() override;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Validates the plan, schedules every crash/restart/gray window on the
+  // simulator, and installs the fabric hook. Call once, before (or during)
+  // the run; faults whose time is already past fire immediately.
+  [[nodiscard]] Status Arm();
+
+  // FabricInterceptor: true = drop the frame (partition or packet loss).
+  bool OnSend(MachineId src, MachineId dst, int64_t bytes) override;
+
+  // Injection accounting (also mirrored into RpcSystem::metrics() under
+  // fault.crashes / fault.restarts / fault.partition_drops / fault.loss_drops
+  // / fault.gray_windows).
+  uint64_t crashes_applied() const { return crashes_applied_; }
+  uint64_t restarts_applied() const { return restarts_applied_; }
+  uint64_t partition_drops() const { return partition_drops_; }
+  uint64_t loss_drops() const { return loss_drops_; }
+  uint64_t gray_windows_applied() const { return gray_windows_applied_; }
+
+ private:
+  // A partition with its groups sorted for binary-search membership tests.
+  struct ArmedPartition {
+    std::vector<MachineId> group_a;
+    std::vector<MachineId> group_b;
+    SimTime start = 0;
+    SimTime end = 0;
+  };
+
+  void ScheduleCrash(const CrashFault& fault);
+  void ScheduleGray(size_t gray_index);
+
+  RpcSystem* system_;
+  FaultPlan plan_;
+  Options options_;
+  Rng drop_rng_;
+  bool armed_ = false;
+  std::vector<ArmedPartition> armed_partitions_;
+  // Original app_speed_factor per gray fault, captured at window start.
+  std::vector<double> gray_saved_factor_;
+  uint64_t crashes_applied_ = 0;
+  uint64_t restarts_applied_ = 0;
+  uint64_t partition_drops_ = 0;
+  uint64_t loss_drops_ = 0;
+  uint64_t gray_windows_applied_ = 0;
+  Counter* crashes_counter_;
+  Counter* restarts_counter_;
+  Counter* partition_drops_counter_;
+  Counter* loss_drops_counter_;
+  Counter* gray_windows_counter_;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_FAULT_INJECTOR_H_

@@ -63,12 +63,12 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   auto f1 = deploy(ids.f1, 2, 8);
   auto ml = deploy(ids.ml_inference, 2, 8);
 
-  // Helper: issue a child call linked to the parent span.
+  // Helper: issue a child call linked to the parent span, inheriting the
+  // parent's remaining deadline (ChildOptions fills trace linkage and
+  // parent_deadline_time).
   auto child_call = [](Deployment& target, std::shared_ptr<ServerCall> parent,
                        int64_t request_bytes, CallCallback done) {
-    CallOptions opts;
-    opts.trace_id = parent->trace_id();
-    opts.parent_span_id = parent->span_id();
+    CallOptions opts = parent->ChildOptions();
     opts.service_id = target.service_id;
     const MachineId machine = target.Pick(*target.rng);
     target.client->Call(machine, kServe, Payload::Modeled(request_bytes), opts,

@@ -39,6 +39,11 @@ SimDuration Fabric::SampleOneWayLatency(MachineId src, MachineId dst, int64_t by
 void Fabric::Send(MachineId src, MachineId dst, int64_t bytes, Delivery on_delivered) {
   ++messages_sent_;
   bytes_sent_ += bytes;
+  // Fault hook: one perfectly-predicted branch when no injector is armed.
+  if (interceptor_ != nullptr && interceptor_->OnSend(src, dst, bytes)) {
+    ++frames_dropped_;
+    return;  // The frame is lost; on_delivered is destroyed unfired.
+  }
   const SimDuration latency = SampleOneWayLatency(src, dst, bytes);
   sim_->Schedule(latency, [latency, done = std::move(on_delivered)]() { done(latency); });
 }

@@ -34,6 +34,20 @@ struct FabricOptions {
   uint64_t seed = 0xfab;
 };
 
+// Hook consulted once per frame before delivery is scheduled. Used by the
+// fault-injection layer (src/fault) to model partitions and packet loss
+// without the fabric depending on it. Implementations must be deterministic
+// (seeded Rng, virtual time only) — the fabric sits on the hot path and every
+// drop decision feeds the event digest.
+class FabricInterceptor {
+ public:
+  virtual ~FabricInterceptor() = default;
+
+  // Returns true to drop the frame: it is never delivered and the sender is
+  // not notified (lost frames surface via client-side watchdogs/deadlines).
+  virtual bool OnSend(MachineId src, MachineId dst, int64_t bytes) = 0;
+};
+
 class Fabric {
  public:
   using Delivery = std::function<void(SimDuration wire_latency)>;
@@ -51,16 +65,26 @@ class Fabric {
   // Deterministic minimum (no congestion) one-way latency for a path.
   SimDuration MinOneWayLatency(MachineId src, MachineId dst, int64_t bytes) const;
 
+  // Installs (or clears, with nullptr) the fault-injection hook. The
+  // interceptor must outlive the fabric or be cleared before destruction.
+  void set_interceptor(FabricInterceptor* interceptor) { interceptor_ = interceptor; }
+  FabricInterceptor* interceptor() const { return interceptor_; }
+
+  // messages_sent/bytes_sent count send *attempts*; frames_dropped counts the
+  // subset the interceptor swallowed (partition or packet loss).
   uint64_t messages_sent() const { return messages_sent_; }
   int64_t bytes_sent() const { return bytes_sent_; }
+  uint64_t frames_dropped() const { return frames_dropped_; }
 
  private:
   Simulator* sim_;
   const Topology* topology_;
   FabricOptions options_;
   Rng rng_;
+  FabricInterceptor* interceptor_ = nullptr;
   uint64_t messages_sent_ = 0;
   int64_t bytes_sent_ = 0;
+  uint64_t frames_dropped_ = 0;
 };
 
 }  // namespace rpcscope

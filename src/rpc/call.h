@@ -30,10 +30,27 @@ struct CallOptions {
 
   // Retries on UNAVAILABLE (e.g. no server at the target machine): truncated
   // exponential backoff with full jitter — attempt k waits
-  // U(0, min(retry_backoff * 2^k, retry_backoff_cap)).
+  // U(0, min(retry_backoff * 2^k, retry_backoff_cap)). Retries additionally
+  // draw from the client's retry budget when one is configured
+  // (ClientOptions::retry_budget), so a dead backend cannot trigger a
+  // fleet-wide retry storm.
   int max_retries = 0;
   SimDuration retry_backoff = Millis(5);
   SimDuration retry_backoff_cap = Seconds(2);
+
+  // Per-attempt transport watchdog: if an attempt has produced no reply
+  // after this long (frame lost to a partition / packet loss, or a server
+  // that died without a reset), the attempt fails with UNAVAILABLE so
+  // retries and hedges can proceed instead of the call hanging until its
+  // deadline (or forever). 0 disables the watchdog.
+  SimDuration attempt_timeout = 0;
+
+  // Deadline propagation: absolute deadline inherited from the parent call.
+  // The effective deadline is clamped so this call never outlives the
+  // parent's remaining budget; a call issued after the parent's deadline
+  // fails immediately without burning downstream cycles. 0 = no parent
+  // budget. ServerCall::ChildOptions() fills this in for nested calls.
+  SimTime parent_deadline_time = 0;
 
   // Trace linkage; zero trace_id starts a new root trace.
   TraceId trace_id = 0;

@@ -5,6 +5,13 @@
 // fleet balancer is latency-aware, not CPU-aware), applies the service's
 // default call policy (deadline, retries, hedging against a second backend),
 // and keeps per-backend outstanding-call counts for least-loaded picking.
+//
+// Outlier ejection (docs/ROBUSTNESS.md): with ChannelOptions::outlier enabled
+// the channel tracks per-backend success/latency over a rolling window,
+// ejects backends whose failure (or slow-success) rate crosses the threshold
+// for an exponentially backed-off window, then readmits them only after a
+// single successful canary probe. This is what turns a crashed, partitioned,
+// or gray-slow backend from a per-call tax into a one-time detection cost.
 #ifndef RPCSCOPE_SRC_RPC_CHANNEL_H_
 #define RPCSCOPE_SRC_RPC_CHANNEL_H_
 
@@ -26,6 +33,37 @@ enum class PickPolicy : int32_t {
   kNearest = 3,
 };
 
+// Per-backend circuit breaking. A backend is kHealthy (picked normally),
+// kEjected (receives no picks until its window expires), or kProbing (its
+// ejection window expired and exactly one canary call is in flight; the
+// canary's outcome decides readmission vs. re-ejection with longer backoff).
+enum class BackendHealth : int32_t {
+  kHealthy = 0,
+  kEjected = 1,
+  kProbing = 2,
+};
+
+struct OutlierEjectionOptions {
+  bool enabled = false;
+  // Rolling stats window (two half-windows) over which failure rates are
+  // measured; samples older than a full window are forgotten.
+  SimDuration stats_window = Seconds(1);
+  // Minimum outcomes in the window before the ejection rule may fire (a
+  // single failed call must not eject a backend).
+  int64_t min_samples = 8;
+  // Eject when bad outcomes / total outcomes reaches this fraction.
+  double failure_rate_threshold = 0.5;
+  // If > 0, a *successful* call slower than this counts as a bad outcome —
+  // the gray-failure detector: a backend that answers, but 20x slower,
+  // should be ejected just like one that errors.
+  SimDuration latency_threshold = 0;
+  // First ejection lasts base_ejection; each consecutive re-ejection
+  // multiplies the window by ejection_backoff, capped at max_ejection.
+  SimDuration base_ejection = Seconds(1);
+  double ejection_backoff = 2.0;
+  SimDuration max_ejection = Seconds(30);
+};
+
 struct ChannelOptions {
   PickPolicy policy = PickPolicy::kLeastLoaded;
   // Deterministic subsetting: each client deterministically restricts itself
@@ -38,6 +76,7 @@ struct ChannelOptions {
   int default_max_retries = 0;
   // If > 0, hedge each call after this delay against a second pick.
   SimDuration hedge_delay = 0;
+  OutlierEjectionOptions outlier;
   uint64_t seed = 0xc4a77e1;
 };
 
@@ -62,8 +101,46 @@ class Channel {
     return outstanding_[backend_index];
   }
 
+  // Ejection introspection (per backend index, post-subsetting).
+  BackendHealth health(size_t backend_index) const {
+    return health_[backend_index].health;
+  }
+  uint64_t picks(size_t backend_index) const { return health_[backend_index].picks; }
+  uint64_t ejections(size_t backend_index) const {
+    return health_[backend_index].ejections;
+  }
+  uint64_t canary_probes(size_t backend_index) const {
+    return health_[backend_index].canary_probes;
+  }
+  uint64_t readmissions(size_t backend_index) const {
+    return health_[backend_index].readmissions;
+  }
+
  private:
-  size_t PickIndex();
+  struct BackendState {
+    BackendHealth health = BackendHealth::kHealthy;
+    SimTime ejected_until = 0;
+    int consecutive_ejections = 0;
+    // Two half-window failure stats; rotated lazily on outcome arrival.
+    int64_t cur_total = 0;
+    int64_t cur_bad = 0;
+    int64_t prev_total = 0;
+    int64_t prev_bad = 0;
+    SimTime half_window_start = 0;
+    uint64_t picks = 0;
+    uint64_t ejections = 0;
+    uint64_t canary_probes = 0;
+    uint64_t readmissions = 0;
+  };
+
+  size_t PickIndex(bool allow_canary);
+  // The pre-ejection pick policies, unchanged (also the fast path when the
+  // ejector is disabled or every backend is healthy).
+  size_t PickAmongAll();
+  size_t PickAmongEligible();
+  bool IsBadOutcome(const CallResult& result) const;
+  void OnOutcome(size_t index, bool canary, const CallResult& result);
+  void Eject(size_t index, SimTime now);
 
   Client* client_;
   std::string service_name_;
@@ -73,6 +150,12 @@ class Channel {
   size_t round_robin_next_ = 0;
   std::vector<int64_t> outstanding_;
   std::vector<size_t> nearest_order_;  // Backend indexes sorted by base RTT.
+  std::vector<BackendState> health_;
+  // Healthy backend indexes, rebuilt per pick when ejections are active
+  // (capacity reused across picks; no steady-state allocation).
+  std::vector<size_t> eligible_;
+  // Set by PickIndex when the returned pick is a canary probe.
+  bool picked_canary_ = false;
 };
 
 }  // namespace rpcscope

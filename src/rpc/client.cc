@@ -28,6 +28,9 @@ struct Client::Attempt {
   SpanId span_id = 0;
   MachineId target = -1;
   SimTime start = 0;
+  // Set once the attempt's outcome is decided (reply, error, or watchdog);
+  // a late reply for an already-failed attempt is dropped, not double-counted.
+  bool finished = false;
   LatencyBreakdown bd;
   CycleBreakdown cycles;
   int64_t request_wire_bytes = 0;
@@ -44,7 +47,24 @@ Client::Client(RpcSystem* system, MachineId machine, const ClientOptions& option
                {.workers = options.tx_workers, .max_queue_depth = options.max_queue_depth}),
       rx_pool_(&system->sim(),
                {.workers = options.rx_workers, .max_queue_depth = options.max_queue_depth}),
-      rx_processing_overhead_(options.rx_processing_overhead) {}
+      backoff_rng_(Mix64(Mix64(system->options().seed ^ 0xb0ffull) ^
+                         static_cast<uint64_t>(machine))),
+      retry_budget_(options.retry_budget),
+      rx_processing_overhead_(options.rx_processing_overhead),
+      retries_counter_(&system->metrics().GetCounter("client.retries")),
+      retry_exhausted_counter_(&system->metrics().GetCounter("client.retry_budget_exhausted")),
+      queue_rejected_counter_(&system->metrics().GetCounter("client.queue_rejected")),
+      attempt_timeout_counter_(&system->metrics().GetCounter("client.attempt_timeouts")),
+      completions_ok_counter_(&system->metrics().GetCounter("client.completions_ok")),
+      completions_err_counter_(&system->metrics().GetCounter("client.completions_err")) {}
+
+void Client::CountCompletion(StatusCode code) {
+  if (code == StatusCode::kOk) {
+    completions_ok_counter_->Increment();
+  } else {
+    completions_err_counter_->Increment();
+  }
+}
 
 void Client::Call(MachineId target, MethodId method, Payload request, const CallOptions& options,
                   CallCallback done) {
@@ -58,10 +78,38 @@ void Client::Call(MachineId target, MethodId method, Payload request, const Call
   st->trace_id = options.trace_id != 0 ? options.trace_id : system_->tracer().NewTraceId();
   st->issue_time = system_->sim().Now();
 
+  // Deadline propagation: a child call never outlives its parent's budget.
+  if (st->options.parent_deadline_time > 0) {
+    const SimDuration remaining = st->options.parent_deadline_time - st->issue_time;
+    if (remaining <= 0) {
+      // Dead on arrival: the parent's deadline already expired, so no
+      // downstream cycles are burned. Recorded as a zero-latency span.
+      ++dead_on_arrival_;
+      st->completed = true;
+      st->completion_reason = StatusCode::kDeadlineExceeded;
+      ++calls_completed_;
+      CountCompletion(StatusCode::kDeadlineExceeded);
+      Attempt att;
+      att.span_id = system_->tracer().NewSpanId();
+      att.target = target;
+      att.start = st->issue_time;
+      RecordAttemptSpan(*st, att, StatusCode::kDeadlineExceeded);
+      CallResult result;
+      result.status = DeadlineExceededError("parent deadline already expired");
+      result.trace_id = st->trace_id;
+      result.span_id = att.span_id;
+      st->done(result, Payload());
+      return;
+    }
+    if (st->options.deadline == 0 || st->options.deadline > remaining) {
+      st->options.deadline = remaining;
+    }
+  }
+
   StartAttempt(st, target);
 
-  if (options.hedge_delay > 0 && options.hedge_target >= 0) {
-    system_->sim().Schedule(options.hedge_delay, [this, st]() {
+  if (st->options.hedge_delay > 0 && st->options.hedge_target >= 0) {
+    system_->sim().Schedule(st->options.hedge_delay, [this, st]() {
       if (!st->completed && !st->hedge_launched) {
         st->hedge_launched = true;
         StartAttempt(st, st->options.hedge_target);
@@ -69,14 +117,15 @@ void Client::Call(MachineId target, MethodId method, Payload request, const Call
     });
   }
 
-  if (options.deadline > 0) {
-    system_->sim().Schedule(options.deadline, [this, st]() {
+  if (st->options.deadline > 0) {
+    system_->sim().Schedule(st->options.deadline, [this, st]() {
       if (st->completed) {
         return;
       }
       st->completed = true;
       st->completion_reason = StatusCode::kDeadlineExceeded;
       ++calls_completed_;
+      CountCompletion(StatusCode::kDeadlineExceeded);
       CallResult result;
       result.status = DeadlineExceededError("call deadline expired");
       result.attempts = st->attempts_started;
@@ -92,6 +141,29 @@ void Client::StartAttempt(std::shared_ptr<CallState> st, MachineId target) {
   att->target = target;
   att->start = system_->sim().Now();
   ++st->attempts_started;
+
+  // Fail fast when the send queue is already over its bound: rejecting before
+  // EncodeFrame keeps overload from burning encode cycles on doomed work.
+  if (tx_pool_.WouldReject()) {
+    ++queue_rejections_;
+    queue_rejected_counter_->Increment();
+    AttemptFinished(st, att, ResourceExhaustedError("client tx queue full"), Payload());
+    return;
+  }
+
+  // Transport watchdog: a frame lost to a partition or a silently dead server
+  // produces no reply event at all — without this, the attempt (and with it
+  // the call, absent a deadline) would hang forever.
+  if (st->options.attempt_timeout > 0) {
+    system_->sim().Schedule(st->options.attempt_timeout, [this, st, att]() {
+      if (att->finished) {
+        return;
+      }
+      ++attempt_timeouts_;
+      attempt_timeout_counter_->Increment();
+      AttemptFinished(st, att, UnavailableError("attempt transport timeout"), Payload());
+    });
+  }
 
   const CycleCostModel& costs = system_->costs();
   WireFrame frame =
@@ -120,6 +192,12 @@ void Client::StartAttempt(std::shared_ptr<CallState> st, MachineId target) {
             AttemptFinished(st, att, UnavailableError("no server at target machine"), Payload());
             return;
           }
+          if (!server->up()) {
+            // Connection refused: a crashed-but-known machine fails fast,
+            // unlike a partitioned one (whose frames vanish silently).
+            AttemptFinished(st, att, UnavailableError("server down"), Payload());
+            return;
+          }
           IncomingRequest req;
           req.method = st->method;
           req.request_frame = std::move(frame);
@@ -138,6 +216,9 @@ void Client::StartAttempt(std::shared_ptr<CallState> st, MachineId target) {
 
 void Client::OnReply(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att,
                      ServerReply reply) {
+  if (att->finished) {
+    return;  // The watchdog already failed this attempt; drop the late reply.
+  }
   att->bd[RpcComponent::kServerRecvQueue] = reply.recv_queue;
   att->bd[RpcComponent::kServerApp] = reply.app_time;
   att->bd[RpcComponent::kServerSendQueue] = reply.send_queue;
@@ -218,6 +299,10 @@ void Client::RecordAttemptSpan(const CallState& st, const Attempt& att, StatusCo
 
 void Client::AttemptFinished(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att,
                              Status status, Payload response) {
+  if (att->finished) {
+    return;  // Already decided (transport watchdog); span recorded once.
+  }
+  att->finished = true;
   StatusCode record_code = status.code();
   if (st->completed) {
     // The call already concluded without this attempt: a hedge loser is
@@ -233,27 +318,39 @@ void Client::AttemptFinished(std::shared_ptr<CallState> st, std::shared_ptr<Atte
 
   if (status.code() == StatusCode::kUnavailable &&
       st->retries_used < st->options.max_retries) {
-    ++st->retries_used;
-    wasted_cycles_ += att->cycles.Total();
-    // Truncated exponential backoff with full jitter (avoids synchronized
-    // retry storms when a backend goes away).
-    const double ceiling = std::min<double>(
-        static_cast<double>(st->options.retry_backoff) *
-            std::pow(2.0, st->retries_used - 1),
-        static_cast<double>(st->options.retry_backoff_cap));
-    const SimDuration backoff =
-        static_cast<SimDuration>(backoff_rng_.NextDouble() * ceiling);
-    system_->sim().Schedule(backoff, [this, st, target = att->target]() {
-      if (!st->completed) {
-        StartAttempt(st, target);
-      }
-    });
-    return;
+    if (retry_budget_.TryConsume()) {
+      ++st->retries_used;
+      ++retries_attempted_;
+      retries_counter_->Increment();
+      wasted_cycles_ += att->cycles.Total();
+      // Truncated exponential backoff with full jitter (avoids synchronized
+      // retry storms when a backend goes away).
+      const double ceiling = std::min<double>(
+          static_cast<double>(st->options.retry_backoff) *
+              std::pow(2.0, st->retries_used - 1),
+          static_cast<double>(st->options.retry_backoff_cap));
+      const SimDuration backoff =
+          static_cast<SimDuration>(backoff_rng_.NextDouble() * ceiling);
+      system_->sim().Schedule(backoff, [this, st, target = att->target]() {
+        if (!st->completed) {
+          StartAttempt(st, target);
+        }
+      });
+      return;
+    }
+    // Budget empty: the retry is suppressed and the call fails with the
+    // underlying error — amplification stops exactly when the fleet is sick.
+    ++retries_suppressed_;
+    retry_exhausted_counter_->Increment();
   }
 
   st->completed = true;
   st->completion_reason = status.code();
   ++calls_completed_;
+  CountCompletion(status.code());
+  if (status.ok()) {
+    retry_budget_.OnSuccess();
+  }
   CallResult result;
   result.status = std::move(status);
   result.latency = att->bd;

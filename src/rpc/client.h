@@ -6,14 +6,22 @@
 // and post-deadline arrivals are recorded with CANCELLED / DEADLINE_EXCEEDED
 // status so the error taxonomy (Fig. 23) and wasted-cycle accounting emerge
 // from real mechanics.
+//
+// Resilience mechanics (docs/ROBUSTNESS.md): retries draw from a token-bucket
+// RetryBudget refilled by successes, each attempt can run under a transport
+// watchdog that converts lost frames into prompt UNAVAILABLEs, and nested
+// calls inherit the remaining parent deadline (CallOptions::
+// parent_deadline_time) so work past a dead deadline stops immediately.
 #ifndef RPCSCOPE_SRC_RPC_CLIENT_H_
 #define RPCSCOPE_SRC_RPC_CLIENT_H_
 
 #include <cstdint>
 #include <memory>
 
+#include "src/monitor/metrics.h"
 #include "src/rpc/call.h"
 #include "src/rpc/codec.h"
+#include "src/rpc/retry_budget.h"
 #include "src/rpc/rpc_system.h"
 #include "src/sim/server_resource.h"
 
@@ -22,12 +30,17 @@ namespace rpcscope {
 struct ClientOptions {
   int tx_workers = 2;
   int rx_workers = 2;
-  size_t max_queue_depth = 0;  // 0 = unbounded.
+  // Bound on the tx/rx pipeline queues. When set and exceeded the call fails
+  // promptly with RESOURCE_EXHAUSTED (span recorded) before any encode
+  // cycles are paid; 0 = unbounded.
+  size_t max_queue_depth = 0;
   // Application-side response handling performed on the rx pool before the
   // caller's callback runs (deserialization into app structures, bookkeeping).
   // Under high per-client response rates this is what builds the Client Recv
   // Queue component.
   SimDuration rx_processing_overhead = 0;
+  // Retry-storm protection (disabled by default; see RetryBudget).
+  RetryBudget::Options retry_budget;
 };
 
 class Client {
@@ -50,6 +63,14 @@ class Client {
   // post-deadline arrivals) — the "wasted cycles" of §4.4.
   double wasted_cycles() const { return wasted_cycles_; }
 
+  // Resilience accounting.
+  const RetryBudget& retry_budget() const { return retry_budget_; }
+  uint64_t retries_attempted() const { return retries_attempted_; }
+  uint64_t retries_suppressed() const { return retries_suppressed_; }
+  uint64_t queue_rejections() const { return queue_rejections_; }
+  uint64_t attempt_timeouts() const { return attempt_timeouts_; }
+  uint64_t dead_on_arrival() const { return dead_on_arrival_; }
+
  private:
   struct CallState;
   struct Attempt;
@@ -59,19 +80,36 @@ class Client {
   void AttemptFinished(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att,
                        Status status, Payload response);
   void RecordAttemptSpan(const CallState& st, const Attempt& att, StatusCode code);
+  void CountCompletion(StatusCode code);
 
   RpcSystem* system_;
   MachineId machine_;
   double machine_speed_;
   ServerResource tx_pool_;
   ServerResource rx_pool_;
-  Rng backoff_rng_{0xb0ff};
+  // Seeded from the system seed and the machine id: distinct clients must
+  // draw *different* full-jitter backoff sequences or a fleet of them
+  // retries in lockstep — the thundering herd jitter exists to break.
+  Rng backoff_rng_;
+  RetryBudget retry_budget_;
   // Reused across every frame this client encodes/decodes; see WireScratch.
   WireScratch scratch_;
   SimDuration rx_processing_overhead_ = 0;
   uint64_t calls_issued_ = 0;
   uint64_t calls_completed_ = 0;
+  uint64_t retries_attempted_ = 0;
+  uint64_t retries_suppressed_ = 0;
+  uint64_t queue_rejections_ = 0;
+  uint64_t attempt_timeouts_ = 0;
+  uint64_t dead_on_arrival_ = 0;
   double wasted_cycles_ = 0;
+  // Cached registry counters (stable addresses; see RpcSystem::metrics()).
+  Counter* retries_counter_;
+  Counter* retry_exhausted_counter_;
+  Counter* queue_rejected_counter_;
+  Counter* attempt_timeout_counter_;
+  Counter* completions_ok_counter_;
+  Counter* completions_err_counter_;
 };
 
 }  // namespace rpcscope

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "src/common/rng.h"
+#include "src/monitor/metrics.h"
 #include "src/net/fabric.h"
 #include "src/net/topology.h"
 #include "src/rpc/cost_model.h"
@@ -53,6 +54,12 @@ class RpcSystem {
   const Topology& topology() const { return topology_; }
   Fabric& fabric() { return fabric_; }
   TraceCollector& tracer() { return tracer_; }
+  // Monarch-style live counters for the whole deployment: every resilience
+  // decision (retry, budget exhaustion, ejection, shed, injected fault) is
+  // counted here so error mixes can be measured under chaos. Components
+  // cache Counter pointers at construction — GetCounter returns stable
+  // references — so the per-call cost is a single add.
+  MetricRegistry& metrics() { return metrics_; }
   const CycleCostModel& costs() const { return options_.costs; }
   const RpcSystemOptions& options() const { return options_; }
   Rng& rng() { return rng_; }
@@ -71,6 +78,7 @@ class RpcSystem {
   Topology topology_;
   Fabric fabric_;
   TraceCollector tracer_;
+  MetricRegistry metrics_;
   Rng rng_;
   std::unordered_map<MachineId, Server*> servers_;
 };

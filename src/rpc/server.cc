@@ -7,11 +7,32 @@
 
 namespace rpcscope {
 
+// A request the server has accepted but not yet answered. Owns the encoded
+// request (by value — the single allocation per delivered request) and the
+// responder; `responded` flips exactly once, either on the normal reply path
+// or when Crash() answers every registered call with UNAVAILABLE.
+struct ServerCall::InflightCall {
+  IncomingRequest req;
+  // Recv-queue time known so far; reported on crash replies so the client's
+  // latency breakdown stays meaningful even for killed calls.
+  SimDuration recv_known = 0;
+  size_t index = 0;  // Position in Server::inflight_ (swap-erase bookkeeping).
+  bool responded = false;
+};
+
 MachineId ServerCall::server_machine() const { return server_->machine(); }
 
 Simulator& ServerCall::sim() { return server_->system().sim(); }
 
 SimTime ServerCall::Now() { return server_->system().sim().Now(); }
+
+CallOptions ServerCall::ChildOptions() const {
+  CallOptions options;
+  options.trace_id = trace_id_;
+  options.parent_span_id = span_id_;
+  options.parent_deadline_time = deadline_time_;
+  return options;
+}
 
 void ServerCall::Compute(SimDuration duration, std::function<void()> then) {
   // Nominal work takes longer under exogenous slowdown and on slower machines.
@@ -39,7 +60,9 @@ Server::Server(RpcSystem* system, MachineId machine, const ServerOptions& option
       app_pool_(&system->sim(),
                 {.workers = options.app_workers, .max_queue_depth = options.max_app_queue_depth}),
       tx_pool_(&system->sim(),
-               {.workers = options.io_workers, .max_queue_depth = options.max_io_queue_depth}) {
+               {.workers = options.io_workers, .max_queue_depth = options.max_io_queue_depth}),
+      shed_counter_(&system->metrics().GetCounter("server.shed")),
+      crash_killed_counter_(&system->metrics().GetCounter("server.crash_killed")) {
   system_->RegisterServer(machine_, this);
 }
 
@@ -58,89 +81,169 @@ double Server::AppUtilization(SimDuration elapsed) {
          (static_cast<double>(elapsed) * options_.app_workers);
 }
 
-namespace {
+void Server::RegisterInflight(const std::shared_ptr<InflightCall>& fl) {
+  fl->index = inflight_.size();
+  inflight_.push_back(fl);
+}
 
-// Sends an error reply straight back over the fabric (no payload pipeline).
-void RespondWithError(RpcSystem* system, MachineId server_machine,
-                      std::shared_ptr<IncomingRequest> req, CycleBreakdown cycles_so_far,
-                      SimDuration recv_queue, Status status, WireScratch& scratch) {
-  WireFrame frame = EncodeFrame(Payload::Modeled(64), system->options().encryption_key,
-                                req->span_id ^ 0x2, scratch);
+void Server::UnregisterInflight(const std::shared_ptr<InflightCall>& fl) {
+  const size_t i = fl->index;
+  if (i >= inflight_.size() || inflight_[i] != fl) {
+    return;  // Already detached (Crash() swapped the registry out wholesale).
+  }
+  if (i + 1 != inflight_.size()) {
+    inflight_[i] = std::move(inflight_.back());
+    inflight_[i]->index = i;
+  }
+  inflight_.pop_back();
+}
+
+void Server::RespondInflight(const std::shared_ptr<InflightCall>& fl, ServerReply reply,
+                             int64_t wire_bytes) {
+  if (fl->responded) {
+    return;
+  }
+  fl->responded = true;
+  UnregisterInflight(fl);
+  auto respond = std::move(fl->req.respond);
+  system_->fabric().Send(machine_, fl->req.client_machine, wire_bytes,
+                         [reply = std::move(reply), respond = std::move(respond)](
+                             SimDuration wire) mutable {
+                           reply.resp_wire = wire;
+                           respond(std::move(reply));
+                         });
+}
+
+void Server::RespondError(const std::shared_ptr<InflightCall>& fl, const CycleBreakdown& cycles,
+                          SimDuration recv_queue, Status status) {
+  if (fl->responded) {
+    return;
+  }
+  WireFrame frame = EncodeFrame(Payload::Modeled(64), system_->options().encryption_key,
+                                fl->req.span_id ^ 0x2, scratch_);
   ServerReply reply;
   reply.status = std::move(status);
   reply.recv_queue = recv_queue;
-  reply.server_cycles = cycles_so_far;
+  reply.server_cycles = cycles;
   reply.response_frame = frame;
-  auto respond = std::move(req->respond);
-  system->fabric().Send(server_machine, req->client_machine, frame.wire_bytes,
-                        [reply = std::move(reply), respond = std::move(respond)](
-                            SimDuration wire) mutable {
-                          reply.resp_wire = wire;
-                          respond(std::move(reply));
-                        });
+  RespondInflight(fl, std::move(reply), frame.wire_bytes);
 }
 
-}  // namespace
+void Server::Crash() {
+  if (!up_) {
+    return;
+  }
+  up_ = false;
+  ++incarnation_;
+  // Queued pipeline work is dropped; in-flight pool completions from this
+  // life are invalidated (epoch guard) so they can't corrupt the accounting
+  // of the next incarnation.
+  rx_pool_.Reset();
+  app_pool_.Reset();
+  tx_pool_.Reset();
+  // Answer every registered call with a connection reset. Swap the registry
+  // out first: RespondInflight unregisters as it goes.
+  std::vector<std::shared_ptr<InflightCall>> killed;
+  killed.swap(inflight_);
+  for (const auto& fl : killed) {
+    ++crash_killed_calls_;
+    crash_killed_counter_->Increment();
+    RespondError(fl, CycleBreakdown(), fl->recv_known, UnavailableError("server crashed"));
+  }
+}
+
+void Server::Restart() {
+  if (up_) {
+    return;
+  }
+  up_ = true;
+  // A fresh process has no learned admission estimate.
+  app_time_ewma_ns_ = 0;
+}
 
 void Server::DeliverRequest(IncomingRequest request) {
-  auto req = std::make_shared<IncomingRequest>(std::move(request));
+  auto fl = std::make_shared<InflightCall>();
+  fl->req = std::move(request);
+  RegisterInflight(fl);
   const CycleCostModel& costs = system_->costs();
   const CycleBreakdown rx_cost =
-      costs.RecvSideCost(req->request_frame.payload_bytes, req->request_frame.wire_bytes);
-  const SimDuration rx_time = costs.CyclesToDuration(rx_cost.TaxTotal(), machine_speed_);
+      costs.RecvSideCost(fl->req.request_frame.payload_bytes, fl->req.request_frame.wire_bytes);
 
-  rx_pool_.Submit(rx_time, [this, req, rx_cost](SimDuration rx_wait, SimDuration rx_service) {
+  const SimDuration rx_time = costs.CyclesToDuration(rx_cost.TaxTotal(), machine_speed_);
+  rx_pool_.Submit(rx_time, [this, fl, rx_cost](SimDuration rx_wait, SimDuration rx_service) {
     if (rx_wait == ServerResource::kRejected) {
-      RespondWithError(system_, machine_, req, rx_cost, 0,
-                       ResourceExhaustedError("server rx queue full"), scratch_);
+      RespondError(fl, rx_cost, 0, ResourceExhaustedError("server rx queue full"));
       return;
     }
     const SimDuration recv_so_far = rx_wait + rx_service;
+    fl->recv_known = recv_so_far;
+    // Breakwater-style admission control, applied at the moment the request
+    // would join the app queue (where the depth it must wait behind is
+    // known): if the caller's remaining budget cannot cover the expected
+    // wait, shed now rather than time the request out after doing the work.
+    if (options_.shed_on_deadline && fl->req.deadline_time > 0 && app_time_ewma_ns_ > 0) {
+      const double expected_wait_ns =
+          static_cast<double>(app_pool_.queue_depth()) /
+          static_cast<double>(options_.app_workers) * app_time_ewma_ns_;
+      if (static_cast<double>(system_->sim().Now()) + expected_wait_ns >
+          static_cast<double>(fl->req.deadline_time)) {
+        ++requests_shed_;
+        shed_counter_->Increment();
+        RespondError(fl, rx_cost, recv_so_far,
+                     ResourceExhaustedError("server shed: deadline unmeetable"));
+        return;
+      }
+    }
     const int priority =
-        options_.request_priority ? options_.request_priority(*req) : 0;
-    app_pool_.AcquireWithPriority(priority, [this, req, rx_cost,
+        options_.request_priority ? options_.request_priority(fl->req) : 0;
+    app_pool_.AcquireWithPriority(priority, [this, fl, rx_cost,
                                              recv_so_far](SimDuration app_wait) {
       if (app_wait == ServerResource::kRejected) {
-        RespondWithError(system_, machine_, req, rx_cost, recv_so_far,
-                         ResourceExhaustedError("server app queue full"), scratch_);
+        RespondError(fl, rx_cost, recv_so_far,
+                     ResourceExhaustedError("server app queue full"));
         return;
       }
       // Scheduler wake-up delay before the handler actually starts running;
       // the worker is held throughout.
       const SimDuration wakeup = options_.wakeup_latency;
-      system_->sim().Schedule(wakeup, [this, req, rx_cost, recv_so_far, app_wait, wakeup]() {
+      system_->sim().Schedule(wakeup, [this, fl, rx_cost, recv_so_far, app_wait, wakeup]() {
+        if (fl->responded) {
+          // The server crashed while this request waited for its wakeup: the
+          // caller was already told UNAVAILABLE and the pools were reset, so
+          // there is no worker to release and nothing left to do.
+          return;
+        }
+        fl->recv_known = recv_so_far + app_wait + wakeup;
         // Deadline short-circuit: if the caller's budget already expired while
         // the request queued, don't burn handler cycles on a result nobody
         // will read (the client records the span as DEADLINE_EXCEEDED).
-        if (req->deadline_time > 0 && system_->sim().Now() > req->deadline_time) {
+        if (fl->req.deadline_time > 0 && system_->sim().Now() > fl->req.deadline_time) {
           app_pool_.Release();
-          RespondWithError(system_, machine_, req, rx_cost, recv_so_far + app_wait + wakeup,
-                           DeadlineExceededError("deadline expired before handler start"),
-                           scratch_);
+          RespondError(fl, rx_cost, recv_so_far + app_wait + wakeup,
+                       DeadlineExceededError("deadline expired before handler start"));
           return;
         }
         Result<Payload> decoded =
-            DecodeFrame(req->request_frame, system_->options().encryption_key, scratch_);
+            DecodeFrame(fl->req.request_frame, system_->options().encryption_key, scratch_);
         if (!decoded.ok()) {
           app_pool_.Release();
-          RespondWithError(system_, machine_, req, rx_cost,
-                           recv_so_far + app_wait + wakeup, decoded.status(), scratch_);
+          RespondError(fl, rx_cost, recv_so_far + app_wait + wakeup, decoded.status());
           return;
         }
         auto call = std::make_shared<ServerCall>();
         call->server_ = this;
         call->request_ = std::move(decoded.value());
-        call->method_ = req->method;
-        call->client_machine_ = req->client_machine;
-        call->deadline_time_ = req->deadline_time;
-        call->trace_id_ = req->trace_id;
-        call->span_id_ = req->span_id;
+        call->method_ = fl->req.method;
+        call->client_machine_ = fl->req.client_machine;
+        call->deadline_time_ = fl->req.deadline_time;
+        call->trace_id_ = fl->req.trace_id;
+        call->span_id_ = fl->req.span_id;
         call->app_start_ = system_->sim().Now();
         call->recv_queue_ = recv_so_far + app_wait + wakeup;
-        call->respond_ = std::move(req->respond);
+        call->inflight_ = fl;
         call->cycles_ = rx_cost;
         call->self_ = call;
-        auto it = handlers_.find(req->method);
+        auto it = handlers_.find(fl->req.method);
         if (it == handlers_.end()) {
           call->Finish(UnimplementedError("no such method"), Payload::Modeled(64));
           return;
@@ -154,6 +257,13 @@ void Server::DeliverRequest(IncomingRequest request) {
 void Server::FinishCall(ServerCall* call, Status status, Payload response) {
   assert(!call->finished_);
   call->finished_ = true;
+  std::shared_ptr<InflightCall> fl = call->inflight_;
+  if (fl->responded) {
+    // The server crashed under this handler: the caller already saw
+    // UNAVAILABLE and the worker pool was reset. Drop the result.
+    call->self_.reset();
+    return;
+  }
   const CycleCostModel& costs = system_->costs();
   const SimTime now = system_->sim().Now();
   const SimDuration app_time = now - call->app_start_;
@@ -162,6 +272,10 @@ void Server::FinishCall(ServerCall* call, Status status, Payload response) {
       ToSeconds(app_time) * costs.cycles_per_second * machine_speed_;
   app_pool_.Release();
   ++requests_served_;
+  // Feed the admission estimate: EWMA of observed handler time.
+  const double sample_ns = static_cast<double>(app_time);
+  app_time_ewma_ns_ =
+      app_time_ewma_ns_ == 0 ? sample_ns : 0.9 * app_time_ewma_ns_ + 0.1 * sample_ns;
 
   WireFrame frame =
       EncodeFrame(response, system_->options().encryption_key, call->span_id_ ^ 0x1, scratch_);
@@ -171,7 +285,7 @@ void Server::FinishCall(ServerCall* call, Status status, Payload response) {
 
   std::shared_ptr<ServerCall> self = call->self_;
   tx_pool_.Submit(
-      tx_time, [this, self, status = std::move(status), frame = std::move(frame), app_time](
+      tx_time, [this, self, fl, status = std::move(status), frame = std::move(frame), app_time](
                    SimDuration tx_wait, SimDuration tx_service) mutable {
         ServerReply reply;
         reply.status = std::move(status);
@@ -182,14 +296,8 @@ void Server::FinishCall(ServerCall* call, Status status, Payload response) {
         reply.server_cycles = self->cycles_;
         reply.response_frame = std::move(frame);
         const int64_t wire_bytes = reply.response_frame.wire_bytes;
-        auto respond = std::move(self->respond_);
         self->self_.reset();
-        system_->fabric().Send(
-            machine_, self->client_machine_, wire_bytes,
-            [reply = std::move(reply), respond = std::move(respond)](SimDuration wire) mutable {
-              reply.resp_wire = wire;
-              respond(std::move(reply));
-            });
+        RespondInflight(fl, std::move(reply), wire_bytes);
       });
 }
 
@@ -198,6 +306,11 @@ void Server::FinishStreamCall(ServerCall* call, Status status, Payload chunk,
   assert(!call->finished_);
   assert(num_chunks >= 1);
   call->finished_ = true;
+  std::shared_ptr<InflightCall> fl = call->inflight_;
+  if (fl->responded) {
+    call->self_.reset();
+    return;
+  }
   const CycleCostModel& costs = system_->costs();
   const SimTime now = system_->sim().Now();
   const SimDuration app_time = now - call->app_start_;
@@ -205,6 +318,9 @@ void Server::FinishStreamCall(ServerCall* call, Status status, Payload chunk,
       ToSeconds(app_time) * costs.cycles_per_second * machine_speed_;
   app_pool_.Release();
   ++requests_served_;
+  const double sample_ns = static_cast<double>(app_time);
+  app_time_ewma_ns_ =
+      app_time_ewma_ns_ == 0 ? sample_ns : 0.9 * app_time_ewma_ns_ + 0.1 * sample_ns;
 
   // Every chunk is a full message: per-chunk framing/stack/library costs are
   // what make streams more expensive per byte than one big unary response.
@@ -222,7 +338,7 @@ void Server::FinishStreamCall(ServerCall* call, Status status, Payload chunk,
 
   std::shared_ptr<ServerCall> self = call->self_;
   tx_pool_.Submit(
-      tx_time, [this, self, status = std::move(status), frame = std::move(frame), app_time,
+      tx_time, [this, self, fl, status = std::move(status), frame = std::move(frame), app_time,
                 num_chunks, total_wire](SimDuration tx_wait, SimDuration tx_service) mutable {
         ServerReply reply;
         reply.status = std::move(status);
@@ -234,15 +350,9 @@ void Server::FinishStreamCall(ServerCall* call, Status status, Payload chunk,
         reply.response_frame = std::move(frame);
         reply.chunk_count = num_chunks;
         reply.stream_wire_bytes = total_wire;
-        auto respond = std::move(self->respond_);
         self->self_.reset();
         // The wire carries all chunks; bandwidth delay scales with the total.
-        system_->fabric().Send(
-            machine_, self->client_machine_, total_wire,
-            [reply = std::move(reply), respond = std::move(respond)](SimDuration wire) mutable {
-              reply.resp_wire = wire;
-              respond(std::move(reply));
-            });
+        RespondInflight(fl, std::move(reply), total_wire);
       });
 }
 

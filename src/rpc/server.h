@@ -7,6 +7,13 @@
 // (Server Application); the response waits for a transmit worker (Server Send
 // Queue), is serialized/compressed/encrypted (Response Proc+Net Stack), and
 // returns over the fabric.
+//
+// Fault semantics (docs/ROBUSTNESS.md): a server can Crash() and Restart().
+// Crashing resets every pipeline pool (queued work is dropped), bumps the
+// incarnation, and answers each registered in-flight call with UNAVAILABLE —
+// the connection-reset a real client observes — so callers fail fast instead
+// of hanging. Admission control (ServerOptions::shed_on_deadline) sheds
+// requests whose remaining deadline cannot cover the expected app-queue wait.
 #ifndef RPCSCOPE_SRC_RPC_SERVER_H_
 #define RPCSCOPE_SRC_RPC_SERVER_H_
 
@@ -15,7 +22,9 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "src/monitor/metrics.h"
 #include "src/rpc/call.h"
 #include "src/rpc/codec.h"
 #include "src/rpc/rpc_system.h"
@@ -40,6 +49,11 @@ class ServerCall {
   Simulator& sim();
   SimTime Now();
 
+  // Pre-filled CallOptions for a child RPC issued from this handler: links
+  // the child span into this trace and propagates the remaining parent
+  // deadline so nested work is abandoned the moment the root budget dies.
+  CallOptions ChildOptions() const;
+
   // Performs `duration` of virtual application work, then invokes `then`.
   // The application worker remains held throughout.
   void Compute(SimDuration duration, std::function<void()> then);
@@ -56,6 +70,8 @@ class ServerCall {
  private:
   friend class Server;
 
+  struct InflightCall;
+
   Server* server_ = nullptr;
   Payload request_;
   MethodId method_ = -1;
@@ -65,7 +81,7 @@ class ServerCall {
   SpanId span_id_ = 0;
   SimTime app_start_ = 0;
   SimDuration recv_queue_ = 0;
-  ServerResponder respond_;
+  std::shared_ptr<InflightCall> inflight_;
   CycleBreakdown cycles_;
   bool finished_ = false;
   // Self-reference keeping the call alive until its response is on the wire;
@@ -92,6 +108,12 @@ struct ServerOptions {
   // Added to every app-worker grant; models scheduler wake-up delay (the
   // "long wakeup rate" exogenous variable of Table 2).
   SimDuration wakeup_latency = 0;
+  // Breakwater-style admission control: reject a request on arrival with
+  // RESOURCE_EXHAUSTED when its remaining deadline cannot cover the expected
+  // app-queue wait (queue_depth / workers * EWMA of handler time). Shedding
+  // on arrival is strictly cheaper than accepting work that will be thrown
+  // away at its deadline. Off by default.
+  bool shed_on_deadline = false;
 };
 
 class Server {
@@ -109,6 +131,16 @@ class Server {
   // and eventually invokes request.respond exactly once.
   void DeliverRequest(IncomingRequest request);
 
+  // Fault hooks (FaultInjector). Crash() kills the process image: all queued
+  // pipeline work is dropped, every registered in-flight call is answered
+  // with UNAVAILABLE ("connection reset"), and the incarnation is bumped so
+  // stale scheduled work from the previous life becomes a no-op. Restart()
+  // brings the server back empty. Both are idempotent.
+  void Crash();
+  void Restart();
+  bool up() const { return up_; }
+  uint64_t incarnation() const { return incarnation_; }
+
   MachineId machine() const { return machine_; }
   RpcSystem& system() { return *system_; }
   double machine_speed() const { return machine_speed_; }
@@ -117,16 +149,33 @@ class Server {
   // Exogenous-state knobs (adjustable while running).
   void set_app_speed_factor(double f) { options_.app_speed_factor = f; }
   void set_wakeup_latency(SimDuration d) { options_.wakeup_latency = d; }
+  void set_shed_on_deadline(bool shed) { options_.shed_on_deadline = shed; }
 
   // Utilization accounting.
   double AppUtilization(SimDuration elapsed);
   uint64_t requests_served() const { return requests_served_; }
+  uint64_t requests_shed() const { return requests_shed_; }
+  uint64_t crash_killed_calls() const { return crash_killed_calls_; }
 
  private:
   friend class ServerCall;
 
+  using InflightCall = ServerCall::InflightCall;
+
   void FinishCall(ServerCall* call, Status status, Payload response);
   void FinishStreamCall(ServerCall* call, Status status, Payload chunk, int num_chunks);
+
+  // All response traffic funnels through here: marks the call responded,
+  // drops it from the in-flight registry, and puts the reply on the wire.
+  // A call that was already answered (by Crash()) is silently dropped.
+  void RespondInflight(const std::shared_ptr<InflightCall>& fl, ServerReply reply,
+                       int64_t wire_bytes);
+  // Error path: encodes a small error frame and responds.
+  void RespondError(const std::shared_ptr<InflightCall>& fl, const CycleBreakdown& cycles,
+                    SimDuration recv_queue, Status status);
+
+  void RegisterInflight(const std::shared_ptr<InflightCall>& fl);
+  void UnregisterInflight(const std::shared_ptr<InflightCall>& fl);
 
   RpcSystem* system_;
   MachineId machine_;
@@ -139,7 +188,19 @@ class Server {
   WireScratch scratch_;
   std::unordered_map<MethodId, MethodHandler> handlers_;
   std::unordered_map<MethodId, std::string> method_names_;
+  // Every accepted request, from fabric delivery until its reply (or error)
+  // is handed to the fabric. Unordered; erased by index swap in O(1).
+  std::vector<std::shared_ptr<InflightCall>> inflight_;
+  bool up_ = true;
+  uint64_t incarnation_ = 0;
   uint64_t requests_served_ = 0;
+  uint64_t requests_shed_ = 0;
+  uint64_t crash_killed_calls_ = 0;
+  // EWMA of observed handler time, feeding the admission estimate.
+  double app_time_ewma_ns_ = 0;
+  // Cached registry counters (stable addresses; see RpcSystem::metrics()).
+  Counter* shed_counter_;
+  Counter* crash_killed_counter_;
 };
 
 }  // namespace rpcscope

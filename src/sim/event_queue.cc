@@ -130,6 +130,23 @@ bool LadderEventQueue::TryRebalance() {
     }
   }
   rebalance_scratch_.clear();
+
+  // The re-anchored window can extend past the *old* window's end (it starts
+  // at the dense cluster, not at the old origin), into the range earlier
+  // pushes sent to overflow. Pull every overflow event that now lands
+  // in-window into its bucket — left in the heap it would only surface at the
+  // next rebuild, after later in-window events: out of order.
+  while (!overflow_.empty()) {
+    const SimTime t = overflow_.front().time;
+    RPCSCOPE_DCHECK_GE(t, win_start_) << "overflow event before the window start";
+    const uint64_t idx = static_cast<uint64_t>(t - win_start_) >> shift_;
+    if (idx >= kNumBuckets) {
+      break;  // Heap order: everything behind the front is even later.
+    }
+    std::pop_heap(overflow_.begin(), overflow_.end(), event_queue_internal::ExecutesAfter{});
+    buckets_[idx].push_back(std::move(overflow_.back()));
+    overflow_.pop_back();
+  }
   return true;
 }
 

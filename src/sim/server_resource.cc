@@ -26,8 +26,7 @@ SimDuration ServerResource::busy_time() {
 }
 
 void ServerResource::AcquireWithPriority(int priority, Grant on_grant) {
-  if (options_.max_queue_depth != 0 && busy_workers_ >= options_.workers &&
-      QueuedJobs() >= options_.max_queue_depth) {
+  if (WouldReject()) {
     ++jobs_rejected_;
     on_grant(kRejected);
     return;
@@ -64,6 +63,15 @@ void ServerResource::Release() {
   }
 }
 
+void ServerResource::Reset() {
+  UpdateBusyTime();
+  jobs_dropped_ += queue_.size() + low_queue_.size();
+  queue_.clear();
+  low_queue_.clear();
+  busy_workers_ = 0;
+  ++epoch_;
+}
+
 void ServerResource::Submit(SimDuration service_time, Completion done) {
   const SimDuration scaled =
       static_cast<SimDuration>(std::llround(static_cast<double>(service_time) * speed_factor_));
@@ -72,7 +80,13 @@ void ServerResource::Submit(SimDuration service_time, Completion done) {
       done(kRejected, 0);
       return;
     }
-    sim_->Schedule(scaled, [this, queue_delay, scaled, done = std::move(done)]() {
+    const uint64_t epoch = epoch_;
+    sim_->Schedule(scaled, [this, epoch, queue_delay, scaled, done = std::move(done)]() {
+      // A Reset() (machine crash) between grant and completion freed this
+      // worker already; the job it was running died with the machine.
+      if (epoch != epoch_) {
+        return;
+      }
       Release();
       done(queue_delay, scaled);
     });

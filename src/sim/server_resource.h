@@ -51,6 +51,25 @@ class ServerResource {
   void AcquireWithPriority(int priority, Grant on_grant);
   void Release();
 
+  // True if a Submit()/Acquire() issued right now would be rejected for
+  // exceeding max_queue_depth. Lets callers fail fast before paying
+  // per-attempt costs (encode cycles) for work that cannot be accepted.
+  bool WouldReject() const {
+    return options_.max_queue_depth != 0 && busy_workers_ >= options_.workers &&
+           QueuedJobs() >= options_.max_queue_depth;
+  }
+
+  // Crash support: drops every queued job (their callbacks are destroyed,
+  // never invoked), frees all workers, and invalidates in-flight Submit()
+  // completions — when their scheduled events fire against a newer epoch
+  // they become no-ops instead of corrupting the worker accounting. Busy
+  // time accrued up to the reset instant is retained. Callers that hold a
+  // worker via Acquire() must not call Release() across a Reset(); guard
+  // with epoch().
+  void Reset();
+  uint64_t epoch() const { return epoch_; }
+  uint64_t jobs_dropped() const { return jobs_dropped_; }
+
   // Scales the service time of *future* jobs (models exogenous slowdown such
   // as high CPU utilization or memory-bandwidth contention).
   void set_speed_factor(double factor) { speed_factor_ = factor; }
@@ -83,6 +102,9 @@ class ServerResource {
   std::deque<Job> low_queue_;  // Priority classes > 0.
   uint64_t jobs_completed_ = 0;
   uint64_t jobs_rejected_ = 0;
+  uint64_t jobs_dropped_ = 0;
+  // Bumped by Reset(); scheduled completions from older epochs are stale.
+  uint64_t epoch_ = 0;
   // Time-weighted busy accounting: busy_time_ is up to date as of last_change_.
   SimDuration busy_time_ = 0;
   SimTime last_change_ = 0;

@@ -1,0 +1,241 @@
+// Chaos integration test: a mini-fleet driven through a scripted fault plan
+// (crash + partition + gray slowdown + packet loss), run across several seeds
+// and with the resilience defenses toggled. Encodes the PR's acceptance
+// criteria:
+//   (a) same-seed runs are bit-identical (event digest),
+//   (b) retry budgets cap the retry storm below the unbudgeted run,
+//   (c) an ejected backend receives no picks during its ejection window and
+//       is readmitted after a successful canary probe,
+//   (d) goodput with defenses on strictly exceeds defenses-off under the
+//       same fault plan.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/fault/injector.h"
+#include "src/rpc/channel.h"
+#include "src/rpc/server.h"
+
+namespace rpcscope {
+namespace {
+
+constexpr MethodId kEcho = 1;
+
+// Which defenses are active for a run; the fault plan and workload are
+// identical regardless, so runs are directly comparable.
+struct ChaosKnobs {
+  uint64_t seed = 1;
+  bool retry_budget = false;
+  bool outlier_ejection = false;
+  bool attempt_watchdog = false;
+};
+
+struct ChaosOutcome {
+  uint64_t digest = 0;
+  int ok = 0;
+  int err = 0;
+  uint64_t retries_attempted = 0;
+  uint64_t retries_suppressed = 0;
+  // Backend 0 (the crashed one): picks sampled inside its first ejection
+  // window, plus its health/canary/readmission history.
+  uint64_t picks0_window_start = 0;
+  uint64_t picks0_window_end = 0;
+  BackendHealth health0_mid = BackendHealth::kHealthy;
+  BackendHealth health0_end = BackendHealth::kHealthy;
+  uint64_t ejections0 = 0;
+  uint64_t canary_probes0 = 0;
+  uint64_t readmissions0 = 0;
+  // Injector bookkeeping.
+  uint64_t crashes = 0;
+  uint64_t restarts = 0;
+  uint64_t partition_drops = 0;
+  uint64_t loss_drops = 0;
+  uint64_t gray_windows = 0;
+};
+
+// One client, four backends, open-loop load at 1 call/ms for 10 simulated
+// seconds while the fault plan plays out:
+//   backend 0 crashes at 2s, restarts at 4s,
+//   backend 1 is partitioned from the client 5s..6.5s,
+//   backend 2 runs 100x slow (gray) 7s..8s,
+//   backend 3's path drops 30% of frames 8.5s..9s.
+ChaosOutcome RunChaos(const ChaosKnobs& knobs) {
+  RpcSystemOptions sys_opts;
+  sys_opts.fabric.congestion_probability = 0;
+  sys_opts.seed = knobs.seed;
+  RpcSystem system(sys_opts);
+  const Topology& topo = system.topology();
+
+  std::vector<MachineId> backends;
+  std::vector<std::unique_ptr<Server>> servers;
+  for (int i = 0; i < 4; ++i) {
+    const MachineId m = topo.MachineAt(0, i);
+    backends.push_back(m);
+    auto server = std::make_unique<Server>(&system, m, ServerOptions{});
+    server->RegisterMethod(kEcho, "Echo", [](std::shared_ptr<ServerCall> call) {
+      call->Compute(Micros(200), [call]() {
+        call->Finish(Status::Ok(), Payload::Modeled(256));
+      });
+    });
+    servers.push_back(std::move(server));
+  }
+
+  ClientOptions client_opts;
+  client_opts.retry_budget.enabled = knobs.retry_budget;
+  Client client(&system, topo.MachineAt(0, 10), client_opts);
+
+  ChannelOptions chan_opts;
+  chan_opts.policy = PickPolicy::kRoundRobin;
+  chan_opts.default_deadline = Millis(25);
+  chan_opts.default_max_retries = 3;
+  chan_opts.outlier.enabled = knobs.outlier_ejection;
+  chan_opts.outlier.stats_window = Millis(200);
+  chan_opts.outlier.min_samples = 8;
+  chan_opts.outlier.failure_rate_threshold = 0.5;
+  chan_opts.outlier.latency_threshold = Millis(5);
+  chan_opts.outlier.base_ejection = Millis(1500);
+  Channel channel(&client, "chaos-echo", backends, chan_opts);
+
+  FaultPlan plan;
+  plan.crashes.push_back(
+      {.machine = backends[0], .at = Seconds(2), .restart_at = Seconds(4)});
+  plan.partitions.push_back({.group_a = {client.machine()},
+                             .group_b = {backends[1]},
+                             .start = Seconds(5),
+                             .end = Millis(6500)});
+  plan.losses.push_back({.src = client.machine(),
+                         .dst = backends[3],
+                         .loss_probability = 0.3,
+                         .start = Millis(8500),
+                         .end = Seconds(9)});
+  plan.gray_slowdowns.push_back(
+      {.machine = backends[2], .factor = 100.0, .start = Seconds(7), .end = Seconds(8)});
+  FaultInjector injector(&system, plan);
+  EXPECT_TRUE(injector.Arm().ok());
+
+  ChaosOutcome out;
+  for (int i = 0; i < 10000; ++i) {
+    system.sim().Schedule(Millis(1) * i, [&]() {
+      CallOptions opts;
+      if (knobs.attempt_watchdog) {
+        opts.attempt_timeout = Millis(8);
+      }
+      channel.Call(kEcho, Payload::Modeled(256), opts,
+                   [&](const CallResult& r, Payload) {
+                     if (r.status.ok()) {
+                       ++out.ok;
+                     } else {
+                       ++out.err;
+                     }
+                   });
+    });
+  }
+  // Sample backend 0 inside its first ejection window. The crash lands at 2s;
+  // with a 200ms stats window the ejector needs ~25 bad outcomes (~100ms of
+  // round-robin load) to cross the 50% threshold, so ejection happens well
+  // before 2.4s and the 1.5s window stretches past 3.5s.
+  system.sim().Schedule(Millis(2400), [&]() {
+    out.health0_mid = channel.health(0);
+    out.picks0_window_start = channel.picks(0);
+  });
+  system.sim().Schedule(Millis(3500), [&]() {
+    out.picks0_window_end = channel.picks(0);
+  });
+  system.sim().Run();
+
+  out.digest = system.sim().event_digest();
+  out.retries_attempted = client.retries_attempted();
+  out.retries_suppressed = client.retries_suppressed();
+  out.health0_end = channel.health(0);
+  out.ejections0 = channel.ejections(0);
+  out.canary_probes0 = channel.canary_probes(0);
+  out.readmissions0 = channel.readmissions(0);
+  out.crashes = injector.crashes_applied();
+  out.restarts = injector.restarts_applied();
+  out.partition_drops = injector.partition_drops();
+  out.loss_drops = injector.loss_drops();
+  out.gray_windows = injector.gray_windows_applied();
+  return out;
+}
+
+ChaosKnobs DefensesOn(uint64_t seed) {
+  return {.seed = seed,
+          .retry_budget = true,
+          .outlier_ejection = true,
+          .attempt_watchdog = true};
+}
+
+ChaosKnobs DefensesOff(uint64_t seed) {
+  return {.seed = seed,
+          .retry_budget = false,
+          .outlier_ejection = false,
+          .attempt_watchdog = false};
+}
+
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+// (a) Replayability: the same seed and the same plan produce bit-identical
+// executions, fault injection and defenses included.
+TEST_P(ChaosTest, SameSeedRunsAreBitIdentical) {
+  const ChaosOutcome a = RunChaos(DefensesOn(GetParam()));
+  const ChaosOutcome b = RunChaos(DefensesOn(GetParam()));
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.err, b.err);
+  EXPECT_EQ(a.loss_drops, b.loss_drops);
+  EXPECT_EQ(a.partition_drops, b.partition_drops);
+  EXPECT_EQ(a.retries_attempted, b.retries_attempted);
+}
+
+// (b) Retry budgets cap the storm: with the budget on, strictly fewer
+// retries reach the wire than in the unbudgeted run, and the exhaustion
+// metric shows the suppression happened.
+TEST_P(ChaosTest, RetryBudgetCapsRetryStorm) {
+  ChaosKnobs budgeted{.seed = GetParam(),
+                      .retry_budget = true,
+                      .outlier_ejection = false,
+                      .attempt_watchdog = true};
+  ChaosKnobs unbudgeted = budgeted;
+  unbudgeted.retry_budget = false;
+  const ChaosOutcome with_budget = RunChaos(budgeted);
+  const ChaosOutcome without = RunChaos(unbudgeted);
+  EXPECT_LT(with_budget.retries_attempted, without.retries_attempted);
+  EXPECT_GT(with_budget.retries_suppressed, 0u);
+  EXPECT_EQ(without.retries_suppressed, 0u);
+}
+
+// (c) Outlier ejection: the crashed backend is ejected, receives zero picks
+// during its ejection window, and is readmitted via canary probe once it is
+// healthy again.
+TEST_P(ChaosTest, EjectionFreezesPicksAndReadmitsViaCanary) {
+  const ChaosOutcome out = RunChaos(DefensesOn(GetParam()));
+  EXPECT_EQ(out.health0_mid, BackendHealth::kEjected);
+  EXPECT_EQ(out.picks0_window_start, out.picks0_window_end)
+      << "backend 0 was picked during its ejection window";
+  EXPECT_GE(out.ejections0, 1u);
+  EXPECT_GE(out.canary_probes0, 1u);
+  EXPECT_GE(out.readmissions0, 1u);
+  EXPECT_EQ(out.health0_end, BackendHealth::kHealthy);
+  // The plan itself fully played out.
+  EXPECT_EQ(out.crashes, 1u);
+  EXPECT_EQ(out.restarts, 1u);
+  EXPECT_GT(out.partition_drops, 0u);
+  EXPECT_GT(out.loss_drops, 0u);
+  EXPECT_EQ(out.gray_windows, 1u);
+}
+
+// (d) The defenses pay for themselves: under the identical fault plan the
+// defended run completes strictly more calls successfully.
+TEST_P(ChaosTest, DefensesImproveGoodputUnderSamePlan) {
+  const ChaosOutcome defended = RunChaos(DefensesOn(GetParam()));
+  const ChaosOutcome undefended = RunChaos(DefensesOff(GetParam()));
+  EXPECT_EQ(defended.ok + defended.err, 10000);
+  EXPECT_EQ(undefended.ok + undefended.err, 10000);
+  EXPECT_GT(defended.ok, undefended.ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest, ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace rpcscope

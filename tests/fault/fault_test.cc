@@ -1,0 +1,239 @@
+// Unit tests for the fault-injection fabric: plan validation, crash/restart
+// scheduling, partition and packet-loss interception, gray-failure windows,
+// and determinism of injected runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/fault/injector.h"
+#include "src/rpc/client.h"
+#include "src/rpc/server.h"
+
+namespace rpcscope {
+namespace {
+
+constexpr MethodId kEcho = 1;
+
+RpcSystemOptions QuietFabric(uint64_t seed = 42) {
+  RpcSystemOptions o;
+  o.fabric.congestion_probability = 0;
+  o.seed = seed;
+  return o;
+}
+
+void RegisterEcho(Server& server, SimDuration app_time = Micros(100)) {
+  server.RegisterMethod(kEcho, "Echo", [app_time](std::shared_ptr<ServerCall> call) {
+    call->Compute(app_time, [call]() {
+      call->Finish(Status::Ok(), Payload::Modeled(256));
+    });
+  });
+}
+
+TEST(FaultPlanTest, ValidateRejectsMalformedFaults) {
+  FaultPlan plan;
+  plan.crashes.push_back({.machine = 0, .at = Millis(5), .restart_at = Millis(2)});
+  EXPECT_FALSE(plan.Validate().ok());
+
+  plan = FaultPlan{};
+  plan.partitions.push_back({.group_a = {0}, .group_b = {}, .start = 0, .end = Millis(1)});
+  EXPECT_FALSE(plan.Validate().ok());
+
+  plan = FaultPlan{};
+  plan.losses.push_back(
+      {.src = 0, .dst = 1, .loss_probability = 1.5, .start = 0, .end = Millis(1)});
+  EXPECT_FALSE(plan.Validate().ok());
+
+  plan = FaultPlan{};
+  plan.gray_slowdowns.push_back(
+      {.machine = 0, .factor = 0.5, .start = 0, .end = Millis(1)});
+  EXPECT_FALSE(plan.Validate().ok());
+
+  plan = FaultPlan{};
+  plan.crashes.push_back({.machine = 0, .at = Millis(1), .restart_at = Millis(2)});
+  plan.gray_slowdowns.push_back(
+      {.machine = 1, .factor = 10.0, .start = 0, .end = Millis(1)});
+  EXPECT_TRUE(plan.Validate().ok());
+}
+
+TEST(FaultInjectorTest, ArmRejectsInvalidPlanAndDoubleArm) {
+  RpcSystem system(QuietFabric());
+  FaultPlan bad;
+  bad.crashes.push_back({.machine = -1, .at = 0, .restart_at = 0});
+  FaultInjector invalid(&system, bad);
+  EXPECT_FALSE(invalid.Arm().ok());
+
+  FaultInjector injector(&system, FaultPlan{});
+  EXPECT_TRUE(injector.Arm().ok());
+  EXPECT_FALSE(injector.Arm().ok());
+}
+
+TEST(FaultInjectorTest, CrashRestartTimelineFromPlan) {
+  RpcSystem system(QuietFabric());
+  Server server(&system, system.topology().MachineAt(0, 0), ServerOptions{});
+  RegisterEcho(server, Millis(4));
+  Client client(&system, system.topology().MachineAt(0, 1));
+
+  FaultPlan plan;
+  plan.crashes.push_back(
+      {.machine = server.machine(), .at = Millis(2), .restart_at = Millis(5)});
+  FaultInjector injector(&system, plan);
+  ASSERT_TRUE(injector.Arm().ok());
+
+  StatusCode inflight = StatusCode::kOk, during = StatusCode::kOk,
+             after = StatusCode::kUnavailable;
+  // In flight at the crash instant: killed with UNAVAILABLE.
+  client.Call(server.machine(), kEcho, Payload::Modeled(64), {},
+              [&](const CallResult& r, Payload) { inflight = r.status.code(); });
+  // Issued while down: refused on arrival.
+  system.sim().Schedule(Millis(3), [&]() {
+    client.Call(server.machine(), kEcho, Payload::Modeled(64), {},
+                [&](const CallResult& r, Payload) { during = r.status.code(); });
+  });
+  // Issued after the restart: served.
+  system.sim().Schedule(Millis(6), [&]() {
+    client.Call(server.machine(), kEcho, Payload::Modeled(64), {},
+                [&](const CallResult& r, Payload) { after = r.status.code(); });
+  });
+  system.sim().Run();
+  EXPECT_EQ(inflight, StatusCode::kUnavailable);
+  EXPECT_EQ(during, StatusCode::kUnavailable);
+  EXPECT_EQ(after, StatusCode::kOk);
+  EXPECT_EQ(injector.crashes_applied(), 1u);
+  EXPECT_EQ(injector.restarts_applied(), 1u);
+  EXPECT_EQ(system.metrics().GetCounter("fault.crashes").value(), 1.0);
+}
+
+TEST(FaultInjectorTest, PartitionDropsFramesAndWatchdogSurfacesThem) {
+  RpcSystem system(QuietFabric());
+  Server server(&system, system.topology().MachineAt(0, 0), ServerOptions{});
+  RegisterEcho(server);
+  Client client(&system, system.topology().MachineAt(0, 1));
+
+  FaultPlan plan;
+  plan.partitions.push_back({.group_a = {client.machine()},
+                             .group_b = {server.machine()},
+                             .start = 0,
+                             .end = Millis(10)});
+  FaultInjector injector(&system, plan);
+  ASSERT_TRUE(injector.Arm().ok());
+
+  // Without a watchdog a partitioned call would hang forever; with one it
+  // fails UNAVAILABLE after attempt_timeout instead.
+  CallOptions opts;
+  opts.attempt_timeout = Millis(2);
+  StatusCode during = StatusCode::kOk, after = StatusCode::kUnavailable;
+  SimTime during_done = 0;
+  client.Call(server.machine(), kEcho, Payload::Modeled(64), opts,
+              [&](const CallResult& r, Payload) {
+                during = r.status.code();
+                during_done = system.sim().Now();
+              });
+  system.sim().Schedule(Millis(12), [&]() {
+    client.Call(server.machine(), kEcho, Payload::Modeled(64), opts,
+                [&](const CallResult& r, Payload) { after = r.status.code(); });
+  });
+  system.sim().Run();
+  EXPECT_EQ(during, StatusCode::kUnavailable);
+  EXPECT_EQ(during_done, Millis(2));  // Prompt timeout, not a silent hang.
+  EXPECT_EQ(after, StatusCode::kOk);  // The partition healed.
+  EXPECT_GE(injector.partition_drops(), 1u);
+  EXPECT_EQ(system.fabric().frames_dropped(), injector.partition_drops());
+  EXPECT_EQ(client.attempt_timeouts(), 1u);
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(FaultInjectorTest, PartitionIsBidirectional) {
+  RpcSystem system(QuietFabric());
+  Server server(&system, system.topology().MachineAt(0, 0), ServerOptions{});
+  RegisterEcho(server, Millis(2));
+  Client client(&system, system.topology().MachineAt(0, 1));
+  // The partition starts after the request is delivered but before the reply
+  // is sent: the *reply* frame must be dropped too (reverse direction).
+  FaultPlan plan;
+  plan.partitions.push_back({.group_a = {server.machine()},
+                             .group_b = {client.machine()},
+                             .start = Millis(1),
+                             .end = Millis(10)});
+  FaultInjector injector(&system, plan);
+  ASSERT_TRUE(injector.Arm().ok());
+  CallOptions opts;
+  opts.attempt_timeout = Millis(5);
+  StatusCode got = StatusCode::kOk;
+  client.Call(server.machine(), kEcho, Payload::Modeled(64), opts,
+              [&](const CallResult& r, Payload) { got = r.status.code(); });
+  system.sim().Run();
+  EXPECT_EQ(got, StatusCode::kUnavailable);
+  EXPECT_GE(injector.partition_drops(), 1u);
+  EXPECT_EQ(server.requests_served(), 1u);  // The server did the work...
+  EXPECT_EQ(client.calls_completed(), 1u);  // ...but the reply vanished.
+}
+
+TEST(FaultInjectorTest, PacketLossRunsAreDeterministic) {
+  auto run = [](uint64_t seed) {
+    RpcSystem system(QuietFabric(seed));
+    Server server(&system, system.topology().MachineAt(0, 0), ServerOptions{});
+    RegisterEcho(server);
+    Client client(&system, system.topology().MachineAt(0, 1));
+    FaultPlan plan;
+    plan.losses.push_back({.src = client.machine(),
+                           .dst = server.machine(),
+                           .loss_probability = 0.4,
+                           .start = 0,
+                           .end = Seconds(1)});
+    FaultInjector injector(&system, plan);
+    EXPECT_TRUE(injector.Arm().ok());
+    CallOptions opts;
+    opts.attempt_timeout = Millis(1);
+    opts.max_retries = 5;
+    opts.retry_backoff = Micros(200);
+    int ok = 0;
+    for (int i = 0; i < 200; ++i) {
+      system.sim().Schedule(Millis(1) * i, [&, i]() {
+        client.Call(server.machine(), kEcho, Payload::Modeled(64), opts,
+                    [&](const CallResult& r, Payload) { ok += r.status.ok(); });
+      });
+    }
+    system.sim().Run();
+    return std::tuple<uint64_t, uint64_t, int>(system.sim().event_digest(),
+                                               injector.loss_drops(), ok);
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  const auto c = run(8);
+  EXPECT_EQ(a, b);  // Bit-identical replay: digest, drops, and outcomes.
+  EXPECT_GT(std::get<1>(a), 0u);
+  // A different seed draws a different loss pattern.
+  EXPECT_NE(std::get<0>(a), std::get<0>(c));
+}
+
+TEST(FaultInjectorTest, GraySlowdownAppliesAndRestores) {
+  RpcSystem system(QuietFabric());
+  Server server(&system, system.topology().MachineAt(0, 0), ServerOptions{});
+  RegisterEcho(server, Millis(1));
+  Client client(&system, system.topology().MachineAt(0, 1));
+  FaultPlan plan;
+  plan.gray_slowdowns.push_back(
+      {.machine = server.machine(), .factor = 10.0, .start = 0, .end = Millis(20)});
+  FaultInjector injector(&system, plan);
+  ASSERT_TRUE(injector.Arm().ok());
+  SimDuration gray_app = 0, healed_app = 0;
+  client.Call(server.machine(), kEcho, Payload::Modeled(64), {},
+              [&](const CallResult& r, Payload) {
+                gray_app = r.latency[RpcComponent::kServerApp];
+              });
+  system.sim().Schedule(Millis(25), [&]() {
+    client.Call(server.machine(), kEcho, Payload::Modeled(64), {},
+                [&](const CallResult& r, Payload) {
+                  healed_app = r.latency[RpcComponent::kServerApp];
+                });
+  });
+  system.sim().Run();
+  // The server answered throughout (gray, not dead), ~10x slower during the
+  // window and back to nominal after it.
+  EXPECT_GT(gray_app, healed_app * 5);
+  EXPECT_EQ(injector.gray_windows_applied(), 1u);
+  EXPECT_DOUBLE_EQ(server.options().app_speed_factor, 1.0);
+}
+
+}  // namespace
+}  // namespace rpcscope

@@ -152,6 +152,154 @@ TEST_F(ChannelTest, SubsetClientsCoverAllBackendsCollectively) {
   EXPECT_EQ(covered.size(), backends_.size());
 }
 
+TEST_F(ChannelTest, SubsettingBoundsActualPicks) {
+  ChannelOptions opts;
+  opts.policy = PickPolicy::kRoundRobin;
+  opts.subset_size = 2;
+  Channel channel(client_.get(), "echo", backends_, opts);
+  ASSERT_EQ(channel.backends().size(), 2u);
+  const std::set<MachineId> subset(channel.backends().begin(), channel.backends().end());
+  for (int i = 0; i < 20; ++i) {
+    channel.Call(kEcho, Payload::Modeled(64), [](const CallResult& r, Payload) {
+      EXPECT_TRUE(r.status.ok());
+    });
+  }
+  system_.sim().Run();
+  // Every request landed inside the subset; machines outside it saw nothing.
+  int total = 0;
+  for (size_t s = 0; s < servers_.size(); ++s) {
+    total += CountServed(s);
+    if (!subset.contains(backends_[s])) {
+      EXPECT_EQ(CountServed(s), 0) << s;
+    }
+  }
+  EXPECT_EQ(total, 20);
+}
+
+TEST_F(ChannelTest, NearestBreaksRttTiesByBackendOrder) {
+  // Cross-cluster base RTT depends only on the cluster pair, so two backends
+  // in the same remote cluster are an exact RTT tie from this client. The
+  // nearest ordering must break the tie stably by list position: reversing
+  // the backend list flips the preferred backend (determinism by config, not
+  // by machine id).
+  const Topology& topo = system_.topology();
+  const MachineId x = topo.MachineAt(1, 3);
+  const MachineId y = topo.MachineAt(1, 4);
+  ASSERT_EQ(topo.BaseRtt(client_->machine(), x), topo.BaseRtt(client_->machine(), y));
+  ChannelOptions opts;
+  opts.policy = PickPolicy::kNearest;
+  Channel forward(client_.get(), "echo", {x, y}, opts);
+  EXPECT_EQ(forward.PeekTarget(), x);
+  Channel reversed(client_.get(), "echo", {y, x}, opts);
+  EXPECT_EQ(reversed.PeekTarget(), y);
+}
+
+TEST_F(ChannelTest, OutstandingReturnsToZeroOnAllOutcomePaths) {
+  // Successes, hedge winners/losers, and deadline failures must all hand
+  // their outstanding slot back (a leak would skew least-loaded forever).
+  ChannelOptions opts;
+  opts.policy = PickPolicy::kLeastLoaded;
+  opts.hedge_delay = Micros(50);
+  opts.default_deadline = Millis(2);
+  Channel channel(client_.get(), "echo", backends_, opts);
+  int completed = 0;
+  for (int i = 0; i < 40; ++i) {
+    channel.Call(kEcho, Payload::Modeled(64),
+                 [&](const CallResult&, Payload) { ++completed; });
+  }
+  // A burst against a deliberately tight deadline forces failures too.
+  ChannelOptions tight = opts;
+  tight.default_deadline = Micros(1);
+  Channel doomed(client_.get(), "echo", backends_, tight);
+  for (int i = 0; i < 10; ++i) {
+    doomed.Call(kEcho, Payload::Modeled(64),
+                [&](const CallResult& r, Payload) {
+                  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+                  ++completed;
+                });
+  }
+  system_.sim().Run();
+  EXPECT_EQ(completed, 50);
+  for (size_t b = 0; b < backends_.size(); ++b) {
+    EXPECT_EQ(channel.outstanding(b), 0) << b;
+    EXPECT_EQ(doomed.outstanding(b), 0) << b;
+  }
+}
+
+TEST_F(ChannelTest, OutlierEjectionEjectsProbesAndReadmits) {
+  ChannelOptions opts;
+  opts.policy = PickPolicy::kRoundRobin;
+  opts.default_deadline = Millis(20);
+  opts.outlier.enabled = true;
+  opts.outlier.min_samples = 4;
+  opts.outlier.failure_rate_threshold = 0.5;
+  opts.outlier.base_ejection = Millis(200);
+  Channel channel(client_.get(), "echo", backends_, opts);
+  // Kill backend 0 up front; bring it back at 150ms (inside the first
+  // ejection window, so the first canary probe succeeds).
+  servers_[0]->Crash();
+  system_.sim().Schedule(Millis(150), [&]() { servers_[0]->Restart(); });
+  // Open-loop load, 1 call/ms for 600ms.
+  int ok = 0, failed = 0;
+  for (int i = 0; i < 600; ++i) {
+    system_.sim().Schedule(Millis(1) * i, [&]() {
+      channel.Call(kEcho, Payload::Modeled(64), [&](const CallResult& r, Payload) {
+        (r.status.ok() ? ok : failed)++;
+      });
+    });
+  }
+  uint64_t picks_at_100 = 0, picks_at_180 = 0;
+  BackendHealth health_at_100 = BackendHealth::kHealthy;
+  system_.sim().Schedule(Millis(100), [&]() {
+    picks_at_100 = channel.picks(0);
+    health_at_100 = channel.health(0);
+  });
+  system_.sim().Schedule(Millis(180), [&]() { picks_at_180 = channel.picks(0); });
+  system_.sim().Run();
+  // Ejected quickly (4+ consecutive UNAVAILABLEs at <=16ms), and frozen: no
+  // picks land on the ejected backend inside its window.
+  EXPECT_EQ(health_at_100, BackendHealth::kEjected);
+  EXPECT_EQ(picks_at_100, picks_at_180);
+  EXPECT_GE(channel.ejections(0), 1u);
+  // The window expired while the backend was healthy again: exactly one
+  // canary probe readmitted it, and it finished the run healthy and serving.
+  EXPECT_GE(channel.canary_probes(0), 1u);
+  EXPECT_GE(channel.readmissions(0), 1u);
+  EXPECT_EQ(channel.health(0), BackendHealth::kHealthy);
+  EXPECT_GT(servers_[0]->requests_served(), 0u);
+  EXPECT_GT(ok, 500);
+  for (size_t b = 0; b < backends_.size(); ++b) {
+    EXPECT_EQ(channel.outstanding(b), 0) << b;
+  }
+}
+
+TEST_F(ChannelTest, GraySlowBackendEjectedByLatencyThreshold) {
+  ChannelOptions opts;
+  opts.policy = PickPolicy::kRoundRobin;
+  opts.outlier.enabled = true;
+  opts.outlier.min_samples = 4;
+  opts.outlier.failure_rate_threshold = 0.5;
+  opts.outlier.latency_threshold = Millis(2);  // 200us echo is far below.
+  opts.outlier.base_ejection = Millis(100);
+  // Only the near backends: the cross-continent one is *legitimately* slower
+  // than the threshold and would (correctly) be ejected too.
+  const std::vector<MachineId> near(backends_.begin(), backends_.begin() + 3);
+  Channel channel(client_.get(), "echo", near, opts);
+  // Backend 0 keeps answering, but 50x slower: a health check would pass,
+  // the latency-outlier rule must not.
+  servers_[0]->set_app_speed_factor(50.0);
+  for (int i = 0; i < 100; ++i) {
+    system_.sim().Schedule(Millis(1) * i, [&]() {
+      channel.Call(kEcho, Payload::Modeled(64), [](const CallResult&, Payload) {});
+    });
+  }
+  system_.sim().Run();
+  EXPECT_GE(channel.ejections(0), 1u);
+  for (size_t b = 1; b < near.size(); ++b) {
+    EXPECT_EQ(channel.ejections(b), 0u) << b;
+  }
+}
+
 TEST_F(ChannelTest, RetryBackoffIsJitteredExponential) {
   // Call an empty machine with retries; measure total time across attempts.
   CallOptions opts;

@@ -155,6 +155,204 @@ TEST(RpcRobustnessTest, TraceSamplingReducesStoredSpans) {
   EXPECT_NEAR(kept, 0.1, 0.04);
 }
 
+TEST(RpcRobustnessTest, BackoffJitterDiffersAcrossClients) {
+  // Two clients retrying against the same dead target must draw *different*
+  // jitter sequences: identical backoff schedules mean every client in a
+  // fleet re-sends in lockstep (thundering herd), which full jitter exists
+  // to break. The backoff RNG is seeded from (system seed, machine id).
+  RpcSystem system(QuietFabric());
+  Client a(&system, system.topology().MachineAt(0, 1));
+  Client b(&system, system.topology().MachineAt(0, 2));
+  CallOptions opts;
+  opts.max_retries = 4;
+  opts.retry_backoff = Millis(10);
+  const MachineId empty = system.topology().MachineAt(3, 0);
+  SimTime done_a = 0, done_b = 0;
+  a.Call(empty, kEcho, Payload::Modeled(64), opts,
+         [&](const CallResult&, Payload) { done_a = system.sim().Now(); });
+  b.Call(empty, kEcho, Payload::Modeled(64), opts,
+         [&](const CallResult&, Payload) { done_b = system.sim().Now(); });
+  system.sim().Run();
+  EXPECT_GT(done_a, 0);
+  EXPECT_GT(done_b, 0);
+  EXPECT_NE(done_a, done_b);
+}
+
+TEST(RpcRobustnessTest, BoundedClientQueueRejectsPromptly) {
+  // With max_queue_depth set, a burst beyond the tx pipeline's bound must
+  // fail *immediately* with RESOURCE_EXHAUSTED — not sit in an unbounded
+  // queue (the old max_queue_depth = 0 default silently never rejected).
+  RpcSystem system(QuietFabric());
+  Server server(&system, system.topology().MachineAt(0, 0), ServerOptions{});
+  RegisterEcho(server, Micros(100));
+  ClientOptions copts;
+  copts.tx_workers = 1;
+  copts.max_queue_depth = 2;
+  Client client(&system, system.topology().MachineAt(0, 1), copts);
+  int ok = 0, exhausted = 0;
+  SimTime last_rejection_at = -1;
+  for (int i = 0; i < 16; ++i) {
+    client.Call(server.machine(), kEcho, Payload::Modeled(64), {},
+                [&](const CallResult& result, Payload) {
+                  if (result.status.ok()) {
+                    ++ok;
+                  } else if (result.status.code() == StatusCode::kResourceExhausted) {
+                    ++exhausted;
+                    last_rejection_at = system.sim().Now();
+                  }
+                });
+  }
+  system.sim().Run();
+  EXPECT_EQ(ok + exhausted, 16);
+  EXPECT_GT(exhausted, 0);
+  EXPECT_EQ(last_rejection_at, 0);  // Rejections fired at submit time.
+  EXPECT_EQ(client.queue_rejections(), static_cast<uint64_t>(exhausted));
+  // Every rejection produced a span (observability, not silence).
+  EXPECT_EQ(system.tracer().recorded(), 16u);
+}
+
+TEST(RpcRobustnessTest, RetryBudgetSuppressesRetryStorm) {
+  RpcSystem system(QuietFabric());
+  ClientOptions copts;
+  copts.retry_budget.enabled = true;
+  copts.retry_budget.initial_tokens = 2;
+  copts.retry_budget.refill_per_success = 0;  // Nothing succeeds here.
+  Client client(&system, system.topology().MachineAt(0, 1), copts);
+  CallOptions opts;
+  opts.max_retries = 10;
+  opts.retry_backoff = Micros(100);
+  const MachineId empty = system.topology().MachineAt(3, 0);
+  CallResult got;
+  client.Call(empty, kEcho, Payload::Modeled(64), opts,
+              [&](const CallResult& r, Payload) { got = r; });
+  system.sim().Run();
+  // 1 initial attempt + 2 budgeted retries; the 3rd retry was suppressed and
+  // the call failed with the underlying error.
+  EXPECT_EQ(got.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(got.attempts, 3);
+  EXPECT_EQ(client.retries_attempted(), 2u);
+  EXPECT_EQ(client.retries_suppressed(), 1u);
+  EXPECT_EQ(client.retry_budget().exhausted(), 1u);
+}
+
+TEST(RpcRobustnessTest, ParentDeadlinePropagatesToChildCalls) {
+  RpcSystem system(QuietFabric());
+  Server server(&system, system.topology().MachineAt(0, 0), ServerOptions{});
+  RegisterEcho(server, Millis(50));  // Far slower than the parent's budget.
+  Client client(&system, system.topology().MachineAt(0, 1));
+  // Child inherits the parent's remaining 5ms even with no explicit deadline.
+  CallOptions child;
+  child.parent_deadline_time = Millis(5);
+  CallResult got;
+  SimTime done_at = 0;
+  client.Call(server.machine(), kEcho, Payload::Modeled(64), child,
+              [&](const CallResult& r, Payload) {
+                got = r;
+                done_at = system.sim().Now();
+              });
+  system.sim().Run();
+  EXPECT_EQ(got.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(done_at, Millis(5));  // Clamped to the parent's budget exactly.
+}
+
+TEST(RpcRobustnessTest, DeadParentDeadlineFailsWithoutBurningCycles) {
+  RpcSystem system(QuietFabric());
+  Server server(&system, system.topology().MachineAt(0, 0), ServerOptions{});
+  RegisterEcho(server);
+  Client client(&system, system.topology().MachineAt(0, 1));
+  CallOptions child;
+  child.parent_deadline_time = Millis(5);
+  bool completed = false;
+  system.sim().Schedule(Millis(10), [&]() {  // Parent budget already dead.
+    client.Call(server.machine(), kEcho, Payload::Modeled(64), child,
+                [&](const CallResult& r, Payload) {
+                  completed = true;
+                  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+                  EXPECT_EQ(system.sim().Now(), Millis(10));  // Immediate.
+                });
+  });
+  system.sim().Run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(client.dead_on_arrival(), 1u);
+  EXPECT_EQ(server.requests_served(), 0u);  // No downstream work at all.
+}
+
+TEST(RpcRobustnessTest, AdmissionControlShedsUnmeetableDeadlines) {
+  RpcSystem system(QuietFabric());
+  ServerOptions sopts;
+  sopts.app_workers = 1;
+  sopts.shed_on_deadline = true;
+  Server server(&system, system.topology().MachineAt(0, 0), sopts);
+  RegisterEcho(server, Millis(10));
+  Client client(&system, system.topology().MachineAt(0, 1));
+  CallOptions opts;
+  opts.deadline = Millis(25);
+  // Warm the server's handler-time estimate with one uncontended call, then
+  // send a burst 10x deeper than the deadline can cover.
+  int ok = 0, shed = 0, deadline = 0;
+  auto tally = [&](const CallResult& r, Payload) {
+    if (r.status.ok()) {
+      ++ok;
+    } else if (r.status.code() == StatusCode::kResourceExhausted) {
+      ++shed;
+    } else if (r.status.code() == StatusCode::kDeadlineExceeded) {
+      ++deadline;
+    }
+  };
+  client.Call(server.machine(), kEcho, Payload::Modeled(64), opts, tally);
+  system.sim().Schedule(Millis(15), [&]() {
+    for (int i = 0; i < 20; ++i) {
+      client.Call(server.machine(), kEcho, Payload::Modeled(64), opts, tally);
+    }
+  });
+  system.sim().Run();
+  EXPECT_EQ(ok + shed + deadline, 21);
+  // ~2 of the burst fit the 25ms budget at 10ms per request; the rest are
+  // shed on arrival instead of timing out after queueing.
+  EXPECT_GT(shed, 10);
+  EXPECT_EQ(server.requests_shed(), static_cast<uint64_t>(shed));
+  // Shedding on arrival means almost nothing waits out its full deadline.
+  EXPECT_LE(deadline, 2);
+}
+
+TEST(RpcRobustnessTest, CrashAnswersInflightAndRefusesNewCalls) {
+  RpcSystem system(QuietFabric());
+  Server server(&system, system.topology().MachineAt(0, 0), ServerOptions{});
+  RegisterEcho(server, Millis(20));  // Slow enough to be mid-flight at crash.
+  Client client(&system, system.topology().MachineAt(0, 1));
+  StatusCode inflight_code = StatusCode::kOk;
+  SimTime inflight_done_at = 0;
+  client.Call(server.machine(), kEcho, Payload::Modeled(64), {},
+              [&](const CallResult& r, Payload) {
+                inflight_code = r.status.code();
+                inflight_done_at = system.sim().Now();
+              });
+  system.sim().Schedule(Millis(5), [&]() { server.Crash(); });
+  // A call issued while the server is down is refused on arrival.
+  StatusCode down_code = StatusCode::kOk;
+  system.sim().Schedule(Millis(10), [&]() {
+    client.Call(server.machine(), kEcho, Payload::Modeled(64), {},
+                [&](const CallResult& r, Payload) { down_code = r.status.code(); });
+  });
+  // After restart the server serves again (empty, but alive).
+  StatusCode after_code = StatusCode::kUnavailable;
+  system.sim().Schedule(Millis(15), [&]() { server.Restart(); });
+  system.sim().Schedule(Millis(16), [&]() {
+    client.Call(server.machine(), kEcho, Payload::Modeled(64), {},
+                [&](const CallResult& r, Payload) { after_code = r.status.code(); });
+  });
+  system.sim().Run();
+  // The in-flight call saw a connection reset at crash time, not a hang until
+  // its (absent) deadline.
+  EXPECT_EQ(inflight_code, StatusCode::kUnavailable);
+  EXPECT_GE(inflight_done_at, Millis(5));
+  EXPECT_LT(inflight_done_at, Millis(10));
+  EXPECT_EQ(down_code, StatusCode::kUnavailable);
+  EXPECT_EQ(after_code, StatusCode::kOk);
+  EXPECT_EQ(server.crash_killed_calls(), 1u);
+  EXPECT_EQ(server.incarnation(), 1u);
+}
+
 // Property sweep: the DES pipeline conserves latency — the client-observed
 // completion time equals the sum of the nine components for every payload size.
 class PipelineConservationTest : public ::testing::TestWithParam<int64_t> {};

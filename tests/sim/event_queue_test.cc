@@ -93,6 +93,39 @@ TEST(EventQueueTest, PushBehindPeekedCursorStaysOrdered) {
                        {Micros(10), 1}, {Micros(500), 2}, {Micros(1000), 0}}));
 }
 
+TEST(EventQueueTest, RebalanceCoversFormerOverflowRange) {
+  // Regression: a dense cluster late in the window triggers a rebalance that
+  // re-anchors the (narrower) window at the cluster — which can extend PAST
+  // the old window's end, into the range earlier pushes sent to overflow.
+  // Those overflow events must be pulled into the new window, or they pop
+  // only at the next rebuild, after later in-window events: out of order.
+  LadderEventQueue ladder;
+  uint64_t seq = 0;
+  // Beyond the initial ~2.1 ms window: goes to overflow.
+  const SimTime overflow_time = 2120000;
+  ladder.Push(MakeEvent(overflow_time, seq++));
+  // A >64-event cluster with distinct times inside one late bucket: the first
+  // pop sorts that bucket and trips the density rebalance, whose re-anchored
+  // window now covers overflow_time.
+  const SimTime cluster_base = 1998900;
+  for (int i = 0; i < 70; ++i) {
+    ladder.Push(MakeEvent(cluster_base + i * 50, seq++));
+  }
+  std::vector<TimeSeq> order;
+  order.emplace_back(ladder.PopFront().time, 0);
+  order.back().second = 0;  // Only times matter below; seqs are all distinct.
+  // Pushed after the rebalance, later than the former overflow event but
+  // inside the new window: without the fix this pops before overflow_time.
+  ladder.Push(MakeEvent(overflow_time + 5000, seq++));
+  while (!ladder.Empty()) {
+    order.emplace_back(ladder.PopFront().time, 0);
+  }
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(order[i - 1].first, order[i].first) << "pop " << i << " out of order";
+  }
+  EXPECT_EQ(order.size(), 72u);
+}
+
 TEST(EventQueueTest, RandomizedInterleavedOpsMatchReferenceExactly) {
   Rng rng(0xbadf00d);
   LadderEventQueue ladder;

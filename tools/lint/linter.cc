@@ -219,8 +219,10 @@ std::vector<Finding> LintFile(const std::string& rel_path, const std::string& co
   const bool in_src = StartsWith(rel_path, "src/");
   const bool virtual_time_layer = StartsWith(rel_path, "src/sim/") ||
                                   StartsWith(rel_path, "src/net/") ||
+                                  StartsWith(rel_path, "src/fault/") ||
                                   StartsWith(rel_path, "src/fleet/");
   const bool fallible_api_layer = StartsWith(rel_path, "src/rpc/") ||
+                                  StartsWith(rel_path, "src/fault/") ||
                                   StartsWith(rel_path, "src/wire/") ||
                                   StartsWith(rel_path, "src/trace/") ||
                                   StartsWith(rel_path, "src/monitor/");
