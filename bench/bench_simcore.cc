@@ -252,6 +252,45 @@ void BM_MiniFleet_Ladder(benchmark::State& state) {
 BENCHMARK(BM_MiniFleet_Ladder);
 
 // ---------------------------------------------------------------------------
+// Shard-domain execution (docs/PARALLEL.md): the mini-fleet spread across
+// shard domains, swept over worker-thread counts. shards:1/workers:1 is the
+// legacy single-domain path and must stay within noise of BM_MiniFleet_Ladder;
+// the multi-worker rows measure conservative-PDES scaling (they only beat the
+// 1-worker row when the host actually has spare cores — see the committed
+// BENCH_parallel.json context.num_cpus for the machine the baseline ran on).
+
+void BM_MiniFleetSharded(benchmark::State& state) {
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  MiniFleetOptions options;
+  options.duration = Millis(500);
+  options.warmup = Millis(100);
+  options.frontend_rps = 400;
+  options.num_shards = static_cast<int>(state.range(0));
+  options.worker_threads = static_cast<int>(state.range(1));
+  uint64_t events = 0;
+  uint64_t rounds = 0;
+  for (auto _ : state) {
+    const MiniFleetResult result = RunMiniFleet(catalog, options);
+    events += result.events_executed;
+    rounds += result.rounds;
+    benchmark::DoNotOptimize(result.event_digest);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.counters["rounds"] =
+      benchmark::Counter(static_cast<double>(rounds), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_MiniFleetSharded)
+    ->ArgNames({"shards", "workers"})
+    ->Args({1, 1})
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Args({8, 1})
+    ->Args({8, 2})
+    ->Args({8, 8})
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// ---------------------------------------------------------------------------
 // Wire path: frame encode with per-call allocation (the pre-overhaul shape)
 // vs a reused WireScratch (what Client/Server now do).
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/common/check.h"
+
 namespace rpcscope {
 
 LogHistogram::LogHistogram(const Options& options) : options_(options) {
@@ -54,7 +56,17 @@ void LogHistogram::AddCount(double value, int64_t count) {
 }
 
 void LogHistogram::Merge(const LogHistogram& other) {
-  assert(buckets_.size() == other.buckets_.size());
+  // Merging mismatched layouts would silently misattribute counts to the
+  // wrong value ranges; the sharded-metrics merge path depends on this being
+  // loud, so it is a CHECK in all build types.
+  RPCSCOPE_CHECK_EQ(options_.min_value, other.options_.min_value)
+      << "LogHistogram::Merge: min_value mismatch";
+  RPCSCOPE_CHECK_EQ(options_.max_value, other.options_.max_value)
+      << "LogHistogram::Merge: max_value mismatch";
+  RPCSCOPE_CHECK_EQ(options_.buckets_per_decade, other.options_.buckets_per_decade)
+      << "LogHistogram::Merge: buckets_per_decade mismatch";
+  RPCSCOPE_CHECK_EQ(buckets_.size(), other.buckets_.size())
+      << "LogHistogram::Merge: bucket-layout mismatch";
   for (size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
   }

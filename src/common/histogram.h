@@ -27,8 +27,9 @@ class LogHistogram {
   void Add(double value) { AddCount(value, 1); }
   void AddCount(double value, int64_t count);
 
-  // Merges another histogram with identical options. Precondition: the bucket
-  // layouts match.
+  // Merges another histogram with identical options. The bucket layouts must
+  // match — enforced with RPCSCOPE_CHECK in all build types, since the
+  // sharded-metrics merge path would otherwise misattribute counts silently.
   void Merge(const LogHistogram& other);
 
   int64_t count() const { return count_; }

@@ -16,64 +16,99 @@ bool Contains(const std::vector<MachineId>& sorted, MachineId m) {
 }  // namespace
 
 FaultInjector::FaultInjector(RpcSystem* system, FaultPlan plan, const Options& options)
-    : system_(system),
-      plan_(std::move(plan)),
-      options_(options),
-      drop_rng_(Mix64(options.seed ^ system->options().seed)),
-      crashes_counter_(&system->metrics().GetCounter("fault.crashes")),
-      restarts_counter_(&system->metrics().GetCounter("fault.restarts")),
-      partition_drops_counter_(&system->metrics().GetCounter("fault.partition_drops")),
-      loss_drops_counter_(&system->metrics().GetCounter("fault.loss_drops")),
-      gray_windows_counter_(&system->metrics().GetCounter("fault.gray_windows")) {}
+    : system_(system), plan_(std::move(plan)), options_(options) {
+  const int num_shards = system->num_shards();
+  const uint64_t base_seed = Mix64(options.seed ^ system->options().seed);
+  drop_rngs_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    // Shard 0 draws the legacy sequence; shards > 0 get decorrelated streams.
+    drop_rngs_.emplace_back(s == 0 ? base_seed
+                                   : Mix64(base_seed + static_cast<uint64_t>(s)));
+  }
+  const size_t n = static_cast<size_t>(num_shards);
+  crashes_applied_.assign(n, 0);
+  restarts_applied_.assign(n, 0);
+  partition_drops_.assign(n, 0);
+  loss_drops_.assign(n, 0);
+  gray_windows_applied_.assign(n, 0);
+  crashes_counters_.reserve(n);
+  restarts_counters_.reserve(n);
+  partition_drops_counters_.reserve(n);
+  loss_drops_counters_.reserve(n);
+  gray_windows_counters_.reserve(n);
+  for (int s = 0; s < num_shards; ++s) {
+    MetricRegistry& metrics = system->shard(s).metrics;
+    crashes_counters_.push_back(&metrics.GetCounter("fault.crashes"));
+    restarts_counters_.push_back(&metrics.GetCounter("fault.restarts"));
+    partition_drops_counters_.push_back(&metrics.GetCounter("fault.partition_drops"));
+    loss_drops_counters_.push_back(&metrics.GetCounter("fault.loss_drops"));
+    gray_windows_counters_.push_back(&metrics.GetCounter("fault.gray_windows"));
+  }
+}
 
 FaultInjector::FaultInjector(RpcSystem* system, FaultPlan plan)
     : FaultInjector(system, std::move(plan), Options{}) {}
 
 FaultInjector::~FaultInjector() {
-  if (system_->fabric().interceptor() == this) {
-    system_->fabric().set_interceptor(nullptr);
+  for (int s = 0; s < system_->num_shards(); ++s) {
+    Fabric& fabric = system_->shard(s).fabric;
+    if (fabric.interceptor() == this) {
+      fabric.set_interceptor(nullptr);
+    }
   }
 }
 
+uint64_t FaultInjector::Sum(const std::vector<uint64_t>& per_shard) {
+  uint64_t total = 0;
+  for (uint64_t v : per_shard) {
+    total += v;
+  }
+  return total;
+}
+
 void FaultInjector::ScheduleCrash(const CrashFault& fault) {
-  Simulator& sim = system_->sim();
+  // The crash manipulates the target Server, so it must execute in the shard
+  // domain that owns the machine.
   const MachineId machine = fault.machine;
-  sim.ScheduleAt(std::max(fault.at, sim.Now()), [this, machine]() {
+  const size_t shard = static_cast<size_t>(system_->ShardOf(machine));
+  Simulator& sim = system_->ShardFor(machine).sim();
+  sim.ScheduleAt(std::max(fault.at, sim.Now()), [this, machine, shard]() {
     Server* server = system_->ServerAt(machine);
     if (server == nullptr || !server->up()) {
       return;
     }
     server->Crash();
-    ++crashes_applied_;
-    crashes_counter_->Increment();
+    ++crashes_applied_[shard];
+    crashes_counters_[shard]->Increment();
   });
   if (fault.restart_at > fault.at) {
-    sim.ScheduleAt(std::max(fault.restart_at, sim.Now()), [this, machine]() {
+    sim.ScheduleAt(std::max(fault.restart_at, sim.Now()), [this, machine, shard]() {
       Server* server = system_->ServerAt(machine);
       if (server == nullptr || server->up()) {
         return;
       }
       server->Restart();
-      ++restarts_applied_;
-      restarts_counter_->Increment();
+      ++restarts_applied_[shard];
+      restarts_counters_[shard]->Increment();
     });
   }
 }
 
 void FaultInjector::ScheduleGray(size_t gray_index) {
-  Simulator& sim = system_->sim();
   const GraySlowFault& fault = plan_.gray_slowdowns[gray_index];
   const MachineId machine = fault.machine;
+  const size_t shard = static_cast<size_t>(system_->ShardOf(machine));
+  Simulator& sim = system_->ShardFor(machine).sim();
   const double factor = fault.factor;
-  sim.ScheduleAt(std::max(fault.start, sim.Now()), [this, gray_index, machine, factor]() {
+  sim.ScheduleAt(std::max(fault.start, sim.Now()), [this, gray_index, machine, shard, factor]() {
     Server* server = system_->ServerAt(machine);
     if (server == nullptr) {
       return;
     }
     gray_saved_factor_[gray_index] = server->options().app_speed_factor;
     server->set_app_speed_factor(gray_saved_factor_[gray_index] * factor);
-    ++gray_windows_applied_;
-    gray_windows_counter_->Increment();
+    ++gray_windows_applied_[shard];
+    gray_windows_counters_[shard]->Increment();
   });
   sim.ScheduleAt(std::max(fault.end, sim.Now()), [this, gray_index, machine]() {
     Server* server = system_->ServerAt(machine);
@@ -112,24 +147,30 @@ Status FaultInjector::Arm() {
     armed.end = fault.end;
     armed_partitions_.push_back(std::move(armed));
   }
-  // Partitions and packet loss act on frames, so the injector hooks the
-  // fabric (crash replies included: a reset racing a partition is lost).
+  // Partitions and packet loss act on frames, so the injector hooks every
+  // shard's fabric (crash replies included: a reset racing a partition is
+  // lost). Frames are intercepted in the sender's domain.
   if (!armed_partitions_.empty() || !plan_.losses.empty()) {
-    system_->fabric().set_interceptor(this);
+    for (int s = 0; s < system_->num_shards(); ++s) {
+      system_->shard(s).fabric.set_interceptor(this);
+    }
   }
   return Status::Ok();
 }
 
 bool FaultInjector::OnSend(MachineId src, MachineId dst, int64_t /*bytes*/) {
-  const SimTime now = system_->sim().Now();
+  // Called from the sender's fabric: src's shard domain is executing, so only
+  // that shard's clock, RNG stream, and tally slots are touched here.
+  const size_t shard = static_cast<size_t>(system_->ShardOf(src));
+  const SimTime now = system_->shard(static_cast<int>(shard)).sim().Now();
   for (const ArmedPartition& p : armed_partitions_) {
     if (now < p.start || now >= p.end) {
       continue;
     }
     if ((Contains(p.group_a, src) && Contains(p.group_b, dst)) ||
         (Contains(p.group_a, dst) && Contains(p.group_b, src))) {
-      ++partition_drops_;
-      partition_drops_counter_->Increment();
+      ++partition_drops_[shard];
+      partition_drops_counters_[shard]->Increment();
       return true;
     }
   }
@@ -145,9 +186,9 @@ bool FaultInjector::OnSend(MachineId src, MachineId dst, int64_t /*bytes*/) {
     }
     // The RNG is drawn only for matched frames inside an active window, so
     // the draw sequence — and with it the whole run — is plan-deterministic.
-    if (drop_rng_.NextDouble() < l.loss_probability) {
-      ++loss_drops_;
-      loss_drops_counter_->Increment();
+    if (drop_rngs_[shard].NextDouble() < l.loss_probability) {
+      ++loss_drops_[shard];
+      loss_drops_counters_[shard]->Increment();
       return true;
     }
   }

@@ -4,9 +4,16 @@
 // call into the target Server; partitions and packet loss are enforced by
 // installing the injector as the fabric's FabricInterceptor and window-
 // checking each frame against the plan in virtual time. All loss randomness
-// comes from one seeded stream whose draws happen only for frames matched by
+// comes from seeded streams whose draws happen only for frames matched by
 // an active loss window, so a given (plan, workload, seed) triple replays
 // bit-for-bit — chaos runs are debuggable, not merely repeatable on average.
+//
+// Sharded runs: every fault event executes in the shard domain that owns its
+// target machine, and every injector mutable (loss RNG, drop tallies, mirror
+// counters) is per-shard — frames are intercepted in the *sender's* domain,
+// so state is indexed by ShardOf(src) and no two domains ever touch the same
+// slot. With one shard this reduces exactly to the legacy behavior (shard 0
+// keeps the legacy RNG seed).
 #ifndef RPCSCOPE_SRC_FAULT_INJECTOR_H_
 #define RPCSCOPE_SRC_FAULT_INJECTOR_H_
 
@@ -36,21 +43,24 @@ class FaultInjector : public FabricInterceptor {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   // Validates the plan, schedules every crash/restart/gray window on the
-  // simulator, and installs the fabric hook. Call once, before (or during)
-  // the run; faults whose time is already past fire immediately.
+  // owning shard's simulator, and installs the fabric hook on every shard.
+  // Call once, before (or during) the run; faults whose time is already past
+  // fire immediately.
   [[nodiscard]] Status Arm();
 
   // FabricInterceptor: true = drop the frame (partition or packet loss).
+  // Runs in the sending machine's shard domain.
   bool OnSend(MachineId src, MachineId dst, int64_t bytes) override;
 
-  // Injection accounting (also mirrored into RpcSystem::metrics() under
-  // fault.crashes / fault.restarts / fault.partition_drops / fault.loss_drops
-  // / fault.gray_windows).
-  uint64_t crashes_applied() const { return crashes_applied_; }
-  uint64_t restarts_applied() const { return restarts_applied_; }
-  uint64_t partition_drops() const { return partition_drops_; }
-  uint64_t loss_drops() const { return loss_drops_; }
-  uint64_t gray_windows_applied() const { return gray_windows_applied_; }
+  // Injection accounting, summed across shards (also mirrored into each
+  // shard's metrics registry under fault.crashes / fault.restarts /
+  // fault.partition_drops / fault.loss_drops / fault.gray_windows;
+  // RpcSystem::MergedCounter aggregates those).
+  uint64_t crashes_applied() const { return Sum(crashes_applied_); }
+  uint64_t restarts_applied() const { return Sum(restarts_applied_); }
+  uint64_t partition_drops() const { return Sum(partition_drops_); }
+  uint64_t loss_drops() const { return Sum(loss_drops_); }
+  uint64_t gray_windows_applied() const { return Sum(gray_windows_applied_); }
 
  private:
   // A partition with its groups sorted for binary-search membership tests.
@@ -61,27 +71,35 @@ class FaultInjector : public FabricInterceptor {
     SimTime end = 0;
   };
 
+  static uint64_t Sum(const std::vector<uint64_t>& per_shard);
+
   void ScheduleCrash(const CrashFault& fault);
   void ScheduleGray(size_t gray_index);
 
   RpcSystem* system_;
   FaultPlan plan_;
   Options options_;
-  Rng drop_rng_;
+  // One loss-RNG stream per shard (drawn only in that shard's domain).
+  // Shard 0 keeps the legacy seed so single-shard chaos replays unchanged.
+  std::vector<Rng> drop_rngs_;
   bool armed_ = false;
   std::vector<ArmedPartition> armed_partitions_;
   // Original app_speed_factor per gray fault, captured at window start.
+  // Distinct faults may live in distinct shards; each touches only its own
+  // element.
   std::vector<double> gray_saved_factor_;
-  uint64_t crashes_applied_ = 0;
-  uint64_t restarts_applied_ = 0;
-  uint64_t partition_drops_ = 0;
-  uint64_t loss_drops_ = 0;
-  uint64_t gray_windows_applied_ = 0;
-  Counter* crashes_counter_;
-  Counter* restarts_counter_;
-  Counter* partition_drops_counter_;
-  Counter* loss_drops_counter_;
-  Counter* gray_windows_counter_;
+  // Tallies indexed by shard; accessors sum them.
+  std::vector<uint64_t> crashes_applied_;
+  std::vector<uint64_t> restarts_applied_;
+  std::vector<uint64_t> partition_drops_;
+  std::vector<uint64_t> loss_drops_;
+  std::vector<uint64_t> gray_windows_applied_;
+  // Mirror counters, one per shard registry (stable addresses).
+  std::vector<Counter*> crashes_counters_;
+  std::vector<Counter*> restarts_counters_;
+  std::vector<Counter*> partition_drops_counters_;
+  std::vector<Counter*> loss_drops_counters_;
+  std::vector<Counter*> gray_windows_counters_;
 };
 
 }  // namespace rpcscope

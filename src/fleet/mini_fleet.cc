@@ -11,7 +11,9 @@ namespace {
 constexpr MethodId kServe = 1;
 
 // One deployed service: a couple of replicas plus a co-located client for
-// issuing child RPCs from handlers.
+// issuing child RPCs from handlers. All replicas live in one cluster, so a
+// deployment belongs to exactly one shard domain and its client and RNG are
+// only ever touched from that domain.
 struct Deployment {
   int32_t service_id = -1;
   std::vector<MachineId> machines;
@@ -30,21 +32,30 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   RpcSystemOptions sys_opts;
   sys_opts.seed = options.seed;
   sys_opts.sim_queue = options.sim_queue;
+  sys_opts.num_shards = options.num_shards;
   sys_opts.fabric.congestion_probability = 0.01;
   RpcSystem system(sys_opts);
   const Topology& topo = system.topology();
   const StudiedServices& ids = catalog.studied();
 
+  // Placement. Single-domain runs keep the legacy layout (everything packed
+  // into cluster 0, frontends in cluster 1) so existing fingerprints hold
+  // bit-for-bit. Sharded runs give each service its own cluster — then
+  // ShardOf (cluster % num_shards) spreads the graph across domains and the
+  // Table-1 dependency edges exercise the cross-shard fabric path.
+  const bool spread = system.num_shards() > 1;
   Rng placement(options.seed ^ 0x111);
   int next_machine = 0;
+  int next_cluster = 0;
   auto deploy = [&](int32_t service_id, int replicas, int app_workers) {
     auto d = std::make_unique<Deployment>();
     d->service_id = service_id;
     d->rng = std::make_shared<Rng>(placement.Fork(static_cast<uint64_t>(service_id)));
     ServerOptions server_opts;
     server_opts.app_workers = app_workers;
+    const ClusterId cluster = spread ? next_cluster++ : 0;
     for (int r = 0; r < replicas; ++r) {
-      const MachineId m = topo.MachineAt(0, next_machine++);
+      const MachineId m = spread ? topo.MachineAt(cluster, r) : topo.MachineAt(0, next_machine++);
       d->machines.push_back(m);
       d->servers.push_back(std::make_unique<Server>(&system, m, server_opts));
     }
@@ -65,13 +76,17 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
 
   // Helper: issue a child call linked to the parent span, inheriting the
   // parent's remaining deadline (ChildOptions fills trace linkage and
-  // parent_deadline_time).
-  auto child_call = [](Deployment& target, std::shared_ptr<ServerCall> parent,
-                       int64_t request_bytes, CallCallback done) {
+  // parent_deadline_time). The call is owned by the *calling* deployment —
+  // its client issues it and its RNG picks the replica — because the handler
+  // executes in the caller's shard domain and must not touch target-shard
+  // state directly; the fabric is the only cross-shard edge.
+  auto child_call = [](Deployment& caller, Deployment& target,
+                       std::shared_ptr<ServerCall> parent, int64_t request_bytes,
+                       CallCallback done) {
     CallOptions opts = parent->ChildOptions();
     opts.service_id = target.service_id;
-    const MachineId machine = target.Pick(*target.rng);
-    target.client->Call(machine, kServe, Payload::Modeled(request_bytes), opts,
+    const MachineId machine = target.Pick(*caller.rng);
+    caller.client->Call(machine, kServe, Payload::Modeled(request_bytes), opts,
                         std::move(done));
   };
 
@@ -95,7 +110,7 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
           const double us = d->rng->NextLognormal(std::log(350.0), 0.6);
           call->Compute(DurationFromMicros(us), [d, nd, &child_call, call]() {
             if (d->rng->NextBool(0.45)) {
-              child_call(*nd, call, 512, [call](const CallResult&, Payload) {
+              child_call(*d, *nd, call, 512, [call](const CallResult&, Payload) {
                 call->Finish(Status::Ok(), Payload::Modeled(2048));
               });
             } else {
@@ -113,7 +128,7 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
           const double us = d->rng->NextLognormal(std::log(25.0), 0.4);
           call->Compute(DurationFromMicros(us), [d, bt, &child_call, call]() {
             if (d->rng->NextBool(0.20)) {
-              child_call(*bt, call, 1024, [call](const CallResult&, Payload) {
+              child_call(*d, *bt, call, 1024, [call](const CallResult&, Payload) {
                 call->Finish(Status::Ok(), Payload::Modeled(512));
               });
             } else {
@@ -140,7 +155,7 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
          &child_call](std::shared_ptr<ServerCall> call) {
           auto pending = std::make_shared<int>(4);
           for (int i = 0; i < 4; ++i) {
-            child_call(*sc, call, 400, [d, call, pending](const CallResult&, Payload) {
+            child_call(*d, *sc, call, 400, [d, call, pending](const CallResult&, Payload) {
               if (--*pending == 0) {
                 const double us = d->rng->NextLognormal(std::log(2000.0), 1.0);
                 call->Compute(DurationFromMicros(us), [call]() {
@@ -170,7 +185,7 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
           const double us = d->rng->NextLognormal(std::log(380.0), 0.8);
           call->Compute(DurationFromMicros(us), [d, nd, &child_call, call]() {
             if (d->rng->NextBool(0.3)) {
-              child_call(*nd, call, 800, [call](const CallResult&, Payload) {
+              child_call(*d, *nd, call, 800, [call](const CallResult&, Payload) {
                 call->Finish(Status::Ok(), Payload::Modeled(4096));
               });
             } else {
@@ -187,7 +202,7 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
           const double us = d->rng->NextLognormal(std::log(700.0), 1.2);
           call->Compute(DurationFromMicros(us), [d, sp, &child_call, call]() {
             if (d->rng->NextBool(0.5)) {
-              child_call(*sp, call, 800, [call](const CallResult&, Payload) {
+              child_call(*d, *sp, call, 800, [call](const CallResult&, Payload) {
                 call->Finish(Status::Ok(), Payload::Modeled(8192));
               });
             } else {
@@ -225,17 +240,26 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   frontend_clients.reserve(frontends.size());
   arrivals.reserve(frontends.size());
   Rng workload(options.seed ^ 0x222);
-  uint64_t root_calls = 0;
+  // One counter slot per frontend: each arrival callback runs in its own
+  // frontend's shard domain, so a shared counter would be a cross-domain
+  // write under sharding. Summed after the run.
+  std::vector<uint64_t> root_counts(frontends.size(), 0);
   for (size_t i = 0; i < frontends.size(); ++i) {
-    frontend_clients.push_back(std::make_unique<Client>(
-        &system, topo.MachineAt(1, static_cast<int>(i))));
+    // Sharded runs also spread the frontends, one cluster each, past the
+    // service clusters; the arrival process is scheduled on the frontend's
+    // own shard simulator.
+    const MachineId fe_machine = spread
+                                     ? topo.MachineAt(next_cluster + static_cast<int>(i), 0)
+                                     : topo.MachineAt(1, static_cast<int>(i));
+    frontend_clients.push_back(std::make_unique<Client>(&system, fe_machine));
     Client* client = frontend_clients.back().get();
     Frontend& fe = frontends[i];
     auto chooser = std::make_shared<Rng>(workload.Fork(i));
+    uint64_t* root_count = &root_counts[i];
     arrivals.push_back(std::make_unique<PoissonArrivals>(
-        &system.sim(), options.frontend_rps, options.duration, workload.NextUint64(),
-        [client, &fe, chooser, &root_calls]() {
-          ++root_calls;
+        &system.ShardFor(fe_machine).sim(), options.frontend_rps, options.duration,
+        workload.NextUint64(), [client, &fe, chooser, root_count]() {
+          ++*root_count;
           CallOptions opts;
           opts.service_id = fe.target->service_id;
           client->Call(fe.target->Pick(*chooser), kServe,
@@ -244,17 +268,38 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
         }));
   }
 
-  system.sim().Run();
+  if (system.num_shards() > 1) {
+    system.RunSharded(options.worker_threads);
+  } else {
+    system.sim().Run();
+  }
 
   MiniFleetResult result;
-  result.root_calls = root_calls;
-  result.events_executed = system.sim().events_executed();
-  result.event_digest = system.sim().event_digest();
-  result.spans.reserve(system.tracer().spans().size());
-  for (const Span& span : system.tracer().spans()) {
-    if (span.start_time >= options.warmup) {
-      result.spans.push_back(span);
-      ++result.spans_per_service[span.service_id];
+  for (uint64_t count : root_counts) {
+    result.root_calls += count;
+  }
+  if (system.num_shards() > 1) {
+    result.events_executed = system.TotalEventsExecuted();
+    result.event_digest = system.ShardedEventDigest();
+    result.rounds = system.last_rounds();
+    result.cross_domain_events = system.last_cross_domain_events();
+    const std::vector<Span> merged = system.MergedSpans();
+    result.spans.reserve(merged.size());
+    for (const Span& span : merged) {
+      if (span.start_time >= options.warmup) {
+        result.spans.push_back(span);
+        ++result.spans_per_service[span.service_id];
+      }
+    }
+  } else {
+    result.events_executed = system.sim().events_executed();
+    result.event_digest = system.sim().event_digest();
+    result.spans.reserve(system.tracer().spans().size());
+    for (const Span& span : system.tracer().spans()) {
+      if (span.start_time >= options.warmup) {
+        result.spans.push_back(span);
+        ++result.spans_per_service[span.service_id];
+      }
     }
   }
   return result;

@@ -30,6 +30,14 @@ struct MiniFleetOptions {
   // Simulator event-queue implementation. The cross-queue determinism test
   // runs the same fleet under both kinds and requires identical results.
   SimQueueKind sim_queue = SimQueueKind::kLadder;
+  // Shard-domain execution (docs/PARALLEL.md). With num_shards == 1 (the
+  // default) placement and results are exactly the legacy single-domain
+  // fleet. With more shards, each service gets its own cluster (and the
+  // frontends theirs), so the Table-1 dependency edges become cross-shard
+  // RPCs; results are deterministic per (options, num_shards) and identical
+  // for any worker_threads value.
+  int num_shards = 1;
+  int worker_threads = 1;
 };
 
 struct MiniFleetResult {
@@ -37,11 +45,15 @@ struct MiniFleetResult {
   uint64_t root_calls = 0;
   // Spans per service id, for mix sanity checks.
   std::map<int32_t, int64_t> spans_per_service;
-  // Determinism fingerprint: total events executed and the simulator's
-  // order-sensitive (time, seq) event digest. Two runs with the same options
-  // must match exactly; the determinism regression test asserts this.
+  // Determinism fingerprint: total events executed and the order-sensitive
+  // (time, seq) event digest (the per-shard fold for sharded runs). Two runs
+  // with the same options must match exactly — for sharded runs regardless
+  // of worker_threads; the determinism regression tests assert this.
   uint64_t events_executed = 0;
   uint64_t event_digest = 0;
+  // Sharded-run stats (0 for single-domain runs).
+  uint64_t rounds = 0;
+  uint64_t cross_domain_events = 0;
 };
 
 // Deploys the graph, runs it, and collects traces. `catalog` supplies service

@@ -56,6 +56,16 @@ DistributionMetric& MetricRegistry::GetDistribution(const std::string& name) {
   return *slot;
 }
 
+const Counter* MetricRegistry::FindCounter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const DistributionMetric* MetricRegistry::FindDistribution(const std::string& name) const {
+  auto it = distributions_.find(name);
+  return it == distributions_.end() ? nullptr : it->second.get();
+}
+
 void MetricRegistry::SampleAll(SimTime now) {
   for (const auto& [name, counter] : counters_) {
     TimeSeries& ts = series_[name];

@@ -94,6 +94,12 @@ class MetricRegistry {
   Gauge& GetGauge(const std::string& name);
   DistributionMetric& GetDistribution(const std::string& name);
 
+  // Non-creating lookups, for cross-shard aggregation: merging registries
+  // must not materialize default-layout instruments on shards that never
+  // touched the metric (LogHistogram::Merge CHECKs layout equality).
+  const Counter* FindCounter(const std::string& name) const;
+  const DistributionMetric* FindDistribution(const std::string& name) const;
+
   // Samples every registered instrument into its time series at `now`
   // (counters record their cumulative value; gauges their current value;
   // distributions their cumulative count). Applies retention.

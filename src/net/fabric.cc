@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "src/common/check.h"
+
 namespace rpcscope {
 
 Fabric::Fabric(Simulator* sim, const Topology* topology, const FabricOptions& options)
@@ -45,7 +47,31 @@ void Fabric::Send(MachineId src, MachineId dst, int64_t bytes, Delivery on_deliv
     return;  // The frame is lost; on_delivered is destroyed unfired.
   }
   const SimDuration latency = SampleOneWayLatency(src, dst, bytes);
+  if (home_ != nullptr) {
+    SimDomain* remote = domain_resolver_(dst);
+    if (remote->id() != home_->id()) {
+      // Cross-shard delivery: hand the frame to the destination domain via
+      // the outbox. The latency sample must honor the executor's lookahead —
+      // if this fires, the shard mapping put two machines closer together
+      // than the advertised cross-shard minimum.
+      RPCSCOPE_CHECK_GE(latency, min_remote_latency_)
+          << "cross-domain frame undercuts the conservative lookahead";
+      home_->PostRemote(remote->id(), AddClamped(sim_->Now(), latency),
+                        [latency, done = std::move(on_delivered)]() { done(latency); });
+      return;
+    }
+  }
   sim_->Schedule(latency, [latency, done = std::move(on_delivered)]() { done(latency); });
+}
+
+void Fabric::BindDomain(SimDomain* home, std::function<SimDomain*(MachineId)> resolver,
+                        SimDuration min_remote_latency) {
+  RPCSCOPE_CHECK(home != nullptr);
+  RPCSCOPE_CHECK(resolver != nullptr);
+  RPCSCOPE_CHECK_GT(min_remote_latency, 0);
+  home_ = home;
+  domain_resolver_ = std::move(resolver);
+  min_remote_latency_ = min_remote_latency;
 }
 
 }  // namespace rpcscope

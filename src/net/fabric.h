@@ -16,6 +16,7 @@
 #include "src/common/rng.h"
 #include "src/common/time.h"
 #include "src/net/topology.h"
+#include "src/sim/domain.h"
 #include "src/sim/simulator.h"
 
 namespace rpcscope {
@@ -65,6 +66,16 @@ class Fabric {
   // Deterministic minimum (no congestion) one-way latency for a path.
   SimDuration MinOneWayLatency(MachineId src, MachineId dst, int64_t bytes) const;
 
+  // Multi-domain routing (sharded runs only): after binding, Send() routes a
+  // frame whose destination machine lives in a different shard domain through
+  // `home`'s outbox instead of the local event queue — the fabric is the only
+  // inter-domain edge. `resolver` maps a machine to its owning domain;
+  // `min_remote_latency` is the executor's conservative lookahead, which every
+  // cross-domain latency sample must respect (CHECK-enforced: propagation is
+  // bounded below by the topology and serialization/congestion only add).
+  void BindDomain(SimDomain* home, std::function<SimDomain*(MachineId)> resolver,
+                  SimDuration min_remote_latency);
+
   // Installs (or clears, with nullptr) the fault-injection hook. The
   // interceptor must outlive the fabric or be cleared before destruction.
   void set_interceptor(FabricInterceptor* interceptor) { interceptor_ = interceptor; }
@@ -81,6 +92,9 @@ class Fabric {
   const Topology* topology_;
   FabricOptions options_;
   Rng rng_;
+  SimDomain* home_ = nullptr;
+  std::function<SimDomain*(MachineId)> domain_resolver_;
+  SimDuration min_remote_latency_ = 0;
   FabricInterceptor* interceptor_ = nullptr;
   uint64_t messages_sent_ = 0;
   int64_t bytes_sent_ = 0;

@@ -88,6 +88,10 @@ struct ServerReply {
   SimDuration send_queue = 0;
   SimDuration resp_proc = 0;  // Server-side share of response proc+stack.
   SimDuration resp_wire = 0;
+  // Echo of IncomingRequest::request_wire: the request's one-way wire latency
+  // rides along with the reply so the client's attempt record is written only
+  // in the client's own shard domain (never from the server's).
+  SimDuration request_wire = 0;
   CycleBreakdown server_cycles;
 };
 
@@ -102,6 +106,9 @@ struct IncomingRequest {
   SimTime deadline_time = 0;  // Absolute; 0 = none.
   TraceId trace_id = 0;
   SpanId span_id = 0;
+  // One-way wire latency the request experienced; echoed back on the reply
+  // (ServerReply::request_wire) for cross-domain-safe latency accounting.
+  SimDuration request_wire = 0;
   ServerResponder respond;
 };
 

@@ -106,7 +106,7 @@ size_t Channel::PickIndex(bool allow_canary) {
   if (!options_.outlier.enabled) {
     return PickAmongAll();
   }
-  const SimTime now = client_->system().sim().Now();
+  const SimTime now = client_->shard_context().sim().Now();
   // Expired ejection windows turn into canary probes: the lowest-index
   // candidate gets exactly one probe call (it is kProbing — ineligible for
   // normal picks — until the canary's outcome arrives).
@@ -177,7 +177,7 @@ void Channel::OnOutcome(size_t index, bool canary, const CallResult& result) {
     return;
   }
   BackendState& bs = health_[index];
-  const SimTime now = client_->system().sim().Now();
+  const SimTime now = client_->shard_context().sim().Now();
   const bool bad = IsBadOutcome(result);
   if (canary) {
     // The single probe decides: healthy again, or back in the penalty box

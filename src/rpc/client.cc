@@ -42,21 +42,22 @@ struct Client::Attempt {
 Client::Client(RpcSystem* system, MachineId machine, const ClientOptions& options)
     : system_(system),
       machine_(machine),
+      shard_(&system->ShardFor(machine)),
       machine_speed_(system->MachineSpeed(machine)),
-      tx_pool_(&system->sim(),
+      tx_pool_(&shard_->sim(),
                {.workers = options.tx_workers, .max_queue_depth = options.max_queue_depth}),
-      rx_pool_(&system->sim(),
+      rx_pool_(&shard_->sim(),
                {.workers = options.rx_workers, .max_queue_depth = options.max_queue_depth}),
       backoff_rng_(Mix64(Mix64(system->options().seed ^ 0xb0ffull) ^
                          static_cast<uint64_t>(machine))),
       retry_budget_(options.retry_budget),
       rx_processing_overhead_(options.rx_processing_overhead),
-      retries_counter_(&system->metrics().GetCounter("client.retries")),
-      retry_exhausted_counter_(&system->metrics().GetCounter("client.retry_budget_exhausted")),
-      queue_rejected_counter_(&system->metrics().GetCounter("client.queue_rejected")),
-      attempt_timeout_counter_(&system->metrics().GetCounter("client.attempt_timeouts")),
-      completions_ok_counter_(&system->metrics().GetCounter("client.completions_ok")),
-      completions_err_counter_(&system->metrics().GetCounter("client.completions_err")) {}
+      retries_counter_(&shard_->metrics.GetCounter("client.retries")),
+      retry_exhausted_counter_(&shard_->metrics.GetCounter("client.retry_budget_exhausted")),
+      queue_rejected_counter_(&shard_->metrics.GetCounter("client.queue_rejected")),
+      attempt_timeout_counter_(&shard_->metrics.GetCounter("client.attempt_timeouts")),
+      completions_ok_counter_(&shard_->metrics.GetCounter("client.completions_ok")),
+      completions_err_counter_(&shard_->metrics.GetCounter("client.completions_err")) {}
 
 void Client::CountCompletion(StatusCode code) {
   if (code == StatusCode::kOk) {
@@ -75,8 +76,8 @@ void Client::Call(MachineId target, MethodId method, Payload request, const Call
   st->primary_target = target;
   st->method = method;
   st->request = std::move(request);
-  st->trace_id = options.trace_id != 0 ? options.trace_id : system_->tracer().NewTraceId();
-  st->issue_time = system_->sim().Now();
+  st->trace_id = options.trace_id != 0 ? options.trace_id : shard_->tracer.NewTraceId();
+  st->issue_time = shard_->sim().Now();
 
   // Deadline propagation: a child call never outlives its parent's budget.
   if (st->options.parent_deadline_time > 0) {
@@ -90,7 +91,7 @@ void Client::Call(MachineId target, MethodId method, Payload request, const Call
       ++calls_completed_;
       CountCompletion(StatusCode::kDeadlineExceeded);
       Attempt att;
-      att.span_id = system_->tracer().NewSpanId();
+      att.span_id = shard_->tracer.NewSpanId();
       att.target = target;
       att.start = st->issue_time;
       RecordAttemptSpan(*st, att, StatusCode::kDeadlineExceeded);
@@ -109,7 +110,7 @@ void Client::Call(MachineId target, MethodId method, Payload request, const Call
   StartAttempt(st, target);
 
   if (st->options.hedge_delay > 0 && st->options.hedge_target >= 0) {
-    system_->sim().Schedule(st->options.hedge_delay, [this, st]() {
+    shard_->sim().Schedule(st->options.hedge_delay, [this, st]() {
       if (!st->completed && !st->hedge_launched) {
         st->hedge_launched = true;
         StartAttempt(st, st->options.hedge_target);
@@ -118,7 +119,7 @@ void Client::Call(MachineId target, MethodId method, Payload request, const Call
   }
 
   if (st->options.deadline > 0) {
-    system_->sim().Schedule(st->options.deadline, [this, st]() {
+    shard_->sim().Schedule(st->options.deadline, [this, st]() {
       if (st->completed) {
         return;
       }
@@ -137,9 +138,9 @@ void Client::Call(MachineId target, MethodId method, Payload request, const Call
 
 void Client::StartAttempt(std::shared_ptr<CallState> st, MachineId target) {
   auto att = std::make_shared<Attempt>();
-  att->span_id = system_->tracer().NewSpanId();
+  att->span_id = shard_->tracer.NewSpanId();
   att->target = target;
-  att->start = system_->sim().Now();
+  att->start = shard_->sim().Now();
   ++st->attempts_started;
 
   // Fail fast when the send queue is already over its bound: rejecting before
@@ -155,7 +156,7 @@ void Client::StartAttempt(std::shared_ptr<CallState> st, MachineId target) {
   // produces no reply event at all — without this, the attempt (and with it
   // the call, absent a deadline) would hang forever.
   if (st->options.attempt_timeout > 0) {
-    system_->sim().Schedule(st->options.attempt_timeout, [this, st, att]() {
+    shard_->sim().Schedule(st->options.attempt_timeout, [this, st, att]() {
       if (att->finished) {
         return;
       }
@@ -183,19 +184,27 @@ void Client::StartAttempt(std::shared_ptr<CallState> st, MachineId target) {
     att->bd[RpcComponent::kClientSendQueue] = tx_wait;
     att->bd[RpcComponent::kRequestProcStack] = tx_service;
     const int64_t wire_bytes = frame.wire_bytes;
-    system_->fabric().Send(
+    shard_->fabric.Send(
         machine_, att->target, wire_bytes,
         [this, st, att, frame = std::move(frame)](SimDuration wire) mutable {
-          att->bd[RpcComponent::kRequestWire] = wire;
+          // This delivery runs in the *target's* domain. Only immutable call
+          // state may be read here; the attempt's mutable fields belong to
+          // the client's domain, so the request-wire latency travels with the
+          // request and comes back echoed in the reply (same-domain also sets
+          // it now, preserving the legacy watchdog-span contents).
+          if (system_->ShardOf(att->target) == shard_->id()) {
+            att->bd[RpcComponent::kRequestWire] = wire;
+          }
           Server* server = system_->ServerAt(att->target);
           if (server == nullptr) {
-            AttemptFinished(st, att, UnavailableError("no server at target machine"), Payload());
+            FailAttemptFromTarget(st, att, wire,
+                                  UnavailableError("no server at target machine"));
             return;
           }
           if (!server->up()) {
             // Connection refused: a crashed-but-known machine fails fast,
             // unlike a partitioned one (whose frames vanish silently).
-            AttemptFinished(st, att, UnavailableError("server down"), Payload());
+            FailAttemptFromTarget(st, att, wire, UnavailableError("server down"));
             return;
           }
           IncomingRequest req;
@@ -206,6 +215,7 @@ void Client::StartAttempt(std::shared_ptr<CallState> st, MachineId target) {
               st->options.deadline > 0 ? st->issue_time + st->options.deadline : 0;
           req.trace_id = st->trace_id;
           req.span_id = att->span_id;
+          req.request_wire = wire;
           req.respond = [this, st, att](ServerReply reply) {
             OnReply(st, att, std::move(reply));
           };
@@ -214,10 +224,36 @@ void Client::StartAttempt(std::shared_ptr<CallState> st, MachineId target) {
   });
 }
 
+void Client::FailAttemptFromTarget(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att,
+                                   SimDuration request_wire, Status status) {
+  RpcSystem::ShardContext& target_shard = system_->ShardFor(att->target);
+  if (target_shard.id() == shard_->id()) {
+    // Same domain: complete inline, exactly the legacy immediate-failure path
+    // (kRequestWire was already written by the delivery lambda).
+    AttemptFinished(std::move(st), std::move(att), std::move(status), Payload());
+    return;
+  }
+  // Cross-domain: the failure was discovered in the target's domain, where
+  // the client's attempt state must not be touched. Route the completion back
+  // to the client's domain through the mailbox, one minimum wire latency
+  // later (>= the executor lookahead) — modeling the connection-refused
+  // notification's return trip.
+  const SimDuration back = target_shard.fabric.MinOneWayLatency(att->target, machine_, 0);
+  target_shard.domain.PostRemote(
+      shard_->id(), AddClamped(target_shard.sim().Now(), back),
+      [this, st, att, request_wire, status = std::move(status)]() mutable {
+        att->bd[RpcComponent::kRequestWire] = request_wire;
+        AttemptFinished(std::move(st), std::move(att), std::move(status), Payload());
+      });
+}
+
 void Client::OnReply(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att,
                      ServerReply reply) {
   if (att->finished) {
     return;  // The watchdog already failed this attempt; drop the late reply.
+  }
+  if (reply.request_wire > 0) {
+    att->bd[RpcComponent::kRequestWire] = reply.request_wire;
   }
   att->bd[RpcComponent::kServerRecvQueue] = reply.recv_queue;
   att->bd[RpcComponent::kServerApp] = reply.app_time;
@@ -291,7 +327,7 @@ void Client::RecordAttemptSpan(const CallState& st, const Attempt& att, StatusCo
       static_cast<double>(Mix64(att.span_id ^ 0xc0c) >> 11) * 0x1.0p-53 < p;
   span.normalized_cpu_cycles =
       att.cycles.Total() / system_->costs().normalization_cycles;
-  system_->tracer().Record(span);
+  shard_->tracer.Record(span);
   if (system_->options().span_observer) {
     system_->options().span_observer(span);
   }
@@ -331,7 +367,7 @@ void Client::AttemptFinished(std::shared_ptr<CallState> st, std::shared_ptr<Atte
           static_cast<double>(st->options.retry_backoff_cap));
       const SimDuration backoff =
           static_cast<SimDuration>(backoff_rng_.NextDouble() * ceiling);
-      system_->sim().Schedule(backoff, [this, st, target = att->target]() {
+      shard_->sim().Schedule(backoff, [this, st, target = att->target]() {
         if (!st->completed) {
           StartAttempt(st, target);
         }

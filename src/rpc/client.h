@@ -57,6 +57,9 @@ class Client {
 
   MachineId machine() const { return machine_; }
   RpcSystem& system() const { return *system_; }
+  // The shard domain this client is pinned to (its machine's shard). All of
+  // the client's timers, pools, spans, and counters live here.
+  RpcSystem::ShardContext& shard_context() const { return *shard_; }
   uint64_t calls_issued() const { return calls_issued_; }
   uint64_t calls_completed() const { return calls_completed_; }
   // Cycles burned by attempts whose result was discarded (hedge losers,
@@ -76,6 +79,12 @@ class Client {
   struct Attempt;
 
   void StartAttempt(std::shared_ptr<CallState> st, MachineId target);
+  // Fails an attempt from the frame-delivery path (no server / server down).
+  // Runs in the *target's* domain: same-domain completes inline (legacy
+  // behavior); cross-domain routes the failure back to the client's domain
+  // through its mailbox, one minimum wire latency later.
+  void FailAttemptFromTarget(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att,
+                             SimDuration request_wire, Status status);
   void OnReply(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att, ServerReply reply);
   void AttemptFinished(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att,
                        Status status, Payload response);
@@ -84,6 +93,9 @@ class Client {
 
   RpcSystem* system_;
   MachineId machine_;
+  // Owning shard context; declared before the pools so they can bind to its
+  // simulator during construction.
+  RpcSystem::ShardContext* shard_;
   double machine_speed_;
   ServerResource tx_pool_;
   ServerResource rx_pool_;

@@ -1,13 +1,171 @@
 #include "src/rpc/rpc_system.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+#include "src/sim/parallel/shard_executor.h"
+#include "src/trace/span.h"
+
 namespace rpcscope {
 
+namespace {
+
+// FNV-1a fold of one 64-bit word, byte by byte (same mix as the Simulator's
+// event digest, so the sharded digest composes from the same primitive).
+uint64_t FnvMix(uint64_t digest, uint64_t word) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (int i = 0; i < 8; ++i) {
+    digest ^= (word >> (8 * i)) & 0xff;
+    digest *= kPrime;
+  }
+  return digest;
+}
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+
+}  // namespace
+
 RpcSystem::RpcSystem(const RpcSystemOptions& options)
-    : options_(options),
-      topology_(options.topology),
-      fabric_(&sim_, &topology_, options.fabric),
-      tracer_(options.tracing),
-      rng_(options.seed) {}
+    : options_(options), topology_(options.topology) {
+  const int num_shards = std::clamp(options.num_shards, 1, topology_.num_clusters());
+  options_.num_shards = num_shards;
+
+  // Conservative lookahead: every cross-shard frame crosses a cluster
+  // boundary (shard = cluster % num_shards), so its one-way propagation is at
+  // least the minimum cross-shard ClusterBaseRtt/2; serialization and
+  // congestion only ever add to that.
+  if (num_shards > 1) {
+    SimDuration min_rtt = kMaxSimTime;
+    for (ClusterId a = 0; a < topology_.num_clusters(); ++a) {
+      for (ClusterId b = a + 1; b < topology_.num_clusters(); ++b) {
+        if (a % num_shards == b % num_shards) {
+          continue;
+        }
+        min_rtt = std::min(min_rtt, topology_.ClusterBaseRtt(a, b));
+      }
+    }
+    RPCSCOPE_CHECK_LT(min_rtt, kMaxSimTime);
+    lookahead_ = min_rtt / 2;
+    RPCSCOPE_CHECK_GT(lookahead_, 0);
+  }
+
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int s = 0; s < num_shards; ++s) {
+    // Shard 0 inherits the configured seeds unchanged so that a 1-shard
+    // system reproduces the legacy event stream bit-for-bit; shards > 0 get
+    // decorrelated streams via Mix64.
+    FabricOptions fabric_options = options.fabric;
+    if (s > 0) {
+      fabric_options.seed = Mix64(options.fabric.seed + static_cast<uint64_t>(s));
+    }
+    TraceCollector::Options trace_options = options.tracing;
+    // Disjoint id ranges per shard: ids stay fleet-unique with no cross-shard
+    // coordination (Mix64 is a bijection; < 2^40 ids per shard).
+    trace_options.id_offset = static_cast<uint64_t>(s) << 40;
+    const uint64_t rng_seed =
+        s == 0 ? options.seed : Mix64(options.seed + static_cast<uint64_t>(s));
+    shards_.push_back(std::make_unique<ShardContext>(s, num_shards, options.sim_queue, &topology_,
+                                                     fabric_options, trace_options, rng_seed));
+  }
+
+  if (num_shards > 1) {
+    for (auto& shard : shards_) {
+      shard->fabric.BindDomain(
+          &shard->domain,
+          [this](MachineId machine) { return &shards_[static_cast<size_t>(ShardOf(machine))]->domain; },
+          lookahead_);
+    }
+  }
+}
+
+uint64_t RpcSystem::RunSharded(int worker_threads) {
+  std::vector<SimDomain*> domains;
+  domains.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    domains.push_back(&shard->domain);
+  }
+  ShardExecutorOptions exec_options;
+  exec_options.worker_threads = worker_threads;
+  exec_options.lookahead = lookahead_;
+  ShardExecutor executor(std::move(domains), exec_options);
+  const uint64_t executed = executor.RunToCompletion();
+  last_rounds_ = executor.rounds();
+  last_cross_domain_events_ = executor.cross_domain_events();
+  return executed;
+}
+
+uint64_t RpcSystem::TotalEventsExecuted() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->domain.sim().events_executed();
+  }
+  return total;
+}
+
+uint64_t RpcSystem::ShardedEventDigest() const {
+  uint64_t digest = kFnvOffset;
+  for (const auto& shard : shards_) {
+    digest = FnvMix(digest, shard->domain.sim().event_digest());
+    digest = FnvMix(digest, shard->domain.sim().events_executed());
+  }
+  return digest;
+}
+
+std::vector<Span> RpcSystem::MergedSpans() const {
+  std::vector<Span> merged;
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->tracer.spans().size();
+  }
+  merged.reserve(total);
+  for (const auto& shard : shards_) {
+    const std::vector<Span>& spans = shard->tracer.spans();
+    merged.insert(merged.end(), spans.begin(), spans.end());
+  }
+  // Canonical order: virtual start time, then trace/span id as tiebreakers.
+  // Ids are fleet-unique (per-shard id_offset ranges), so the order is total
+  // and independent of shard interleaving or worker count.
+  std::stable_sort(merged.begin(), merged.end(), [](const Span& a, const Span& b) {
+    if (a.start_time != b.start_time) {
+      return a.start_time < b.start_time;
+    }
+    if (a.trace_id != b.trace_id) {
+      return a.trace_id < b.trace_id;
+    }
+    return a.span_id < b.span_id;
+  });
+  return merged;
+}
+
+double RpcSystem::MergedCounter(const std::string& name) const {
+  double total = 0;
+  for (const auto& shard : shards_) {
+    const Counter* counter = shard->metrics.FindCounter(name);
+    if (counter != nullptr) {
+      total += counter->value();
+    }
+  }
+  return total;
+}
+
+LogHistogram RpcSystem::MergedDistribution(const std::string& name) const {
+  LogHistogram merged;
+  bool first = true;
+  for (const auto& shard : shards_) {
+    const DistributionMetric* dist = shard->metrics.FindDistribution(name);
+    if (dist == nullptr) {
+      continue;
+    }
+    if (first) {
+      merged = dist->histogram();
+      first = false;
+    } else {
+      merged.Merge(dist->histogram());
+    }
+  }
+  return merged;
+}
 
 double RpcSystem::MachineSpeed(MachineId machine) const {
   const uint64_t h = Mix64(options_.seed ^ Mix64(static_cast<uint64_t>(machine) + 0x5eedUL));

@@ -1,26 +1,41 @@
 // RpcSystem: the shared substrate an RPC deployment runs on.
 //
-// Owns the simulator, topology, fabric, trace collector, and cost model, and
-// maintains the machine -> Server routing table. Servers and Clients are
-// constructed against a system and must not outlive it.
+// Owns the topology, the shard domains, and the machine -> Server routing
+// table. The fleet is partitioned by cluster into `num_shards` SimDomains
+// (docs/PARALLEL.md); each shard owns its own simulator/event queue, fabric,
+// RNG stream, trace collector, and metric registry, so a domain's round
+// execution touches no other domain's state. Cross-shard RPC frames travel
+// exclusively through the fabric, which posts them into the destination
+// domain's mailbox under the executor's conservative lookahead.
+//
+// num_shards == 1 (the default) is bit-for-bit the legacy single-threaded
+// configuration: one domain, seeds derived exactly as before, sim().Run()
+// drives it. Servers and Clients are constructed against a system, pinned to
+// the shard owning their machine, and must not outlive it.
 #ifndef RPCSCOPE_SRC_RPC_RPC_SYSTEM_H_
 #define RPCSCOPE_SRC_RPC_RPC_SYSTEM_H_
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
+#include "src/common/histogram.h"
 #include "src/common/rng.h"
 #include "src/monitor/metrics.h"
 #include "src/net/fabric.h"
 #include "src/net/topology.h"
 #include "src/rpc/cost_model.h"
+#include "src/sim/domain.h"
 #include "src/sim/simulator.h"
 #include "src/trace/collector.h"
 
 namespace rpcscope {
 
 class Server;
+struct Span;
 
 struct RpcSystemOptions {
   TopologyOptions topology;
@@ -39,47 +54,122 @@ struct RpcSystemOptions {
   // Machine speed heterogeneity: speeds are uniform in [1-spread, 1+spread].
   double machine_speed_spread = 0.15;
 
+  // Number of shard domains the fleet is partitioned into, by cluster:
+  // ShardOf(machine) = ClusterOf(machine) % num_shards. Clamped to
+  // [1, num_clusters]. 1 keeps the legacy single-domain configuration.
+  int num_shards = 1;
+
   // Observer invoked for every span the stack produces (after sampling is
   // applied by the collector, independently of whether it was kept). Use it
   // to feed live monitoring (e.g. WindowedDistribution per service) without
-  // retaining spans.
+  // retaining spans. Sharded runs invoke it concurrently from worker
+  // threads: it must be thread-safe (or null) when num_shards > 1.
   std::function<void(const Span&)> span_observer;
 };
 
 class RpcSystem {
  public:
+  // Everything a shard domain owns. Components pinned to a shard (clients,
+  // servers, fault events) go through their ShardContext, never through
+  // another shard's — that isolation is what makes parallel rounds race-free
+  // and deterministic.
+  struct ShardContext {
+    ShardContext(int id, int num_domains, SimQueueKind queue_kind, const Topology* topology,
+                 const FabricOptions& fabric_options, const TraceCollector::Options& trace_options,
+                 uint64_t rng_seed)
+        : domain(id, num_domains, queue_kind),
+          fabric(&domain.sim(), topology, fabric_options),
+          tracer(trace_options),
+          rng(rng_seed) {}
+
+    Simulator& sim() { return domain.sim(); }
+    int id() const { return domain.id(); }
+
+    SimDomain domain;
+    Fabric fabric;
+    TraceCollector tracer;
+    MetricRegistry metrics;
+    Rng rng;
+  };
+
   explicit RpcSystem(const RpcSystemOptions& options);
 
-  Simulator& sim() { return sim_; }
+  // Legacy single-domain accessors: shard 0. Correct whenever num_shards == 1
+  // (the default); sharded code paths must use ShardFor/shard instead.
+  Simulator& sim() { return shards_[0]->sim(); }
+  Fabric& fabric() { return shards_[0]->fabric; }
+  TraceCollector& tracer() { return shards_[0]->tracer; }
+  // Monarch-style live counters: every resilience decision (retry, budget
+  // exhaustion, ejection, shed, injected fault) is counted so error mixes can
+  // be measured under chaos. Components cache Counter pointers at
+  // construction — GetCounter returns stable references — so the per-call
+  // cost is a single add. Sharded runs count into their own shard's registry;
+  // aggregate with MergedCounter/MergedDistribution.
+  MetricRegistry& metrics() { return shards_[0]->metrics; }
+  Rng& rng() { return shards_[0]->rng; }
+
   const Topology& topology() const { return topology_; }
-  Fabric& fabric() { return fabric_; }
-  TraceCollector& tracer() { return tracer_; }
-  // Monarch-style live counters for the whole deployment: every resilience
-  // decision (retry, budget exhaustion, ejection, shed, injected fault) is
-  // counted here so error mixes can be measured under chaos. Components
-  // cache Counter pointers at construction — GetCounter returns stable
-  // references — so the per-call cost is a single add.
-  MetricRegistry& metrics() { return metrics_; }
   const CycleCostModel& costs() const { return options_.costs; }
   const RpcSystemOptions& options() const { return options_; }
-  Rng& rng() { return rng_; }
+
+  // Shard-domain structure.
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int ShardOf(MachineId machine) const {
+    return static_cast<int>(topology_.ClusterOf(machine)) % num_shards();
+  }
+  ShardContext& shard(int s) { return *shards_[static_cast<size_t>(s)]; }
+  ShardContext& ShardFor(MachineId machine) { return shard(ShardOf(machine)); }
+  // Conservative lookahead: minimum cross-shard one-way propagation latency
+  // over all cluster pairs in different shards. 0 when num_shards == 1.
+  SimDuration lookahead() const { return lookahead_; }
+
+  // Runs every shard domain to completion on `worker_threads` host threads
+  // (conservative PDES, src/sim/parallel/). Returns total events executed.
+  // For a fixed seed the result — digests, merged histograms, trace trees —
+  // is bit-for-bit identical for any worker count. With num_shards == 1 this
+  // is exactly sim().Run().
+  uint64_t RunSharded(int worker_threads = 1);
+
+  // Executor stats from the last RunSharded call (0 before any call or for
+  // single-domain runs, which need no rounds).
+  uint64_t last_rounds() const { return last_rounds_; }
+  uint64_t last_cross_domain_events() const { return last_cross_domain_events_; }
+
+  // Canonical cross-shard merges. Deterministic for a fixed seed regardless
+  // of worker count; with num_shards == 1 they reduce to the legacy values.
+  uint64_t TotalEventsExecuted() const;
+  // FNV-1a fold of every shard's (event_digest, events_executed) in shard
+  // order — the sharded analogue of Simulator::event_digest().
+  uint64_t ShardedEventDigest() const;
+  // All shards' spans, sorted by (start_time, trace_id, span_id). Record
+  // order within one shard is deterministic but interleaving across shards is
+  // not meaningful, hence the canonical sort.
+  std::vector<Span> MergedSpans() const;
+  // Sum of a counter across shard registries (0 where absent).
+  double MergedCounter(const std::string& name) const;
+  // Merge of a distribution across shard registries via LogHistogram::Merge
+  // (layout equality CHECK-enforced). Default-layout empty result if absent.
+  LogHistogram MergedDistribution(const std::string& name) const;
 
   // Per-machine relative CPU speed (deterministic; models CPU generations).
   double MachineSpeed(MachineId machine) const;
 
-  // Server routing. RegisterServer replaces any previous registration.
+  // Server routing. RegisterServer replaces any previous registration. The
+  // table is written only at Server construction/destruction (setup and
+  // teardown, outside any run) — crash/restart fault events flip the Server's
+  // own up-state, not this map — so sharded runs read it concurrently without
+  // synchronization.
   void RegisterServer(MachineId machine, Server* server);
   void UnregisterServer(MachineId machine);
   Server* ServerAt(MachineId machine) const;
 
  private:
   RpcSystemOptions options_;
-  Simulator sim_{options_.sim_queue};
   Topology topology_;
-  Fabric fabric_;
-  TraceCollector tracer_;
-  MetricRegistry metrics_;
-  Rng rng_;
+  SimDuration lookahead_ = 0;
+  std::vector<std::unique_ptr<ShardContext>> shards_;
+  uint64_t last_rounds_ = 0;
+  uint64_t last_cross_domain_events_ = 0;
   std::unordered_map<MachineId, Server*> servers_;
 };
 

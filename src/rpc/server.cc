@@ -22,9 +22,9 @@ struct ServerCall::InflightCall {
 
 MachineId ServerCall::server_machine() const { return server_->machine(); }
 
-Simulator& ServerCall::sim() { return server_->system().sim(); }
+Simulator& ServerCall::sim() { return server_->shard_context().sim(); }
 
-SimTime ServerCall::Now() { return server_->system().sim().Now(); }
+SimTime ServerCall::Now() { return server_->shard_context().sim().Now(); }
 
 CallOptions ServerCall::ChildOptions() const {
   CallOptions options;
@@ -39,7 +39,7 @@ void ServerCall::Compute(SimDuration duration, std::function<void()> then) {
   const double scale = server_->options().app_speed_factor / server_->machine_speed();
   const SimDuration scaled =
       static_cast<SimDuration>(static_cast<double>(duration) * scale);
-  server_->system().sim().Schedule(scaled, std::move(then));
+  server_->shard_context().sim().Schedule(scaled, std::move(then));
 }
 
 void ServerCall::Finish(Status status, Payload response) {
@@ -53,16 +53,17 @@ void ServerCall::FinishStream(Status status, Payload chunk, int num_chunks) {
 Server::Server(RpcSystem* system, MachineId machine, const ServerOptions& options)
     : system_(system),
       machine_(machine),
+      shard_(&system->ShardFor(machine)),
       options_(options),
       machine_speed_(system->MachineSpeed(machine)),
-      rx_pool_(&system->sim(),
+      rx_pool_(&shard_->sim(),
                {.workers = options.io_workers, .max_queue_depth = options.max_io_queue_depth}),
-      app_pool_(&system->sim(),
+      app_pool_(&shard_->sim(),
                 {.workers = options.app_workers, .max_queue_depth = options.max_app_queue_depth}),
-      tx_pool_(&system->sim(),
+      tx_pool_(&shard_->sim(),
                {.workers = options.io_workers, .max_queue_depth = options.max_io_queue_depth}),
-      shed_counter_(&system->metrics().GetCounter("server.shed")),
-      crash_killed_counter_(&system->metrics().GetCounter("server.crash_killed")) {
+      shed_counter_(&shard_->metrics.GetCounter("server.shed")),
+      crash_killed_counter_(&shard_->metrics.GetCounter("server.crash_killed")) {
   system_->RegisterServer(machine_, this);
 }
 
@@ -106,12 +107,15 @@ void Server::RespondInflight(const std::shared_ptr<InflightCall>& fl, ServerRepl
   fl->responded = true;
   UnregisterInflight(fl);
   auto respond = std::move(fl->req.respond);
-  system_->fabric().Send(machine_, fl->req.client_machine, wire_bytes,
-                         [reply = std::move(reply), respond = std::move(respond)](
-                             SimDuration wire) mutable {
-                           reply.resp_wire = wire;
-                           respond(std::move(reply));
-                         });
+  // Echo the request's wire latency so the client fills in its own latency
+  // breakdown inside its own shard domain.
+  reply.request_wire = fl->req.request_wire;
+  shard_->fabric.Send(machine_, fl->req.client_machine, wire_bytes,
+                      [reply = std::move(reply), respond = std::move(respond)](
+                          SimDuration wire) mutable {
+                        reply.resp_wire = wire;
+                        respond(std::move(reply));
+                      });
 }
 
 void Server::RespondError(const std::shared_ptr<InflightCall>& fl, const CycleBreakdown& cycles,
@@ -185,7 +189,7 @@ void Server::DeliverRequest(IncomingRequest request) {
       const double expected_wait_ns =
           static_cast<double>(app_pool_.queue_depth()) /
           static_cast<double>(options_.app_workers) * app_time_ewma_ns_;
-      if (static_cast<double>(system_->sim().Now()) + expected_wait_ns >
+      if (static_cast<double>(shard_->sim().Now()) + expected_wait_ns >
           static_cast<double>(fl->req.deadline_time)) {
         ++requests_shed_;
         shed_counter_->Increment();
@@ -206,7 +210,7 @@ void Server::DeliverRequest(IncomingRequest request) {
       // Scheduler wake-up delay before the handler actually starts running;
       // the worker is held throughout.
       const SimDuration wakeup = options_.wakeup_latency;
-      system_->sim().Schedule(wakeup, [this, fl, rx_cost, recv_so_far, app_wait, wakeup]() {
+      shard_->sim().Schedule(wakeup, [this, fl, rx_cost, recv_so_far, app_wait, wakeup]() {
         if (fl->responded) {
           // The server crashed while this request waited for its wakeup: the
           // caller was already told UNAVAILABLE and the pools were reset, so
@@ -217,7 +221,7 @@ void Server::DeliverRequest(IncomingRequest request) {
         // Deadline short-circuit: if the caller's budget already expired while
         // the request queued, don't burn handler cycles on a result nobody
         // will read (the client records the span as DEADLINE_EXCEEDED).
-        if (fl->req.deadline_time > 0 && system_->sim().Now() > fl->req.deadline_time) {
+        if (fl->req.deadline_time > 0 && shard_->sim().Now() > fl->req.deadline_time) {
           app_pool_.Release();
           RespondError(fl, rx_cost, recv_so_far + app_wait + wakeup,
                        DeadlineExceededError("deadline expired before handler start"));
@@ -238,7 +242,7 @@ void Server::DeliverRequest(IncomingRequest request) {
         call->deadline_time_ = fl->req.deadline_time;
         call->trace_id_ = fl->req.trace_id;
         call->span_id_ = fl->req.span_id;
-        call->app_start_ = system_->sim().Now();
+        call->app_start_ = shard_->sim().Now();
         call->recv_queue_ = recv_so_far + app_wait + wakeup;
         call->inflight_ = fl;
         call->cycles_ = rx_cost;
@@ -265,7 +269,7 @@ void Server::FinishCall(ServerCall* call, Status status, Payload response) {
     return;
   }
   const CycleCostModel& costs = system_->costs();
-  const SimTime now = system_->sim().Now();
+  const SimTime now = shard_->sim().Now();
   const SimDuration app_time = now - call->app_start_;
   // Cycles the handler actually executed on this machine.
   call->cycles_[CycleCategory::kApplication] +=
@@ -312,7 +316,7 @@ void Server::FinishStreamCall(ServerCall* call, Status status, Payload chunk,
     return;
   }
   const CycleCostModel& costs = system_->costs();
-  const SimTime now = system_->sim().Now();
+  const SimTime now = shard_->sim().Now();
   const SimDuration app_time = now - call->app_start_;
   call->cycles_[CycleCategory::kApplication] +=
       ToSeconds(app_time) * costs.cycles_per_second * machine_speed_;

@@ -143,6 +143,9 @@ class Server {
 
   MachineId machine() const { return machine_; }
   RpcSystem& system() { return *system_; }
+  // The shard domain this server is pinned to (its machine's shard). The
+  // whole pipeline — pools, timers, counters, reply sends — runs here.
+  RpcSystem::ShardContext& shard_context() const { return *shard_; }
   double machine_speed() const { return machine_speed_; }
   const ServerOptions& options() const { return options_; }
 
@@ -179,6 +182,9 @@ class Server {
 
   RpcSystem* system_;
   MachineId machine_;
+  // Owning shard context; declared before the pools so they can bind to its
+  // simulator during construction.
+  RpcSystem::ShardContext* shard_;
   ServerOptions options_;
   double machine_speed_;
   ServerResource rx_pool_;

@@ -36,9 +36,9 @@ struct PoolState {
 };
 
 PoolState& State() {
-  // The simulator is single-threaded, but thread_local keeps the pool safe if
-  // independent simulations ever run on worker threads side by side.
-  static thread_local PoolState state;
+  // Each simulator is single-threaded, but shard domains run on worker
+  // threads side by side (src/sim/parallel/), so the pool must be per-thread.
+  static thread_local PoolState state;  // NOLINT(rpcscope-raw-thread)
   return state;
 }
 

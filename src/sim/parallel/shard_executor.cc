@@ -1,0 +1,185 @@
+#include "src/sim/parallel/shard_executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace rpcscope {
+
+ShardExecutor::ShardExecutor(std::vector<SimDomain*> domains, ShardExecutorOptions options)
+    : domains_(std::move(domains)), options_(options) {
+  RPCSCOPE_CHECK(!domains_.empty());
+  for (size_t i = 0; i < domains_.size(); ++i) {
+    RPCSCOPE_CHECK(domains_[i] != nullptr);
+    RPCSCOPE_CHECK_EQ(domains_[i]->id(), static_cast<int>(i))
+        << "domain ids must match their index";
+  }
+  if (domains_.size() > 1) {
+    RPCSCOPE_CHECK_GT(options_.lookahead, 0)
+        << "multi-domain execution needs a positive conservative lookahead";
+  }
+  options_.worker_threads =
+      std::clamp(options_.worker_threads, 1, static_cast<int>(domains_.size()));
+}
+
+SimTime ShardExecutor::MinNextEventTime() {
+  SimTime m = kMaxSimTime;
+  for (SimDomain* d : domains_) {
+    m = std::min(m, d->sim().NextEventTime());
+  }
+  return m;
+}
+
+uint64_t ShardExecutor::DrainOutboxes(SimTime round_end) {
+  uint64_t transferred = 0;
+  // Canonical order: source domain id, then destination id, then post order.
+  // This fixes the destination's sequence-number assignment independently of
+  // which worker thread ran which domain, which is what makes the merged
+  // event stream bit-identical across worker counts.
+  for (SimDomain* src : domains_) {
+    for (size_t d = 0; d < src->outbox_.size(); ++d) {
+      std::vector<SimDomain::RemoteEvent>& box = src->outbox_[d];
+      if (box.empty()) {
+        continue;
+      }
+      SimDomain* dst = domains_[d];
+      for (SimDomain::RemoteEvent& ev : box) {
+        // The conservative-lookahead contract: a cross-domain event posted
+        // during this round cannot land before round_end. A violation means
+        // some path undercut the advertised minimum latency — the destination
+        // may already have simulated past `when`, so fail fast.
+        RPCSCOPE_CHECK_GE(ev.when, round_end)
+            << "cross-domain event violates conservative lookahead";
+        dst->sim().ScheduleAt(ev.when, std::move(ev.fn));
+        ++transferred;
+      }
+      box.clear();
+    }
+  }
+  cross_domain_events_ += transferred;
+  return transferred;
+}
+
+uint64_t ShardExecutor::RunToCompletion() {
+  if (domains_.size() == 1) {
+    // Single domain: no rounds, no barriers — exactly the legacy Run() path.
+    return domains_[0]->sim().Run();
+  }
+  return options_.worker_threads == 1 ? RunSequential() : RunThreaded();
+}
+
+uint64_t ShardExecutor::RunSequential() {
+  uint64_t total = 0;
+  for (;;) {
+    const SimTime m = MinNextEventTime();
+    if (m == kMaxSimTime) {
+      break;
+    }
+    const SimTime round_end = AddClamped(m, options_.lookahead);
+    for (SimDomain* d : domains_) {
+      total += d->sim().RunBefore(round_end);
+    }
+    ++rounds_;
+    DrainOutboxes(round_end);
+  }
+  return total;
+}
+
+uint64_t ShardExecutor::RunThreaded() {
+  // Persistent worker pool, round-scoped work distribution. The calling
+  // thread is worker 0; `extra` helpers are spawned once and woken per round.
+  // Happens-before edges: round_end and the claim index are published under
+  // `mu` before workers wake; all RunBefore results are visible to the
+  // coordinator once `remaining` reaches 0 under `mu`.
+  struct Shared {
+    std::mutex mu;
+    std::condition_variable work_cv;
+    std::condition_variable done_cv;
+    uint64_t generation = 0;
+    SimTime round_end = 0;
+    int remaining = 0;
+    bool stop = false;
+    std::atomic<size_t> next_domain{0};
+    std::atomic<uint64_t> executed{0};
+  } shared;
+
+  auto run_round = [this, &shared](SimTime round_end) {
+    uint64_t local = 0;
+    for (size_t i = shared.next_domain.fetch_add(1, std::memory_order_relaxed);
+         i < domains_.size();
+         i = shared.next_domain.fetch_add(1, std::memory_order_relaxed)) {
+      local += domains_[i]->sim().RunBefore(round_end);
+    }
+    shared.executed.fetch_add(local, std::memory_order_relaxed);
+  };
+
+  const int extra = options_.worker_threads - 1;
+  std::vector<std::thread> helpers;
+  helpers.reserve(static_cast<size_t>(extra));
+  for (int t = 0; t < extra; ++t) {
+    helpers.emplace_back([&shared, &run_round] {
+      uint64_t seen = 0;
+      for (;;) {
+        SimTime round_end;
+        {
+          std::unique_lock<std::mutex> lock(shared.mu);
+          shared.work_cv.wait(lock,
+                              [&shared, seen] { return shared.stop || shared.generation != seen; });
+          if (shared.stop) {
+            return;
+          }
+          seen = shared.generation;
+          round_end = shared.round_end;
+        }
+        run_round(round_end);
+        {
+          std::lock_guard<std::mutex> lock(shared.mu);
+          if (--shared.remaining == 0) {
+            shared.done_cv.notify_one();
+          }
+        }
+      }
+    });
+  }
+
+  for (;;) {
+    const SimTime m = MinNextEventTime();
+    if (m == kMaxSimTime) {
+      break;
+    }
+    const SimTime round_end = AddClamped(m, options_.lookahead);
+    {
+      std::lock_guard<std::mutex> lock(shared.mu);
+      shared.round_end = round_end;
+      shared.next_domain.store(0, std::memory_order_relaxed);
+      shared.remaining = extra + 1;
+      ++shared.generation;
+    }
+    shared.work_cv.notify_all();
+    run_round(round_end);
+    {
+      std::unique_lock<std::mutex> lock(shared.mu);
+      --shared.remaining;
+      shared.done_cv.wait(lock, [&shared] { return shared.remaining == 0; });
+    }
+    ++rounds_;
+    DrainOutboxes(round_end);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(shared.mu);
+    shared.stop = true;
+  }
+  shared.work_cv.notify_all();
+  for (std::thread& t : helpers) {
+    t.join();
+  }
+  return shared.executed.load(std::memory_order_relaxed);
+}
+
+}  // namespace rpcscope

@@ -1,0 +1,83 @@
+// Conservative-PDES executor for shard domains (Chandy–Misra style).
+//
+// The executor advances N SimDomains in barrier-synchronized rounds. Each
+// round:
+//
+//   1. m = min over domains of NextEventTime(); stop when every queue is
+//      drained (m == kMaxSimTime).
+//   2. round_end = m + lookahead, where lookahead is the minimum latency any
+//      cross-domain interaction can have (the topology's minimum cross-shard
+//      wire latency — serialization and congestion only ever add to it).
+//   3. Every domain executes its local events with time strictly < round_end,
+//      in parallel on the worker pool.
+//   4. Barrier. The coordinator drains all cross-domain outboxes sequentially
+//      in canonical (source domain, post order), scheduling each event into
+//      its destination. The lookahead contract guarantees every transferred
+//      event lands at or beyond round_end (CHECK-enforced), i.e. in the
+//      destination's future.
+//
+// Determinism: a domain's round execution is self-contained (own queue, own
+// RNG streams, own collectors), so which host thread runs it is irrelevant;
+// outbox drain order is fixed by domain ids, so destination event sequence
+// numbers are identical for any worker count. For a fixed seed the merged
+// event digest, histograms, and trace trees are bit-for-bit identical for 1,
+// 2, or 8 workers — the parallel_test ctest enforces this, including under
+// TSan.
+//
+// This directory is the only place in src/ where host threads, mutexes, and
+// atomics are allowed (rpcscope-raw-thread lint rule); model code stays in
+// virtual time.
+#ifndef RPCSCOPE_SRC_SIM_PARALLEL_SHARD_EXECUTOR_H_
+#define RPCSCOPE_SRC_SIM_PARALLEL_SHARD_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/time.h"
+#include "src/sim/domain.h"
+
+namespace rpcscope {
+
+struct ShardExecutorOptions {
+  // Host worker threads. Clamped to [1, num domains]. 1 runs the same round
+  // loop inline (useful for debugging and as the determinism reference).
+  int worker_threads = 1;
+  // Conservative lookahead: a strict lower bound on the virtual-time latency
+  // of any cross-domain event, measured from the sender's clock. Must be > 0
+  // when there is more than one domain.
+  SimDuration lookahead = 0;
+};
+
+class ShardExecutor {
+ public:
+  // `domains` must stay alive for the executor's lifetime; domain i must have
+  // id i.
+  ShardExecutor(std::vector<SimDomain*> domains, ShardExecutorOptions options);
+
+  // Runs all domains to completion (every queue drained). Returns the total
+  // number of events executed across domains. With a single domain this is
+  // exactly domains[0]->sim().Run(). Note one edge: events scheduled exactly
+  // at kMaxSimTime are never executed (a round can never extend past the end
+  // of virtual time); nothing in the model schedules there.
+  uint64_t RunToCompletion();
+
+  uint64_t rounds() const { return rounds_; }
+  uint64_t cross_domain_events() const { return cross_domain_events_; }
+
+ private:
+  uint64_t RunSequential();
+  uint64_t RunThreaded();
+  // Transfers every outbox entry into its destination queue, canonical order.
+  uint64_t DrainOutboxes(SimTime round_end);
+  // Non-const: peeking the ladder queue may rebalance it.
+  SimTime MinNextEventTime();
+
+  std::vector<SimDomain*> domains_;
+  ShardExecutorOptions options_;
+  uint64_t rounds_ = 0;
+  uint64_t cross_domain_events_ = 0;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_SIM_PARALLEL_SHARD_EXECUTOR_H_

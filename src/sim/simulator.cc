@@ -70,6 +70,17 @@ uint64_t Simulator::Run() {
   return executed;
 }
 
+uint64_t Simulator::RunBefore(SimTime until) {
+  uint64_t executed = 0;
+  while (!QueueEmpty() && QueuePeekTime() < until) {
+    SimEvent ev = PopEvent();
+    ev.fn();
+    ++executed;
+  }
+  events_executed_ += executed;
+  return executed;
+}
+
 uint64_t Simulator::RunUntil(SimTime until) {
   uint64_t executed = 0;
   while (!QueueEmpty() && QueuePeekTime() <= until) {

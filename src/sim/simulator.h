@@ -53,6 +53,17 @@ class Simulator {
   // Advances Now() to `until` even if the queue drains earlier.
   uint64_t RunUntil(SimTime until);
 
+  // Runs events with time strictly < until (events exactly at `until` do NOT
+  // execute). Unlike RunUntil, does not advance Now() past the last executed
+  // event: the conservative-PDES round loop (src/sim/parallel/) needs the
+  // clock to stay at the last local event so that messages arriving exactly
+  // at the round boundary can still be scheduled without clamping.
+  uint64_t RunBefore(SimTime until);
+
+  // Timestamp of the earliest pending event, or kMaxSimTime when the queue is
+  // empty. The shard executor uses this to size adaptive rounds.
+  SimTime NextEventTime() { return QueueEmpty() ? kMaxSimTime : QueuePeekTime(); }
+
   // RunUntil(now + duration), saturating instead of wrapping on overflow.
   uint64_t RunFor(SimDuration duration) { return RunUntil(AddClamped(now_, duration)); }
 

@@ -33,10 +33,10 @@ bool TraceCollector::Record(const Span& span) {
 
 TraceId TraceCollector::NewTraceId() {
   // Ids are both unique and well-distributed so that sampling by hash works.
-  return Mix64(next_id_++) | 1;
+  return Mix64(options_.id_offset + next_id_++) | 1;
 }
 
-SpanId TraceCollector::NewSpanId() { return Mix64(0x5eed ^ next_id_++) | 1; }
+SpanId TraceCollector::NewSpanId() { return Mix64(0x5eed ^ (options_.id_offset + next_id_++)) | 1; }
 
 void TraceCollector::Clear() {
   spans_.clear();

@@ -19,6 +19,11 @@ class TraceCollector {
   struct Options {
     double sampling_probability = 1.0;  // Head-based, per trace id.
     uint64_t seed = 0xdadbeef;
+    // Offset added to the id counter before mixing. Sharded runs give each
+    // shard-local collector a disjoint offset range (shard << 40) so ids are
+    // fleet-unique without cross-shard coordination; Mix64 is a bijection, so
+    // distinct counter values can never collide. 0 keeps legacy ids.
+    uint64_t id_offset = 0;
   };
 
   TraceCollector() : TraceCollector(Options{}) {}

@@ -66,6 +66,30 @@ TEST(LogHistogramTest, MergeCombinesMass) {
   EXPECT_NEAR(a.sum(), 1030, 1e-9);
 }
 
+TEST(LogHistogramDeathTest, MergeRejectsMismatchedBucketLayouts) {
+  // Merging histograms with different bucket layouts would silently
+  // misattribute counts to the wrong value ranges; the sharded-metrics merge
+  // (RpcSystem::MergedDistribution) relies on this being a loud CHECK in
+  // every build type.
+  LogHistogram base(LogHistogram::Options{.min_value = 10, .max_value = 1000});
+  base.Add(100);
+
+  LogHistogram different_min(LogHistogram::Options{.min_value = 1, .max_value = 1000});
+  EXPECT_DEATH(base.Merge(different_min), "min_value mismatch");
+
+  LogHistogram different_max(LogHistogram::Options{.min_value = 10, .max_value = 1e6});
+  EXPECT_DEATH(base.Merge(different_max), "max_value mismatch");
+
+  LogHistogram different_width(LogHistogram::Options{
+      .min_value = 10, .max_value = 1000, .buckets_per_decade = 40});
+  EXPECT_DEATH(base.Merge(different_width), "buckets_per_decade mismatch");
+
+  // Same layout merges fine, even when one side is empty.
+  LogHistogram same(LogHistogram::Options{.min_value = 10, .max_value = 1000});
+  base.Merge(same);
+  EXPECT_EQ(base.count(), 1);
+}
+
 TEST(LogHistogramTest, CdfMonotoneAndConsistentWithQuantile) {
   LogHistogram h;
   Rng rng(9);

@@ -1,0 +1,226 @@
+// Sharded mini-fleet tests: the shard-domain execution of the Table-1 graph
+// (docs/PARALLEL.md) must be deterministic per (options, num_shards) and
+// bit-for-bit invariant under the host worker-thread count, cross-shard RPCs
+// must complete with a full latency breakdown, and the merged span stream
+// must assemble into the same trace trees every run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/fleet/mini_fleet.h"
+#include "src/fleet/service_catalog.h"
+#include "src/rpc/client.h"
+#include "src/rpc/server.h"
+
+namespace rpcscope {
+namespace {
+
+// FNV-1a over every determinism-relevant span field, in stream order. The
+// span stream is the input to every analysis in this repo, so equal hashes
+// mean byte-identical downstream reports.
+uint64_t HashSpans(const std::vector<Span>& spans) {
+  uint64_t digest = 14695981039346656037ull;
+  auto mix = [&digest](uint64_t word) {
+    constexpr uint64_t kPrime = 1099511628211ull;
+    for (int i = 0; i < 8; ++i) {
+      digest ^= (word >> (8 * i)) & 0xff;
+      digest *= kPrime;
+    }
+  };
+  for (const Span& s : spans) {
+    mix(s.trace_id);
+    mix(s.span_id);
+    mix(s.parent_span_id);
+    mix(static_cast<uint64_t>(s.method_id));
+    mix(static_cast<uint64_t>(s.service_id));
+    mix(static_cast<uint64_t>(s.start_time));
+    mix(static_cast<uint64_t>(s.status));
+    mix(static_cast<uint64_t>(s.request_wire_bytes));
+    mix(static_cast<uint64_t>(s.response_wire_bytes));
+    for (SimDuration component : s.latency.components) {
+      mix(static_cast<uint64_t>(component));
+    }
+  }
+  return digest;
+}
+
+MiniFleetOptions ShardedOptions(uint64_t seed, int num_shards, int worker_threads) {
+  MiniFleetOptions options;
+  options.duration = Seconds(1);
+  options.warmup = Millis(200);
+  options.frontend_rps = 300;
+  options.seed = seed;
+  options.num_shards = num_shards;
+  options.worker_threads = worker_threads;
+  return options;
+}
+
+TEST(ShardedFleetTest, WorkerCountDoesNotChangeDigestOrReport) {
+  // The acceptance bar for the shard-domain refactor: for a fixed seed and
+  // shard count, 1, 2, and 8 worker threads must produce the identical event
+  // digest and the identical analysis input (span stream + per-service
+  // report), across several seeds.
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  for (const uint64_t seed : {0xf1ee7ull, 0xbeefull, 0x5eedull}) {
+    const MiniFleetResult one = RunMiniFleet(catalog, ShardedOptions(seed, 8, 1));
+    const MiniFleetResult two = RunMiniFleet(catalog, ShardedOptions(seed, 8, 2));
+    const MiniFleetResult eight = RunMiniFleet(catalog, ShardedOptions(seed, 8, 8));
+
+    EXPECT_GT(one.events_executed, 0u) << "seed " << seed;
+    EXPECT_GT(one.spans.size(), 0u) << "seed " << seed;
+    EXPECT_GT(one.cross_domain_events, 0u) << "seed " << seed;
+
+    EXPECT_EQ(one.event_digest, two.event_digest) << "seed " << seed;
+    EXPECT_EQ(one.event_digest, eight.event_digest) << "seed " << seed;
+    EXPECT_EQ(one.events_executed, two.events_executed) << "seed " << seed;
+    EXPECT_EQ(one.events_executed, eight.events_executed) << "seed " << seed;
+    EXPECT_EQ(one.root_calls, two.root_calls) << "seed " << seed;
+    EXPECT_EQ(one.root_calls, eight.root_calls) << "seed " << seed;
+    EXPECT_EQ(one.rounds, two.rounds) << "seed " << seed;
+    EXPECT_EQ(one.rounds, eight.rounds) << "seed " << seed;
+    EXPECT_EQ(one.cross_domain_events, two.cross_domain_events) << "seed " << seed;
+    EXPECT_EQ(one.cross_domain_events, eight.cross_domain_events) << "seed " << seed;
+    EXPECT_EQ(HashSpans(one.spans), HashSpans(two.spans)) << "seed " << seed;
+    EXPECT_EQ(HashSpans(one.spans), HashSpans(eight.spans)) << "seed " << seed;
+    EXPECT_EQ(one.spans_per_service, two.spans_per_service) << "seed " << seed;
+    EXPECT_EQ(one.spans_per_service, eight.spans_per_service) << "seed " << seed;
+  }
+}
+
+TEST(ShardedFleetTest, ShardedRunReproducesAcrossRepeats) {
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  const MiniFleetResult a = RunMiniFleet(catalog, ShardedOptions(0xf1ee7, 4, 2));
+  const MiniFleetResult b = RunMiniFleet(catalog, ShardedOptions(0xf1ee7, 4, 2));
+  EXPECT_EQ(a.event_digest, b.event_digest);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(HashSpans(a.spans), HashSpans(b.spans));
+
+  // And a different seed must actually move the digest.
+  const MiniFleetResult c = RunMiniFleet(catalog, ShardedOptions(0xbeef, 4, 2));
+  EXPECT_NE(a.event_digest, c.event_digest);
+}
+
+TEST(ShardedFleetTest, CrossShardRpcEndToEnd) {
+  // A minimal two-shard system: client in cluster 0 (shard 0), server in
+  // cluster 1 (shard 1). Every call crosses the domain boundary through the
+  // fabric; replies must come back complete, with the request-wire component
+  // echoed into the client-side breakdown.
+  RpcSystemOptions sys_opts;
+  sys_opts.num_shards = 2;
+  RpcSystem system(sys_opts);
+  const Topology& topo = system.topology();
+  const MachineId client_machine = topo.MachineAt(0, 0);
+  const MachineId server_machine = topo.MachineAt(1, 0);
+  ASSERT_EQ(system.ShardOf(client_machine), 0);
+  ASSERT_EQ(system.ShardOf(server_machine), 1);
+
+  Server server(&system, server_machine, ServerOptions{});
+  constexpr MethodId kEcho = 7;
+  server.RegisterMethod(kEcho, "Echo", [](std::shared_ptr<ServerCall> call) {
+    call->Compute(Micros(50), [call]() { call->Finish(Status::Ok(), Payload::Modeled(256)); });
+  });
+
+  Client client(&system, client_machine);
+  auto results = std::make_shared<std::vector<CallResult>>();
+  constexpr int kCalls = 20;
+  Simulator& client_sim = system.ShardFor(client_machine).sim();
+  for (int i = 0; i < kCalls; ++i) {
+    client_sim.ScheduleAt(i * Millis(1), [&client, server_machine, results]() {
+      client.Call(server_machine, kEcho, Payload::Modeled(128), CallOptions{},
+                  [results](const CallResult& result, Payload) {
+                    results->push_back(result);
+                  });
+    });
+  }
+
+  system.RunSharded(2);
+
+  ASSERT_EQ(results->size(), static_cast<size_t>(kCalls));
+  EXPECT_GT(system.last_cross_domain_events(), 0u);
+  EXPECT_GT(system.last_rounds(), 0u);
+  for (const CallResult& result : *results) {
+    EXPECT_TRUE(result.status.ok()) << result.status.ToString();
+    // The request-wire time is observed in the server's domain and echoed
+    // back in the reply; it must be present and at least the lookahead-
+    // defining minimum cross-cluster latency.
+    EXPECT_GE(result.latency[RpcComponent::kRequestWire], system.lookahead());
+    EXPECT_GE(result.latency[RpcComponent::kResponseWire], system.lookahead());
+    EXPECT_GT(result.latency[RpcComponent::kServerApp], 0);
+  }
+
+  // Both sides recorded spans; the merged stream carries the client span
+  // with the full breakdown.
+  const std::vector<Span> spans = system.MergedSpans();
+  ASSERT_EQ(spans.size(), static_cast<size_t>(kCalls));
+  for (const Span& span : spans) {
+    EXPECT_EQ(span.client_cluster, topo.ClusterOf(client_machine));
+    EXPECT_EQ(span.server_cluster, topo.ClusterOf(server_machine));
+    EXPECT_GT(span.latency.Total(), 0);
+  }
+}
+
+TEST(ShardedFleetTest, MergedSpansAssembleIntoConsistentTraceTrees) {
+  // Trace-tree assembly from the canonically merged span stream: every
+  // non-root span's parent must exist in the same trace, children must not
+  // start before their parent, and the assembled forest must be identical
+  // run to run.
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  auto assemble = [](const std::vector<Span>& spans) {
+    std::map<SpanId, const Span*> by_id;
+    for (const Span& s : spans) {
+      EXPECT_TRUE(by_id.emplace(s.span_id, &s).second)
+          << "duplicate span id " << s.span_id;
+    }
+    uint64_t roots = 0;
+    uint64_t edges = 0;
+    for (const Span& s : spans) {
+      if (s.parent_span_id == 0) {
+        ++roots;
+        continue;
+      }
+      auto parent = by_id.find(s.parent_span_id);
+      // Parents that started before the warmup cutoff are filtered out of
+      // the result; only check linked pairs that are both present.
+      if (parent == by_id.end()) {
+        continue;
+      }
+      ++edges;
+      EXPECT_EQ(parent->second->trace_id, s.trace_id);
+      EXPECT_LE(parent->second->start_time, s.start_time);
+    }
+    return std::make_pair(roots, edges);
+  };
+
+  const MiniFleetResult a = RunMiniFleet(catalog, ShardedOptions(0xf1ee7, 8, 2));
+  const auto [roots_a, edges_a] = assemble(a.spans);
+  EXPECT_GT(roots_a, 0u);
+  // The Table-1 dependency edges span shards, so nested spans must exist.
+  EXPECT_GT(edges_a, 0u);
+
+  const MiniFleetResult b = RunMiniFleet(catalog, ShardedOptions(0xf1ee7, 8, 8));
+  const auto [roots_b, edges_b] = assemble(b.spans);
+  EXPECT_EQ(roots_a, roots_b);
+  EXPECT_EQ(edges_a, edges_b);
+}
+
+TEST(ShardedFleetTest, ShardCountOneMatchesLegacySingleDomainRun) {
+  // num_shards == 1 must be the legacy single-domain fleet, bit for bit:
+  // same placement, same seeds, same digest as a default options run.
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  MiniFleetOptions legacy = ShardedOptions(0xf1ee7, 1, 1);
+  legacy.num_shards = 1;
+  const MiniFleetResult a = RunMiniFleet(catalog, legacy);
+  MiniFleetOptions defaulted = ShardedOptions(0xf1ee7, 1, 1);
+  const MiniFleetResult b = RunMiniFleet(catalog, defaulted);
+  EXPECT_EQ(a.event_digest, b.event_digest);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(HashSpans(a.spans), HashSpans(b.spans));
+  EXPECT_EQ(a.rounds, 0u);
+  EXPECT_EQ(a.cross_domain_events, 0u);
+}
+
+}  // namespace
+}  // namespace rpcscope

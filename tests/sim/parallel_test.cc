@@ -1,0 +1,253 @@
+// Shard-domain executor tests: the conservative-PDES round loop must deliver
+// cross-domain events in a canonical order and produce bit-for-bit identical
+// executions regardless of how many host worker threads drive the domains
+// (docs/PARALLEL.md). Also covers Simulator::RunBefore, the exclusive-bound
+// primitive the round loop is built on.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/sim/domain.h"
+#include "src/sim/parallel/shard_executor.h"
+#include "src/sim/simulator.h"
+
+namespace rpcscope {
+namespace {
+
+TEST(RunBeforeTest, ExecutesStrictlyEarlierEventsOnly) {
+  Simulator sim;
+  std::vector<int> fired;
+  sim.ScheduleAt(10, [&fired]() { fired.push_back(10); });
+  sim.ScheduleAt(20, [&fired]() { fired.push_back(20); });
+  sim.ScheduleAt(30, [&fired]() { fired.push_back(30); });
+
+  // Events exactly at the bound do NOT run (the round loop schedules barrier
+  // deliveries at exactly round_end, so they must still be in the future).
+  EXPECT_EQ(sim.RunBefore(20), 1u);
+  EXPECT_EQ(fired, (std::vector<int>{10}));
+  EXPECT_EQ(sim.Now(), 10);
+  EXPECT_EQ(sim.NextEventTime(), 20);
+
+  EXPECT_EQ(sim.RunBefore(21), 1u);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(sim.Now(), 20);
+}
+
+TEST(RunBeforeTest, DoesNotAdvanceClockPastLastExecutedEvent) {
+  Simulator sim;
+  sim.ScheduleAt(5, []() {});
+  EXPECT_EQ(sim.RunBefore(1000), 1u);
+  // Unlike RunUntil, the clock stays at the last executed event: an event
+  // arriving later at exactly t=1000 must be schedulable without clamping.
+  EXPECT_EQ(sim.Now(), 5);
+  sim.ScheduleAt(1000, []() {});
+  EXPECT_EQ(sim.RunBefore(2000), 1u);
+  EXPECT_EQ(sim.Now(), 1000);
+  // Draining an empty queue executes nothing and leaves the clock alone.
+  EXPECT_EQ(sim.RunBefore(5000), 0u);
+  EXPECT_EQ(sim.Now(), 1000);
+  EXPECT_EQ(sim.NextEventTime(), kMaxSimTime);
+}
+
+TEST(ShardExecutorTest, SingleDomainMatchesPlainSimulatorRun) {
+  // With one domain the executor must be a pure pass-through: same events,
+  // same digest as driving the simulator directly.
+  auto load = [](Simulator& sim) {
+    for (int i = 0; i < 50; ++i) {
+      sim.ScheduleAt(i * 7, [&sim, i]() {
+        if (i % 3 == 0) {
+          sim.Schedule(11, []() {});
+        }
+      });
+    }
+  };
+
+  Simulator plain;
+  load(plain);
+  plain.Run();
+
+  SimDomain domain(0, 1);
+  load(domain.sim());
+  std::vector<SimDomain*> domains = {&domain};
+  ShardExecutor executor(domains, ShardExecutorOptions{});
+  executor.RunToCompletion();
+
+  EXPECT_EQ(domain.sim().events_executed(), plain.events_executed());
+  EXPECT_EQ(domain.sim().event_digest(), plain.event_digest());
+  EXPECT_EQ(executor.cross_domain_events(), 0u);
+}
+
+// A two-domain ping-pong workload: every bounce crosses domains with at
+// least `lookahead` of virtual latency, exactly like a cross-shard RPC.
+struct PingPongResult {
+  uint64_t digest0 = 0;
+  uint64_t digest1 = 0;
+  uint64_t events0 = 0;
+  uint64_t events1 = 0;
+  uint64_t bounces = 0;
+  uint64_t rounds = 0;
+  uint64_t cross = 0;
+};
+
+PingPongResult RunPingPong(int worker_threads) {
+  constexpr SimDuration kLookahead = 100;
+  constexpr SimTime kLimit = 50000;
+  SimDomain d0(0, 2);
+  SimDomain d1(1, 2);
+  auto bounces = std::make_shared<uint64_t>(0);
+
+  // fn(home, other) posts itself back and forth until the clock passes kLimit.
+  struct Bouncer {
+    SimDomain* home;
+    SimDomain* other;
+    std::shared_ptr<uint64_t> bounces;
+    void operator()() const {
+      ++*bounces;
+      const SimTime now = home->sim().Now();
+      if (now >= kLimit) {
+        return;
+      }
+      // Some local work too, so each round runs a mix of events.
+      home->sim().Schedule(13, []() {});
+      Bouncer next{other, home, bounces};
+      home->PostRemote(other->id(), AddClamped(now, kLookahead + 7), SimCallback(next));
+    }
+  };
+  d0.sim().ScheduleAt(0, SimCallback(Bouncer{&d0, &d1, bounces}));
+  d0.sim().ScheduleAt(3, SimCallback(Bouncer{&d0, &d1, bounces}));
+  d1.sim().ScheduleAt(5, SimCallback(Bouncer{&d1, &d0, bounces}));
+
+  std::vector<SimDomain*> domains = {&d0, &d1};
+  ShardExecutorOptions opts;
+  opts.worker_threads = worker_threads;
+  opts.lookahead = kLookahead;
+  ShardExecutor executor(domains, opts);
+  executor.RunToCompletion();
+
+  PingPongResult r;
+  r.digest0 = d0.sim().event_digest();
+  r.digest1 = d1.sim().event_digest();
+  r.events0 = d0.sim().events_executed();
+  r.events1 = d1.sim().events_executed();
+  r.bounces = *bounces;
+  r.rounds = executor.rounds();
+  r.cross = executor.cross_domain_events();
+  return r;
+}
+
+TEST(ShardExecutorTest, CrossDomainPingPongRunsToCompletion) {
+  const PingPongResult r = RunPingPong(1);
+  EXPECT_GT(r.bounces, 100u);
+  EXPECT_GT(r.rounds, 1u);
+  EXPECT_GT(r.cross, 100u);
+  EXPECT_GT(r.events0, 0u);
+  EXPECT_GT(r.events1, 0u);
+}
+
+TEST(ShardExecutorTest, WorkerThreadCountDoesNotChangeTheExecution) {
+  // The determinism contract: per-domain event digests — which fold every
+  // (time, seq) pair in execution order — must be identical whether the
+  // domains run sequentially or on a thread pool.
+  const PingPongResult seq = RunPingPong(1);
+  const PingPongResult two = RunPingPong(2);
+
+  EXPECT_EQ(seq.digest0, two.digest0);
+  EXPECT_EQ(seq.digest1, two.digest1);
+  EXPECT_EQ(seq.events0, two.events0);
+  EXPECT_EQ(seq.events1, two.events1);
+  EXPECT_EQ(seq.bounces, two.bounces);
+  EXPECT_EQ(seq.rounds, two.rounds);
+  EXPECT_EQ(seq.cross, two.cross);
+}
+
+TEST(ShardExecutorTest, ManyDomainRingIsWorkerCountInvariant) {
+  // A ring of 8 domains each forwarding to the next; oversubscribed worker
+  // counts (more threads than free cores, more threads than domains ask for)
+  // must not perturb the execution.
+  constexpr int kDomains = 8;
+  constexpr SimDuration kLookahead = 50;
+  constexpr SimTime kLimit = 20000;
+
+  auto run = [&](int worker_threads) {
+    std::vector<std::unique_ptr<SimDomain>> owned;
+    std::vector<SimDomain*> domains;
+    for (int i = 0; i < kDomains; ++i) {
+      owned.push_back(std::make_unique<SimDomain>(i, kDomains));
+      domains.push_back(owned.back().get());
+    }
+    struct Hop {
+      std::vector<SimDomain*>* ring;
+      int at;
+      void operator()() const {
+        SimDomain* home = (*ring)[static_cast<size_t>(at)];
+        const SimTime now = home->sim().Now();
+        if (now >= kLimit) {
+          return;
+        }
+        const int next = (at + 1) % kDomains;
+        home->PostRemote(next, AddClamped(now, kLookahead + static_cast<SimDuration>(at)),
+                         SimCallback(Hop{ring, next}));
+      }
+    };
+    for (int i = 0; i < kDomains; ++i) {
+      domains[static_cast<size_t>(i)]->sim().ScheduleAt(i, SimCallback(Hop{&domains, i}));
+    }
+    ShardExecutorOptions opts;
+    opts.worker_threads = worker_threads;
+    opts.lookahead = kLookahead;
+    ShardExecutor executor(domains, opts);
+    executor.RunToCompletion();
+    std::vector<uint64_t> digests;
+    for (SimDomain* d : domains) {
+      digests.push_back(d->sim().event_digest());
+      digests.push_back(d->sim().events_executed());
+    }
+    digests.push_back(executor.rounds());
+    digests.push_back(executor.cross_domain_events());
+    return digests;
+  };
+
+  const std::vector<uint64_t> one = run(1);
+  const std::vector<uint64_t> two = run(2);
+  const std::vector<uint64_t> eight = run(8);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(ShardExecutorTest, DrainOrderIsCanonicalNotArrivalOrder) {
+  // Two source domains each post two events at the same virtual time into
+  // domain 2. The canonical drain order is (source id, post order), so the
+  // destination sequence numbers — and hence its digest — are fixed no
+  // matter which source's round finished first on the host.
+  constexpr SimDuration kLookahead = 10;
+  auto run = [&](int worker_threads) {
+    SimDomain d0(0, 3);
+    SimDomain d1(1, 3);
+    SimDomain d2(2, 3);
+    auto order = std::make_shared<std::vector<int>>();
+    auto post_two = [order](SimDomain* home, int tag) {
+      const SimTime when = AddClamped(home->sim().Now(), kLookahead);
+      home->PostRemote(2, when, [order, tag]() { order->push_back(tag); });
+      home->PostRemote(2, when, [order, tag]() { order->push_back(tag + 1); });
+    };
+    d0.sim().ScheduleAt(0, [&d0, post_two]() { post_two(&d0, 100); });
+    d1.sim().ScheduleAt(0, [&d1, post_two]() { post_two(&d1, 200); });
+    std::vector<SimDomain*> domains = {&d0, &d1, &d2};
+    ShardExecutorOptions opts;
+    opts.worker_threads = worker_threads;
+    opts.lookahead = kLookahead;
+    ShardExecutor executor(domains, opts);
+    executor.RunToCompletion();
+    return *order;
+  };
+
+  const std::vector<int> expected = {100, 101, 200, 201};
+  EXPECT_EQ(run(1), expected);
+  EXPECT_EQ(run(2), expected);
+  EXPECT_EQ(run(3), expected);
+}
+
+}  // namespace
+}  // namespace rpcscope

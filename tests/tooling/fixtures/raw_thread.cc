@@ -1,0 +1,21 @@
+// Lint fixture: host threading primitives outside src/sim/parallel/. Every
+// use below must be flagged by rpcscope-raw-thread when this content is
+// linted as library code — except the NOLINT-suppressed one.
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+static std::mutex g_mu;
+static std::atomic<int> g_count{0};
+static thread_local int g_scratch = 0;
+
+void Spawn() {
+  std::thread worker([] { ++g_count; });
+  std::lock_guard<std::mutex> lock(g_mu);
+  worker.join();
+}
+
+// A sanctioned use carries a suppression naming the rule.
+static thread_local int g_allowed = 0;  // NOLINT(rpcscope-raw-thread)
+
+int Read() { return g_scratch + g_allowed; }

@@ -129,6 +129,33 @@ TEST(LintSelfTest, SerializeHotpathRuleDoesNotApplyOutsideSrc) {
   EXPECT_TRUE(findings.empty());
 }
 
+TEST(LintSelfTest, RawThreadRule) {
+  // Library code outside src/sim/parallel/ must not touch host threading
+  // primitives; the NOLINT-suppressed line in the fixture stays silent.
+  const auto findings =
+      LintFile("src/monitor/raw_thread.cc", ReadFixture("raw_thread.cc"), {});
+  EXPECT_EQ(Summarize(findings), (std::vector<std::pair<int, std::string>>{
+                                     {8, "rpcscope-raw-thread"},
+                                     {9, "rpcscope-raw-thread"},
+                                     {10, "rpcscope-raw-thread"},
+                                     {13, "rpcscope-raw-thread"},
+                                     {14, "rpcscope-raw-thread"},
+                                 }));
+}
+
+TEST(LintSelfTest, RawThreadRuleExemptsShardExecutor) {
+  // src/sim/parallel/ is the one sanctioned home for host concurrency.
+  const auto findings =
+      LintFile("src/sim/parallel/raw_thread.cc", ReadFixture("raw_thread.cc"), {});
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintSelfTest, RawThreadRuleDoesNotApplyOutsideSrc) {
+  // Tests and benches drive the executor with threads freely.
+  const auto findings = LintFile("tests/sim/raw_thread.cc", ReadFixture("raw_thread.cc"), {});
+  EXPECT_TRUE(findings.empty());
+}
+
 TEST(LintSelfTest, CollectFallibleFunctionsFindsDeclarations) {
   const std::string header = R"(
     Status DoWrite(int fd);

@@ -393,6 +393,34 @@ std::vector<Finding> LintFile(const std::string& rel_path, const std::string& co
     }
   }
 
+  // --- rpcscope-raw-thread --------------------------------------------------
+  if (in_src && !StartsWith(rel_path, "src/sim/parallel/")) {
+    static const RulePattern kRawThread[] = {
+        {R"(std::(?:jthread|thread)\b)", "std::thread"},
+        {R"(std::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b)", "a mutex"},
+        {R"(std::condition_variable)", "std::condition_variable"},
+        {R"(std::atomic)", "std::atomic"},
+        {R"(std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b)", "a lock wrapper"},
+        {R"(std::(?:async|future|shared_future|promise|packaged_task)\b)", "std::async/future"},
+        {R"(std::(?:barrier|latch|counting_semaphore|binary_semaphore)\b)",
+         "a barrier/latch/semaphore"},
+        {R"(\bthread_local\b)", "thread_local"},
+        {R"(\bpthread_\w+)", "pthreads"},
+    };
+    for (size_t i = 0; i < lines.size(); ++i) {
+      for (const RulePattern& p : kRawThread) {
+        if (std::regex_search(lines[i], std::regex(p.pattern))) {
+          add(i, "rpcscope-raw-thread",
+              std::string(p.what) +
+                  " outside src/sim/parallel/; the DES is single-threaded per shard "
+                  "domain — model concurrency in virtual time, host threads belong to "
+                  "the shard executor only (docs/PARALLEL.md)");
+          break;
+        }
+      }
+    }
+  }
+
   // --- rpcscope-cout --------------------------------------------------------
   if (in_src) {
     static const RulePattern kStdout[] = {

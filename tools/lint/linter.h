@@ -17,6 +17,13 @@
 //   rpcscope-cout              std::cout / printf in library code (src/);
 //                              libraries report through Status and ostream&
 //                              parameters, never the process's stdout.
+//   rpcscope-raw-thread        host threading primitives (std::thread, mutex,
+//                              condition_variable, atomics, futures, latches,
+//                              thread_local, pthreads) in src/ outside
+//                              src/sim/parallel/ — the DES is single-threaded
+//                              per shard domain and host concurrency is
+//                              confined to the shard executor
+//                              (docs/PARALLEL.md).
 //   rpcscope-serialize-hotpath calls to the vector-returning
 //                              Message::Serialize() in src/ — library code
 //                              sits on the per-RPC wire path and must use

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds bench_simcore in Release mode and refreshes the tracked shard-domain
+# baseline (BENCH_parallel.json at the repo root). See docs/PARALLEL.md.
+#
+# Captures the sharded mini-fleet sweep (BM_MiniFleetSharded over
+# shards x workers) plus the single-domain BM_MiniFleet_Ladder reference the
+# shards:1/workers:1 row must stay within noise of. The JSON's
+# context.num_cpus records how many host cores the run had — multi-worker
+# rows can only beat the 1-worker row when that is > 1.
+#
+# Usage: tools/run_bench_parallel.sh [extra --benchmark_* flags...]
+# Note: the system google-benchmark wants --benchmark_min_time as a plain
+# double (seconds); the "0.1s" suffix form is rejected.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build-rel}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD" --target bench_simcore -j >/dev/null
+
+"$BUILD/bench/bench_simcore" \
+  --benchmark_filter='BM_MiniFleetSharded|BM_MiniFleet_Ladder' \
+  --benchmark_out="$ROOT/BENCH_parallel.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.3 \
+  "$@"
+
+echo "Wrote $ROOT/BENCH_parallel.json"
