@@ -5,16 +5,65 @@
 // paper's headline numbers.
 //
 //   ./fleet_study [num_samples]
+//
+// --observe [seconds] runs the live mode instead: the Table-1 mini-fleet
+// executes as a sharded DES while the streaming observability pipeline
+// (docs/OBSERVABILITY.md) closes short Monarch windows at round barriers and
+// prints the per-window fleet RPS / error / latency series as virtual time
+// advances — monitoring the fleet while it runs, no post-run pass.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "src/core/analyses.h"
 #include "src/fleet/fleet_sampler.h"
+#include "src/fleet/mini_fleet.h"
 
 using namespace rpcscope;
 
+namespace {
+
+int RunObserve(SimDuration duration) {
+  const ServiceCatalog services = ServiceCatalog::BuildDefault();
+  MiniFleetOptions options;
+  options.duration = duration;
+  options.warmup = 0;  // Observe from t=0; no post-run filtering here.
+  options.frontend_rps = 600;
+  options.num_shards = 8;
+  options.worker_threads = 2;
+  options.observability.window = Millis(100);
+  std::printf("live observation: Table-1 mini-fleet, %d shards, %s windows\n",
+              options.num_shards, FormatDuration(options.observability.window).c_str());
+  std::printf("%-10s %-8s %-8s %-8s %-10s\n", "window", "spans", "rps", "errors", "mean RCT");
+  options.window_tap = [](const WindowStats& w) {
+    // Fires on the coordinator thread the moment a round barrier's watermark
+    // passes the window end — mid-run, while later windows are still being
+    // simulated.
+    std::printf("%-10s %-8lld %-8.0f %-8lld %-10s\n",
+                FormatDuration(w.window_start).c_str(), static_cast<long long>(w.spans),
+                w.Rps(), static_cast<long long>(w.errors),
+                FormatDuration(static_cast<SimDuration>(w.MeanTotalNanos())).c_str());
+  };
+  const MiniFleetResult result = RunMiniFleet(services, options);
+  std::printf("\nstreamed %lld spans into %lld windows (%lld closed live)\n",
+              static_cast<long long>(result.spans_streamed),
+              static_cast<long long>(result.windows_closed),
+              static_cast<long long>(result.windows_closed));
+  std::printf("streamed aggregate digest %016llx; post-run replay %s\n",
+              static_cast<unsigned long long>(result.streamed_aggregate_digest),
+              result.streamed_aggregate_digest == result.replayed_aggregate_digest
+                  ? "matches bit-for-bit"
+                  : "MISMATCH");
+  return result.streamed_aggregate_digest == result.replayed_aggregate_digest ? 0 : 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   int64_t samples = 500000;
+  if (argc > 1 && std::strcmp(argv[1], "--observe") == 0) {
+    return RunObserve(argc > 2 ? Seconds(std::atoll(argv[2])) : Seconds(2));
+  }
   if (argc > 1) {
     samples = std::atoll(argv[1]);
   }

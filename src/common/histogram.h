@@ -47,6 +47,12 @@ class LogHistogram {
 
   const Options& options() const { return options_; }
 
+  // Raw bucket counts, [underflow][core...][overflow]. Bucket counts are the
+  // order-independent part of the state (unlike sum(), whose floating-point
+  // accumulation depends on Add order), so digests of merged histograms fold
+  // these — see ObservabilityHub::AggregateDigest.
+  const std::vector<int64_t>& bucket_counts() const { return buckets_; }
+
  private:
   size_t BucketIndex(double value) const;
   double BucketLowerBound(size_t index) const;

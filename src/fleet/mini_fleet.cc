@@ -1,5 +1,6 @@
 #include "src/fleet/mini_fleet.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/fleet/workload.h"
@@ -34,7 +35,11 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   sys_opts.sim_queue = options.sim_queue;
   sys_opts.num_shards = options.num_shards;
   sys_opts.fabric.congestion_probability = 0.01;
+  sys_opts.observability = options.observability;
   RpcSystem system(sys_opts);
+  if (system.hub() != nullptr && options.window_tap) {
+    system.hub()->SetWindowCloseTap(options.window_tap);
+  }
   const Topology& topo = system.topology();
   const StudiedServices& ids = catalog.studied();
 
@@ -268,11 +273,10 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
         }));
   }
 
-  if (system.num_shards() > 1) {
-    system.RunSharded(options.worker_threads);
-  } else {
-    system.sim().Run();
-  }
+  // RunSharded drives all configurations: with num_shards == 1 it is exactly
+  // the legacy sim().Run() (same event stream bit-for-bit), and in every case
+  // it performs the final observability flush.
+  system.RunSharded(options.worker_threads);
 
   MiniFleetResult result;
   for (uint64_t count : root_counts) {
@@ -301,6 +305,25 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
         ++result.spans_per_service[span.service_id];
       }
     }
+  }
+
+  if (const ObservabilityHub* hub = system.hub(); hub != nullptr) {
+    result.streamed_aggregate_digest = hub->AggregateDigest();
+    result.exemplar_digest = hub->ExemplarDigest();
+    result.spans_streamed = hub->spans_ingested();
+    result.span_buffer_drops = hub->span_buffer_drops();
+    result.reservoir_drops = hub->reservoir_drops();
+    result.windows_closed = hub->windows_closed();
+    result.late_window_updates = hub->late_window_updates();
+    for (int s = 0; s < system.num_shards(); ++s) {
+      result.peak_buffered_spans =
+          std::max(result.peak_buffered_spans, system.shard(s).stream_sink->peak_buffered_spans());
+    }
+    // The reference aggregation: replay the canonical post-run merge through
+    // a fresh hub. Equal aggregate digests prove the barrier-streamed
+    // pipeline lost nothing and double-counted nothing.
+    result.replayed_aggregate_digest =
+        ReplayIntoHub(system.MergedSpans(), options.observability).AggregateDigest();
   }
   return result;
 }

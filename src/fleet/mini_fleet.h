@@ -10,12 +10,14 @@
 #ifndef RPCSCOPE_SRC_FLEET_MINI_FLEET_H_
 #define RPCSCOPE_SRC_FLEET_MINI_FLEET_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/fleet/service_catalog.h"
+#include "src/monitor/stream.h"
 #include "src/rpc/client.h"
 #include "src/rpc/server.h"
 
@@ -38,6 +40,15 @@ struct MiniFleetOptions {
   // for any worker_threads value.
   int num_shards = 1;
   int worker_threads = 1;
+  // Streaming observability pipeline configuration (src/monitor/stream.h);
+  // forwarded to RpcSystemOptions. Streaming is on by default — the run
+  // aggregates online at round barriers, and the result carries both the
+  // streamed and post-run-replayed digests so callers can assert equivalence.
+  ObservabilityOptions observability;
+  // Optional live tap: invoked on the coordinator thread each time the hub
+  // closes a metric window (watermark passed its end). Drive it with a short
+  // observability.window to watch fleet RPS/latency evolve during the run.
+  std::function<void(const WindowStats&)> window_tap;
 };
 
 struct MiniFleetResult {
@@ -54,6 +65,23 @@ struct MiniFleetResult {
   // Sharded-run stats (0 for single-domain runs).
   uint64_t rounds = 0;
   uint64_t cross_domain_events = 0;
+
+  // Streaming-pipeline fingerprints and counters (zero when streaming off).
+  // streamed_aggregate_digest is the hub's AggregateDigest after the run;
+  // replayed_aggregate_digest re-aggregates MergedSpans() post-run through
+  // ReplayIntoHub. The pipeline's correctness claim is that they are equal —
+  // for every worker_threads value (parallel_test asserts both).
+  uint64_t streamed_aggregate_digest = 0;
+  uint64_t replayed_aggregate_digest = 0;
+  // Reservoir-content digest: worker-count invariant (canonical barrier
+  // order), but NOT comparable to a replayed hub (different ingest order).
+  uint64_t exemplar_digest = 0;
+  int64_t spans_streamed = 0;           // Hub spans_ingested (via deltas).
+  uint64_t span_buffer_drops = 0;       // Exemplar candidates dropped at caps.
+  int64_t reservoir_drops = 0;
+  int64_t windows_closed = 0;
+  int64_t late_window_updates = 0;
+  size_t peak_buffered_spans = 0;       // Max over shards: bounded-memory proof.
 };
 
 // Deploys the graph, runs it, and collects traces. `catalog` supplies service

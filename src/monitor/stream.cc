@@ -1,0 +1,353 @@
+#include "src/monitor/stream.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/check.h"
+
+namespace rpcscope {
+
+namespace {
+
+// FNV-1a fold of one 64-bit word, byte by byte — the repo-wide digest
+// primitive (same mix as Simulator::event_digest, so hub digests compose
+// with the rest of the determinism fingerprints).
+uint64_t FnvMix(uint64_t digest, uint64_t word) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  for (int i = 0; i < 8; ++i) {
+    digest ^= (word >> (8 * i)) & 0xff;
+    digest *= kPrime;
+  }
+  return digest;
+}
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+
+uint64_t FoldHistogram(uint64_t digest, const LogHistogram& histogram) {
+  digest = FnvMix(digest, static_cast<uint64_t>(histogram.count()));
+  for (int64_t bucket : histogram.bucket_counts()) {
+    digest = FnvMix(digest, static_cast<uint64_t>(bucket));
+  }
+  return digest;
+}
+
+SimTime WindowStartOf(SimTime time, SimDuration window) {
+  // Aligned window containing `time`; negative times (not produced by the
+  // stack, but accepted) floor toward -inf so windows stay half-open.
+  SimTime start = (time / window) * window;
+  if (start > time) {
+    start -= window;
+  }
+  return start;
+}
+
+}  // namespace
+
+void StreamStat::AddSpan(const Span& span) {
+  const SimDuration total = span.latency.Total();
+  if (count == 0 || total < min_total) {
+    min_total = total;
+  }
+  if (count == 0 || total > max_total) {
+    max_total = total;
+  }
+  ++count;
+  if (span.status != StatusCode::kOk) {
+    ++errors;
+  }
+  total_nanos_sum += static_cast<uint64_t>(total);
+  tax_nanos_sum += static_cast<uint64_t>(span.latency.Tax());
+  total_nanos.Add(static_cast<double>(total));
+}
+
+void StreamStat::Merge(const StreamStat& other) {
+  if (other.count == 0) {
+    return;
+  }
+  if (count == 0 || other.min_total < min_total) {
+    min_total = other.min_total;
+  }
+  if (count == 0 || other.max_total > max_total) {
+    max_total = other.max_total;
+  }
+  count += other.count;
+  errors += other.errors;
+  total_nanos_sum += other.total_nanos_sum;
+  tax_nanos_sum += other.tax_nanos_sum;
+  total_nanos.Merge(other.total_nanos);
+}
+
+void MetricWindowDelta::AddSpan(const Span& span) {
+  ++spans;
+  if (span.status != StatusCode::kOk) {
+    ++errors;
+  }
+  const SimDuration total = span.latency.Total();
+  total_nanos_sum += static_cast<uint64_t>(total);
+  total_nanos.Add(static_cast<double>(total));
+}
+
+void MetricWindowDelta::Merge(const MetricWindowDelta& other) {
+  RPCSCOPE_DCHECK_EQ(window_start, other.window_start);
+  spans += other.spans;
+  errors += other.errors;
+  total_nanos_sum += other.total_nanos_sum;
+  total_nanos.Merge(other.total_nanos);
+}
+
+ObservabilityHub::ObservabilityHub(const ObservabilityOptions& options) : options_(options) {
+  RPCSCOPE_CHECK_GT(options_.window, 0);
+  RPCSCOPE_CHECK_GT(options_.max_windows, 0);
+  RPCSCOPE_CHECK_GE(options_.reservoir_per_method, 0);
+}
+
+WindowStats& ObservabilityHub::WindowAt(SimTime window_start) {
+  // Windows arrive almost in order (barrier watermarks are monotone); search
+  // from the back, insert in place if absent.
+  auto it = windows_.end();
+  while (it != windows_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->window_start == window_start) {
+      return *prev;
+    }
+    if (prev->window_start < window_start) {
+      break;
+    }
+    it = prev;
+  }
+  it = windows_.insert(it, WindowStats(options_.latency_histogram));
+  it->window_start = window_start;
+  it->window_width = options_.window;
+  // A window created at or below the watermark was already closed (a late
+  // straggler re-opened it): keep it marked closed so the tap never fires
+  // twice, and let AdvanceWatermark's counters stand.
+  if (AddClamped(window_start, options_.window) <= watermark_) {
+    it->closed = true;
+  }
+  WindowStats& created = *it;
+  while (static_cast<int>(windows_.size()) > options_.max_windows) {
+    // Evict oldest-first; an unclosed evictee still goes through the tap so
+    // no window ever disappears silently.
+    WindowStats& oldest = windows_.front();
+    if (&oldest == &created) {
+      break;  // Never evict the entry being returned.
+    }
+    if (!oldest.closed) {
+      oldest.closed = true;
+      ++windows_closed_;
+      if (on_window_close_) {
+        on_window_close_(oldest);
+      }
+    }
+    ++windows_evicted_;
+    windows_.pop_front();
+  }
+  return created;
+}
+
+void ObservabilityHub::IngestWindowDelta(const MetricWindowDelta& delta) {
+  WindowStats& window = WindowAt(delta.window_start);
+  if (window.closed) {
+    ++window.late_updates;
+    ++late_window_updates_;
+  }
+  window.spans += delta.spans;
+  window.errors += delta.errors;
+  window.total_nanos_sum += delta.total_nanos_sum;
+  window.total_nanos.Merge(delta.total_nanos);
+  spans_ingested_ += delta.spans;
+}
+
+void ObservabilityHub::IngestMethodDelta(int32_t method_id, const StreamStat& delta) {
+  auto it = methods_.find(method_id);
+  if (it == methods_.end()) {
+    it = methods_
+             .emplace(method_id,
+                      MethodStream(options_.latency_histogram,
+                                   Mix64(options_.reservoir_seed ^
+                                         static_cast<uint64_t>(static_cast<uint32_t>(method_id)))))
+             .first;
+  }
+  it->second.stat.Merge(delta);
+}
+
+void ObservabilityHub::IngestSpanDrops(uint64_t dropped) { span_buffer_drops_ += dropped; }
+
+void ObservabilityHub::OnSpan(const Span& span) {
+  ++exemplars_ingested_;
+  auto it = methods_.find(span.method_id);
+  if (it == methods_.end()) {
+    it = methods_
+             .emplace(span.method_id,
+                      MethodStream(options_.latency_histogram,
+                                   Mix64(options_.reservoir_seed ^
+                                         static_cast<uint64_t>(
+                                             static_cast<uint32_t>(span.method_id)))))
+             .first;
+  }
+  MethodStream& stream = it->second;
+  const int64_t seen = stream.reservoir_seen++;
+  const int64_t capacity = options_.reservoir_per_method;
+  if (capacity == 0) {
+    ++reservoir_drops_;
+    return;
+  }
+  if (seen < capacity) {
+    stream.reservoir.push_back(span);
+    return;
+  }
+  // Algorithm R: the i-th span (0-based) replaces a random slot with
+  // probability capacity / (i + 1). Deterministic per method given the
+  // canonical ingest order.
+  const uint64_t j = stream.reservoir_rng.NextBounded(static_cast<uint64_t>(seen) + 1);
+  if (j < static_cast<uint64_t>(capacity)) {
+    stream.reservoir[static_cast<size_t>(j)] = span;
+  }
+  ++reservoir_drops_;
+}
+
+void ObservabilityHub::AdvanceWatermark(SimTime watermark) {
+  RPCSCOPE_CHECK_GE(watermark, watermark_) << "watermarks must be non-decreasing";
+  watermark_ = watermark;
+  for (WindowStats& window : windows_) {
+    if (window.closed) {
+      continue;
+    }
+    if (AddClamped(window.window_start, window.window_width) > watermark) {
+      break;  // Ascending order: everything later is still open.
+    }
+    window.closed = true;
+    ++windows_closed_;
+    if (on_window_close_) {
+      on_window_close_(window);
+    }
+  }
+}
+
+const WindowStats* ObservabilityHub::FindWindow(SimTime window_start) const {
+  for (const WindowStats& window : windows_) {
+    if (window.window_start == window_start) {
+      return &window;
+    }
+  }
+  return nullptr;
+}
+
+double ObservabilityHub::MethodQuantileNanos(int32_t method_id, double q) const {
+  auto it = methods_.find(method_id);
+  if (it == methods_.end() || it->second.stat.count == 0) {
+    return 0.0;
+  }
+  return it->second.stat.total_nanos.Quantile(q);
+}
+
+uint64_t ObservabilityHub::AggregateDigest() const {
+  uint64_t digest = kFnvOffset;
+  digest = FnvMix(digest, static_cast<uint64_t>(methods_.size()));
+  for (const auto& [method_id, stream] : methods_) {
+    digest = FnvMix(digest, static_cast<uint64_t>(static_cast<uint32_t>(method_id)));
+    digest = FnvMix(digest, static_cast<uint64_t>(stream.stat.count));
+    digest = FnvMix(digest, static_cast<uint64_t>(stream.stat.errors));
+    digest = FnvMix(digest, stream.stat.total_nanos_sum);
+    digest = FnvMix(digest, stream.stat.tax_nanos_sum);
+    digest = FnvMix(digest, static_cast<uint64_t>(stream.stat.min_total));
+    digest = FnvMix(digest, static_cast<uint64_t>(stream.stat.max_total));
+    digest = FoldHistogram(digest, stream.stat.total_nanos);
+  }
+  digest = FnvMix(digest, static_cast<uint64_t>(windows_.size()));
+  for (const WindowStats& window : windows_) {
+    digest = FnvMix(digest, static_cast<uint64_t>(window.window_start));
+    digest = FnvMix(digest, static_cast<uint64_t>(window.spans));
+    digest = FnvMix(digest, static_cast<uint64_t>(window.errors));
+    digest = FnvMix(digest, window.total_nanos_sum);
+    digest = FoldHistogram(digest, window.total_nanos);
+  }
+  digest = FnvMix(digest, static_cast<uint64_t>(spans_ingested_));
+  return digest;
+}
+
+uint64_t ObservabilityHub::ExemplarDigest() const {
+  uint64_t digest = kFnvOffset;
+  for (const auto& [method_id, stream] : methods_) {
+    digest = FnvMix(digest, static_cast<uint64_t>(static_cast<uint32_t>(method_id)));
+    digest = FnvMix(digest, static_cast<uint64_t>(stream.reservoir_seen));
+    for (const Span& span : stream.reservoir) {
+      digest = FnvMix(digest, span.trace_id);
+      digest = FnvMix(digest, span.span_id);
+      digest = FnvMix(digest, static_cast<uint64_t>(span.start_time));
+    }
+  }
+  return digest;
+}
+
+ShardStreamSink::ShardStreamSink(const ObservabilityOptions& options) : options_(options) {
+  RPCSCOPE_CHECK_GT(options_.window, 0);
+}
+
+void ShardStreamSink::OnSpan(const Span& span) {
+  ++spans_seen_;
+  // Aggregates first: the buffer cap only ever costs exemplars.
+  auto method_it = method_deltas_.find(span.method_id);
+  if (method_it == method_deltas_.end()) {
+    method_it =
+        method_deltas_.emplace(span.method_id, StreamStat(options_.latency_histogram)).first;
+  }
+  method_it->second.AddSpan(span);
+
+  const SimTime window_start = WindowStartOf(span.start_time, options_.window);
+  auto window_it = window_deltas_.find(window_start);
+  if (window_it == window_deltas_.end()) {
+    window_it =
+        window_deltas_.emplace(window_start, MetricWindowDelta(options_.latency_histogram)).first;
+    window_it->second.window_start = window_start;
+  }
+  window_it->second.AddSpan(span);
+
+  if (buffered_spans_.size() >= options_.max_buffered_spans) {
+    ++dropped_spans_;
+    ++unflushed_drops_;
+    return;
+  }
+  buffered_spans_.push_back(span);
+  peak_buffered_spans_ = std::max(peak_buffered_spans_, buffered_spans_.size());
+}
+
+void ShardStreamSink::FlushInto(ObservabilityHub& hub, SimTime watermark) {
+  // Window deltas retire eagerly: every delta ships now and its shard-side
+  // entry is erased, closed or not — the hub owns the running summary. The
+  // `watermark` parameter names the round barrier this flush happens at; the
+  // hub uses it (via AdvanceWatermark, called by the owner after all shards
+  // flushed) to decide which windows are final.
+  (void)watermark;
+  for (auto& [window_start, delta] : window_deltas_) {
+    hub.IngestWindowDelta(delta);
+  }
+  window_deltas_.clear();
+  for (auto& [method_id, delta] : method_deltas_) {
+    hub.IngestMethodDelta(method_id, delta);
+  }
+  method_deltas_.clear();
+  for (const Span& span : buffered_spans_) {
+    hub.OnSpan(span);
+  }
+  buffered_spans_.clear();
+  if (unflushed_drops_ != 0) {
+    hub.IngestSpanDrops(unflushed_drops_);
+    unflushed_drops_ = 0;
+  }
+}
+
+ObservabilityHub ReplayIntoHub(const std::vector<Span>& spans, ObservabilityOptions options) {
+  // Lift the cap: the reference path buffers everything once, then flushes.
+  options.max_buffered_spans = spans.size() + 1;
+  ObservabilityHub hub(options);
+  ShardStreamSink sink(options);
+  for (const Span& span : spans) {
+    sink.OnSpan(span);
+  }
+  sink.FlushInto(hub, kMaxSimTime);
+  hub.AdvanceWatermark(kMaxSimTime);
+  return hub;
+}
+
+}  // namespace rpcscope

@@ -327,7 +327,13 @@ void Client::RecordAttemptSpan(const CallState& st, const Attempt& att, StatusCo
       static_cast<double>(Mix64(att.span_id ^ 0xc0c) >> 11) * 0x1.0p-53 < p;
   span.normalized_cpu_cycles =
       att.cycles.Total() / system_->costs().normalization_cycles;
-  shard_->tracer.Record(span);
+  const bool kept = shard_->tracer.Record(span);
+  if (kept && shard_->stream_sink != nullptr) {
+    // The streaming pipeline taps exactly the kept (head-sampled) stream —
+    // the same spans MergedSpans() sees — so streamed aggregates replay
+    // bit-for-bit from the post-run merge (stream.h determinism rules).
+    shard_->stream_sink->OnSpan(span);
+  }
   if (system_->options().span_observer) {
     system_->options().span_observer(span);
   }

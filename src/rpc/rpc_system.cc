@@ -77,6 +77,25 @@ RpcSystem::RpcSystem(const RpcSystemOptions& options)
           lookahead_);
     }
   }
+
+  if (options_.observability.streaming) {
+    hub_ = std::make_unique<ObservabilityHub>(options_.observability);
+    for (auto& shard : shards_) {
+      shard->stream_sink = std::make_unique<ShardStreamSink>(options_.observability);
+    }
+  }
+}
+
+void RpcSystem::FlushObservability(SimTime watermark) {
+  if (hub_ == nullptr) {
+    return;
+  }
+  // Canonical shard order fixes the hub's ingest sequence independently of
+  // which worker thread ran which shard; see stream.h determinism rules.
+  for (auto& shard : shards_) {
+    shard->stream_sink->FlushInto(*hub_, watermark);
+  }
+  hub_->AdvanceWatermark(watermark);
 }
 
 uint64_t RpcSystem::RunSharded(int worker_threads) {
@@ -88,10 +107,16 @@ uint64_t RpcSystem::RunSharded(int worker_threads) {
   ShardExecutorOptions exec_options;
   exec_options.worker_threads = worker_threads;
   exec_options.lookahead = lookahead_;
+  if (hub_ != nullptr) {
+    exec_options.barrier_hook = [this](SimTime round_end) { FlushObservability(round_end); };
+  }
   ShardExecutor executor(std::move(domains), exec_options);
   const uint64_t executed = executor.RunToCompletion();
   last_rounds_ = executor.rounds();
   last_cross_domain_events_ = executor.cross_domain_events();
+  // Final flush: drains whatever the last partial round left in the sinks
+  // (and, on the single-domain fast path, everything) and closes all windows.
+  FlushObservability(kMaxSimTime);
   return executed;
 }
 

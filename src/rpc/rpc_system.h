@@ -25,6 +25,7 @@
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
 #include "src/monitor/metrics.h"
+#include "src/monitor/stream.h"
 #include "src/net/fabric.h"
 #include "src/net/topology.h"
 #include "src/rpc/cost_model.h"
@@ -65,6 +66,14 @@ struct RpcSystemOptions {
   // retaining spans. Sharded runs invoke it concurrently from worker
   // threads: it must be thread-safe (or null) when num_shards > 1.
   std::function<void(const Span&)> span_observer;
+
+  // Streaming observability pipeline (src/monitor/stream.h). When
+  // observability.streaming is true (the default), every shard gets a
+  // ShardStreamSink tapping its kept-span stream, and the system owns an
+  // ObservabilityHub fed at conservative-round barriers (and once more after
+  // the run). Aggregates at the hub are bit-for-bit worker-count invariant
+  // and identical to replaying MergedSpans() post-run.
+  ObservabilityOptions observability;
 };
 
 class RpcSystem {
@@ -90,6 +99,10 @@ class RpcSystem {
     TraceCollector tracer;
     MetricRegistry metrics;
     Rng rng;
+    // Shard-local streaming sink (null when observability.streaming is off).
+    // Written only from this shard's round execution; drained only at
+    // barriers on the coordinator (RpcSystem::FlushObservability).
+    std::unique_ptr<ShardStreamSink> stream_sink;
   };
 
   explicit RpcSystem(const RpcSystemOptions& options);
@@ -135,6 +148,19 @@ class RpcSystem {
   uint64_t last_rounds() const { return last_rounds_; }
   uint64_t last_cross_domain_events() const { return last_cross_domain_events_; }
 
+  // The streaming aggregation plane; null when observability.streaming is
+  // off. RunSharded feeds it at every round barrier and flushes it once more
+  // (watermark kMaxSimTime) before returning, so after a run its aggregate
+  // state equals ReplayIntoHub(MergedSpans(), ...) bit-for-bit.
+  ObservabilityHub* hub() { return hub_.get(); }
+  const ObservabilityHub* hub() const { return hub_.get(); }
+  // Drains every shard sink into the hub in canonical shard order, then
+  // advances the hub watermark (closing windows that ended at or before it).
+  // Called from the executor's barrier hook; callers driving a shard's
+  // simulator directly (legacy sim().Run()) may call it manually after the
+  // run with watermark kMaxSimTime. No-op when streaming is off.
+  void FlushObservability(SimTime watermark);
+
   // Canonical cross-shard merges. Deterministic for a fixed seed regardless
   // of worker count; with num_shards == 1 they reduce to the legacy values.
   uint64_t TotalEventsExecuted() const;
@@ -168,6 +194,7 @@ class RpcSystem {
   Topology topology_;
   SimDuration lookahead_ = 0;
   std::vector<std::unique_ptr<ShardContext>> shards_;
+  std::unique_ptr<ObservabilityHub> hub_;
   uint64_t last_rounds_ = 0;
   uint64_t last_cross_domain_events_ = 0;
   std::unordered_map<MachineId, Server*> servers_;

@@ -33,6 +33,23 @@ struct FreeList {
 
 struct PoolState {
   FreeList free_lists[kNumClasses];
+
+  // Runs at thread exit (worker threads in src/sim/parallel/) and at process
+  // exit (main thread). Without this, blocks parked on an exiting worker's
+  // free lists are orphaned — LeakSanitizer flags them because the chain's
+  // anchor dies with the thread_local.
+  ~PoolState() {
+    for (FreeList& list : free_lists) {
+      void* block = list.head;
+      while (block != nullptr) {
+        void* next = *static_cast<void**>(block);
+        std::free(static_cast<BlockHeader*>(block) - 1);
+        block = next;
+      }
+      list.head = nullptr;
+      list.count = 0;
+    }
+  }
 };
 
 PoolState& State() {

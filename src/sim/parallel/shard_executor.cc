@@ -86,6 +86,9 @@ uint64_t ShardExecutor::RunSequential() {
     }
     ++rounds_;
     DrainOutboxes(round_end);
+    if (options_.barrier_hook) {
+      options_.barrier_hook(round_end);
+    }
   }
   return total;
 }
@@ -169,6 +172,12 @@ uint64_t ShardExecutor::RunThreaded() {
     }
     ++rounds_;
     DrainOutboxes(round_end);
+    if (options_.barrier_hook) {
+      // Workers are parked on work_cv here, so the hook sees quiescent
+      // domains; everything it reads was published by the remaining==0
+      // handshake above.
+      options_.barrier_hook(round_end);
+    }
   }
 
   {

@@ -31,6 +31,7 @@
 #define RPCSCOPE_SRC_SIM_PARALLEL_SHARD_EXECUTOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/common/time.h"
@@ -46,6 +47,17 @@ struct ShardExecutorOptions {
   // of any cross-domain event, measured from the sender's clock. Must be > 0
   // when there is more than one domain.
   SimDuration lookahead = 0;
+  // Invoked on the coordinator thread after each round's outbox drain, with
+  // that round's end time. At this point every domain has executed all its
+  // events with time < round_end and every future event (local or transferred)
+  // is at >= round_end, so round_end is a safe streaming watermark: state
+  // observed across all domains now is final for times below it. Workers are
+  // quiescent during the call, so the hook may read any domain. Runs in the
+  // same sequence for every worker-thread count (round boundaries depend only
+  // on event times). Not invoked on the single-domain fast path, which has no
+  // rounds — owners flush once after RunToCompletion instead (see
+  // RpcSystem::RunSharded).
+  std::function<void(SimTime round_end)> barrier_hook;
 };
 
 class ShardExecutor {

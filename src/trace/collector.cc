@@ -3,14 +3,25 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/common/rng.h"
+
 namespace rpcscope {
 
-TraceCollector::TraceCollector(const Options& options) : options_(options), rng_(options.seed) {
+TraceCollector::TraceCollector(const Options& options) : options_(options) {
   const double p = std::clamp(options.sampling_probability, 0.0, 1.0);
   if (p >= 1.0) {
     sample_threshold_ = UINT64_MAX;
   } else {
-    sample_threshold_ = static_cast<uint64_t>(p * 1.8446744073709552e19);
+    // Threshold = round-down of p * 2^64, computed in 2^53 space: the naive
+    // static_cast<uint64_t>(p * 2^64) is undefined behavior whenever the
+    // double product rounds up to exactly 2^64 (any p within half an ulp of
+    // 1.0, e.g. nextafter(1.0, 0.0)). floor(p * 2^53) < 2^53 holds for all
+    // p < 1 except that same half-ulp rounding case, which the guard maps to
+    // keep-everything; shifting by 11 scales the 53-bit threshold to the full
+    // 64-bit hash range with < 2^-53 relative error in the keep probability.
+    const double scaled = std::floor(p * 9007199254740992.0);  // p * 2^53.
+    sample_threshold_ =
+        scaled >= 9007199254740992.0 ? UINT64_MAX : static_cast<uint64_t>(scaled) << 11;
   }
 }
 
@@ -37,6 +48,12 @@ TraceId TraceCollector::NewTraceId() {
 }
 
 SpanId TraceCollector::NewSpanId() { return Mix64(0x5eed ^ (options_.id_offset + next_id_++)) | 1; }
+
+double TraceCollector::ObservedKeepFraction() const {
+  const uint64_t offered = recorded_ + dropped_;
+  return offered == 0 ? 1.0
+                      : static_cast<double>(recorded_) / static_cast<double>(offered);
+}
 
 void TraceCollector::Clear() {
   spans_.clear();

@@ -9,7 +9,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/common/rng.h"
 #include "src/trace/span.h"
 
 namespace rpcscope {
@@ -43,11 +42,25 @@ class TraceCollector {
   uint64_t recorded() const { return recorded_; }
   uint64_t dropped() const { return dropped_; }
 
+  // Drop-aware estimate of the realized sampling fraction: kept / offered
+  // record attempts (1.0 before anything was offered). Span-weighted, unlike
+  // options().sampling_probability which is the configured per-*trace* rate:
+  // a deep trace contributes its whole span count to one keep/drop decision,
+  // so the two differ whenever trace depth correlates with the sampling hash.
+  // Analyses that scale counts up by the sampling rate should divide by this,
+  // not by the configured probability.
+  double ObservedKeepFraction() const;
+
   void Clear();
 
  private:
+  // No PRNG state: the keep decision is a stateless hash of the trace id
+  // (Mix64(id ^ seed)), NOT a random draw, so every shard-local collector in
+  // a sharded run — which all share the same `seed` — makes the identical
+  // decision for a distributed trace's id without any coordination (Dapper's
+  // head-sampling propagation). Per-shard randomness lives in the ids
+  // themselves via disjoint id_offset ranges.
   Options options_;
-  Rng rng_;
   uint64_t sample_threshold_;  // Trace kept iff Mix64(id ^ seed) < threshold.
   std::vector<Span> spans_;
   uint64_t recorded_ = 0;

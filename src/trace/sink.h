@@ -1,0 +1,33 @@
+// TraceSink: where a shard's kept spans go.
+//
+// The Dapper pipeline separates *collection* (head-sampled span capture on
+// the machine that observed the RPC) from *aggregation* (the fleet-wide
+// analysis plane). TraceSink is that seam: anything that wants the kept span
+// stream — the streaming observability pipeline (src/monitor/stream.h), a
+// test harness, a file writer — implements OnSpan and is fed each span
+// exactly once, in the shard's deterministic record order, immediately after
+// the TraceCollector's sampling decision keeps it.
+//
+// Implementations are shard-local and single-threaded: a sink instance is
+// only ever invoked from the shard domain that owns it, so no implementation
+// needs (or is allowed) host-thread synchronization. Cross-shard movement of
+// sink contents happens exclusively at conservative-round barriers, on the
+// coordinator thread (docs/OBSERVABILITY.md).
+#ifndef RPCSCOPE_SRC_TRACE_SINK_H_
+#define RPCSCOPE_SRC_TRACE_SINK_H_
+
+#include "src/trace/span.h"
+
+namespace rpcscope {
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+
+  // Receives one kept span. Must not re-enter the RPC stack.
+  virtual void OnSpan(const Span& span) = 0;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_TRACE_SINK_H_

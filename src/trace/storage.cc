@@ -58,7 +58,7 @@ std::vector<uint8_t> SerializeSpans(const std::vector<Span>& spans) {
   return out;
 }
 
-Result<std::vector<Span>> DeserializeSpans(const std::vector<uint8_t>& bytes) {
+Result<SpanReader> SpanReader::Open(const std::vector<uint8_t>& bytes) {
   if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
     return InvalidArgumentError("not a span batch (bad magic)");
   }
@@ -70,72 +70,97 @@ Result<std::vector<Span>> DeserializeSpans(const std::vector<uint8_t>& bytes) {
   if (!GetVarint64(bytes, pos, count)) {
     return InternalError("truncated span count");
   }
+  return SpanReader(&bytes, pos, count);
+}
+
+Result<bool> SpanReader::Next(Span& span) {
+  const std::vector<uint8_t>& bytes = *bytes_;
+  if (read_ == count_) {
+    if (pos_ != bytes.size()) {
+      return InternalError("trailing bytes after span batch");
+    }
+    return false;
+  }
+  Span s;
+  uint64_t u = 0;
+  auto get_u64 = [&](uint64_t& v) { return GetVarint64(bytes, pos_, v); };
+  auto get_i64 = [&](int64_t& v) {
+    uint64_t raw;
+    if (!GetVarint64(bytes, pos_, raw)) {
+      return false;
+    }
+    v = ZigzagDecode(raw);
+    return true;
+  };
+  int64_t i64 = 0;
+  if (!get_u64(s.trace_id) || !get_u64(s.span_id) || !get_u64(s.parent_span_id)) {
+    return InternalError("truncated span ids");
+  }
+  if (!get_i64(i64)) {
+    return InternalError("truncated method id");
+  }
+  s.method_id = static_cast<int32_t>(i64);
+  if (!get_i64(i64)) {
+    return InternalError("truncated service id");
+  }
+  s.service_id = static_cast<int32_t>(i64);
+  if (!get_i64(i64)) {
+    return InternalError("truncated client cluster");
+  }
+  s.client_cluster = static_cast<ClusterId>(i64);
+  if (!get_i64(i64)) {
+    return InternalError("truncated server cluster");
+  }
+  s.server_cluster = static_cast<ClusterId>(i64);
+  if (!get_i64(s.start_time)) {
+    return InternalError("truncated start time");
+  }
+  for (SimDuration& d : s.latency.components) {
+    if (!get_i64(d)) {
+      return InternalError("truncated latency component");
+    }
+  }
+  if (!get_u64(u)) {
+    return InternalError("truncated status");
+  }
+  if (u > 16) {
+    return InvalidArgumentError("invalid status code");
+  }
+  s.status = static_cast<StatusCode>(u);
+  if (!get_i64(s.request_payload_bytes) || !get_i64(s.response_payload_bytes) ||
+      !get_i64(s.request_wire_bytes) || !get_i64(s.response_wire_bytes)) {
+    return InternalError("truncated byte counts");
+  }
+  if (!get_u64(u)) {
+    return InternalError("truncated annotation flag");
+  }
+  s.has_cpu_annotation = u != 0;
+  if (!GetDouble(bytes, pos_, s.normalized_cpu_cycles)) {
+    return InternalError("truncated cycle annotation");
+  }
+  ++read_;
+  span = s;
+  return true;
+}
+
+Result<std::vector<Span>> DeserializeSpans(const std::vector<uint8_t>& bytes) {
+  Result<SpanReader> reader = SpanReader::Open(bytes);
+  if (!reader.ok()) {
+    return reader.status();
+  }
   std::vector<Span> spans;
-  spans.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    Span s;
-    uint64_t u = 0;
-    auto get_u64 = [&](uint64_t& v) { return GetVarint64(bytes, pos, v); };
-    auto get_i64 = [&](int64_t& v) {
-      uint64_t raw;
-      if (!GetVarint64(bytes, pos, raw)) {
-        return false;
-      }
-      v = ZigzagDecode(raw);
-      return true;
-    };
-    int64_t i64 = 0;
-    if (!get_u64(s.trace_id) || !get_u64(s.span_id) || !get_u64(s.parent_span_id)) {
-      return InternalError("truncated span ids");
+  spans.reserve(reader.value().count());
+  Span span;
+  for (;;) {
+    Result<bool> more = reader.value().Next(span);
+    if (!more.ok()) {
+      return more.status();
     }
-    if (!get_i64(i64)) {
-      return InternalError("truncated method id");
+    if (!more.value()) {
+      return spans;
     }
-    s.method_id = static_cast<int32_t>(i64);
-    if (!get_i64(i64)) {
-      return InternalError("truncated service id");
-    }
-    s.service_id = static_cast<int32_t>(i64);
-    if (!get_i64(i64)) {
-      return InternalError("truncated client cluster");
-    }
-    s.client_cluster = static_cast<ClusterId>(i64);
-    if (!get_i64(i64)) {
-      return InternalError("truncated server cluster");
-    }
-    s.server_cluster = static_cast<ClusterId>(i64);
-    if (!get_i64(s.start_time)) {
-      return InternalError("truncated start time");
-    }
-    for (SimDuration& d : s.latency.components) {
-      if (!get_i64(d)) {
-        return InternalError("truncated latency component");
-      }
-    }
-    if (!get_u64(u)) {
-      return InternalError("truncated status");
-    }
-    if (u > 16) {
-      return InvalidArgumentError("invalid status code");
-    }
-    s.status = static_cast<StatusCode>(u);
-    if (!get_i64(s.request_payload_bytes) || !get_i64(s.response_payload_bytes) ||
-        !get_i64(s.request_wire_bytes) || !get_i64(s.response_wire_bytes)) {
-      return InternalError("truncated byte counts");
-    }
-    if (!get_u64(u)) {
-      return InternalError("truncated annotation flag");
-    }
-    s.has_cpu_annotation = u != 0;
-    if (!GetDouble(bytes, pos, s.normalized_cpu_cycles)) {
-      return InternalError("truncated cycle annotation");
-    }
-    spans.push_back(s);
+    spans.push_back(span);
   }
-  if (pos != bytes.size()) {
-    return InternalError("trailing bytes after span batch");
-  }
-  return spans;
 }
 
 void TraceStore::Add(const Span& span) {

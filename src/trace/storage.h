@@ -25,6 +25,35 @@ namespace rpcscope {
 std::vector<uint8_t> SerializeSpans(const std::vector<Span>& spans);
 [[nodiscard]] Result<std::vector<Span>> DeserializeSpans(const std::vector<uint8_t>& bytes);
 
+// Incremental decoder over a serialized span batch: yields one span at a
+// time, so streaming consumers (rpcscope_analyze --analysis=stream, the
+// ObservabilityHub replay path) aggregate a batch of any size with O(1) span
+// memory instead of materializing the whole vector. DeserializeSpans is this
+// reader run to exhaustion.
+class SpanReader {
+ public:
+  // Validates magic and version; the buffer must outlive the reader.
+  [[nodiscard]] static Result<SpanReader> Open(const std::vector<uint8_t>& bytes);
+
+  // Spans declared by the batch header / not yet read.
+  uint64_t count() const { return count_; }
+  uint64_t remaining() const { return count_ - read_; }
+
+  // Decodes the next span into `span`. Returns true on success, false at
+  // end-of-batch (after verifying no trailing bytes follow the last record);
+  // a truncated or corrupt record is an error Status.
+  [[nodiscard]] Result<bool> Next(Span& span);
+
+ private:
+  SpanReader(const std::vector<uint8_t>* bytes, size_t pos, uint64_t count)
+      : bytes_(bytes), pos_(pos), count_(count) {}
+
+  const std::vector<uint8_t>* bytes_;
+  size_t pos_;
+  uint64_t count_;
+  uint64_t read_ = 0;
+};
+
 class TraceStore {
  public:
   void Add(const Span& span);

@@ -87,7 +87,96 @@ TEST(ShardedFleetTest, WorkerCountDoesNotChangeDigestOrReport) {
     EXPECT_EQ(HashSpans(one.spans), HashSpans(eight.spans)) << "seed " << seed;
     EXPECT_EQ(one.spans_per_service, two.spans_per_service) << "seed " << seed;
     EXPECT_EQ(one.spans_per_service, eight.spans_per_service) << "seed " << seed;
+
+    // The streaming pipeline's two correctness claims (stream.h):
+    //  1. Barrier-streamed aggregation == post-run replay of the canonical
+    //     merged span stream, bit for bit, at every worker count.
+    //  2. Hub state is worker-count invariant — aggregates AND exemplar
+    //     reservoirs (canonical barrier order).
+    EXPECT_GT(one.spans_streamed, 0) << "seed " << seed;
+    EXPECT_EQ(one.streamed_aggregate_digest, one.replayed_aggregate_digest) << "seed " << seed;
+    EXPECT_EQ(two.streamed_aggregate_digest, two.replayed_aggregate_digest) << "seed " << seed;
+    EXPECT_EQ(eight.streamed_aggregate_digest, eight.replayed_aggregate_digest)
+        << "seed " << seed;
+    EXPECT_EQ(one.streamed_aggregate_digest, two.streamed_aggregate_digest) << "seed " << seed;
+    EXPECT_EQ(one.streamed_aggregate_digest, eight.streamed_aggregate_digest) << "seed " << seed;
+    EXPECT_EQ(one.exemplar_digest, two.exemplar_digest) << "seed " << seed;
+    EXPECT_EQ(one.exemplar_digest, eight.exemplar_digest) << "seed " << seed;
+    EXPECT_EQ(one.spans_streamed, two.spans_streamed) << "seed " << seed;
+    EXPECT_EQ(one.spans_streamed, eight.spans_streamed) << "seed " << seed;
+    // Default cap (64Ki spans) is far above this workload: nothing dropped.
+    EXPECT_EQ(one.span_buffer_drops, 0u) << "seed " << seed;
   }
+}
+
+TEST(ShardedFleetTest, StreamedAggregatesSurviveExemplarBufferOverflow) {
+  // Shrink the per-shard raw-span buffer far below the span volume: the run
+  // must surface drops in the counter, keep the per-shard peak at the cap,
+  // and STILL stream aggregates identical to the post-run replay — the cap
+  // costs exemplars only, never counts (stream.h: deltas fold before the
+  // buffer applies).
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  // Single-domain run: no barriers until the final flush, so every kept span
+  // is a buffer candidate at once and a small cap is guaranteed to bind.
+  MiniFleetOptions options = ShardedOptions(0xf1ee7, 1, 1);
+  options.observability.max_buffered_spans = 16;
+  const MiniFleetResult capped = RunMiniFleet(catalog, options);
+
+  EXPECT_GT(capped.span_buffer_drops, 0u);
+  EXPECT_EQ(capped.peak_buffered_spans, 16u);
+  EXPECT_EQ(capped.streamed_aggregate_digest, capped.replayed_aggregate_digest);
+
+  // Sharded runs flush at every round barrier, so the same cap bounds the
+  // per-shard resident buffer without necessarily dropping anything — and
+  // the aggregate equivalence must hold either way.
+  MiniFleetOptions sharded = ShardedOptions(0xf1ee7, 8, 2);
+  sharded.observability.max_buffered_spans = 16;
+  const MiniFleetResult sharded_capped = RunMiniFleet(catalog, sharded);
+  EXPECT_LE(sharded_capped.peak_buffered_spans, 16u);
+  EXPECT_EQ(sharded_capped.streamed_aggregate_digest, sharded_capped.replayed_aggregate_digest);
+
+  // Aggregates are cap-independent: the uncapped run of the same sharded
+  // fleet streams the identical aggregate digest (its exemplars differ —
+  // more candidates reached the reservoirs).
+  const MiniFleetResult uncapped = RunMiniFleet(catalog, ShardedOptions(0xf1ee7, 8, 2));
+  EXPECT_EQ(uncapped.span_buffer_drops, 0u);
+  EXPECT_EQ(sharded_capped.streamed_aggregate_digest, uncapped.streamed_aggregate_digest);
+}
+
+TEST(ShardedFleetTest, LiveWindowTapFiresDuringTheRun) {
+  // A short Monarch window turns the hub into a live per-window series: the
+  // tap must fire as barriers pass window ends (not just at final flush), in
+  // ascending window order, with plausible RPS, and the closed-window series
+  // must be identical across worker counts.
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  auto run = [&catalog](int worker_threads) {
+    MiniFleetOptions options = ShardedOptions(0xf1ee7, 8, worker_threads);
+    options.observability.window = Millis(100);
+    std::vector<std::pair<SimTime, int64_t>> closed;
+    options.window_tap = [&closed](const WindowStats& w) {
+      closed.emplace_back(w.window_start, w.spans);
+    };
+    const MiniFleetResult result = RunMiniFleet(catalog, options);
+    EXPECT_EQ(static_cast<int64_t>(closed.size()), result.windows_closed);
+    return closed;
+  };
+
+  const auto closed_two = run(2);
+  // A 1s run with 100ms windows must close several windows, and all but the
+  // tail must close mid-run (windows_closed counts tap firings; the final
+  // flush closes only windows still open when the fleet drained).
+  ASSERT_GE(closed_two.size(), 5u);
+  for (size_t i = 1; i < closed_two.size(); ++i) {
+    EXPECT_LT(closed_two[i - 1].first, closed_two[i].first) << "tap order";
+  }
+  int64_t total_spans = 0;
+  for (const auto& [start, spans] : closed_two) {
+    total_spans += spans;
+  }
+  EXPECT_GT(total_spans, 0);
+
+  const auto closed_eight = run(8);
+  EXPECT_EQ(closed_two, closed_eight);
 }
 
 TEST(ShardedFleetTest, ShardedRunReproducesAcrossRepeats) {

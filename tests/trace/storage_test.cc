@@ -81,6 +81,59 @@ TEST(SpanCodecTest, RejectsTruncation) {
   EXPECT_FALSE(DeserializeSpans(bytes).ok());
 }
 
+TEST(SpanReaderTest, StreamsTheBatchOneSpanAtATime) {
+  Rng rng(11);
+  std::vector<Span> spans;
+  for (int i = 0; i < 200; ++i) {
+    spans.push_back(RandomSpan(rng, i % 17, i % 5));
+  }
+  const std::vector<uint8_t> bytes = SerializeSpans(spans);
+  Result<SpanReader> reader = SpanReader::Open(bytes);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->count(), spans.size());
+  Span span;
+  size_t i = 0;
+  for (;;) {
+    Result<bool> more = reader->Next(span);
+    ASSERT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.value()) {
+      break;
+    }
+    ASSERT_LT(i, spans.size());
+    EXPECT_TRUE(SpansEqual(spans[i], span)) << i;
+    ++i;
+    EXPECT_EQ(reader->remaining(), spans.size() - i);
+  }
+  EXPECT_EQ(i, spans.size());
+  // End-of-batch is sticky.
+  Result<bool> again = reader->Next(span);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again.value());
+}
+
+TEST(SpanReaderTest, SurfacesTruncationMidStream) {
+  Rng rng(12);
+  std::vector<Span> spans = {RandomSpan(rng, 1, 1), RandomSpan(rng, 2, 2)};
+  std::vector<uint8_t> bytes = SerializeSpans(spans);
+  bytes.resize(bytes.size() - 3);  // Clip the tail of the second record.
+  Result<SpanReader> reader = SpanReader::Open(bytes);
+  ASSERT_TRUE(reader.ok());
+  Span span;
+  Result<bool> first = reader->Next(span);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first.value());
+  EXPECT_FALSE(reader->Next(span).ok());
+}
+
+TEST(SpanReaderTest, RejectsTrailingBytes) {
+  std::vector<uint8_t> bytes = SerializeSpans({});
+  bytes.push_back(0x7f);
+  Result<SpanReader> reader = SpanReader::Open(bytes);
+  ASSERT_TRUE(reader.ok());
+  Span span;
+  EXPECT_FALSE(reader->Next(span).ok());
+}
+
 TEST(TraceStoreTest, IndexesByMethodServiceAndTrace) {
   Rng rng(11);
   TraceStore store;

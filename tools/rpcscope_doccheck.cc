@@ -1,0 +1,245 @@
+// rpcscope_doccheck: markdown link checker for the repo's documentation.
+//
+// Usage:
+//   rpcscope_doccheck [--root <repo-root>]
+//
+// Scans the maintained markdown set — README.md, DESIGN.md, ROADMAP.md,
+// EXPERIMENTS.md, CHANGES.md, and everything under docs/ — and verifies that
+// every relative link target exists and every `#anchor` fragment matches a
+// heading in the target file (GitHub slug rules). External links (http/https/
+// mailto) are not fetched. Fenced code blocks and inline code spans are
+// skipped so module maps and shell snippets never parse as links.
+//
+// Exit status 0 when every link resolves, 1 when any is dead, 2 on usage
+// errors. CI runs this as the docs-lint job; `docs_links_clean` is the same
+// gate as a ctest.
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Link {
+  int line = 0;         // 1-based.
+  std::string target;   // Raw target, e.g. "docs/PERF.md#rules" or "#rules".
+};
+
+// GitHub's heading-anchor slug: lowercase; spaces -> hyphens; word
+// characters and hyphens kept; everything else dropped (hyphens are NOT
+// collapsed, so "A — B" slugs to "a--b").
+std::string SlugOf(const std::string& heading) {
+  std::string slug;
+  for (char c : heading) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalnum(u)) {
+      slug.push_back(static_cast<char>(std::tolower(u)));
+    } else if (c == ' ') {
+      slug.push_back('-');
+    } else if (c == '-' || c == '_') {
+      slug.push_back(c);
+    }
+    // Punctuation (including markdown backticks) contributes nothing.
+  }
+  return slug;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) {
+    return "";
+  }
+  size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+// Removes `inline code` spans so example links inside them are not checked.
+std::string StripInlineCode(const std::string& line) {
+  std::string out;
+  bool in_code = false;
+  for (char c : line) {
+    if (c == '`') {
+      in_code = !in_code;
+      continue;
+    }
+    if (!in_code) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+struct DocFile {
+  fs::path path;                 // Absolute.
+  std::string relative;          // Repo-relative, forward slashes.
+  std::vector<Link> links;
+  std::set<std::string> anchors;  // Heading slugs (with -1, -2 dedup suffixes).
+};
+
+// Parses one markdown file: collects heading anchors and inline links,
+// skipping ``` fences and inline code spans.
+DocFile ParseDoc(const fs::path& path, const std::string& relative) {
+  DocFile doc;
+  doc.path = path;
+  doc.relative = relative;
+  std::ifstream in(path);
+  std::string line;
+  int line_no = 0;
+  bool in_fence = false;
+  std::map<std::string, int> slug_uses;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.rfind("```", 0) == 0) {
+      in_fence = !in_fence;
+      continue;
+    }
+    if (in_fence) {
+      continue;
+    }
+    if (!trimmed.empty() && trimmed[0] == '#') {
+      size_t level = trimmed.find_first_not_of('#');
+      if (level != std::string::npos && level <= 6 && trimmed[level] == ' ') {
+        const std::string slug = SlugOf(Trim(trimmed.substr(level)));
+        const int n = slug_uses[slug]++;
+        doc.anchors.insert(n == 0 ? slug : slug + "-" + std::to_string(n));
+        continue;
+      }
+    }
+    const std::string text = StripInlineCode(line);
+    // Inline links: [label](target). Labels never nest brackets in this
+    // repo's docs, so a text scan suffices — no regex engine needed.
+    for (size_t pos = 0; (pos = text.find("](", pos)) != std::string::npos; pos += 2) {
+      const size_t open = text.rfind('[', pos);
+      if (open == std::string::npos) {
+        continue;
+      }
+      const size_t close = text.find(')', pos + 2);
+      if (close == std::string::npos) {
+        continue;
+      }
+      std::string target = Trim(text.substr(pos + 2, close - pos - 2));
+      // "[x](target "title")" — drop the optional title.
+      const size_t space = target.find(' ');
+      if (space != std::string::npos) {
+        target = target.substr(0, space);
+      }
+      if (!target.empty()) {
+        doc.links.push_back({line_no, target});
+      }
+    }
+  }
+  return doc;
+}
+
+bool IsExternal(const std::string& target) {
+  return target.rfind("http://", 0) == 0 || target.rfind("https://", 0) == 0 ||
+         target.rfind("mailto:", 0) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: rpcscope_doccheck [--root <repo-root>]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+  const fs::path root_path = fs::path(root);
+  if (!fs::is_directory(root_path)) {
+    std::cerr << "rpcscope_doccheck: root is not a directory: " << root << "\n";
+    return 2;
+  }
+
+  // The maintained documentation set. PAPER.md / PAPERS.md / SNIPPETS.md /
+  // ISSUE.md are driver-provided artifacts, not maintained docs.
+  std::vector<std::string> relatives = {"README.md", "DESIGN.md", "ROADMAP.md",
+                                        "EXPERIMENTS.md", "CHANGES.md"};
+  if (fs::is_directory(root_path / "docs")) {
+    for (const fs::directory_entry& entry : fs::directory_iterator(root_path / "docs")) {
+      if (entry.is_regular_file() && entry.path().extension() == ".md") {
+        relatives.push_back("docs/" + entry.path().filename().string());
+      }
+    }
+  }
+  std::sort(relatives.begin(), relatives.end());
+
+  const fs::path abs_root = fs::absolute(root_path).lexically_normal();
+  std::map<std::string, DocFile> docs;  // Keyed by repo-relative path.
+  for (const std::string& rel : relatives) {
+    const fs::path p = abs_root / rel;
+    if (fs::is_regular_file(p)) {
+      docs.emplace(rel, ParseDoc(p, rel));
+    }
+  }
+  if (docs.empty()) {
+    std::cerr << "rpcscope_doccheck: no documentation files under " << root << "\n";
+    return 2;
+  }
+
+  int dead = 0;
+  int checked = 0;
+  for (const auto& [rel, doc] : docs) {
+    for (const Link& link : doc.links) {
+      if (IsExternal(link.target)) {
+        continue;
+      }
+      ++checked;
+      const size_t hash = link.target.find('#');
+      const std::string path_part =
+          hash == std::string::npos ? link.target : link.target.substr(0, hash);
+      const std::string anchor = hash == std::string::npos ? "" : link.target.substr(hash + 1);
+
+      // Resolve the path relative to the linking file's directory, then
+      // re-express repo-relative so anchor lookups hit the parsed set.
+      std::string target_rel = rel;  // Empty path part = same-file anchor.
+      if (!path_part.empty()) {
+        const fs::path resolved =
+            (doc.path.parent_path() / path_part).lexically_normal();
+        if (!fs::exists(resolved)) {
+          std::cout << rel << ":" << link.line << ": dead link: " << link.target
+                    << " (no such file)\n";
+          ++dead;
+          continue;
+        }
+        target_rel = resolved.lexically_relative(abs_root).generic_string();
+      }
+      if (!anchor.empty()) {
+        auto it = docs.find(target_rel);
+        if (it == docs.end()) {
+          std::cout << rel << ":" << link.line << ": dead link: " << link.target
+                    << " (anchor in a file outside the checked doc set)\n";
+          ++dead;
+        } else if (it->second.anchors.count(anchor) == 0) {
+          std::cout << rel << ":" << link.line << ": dead anchor: " << link.target
+                    << " (no heading slugs to '" << anchor << "' in " << target_rel << ")\n";
+          ++dead;
+        }
+      }
+    }
+  }
+
+  if (dead == 0) {
+    std::cout << "rpcscope_doccheck: clean (" << checked << " relative links across "
+              << docs.size() << " files)\n";
+    return 0;
+  }
+  std::cout << "rpcscope_doccheck: " << dead << " dead link(s)\n";
+  return 1;
+}
