@@ -58,13 +58,18 @@ class LogHistogram {
   double BucketLowerBound(size_t index) const;
 
   Options options_;
-  double log_min_;
-  double inv_log_step_;  // buckets_per_decade / ln(10)
+  // Layout constants derived from options_, CHECK-equal across merged
+  // histograms (never accumulated), and the advisory FP moments, which are
+  // deliberately excluded from digests (see bucket_counts() above): min/max
+  // are commutative-idempotent and sum_ is display-only, so merge order
+  // cannot corrupt anything replay-checked.
+  double log_min_;         // NOLINT(detan-float-merge)
+  double inv_log_step_;    // NOLINT(detan-float-merge) buckets_per_decade / ln(10)
   std::vector<int64_t> buckets_;  // [underflow][core...][overflow]
   int64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
+  double sum_ = 0;  // NOLINT(detan-float-merge)
+  double min_ = 0;  // NOLINT(detan-float-merge)
+  double max_ = 0;  // NOLINT(detan-float-merge)
 };
 
 }  // namespace rpcscope

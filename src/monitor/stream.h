@@ -50,6 +50,7 @@ namespace rpcscope {
 // Mergeable per-method aggregate. All fields are integers: merging and
 // ingesting commute bit-for-bit regardless of order (sums wrap mod 2^64,
 // which is still associative + commutative).
+// RPCSCOPE_CHECKPOINTED(StreamStat::Merge)
 struct StreamStat {
   int64_t count = 0;
   int64_t errors = 0;
@@ -76,6 +77,7 @@ struct StreamStat {
 // `window` and keyed by the *span start time* — an in-flight RPC that
 // completes after its start window closed is a late update, merged in and
 // counted, never dropped.
+// RPCSCOPE_CHECKPOINTED(MetricWindowDelta::Merge)
 struct MetricWindowDelta {
   SimTime window_start = 0;
   int64_t spans = 0;

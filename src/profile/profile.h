@@ -12,7 +12,7 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
+#include <map>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -46,17 +46,17 @@ class ProfileCollector {
   double TaxFraction() const;
 
   // Per-method distribution of normalized cycles per call (Fig. 21).
-  const std::unordered_map<int32_t, LogHistogram>& per_method_cycles() const {
+  const std::map<int32_t, LogHistogram>& per_method_cycles() const {
     return per_method_cycles_;
   }
 
   // Total cycles (tax + app) attributed to each service (Fig. 8c).
-  const std::unordered_map<int32_t, double>& per_service_cycles() const {
+  const std::map<int32_t, double>& per_service_cycles() const {
     return per_service_cycles_;
   }
 
   // Cycles consumed by RPCs that ended with each non-OK status (Fig. 23).
-  const std::unordered_map<StatusCode, double>& wasted_cycles_by_error() const {
+  const std::map<StatusCode, double>& wasted_cycles_by_error() const {
     return wasted_cycles_by_error_;
   }
 
@@ -69,9 +69,12 @@ class ProfileCollector {
   std::array<double, kNumTaxCategories> tax_cycles_{};
   double app_cycles_ = 0;
   double normalization_cycles_ = 1.0e6;
-  std::unordered_map<int32_t, LogHistogram> per_method_cycles_;
-  std::unordered_map<int32_t, double> per_service_cycles_;
-  std::unordered_map<StatusCode, double> wasted_cycles_by_error_;
+  // Ordered maps: consumers iterate these (summing double cycle shares,
+  // rendering report tables), and FP summation order must not depend on a
+  // hash function for the report bytes to be replay-stable.
+  std::map<int32_t, LogHistogram> per_method_cycles_;
+  std::map<int32_t, double> per_service_cycles_;
+  std::map<StatusCode, double> wasted_cycles_by_error_;
 };
 
 }  // namespace rpcscope

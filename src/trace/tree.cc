@@ -1,6 +1,7 @@
 #include "src/trace/tree.h"
 
 #include <algorithm>
+#include <map>
 
 #include "src/common/check.h"
 
@@ -33,7 +34,9 @@ TraceForest::TraceForest(const std::vector<Span>& spans) {
 
   span_shapes_.resize(spans.size());
   std::vector<bool> visited(spans.size(), false);
-  std::unordered_map<TraceId, TraceShape> traces;
+  // Ordered by trace_id so the flatten below emits trace_shapes_ in its
+  // final order directly — no hash-order intermediate, no post-sort.
+  std::map<TraceId, TraceShape> traces;
 
   // Iterative DFS per root: compute depth on the way down, descendant counts
   // on the way back up (post-order).
@@ -89,8 +92,6 @@ TraceForest::TraceForest(const std::vector<Span>& spans) {
   for (auto& [id, shape] : traces) {
     trace_shapes_.push_back(shape);
   }
-  std::sort(trace_shapes_.begin(), trace_shapes_.end(),
-            [](const TraceShape& a, const TraceShape& b) { return a.trace_id < b.trace_id; });
 }
 
 }  // namespace rpcscope

@@ -1,0 +1,212 @@
+// Self-test for rpcscope_detan: runs the flow-aware determinism rules
+// against fixture files with known violations and asserts the exact findings
+// (file, line, rule). Fixtures live in tests/tooling/fixtures/detan/ and are
+// fed to AnalyzeFiles under virtual repo-relative paths, since directory
+// prefixes and the include graph drive rule scoping.
+#include "tools/detan/detan.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/analysis/finding.h"
+#include "tools/analysis/index.h"
+
+namespace rpcscope {
+namespace detan {
+namespace {
+
+using analysis::Finding;
+using analysis::SourceFile;
+
+#ifndef RPCSCOPE_SOURCE_DIR
+#error "build must define RPCSCOPE_SOURCE_DIR"
+#endif
+
+// Reads a fixture relative to tests/tooling/fixtures/ (detan fixtures pass
+// "detan/<name>"; the raw-thread fixture is shared with the lint self-test).
+std::string ReadFixture(const std::string& name) {
+  const std::string path =
+      std::string(RPCSCOPE_SOURCE_DIR) + "/tests/tooling/fixtures/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// (line, rule) pairs of `findings`, for exact comparison.
+std::vector<std::pair<int, std::string>> Summarize(const std::vector<Finding>& findings) {
+  std::vector<std::pair<int, std::string>> out;
+  for (const Finding& f : findings) {
+    out.emplace_back(f.line, f.rule);
+  }
+  return out;
+}
+
+std::vector<Finding> AnalyzeOne(const std::string& rel_path, const std::string& content) {
+  return AnalyzeFiles({SourceFile{rel_path, content}});
+}
+
+TEST(DetanSelfTest, UnorderedDigestRule) {
+  // Of the five loops over g_counts, only the order-sensitive hash fold in a
+  // digest-reachable function fires; the commutative-integer, min/max,
+  // collect-then-sort, and unreachable loops are all recognized as safe.
+  const auto findings =
+      AnalyzeOne("src/trace/unordered_digest.cc", ReadFixture("detan/unordered_digest.cc"));
+  EXPECT_EQ(Summarize(findings), (std::vector<std::pair<int, std::string>>{
+                                     {14, "detan-unordered-digest"},
+                                 }));
+}
+
+TEST(DetanSelfTest, UnorderedDigestRuleOnlyAppliesToSrc) {
+  // Tool code may iterate hash maps freely: no replayed digest consumes it.
+  const auto findings =
+      AnalyzeOne("tools/unordered_digest.cc", ReadFixture("detan/unordered_digest.cc"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DetanSelfTest, NondetSourceRule) {
+  const auto findings =
+      AnalyzeOne("src/common/nondet_source.cc", ReadFixture("detan/nondet_source.cc"));
+  EXPECT_EQ(Summarize(findings), (std::vector<std::pair<int, std::string>>{
+                                     {10, "detan-nondet-source"},
+                                     {11, "detan-nondet-source"},
+                                     {12, "detan-nondet-source"},
+                                     {13, "detan-nondet-source"},
+                                     {14, "detan-nondet-source"},
+                                     {18, "detan-nondet-source"},
+                                     {19, "detan-nondet-source"},
+                                 }));
+}
+
+TEST(DetanSelfTest, NondetSourceRuleDoesNotApplyToTests) {
+  // Tests may use host clocks and entropy (e.g. timing a benchmark harness).
+  const auto findings =
+      AnalyzeOne("tests/common/nondet_source.cc", ReadFixture("detan/nondet_source.cc"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DetanSelfTest, FloatMergeRule) {
+  const auto findings =
+      AnalyzeOne("src/monitor/float_merge.cc", ReadFixture("detan/float_merge.cc"));
+  EXPECT_EQ(Summarize(findings), (std::vector<std::pair<int, std::string>>{
+                                     {7, "detan-float-merge"},
+                                     {8, "detan-float-merge"},
+                                 }));
+}
+
+TEST(DetanSelfTest, FloatMergeRuleOnlyAppliesToSrc) {
+  const auto findings =
+      AnalyzeOne("bench/float_merge.cc", ReadFixture("detan/float_merge.cc"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DetanSelfTest, CheckpointFieldRule) {
+  // Three findings: a field missed by the named function, a marker naming an
+  // undefined function, and a field missed by one of the default functions.
+  // The inline-member Window::Flush covering every field stays clean.
+  const auto findings =
+      AnalyzeOne("src/trace/checkpoint.cc", ReadFixture("detan/checkpoint.cc"));
+  EXPECT_EQ(Summarize(findings), (std::vector<std::pair<int, std::string>>{
+                                     {10, "detan-checkpoint-field"},
+                                     {19, "detan-checkpoint-field"},
+                                     {28, "detan-checkpoint-field"},
+                                 }));
+}
+
+TEST(DetanSelfTest, RawThreadRuleUnderSrc) {
+  // Exact parity with the retired regex rule on the shared fixture: every
+  // primitive flagged, the NOLINT-suppressed line silent.
+  const auto findings =
+      AnalyzeOne("src/monitor/raw_thread.cc", ReadFixture("raw_thread.cc"));
+  EXPECT_EQ(Summarize(findings), (std::vector<std::pair<int, std::string>>{
+                                     {8, "rpcscope-raw-thread"},
+                                     {9, "rpcscope-raw-thread"},
+                                     {10, "rpcscope-raw-thread"},
+                                     {13, "rpcscope-raw-thread"},
+                                     {14, "rpcscope-raw-thread"},
+                                 }));
+}
+
+TEST(DetanSelfTest, RawThreadRuleExemptsShardExecutor) {
+  // src/sim/parallel/ is the one sanctioned home for host concurrency. The
+  // fixture's now-pointless NOLINT would trip the unused check, so that
+  // check is off here (the real executor carries no such suppressions).
+  Options options;
+  options.check_unused = false;
+  const auto findings = AnalyzeFiles(
+      {SourceFile{"src/sim/parallel/raw_thread.cc", ReadFixture("raw_thread.cc")}}, options);
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DetanSelfTest, RawThreadRuleReachesHeadersIncludedFromSrc) {
+  // The include-graph port: a tools/ header is in scope once a src/ TU
+  // includes it — the path regex of the old lint rule could never see this.
+  const auto findings = AnalyzeFiles({
+      SourceFile{"tools/util/shared_counter.h", ReadFixture("detan/shared_counter.h")},
+      SourceFile{"src/core/counter_user.cc",
+                 "#include \"tools/util/shared_counter.h\"\n"
+                 "int Use() { return BumpSharedCounter(); }\n"},
+  });
+  EXPECT_EQ(Summarize(findings), (std::vector<std::pair<int, std::string>>{
+                                     {9, "rpcscope-raw-thread"},
+                                 }));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "tools/util/shared_counter.h");
+}
+
+TEST(DetanSelfTest, RawThreadRuleIgnoresStandaloneToolsHeader) {
+  // The same header with only tools/ and tests/ includers stays clean.
+  const auto findings = AnalyzeFiles({
+      SourceFile{"tools/util/shared_counter.h", ReadFixture("detan/shared_counter.h")},
+      SourceFile{"tools/util/counter_tool.cc",
+                 "#include \"tools/util/shared_counter.h\"\n"
+                 "int main() { return BumpSharedCounter(); }\n"},
+  });
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(DetanSelfTest, NolintEdgeCases) {
+  // NOLINTNEXTLINE suppression, a multi-rule NOLINT, and the rpcscope-all
+  // wildcard all silence findings; the unsuppressed field fires; stale
+  // suppressions — including the per-rule half of the multi-rule marker and
+  // a NOLINTNEXTLINE on the last line of the file — are themselves findings.
+  // The rpcscope-wallclock marker belongs to rpcscope_lint and is ignored.
+  const auto findings =
+      AnalyzeOne("src/monitor/nolint_edges.cc", ReadFixture("detan/nolint_edges.cc"));
+  EXPECT_EQ(Summarize(findings), (std::vector<std::pair<int, std::string>>{
+                                     {9, "detan-unused-nolint"},
+                                     {11, "detan-float-merge"},
+                                     {16, "detan-unused-nolint"},
+                                     {24, "detan-unused-nolint"},
+                                 }));
+}
+
+TEST(DetanSelfTest, RulesCatalogListsEveryRule) {
+  const auto rules = Rules();
+  std::vector<std::string> names;
+  for (const auto& rule : rules) {
+    EXPECT_FALSE(rule.doc.empty()) << rule.name;
+    names.push_back(rule.name);
+  }
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "detan-unordered-digest", "detan-nondet-source", "detan-float-merge",
+                       "detan-checkpoint-field", "rpcscope-raw-thread", "detan-unused-nolint"}));
+}
+
+TEST(DetanSelfTest, AnalyzeTreeOnRealRepoIsClean) {
+  // The acceptance gate, in-process: zero unsuppressed findings and zero
+  // stale detan NOLINTs across the actual tree (same as ctest detan_clean).
+  const auto findings = AnalyzeTree(RPCSCOPE_SOURCE_DIR);
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << analysis::FormatFinding(f);
+  }
+}
+
+}  // namespace
+}  // namespace detan
+}  // namespace rpcscope

@@ -1,0 +1,48 @@
+// Detan fixture: RPCSCOPE_CHECKPOINTED field coverage.
+// detan_selftest.cc asserts exact (line, rule) findings — keep lines stable.
+#include <cstdint>
+#include <vector>
+
+// RPCSCOPE_CHECKPOINTED(Save)
+struct Cursor {
+  uint64_t position = 0;
+  uint64_t generation = 0;
+  int32_t skipped = 0;  // Fires: Save() below never mentions it.
+};
+
+void Save(const Cursor& cursor, std::vector<uint8_t>& out) {
+  out.push_back(static_cast<uint8_t>(cursor.position));
+  out.push_back(static_cast<uint8_t>(cursor.generation));
+}
+
+// Fires at the marker: no function named RestoreOrphan is defined anywhere.
+// RPCSCOPE_CHECKPOINTED(RestoreOrphan)
+struct Orphan {
+  int32_t value = 0;
+};
+
+// Default function list (Serialize, Restore): Restore below misses `spans`.
+// RPCSCOPE_CHECKPOINTED
+struct Snapshot {
+  int32_t epoch = 0;
+  int32_t spans = 0;
+};
+
+void Serialize(const Snapshot& snap, std::vector<uint8_t>& out) {
+  out.push_back(static_cast<uint8_t>(snap.epoch));
+  out.push_back(static_cast<uint8_t>(snap.spans));
+}
+
+void Restore(Snapshot& snap, const std::vector<uint8_t>& in) {
+  snap.epoch = in.empty() ? 0 : in[0];
+}
+
+// Inline member checkpoint function covering every field: clean.
+// RPCSCOPE_CHECKPOINTED(Flush)
+struct Window {
+  int64_t start = 0;
+  int64_t spans = 0;
+  void Flush(std::vector<uint8_t>& out) const {
+    out.push_back(static_cast<uint8_t>(start + spans));
+  }
+};

@@ -1,0 +1,23 @@
+// Detan fixture: float/double fields in structs with a Merge path.
+// detan_selftest.cc asserts exact (line, rule) findings — keep lines stable.
+#include <cstdint>
+
+struct ShardDelta {
+  int64_t count = 0;
+  double mean_latency = 0;  // FP accumulator in a merged struct: fires.
+  float load = 0;           // Fires.
+  void Merge(const ShardDelta& other);
+};
+
+// No Merge path: advisory floats are fine.
+struct PlainStats {
+  double mean = 0;
+  void Add(double sample);
+};
+
+// Merged, but all-integer: clean.
+struct IntDelta {
+  int64_t count = 0;
+  uint64_t total_nanos = 0;
+  void Merge(const IntDelta& other);
+};

@@ -1,0 +1,24 @@
+// Detan fixture: NOLINT edge cases shared by rpcscope_lint and
+// rpcscope_detan. detan_selftest.cc asserts exact (line, rule) findings.
+#include <cstdint>
+
+struct EdgeDelta {
+  int64_t count = 0;
+  // NOLINTNEXTLINE(detan-float-merge)
+  double mean = 0;
+  double spread = 0;  // NOLINT(detan-float-merge,detan-nondet-source)
+  double skew = 0;    // NOLINT(rpcscope-all)
+  double raw = 0;     // No suppression: fires.
+  void Merge(const EdgeDelta& other);
+};
+
+// Nothing on the next line triggers the named rule: flagged as unused.
+// NOLINTNEXTLINE(detan-unordered-digest)
+int64_t g_total = 0;
+
+// A rule detan does not own is left for its owner to account for.
+int64_t g_other = 0;  // NOLINT(rpcscope-wallclock)
+
+// NOLINTNEXTLINE on the last line of the file targets a line that does not
+// exist — always unused.
+// NOLINTNEXTLINE(detan-float-merge)

@@ -1,0 +1,26 @@
+// Detan fixture: run-to-run nondeterminism sources. detan_selftest.cc
+// asserts exact (line, rule) findings — keep lines stable.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <unordered_map>
+
+void Sources() {
+  std::random_device entropy;                   // Host entropy: fires.
+  int noise = rand();                           // Hidden global state: fires.
+  long stamp = time(nullptr);                   // Wall clock: fires.
+  const char* home = getenv("HOME");            // Host environment: fires.
+  auto now = std::chrono::steady_clock::now();  // Wall clock: fires.
+  (void)entropy, (void)noise, (void)stamp, (void)home, (void)now;
+}
+
+std::unordered_map<void*, int> g_by_address;  // Pointer-keyed: fires.
+std::hash<int*> g_pointer_hash;               // Pointer hash: fires.
+
+// Negatives: a seeded generator, and "time" as a word suffix, stay clean.
+unsigned Deterministic(unsigned seed) {
+  std::mt19937 rng(seed);
+  unsigned lifetime(7);
+  return rng() + lifetime;
+}

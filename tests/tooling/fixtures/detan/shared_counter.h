@@ -1,0 +1,13 @@
+// Detan fixture: a header that carries a host-threading primitive. Whether
+// rpcscope-raw-thread fires depends on the include graph: it is clean as a
+// standalone tools/ header, flagged once a src/ TU includes it.
+#ifndef RPCSCOPE_TESTS_TOOLING_FIXTURES_DETAN_SHARED_COUNTER_H_
+#define RPCSCOPE_TESTS_TOOLING_FIXTURES_DETAN_SHARED_COUNTER_H_
+
+#include <atomic>
+
+inline std::atomic<int> g_shared_counter{0};
+
+inline int BumpSharedCounter() { return ++g_shared_counter; }
+
+#endif  // RPCSCOPE_TESTS_TOOLING_FIXTURES_DETAN_SHARED_COUNTER_H_

@@ -1,0 +1,57 @@
+// Detan fixture: loops over unordered containers on digest-reachable paths.
+// detan_selftest.cc asserts exact (line, rule) findings — keep lines stable.
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+std::unordered_map<uint64_t, uint64_t> g_counts;
+
+uint64_t HashWalk() {
+  uint64_t digest = 14695981039346656037ull;
+  for (const auto& [key, value] : g_counts) {  // Order-sensitive fold: fires.
+    digest = (digest ^ key) * 1099511628211ull;
+  }
+  return digest;
+}
+
+uint64_t SumValues() {
+  uint64_t total = 0;
+  for (const auto& [key, value] : g_counts) {  // Commutative integer fold: clean.
+    total += value;
+  }
+  return total;
+}
+
+uint64_t MaxValue() {
+  uint64_t best = 0;
+  for (const auto& [key, value] : g_counts) {  // Idempotent max fold: clean.
+    best = std::max(best, value);
+  }
+  return best;
+}
+
+std::vector<uint64_t> SortedKeys() {
+  std::vector<uint64_t> keys;
+  for (const auto& [key, value] : g_counts) {  // Collect-then-sort: clean.
+    keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+uint64_t ColdWalk() {
+  uint64_t digest = 0;
+  for (const auto& [key, value] : g_counts) {  // Not digest-reachable: clean.
+    digest = digest * 31u + key;
+  }
+  return digest;
+}
+
+uint64_t AggregateDigest() {
+  return HashWalk() ^ SumValues() ^ MaxValue() ^ SortedKeys().size();
+}
+
+}  // namespace fixture

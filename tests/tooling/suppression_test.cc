@@ -1,0 +1,89 @@
+// Unit tests for the NOLINT suppression engine shared by rpcscope_lint and
+// rpcscope_detan (tools/analysis/suppressions.h). The tool-level self-tests
+// cover suppressions end to end; these pin the parsing and used-tracking
+// edge cases directly: multi-rule lists, NOLINTNEXTLINE targeting (including
+// the last line of a file), the rpcscope-all wildcard, bare clang-tidy
+// NOLINT, and unused-suppression reporting.
+#include "tools/analysis/suppressions.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rpcscope {
+namespace analysis {
+namespace {
+
+const std::vector<std::string> kKnown = {"rule-a", "rule-b"};
+
+std::vector<Finding> Unused(const SuppressionSet& supp) {
+  return supp.UnusedSuppressions("src/x.cc", kKnown, "unused-nolint");
+}
+
+TEST(SuppressionTest, MultipleRulesInOneMarker) {
+  auto supp = SuppressionSet::Parse({"int x;  // NOLINT(rule-a,rule-b)"});
+  EXPECT_TRUE(supp.IsSuppressed(0, "rule-a"));
+  EXPECT_TRUE(supp.IsSuppressed(0, "rule-b"));
+  EXPECT_FALSE(supp.IsSuppressed(0, "rule-c"));
+  // Both named rules silenced something: nothing is stale.
+  EXPECT_TRUE(Unused(supp).empty());
+}
+
+TEST(SuppressionTest, NextLineTargetsExactlyTheNextLine) {
+  auto supp = SuppressionSet::Parse({"// NOLINTNEXTLINE(rule-a)", "int x;", "int y;"});
+  EXPECT_FALSE(supp.IsSuppressed(0, "rule-a"));
+  EXPECT_TRUE(supp.IsSuppressed(1, "rule-a"));
+  EXPECT_FALSE(supp.IsSuppressed(2, "rule-a"));
+}
+
+TEST(SuppressionTest, NextLineAtEndOfFileIsAlwaysUnused) {
+  auto supp = SuppressionSet::Parse({"int x;", "// NOLINTNEXTLINE(rule-a)"});
+  const auto findings = Unused(supp);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[0].rule, "unused-nolint");
+  EXPECT_NE(findings[0].message.find("targets no line"), std::string::npos);
+}
+
+TEST(SuppressionTest, AllRulesWildcardMatchesEverything) {
+  auto supp = SuppressionSet::Parse({"int x;  // NOLINT(rpcscope-all)"});
+  EXPECT_TRUE(supp.IsSuppressed(0, "rule-a"));
+  EXPECT_TRUE(supp.IsSuppressed(0, "some-future-rule"));
+}
+
+TEST(SuppressionTest, AllRulesWildcardIsExemptFromUnusedCheck) {
+  // Usedness of the cross-tool wildcard is not observable from one tool.
+  auto supp = SuppressionSet::Parse({"int x;  // NOLINT(rpcscope-all)"});
+  EXPECT_TRUE(Unused(supp).empty());
+}
+
+TEST(SuppressionTest, BareNolintBelongsToClangTidy) {
+  auto supp = SuppressionSet::Parse({"int x;  // NOLINT"});
+  EXPECT_FALSE(supp.IsSuppressed(0, "rule-a"));
+  EXPECT_TRUE(Unused(supp).empty());
+}
+
+TEST(SuppressionTest, UnusedSuppressionIsReportedPerRule) {
+  // rule-a silences a finding, rule-b does not: only rule-b is stale. The
+  // unknown other-tool rule is not ours to judge.
+  auto supp =
+      SuppressionSet::Parse({"int x;  // NOLINT(rule-a,rule-b,other-tool-rule)"});
+  EXPECT_TRUE(supp.IsSuppressed(0, "rule-a"));
+  const auto findings = Unused(supp);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("rule-b"), std::string::npos);
+}
+
+TEST(SuppressionTest, SuppressedAnywhereForWholeFileRules) {
+  auto supp = SuppressionSet::Parse({"int x;", "int y;  // NOLINT(rule-a)"});
+  EXPECT_TRUE(supp.IsSuppressedAnywhere("rule-a"));
+  EXPECT_FALSE(supp.IsSuppressedAnywhere("rule-b"));
+  // The anywhere-lookup marks the suppression used.
+  EXPECT_TRUE(Unused(supp).empty());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace rpcscope

@@ -1,0 +1,61 @@
+#include "tools/analysis/finding.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace rpcscope {
+namespace analysis {
+
+std::string FormatFinding(const Finding& f) {
+  std::ostringstream out;
+  out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  return out.str();
+}
+
+namespace {
+
+// GitHub workflow-command escaping for the data portion: %, CR, LF.
+std::string EscapeWorkflowData(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '%':
+        out += "%25";
+        break;
+      case '\r':
+        out += "%0D";
+        break;
+      case '\n':
+        out += "%0A";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatGitHubAnnotation(const Finding& f) {
+  std::ostringstream out;
+  out << "::error file=" << EscapeWorkflowData(f.file) << ",line=" << f.line
+      << "::[" << f.rule << "] " << EscapeWorkflowData(f.message);
+  return out.str();
+}
+
+void SortFindings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) {
+      return a.file < b.file;
+    }
+    if (a.line != b.line) {
+      return a.line < b.line;
+    }
+    return a.rule < b.rule;
+  });
+}
+
+}  // namespace analysis
+}  // namespace rpcscope

@@ -1,0 +1,45 @@
+// Shared finding type for the repo's static-analysis tools (rpcscope_lint,
+// rpcscope_detan). Both tools report through this struct so their CLIs can
+// share output formats: the classic "file:line: [rule] message" text form and
+// GitHub workflow annotations ("::error file=...,line=...::...") for CI.
+#ifndef RPCSCOPE_TOOLS_ANALYSIS_FINDING_H_
+#define RPCSCOPE_TOOLS_ANALYSIS_FINDING_H_
+
+#include <string>
+#include <vector>
+
+namespace rpcscope {
+namespace analysis {
+
+struct Finding {
+  std::string file;  // Repo-relative path, forward slashes.
+  int line = 0;      // 1-based.
+  std::string rule;  // e.g. "rpcscope-wallclock", "detan-nondet-source".
+  std::string message;
+
+  friend bool operator==(const Finding& a, const Finding& b) {
+    return a.file == b.file && a.line == b.line && a.rule == b.rule;
+  }
+};
+
+// One rule's entry in a tool's --list-rules catalog.
+struct RuleDoc {
+  std::string name;
+  std::string doc;  // One line.
+};
+
+// "file:line: [rule] message".
+std::string FormatFinding(const Finding& f);
+
+// "::error file=<file>,line=<line>::[rule] message" — a GitHub Actions
+// workflow annotation; the message is %-escaped per the workflow-command
+// rules so newlines cannot terminate the command early.
+std::string FormatGitHubAnnotation(const Finding& f);
+
+// Sorts findings by (file, line, rule) — the canonical report order.
+void SortFindings(std::vector<Finding>& findings);
+
+}  // namespace analysis
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_TOOLS_ANALYSIS_FINDING_H_

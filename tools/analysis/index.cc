@@ -1,0 +1,670 @@
+#include "tools/analysis/index.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <regex>
+#include <tuple>
+#include <utility>
+
+#include "tools/analysis/text.h"
+
+namespace rpcscope {
+namespace analysis {
+
+namespace {
+
+const std::set<std::string>& ControlKeywords() {
+  static const std::set<std::string> kw = {
+      "if",        "for",       "while",    "switch",     "return",
+      "catch",     "new",       "delete",   "sizeof",     "alignof",
+      "decltype",  "throw",     "else",     "do",         "case",
+      "default",   "break",     "continue", "goto",       "operator",
+      "co_await",  "co_return", "co_yield", "static_cast", "dynamic_cast",
+      "const_cast", "reinterpret_cast", "assert",
+  };
+  return kw;
+}
+
+// Leading tokens that mean a class-scope statement is not a data member.
+const std::set<std::string>& NonFieldLeaders() {
+  static const std::set<std::string> kw = {
+      "static", "using",  "typedef",   "friend", "constexpr",
+      "inline", "public", "private",   "protected", "template",
+      "struct", "class",  "enum",      "union",  "operator",
+  };
+  return kw;
+}
+
+const std::set<std::string>& UnorderedContainers() {
+  static const std::set<std::string> kw = {
+      "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset",
+  };
+  return kw;
+}
+
+// Skips a balanced single-character pair starting at `i` (which must hold
+// `open`). Returns the index one past the matching close, or `end`.
+size_t SkipPair(const std::vector<Token>& toks, size_t i, size_t end, const char* open,
+                const char* close) {
+  int depth = 0;
+  for (size_t j = i; j < end; ++j) {
+    if (toks[j].Is(open)) {
+      ++depth;
+    } else if (toks[j].Is(close)) {
+      if (--depth == 0) {
+        return j + 1;
+      }
+    }
+  }
+  return end;
+}
+
+size_t SkipParens(const std::vector<Token>& toks, size_t i, size_t end) {
+  return SkipPair(toks, i, end, "(", ")");
+}
+
+size_t SkipBraces(const std::vector<Token>& toks, size_t i, size_t end) {
+  return SkipPair(toks, i, end, "{", "}");
+}
+
+// Skips a balanced template argument list starting at the '<' at `i`.
+// Treats ">>" as two closes and bails at ';' / '{' (a comparison, not a
+// template list). Returns the index one past the closing '>'.
+size_t SkipAngles(const std::vector<Token>& toks, size_t i, size_t end) {
+  int depth = 0;
+  for (size_t j = i; j < end; ++j) {
+    const Token& t = toks[j];
+    if (t.Is("<")) {
+      ++depth;
+    } else if (t.Is(">")) {
+      if (--depth <= 0) {
+        return j + 1;
+      }
+    } else if (t.Is(">>")) {
+      depth -= 2;
+      if (depth <= 0) {
+        return j + 1;
+      }
+    } else if (t.Is(";") || t.Is("{")) {
+      return j;  // Not a template list after all.
+    }
+  }
+  return end;
+}
+
+// Advances to just past the next top-level ';', skipping balanced
+// parens/braces/brackets (initializers, lambdas, array bounds).
+size_t SkipToSemicolon(const std::vector<Token>& toks, size_t i, size_t end) {
+  size_t j = i;
+  while (j < end) {
+    const Token& t = toks[j];
+    if (t.Is(";")) {
+      return j + 1;
+    }
+    if (t.Is("(")) {
+      j = SkipParens(toks, j, end);
+    } else if (t.Is("{")) {
+      j = SkipBraces(toks, j, end);
+    } else if (t.Is("[")) {
+      j = SkipPair(toks, j, end, "[", "]");
+    } else {
+      ++j;
+    }
+  }
+  return end;
+}
+
+// Token-stream parser producing the FunctionDef/StructDef lists of one file.
+// Scope-driven: function bodies are skipped as a unit (callees extracted by a
+// flat scan), so only namespace and class scopes are ever walked.
+class Parser {
+ public:
+  explicit Parser(FileIndex* out) : out_(out), toks_(out->tokens) {}
+
+  void Run() { ParseScopeBody(0, toks_.size(), -1, ""); }
+
+ private:
+  // Parses declarations in token range [i, end). `class_idx` is the index of
+  // the enclosing StructDef in out_->structs, or -1 at namespace scope.
+  void ParseScopeBody(size_t i, size_t end, int class_idx, const std::string& scope_name) {
+    while (i < end) {
+      const Token& t = toks_[i];
+      if (t.Is(";") || t.Is("}")) {
+        ++i;
+        continue;
+      }
+      if (t.IsIdent()) {
+        if (t.text == "namespace") {
+          i = ParseNamespace(i, end);
+          continue;
+        }
+        if (t.text == "class" || t.text == "struct" || t.text == "union") {
+          i = ParseStruct(i, end, class_idx, scope_name);
+          continue;
+        }
+        if (t.text == "enum") {
+          i = SkipEnum(i, end);
+          continue;
+        }
+        if (t.text == "template") {
+          ++i;
+          if (i < end && toks_[i].Is("<")) {
+            i = SkipAngles(toks_, i, end);
+          }
+          continue;  // The templated declaration parses on the next round.
+        }
+        if ((t.text == "public" || t.text == "private" || t.text == "protected") &&
+            i + 1 < end && toks_[i + 1].Is(":")) {
+          i += 2;
+          continue;
+        }
+        if (t.text == "using" || t.text == "typedef" || t.text == "static_assert" ||
+            t.text == "friend") {
+          i = SkipToSemicolon(toks_, i, end);
+          continue;
+        }
+        if (t.text == "extern" && i + 2 < end &&
+            toks_[i + 1].kind == Token::Kind::kString && toks_[i + 2].Is("{")) {
+          const size_t close = SkipBraces(toks_, i + 2, end);
+          ParseScopeBody(i + 3, close == end ? end : close - 1, class_idx, scope_name);
+          i = close;
+          continue;
+        }
+      }
+      i = ParseStatement(i, end, class_idx, scope_name);
+    }
+  }
+
+  size_t ParseNamespace(size_t i, size_t end) {
+    size_t j = i + 1;
+    while (j < end && (toks_[j].IsIdent() || toks_[j].Is("::"))) {
+      ++j;
+    }
+    if (j < end && toks_[j].Is("{")) {
+      const size_t close = SkipBraces(toks_, j, end);
+      ParseScopeBody(j + 1, close == end ? end : close - 1, -1, "");
+      return close;
+    }
+    return SkipToSemicolon(toks_, j, end);  // Namespace alias or malformed.
+  }
+
+  size_t SkipEnum(size_t i, size_t end) {
+    size_t j = i + 1;
+    while (j < end && !toks_[j].Is("{") && !toks_[j].Is(";")) {
+      ++j;
+    }
+    if (j < end && toks_[j].Is("{")) {
+      j = SkipBraces(toks_, j, end);
+    }
+    if (j < end && toks_[j].Is(";")) {
+      ++j;
+    }
+    return j;
+  }
+
+  size_t ParseStruct(size_t i, size_t end, int class_idx, const std::string& scope_name) {
+    const int keyword_line = toks_[i].line;
+    size_t j = i + 1;
+    std::string name;
+    while (j < end) {
+      if (toks_[j].Is("[") && j + 1 < end && toks_[j + 1].Is("[")) {
+        j = SkipAttribute(j, end);
+        continue;
+      }
+      if (toks_[j].IsIdent()) {
+        name = toks_[j].text;  // Last ident wins: skips alignas-like macros.
+        ++j;
+        continue;
+      }
+      if (toks_[j].Is("<")) {
+        j = SkipAngles(toks_, j, end);  // Specialization arguments.
+        continue;
+      }
+      break;
+    }
+    if (j < end && toks_[j].Is(":")) {  // Base clause.
+      while (j < end && !toks_[j].Is("{") && !toks_[j].Is(";")) {
+        if (toks_[j].Is("<")) {
+          j = SkipAngles(toks_, j, end);
+        } else {
+          ++j;
+        }
+      }
+    }
+    if (j >= end || !toks_[j].Is("{")) {
+      // Forward declaration or a `struct Foo x;`-style use.
+      return ParseStatement(i, end, class_idx, scope_name);
+    }
+    StructDef def;
+    def.name = name.empty() ? "<anonymous>" : name;
+    def.line = keyword_line;
+    ParseMarker(keyword_line, &def);
+    out_->structs.push_back(def);
+    const int my_idx = static_cast<int>(out_->structs.size()) - 1;
+    const size_t close = SkipBraces(toks_, j, end);
+    ParseScopeBody(j + 1, close == end ? end : close - 1, my_idx, def.name);
+    return SkipToSemicolon(toks_, close == end ? end : close - 1, end);
+  }
+
+  // Looks for a RPCSCOPE_CHECKPOINTED marker within the 3 raw lines above
+  // the struct/class keyword (comments survive only in raw lines).
+  void ParseMarker(int keyword_line, StructDef* def) {
+    const auto& raw = out_->raw_lines;
+    for (int back = 1; back <= 3; ++back) {
+      const int idx = keyword_line - 1 - back;  // 0-based raw line index.
+      if (idx < 0 || idx >= static_cast<int>(raw.size())) {
+        continue;
+      }
+      const std::string& line = raw[static_cast<size_t>(idx)];
+      const size_t at = line.find("RPCSCOPE_CHECKPOINTED");
+      if (at == std::string::npos) {
+        continue;
+      }
+      def->has_marker = true;
+      def->marker_line = idx + 1;
+      def->marker_fns = {"Serialize", "Restore"};
+      const size_t open = line.find('(', at);
+      const size_t close = open == std::string::npos ? std::string::npos
+                                                     : line.find(')', open);
+      if (open != std::string::npos && close != std::string::npos) {
+        std::vector<std::string> fns;
+        std::string current;
+        for (size_t c = open + 1; c < close; ++c) {
+          if (line[c] == ',') {
+            fns.push_back(current);
+            current.clear();
+          } else if (line[c] != ' ' && line[c] != '\t') {
+            current.push_back(line[c]);
+          }
+        }
+        if (!current.empty()) {
+          fns.push_back(current);
+        }
+        if (!fns.empty()) {
+          def->marker_fns = fns;
+        }
+      }
+      return;
+    }
+  }
+
+  size_t SkipAttribute(size_t i, size_t end) {
+    size_t k = i + 2;
+    while (k + 1 < end && !(toks_[k].Is("]") && toks_[k + 1].Is("]"))) {
+      ++k;
+    }
+    return k + 1 < end ? k + 2 : end;
+  }
+
+  // Parses one declaration-ish statement; records fields, methods, and
+  // function definitions. Returns the index past the statement.
+  size_t ParseStatement(size_t i, size_t end, int class_idx, const std::string& scope_name) {
+    // Phase 1: find the first structural special token at angle depth 0.
+    size_t sp = end;
+    char kind = 0;
+    bool has_operator = false;
+    int angle = 0;
+    size_t j = i;
+    while (j < end) {
+      const Token& t = toks_[j];
+      if (t.Is("[") && j + 1 < end && toks_[j + 1].Is("[")) {
+        j = SkipAttribute(j, end);
+        continue;
+      }
+      if (t.Is(";") || t.Is("{")) {  // Hard breaks regardless of angle depth.
+        sp = j;
+        kind = t.text[0];
+        break;
+      }
+      if (angle == 0 && (t.Is("(") || t.Is("=") || t.Is("["))) {
+        sp = j;
+        kind = t.text[0];
+        break;
+      }
+      if (t.text == "operator") {
+        has_operator = true;
+      }
+      if (t.Is("<")) {
+        if (j > i && (toks_[j - 1].IsIdent() || toks_[j - 1].Is(">")) &&
+            toks_[j - 1].text != "operator") {
+          ++angle;
+        }
+      } else if (t.Is(">")) {
+        if (angle > 0) {
+          --angle;
+        }
+      } else if (t.Is(">>")) {
+        angle = std::max(0, angle - 2);
+      }
+      ++j;
+    }
+    if (sp >= end) {
+      return end;
+    }
+
+    if (kind == ';') {
+      RecordField(i, sp, class_idx, has_operator);
+      return sp + 1;
+    }
+    if (kind == '=' || kind == '[') {
+      RecordField(i, sp, class_idx, has_operator);
+      return SkipToSemicolon(toks_, sp, end);
+    }
+    if (kind == '{') {
+      RecordField(i, sp, class_idx, has_operator);
+      size_t after = SkipBraces(toks_, sp, end);
+      if (after < end && toks_[after].Is(";")) {
+        ++after;
+      }
+      return after;
+    }
+
+    // kind == '(': candidate function definition / method declaration.
+    std::string name;
+    std::string qualified;
+    if (sp > i && toks_[sp - 1].IsIdent()) {
+      name = toks_[sp - 1].text;
+      qualified = name;
+      size_t q = sp - 1;
+      while (q >= i + 2 && toks_[q - 1].Is("::") && toks_[q - 2].IsIdent()) {
+        qualified = toks_[q - 2].text + "::" + qualified;
+        q -= 2;
+      }
+    }
+    size_t k = SkipParens(toks_, sp, end);
+    // Post-parameter qualifiers and trailing return type.
+    while (k < end) {
+      const Token& t = toks_[k];
+      if (t.IsIdent() && (t.text == "const" || t.text == "noexcept" || t.text == "override" ||
+                          t.text == "final" || t.text == "mutable" || t.text == "try")) {
+        ++k;
+        if (k < end && toks_[k].Is("(")) {
+          k = SkipParens(toks_, k, end);  // noexcept(...)
+        }
+        continue;
+      }
+      if (t.Is("&") || t.Is("&&")) {
+        ++k;
+        continue;
+      }
+      if (t.Is("[") && k + 1 < end && toks_[k + 1].Is("[")) {
+        k = SkipAttribute(k, end);
+        continue;
+      }
+      if (t.Is("->")) {  // Trailing return type.
+        ++k;
+        while (k < end && (toks_[k].IsIdent() || toks_[k].Is("::") || toks_[k].Is("*") ||
+                           toks_[k].Is("&"))) {
+          ++k;
+          if (k < end && toks_[k].Is("<")) {
+            k = SkipAngles(toks_, k, end);
+          }
+        }
+        continue;
+      }
+      break;
+    }
+    if (k < end && toks_[k].Is(":")) {  // Constructor member-init list.
+      ++k;
+      while (k < end) {
+        if (toks_[k].Is("{")) {
+          // Brace-init of a member (`b_{2}`) vs the constructor body: the
+          // body's '{' follows ')' or '}' of the previous initializer.
+          if (k > i && (toks_[k - 1].IsIdent() || toks_[k - 1].Is(">"))) {
+            k = SkipBraces(toks_, k, end);
+            continue;
+          }
+          break;
+        }
+        if (toks_[k].Is("(")) {
+          k = SkipParens(toks_, k, end);
+          continue;
+        }
+        if (toks_[k].Is("<") && k > i && toks_[k - 1].IsIdent()) {
+          k = SkipAngles(toks_, k, end);
+          continue;
+        }
+        if (toks_[k].Is(";")) {
+          break;  // Malformed; treat as statement end below.
+        }
+        ++k;
+      }
+    }
+    if (k < end && toks_[k].Is("{")) {  // Function definition with a body.
+      const size_t body_end = SkipBraces(toks_, k, end);
+      if (!name.empty() && !has_operator && ControlKeywords().count(name) == 0) {
+        FunctionDef fn;
+        fn.name = name;
+        fn.qualified = qualified != name
+                           ? qualified
+                           : (class_idx >= 0 ? scope_name + "::" + name : name);
+        fn.line = toks_[sp - 1].line;
+        fn.has_body = true;
+        fn.body_begin = k;
+        fn.body_end = body_end;
+        fn.callees = ExtractCallees(k, body_end);
+        out_->functions.push_back(std::move(fn));
+        if (class_idx >= 0) {
+          out_->structs[static_cast<size_t>(class_idx)].methods.push_back(name);
+        }
+      }
+      return body_end;
+    }
+    if (k < end && toks_[k].Is(";")) {  // Declaration (or `Foo x(1);`).
+      if (class_idx >= 0 && !name.empty() && !has_operator) {
+        out_->structs[static_cast<size_t>(class_idx)].methods.push_back(name);
+      }
+      return k + 1;
+    }
+    if (k < end && toks_[k].Is("=")) {  // `= default;` / `= delete;` / `= 0;`.
+      if (class_idx >= 0 && !name.empty() && !has_operator) {
+        out_->structs[static_cast<size_t>(class_idx)].methods.push_back(name);
+      }
+    }
+    return SkipToSemicolon(toks_, k, end);
+  }
+
+  void RecordField(size_t i, size_t sp, int class_idx, bool has_operator) {
+    if (class_idx < 0 || sp <= i || has_operator) {
+      return;
+    }
+    const Token& first = toks_[i];
+    if (first.IsIdent() && NonFieldLeaders().count(first.text) > 0) {
+      return;
+    }
+    size_t p = sp;
+    std::string name;
+    while (p > i) {
+      --p;
+      if (toks_[p].IsIdent()) {
+        name = toks_[p].text;
+        break;
+      }
+    }
+    if (name.empty() || ControlKeywords().count(name) > 0 ||
+        NonFieldLeaders().count(name) > 0) {
+      return;
+    }
+    FieldDef field;
+    field.name = name;
+    field.line = toks_[p].line;
+    for (size_t q = i; q < sp; ++q) {
+      if (toks_[q].IsIdent() && (toks_[q].text == "double" || toks_[q].text == "float")) {
+        field.is_float = true;
+      }
+      if (q < p) {
+        if (!field.type_text.empty()) {
+          field.type_text += ' ';
+        }
+        field.type_text += toks_[q].text;
+      }
+    }
+    out_->structs[static_cast<size_t>(class_idx)].fields.push_back(std::move(field));
+  }
+
+  std::vector<std::string> ExtractCallees(size_t body_begin, size_t body_end) {
+    std::set<std::string> names;
+    for (size_t j = body_begin; j + 1 < body_end; ++j) {
+      if (toks_[j].IsIdent() && toks_[j + 1].Is("(") &&
+          ControlKeywords().count(toks_[j].text) == 0) {
+        names.insert(toks_[j].text);
+      }
+    }
+    return std::vector<std::string>(names.begin(), names.end());
+  }
+
+  FileIndex* out_;
+  const std::vector<Token>& toks_;
+};
+
+void CollectUnorderedNames(FileIndex* idx) {
+  const std::vector<Token>& toks = idx->tokens;
+  std::set<std::string> names;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].IsIdent() || UnorderedContainers().count(toks[i].text) == 0) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (j >= toks.size() || !toks[j].Is("<")) {
+      continue;
+    }
+    j = SkipAngles(toks, j, toks.size());
+    // Skip declarator decorations between the type and the declared name.
+    while (j < toks.size() &&
+           (toks[j].Is("&") || toks[j].Is("*") || toks[j].Is("const"))) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].IsIdent() && ControlKeywords().count(toks[j].text) == 0) {
+      names.insert(toks[j].text);
+    }
+  }
+  idx->unordered_names.assign(names.begin(), names.end());
+}
+
+void CollectIncludes(FileIndex* idx) {
+  static const std::regex kInclude(R"(^\s*#\s*include\s*"([^"]+)\")");
+  for (const std::string& line : idx->raw_lines) {
+    std::smatch m;
+    if (std::regex_search(line, m, kInclude)) {
+      idx->includes.push_back(m[1].str());
+    }
+  }
+}
+
+}  // namespace
+
+FileIndex ProjectIndex::IndexFile(const std::string& rel_path, const std::string& content) {
+  FileIndex idx;
+  idx.rel_path = rel_path;
+  idx.raw_lines = SplitLines(content);
+  idx.lines = Sanitize(idx.raw_lines);
+  idx.tokens = Tokenize(idx.lines);
+  CollectIncludes(&idx);
+  Parser(&idx).Run();
+  CollectUnorderedNames(&idx);
+  return idx;
+}
+
+ProjectIndex::ProjectIndex(const std::vector<SourceFile>& files) {
+  files_.reserve(files.size());
+  for (const SourceFile& f : files) {
+    files_.push_back(IndexFile(f.rel_path, f.content));
+  }
+  std::map<std::string, size_t> by_path;
+  for (size_t i = 0; i < files_.size(); ++i) {
+    by_path[files_[i].rel_path] = i;
+  }
+  reverse_edges_.assign(files_.size(), {});
+  for (size_t i = 0; i < files_.size(); ++i) {
+    for (const std::string& inc : files_[i].includes) {
+      const auto it = by_path.find(inc);
+      if (it != by_path.end() && it->second != i) {
+        reverse_edges_[it->second].push_back(i);
+      }
+    }
+    for (const std::string& name : files_[i].unordered_names) {
+      global_unordered_names_.insert(name);
+    }
+  }
+}
+
+std::vector<size_t> ProjectIndex::TransitiveIncluders(const std::string& rel_path) const {
+  std::vector<size_t> result;
+  size_t start = files_.size();
+  for (size_t i = 0; i < files_.size(); ++i) {
+    if (files_[i].rel_path == rel_path) {
+      start = i;
+      break;
+    }
+  }
+  if (start == files_.size()) {
+    return result;
+  }
+  std::vector<bool> seen(files_.size(), false);
+  seen[start] = true;
+  std::deque<size_t> queue = {start};
+  while (!queue.empty()) {
+    const size_t at = queue.front();
+    queue.pop_front();
+    for (size_t includer : reverse_edges_[at]) {
+      if (!seen[includer]) {
+        seen[includer] = true;
+        result.push_back(includer);
+        queue.push_back(includer);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<ProjectIndex::Reach> ProjectIndex::ReachableFrom(
+    const std::vector<std::string>& entries) const {
+  // Simple-name -> every definition with a body.
+  std::map<std::string, std::vector<std::pair<size_t, size_t>>> defs_by_name;
+  for (size_t f = 0; f < files_.size(); ++f) {
+    for (size_t fn = 0; fn < files_[f].functions.size(); ++fn) {
+      if (files_[f].functions[fn].has_body) {
+        defs_by_name[files_[f].functions[fn].name].push_back({f, fn});
+      }
+    }
+  }
+  std::set<std::pair<size_t, size_t>> visited;
+  std::vector<Reach> result;
+  std::deque<Reach> queue;
+  for (const std::string& entry : entries) {
+    const auto it = defs_by_name.find(entry);
+    if (it == defs_by_name.end()) {
+      continue;
+    }
+    for (const auto& [f, fn] : it->second) {
+      if (visited.insert({f, fn}).second) {
+        queue.push_back(Reach{f, fn, entry});
+      }
+    }
+  }
+  while (!queue.empty()) {
+    Reach at = queue.front();
+    queue.pop_front();
+    result.push_back(at);
+    for (const std::string& callee : files_[at.file].functions[at.fn].callees) {
+      const auto it = defs_by_name.find(callee);
+      if (it == defs_by_name.end()) {
+        continue;
+      }
+      for (const auto& [f, fn] : it->second) {
+        if (visited.insert({f, fn}).second) {
+          queue.push_back(Reach{f, fn, at.entry});
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end(), [](const Reach& a, const Reach& b) {
+    return std::tie(a.file, a.fn) < std::tie(b.file, b.fn);
+  });
+  return result;
+}
+
+}  // namespace analysis
+}  // namespace rpcscope

@@ -1,0 +1,114 @@
+// Heuristic per-TU and whole-project source index used by rpcscope_detan.
+//
+// Without libclang the index is an over-approximation built from tokens:
+//  - function definitions with body token ranges and the simple names they
+//    call (a name-based call graph — if any function named `Merge` calls
+//    `Fold`, every definition of `Fold` is considered reachable from Merge);
+//  - struct/class definitions with their non-static data members and any
+//    `// RPCSCOPE_CHECKPOINTED(...)` marker directly above them;
+//  - the quoted-include graph (repo-relative paths, matching the project's
+//    include convention) with reverse (transitive-includer) queries;
+//  - every identifier declared with an unordered container type.
+//
+// Over-approximation is the right failure mode for determinism analysis:
+// false reachability makes a rule fire where a human must then either fix or
+// justify with a NOLINT, whereas under-approximation would silently miss a
+// nondeterministic digest path.
+#ifndef RPCSCOPE_TOOLS_ANALYSIS_INDEX_H_
+#define RPCSCOPE_TOOLS_ANALYSIS_INDEX_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analysis/tokenizer.h"
+
+namespace rpcscope {
+namespace analysis {
+
+struct SourceFile {
+  std::string rel_path;
+  std::string content;
+};
+
+struct FunctionDef {
+  std::string name;       // Simple name, e.g. "Next".
+  std::string qualified;  // e.g. "SpanReader::Next"; equals `name` for free functions.
+  int line = 0;           // 1-based line of the name token.
+  bool has_body = false;
+  size_t body_begin = 0;  // Token index of the body '{' (valid when has_body).
+  size_t body_end = 0;    // Token index one past the matching '}'.
+  std::vector<std::string> callees;  // Deduped simple names called in the body.
+};
+
+struct FieldDef {
+  std::string name;
+  int line = 0;
+  bool is_float = false;   // Declared type mentions float/double.
+  std::string type_text;   // Tokens of the declaration before the name, for messages.
+};
+
+struct StructDef {
+  std::string name;
+  int line = 0;  // 1-based line of the struct/class keyword.
+  bool has_marker = false;             // RPCSCOPE_CHECKPOINTED above the definition.
+  int marker_line = 0;                 // 1-based line of the marker comment.
+  std::vector<std::string> marker_fns; // Marker args; default {"Serialize","Restore"}.
+  std::vector<FieldDef> fields;        // Non-static data members, declaration order.
+  std::vector<std::string> methods;    // Declared or defined method simple names.
+};
+
+struct FileIndex {
+  std::string rel_path;
+  std::vector<std::string> raw_lines;  // As on disk (NOLINTs, markers live here).
+  std::vector<std::string> lines;      // Sanitized (see text.h).
+  std::vector<Token> tokens;           // Tokenized sanitized lines.
+  std::vector<std::string> includes;   // Quoted #include paths, as written.
+  std::vector<FunctionDef> functions;
+  std::vector<StructDef> structs;
+  std::vector<std::string> unordered_names;  // Identifiers declared unordered_*.
+};
+
+class ProjectIndex {
+ public:
+  explicit ProjectIndex(const std::vector<SourceFile>& files);
+
+  // Indexes one file in isolation (also used by ProjectIndex itself).
+  static FileIndex IndexFile(const std::string& rel_path, const std::string& content);
+
+  const std::vector<FileIndex>& files() const { return files_; }
+
+  // Indexes of files whose quoted-include closure contains `rel_path`
+  // (i.e. every TU/header that transitively includes it). Excludes the file
+  // itself; unresolvable include paths are ignored.
+  std::vector<size_t> TransitiveIncluders(const std::string& rel_path) const;
+
+  struct Reach {
+    size_t file = 0;  // Index into files().
+    size_t fn = 0;    // Index into files()[file].functions.
+    std::string entry;  // The entry-point name whose closure reached this def.
+  };
+
+  // All function definitions transitively reachable (by simple-name call
+  // edges) from any definition whose simple name is in `entries`. Includes
+  // the entry definitions themselves. Deterministic order.
+  std::vector<Reach> ReachableFrom(const std::vector<std::string>& entries) const;
+
+  // Union of unordered-declared identifiers across the whole project —
+  // members declared in a header are recognized when iterated in a .cc.
+  const std::set<std::string>& global_unordered_names() const {
+    return global_unordered_names_;
+  }
+
+ private:
+  std::vector<FileIndex> files_;
+  std::set<std::string> global_unordered_names_;
+  // reverse_edges_[i] = indexes of files that directly include files_[i].
+  std::vector<std::vector<size_t>> reverse_edges_;
+};
+
+}  // namespace analysis
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_TOOLS_ANALYSIS_INDEX_H_

@@ -1,0 +1,51 @@
+#include "tools/analysis/source_tree.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace rpcscope {
+namespace analysis {
+
+const std::vector<std::string>& DefaultScanDirs() {
+  static const std::vector<std::string> dirs = {"src", "tests", "bench", "examples", "tools"};
+  return dirs;
+}
+
+std::vector<SourceFile> CollectSourceTree(const std::string& root,
+                                          const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  std::vector<SourceFile> files;
+  for (const std::string& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) {
+      continue;
+    }
+    // Filesystem enumeration order is unspecified; the sort below restores
+    // determinism before any tool consumes the list.
+    // NOLINTNEXTLINE(detan-nondet-source)
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) {
+        continue;
+      }
+      const std::string rel = fs::relative(entry.path(), root).generic_string();
+      if (rel.find("fixtures") != std::string::npos) {
+        continue;
+      }
+      if (!rel.ends_with(".h") && !rel.ends_with(".cc") && !rel.ends_with(".cpp")) {
+        continue;
+      }
+      std::ifstream in(entry.path());
+      std::stringstream buffer;
+      buffer << in.rdbuf();
+      files.push_back(SourceFile{rel, buffer.str()});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) { return a.rel_path < b.rel_path; });
+  return files;
+}
+
+}  // namespace analysis
+}  // namespace rpcscope

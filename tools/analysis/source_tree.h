@@ -1,0 +1,29 @@
+// Repo tree collection shared by the analysis tools: walks the standard
+// scan directories, returns {repo-relative path, content} pairs in sorted
+// order so every downstream pass is deterministic regardless of filesystem
+// enumeration order.
+#ifndef RPCSCOPE_TOOLS_ANALYSIS_SOURCE_TREE_H_
+#define RPCSCOPE_TOOLS_ANALYSIS_SOURCE_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/analysis/index.h"
+
+namespace rpcscope {
+namespace analysis {
+
+// The directories both tools scan, in canonical order.
+const std::vector<std::string>& DefaultScanDirs();
+
+// Collects every .h/.cc/.cpp file under root/<dir> for each dir in `dirs`,
+// skipping any path containing "fixtures" (self-test fixtures violate rules
+// on purpose). Paths are repo-relative with '/' separators; the result is
+// sorted by path.
+std::vector<SourceFile> CollectSourceTree(const std::string& root,
+                                          const std::vector<std::string>& dirs);
+
+}  // namespace analysis
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_TOOLS_ANALYSIS_SOURCE_TREE_H_

@@ -1,0 +1,131 @@
+#include "tools/analysis/suppressions.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace rpcscope {
+namespace analysis {
+
+namespace {
+
+constexpr char kAllRules[] = "rpcscope-all";
+
+// Splits "rule-a, rule-b" into trimmed tokens.
+std::vector<std::string> SplitRuleList(const std::string& args) {
+  std::vector<std::string> rules;
+  std::string current;
+  auto flush = [&]() {
+    const size_t b = current.find_first_not_of(" \t");
+    if (b == std::string::npos) {
+      current.clear();
+      return;
+    }
+    const size_t e = current.find_last_not_of(" \t");
+    rules.push_back(current.substr(b, e - b + 1));
+    current.clear();
+  };
+  for (char c : args) {
+    if (c == ',') {
+      flush();
+    } else {
+      current.push_back(c);
+    }
+  }
+  flush();
+  return rules;
+}
+
+}  // namespace
+
+SuppressionSet SuppressionSet::Parse(const std::vector<std::string>& raw_lines) {
+  SuppressionSet set;
+  set.num_lines_ = raw_lines.size();
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    const std::string& line = raw_lines[i];
+    // NOLINTNEXTLINE first: a plain find("NOLINT") would also hit it.
+    const size_t next_at = line.find("NOLINTNEXTLINE");
+    const size_t at = next_at != std::string::npos ? next_at : line.find("NOLINT");
+    if (at == std::string::npos) {
+      continue;
+    }
+    const bool next_line = next_at != std::string::npos;
+    const size_t open = line.find('(', at);
+    if (open == std::string::npos) {
+      continue;  // Bare NOLINT: clang-tidy's, not ours.
+    }
+    const size_t close = line.find(')', open);
+    if (close == std::string::npos) {
+      continue;
+    }
+    Entry entry;
+    entry.marker_line = i;
+    entry.target_line = next_line ? i + 1 : i;
+    entry.next_line = next_line;
+    entry.rules = SplitRuleList(line.substr(open + 1, close - open - 1));
+    if (entry.rules.empty()) {
+      continue;
+    }
+    entry.used.assign(entry.rules.size(), false);
+    set.entries_.push_back(std::move(entry));
+  }
+  return set;
+}
+
+bool SuppressionSet::IsSuppressed(size_t idx, const std::string& rule) {
+  bool suppressed = false;
+  for (Entry& entry : entries_) {
+    if (entry.target_line != idx) {
+      continue;
+    }
+    for (size_t r = 0; r < entry.rules.size(); ++r) {
+      if (entry.rules[r] == rule || entry.rules[r] == kAllRules) {
+        entry.used[r] = true;
+        suppressed = true;
+      }
+    }
+  }
+  return suppressed;
+}
+
+bool SuppressionSet::IsSuppressedAnywhere(const std::string& rule) {
+  for (Entry& entry : entries_) {
+    for (size_t r = 0; r < entry.rules.size(); ++r) {
+      if (entry.rules[r] == rule || entry.rules[r] == kAllRules) {
+        entry.used[r] = true;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<Finding> SuppressionSet::UnusedSuppressions(
+    const std::string& rel_path, const std::vector<std::string>& known_rules,
+    const std::string& unused_rule) const {
+  std::vector<Finding> findings;
+  for (const Entry& entry : entries_) {
+    for (size_t r = 0; r < entry.rules.size(); ++r) {
+      const std::string& rule = entry.rules[r];
+      if (rule == kAllRules) {
+        continue;  // Cross-tool wildcard: usedness not observable here.
+      }
+      if (std::find(known_rules.begin(), known_rules.end(), rule) == known_rules.end()) {
+        continue;  // Another tool's rule (or a typo another tool will flag).
+      }
+      if (entry.used[r]) {
+        continue;
+      }
+      std::string message = "suppression of '" + rule + "' silenced no finding";
+      if (entry.next_line && entry.target_line >= num_lines_) {
+        message += " (NOLINTNEXTLINE on the last line targets no line at all)";
+      }
+      message += "; remove the stale NOLINT or fix the rule name";
+      findings.push_back(Finding{rel_path, static_cast<int>(entry.marker_line) + 1, unused_rule,
+                                 std::move(message)});
+    }
+  }
+  return findings;
+}
+
+}  // namespace analysis
+}  // namespace rpcscope

@@ -1,0 +1,67 @@
+// NOLINT suppression parsing shared by rpcscope_lint and rpcscope_detan.
+//
+// Syntax (identical across both tools, docs/ANALYSIS.md):
+//   // NOLINT(rule[, rule...])          suppresses the named rules on this line
+//   // NOLINTNEXTLINE(rule[, rule...])  suppresses them on the next line
+//   rpcscope-all                        wildcard: matches every rule of every tool
+//
+// Bare NOLINT without a parenthesized rule list belongs to clang-tidy and is
+// ignored. Each parsed suppression tracks whether it actually silenced a
+// finding, so the tools can flag stale annotations (`--fail-on-unused` /
+// detan's default unused-suppression check): a suppression naming one of the
+// running tool's rules that silenced nothing is itself a finding — stale
+// NOLINTs otherwise accumulate and hide future regressions. The rpcscope-all
+// wildcard and rules belonging to the *other* tool are exempt from the
+// unused check, since their usedness is not observable from one tool alone.
+#ifndef RPCSCOPE_TOOLS_ANALYSIS_SUPPRESSIONS_H_
+#define RPCSCOPE_TOOLS_ANALYSIS_SUPPRESSIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/analysis/finding.h"
+
+namespace rpcscope {
+namespace analysis {
+
+class SuppressionSet {
+ public:
+  // Parses every NOLINT / NOLINTNEXTLINE marker in `raw_lines` (the
+  // unsanitized source — suppressions live in comments).
+  static SuppressionSet Parse(const std::vector<std::string>& raw_lines);
+
+  // True if `rule` is suppressed at 0-based line `idx`: a NOLINT on the line
+  // itself or a NOLINTNEXTLINE on the line above, naming `rule` or
+  // rpcscope-all. Marks the matching suppression entry as used.
+  bool IsSuppressed(size_t idx, const std::string& rule);
+
+  // True if any line of the file suppresses `rule` (used by whole-file rules
+  // such as rpcscope-include-guard). Marks the first match as used.
+  bool IsSuppressedAnywhere(const std::string& rule);
+
+  // One finding per suppression entry that (a) names a rule in `known_rules`
+  // — rules belonging to other tools are not ours to judge — and (b) never
+  // silenced a finding in this run. A NOLINTNEXTLINE on the last line of a
+  // file targets a line that does not exist and is always unused.
+  // `unused_rule` names the emitted meta-rule (e.g. "detan-unused-nolint").
+  std::vector<Finding> UnusedSuppressions(const std::string& rel_path,
+                                          const std::vector<std::string>& known_rules,
+                                          const std::string& unused_rule) const;
+
+ private:
+  struct Entry {
+    size_t target_line = 0;  // 0-based line the suppression applies to.
+    size_t marker_line = 0;  // 0-based line the comment sits on.
+    bool next_line = false;  // NOLINTNEXTLINE (true) vs same-line NOLINT.
+    std::vector<std::string> rules;  // As written, including "rpcscope-all".
+    std::vector<bool> used;          // Parallel to `rules`.
+  };
+
+  std::vector<Entry> entries_;
+  size_t num_lines_ = 0;
+};
+
+}  // namespace analysis
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_TOOLS_ANALYSIS_SUPPRESSIONS_H_

@@ -1,0 +1,106 @@
+#include "tools/analysis/text.h"
+
+#include <cctype>
+
+namespace rpcscope {
+namespace analysis {
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) {
+    lines.push_back(current);
+  }
+  return lines;
+}
+
+std::vector<std::string> Sanitize(const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  bool in_block_comment = false;
+  for (const std::string& line : lines) {
+    std::string s;
+    s.reserve(line.size());
+    size_t i = 0;
+    while (i < line.size()) {
+      if (in_block_comment) {
+        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+          in_block_comment = false;
+          s += "  ";
+          i += 2;
+        } else {
+          s += ' ';
+          ++i;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        break;  // Rest of the line is a comment.
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        s += "  ";
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        s += quote;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\' && i + 1 < line.size()) {
+            s += "  ";
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            s += quote;
+            ++i;
+            break;
+          }
+          s += ' ';
+          ++i;
+        }
+        continue;
+      }
+      s += c;
+      ++i;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+bool ContainsWord(const std::string& haystack, const std::string& word) {
+  size_t at = 0;
+  while ((at = haystack.find(word, at)) != std::string::npos) {
+    const bool left_ok =
+        at == 0 || (!std::isalnum(static_cast<unsigned char>(haystack[at - 1])) &&
+                    haystack[at - 1] != '_');
+    const size_t end = at + word.size();
+    const bool right_ok =
+        end >= haystack.size() || (!std::isalnum(static_cast<unsigned char>(haystack[end])) &&
+                                   haystack[end] != '_');
+    if (left_ok && right_ok) {
+      return true;
+    }
+    at = end;
+  }
+  return false;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+}  // namespace analysis
+}  // namespace rpcscope

@@ -1,0 +1,32 @@
+// Text-level source preprocessing shared by the analysis tools: line
+// splitting and comment/string sanitization. Both rpcscope_lint and
+// rpcscope_detan pattern-match on the sanitized lines so rules never fire
+// inside comments or string literals, while the raw lines keep carrying the
+// NOLINT suppressions and structured markers (RPCSCOPE_CHECKPOINTED).
+#ifndef RPCSCOPE_TOOLS_ANALYSIS_TEXT_H_
+#define RPCSCOPE_TOOLS_ANALYSIS_TEXT_H_
+
+#include <string>
+#include <vector>
+
+namespace rpcscope {
+namespace analysis {
+
+std::vector<std::string> SplitLines(const std::string& content);
+
+// Replaces comments and string/char literal contents with spaces so patterns
+// never match inside them. Tracks block comments across lines. Literal
+// delimiters are kept (a string becomes "   ") so column positions and syntax
+// shape survive.
+std::vector<std::string> Sanitize(const std::vector<std::string>& lines);
+
+// Whole-word containment: `word` appears in `haystack` with no identifier
+// character on either side.
+bool ContainsWord(const std::string& haystack, const std::string& word);
+
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+}  // namespace analysis
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_TOOLS_ANALYSIS_TEXT_H_

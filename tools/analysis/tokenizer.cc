@@ -1,0 +1,105 @@
+#include "tools/analysis/tokenizer.h"
+
+#include <cctype>
+
+namespace rpcscope {
+namespace analysis {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuation, longest first within each leading character.
+const char* const kMultiPuncts[] = {
+    "...", "->*", "<<=", ">>=", "::", "->", "++", "--", "+=", "-=", "*=",
+    "/=",  "%=",  "|=",  "&=",  "^=", "<<", ">>", "==", "!=", "<=", ">=",
+    "&&",  "||",
+};
+
+}  // namespace
+
+std::vector<Token> Tokenize(const std::vector<std::string>& sanitized_lines) {
+  std::vector<Token> tokens;
+  bool in_preprocessor = false;  // Inside a \-continued preprocessor directive.
+  for (size_t li = 0; li < sanitized_lines.size(); ++li) {
+    const std::string& line = sanitized_lines[li];
+    const int line_no = static_cast<int>(li) + 1;
+    const size_t last = line.find_last_not_of(" \t");
+    const bool continues = last != std::string::npos && line[last] == '\\';
+    if (in_preprocessor) {
+      in_preprocessor = continues;
+      continue;
+    }
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) {
+      continue;
+    }
+    if (line[first] == '#') {
+      in_preprocessor = continues;
+      continue;
+    }
+    size_t i = first;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (IsIdentStart(c)) {
+        size_t j = i + 1;
+        while (j < line.size() && IsIdentChar(line[j])) {
+          ++j;
+        }
+        tokens.push_back({Token::Kind::kIdent, line.substr(i, j - i), line_no});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t j = i + 1;
+        // Accept digits, hex/suffix letters, '.', and exponent signs.
+        while (j < line.size() &&
+               (IsIdentChar(line[j]) || line[j] == '.' ||
+                ((line[j] == '+' || line[j] == '-') &&
+                 (line[j - 1] == 'e' || line[j - 1] == 'E' || line[j - 1] == 'p' ||
+                  line[j - 1] == 'P')))) {
+          ++j;
+        }
+        tokens.push_back({Token::Kind::kNumber, line.substr(i, j - i), line_no});
+        i = j;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        // Sanitize() left only the delimiters and blanks; find the closer.
+        size_t j = line.find(c, i + 1);
+        j = (j == std::string::npos) ? line.size() : j + 1;
+        tokens.push_back({Token::Kind::kString, line.substr(i, j - i), line_no});
+        i = j;
+        continue;
+      }
+      bool matched = false;
+      for (const char* p : kMultiPuncts) {
+        const size_t len = std::char_traits<char>::length(p);
+        if (line.compare(i, len, p) == 0) {
+          tokens.push_back({Token::Kind::kPunct, p, line_no});
+          i += len;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        tokens.push_back({Token::Kind::kPunct, std::string(1, c), line_no});
+        ++i;
+      }
+    }
+  }
+  return tokens;
+}
+
+}  // namespace analysis
+}  // namespace rpcscope

@@ -1,0 +1,40 @@
+// A minimal C++ tokenizer over sanitized source lines. It is not a real
+// lexer — it only needs to be good enough for the heuristic indexing the
+// analysis tools do: identifiers, numbers, string/char literal shells left
+// by Sanitize(), and punctuation with the multi-character operators that
+// matter for scanning declarations (::, ->, <<, >>, compound assignment).
+// Preprocessor lines are skipped entirely; includes are parsed separately
+// from the raw lines because Sanitize() blanks the path string.
+#ifndef RPCSCOPE_TOOLS_ANALYSIS_TOKENIZER_H_
+#define RPCSCOPE_TOOLS_ANALYSIS_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+namespace rpcscope {
+namespace analysis {
+
+struct Token {
+  enum class Kind {
+    kIdent,   // Identifiers and keywords.
+    kNumber,  // Numeric literals (including 0x..., suffixes, and 1.5e3).
+    kString,  // The hollowed-out shell of a string or char literal.
+    kPunct,   // Operators and punctuation, longest-match.
+  };
+
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based source line.
+
+  bool Is(const char* s) const { return text == s; }
+  bool IsIdent() const { return kind == Kind::kIdent; }
+};
+
+// Tokenizes sanitized lines (see Sanitize in text.h). Lines whose first
+// non-whitespace character is '#' are skipped.
+std::vector<Token> Tokenize(const std::vector<std::string>& sanitized_lines);
+
+}  // namespace analysis
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_TOOLS_ANALYSIS_TOKENIZER_H_

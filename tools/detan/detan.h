@@ -1,0 +1,72 @@
+// rpcscope_detan — flow-aware determinism analyzer.
+//
+// The repo's core contract is bit-for-bit deterministic digests: the same
+// seed must produce the same AggregateDigest / event digest / serialized
+// trace bytes across worker-thread counts and replays. rpcscope_lint checks
+// line-local style; detan checks the *flow* properties that break that
+// contract, using the heuristic project index in tools/analysis/:
+//
+//   detan-unordered-digest   loops over unordered containers inside functions
+//                            transitively reachable from digest/merge/
+//                            serialization entry points, unless the loop body
+//                            provably folds order-insensitively (commutative
+//                            integer += / |= / &= / ^=, min/max folds) or
+//                            canonicalizes (inserts into an ordered container,
+//                            or collects then sorts).
+//   detan-nondet-source      run-to-run nondeterminism sources: random_device,
+//                            rand(), wall clocks, getenv, directory iteration,
+//                            pointer-keyed containers, std::hash over pointers.
+//                            src/ must stay clean; tools/ and bench/ may carry
+//                            justified NOLINTs.
+//   detan-float-merge        float/double fields in structs with a Merge path:
+//                            FP addition is not associative, so merge order
+//                            changes the bits.
+//   detan-checkpoint-field   structs marked // RPCSCOPE_CHECKPOINTED(fn, ...)
+//                            must have every non-static field mentioned in
+//                            each listed function (default: Serialize,
+//                            Restore) — catches fields added without updating
+//                            the serialization path.
+//   rpcscope-raw-thread      host threading primitives outside the shard
+//                            executor. Ported from rpcscope_lint: instead of a
+//                            path regex, a file is in scope when it is under
+//                            src/ or transitively included by a src/ TU
+//                            (src/sim/parallel/ stays exempt).
+//   detan-unused-nolint      a NOLINT naming a detan rule that silenced
+//                            nothing — stale suppressions hide regressions.
+//
+// Suppression syntax is shared with rpcscope_lint (tools/analysis/
+// suppressions.h). See docs/ANALYSIS.md for the full model.
+#ifndef RPCSCOPE_TOOLS_DETAN_DETAN_H_
+#define RPCSCOPE_TOOLS_DETAN_DETAN_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/analysis/finding.h"
+#include "tools/analysis/index.h"
+
+namespace rpcscope {
+namespace detan {
+
+struct Options {
+  // Flag NOLINTs naming detan rules that suppressed nothing.
+  bool check_unused = true;
+};
+
+// Rule names and one-line docs, for --list-rules.
+std::vector<analysis::RuleDoc> Rules();
+
+// Runs every rule over an in-memory project. `files` use repo-relative paths
+// (directory prefixes drive rule scoping, so fixtures pass virtual src/...
+// paths). Findings are sorted by (file, line, rule).
+std::vector<analysis::Finding> AnalyzeFiles(const std::vector<analysis::SourceFile>& files,
+                                            const Options& options = {});
+
+// Collects the standard scan dirs under `root` and runs AnalyzeFiles.
+std::vector<analysis::Finding> AnalyzeTree(const std::string& root,
+                                           const Options& options = {});
+
+}  // namespace detan
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_TOOLS_DETAN_DETAN_H_

@@ -2,131 +2,27 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
-#include <fstream>
 #include <regex>
 #include <set>
-#include <sstream>
 #include <string>
 #include <vector>
+
+#include "tools/analysis/source_tree.h"
+#include "tools/analysis/suppressions.h"
+#include "tools/analysis/text.h"
 
 namespace rpcscope {
 namespace lint {
 
 namespace {
 
-std::vector<std::string> SplitLines(const std::string& content) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (char c : content) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else {
-      current.push_back(c);
-    }
-  }
-  if (!current.empty()) {
-    lines.push_back(current);
-  }
-  return lines;
-}
+using analysis::ContainsWord;
+using analysis::Sanitize;
+using analysis::SplitLines;
+using analysis::StartsWith;
+using analysis::SuppressionSet;
 
-// Replaces comments and string/char literal contents with spaces so patterns
-// never match inside them. Tracks block comments across lines. Literal
-// delimiters are kept (a string becomes "   ") so column positions and syntax
-// shape survive.
-std::vector<std::string> Sanitize(const std::vector<std::string>& lines) {
-  std::vector<std::string> out;
-  out.reserve(lines.size());
-  bool in_block_comment = false;
-  for (const std::string& line : lines) {
-    std::string s;
-    s.reserve(line.size());
-    size_t i = 0;
-    while (i < line.size()) {
-      if (in_block_comment) {
-        if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-          in_block_comment = false;
-          s += "  ";
-          i += 2;
-        } else {
-          s += ' ';
-          ++i;
-        }
-        continue;
-      }
-      const char c = line[i];
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
-        break;  // Rest of the line is a comment.
-      }
-      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
-        in_block_comment = true;
-        s += "  ";
-        i += 2;
-        continue;
-      }
-      if (c == '"' || c == '\'') {
-        const char quote = c;
-        s += quote;
-        ++i;
-        while (i < line.size()) {
-          if (line[i] == '\\' && i + 1 < line.size()) {
-            s += "  ";
-            i += 2;
-            continue;
-          }
-          if (line[i] == quote) {
-            s += quote;
-            ++i;
-            break;
-          }
-          s += ' ';
-          ++i;
-        }
-        continue;
-      }
-      s += c;
-      ++i;
-    }
-    out.push_back(std::move(s));
-  }
-  return out;
-}
-
-// True if `raw_lines[idx]` carries a suppression for `rule`: NOLINT on the
-// line itself or NOLINTNEXTLINE on the line above. Suppressions must name the
-// rule (or rpcscope-all) — bare NOLINT belongs to other tools and is ignored.
-bool IsSuppressed(const std::vector<std::string>& raw_lines, size_t idx, const std::string& rule) {
-  auto matches = [&rule](const std::string& line, const char* marker) {
-    const size_t at = line.find(marker);
-    if (at == std::string::npos) {
-      return false;
-    }
-    const size_t open = line.find('(', at);
-    if (open == std::string::npos) {
-      return false;
-    }
-    const size_t close = line.find(')', open);
-    if (close == std::string::npos) {
-      return false;
-    }
-    const std::string args = line.substr(open + 1, close - open - 1);
-    return args.find(rule) != std::string::npos || args.find("rpcscope-all") != std::string::npos;
-  };
-  if (idx < raw_lines.size() && matches(raw_lines[idx], "NOLINT")) {
-    // NOLINTNEXTLINE on the *same* line suppresses the next line, not this
-    // one; only a plain NOLINT counts here.
-    if (raw_lines[idx].find("NOLINTNEXTLINE") == std::string::npos) {
-      return true;
-    }
-  }
-  return idx > 0 && matches(raw_lines[idx - 1], "NOLINTNEXTLINE");
-}
-
-bool StartsWith(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
+constexpr char kUnusedNolint[] = "rpcscope-unused-nolint";
 
 bool IsHeader(const std::string& path) {
   return path.size() > 2 && path.compare(path.size() - 2, 2, ".h") == 0;
@@ -163,30 +59,34 @@ std::vector<std::string> CollectUnorderedNames(const std::vector<std::string>& l
   return names;
 }
 
-bool ContainsWord(const std::string& haystack, const std::string& word) {
-  size_t at = 0;
-  while ((at = haystack.find(word, at)) != std::string::npos) {
-    const bool left_ok =
-        at == 0 || (!std::isalnum(static_cast<unsigned char>(haystack[at - 1])) &&
-                    haystack[at - 1] != '_');
-    const size_t end = at + word.size();
-    const bool right_ok =
-        end >= haystack.size() || (!std::isalnum(static_cast<unsigned char>(haystack[end])) &&
-                                   haystack[end] != '_');
-    if (left_ok && right_ok) {
-      return true;
-    }
-    at = end;
-  }
-  return false;
-}
-
 struct RulePattern {
   const char* pattern;
   const char* what;
 };
 
 }  // namespace
+
+std::vector<analysis::RuleDoc> Rules() {
+  return {
+      {"rpcscope-nodiscard-status",
+       "fallible declarations (Status / Result<T>) in fallible-API headers must be "
+       "[[nodiscard]]"},
+      {"rpcscope-discarded-status",
+       "expression-statements that call a known fallible function and drop the result"},
+      {"rpcscope-wallclock",
+       "wall-clock / libc randomness in the virtual-time layers (src/sim, src/net, "
+       "src/fault, src/fleet)"},
+      {"rpcscope-unordered-iter",
+       "range-for over an unordered container in a scheduling layer; order feeds event "
+       "timing"},
+      {"rpcscope-include-guard", "headers must carry the canonical RPCSCOPE_<PATH>_H_ guard"},
+      {"rpcscope-cout", "std::cout / printf in library code (src/)"},
+      {"rpcscope-serialize-hotpath",
+       "allocating Message::Serialize() on the wire path; use SerializeTo()"},
+      {kUnusedNolint,
+       "a NOLINT naming a lint rule that suppressed nothing (enabled by --fail-on-unused)"},
+  };
+}
 
 std::vector<std::string> CollectFallibleFunctions(const std::string& content) {
   const std::vector<std::string> raw = SplitLines(content);
@@ -211,10 +111,11 @@ std::vector<std::string> CollectFallibleFunctions(const std::string& content) {
 }
 
 std::vector<Finding> LintFile(const std::string& rel_path, const std::string& content,
-                              const std::vector<std::string>& fallible) {
+                              const std::vector<std::string>& fallible, bool check_unused) {
   std::vector<Finding> findings;
   const std::vector<std::string> raw = SplitLines(content);
   const std::vector<std::string> lines = Sanitize(raw);
+  SuppressionSet supp = SuppressionSet::Parse(raw);
 
   const bool in_src = StartsWith(rel_path, "src/");
   const bool virtual_time_layer = StartsWith(rel_path, "src/sim/") ||
@@ -228,7 +129,7 @@ std::vector<Finding> LintFile(const std::string& rel_path, const std::string& co
                                   StartsWith(rel_path, "src/monitor/");
 
   auto add = [&](size_t idx, const char* rule, std::string message) {
-    if (!IsSuppressed(raw, idx, rule)) {
+    if (!supp.IsSuppressed(idx, rule)) {
       findings.push_back(Finding{rel_path, static_cast<int>(idx) + 1, rule, std::move(message)});
     }
   };
@@ -243,14 +144,7 @@ std::vector<Finding> LintFile(const std::string& rel_path, const std::string& co
         found = true;
       }
     }
-    bool suppressed = false;
-    for (size_t i = 0; i < raw.size(); ++i) {
-      if (IsSuppressed(raw, i, "rpcscope-include-guard")) {
-        suppressed = true;
-        break;
-      }
-    }
-    if (!found && !suppressed) {
+    if (!found && !supp.IsSuppressedAnywhere("rpcscope-include-guard")) {
       findings.push_back(Finding{rel_path, 1, "rpcscope-include-guard",
                                  "header must use the canonical include guard " + guard});
     }
@@ -393,34 +287,6 @@ std::vector<Finding> LintFile(const std::string& rel_path, const std::string& co
     }
   }
 
-  // --- rpcscope-raw-thread --------------------------------------------------
-  if (in_src && !StartsWith(rel_path, "src/sim/parallel/")) {
-    static const RulePattern kRawThread[] = {
-        {R"(std::(?:jthread|thread)\b)", "std::thread"},
-        {R"(std::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b)", "a mutex"},
-        {R"(std::condition_variable)", "std::condition_variable"},
-        {R"(std::atomic)", "std::atomic"},
-        {R"(std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b)", "a lock wrapper"},
-        {R"(std::(?:async|future|shared_future|promise|packaged_task)\b)", "std::async/future"},
-        {R"(std::(?:barrier|latch|counting_semaphore|binary_semaphore)\b)",
-         "a barrier/latch/semaphore"},
-        {R"(\bthread_local\b)", "thread_local"},
-        {R"(\bpthread_\w+)", "pthreads"},
-    };
-    for (size_t i = 0; i < lines.size(); ++i) {
-      for (const RulePattern& p : kRawThread) {
-        if (std::regex_search(lines[i], std::regex(p.pattern))) {
-          add(i, "rpcscope-raw-thread",
-              std::string(p.what) +
-                  " outside src/sim/parallel/; the DES is single-threaded per shard "
-                  "domain — model concurrency in virtual time, host threads belong to "
-                  "the shard executor only (docs/PARALLEL.md)");
-          break;
-        }
-      }
-    }
-  }
-
   // --- rpcscope-cout --------------------------------------------------------
   if (in_src) {
     static const RulePattern kStdout[] = {
@@ -441,78 +307,47 @@ std::vector<Finding> LintFile(const std::string& rel_path, const std::string& co
     }
   }
 
+  // --- rpcscope-unused-nolint -----------------------------------------------
+  if (check_unused) {
+    std::vector<std::string> known;
+    for (const auto& rule : Rules()) {
+      if (rule.name != kUnusedNolint) {
+        known.push_back(rule.name);
+      }
+    }
+    const auto unused = supp.UnusedSuppressions(rel_path, known, kUnusedNolint);
+    findings.insert(findings.end(), unused.begin(), unused.end());
+  }
+
   return findings;
 }
 
-std::vector<Finding> LintTree(const std::string& root) {
-  namespace fs = std::filesystem;
-  const std::vector<std::string> scan_dirs = {"src", "tests", "bench", "examples", "tools"};
-
-  auto rel_of = [&root](const fs::path& p) {
-    std::string rel = fs::relative(p, root).generic_string();
-    return rel;
-  };
-  auto lintable = [](const std::string& rel) {
-    if (rel.find("fixtures") != std::string::npos) {
-      return false;  // Lint self-test fixtures violate rules on purpose.
-    }
-    return rel.ends_with(".h") || rel.ends_with(".cc") || rel.ends_with(".cpp");
-  };
+std::vector<Finding> LintTree(const std::string& root, bool check_unused) {
+  const std::vector<analysis::SourceFile> files =
+      analysis::CollectSourceTree(root, analysis::DefaultScanDirs());
 
   // Pass 1: fallible-function names from src/ headers.
   std::set<std::string> fallible_set;
   fallible_set.insert("GetVarint64");  // bool-fallible: out-param undefined on false.
-  const fs::path src_dir = fs::path(root) / "src";
-  if (fs::exists(src_dir)) {
-    for (const auto& entry : fs::recursive_directory_iterator(src_dir)) {
-      if (!entry.is_regular_file() || entry.path().extension() != ".h") {
-        continue;
-      }
-      std::ifstream in(entry.path());
-      std::stringstream buffer;
-      buffer << in.rdbuf();
-      for (const std::string& name : CollectFallibleFunctions(buffer.str())) {
-        fallible_set.insert(name);
-      }
+  for (const auto& file : files) {
+    if (!StartsWith(file.rel_path, "src/") || !IsHeader(file.rel_path)) {
+      continue;
+    }
+    for (const std::string& name : CollectFallibleFunctions(file.content)) {
+      fallible_set.insert(name);
     }
   }
   const std::vector<std::string> fallible(fallible_set.begin(), fallible_set.end());
 
   // Pass 2: lint every file.
   std::vector<Finding> findings;
-  for (const std::string& dir : scan_dirs) {
-    const fs::path base = fs::path(root) / dir;
-    if (!fs::exists(base)) {
-      continue;
-    }
-    for (const auto& entry : fs::recursive_directory_iterator(base)) {
-      if (!entry.is_regular_file()) {
-        continue;
-      }
-      const std::string rel = rel_of(entry.path());
-      if (!lintable(rel)) {
-        continue;
-      }
-      std::ifstream in(entry.path());
-      std::stringstream buffer;
-      buffer << in.rdbuf();
-      std::vector<Finding> file_findings = LintFile(rel, buffer.str(), fallible);
-      findings.insert(findings.end(), file_findings.begin(), file_findings.end());
-    }
+  for (const auto& file : files) {
+    std::vector<Finding> file_findings =
+        LintFile(file.rel_path, file.content, fallible, check_unused);
+    findings.insert(findings.end(), file_findings.begin(), file_findings.end());
   }
-  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
-    if (a.file != b.file) {
-      return a.file < b.file;
-    }
-    return a.line < b.line;
-  });
+  analysis::SortFindings(findings);
   return findings;
-}
-
-std::string FormatFinding(const Finding& f) {
-  std::ostringstream out;
-  out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
-  return out.str();
 }
 
 }  // namespace lint

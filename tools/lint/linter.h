@@ -17,44 +17,43 @@
 //   rpcscope-cout              std::cout / printf in library code (src/);
 //                              libraries report through Status and ostream&
 //                              parameters, never the process's stdout.
-//   rpcscope-raw-thread        host threading primitives (std::thread, mutex,
-//                              condition_variable, atomics, futures, latches,
-//                              thread_local, pthreads) in src/ outside
-//                              src/sim/parallel/ — the DES is single-threaded
-//                              per shard domain and host concurrency is
-//                              confined to the shard executor
-//                              (docs/PARALLEL.md).
 //   rpcscope-serialize-hotpath calls to the vector-returning
 //                              Message::Serialize() in src/ — library code
 //                              sits on the per-RPC wire path and must use
 //                              SerializeTo() into a reused buffer
 //                              (docs/PERF.md); the allocating form is for
 //                              tests and tools only.
+//   rpcscope-unused-nolint     a NOLINT naming one of the rules above that
+//                              suppressed nothing (opt-in via
+//                              --fail-on-unused; CI enables it).
+//
+// The raw-threading rule (rpcscope-raw-thread) moved to rpcscope_detan,
+// which scopes it by the include graph instead of a path regex; existing
+// suppressions keep their rule name. See docs/ANALYSIS.md.
 //
 // Any finding is suppressible on its line with // NOLINT(rpcscope-<rule>) or
 // on the preceding line with // NOLINTNEXTLINE(rpcscope-<rule>);
 // NOLINT(rpcscope-all) suppresses every rule. No libclang: the linter reads
 // files as text, strips comments and string literals, and pattern-matches —
-// fast enough to gate every CI build.
+// fast enough to gate every CI build. Text/suppression plumbing is shared
+// with rpcscope_detan via tools/analysis/.
 #ifndef RPCSCOPE_TOOLS_LINT_LINTER_H_
 #define RPCSCOPE_TOOLS_LINT_LINTER_H_
 
 #include <string>
 #include <vector>
 
+#include "tools/analysis/finding.h"
+
 namespace rpcscope {
 namespace lint {
 
-struct Finding {
-  std::string file;  // Repo-relative path, forward slashes.
-  int line = 0;      // 1-based.
-  std::string rule;  // e.g. "rpcscope-wallclock".
-  std::string message;
+// Shared with rpcscope_detan; equality ignores the message so tests can
+// assert on (file, line, rule).
+using Finding = analysis::Finding;
 
-  friend bool operator==(const Finding& a, const Finding& b) {
-    return a.file == b.file && a.line == b.line && a.rule == b.rule;
-  }
-};
+// Rule names and one-line docs, for --list-rules.
+std::vector<analysis::RuleDoc> Rules();
 
 // Scans header content for fallible function declarations (returning Status
 // or Result<T>) and returns their names. Used to build the project-wide set
@@ -62,18 +61,21 @@ struct Finding {
 std::vector<std::string> CollectFallibleFunctions(const std::string& content);
 
 // Lints one file. `rel_path` selects which rules apply (directory scoping);
-// `fallible` is the project-wide fallible-function name set.
+// `fallible` is the project-wide fallible-function name set. When
+// `check_unused` is set, suppressions naming a lint rule that silenced
+// nothing are reported as rpcscope-unused-nolint.
 std::vector<Finding> LintFile(const std::string& rel_path, const std::string& content,
-                              const std::vector<std::string>& fallible);
+                              const std::vector<std::string>& fallible,
+                              bool check_unused = false);
 
 // Walks `root` (the repo checkout), collects fallible names from src/
 // headers, lints every .h/.cc/.cpp under src/, tests/, bench/, examples/,
 // tools/ (skipping any path containing "fixtures"), and returns all findings
 // sorted by (file, line).
-std::vector<Finding> LintTree(const std::string& root);
+std::vector<Finding> LintTree(const std::string& root, bool check_unused = false);
 
 // Renders "file:line: [rule] message".
-std::string FormatFinding(const Finding& f);
+using analysis::FormatFinding;
 
 }  // namespace lint
 }  // namespace rpcscope

@@ -1,0 +1,72 @@
+// rpcscope_detan CLI: flow-aware determinism analysis over the repo tree.
+//
+// Usage:
+//   rpcscope_detan [--root <repo-root>] [--format=text|github]
+//                  [--no-unused-check] [--list-rules]
+//
+// Builds the include graph and a heuristic symbol/call index for every TU,
+// then runs the determinism rules (see tools/detan/detan.h and
+// docs/ANALYSIS.md). Unlike rpcscope_lint, the unused-suppression check is ON
+// by default — determinism NOLINTs carry justifications and must not go
+// stale; --no-unused-check disables it for exploratory runs.
+//
+// Exit status 0 when the tree is clean, 1 when any unsuppressed finding
+// remains, 2 on usage errors. CI runs this as a gating step.
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/analysis/finding.h"
+#include "tools/detan/detan.h"
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool github = false;
+  rpcscope::detan::Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strcmp(argv[i], "--format=text") == 0) {
+      github = false;
+    } else if (std::strcmp(argv[i], "--format=github") == 0) {
+      github = true;
+    } else if (std::strcmp(argv[i], "--no-unused-check") == 0) {
+      options.check_unused = false;
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const auto& rule : rpcscope::detan::Rules()) {
+        std::cout << rule.name << "\n    " << rule.doc << "\n";
+      }
+      return 0;
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::cout << "usage: rpcscope_detan [--root <repo-root>] [--format=text|github]\n"
+                   "                      [--no-unused-check] [--list-rules]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown argument: " << argv[i] << "\n";
+      return 2;
+    }
+  }
+
+  // A typo'd --root would otherwise analyze nothing and report a clean tree,
+  // silently passing the CI gate.
+  if (!std::filesystem::is_directory(root)) {
+    std::cerr << "rpcscope_detan: root is not a directory: " << root << "\n";
+    return 2;
+  }
+
+  const std::vector<rpcscope::analysis::Finding> findings =
+      rpcscope::detan::AnalyzeTree(root, options);
+  for (const rpcscope::analysis::Finding& f : findings) {
+    std::cout << (github ? rpcscope::analysis::FormatGitHubAnnotation(f)
+                         : rpcscope::analysis::FormatFinding(f))
+              << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "rpcscope_detan: clean\n";
+    return 0;
+  }
+  std::cout << "rpcscope_detan: " << findings.size() << " finding(s)\n";
+  return 1;
+}

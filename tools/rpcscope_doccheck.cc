@@ -172,6 +172,8 @@ int main(int argc, char** argv) {
   std::vector<std::string> relatives = {"README.md", "DESIGN.md", "ROADMAP.md",
                                         "EXPERIMENTS.md", "CHANGES.md"};
   if (fs::is_directory(root_path / "docs")) {
+    // Enumeration order is irrelevant: the list is sorted just below.
+    // NOLINTNEXTLINE(detan-nondet-source)
     for (const fs::directory_entry& entry : fs::directory_iterator(root_path / "docs")) {
       if (entry.is_regular_file() && entry.path().extension() == ".md") {
         relatives.push_back("docs/" + entry.path().filename().string());

@@ -1,26 +1,47 @@
 // rpcscope_lint CLI: walks the repo and reports rule violations.
 //
 // Usage:
-//   rpcscope_lint [--root <repo-root>]
+//   rpcscope_lint [--root <repo-root>] [--format=text|github]
+//                 [--fail-on-unused] [--list-rules]
+//
+// --format=github renders findings as GitHub Actions workflow annotations
+// (::error file=...) so CI failures appear inline on the PR diff.
+// --fail-on-unused additionally flags NOLINTs naming a lint rule that
+// suppressed nothing (rpcscope-unused-nolint); CI enables it.
 //
 // Exit status 0 when the tree is clean, 1 when any unsuppressed finding
 // remains, 2 on usage errors. CI runs this as a gating step; see
-// docs/CORRECTNESS.md for the rule catalogue and suppression syntax.
+// docs/ANALYSIS.md for the rule catalogue and suppression syntax.
 #include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "tools/analysis/finding.h"
 #include "tools/lint/linter.h"
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  bool github = false;
+  bool fail_on_unused = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
       root = argv[++i];
+    } else if (std::strcmp(argv[i], "--format=text") == 0) {
+      github = false;
+    } else if (std::strcmp(argv[i], "--format=github") == 0) {
+      github = true;
+    } else if (std::strcmp(argv[i], "--fail-on-unused") == 0) {
+      fail_on_unused = true;
+    } else if (std::strcmp(argv[i], "--list-rules") == 0) {
+      for (const auto& rule : rpcscope::lint::Rules()) {
+        std::cout << rule.name << "\n    " << rule.doc << "\n";
+      }
+      return 0;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::cout << "usage: rpcscope_lint [--root <repo-root>]\n";
+      std::cout << "usage: rpcscope_lint [--root <repo-root>] [--format=text|github]\n"
+                   "                     [--fail-on-unused] [--list-rules]\n";
       return 0;
     } else {
       std::cerr << "unknown argument: " << argv[i] << "\n";
@@ -35,9 +56,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const std::vector<rpcscope::lint::Finding> findings = rpcscope::lint::LintTree(root);
+  const std::vector<rpcscope::lint::Finding> findings =
+      rpcscope::lint::LintTree(root, fail_on_unused);
   for (const rpcscope::lint::Finding& f : findings) {
-    std::cout << rpcscope::lint::FormatFinding(f) << "\n";
+    std::cout << (github ? rpcscope::analysis::FormatGitHubAnnotation(f)
+                         : rpcscope::lint::FormatFinding(f))
+              << "\n";
   }
   if (findings.empty()) {
     std::cout << "rpcscope_lint: clean\n";
