@@ -269,15 +269,23 @@ void BM_MiniFleetSharded(benchmark::State& state) {
   options.worker_threads = static_cast<int>(state.range(1));
   uint64_t events = 0;
   uint64_t rounds = 0;
+  uint64_t cross = 0;
   for (auto _ : state) {
     const MiniFleetResult result = RunMiniFleet(catalog, options);
     events += result.events_executed;
     rounds += result.rounds;
+    cross += result.cross_domain_events;
     benchmark::DoNotOptimize(result.event_digest);
   }
   state.SetItemsProcessed(static_cast<int64_t>(events));
+  // rounds is always >= 1 per run: the single-domain fast path reports one
+  // uninterrupted round, so avg_events_per_round stays meaningful across rows.
   state.counters["rounds"] =
       benchmark::Counter(static_cast<double>(rounds), benchmark::Counter::kAvgIterations);
+  state.counters["avg_events_per_round"] =
+      rounds == 0 ? 0.0 : static_cast<double>(events) / static_cast<double>(rounds);
+  state.counters["cross_domain_events"] =
+      benchmark::Counter(static_cast<double>(cross), benchmark::Counter::kAvgIterations);
 }
 BENCHMARK(BM_MiniFleetSharded)
     ->ArgNames({"shards", "workers"})
@@ -326,4 +334,20 @@ BENCHMARK(BM_EncodeFrame_Scratch)->Arg(1530)->Arg(32768);
 }  // namespace
 }  // namespace rpcscope
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // The library's own "library_build_type" context reflects how the system
+  // benchmark package was compiled, not this binary. Record our build type so
+  // tools/run_bench_*.sh can refuse to commit a non-optimized baseline.
+#ifdef NDEBUG
+  benchmark::AddCustomContext("rpcscope_build_type", "release");
+#else
+  benchmark::AddCustomContext("rpcscope_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

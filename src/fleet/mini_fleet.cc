@@ -45,20 +45,36 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
 
   // Placement. Single-domain runs keep the legacy layout (everything packed
   // into cluster 0, frontends in cluster 1) so existing fingerprints hold
-  // bit-for-bit. Sharded runs give each service its own cluster — then
-  // ShardOf (cluster % num_shards) spreads the graph across domains and the
-  // Table-1 dependency edges exercise the cross-shard fabric path.
+  // bit-for-bit. Sharded runs give each service its own cluster, dealt
+  // round-robin across the contiguous shard blocks (RpcSystem::ShardOfCluster)
+  // so every shard hosts part of the graph and the Table-1 dependency edges
+  // exercise the cross-shard fabric path.
   const bool spread = system.num_shards() > 1;
   Rng placement(options.seed ^ 0x111);
   int next_machine = 0;
-  int next_cluster = 0;
+  int next_group = 0;
+  auto first_cluster_of_shard = [&](int s) {
+    // Smallest c with ShardOfCluster(c) == s under the block partition
+    // floor(c * N / C): c = ceil(s * C / N).
+    return static_cast<ClusterId>(
+        (static_cast<int64_t>(s) * topo.num_clusters() + system.num_shards() - 1) /
+        system.num_shards());
+  };
+  auto spread_cluster = [&]() {
+    const int g = next_group++;
+    const int s = g % system.num_shards();
+    const ClusterId first = first_cluster_of_shard(s);
+    const ClusterId limit = first_cluster_of_shard(s + 1);
+    const int block = static_cast<int>(limit - first);
+    return first + static_cast<ClusterId>((g / system.num_shards()) % block);
+  };
   auto deploy = [&](int32_t service_id, int replicas, int app_workers) {
     auto d = std::make_unique<Deployment>();
     d->service_id = service_id;
     d->rng = std::make_shared<Rng>(placement.Fork(static_cast<uint64_t>(service_id)));
     ServerOptions server_opts;
     server_opts.app_workers = app_workers;
-    const ClusterId cluster = spread ? next_cluster++ : 0;
+    const ClusterId cluster = spread ? spread_cluster() : 0;
     for (int r = 0; r < replicas; ++r) {
       const MachineId m = spread ? topo.MachineAt(cluster, r) : topo.MachineAt(0, next_machine++);
       d->machines.push_back(m);
@@ -250,12 +266,11 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   // write under sharding. Summed after the run.
   std::vector<uint64_t> root_counts(frontends.size(), 0);
   for (size_t i = 0; i < frontends.size(); ++i) {
-    // Sharded runs also spread the frontends, one cluster each, past the
-    // service clusters; the arrival process is scheduled on the frontend's
-    // own shard simulator.
-    const MachineId fe_machine = spread
-                                     ? topo.MachineAt(next_cluster + static_cast<int>(i), 0)
-                                     : topo.MachineAt(1, static_cast<int>(i));
+    // Sharded runs also spread the frontends, one cluster each, continuing
+    // the round-robin over shard blocks; the arrival process is scheduled on
+    // the frontend's own shard simulator.
+    const MachineId fe_machine = spread ? topo.MachineAt(spread_cluster(), 0)
+                                        : topo.MachineAt(1, static_cast<int>(i));
     frontend_clients.push_back(std::make_unique<Client>(&system, fe_machine));
     Client* client = frontend_clients.back().get();
     Frontend& fe = frontends[i];
@@ -298,6 +313,10 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   } else {
     result.events_executed = system.sim().events_executed();
     result.event_digest = system.sim().event_digest();
+    // The executor's single-domain fast path reports one round, so per-round
+    // derived stats stay meaningful across shard counts.
+    result.rounds = system.last_rounds();
+    result.cross_domain_events = system.last_cross_domain_events();
     result.spans.reserve(system.tracer().spans().size());
     for (const Span& span : system.tracer().spans()) {
       if (span.start_time >= options.warmup) {

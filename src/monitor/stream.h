@@ -24,7 +24,13 @@
 //
 // Determinism rules (tested by parallel_test):
 //  * Sinks are only touched from their own shard's round execution.
-//  * All sink -> hub movement happens at barriers, shard 0 first.
+//  * All sink -> hub movement happens at barriers, shard 0 first. With
+//    batched rounds (per-pair lookahead horizons, docs/PARALLEL.md) barriers
+//    are far rarer than before, so each flush carries a bigger delta — the
+//    watermark passed to FlushInto is the round's minimum per-domain horizon,
+//    which the executor guarantees is strictly increasing round over round,
+//    and no event below it can ever run again. Single-domain runs have no
+//    barriers at all: one final FlushInto(kMaxSimTime) drains everything.
 //  * Aggregate state is integer-valued (counts, wrapping nanosecond sums,
 //    histogram buckets), so it is also *ingest-order independent*: streaming
 //    at barriers and replaying the post-run merged span stream produce the

@@ -51,10 +51,10 @@ void Fabric::Send(MachineId src, MachineId dst, int64_t bytes, Delivery on_deliv
     SimDomain* remote = domain_resolver_(dst);
     if (remote->id() != home_->id()) {
       // Cross-shard delivery: hand the frame to the destination domain via
-      // the outbox. The latency sample must honor the executor's lookahead —
-      // if this fires, the shard mapping put two machines closer together
-      // than the advertised cross-shard minimum.
-      RPCSCOPE_CHECK_GE(latency, min_remote_latency_)
+      // the outbox. The latency sample must honor the executor's per-pair
+      // lookahead bound — if this fires, the shard mapping put two machines
+      // closer together than the advertised minimum for this domain pair.
+      RPCSCOPE_CHECK_GE(latency, lookahead_->At(home_->id(), remote->id()))
           << "cross-domain frame undercuts the conservative lookahead";
       home_->PostRemote(remote->id(), AddClamped(sim_->Now(), latency),
                         [latency, done = std::move(on_delivered)]() { done(latency); });
@@ -65,13 +65,14 @@ void Fabric::Send(MachineId src, MachineId dst, int64_t bytes, Delivery on_deliv
 }
 
 void Fabric::BindDomain(SimDomain* home, std::function<SimDomain*(MachineId)> resolver,
-                        SimDuration min_remote_latency) {
+                        const LookaheadMatrix* lookahead) {
   RPCSCOPE_CHECK(home != nullptr);
   RPCSCOPE_CHECK(resolver != nullptr);
-  RPCSCOPE_CHECK_GT(min_remote_latency, 0);
+  RPCSCOPE_CHECK(lookahead != nullptr);
+  RPCSCOPE_CHECK_GT(lookahead->size(), home->id());
   home_ = home;
   domain_resolver_ = std::move(resolver);
-  min_remote_latency_ = min_remote_latency;
+  lookahead_ = lookahead;
 }
 
 }  // namespace rpcscope

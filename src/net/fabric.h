@@ -17,6 +17,7 @@
 #include "src/common/time.h"
 #include "src/net/topology.h"
 #include "src/sim/domain.h"
+#include "src/sim/lookahead.h"
 #include "src/sim/simulator.h"
 
 namespace rpcscope {
@@ -70,11 +71,13 @@ class Fabric {
   // frame whose destination machine lives in a different shard domain through
   // `home`'s outbox instead of the local event queue — the fabric is the only
   // inter-domain edge. `resolver` maps a machine to its owning domain;
-  // `min_remote_latency` is the executor's conservative lookahead, which every
-  // cross-domain latency sample must respect (CHECK-enforced: propagation is
-  // bounded below by the topology and serialization/congestion only add).
+  // `lookahead` holds the executor's per-domain-pair conservative bounds,
+  // which every cross-domain latency sample must respect (CHECK-enforced:
+  // propagation is bounded below by the topology and serialization/congestion
+  // only add). The matrix must be sized so that every domain the resolver can
+  // return is in range, and must outlive the fabric.
   void BindDomain(SimDomain* home, std::function<SimDomain*(MachineId)> resolver,
-                  SimDuration min_remote_latency);
+                  const LookaheadMatrix* lookahead);
 
   // Installs (or clears, with nullptr) the fault-injection hook. The
   // interceptor must outlive the fabric or be cleared before destruction.
@@ -94,7 +97,7 @@ class Fabric {
   Rng rng_;
   SimDomain* home_ = nullptr;
   std::function<SimDomain*(MachineId)> domain_resolver_;
-  SimDuration min_remote_latency_ = 0;
+  const LookaheadMatrix* lookahead_ = nullptr;
   FabricInterceptor* interceptor_ = nullptr;
   uint64_t messages_sent_ = 0;
   int64_t bytes_sent_ = 0;

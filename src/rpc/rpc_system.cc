@@ -31,25 +31,6 @@ RpcSystem::RpcSystem(const RpcSystemOptions& options)
   const int num_shards = std::clamp(options.num_shards, 1, topology_.num_clusters());
   options_.num_shards = num_shards;
 
-  // Conservative lookahead: every cross-shard frame crosses a cluster
-  // boundary (shard = cluster % num_shards), so its one-way propagation is at
-  // least the minimum cross-shard ClusterBaseRtt/2; serialization and
-  // congestion only ever add to that.
-  if (num_shards > 1) {
-    SimDuration min_rtt = kMaxSimTime;
-    for (ClusterId a = 0; a < topology_.num_clusters(); ++a) {
-      for (ClusterId b = a + 1; b < topology_.num_clusters(); ++b) {
-        if (a % num_shards == b % num_shards) {
-          continue;
-        }
-        min_rtt = std::min(min_rtt, topology_.ClusterBaseRtt(a, b));
-      }
-    }
-    RPCSCOPE_CHECK_LT(min_rtt, kMaxSimTime);
-    lookahead_ = min_rtt / 2;
-    RPCSCOPE_CHECK_GT(lookahead_, 0);
-  }
-
   shards_.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
     // Shard 0 inherits the configured seeds unchanged so that a 1-shard
@@ -70,11 +51,40 @@ RpcSystem::RpcSystem(const RpcSystemOptions& options)
   }
 
   if (num_shards > 1) {
+    // Per-shard-pair conservative bounds: entry (s, d) is the minimum one-way
+    // propagation latency (ClusterBaseRtt/2) over all cluster pairs with one
+    // cluster in shard s and one in shard d — a strict lower bound on any
+    // cross-shard frame latency, since serialization and congestion only ever
+    // add to propagation. The contiguous block partition (ShardOfCluster)
+    // keeps physically close clusters in the same shard, so most entries are
+    // metro-or-wider distances instead of the global same-datacenter minimum.
+    lookahead_matrix_ = LookaheadMatrix(num_shards, kMaxSimTime);
+    for (ClusterId a = 0; a < topology_.num_clusters(); ++a) {
+      const int sa = ShardOfCluster(a);
+      for (ClusterId b = a + 1; b < topology_.num_clusters(); ++b) {
+        const int sb = ShardOfCluster(b);
+        if (sa == sb) {
+          continue;
+        }
+        const SimDuration bound = topology_.ClusterBaseRtt(a, b) / 2;
+        lookahead_matrix_.LowerTo(sa, sb, bound);
+        lookahead_matrix_.LowerTo(sb, sa, bound);
+      }
+    }
+    // Topology RTTs are not a metric (continent-pair distances are
+    // independent), but the executor's cross-round safety needs the triangle
+    // inequality: a shard can relay causality through a near neighbor faster
+    // than its direct bound. The min-plus closure folds every relay path in.
+    lookahead_matrix_.MinPlusClose();
+    lookahead_ = lookahead_matrix_.MinOffDiagonal();
+    RPCSCOPE_CHECK_LT(lookahead_, kMaxSimTime);
+    RPCSCOPE_CHECK_GT(lookahead_, 0);
+
     for (auto& shard : shards_) {
       shard->fabric.BindDomain(
           &shard->domain,
           [this](MachineId machine) { return &shards_[static_cast<size_t>(ShardOf(machine))]->domain; },
-          lookahead_);
+          &lookahead_matrix_);
     }
   }
 
@@ -107,6 +117,12 @@ uint64_t RpcSystem::RunSharded(int worker_threads) {
   ShardExecutorOptions exec_options;
   exec_options.worker_threads = worker_threads;
   exec_options.lookahead = lookahead_;
+  if (num_shards() > 1) {
+    exec_options.lookahead_matrix = &lookahead_matrix_;
+  }
+  // Production runs never benefit from more workers than cores — extra
+  // threads only add per-round wake/park latency. Determinism is unaffected.
+  exec_options.clamp_workers_to_hardware = true;
   if (hub_ != nullptr) {
     exec_options.barrier_hook = [this](SimTime round_end) { FlushObservability(round_end); };
   }

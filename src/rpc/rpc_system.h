@@ -30,6 +30,7 @@
 #include "src/net/topology.h"
 #include "src/rpc/cost_model.h"
 #include "src/sim/domain.h"
+#include "src/sim/lookahead.h"
 #include "src/sim/simulator.h"
 #include "src/trace/collector.h"
 
@@ -56,8 +57,10 @@ struct RpcSystemOptions {
   double machine_speed_spread = 0.15;
 
   // Number of shard domains the fleet is partitioned into, by cluster:
-  // ShardOf(machine) = ClusterOf(machine) % num_shards. Clamped to
-  // [1, num_clusters]. 1 keeps the legacy single-domain configuration.
+  // ShardOf(machine) = floor(ClusterOf(machine) * num_shards / num_clusters),
+  // i.e. contiguous cluster blocks aligned with the topology hierarchy (see
+  // ShardOfCluster). Clamped to [1, num_clusters]. 1 keeps the legacy
+  // single-domain configuration.
   int num_shards = 1;
 
   // Observer invoked for every span the stack produces (after sampling is
@@ -125,16 +128,29 @@ class RpcSystem {
   const CycleCostModel& costs() const { return options_.costs; }
   const RpcSystemOptions& options() const { return options_; }
 
-  // Shard-domain structure.
+  // Shard-domain structure. Clusters are partitioned into contiguous blocks:
+  // shard s owns clusters [ceil(s*C/N), ceil((s+1)*C/N)). Because cluster ids
+  // are assigned hierarchically (continent-major), block boundaries coincide
+  // with topology boundaries, so clusters that are physically close share a
+  // shard and the cross-shard lookahead bounds stay wide — the key input to
+  // the per-pair lookahead matrix (docs/PARALLEL.md).
   int num_shards() const { return static_cast<int>(shards_.size()); }
-  int ShardOf(MachineId machine) const {
-    return static_cast<int>(topology_.ClusterOf(machine)) % num_shards();
+  int ShardOfCluster(ClusterId cluster) const {
+    return static_cast<int>(static_cast<int64_t>(cluster) * num_shards() /
+                            topology_.num_clusters());
   }
+  int ShardOf(MachineId machine) const { return ShardOfCluster(topology_.ClusterOf(machine)); }
   ShardContext& shard(int s) { return *shards_[static_cast<size_t>(s)]; }
   ShardContext& ShardFor(MachineId machine) { return shard(ShardOf(machine)); }
-  // Conservative lookahead: minimum cross-shard one-way propagation latency
-  // over all cluster pairs in different shards. 0 when num_shards == 1.
+  // Global conservative lookahead: minimum cross-shard one-way propagation
+  // latency over all cluster pairs in different shards (the matrix's smallest
+  // off-diagonal entry). 0 when num_shards == 1. The executor itself uses the
+  // full per-pair matrix, which is strictly wider for most pairs.
   SimDuration lookahead() const { return lookahead_; }
+  // Per-shard-pair conservative bounds: entry (s, d) is the minimum one-way
+  // propagation latency between any cluster of shard s and any cluster of
+  // shard d. Empty when num_shards == 1.
+  const LookaheadMatrix& lookahead_matrix() const { return lookahead_matrix_; }
 
   // Runs every shard domain to completion on `worker_threads` host threads
   // (conservative PDES, src/sim/parallel/). Returns total events executed.
@@ -143,8 +159,9 @@ class RpcSystem {
   // is exactly sim().Run().
   uint64_t RunSharded(int worker_threads = 1);
 
-  // Executor stats from the last RunSharded call (0 before any call or for
-  // single-domain runs, which need no rounds).
+  // Executor stats from the last RunSharded call (0 before any call;
+  // single-domain runs report 1 round — the whole run is one uninterrupted
+  // round on the executor's fast path).
   uint64_t last_rounds() const { return last_rounds_; }
   uint64_t last_cross_domain_events() const { return last_cross_domain_events_; }
 
@@ -193,6 +210,7 @@ class RpcSystem {
   RpcSystemOptions options_;
   Topology topology_;
   SimDuration lookahead_ = 0;
+  LookaheadMatrix lookahead_matrix_;
   std::vector<std::unique_ptr<ShardContext>> shards_;
   std::unique_ptr<ObservabilityHub> hub_;
   uint64_t last_rounds_ = 0;

@@ -61,6 +61,7 @@ class SimDomain {
     RPCSCOPE_DCHECK_LT(dst, num_domains_);
     RPCSCOPE_CHECK(dst != id_) << "PostRemote to own domain; use sim().ScheduleAt";
     outbox_[static_cast<size_t>(dst)].push_back(RemoteEvent{when, std::move(fn)});
+    outbox_dirty_ = true;
     ++remote_posted_;
   }
 
@@ -75,6 +76,12 @@ class SimDomain {
   Simulator sim_;
   // outbox_[d] holds events bound for domain d, in post order.
   std::vector<std::vector<RemoteEvent>> outbox_;
+  // Set by PostRemote, cleared by the executor's barrier drain. Lets the
+  // coordinator skip domains that posted nothing this round instead of
+  // walking num_domains^2 outbox vectors every barrier. Only ever touched by
+  // the thread currently running this domain or by the quiescent-phase
+  // coordinator, so it needs no synchronization of its own.
+  bool outbox_dirty_ = false;
   uint64_t remote_posted_ = 0;
 };
 

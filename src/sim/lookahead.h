@@ -1,0 +1,132 @@
+// Per-domain-pair conservative lookahead bounds for the shard executor.
+//
+// A LookaheadMatrix entry At(src, dst) is a strict lower bound on the
+// virtual-time latency of any event domain `src` can cause in domain `dst`,
+// measured from the sender's clock at post time. The conservative-PDES round
+// loop (src/sim/parallel/shard_executor.h) turns these bounds into per-domain
+// execution horizons:
+//
+//   horizon[i] = min( min over senders s != i of (next_event_time[s] + At(s, i)),
+//                     next_event_time[i] + min over s of (At(i, s) + At(s, i)) )
+//
+// which is strictly wider than the legacy global-minimum horizon whenever the
+// bounds are non-uniform — distant shard pairs stop throttling each other to
+// the closest pair's bound (docs/PARALLEL.md). For those horizons to be safe
+// the matrix must satisfy the triangle inequality (causality relays through
+// intermediate domains): build it by folding raw pair distances in with
+// LowerTo, then call MinPlusClose before handing it to the executor.
+//
+// The matrix is plain data computed once before a run (RpcSystem derives it
+// from topology distances between the clusters of each shard pair); nothing
+// here touches host threads.
+#ifndef RPCSCOPE_SRC_SIM_LOOKAHEAD_H_
+#define RPCSCOPE_SRC_SIM_LOOKAHEAD_H_
+
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/common/time.h"
+
+namespace rpcscope {
+
+class LookaheadMatrix {
+ public:
+  LookaheadMatrix() = default;
+
+  // n x n matrix with every off-diagonal entry set to `uniform` (diagonal
+  // entries are 0 and never consulted: a domain does not bound itself).
+  explicit LookaheadMatrix(int n, SimDuration uniform = 0)
+      : n_(n), bounds_(static_cast<size_t>(n) * static_cast<size_t>(n), uniform) {
+    RPCSCOPE_CHECK_GE(n, 0);
+    for (int i = 0; i < n; ++i) {
+      bounds_[Index(i, i)] = 0;
+    }
+  }
+
+  int size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  SimDuration At(int src, int dst) const { return bounds_[Index(src, dst)]; }
+
+  void Set(int src, int dst, SimDuration bound) {
+    RPCSCOPE_DCHECK_GE(bound, 0);
+    bounds_[Index(src, dst)] = bound;
+  }
+
+  // Lowers the (src, dst) bound to `bound` if it is smaller — the natural
+  // operation when folding a min over topology pairs into the matrix.
+  void LowerTo(int src, int dst, SimDuration bound) {
+    RPCSCOPE_DCHECK_GE(bound, 0);
+    SimDuration& slot = bounds_[Index(src, dst)];
+    if (bound < slot) {
+      slot = bound;
+    }
+  }
+
+  // Replaces every bound with the min-plus (all-pairs shortest path) closure:
+  // At(s, d) <= At(s, k) + At(k, d) for every relay k. The executor's
+  // cross-round safety induction needs this triangle inequality — a domain
+  // whose own horizon was set by a near neighbor can relay causality onward
+  // after only At(x, s) + At(s, d) of virtual time, so a direct bound larger
+  // than that is unsound no matter how slow the direct link is. Topology
+  // distances are not a metric (continent-pair RTTs are independent draws),
+  // so builders must call this after folding in the raw pair bounds.
+  // Closure only ever lowers entries, so every per-link latency CHECK that
+  // held before still holds after.
+  void MinPlusClose() {
+    for (int k = 0; k < n_; ++k) {
+      for (int s = 0; s < n_; ++s) {
+        for (int d = 0; d < n_; ++d) {
+          LowerTo(s, d, AddClamped(At(s, k), At(k, d)));
+        }
+      }
+    }
+  }
+
+  // True when every bound already satisfies the triangle inequality (i.e.
+  // MinPlusClose would change nothing). The executor CHECKs this up front.
+  bool SatisfiesTriangleInequality() const {
+    for (int k = 0; k < n_; ++k) {
+      for (int s = 0; s < n_; ++s) {
+        for (int d = 0; d < n_; ++d) {
+          if (At(s, d) > AddClamped(At(s, k), At(k, d))) {
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  // The global conservative lookahead: the smallest off-diagonal bound. This
+  // is what the pre-matrix executor used for every pair; keeping it exposed
+  // lets callers compare the two schemes and gives model code a single
+  // "minimum cross-shard latency" figure. kMaxSimTime when n < 2.
+  SimDuration MinOffDiagonal() const {
+    SimDuration min_bound = kMaxSimTime;
+    for (int s = 0; s < n_; ++s) {
+      for (int d = 0; d < n_; ++d) {
+        if (s != d && At(s, d) < min_bound) {
+          min_bound = At(s, d);
+        }
+      }
+    }
+    return min_bound;
+  }
+
+ private:
+  size_t Index(int src, int dst) const {
+    RPCSCOPE_DCHECK_GE(src, 0);
+    RPCSCOPE_DCHECK_LT(src, n_);
+    RPCSCOPE_DCHECK_GE(dst, 0);
+    RPCSCOPE_DCHECK_LT(dst, n_);
+    return static_cast<size_t>(src) * static_cast<size_t>(n_) + static_cast<size_t>(dst);
+  }
+
+  int n_ = 0;
+  std::vector<SimDuration> bounds_;
+};
+
+}  // namespace rpcscope
+
+#endif  // RPCSCOPE_SRC_SIM_LOOKAHEAD_H_

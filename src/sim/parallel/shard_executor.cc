@@ -1,7 +1,6 @@
 #include "src/sim/parallel/shard_executor.h"
 
 #include <algorithm>
-#include <atomic>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -12,36 +11,133 @@
 namespace rpcscope {
 
 ShardExecutor::ShardExecutor(std::vector<SimDomain*> domains, ShardExecutorOptions options)
-    : domains_(std::move(domains)), options_(options) {
+    : domains_(std::move(domains)), options_(std::move(options)) {
   RPCSCOPE_CHECK(!domains_.empty());
-  for (size_t i = 0; i < domains_.size(); ++i) {
-    RPCSCOPE_CHECK(domains_[i] != nullptr);
-    RPCSCOPE_CHECK_EQ(domains_[i]->id(), static_cast<int>(i))
+  const int n = static_cast<int>(domains_.size());
+  for (int i = 0; i < n; ++i) {
+    RPCSCOPE_CHECK(domains_[static_cast<size_t>(i)] != nullptr);
+    RPCSCOPE_CHECK_EQ(domains_[static_cast<size_t>(i)]->id(), i)
         << "domain ids must match their index";
   }
-  if (domains_.size() > 1) {
-    RPCSCOPE_CHECK_GT(options_.lookahead, 0)
-        << "multi-domain execution needs a positive conservative lookahead";
+  if (options_.lookahead_matrix != nullptr) {
+    RPCSCOPE_CHECK_EQ(options_.lookahead_matrix->size(), n)
+        << "lookahead matrix must be sized to the domain count";
+    // The safety induction across rounds relays through intermediate domains:
+    // a domain whose horizon was set by a near neighbor may forward causality
+    // onward after At(x, s) + At(s, d) of virtual time. Direct bounds that
+    // exceed such relay paths would let a destination simulate past an event
+    // still in flight — reject them up front (builders fix this with
+    // LookaheadMatrix::MinPlusClose).
+    RPCSCOPE_CHECK(options_.lookahead_matrix->SatisfiesTriangleInequality())
+        << "lookahead matrix must satisfy the triangle inequality; "
+           "call MinPlusClose() after construction";
+    matrix_ = options_.lookahead_matrix;
+  } else {
+    if (n > 1) {
+      RPCSCOPE_CHECK_GT(options_.lookahead, 0)
+          << "multi-domain execution needs a positive conservative lookahead";
+    }
+    uniform_matrix_ = LookaheadMatrix(n, options_.lookahead);
+    matrix_ = &uniform_matrix_;
   }
-  options_.worker_threads =
-      std::clamp(options_.worker_threads, 1, static_cast<int>(domains_.size()));
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s != d) {
+        // A zero bound would stall the round loop: the horizon of d would
+        // never exceed s's next event time, so d could never execute past it.
+        RPCSCOPE_CHECK_GT(matrix_->At(s, d), 0)
+            << "off-diagonal lookahead bound must be positive (" << s << " -> " << d << ")";
+      }
+    }
+  }
+  effective_workers_ = std::clamp(options_.worker_threads, 1, n);
+  if (options_.clamp_workers_to_hardware) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0) {
+      effective_workers_ = std::min(effective_workers_, static_cast<int>(hw));
+    }
+  }
+  // echo[i]: the fastest a domain's own causality can boomerang back at it
+  // through any peer — min over s of L[i][s] + L[s][i]. The horizon must
+  // include nt[i] + echo[i]: an idle peer contributes kMaxSimTime through the
+  // sender terms, but i itself can wake that peer with a message and receive
+  // a reply one round trip later, so i may never outrun its own next event by
+  // more than the cheapest round trip. kMaxSimTime when n == 1 (never used —
+  // single-domain runs take the fast path).
+  echo_.resize(domains_.size(), kMaxSimTime);
+  for (int i = 0; i < n; ++i) {
+    for (int s = 0; s < n; ++s) {
+      if (s != i) {
+        echo_[static_cast<size_t>(i)] =
+            std::min(echo_[static_cast<size_t>(i)],
+                     AddClamped(matrix_->At(i, s), matrix_->At(s, i)));
+      }
+    }
+  }
+  next_times_.resize(domains_.size());
+  horizons_.resize(domains_.size());
+  active_.reserve(domains_.size());
 }
 
-SimTime ShardExecutor::MinNextEventTime() {
-  SimTime m = kMaxSimTime;
-  for (SimDomain* d : domains_) {
-    m = std::min(m, d->sim().NextEventTime());
+bool ShardExecutor::PlanRound() {
+  const int n = static_cast<int>(domains_.size());
+  SimTime global_min = kMaxSimTime;
+  for (int i = 0; i < n; ++i) {
+    next_times_[static_cast<size_t>(i)] = domains_[static_cast<size_t>(i)]->sim().NextEventTime();
+    global_min = std::min(global_min, next_times_[static_cast<size_t>(i)]);
   }
-  return m;
+  if (global_min == kMaxSimTime) {
+    return false;  // Every queue drained: the run is complete.
+  }
+  // horizon[i] = min( min over senders s != i of (next[s] + L[s][i]),
+  //                   next[i] + echo[i] ).
+  // O(n^2) with n = shard count (tens, not thousands); drained senders
+  // contribute kMaxSimTime via the saturating add and stop constraining
+  // anyone. The echo term caps how far i can outrun its own queue: any
+  // future message into i is caused by some currently-queued event, and a
+  // chain that starts at i's own queue must travel a full round trip before
+  // it can come back (the sender terms cover chains starting elsewhere,
+  // via the matrix's min-plus closure).
+  active_.clear();
+  SimTime watermark = kMaxSimTime;
+  for (int i = 0; i < n; ++i) {
+    SimTime h = AddClamped(next_times_[static_cast<size_t>(i)], echo_[static_cast<size_t>(i)]);
+    for (int s = 0; s < n; ++s) {
+      if (s == i) {
+        continue;
+      }
+      h = std::min(h, AddClamped(next_times_[static_cast<size_t>(s)], matrix_->At(s, i)));
+    }
+    horizons_[static_cast<size_t>(i)] = h;
+    watermark = std::min(watermark, h);
+    if (next_times_[static_cast<size_t>(i)] < h) {
+      active_.push_back(i);
+    } else {
+      ++idle_domain_rounds_;
+    }
+  }
+  watermark_ = watermark;
+  // Progress guarantee: the domain holding the global-min event has horizon
+  // >= global_min + min(smallest pair bound, its echo) > its own next event
+  // time, so it is always active. An empty active list would mean a
+  // deadlocked round loop.
+  RPCSCOPE_CHECK(!active_.empty()) << "conservative round planned no work";
+  return true;
 }
 
-uint64_t ShardExecutor::DrainOutboxes(SimTime round_end) {
+uint64_t ShardExecutor::DrainOutboxes() {
   uint64_t transferred = 0;
   // Canonical order: source domain id, then destination id, then post order.
   // This fixes the destination's sequence-number assignment independently of
   // which worker thread ran which domain, which is what makes the merged
-  // event stream bit-identical across worker counts.
+  // event stream bit-identical across worker counts. The dirty flag lets the
+  // coordinator skip sources that posted nothing this round without scanning
+  // their num_domains outbox vectors.
   for (SimDomain* src : domains_) {
+    if (!src->outbox_dirty_) {
+      continue;
+    }
+    src->outbox_dirty_ = false;
     for (size_t d = 0; d < src->outbox_.size(); ++d) {
       std::vector<SimDomain::RemoteEvent>& box = src->outbox_[d];
       if (box.empty()) {
@@ -50,10 +146,11 @@ uint64_t ShardExecutor::DrainOutboxes(SimTime round_end) {
       SimDomain* dst = domains_[d];
       for (SimDomain::RemoteEvent& ev : box) {
         // The conservative-lookahead contract: a cross-domain event posted
-        // during this round cannot land before round_end. A violation means
-        // some path undercut the advertised minimum latency — the destination
-        // may already have simulated past `when`, so fail fast.
-        RPCSCOPE_CHECK_GE(ev.when, round_end)
+        // during this round cannot land before the *destination's* horizon.
+        // A violation means some path undercut the advertised per-pair
+        // minimum latency — the destination may already have simulated past
+        // `when`, so fail fast.
+        RPCSCOPE_CHECK_GE(ev.when, horizons_[d])
             << "cross-domain event violates conservative lookahead";
         dst->sim().ScheduleAt(ev.when, std::move(ev.fn));
         ++transferred;
@@ -67,68 +164,77 @@ uint64_t ShardExecutor::DrainOutboxes(SimTime round_end) {
 
 uint64_t ShardExecutor::RunToCompletion() {
   if (domains_.size() == 1) {
-    // Single domain: no rounds, no barriers — exactly the legacy Run() path.
+    // Single domain: no barriers — exactly the legacy Run() path. Reported as
+    // one round so per-round derived stats stay meaningful across shard
+    // counts.
+    rounds_ = 1;
     return domains_[0]->sim().Run();
   }
-  return options_.worker_threads == 1 ? RunSequential() : RunThreaded();
+  return effective_workers_ == 1 ? RunSequential() : RunThreaded();
 }
 
 uint64_t ShardExecutor::RunSequential() {
   uint64_t total = 0;
-  for (;;) {
-    const SimTime m = MinNextEventTime();
-    if (m == kMaxSimTime) {
-      break;
-    }
-    const SimTime round_end = AddClamped(m, options_.lookahead);
-    for (SimDomain* d : domains_) {
-      total += d->sim().RunBefore(round_end);
+  while (PlanRound()) {
+    for (int i : active_) {
+      total += domains_[static_cast<size_t>(i)]->sim().RunBefore(horizons_[static_cast<size_t>(i)]);
     }
     ++rounds_;
-    DrainOutboxes(round_end);
+    DrainOutboxes();
     if (options_.barrier_hook) {
-      options_.barrier_hook(round_end);
+      options_.barrier_hook(watermark_);
     }
   }
   return total;
 }
 
 uint64_t ShardExecutor::RunThreaded() {
-  // Persistent worker pool, round-scoped work distribution. The calling
-  // thread is worker 0; `extra` helpers are spawned once and woken per round.
-  // Happens-before edges: round_end and the claim index are published under
-  // `mu` before workers wake; all RunBefore results are visible to the
-  // coordinator once `remaining` reaches 0 under `mu`.
+  // Persistent worker pool, spin-free: helpers park on a generation-counted
+  // condition variable between rounds and are woken once per round, so an
+  // oversubscribed host pays wake/park latency but never burns a core.
+  // Work is handed out as one contiguous slice of the active list per worker
+  // (precomputed by the coordinator), so there is no shared claim counter to
+  // bounce between caches mid-round and each worker touches a disjoint,
+  // contiguous range of domains. The calling thread is worker 0.
+  //
+  // Happens-before edges: the round plan (horizons_, active_, range bounds)
+  // is published under `mu` before the generation bump that wakes helpers;
+  // all RunBefore effects are visible to the coordinator once `remaining`
+  // reaches 0 under `mu`.
   struct Shared {
     std::mutex mu;
     std::condition_variable work_cv;
     std::condition_variable done_cv;
     uint64_t generation = 0;
-    SimTime round_end = 0;
     int remaining = 0;
     bool stop = false;
-    std::atomic<size_t> next_domain{0};
-    std::atomic<uint64_t> executed{0};
+    uint64_t executed = 0;  // Merged per-worker totals; guarded by mu.
   } shared;
 
-  auto run_round = [this, &shared](SimTime round_end) {
+  const int workers = effective_workers_;
+  // range_begin[w] .. range_begin[w+1] indexes worker w's slice of active_
+  // for the current round. Written by the coordinator under mu.
+  std::vector<size_t> range_begin(static_cast<size_t>(workers) + 1, 0);
+
+  auto run_range = [this](size_t begin, size_t end) {
     uint64_t local = 0;
-    for (size_t i = shared.next_domain.fetch_add(1, std::memory_order_relaxed);
-         i < domains_.size();
-         i = shared.next_domain.fetch_add(1, std::memory_order_relaxed)) {
-      local += domains_[i]->sim().RunBefore(round_end);
+    for (size_t k = begin; k < end; ++k) {
+      const size_t i = static_cast<size_t>(active_[k]);
+      local += domains_[i]->sim().RunBefore(horizons_[i]);
     }
-    shared.executed.fetch_add(local, std::memory_order_relaxed);
+    return local;
   };
 
-  const int extra = options_.worker_threads - 1;
+  const int extra = workers - 1;
   std::vector<std::thread> helpers;
   helpers.reserve(static_cast<size_t>(extra));
   for (int t = 0; t < extra; ++t) {
-    helpers.emplace_back([&shared, &run_round] {
+    const size_t w = static_cast<size_t>(t) + 1;
+    helpers.emplace_back([&shared, &range_begin, &run_range, w] {
       uint64_t seen = 0;
       for (;;) {
-        SimTime round_end;
+        size_t begin;
+        size_t end;
         {
           std::unique_lock<std::mutex> lock(shared.mu);
           shared.work_cv.wait(lock,
@@ -137,11 +243,13 @@ uint64_t ShardExecutor::RunThreaded() {
             return;
           }
           seen = shared.generation;
-          round_end = shared.round_end;
+          begin = range_begin[w];
+          end = range_begin[w + 1];
         }
-        run_round(round_end);
+        const uint64_t local = run_range(begin, end);
         {
           std::lock_guard<std::mutex> lock(shared.mu);
+          shared.executed += local;
           if (--shared.remaining == 0) {
             shared.done_cv.notify_one();
           }
@@ -150,33 +258,32 @@ uint64_t ShardExecutor::RunThreaded() {
     });
   }
 
-  for (;;) {
-    const SimTime m = MinNextEventTime();
-    if (m == kMaxSimTime) {
-      break;
-    }
-    const SimTime round_end = AddClamped(m, options_.lookahead);
+  while (PlanRound()) {
     {
       std::lock_guard<std::mutex> lock(shared.mu);
-      shared.round_end = round_end;
-      shared.next_domain.store(0, std::memory_order_relaxed);
-      shared.remaining = extra + 1;
+      const size_t n_active = active_.size();
+      for (int w = 0; w <= workers; ++w) {
+        range_begin[static_cast<size_t>(w)] =
+            n_active * static_cast<size_t>(w) / static_cast<size_t>(workers);
+      }
+      shared.remaining = workers;
       ++shared.generation;
     }
     shared.work_cv.notify_all();
-    run_round(round_end);
+    const uint64_t local = run_range(range_begin[0], range_begin[1]);
     {
       std::unique_lock<std::mutex> lock(shared.mu);
+      shared.executed += local;
       --shared.remaining;
       shared.done_cv.wait(lock, [&shared] { return shared.remaining == 0; });
     }
     ++rounds_;
-    DrainOutboxes(round_end);
+    DrainOutboxes();
     if (options_.barrier_hook) {
       // Workers are parked on work_cv here, so the hook sees quiescent
       // domains; everything it reads was published by the remaining==0
       // handshake above.
-      options_.barrier_hook(round_end);
+      options_.barrier_hook(watermark_);
     }
   }
 
@@ -188,7 +295,7 @@ uint64_t ShardExecutor::RunThreaded() {
   for (std::thread& t : helpers) {
     t.join();
   }
-  return shared.executed.load(std::memory_order_relaxed);
+  return shared.executed;
 }
 
 }  // namespace rpcscope

@@ -1,28 +1,47 @@
 // Conservative-PDES executor for shard domains (Chandy–Misra style).
 //
 // The executor advances N SimDomains in barrier-synchronized rounds. Each
-// round:
+// round the coordinator:
 //
-//   1. m = min over domains of NextEventTime(); stop when every queue is
-//      drained (m == kMaxSimTime).
-//   2. round_end = m + lookahead, where lookahead is the minimum latency any
-//      cross-domain interaction can have (the topology's minimum cross-shard
-//      wire latency — serialization and congestion only ever add to it).
-//   3. Every domain executes its local events with time strictly < round_end,
-//      in parallel on the worker pool.
-//   4. Barrier. The coordinator drains all cross-domain outboxes sequentially
-//      in canonical (source domain, post order), scheduling each event into
-//      its destination. The lookahead contract guarantees every transferred
-//      event lands at or beyond round_end (CHECK-enforced), i.e. in the
-//      destination's future.
+//   1. Reads every domain's NextEventTime(); stops when every queue is
+//      drained (global min == kMaxSimTime).
+//   2. Computes a per-domain horizon from the lookahead matrix:
+//        horizon[i] = min( min over s != i of (next[s] + lookahead[s][i]),
+//                          next[i] + echo[i] )
+//      where echo[i] = min over s of lookahead[i][s] + lookahead[s][i].
+//      Every future event delivered to i is caused by some event currently
+//      in a queue: chains starting at s != i accumulate at least
+//      lookahead[s][i] of latency on the way (the matrix is min-plus closed,
+//      so relays through intermediaries are covered), and chains starting in
+//      i's own queue must travel a full round trip before they can return.
+//      So every domain may safely execute all local events with time
+//      strictly < its horizon.
+//      Because horizons are recomputed from the post-round queue states, one
+//      barrier jumps as far as the bounds allow — batching what the legacy
+//      global-min scheme (round_end = global_min + global_lookahead) split
+//      into many short rounds. A drained or far-ahead sender stops throttling
+//      everyone else entirely (its contribution saturates toward
+//      kMaxSimTime).
+//   3. Executes the active domains — those with an event below their horizon —
+//      in parallel on the worker pool, as one contiguous range of the active
+//      list per worker. Domains with nothing to do are not touched at all.
+//   4. Barrier. The coordinator drains the dirty cross-domain outboxes
+//      sequentially in canonical (source domain, post order), scheduling each
+//      event into its destination. The lookahead contract guarantees every
+//      transferred event lands at or beyond the *destination's* horizon
+//      (CHECK-enforced), i.e. in the destination's future.
 //
 // Determinism: a domain's round execution is self-contained (own queue, own
 // RNG streams, own collectors), so which host thread runs it is irrelevant;
-// outbox drain order is fixed by domain ids, so destination event sequence
-// numbers are identical for any worker count. For a fixed seed the merged
-// event digest, histograms, and trace trees are bit-for-bit identical for 1,
-// 2, or 8 workers — the parallel_test ctest enforces this, including under
-// TSan.
+// horizons depend only on event timestamps, and outbox drain order is fixed
+// by domain ids, so destination event sequence numbers are identical for any
+// worker count. For a fixed seed the merged event digest, histograms, and
+// trace trees are bit-for-bit identical for 1, 2, or 8 workers — the
+// parallel_test ctest enforces this, including under TSan.
+//
+// Coordination is spin-free: workers park on a generation-counted condition
+// variable between rounds and are woken once per round; nothing busy-waits,
+// so oversubscribed hosts lose only wake/park latency, never burned cores.
 //
 // This directory is the only place in src/ where host threads, mutexes, and
 // atomics are allowed (rpcscope-raw-thread lint rule); model code stays in
@@ -36,6 +55,7 @@
 
 #include "src/common/time.h"
 #include "src/sim/domain.h"
+#include "src/sim/lookahead.h"
 
 namespace rpcscope {
 
@@ -43,21 +63,36 @@ struct ShardExecutorOptions {
   // Host worker threads. Clamped to [1, num domains]. 1 runs the same round
   // loop inline (useful for debugging and as the determinism reference).
   int worker_threads = 1;
-  // Conservative lookahead: a strict lower bound on the virtual-time latency
-  // of any cross-domain event, measured from the sender's clock. Must be > 0
-  // when there is more than one domain.
+  // Additionally clamp worker_threads to the host's hardware concurrency.
+  // Extra workers on a saturated host add wake/park latency per round and can
+  // never add parallelism, so production runs (RpcSystem::RunSharded) enable
+  // this; determinism tests leave it off to exercise real thread interleaving
+  // even on small hosts. Never changes results — only which host threads run.
+  bool clamp_workers_to_hardware = false;
+  // Uniform conservative lookahead: a strict lower bound on the virtual-time
+  // latency of any cross-domain event, measured from the sender's clock. Used
+  // only when `lookahead_matrix` is null (the executor then builds a uniform
+  // matrix from it). Must be > 0 when there is more than one domain.
   SimDuration lookahead = 0;
+  // Per-pair lower bounds (src/sim/lookahead.h). When set, it must be sized
+  // to the domain count, with every off-diagonal entry > 0, must satisfy the
+  // triangle inequality (CHECKed; call MinPlusClose() after building it from
+  // raw distances), and must outlive the executor. Preferred over the
+  // scalar: non-uniform bounds widen per-domain horizons and collapse the
+  // round count (docs/PARALLEL.md).
+  const LookaheadMatrix* lookahead_matrix = nullptr;
   // Invoked on the coordinator thread after each round's outbox drain, with
-  // that round's end time. At this point every domain has executed all its
-  // events with time < round_end and every future event (local or transferred)
-  // is at >= round_end, so round_end is a safe streaming watermark: state
-  // observed across all domains now is final for times below it. Workers are
+  // that round's safe watermark: the minimum horizon over all domains. At
+  // this point every domain has executed all its events below its own horizon
+  // and every future event (local or transferred) is at >= the watermark, so
+  // state observed across all domains now is final for times below it.
+  // Watermarks are strictly increasing round over round. Workers are
   // quiescent during the call, so the hook may read any domain. Runs in the
-  // same sequence for every worker-thread count (round boundaries depend only
-  // on event times). Not invoked on the single-domain fast path, which has no
+  // same sequence for every worker-thread count (horizons depend only on
+  // event times). Not invoked on the single-domain fast path, which has no
   // rounds — owners flush once after RunToCompletion instead (see
   // RpcSystem::RunSharded).
-  std::function<void(SimTime round_end)> barrier_hook;
+  std::function<void(SimTime watermark)> barrier_hook;
 };
 
 class ShardExecutor {
@@ -69,25 +104,50 @@ class ShardExecutor {
   // Runs all domains to completion (every queue drained). Returns the total
   // number of events executed across domains. With a single domain this is
   // exactly domains[0]->sim().Run(). Note one edge: events scheduled exactly
-  // at kMaxSimTime are never executed (a round can never extend past the end
-  // of virtual time); nothing in the model schedules there.
+  // at kMaxSimTime are never executed (a horizon can never extend past the
+  // end of virtual time); nothing in the model schedules there.
   uint64_t RunToCompletion();
 
+  // Barrier rounds driven. The single-domain fast path reports 1: the whole
+  // run is one uninterrupted round, so events-per-round style derived metrics
+  // stay meaningful across shard counts.
   uint64_t rounds() const { return rounds_; }
   uint64_t cross_domain_events() const { return cross_domain_events_; }
+  // (domain, round) pairs skipped because the domain had no event below its
+  // horizon — barrier work the per-domain horizons avoided entirely.
+  uint64_t idle_domain_rounds() const { return idle_domain_rounds_; }
+  // Worker threads actually used (after both clamps).
+  int effective_workers() const { return effective_workers_; }
 
  private:
   uint64_t RunSequential();
   uint64_t RunThreaded();
-  // Transfers every outbox entry into its destination queue, canonical order.
-  uint64_t DrainOutboxes(SimTime round_end);
-  // Non-const: peeking the ladder queue may rebalance it.
-  SimTime MinNextEventTime();
+  // Peeks every domain and fills next_times_/horizons_/active_. Returns false
+  // when every queue is drained (the run is complete).
+  bool PlanRound();
+  // Transfers every outbox entry into its destination queue, canonical order,
+  // visiting only domains whose dirty flag is set.
+  uint64_t DrainOutboxes();
 
   std::vector<SimDomain*> domains_;
   ShardExecutorOptions options_;
+  // Uniform fallback built from options_.lookahead when no matrix is given;
+  // matrix_ always points at the bounds in use.
+  LookaheadMatrix uniform_matrix_;
+  const LookaheadMatrix* matrix_ = nullptr;
+  // Cheapest round trip out of and back into each domain (see PlanRound).
+  std::vector<SimDuration> echo_;
+  int effective_workers_ = 1;
+
+  // Round plan, coordinator-written between barriers.
+  std::vector<SimTime> next_times_;
+  std::vector<SimTime> horizons_;
+  std::vector<int> active_;  // Domain ids with an event below their horizon.
+  SimTime watermark_ = kMinSimTime;
+
   uint64_t rounds_ = 0;
   uint64_t cross_domain_events_ = 0;
+  uint64_t idle_domain_rounds_ = 0;
 };
 
 }  // namespace rpcscope

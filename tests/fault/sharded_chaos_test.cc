@@ -3,7 +3,10 @@
 // replay bit-for-bit when the system is split across shard domains, and the
 // execution must be invariant under the host worker-thread count
 // (docs/PARALLEL.md). The client lives in shard 0 and every backend in shard
-// 1, so all load, all retries, and all fault-error paths cross domains.
+// 1, so all load, all retries, and all fault-error paths cross domains. With
+// two shards the contiguous block partition puts the shards on different
+// continent pairs, so every cross-shard path is intercontinental — timeouts
+// and deadlines below are sized for ~60-200 ms RTTs.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -33,8 +36,9 @@ struct ShardedChaosOutcome {
   uint64_t gray_windows = 0;
 };
 
-// One client (cluster 0 -> shard 0), four backends (cluster 1 -> shard 1),
-// open-loop load at 1 call/ms for 3 simulated seconds while the plan plays:
+// One client (cluster 0 -> shard 0), four backends (the first cluster of
+// shard 1's block), open-loop load at 1 call/ms for 3 simulated seconds while
+// the plan plays:
 //   backend 0 crashes at 0.5s and restarts at 1.2s,
 //   backend 1 is partitioned from the client 1.5s..2s,
 //   backend 2 runs 50x slow (gray) 2.1s..2.4s,
@@ -49,8 +53,9 @@ ShardedChaosOutcome RunShardedChaos(uint64_t seed, int worker_threads) {
 
   std::vector<MachineId> backends;
   std::vector<std::unique_ptr<Server>> servers;
+  const ClusterId backend_cluster = topo.num_clusters() / 2;  // Shard 1's first cluster.
   for (int i = 0; i < 4; ++i) {
-    const MachineId m = topo.MachineAt(1, i);
+    const MachineId m = topo.MachineAt(backend_cluster, i);
     backends.push_back(m);
     auto server = std::make_unique<Server>(&system, m, ServerOptions{});
     server->RegisterMethod(kEcho, "Echo", [](std::shared_ptr<ServerCall> call) {
@@ -69,7 +74,7 @@ ShardedChaosOutcome RunShardedChaos(uint64_t seed, int worker_threads) {
 
   ChannelOptions chan_opts;
   chan_opts.policy = PickPolicy::kRoundRobin;
-  chan_opts.default_deadline = Millis(25);
+  chan_opts.default_deadline = Millis(900);
   chan_opts.default_max_retries = 3;
   Channel channel(&client, "sharded-chaos-echo", backends, chan_opts);
 
@@ -95,7 +100,7 @@ ShardedChaosOutcome RunShardedChaos(uint64_t seed, int worker_threads) {
   for (int i = 0; i < 3000; ++i) {
     client_sim.Schedule(Millis(1) * i, [&]() {
       CallOptions opts;
-      opts.attempt_timeout = Millis(8);
+      opts.attempt_timeout = Millis(250);
       channel.Call(kEcho, Payload::Modeled(256), opts,
                    [&](const CallResult& r, Payload) {
                      if (r.status.ok()) {

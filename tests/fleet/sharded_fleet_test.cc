@@ -193,16 +193,18 @@ TEST(ShardedFleetTest, ShardedRunReproducesAcrossRepeats) {
 }
 
 TEST(ShardedFleetTest, CrossShardRpcEndToEnd) {
-  // A minimal two-shard system: client in cluster 0 (shard 0), server in
-  // cluster 1 (shard 1). Every call crosses the domain boundary through the
-  // fabric; replies must come back complete, with the request-wire component
-  // echoed into the client-side breakdown.
+  // A minimal two-shard system: client in cluster 0 (shard 0), server in the
+  // first cluster of shard 1's block (the partition is contiguous:
+  // ShardOfCluster(c) = floor(c * num_shards / num_clusters)). Every call
+  // crosses the domain boundary through the fabric; replies must come back
+  // complete, with the request-wire component echoed into the client-side
+  // breakdown.
   RpcSystemOptions sys_opts;
   sys_opts.num_shards = 2;
   RpcSystem system(sys_opts);
   const Topology& topo = system.topology();
   const MachineId client_machine = topo.MachineAt(0, 0);
-  const MachineId server_machine = topo.MachineAt(1, 0);
+  const MachineId server_machine = topo.MachineAt(topo.num_clusters() / 2, 0);
   ASSERT_EQ(system.ShardOf(client_machine), 0);
   ASSERT_EQ(system.ShardOf(server_machine), 1);
 
@@ -307,7 +309,8 @@ TEST(ShardedFleetTest, ShardCountOneMatchesLegacySingleDomainRun) {
   EXPECT_EQ(a.event_digest, b.event_digest);
   EXPECT_EQ(a.events_executed, b.events_executed);
   EXPECT_EQ(HashSpans(a.spans), HashSpans(b.spans));
-  EXPECT_EQ(a.rounds, 0u);
+  // The executor's single-domain fast path is one uninterrupted round.
+  EXPECT_EQ(a.rounds, 1u);
   EXPECT_EQ(a.cross_domain_events, 0u);
 }
 

@@ -81,13 +81,13 @@ uint64_t ReportDigest(const MiniFleetResult& result) {
   return digest.value;
 }
 
-MiniFleetOptions ShardedOptions(uint64_t seed, int workers) {
+MiniFleetOptions ShardedOptions(uint64_t seed, int workers, int shards = 8) {
   MiniFleetOptions options;
   options.duration = Seconds(1);
   options.warmup = Millis(200);
   options.frontend_rps = 300;
   options.seed = seed;
-  options.num_shards = 8;
+  options.num_shards = shards;
   options.worker_threads = workers;
   return options;
 }
@@ -104,6 +104,37 @@ TEST(OrderingRegressionTest, ReportDigestInvariantAcrossWorkerCounts) {
         reference = digest;
       } else {
         EXPECT_EQ(digest, reference) << "seed=" << seed << " workers=" << workers;
+      }
+    }
+  }
+}
+
+TEST(OrderingRegressionTest, ReportDigestInvariantUnderBatchedRounds) {
+  // The batched-round path: per-pair lookahead horizons let one barrier cover
+  // what the legacy global-min scheme split into many short rounds, so the
+  // number of rounds is orders of magnitude below the event count. The report
+  // surfaces must stay bit-for-bit worker-count invariant on that path too,
+  // at more than one shard count (different counts exercise different
+  // lookahead matrices and different active-domain skip patterns).
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  for (const int shards : {4, 8}) {
+    uint64_t reference = 0;
+    for (const int workers : {1, 2, 8}) {
+      const MiniFleetResult result =
+          RunMiniFleet(catalog, ShardedOptions(0xba7c4ull, workers, shards));
+      ASSERT_GT(result.spans.size(), 0u) << "shards=" << shards;
+      // Prove the batched path actually engaged: many events per barrier, and
+      // the run was genuinely multi-round and cross-shard.
+      ASSERT_GT(result.rounds, 1u) << "shards=" << shards;
+      ASSERT_GT(result.cross_domain_events, 0u) << "shards=" << shards;
+      ASSERT_GT(result.events_executed / result.rounds, 10u)
+          << "rounds are not batched: " << result.rounds << " rounds for "
+          << result.events_executed << " events (shards=" << shards << ")";
+      const uint64_t digest = ReportDigest(result);
+      if (workers == 1) {
+        reference = digest;
+      } else {
+        EXPECT_EQ(digest, reference) << "shards=" << shards << " workers=" << workers;
       }
     }
   }

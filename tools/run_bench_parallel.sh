@@ -19,11 +19,27 @@ BUILD="${BUILD_DIR:-$ROOT/build-rel}"
 cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" --target bench_simcore -j >/dev/null
 
+# Refuse to record a baseline from a non-Release build: a debug-build number
+# silently invalidates the whole perf trajectory. The build dir is checked
+# here; the binary additionally stamps context.rpcscope_build_type, verified
+# below (the library's own "library_build_type" only describes how the system
+# benchmark package was compiled, so it cannot be used for this check).
+if ! grep -q '^CMAKE_BUILD_TYPE:[^=]*=Release$' "$BUILD/CMakeCache.txt"; then
+  echo "ERROR: $BUILD is not a Release build; refusing to record a baseline." >&2
+  exit 1
+fi
+
 "$BUILD/bench/bench_simcore" \
   --benchmark_filter='BM_MiniFleetSharded|BM_MiniFleet_Ladder' \
   --benchmark_out="$ROOT/BENCH_parallel.json" \
   --benchmark_out_format=json \
   --benchmark_min_time=0.3 \
   "$@"
+
+if ! grep -q '"rpcscope_build_type": "release"' "$ROOT/BENCH_parallel.json"; then
+  rm -f "$ROOT/BENCH_parallel.json"
+  echo "ERROR: benchmark binary was not built with NDEBUG; baseline discarded." >&2
+  exit 1
+fi
 
 echo "Wrote $ROOT/BENCH_parallel.json"
