@@ -11,11 +11,25 @@
 // (docs/OBSERVABILITY.md) closes short Monarch windows at round barriers and
 // prints the per-window fleet RPS / error / latency series as virtual time
 // advances — monitoring the fleet while it runs, no post-run pass.
+//
+// Checkpoint mode (docs/ROBUSTNESS.md#checkpointrestore) runs the mini-fleet
+// in epochs and snapshots it at each barrier, so a killed run can be resumed
+// bit-for-bit:
+//
+//   ./fleet_study --checkpoint-dir=DIR --checkpoint-every=MS
+//       [--checkpoint-keep=N] [--resume=DIR] [--chaos] [--seed=S]
+//       [--duration-ms=MS] [--workers=W] [--shards=N] [--stop-after-epochs=K]
+//
+// Prints machine-parsable `event_digest=` / `streamed_digest=` lines so the
+// checkpoint-soak CI job can diff an interrupted+resumed run against an
+// uninterrupted one. Exits 0 on a completed run, 3 when stopped early by
+// --stop-after-epochs (the simulated kill), 1 on error or digest mismatch.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "src/core/analyses.h"
+#include "src/fault/fault_plan.h"
 #include "src/fleet/fleet_sampler.h"
 #include "src/fleet/mini_fleet.h"
 
@@ -57,12 +71,120 @@ int RunObserve(SimDuration duration) {
   return result.streamed_aggregate_digest == result.replayed_aggregate_digest ? 0 : 1;
 }
 
+// Chaos plan for checkpointed runs, scaled to the horizon: a crash+restart,
+// a gray slowdown, and a lossy link, all on low machine ids (the first
+// network-disk replicas, deployed first so they always exist). The plan is
+// copied into the fleet and folded into the checkpoint config hash, so a
+// resume with a different plan (or none) is rejected.
+FaultPlan MakeChaosPlan(SimDuration duration) {
+  FaultPlan plan;
+  plan.crashes.push_back(
+      {.machine = 1, .at = duration * 3 / 10, .restart_at = duration * 6 / 10});
+  plan.gray_slowdowns.push_back(
+      {.machine = 2, .factor = 40.0, .start = duration * 2 / 5, .end = duration * 7 / 10});
+  plan.losses.push_back({.src = 3,
+                         .dst = 4,
+                         .loss_probability = 0.2,
+                         .start = duration / 2,
+                         .end = duration * 4 / 5});
+  return plan;
+}
+
+// Returns the value part if `arg` starts with `flag` (a "--name=" prefix).
+const char* FlagValue(const char* arg, const char* flag) {
+  const size_t n = std::strlen(flag);
+  return std::strncmp(arg, flag, n) == 0 ? arg + n : nullptr;
+}
+
+int RunCheckpointed(int argc, char** argv) {
+  MiniFleetOptions options;
+  options.duration = Seconds(4);
+  options.warmup = Millis(500);
+  options.frontend_rps = 600;
+  options.num_shards = 8;
+  options.worker_threads = 2;
+  CheckpointRunOptions ckpt;
+  bool chaos = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if ((v = FlagValue(argv[i], "--checkpoint-dir="))) {
+      ckpt.dir = v;
+    } else if ((v = FlagValue(argv[i], "--checkpoint-every="))) {
+      ckpt.every = Millis(std::atoll(v));
+    } else if ((v = FlagValue(argv[i], "--checkpoint-keep="))) {
+      ckpt.keep = std::atoi(v);
+    } else if ((v = FlagValue(argv[i], "--resume="))) {
+      ckpt.dir = v;
+      ckpt.resume = true;
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      ckpt.resume = true;
+    } else if ((v = FlagValue(argv[i], "--seed="))) {
+      options.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if ((v = FlagValue(argv[i], "--duration-ms="))) {
+      options.duration = Millis(std::atoll(v));
+    } else if ((v = FlagValue(argv[i], "--workers="))) {
+      options.worker_threads = std::atoi(v);
+    } else if ((v = FlagValue(argv[i], "--shards="))) {
+      options.num_shards = std::atoi(v);
+    } else if ((v = FlagValue(argv[i], "--stop-after-epochs="))) {
+      ckpt.stop_after_epochs = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
+    } else {
+      std::fprintf(stderr, "unknown checkpoint-mode flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  FaultPlan plan;
+  if (chaos) {
+    plan = MakeChaosPlan(options.duration);
+    options.fault_plan = &plan;
+  }
+
+  const ServiceCatalog services = ServiceCatalog::BuildDefault();
+  const Result<MiniFleetResult> run = RunMiniFleetCheckpointed(services, options, ckpt);
+  if (!run.ok()) {
+    std::fprintf(stderr, "checkpointed run failed: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  const MiniFleetResult& result = *run;
+  std::printf("epochs: resumed_at=%llu interrupted=%d checkpoints_written=%llu\n",
+              static_cast<unsigned long long>(result.resumed_epoch),
+              result.interrupted ? 1 : 0,
+              static_cast<unsigned long long>(result.checkpoints_written));
+  if (result.interrupted) {
+    std::printf("stopped early after --stop-after-epochs; resume with --resume=%s\n",
+                ckpt.dir.c_str());
+    return 3;
+  }
+  std::printf("events_executed=%llu\n", static_cast<unsigned long long>(result.events_executed));
+  std::printf("event_digest=%016llx\n", static_cast<unsigned long long>(result.event_digest));
+  std::printf("streamed_digest=%016llx\n",
+              static_cast<unsigned long long>(result.streamed_aggregate_digest));
+  std::printf("replayed_digest=%016llx\n",
+              static_cast<unsigned long long>(result.replayed_aggregate_digest));
+  return result.streamed_aggregate_digest == result.replayed_aggregate_digest ? 0 : 1;
+}
+
+bool WantsCheckpointMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--checkpoint", 12) == 0 ||
+        std::strncmp(argv[i], "--resume", 8) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int64_t samples = 500000;
   if (argc > 1 && std::strcmp(argv[1], "--observe") == 0) {
     return RunObserve(argc > 2 ? Seconds(std::atoll(argv[2])) : Seconds(2));
+  }
+  if (WantsCheckpointMode(argc, argv)) {
+    return RunCheckpointed(argc, argv);
   }
   if (argc > 1) {
     samples = std::atoll(argv[1]);

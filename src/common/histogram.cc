@@ -19,6 +19,39 @@ LogHistogram::LogHistogram(const Options& options) : options_(options) {
   buckets_.assign(core + 2, 0);  // +underflow +overflow
 }
 
+LogHistogram::State LogHistogram::SaveState() const {
+  RPCSCOPE_DCHECK(log_min_ == std::log10(options_.min_value));
+  RPCSCOPE_DCHECK(inv_log_step_ == static_cast<double>(options_.buckets_per_decade));
+  State state;
+  state.options = options_;
+  state.buckets = buckets_;
+  state.count = count_;
+  state.sum = sum_;
+  state.min = min_;
+  state.max = max_;
+  return state;
+}
+
+Status LogHistogram::RestoreState(const State& state) {
+  if (!(state.options.min_value > 0) || !(state.options.max_value > state.options.min_value) ||
+      state.options.buckets_per_decade <= 0) {
+    return InvalidArgumentError("histogram state carries invalid options");
+  }
+  *this = LogHistogram(state.options);
+  RPCSCOPE_DCHECK(log_min_ == std::log10(options_.min_value));
+  RPCSCOPE_DCHECK(inv_log_step_ == static_cast<double>(options_.buckets_per_decade));
+  if (state.buckets.size() != buckets_.size()) {
+    return InvalidArgumentError("histogram state has " + std::to_string(state.buckets.size()) +
+                                " buckets, options imply " + std::to_string(buckets_.size()));
+  }
+  buckets_ = state.buckets;
+  count_ = state.count;
+  sum_ = state.sum;
+  min_ = state.min;
+  max_ = state.max;
+  return Status::Ok();
+}
+
 size_t LogHistogram::BucketIndex(double value) const {
   if (!(value >= options_.min_value)) {
     return 0;  // Underflow (also catches NaN defensively).

@@ -11,10 +11,15 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/status.h"
+
 namespace rpcscope {
 
+// RPCSCOPE_CHECKPOINTED(SaveState, RestoreState)
 class LogHistogram {
  public:
+  // Bucket layout. Configuration, not checkpointed state: RestoreState
+  // validates a saved layout against it instead of overwriting it.
   struct Options {
     double min_value = 1.0;       // Values below land in the underflow bucket.
     double max_value = 1e13;      // Values above land in the overflow bucket.
@@ -46,6 +51,24 @@ class LogHistogram {
   double CdfAt(double x) const;
 
   const Options& options() const { return options_; }
+
+  // Complete serializable histogram state for checkpoints (src/checkpoint/).
+  // The derived layout constants are not part of it: RestoreState recomputes
+  // them from the saved options, which keeps one derivation in one place.
+  struct State {
+    Options options;
+    std::vector<int64_t> buckets;
+    int64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+  };
+
+  State SaveState() const;
+  // Rebuilds the histogram from a saved state. Fails (leaving *this a fresh
+  // histogram with `state.options`) if the bucket vector does not match the
+  // layout those options imply — a corrupt or hand-edited checkpoint.
+  [[nodiscard]] Status RestoreState(const State& state);
 
   // Raw bucket counts, [underflow][core...][overflow]. Bucket counts are the
   // order-independent part of the state (unlike sum(), whose floating-point

@@ -19,9 +19,25 @@ uint64_t SplitMix64(uint64_t& state);
 uint64_t Mix64(uint64_t value);
 
 // xoshiro256** PRNG with distribution helpers.
+//
+// The full generator state is exposed as a plain-data State so checkpoints
+// (src/checkpoint/) can persist a stream mid-sequence and resume it with the
+// identical draw order; the cached Box-Muller pair is part of that state —
+// dropping it would shift every subsequent gaussian by one draw.
+// RPCSCOPE_CHECKPOINTED(SaveState, RestoreState)
 class Rng {
  public:
+  // Complete serializable generator state.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool has_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+
   explicit Rng(uint64_t seed);
+
+  State SaveState() const;
+  void RestoreState(const State& state);
 
   // Uniform on [0, 2^64).
   uint64_t NextUint64();

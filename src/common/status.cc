@@ -87,5 +87,8 @@ Status UnavailableError(std::string message) {
 Status UnimplementedError(std::string message) {
   return Status(StatusCode::kUnimplemented, std::move(message));
 }
+Status DataLossError(std::string message) {
+  return Status(StatusCode::kDataLoss, std::move(message));
+}
 
 }  // namespace rpcscope

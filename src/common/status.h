@@ -78,6 +78,7 @@ Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
 Status UnavailableError(std::string message);
 Status UnimplementedError(std::string message);
+Status DataLossError(std::string message);
 
 // Result<T>: either a value or a non-OK Status. [[nodiscard]] for the same
 // reason as Status: discarding one silently discards a possible error.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/checkpoint/checkpoint.h"
+#include "src/common/check.h"
 #include "src/rpc/server.h"
 
 namespace rpcscope {
@@ -26,6 +28,7 @@ FaultInjector::FaultInjector(RpcSystem* system, FaultPlan plan, const Options& o
                                    : Mix64(base_seed + static_cast<uint64_t>(s)));
   }
   const size_t n = static_cast<size_t>(num_shards);
+  gray_saved_factor_.assign(plan_.gray_slowdowns.size(), 0.0);
   crashes_applied_.assign(n, 0);
   restarts_applied_.assign(n, 0);
   partition_drops_.assign(n, 0);
@@ -66,7 +69,7 @@ uint64_t FaultInjector::Sum(const std::vector<uint64_t>& per_shard) {
   return total;
 }
 
-void FaultInjector::ScheduleCrash(const CrashFault& fault) {
+void FaultInjector::ScheduleCrashEvent(const CrashFault& fault) {
   // The crash manipulates the target Server, so it must execute in the shard
   // domain that owns the machine.
   const MachineId machine = fault.machine;
@@ -81,20 +84,24 @@ void FaultInjector::ScheduleCrash(const CrashFault& fault) {
     ++crashes_applied_[shard];
     crashes_counters_[shard]->Increment();
   });
-  if (fault.restart_at > fault.at) {
-    sim.ScheduleAt(std::max(fault.restart_at, sim.Now()), [this, machine, shard]() {
-      Server* server = system_->ServerAt(machine);
-      if (server == nullptr || server->up()) {
-        return;
-      }
-      server->Restart();
-      ++restarts_applied_[shard];
-      restarts_counters_[shard]->Increment();
-    });
-  }
 }
 
-void FaultInjector::ScheduleGray(size_t gray_index) {
+void FaultInjector::ScheduleRestartEvent(const CrashFault& fault) {
+  const MachineId machine = fault.machine;
+  const size_t shard = static_cast<size_t>(system_->ShardOf(machine));
+  Simulator& sim = system_->ShardFor(machine).sim();
+  sim.ScheduleAt(std::max(fault.restart_at, sim.Now()), [this, machine, shard]() {
+    Server* server = system_->ServerAt(machine);
+    if (server == nullptr || server->up()) {
+      return;
+    }
+    server->Restart();
+    ++restarts_applied_[shard];
+    restarts_counters_[shard]->Increment();
+  });
+}
+
+void FaultInjector::ScheduleGrayStart(size_t gray_index) {
   const GraySlowFault& fault = plan_.gray_slowdowns[gray_index];
   const MachineId machine = fault.machine;
   const size_t shard = static_cast<size_t>(system_->ShardOf(machine));
@@ -110,6 +117,12 @@ void FaultInjector::ScheduleGray(size_t gray_index) {
     ++gray_windows_applied_[shard];
     gray_windows_counters_[shard]->Increment();
   });
+}
+
+void FaultInjector::ScheduleGrayEnd(size_t gray_index) {
+  const GraySlowFault& fault = plan_.gray_slowdowns[gray_index];
+  const MachineId machine = fault.machine;
+  Simulator& sim = system_->ShardFor(machine).sim();
   sim.ScheduleAt(std::max(fault.end, sim.Now()), [this, gray_index, machine]() {
     Server* server = system_->ServerAt(machine);
     if (server == nullptr || gray_saved_factor_[gray_index] == 0) {
@@ -119,23 +132,15 @@ void FaultInjector::ScheduleGray(size_t gray_index) {
   });
 }
 
-Status FaultInjector::Arm() {
+Status FaultInjector::EnsureSetup() {
   if (armed_) {
-    return InvalidArgumentError("fault injector already armed");
+    return Status::Ok();
   }
   Status valid = plan_.Validate();
   if (!valid.ok()) {
     return valid;
   }
   armed_ = true;
-
-  for (const CrashFault& fault : plan_.crashes) {
-    ScheduleCrash(fault);
-  }
-  gray_saved_factor_.assign(plan_.gray_slowdowns.size(), 0.0);
-  for (size_t i = 0; i < plan_.gray_slowdowns.size(); ++i) {
-    ScheduleGray(i);
-  }
   armed_partitions_.reserve(plan_.partitions.size());
   for (const PartitionFault& fault : plan_.partitions) {
     ArmedPartition armed;
@@ -149,12 +154,49 @@ Status FaultInjector::Arm() {
   }
   // Partitions and packet loss act on frames, so the injector hooks every
   // shard's fabric (crash replies included: a reset racing a partition is
-  // lost). Frames are intercepted in the sender's domain.
+  // lost). Frames are intercepted in the sender's domain. Pure time-window
+  // checks, no scheduled events — safe to install whole even in epoch mode.
   if (!armed_partitions_.empty() || !plan_.losses.empty()) {
     for (int s = 0; s < system_->num_shards(); ++s) {
       system_->shard(s).fabric.set_interceptor(this);
     }
   }
+  return Status::Ok();
+}
+
+Status FaultInjector::Arm() {
+  if (armed_) {
+    return InvalidArgumentError("fault injector already armed");
+  }
+  return ArmThrough(kMaxSimTime);
+}
+
+Status FaultInjector::ArmThrough(SimTime end) {
+  if (Status s = EnsureSetup(); !s.ok()) {
+    return s;
+  }
+  if (end <= armed_through_) {
+    return Status::Ok();
+  }
+  const SimTime begin = armed_through_;
+  const auto in_window = [begin, end](SimTime t) { return t >= begin && t < end; };
+  for (const CrashFault& fault : plan_.crashes) {
+    if (in_window(fault.at)) {
+      ScheduleCrashEvent(fault);
+    }
+    if (fault.restart_at > fault.at && in_window(fault.restart_at)) {
+      ScheduleRestartEvent(fault);
+    }
+  }
+  for (size_t i = 0; i < plan_.gray_slowdowns.size(); ++i) {
+    if (in_window(plan_.gray_slowdowns[i].start)) {
+      ScheduleGrayStart(i);
+    }
+    if (in_window(plan_.gray_slowdowns[i].end)) {
+      ScheduleGrayEnd(i);
+    }
+  }
+  armed_through_ = end;
   return Status::Ok();
 }
 
@@ -193,6 +235,95 @@ bool FaultInjector::OnSend(MachineId src, MachineId dst, int64_t /*bytes*/) {
     }
   }
   return false;
+}
+
+Status FaultInjector::CheckpointTo(CheckpointWriter& w) const {
+  w.BeginSection("fault_injector");
+  w.WriteU64(options_.seed);
+  w.WriteU32(static_cast<uint32_t>(plan_.crashes.size()));
+  w.WriteU32(static_cast<uint32_t>(plan_.gray_slowdowns.size()));
+  w.WriteU32(static_cast<uint32_t>(plan_.partitions.size()));
+  w.WriteU32(static_cast<uint32_t>(plan_.losses.size()));
+  w.WriteBool(armed_);
+  w.WriteI64(armed_through_);
+  w.WriteU32(static_cast<uint32_t>(armed_partitions_.size()));
+  w.WriteU32(static_cast<uint32_t>(drop_rngs_.size()));
+  for (const Rng& rng : drop_rngs_) {
+    WriteRngState(w, rng);
+  }
+  for (double factor : gray_saved_factor_) {
+    w.WriteDouble(factor);
+  }
+  for (const std::vector<uint64_t>* tally :
+       {&crashes_applied_, &restarts_applied_, &partition_drops_, &loss_drops_,
+        &gray_windows_applied_}) {
+    for (uint64_t v : *tally) {
+      w.WriteU64(v);
+    }
+  }
+  w.EndSection();
+  return Status::Ok();
+}
+
+Status FaultInjector::RestoreFrom(CheckpointReader& r) {
+  if (Status s = r.EnterSection("fault_injector"); !s.ok()) {
+    return s;
+  }
+  const uint64_t seed = r.ReadU64();
+  const uint32_t num_crashes = r.ReadU32();
+  const uint32_t num_grays = r.ReadU32();
+  const uint32_t num_partitions = r.ReadU32();
+  const uint32_t num_losses = r.ReadU32();
+  const bool armed = r.ReadBool();
+  const SimTime armed_through = r.ReadI64();
+  const uint32_t num_armed_partitions = r.ReadU32();
+  const uint32_t num_shards = r.ReadU32();
+  std::vector<Rng> rngs;
+  rngs.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards && r.status().ok(); ++s) {
+    Rng rng(0);
+    ReadRngState(r, rng);
+    rngs.push_back(rng);
+  }
+  std::vector<double> saved_factors(num_grays, 0.0);
+  for (uint32_t i = 0; i < num_grays && r.status().ok(); ++i) {
+    saved_factors[i] = r.ReadDouble();
+  }
+  std::vector<std::vector<uint64_t>> tallies(5, std::vector<uint64_t>(num_shards, 0));
+  for (std::vector<uint64_t>& tally : tallies) {
+    for (uint32_t s = 0; s < num_shards && r.status().ok(); ++s) {
+      tally[s] = r.ReadU64();
+    }
+  }
+  if (Status s = r.LeaveSection(); !s.ok()) {
+    return s;
+  }
+  if (seed != options_.seed || num_crashes != plan_.crashes.size() ||
+      num_grays != plan_.gray_slowdowns.size() || num_partitions != plan_.partitions.size() ||
+      num_losses != plan_.losses.size() || num_shards != drop_rngs_.size()) {
+    return FailedPreconditionError("fault_injector: checkpoint is for a different fault plan");
+  }
+  if (armed) {
+    // Rebuild the structural arming state (armed_, partition tables, fabric
+    // hook) that the serialized run had; event timers are re-armed from the
+    // plan by the epoch driver via ArmThrough, never from checkpoint bytes.
+    if (Status s = EnsureSetup(); !s.ok()) {
+      return s;
+    }
+    RPCSCOPE_DCHECK(armed_);
+    if (num_armed_partitions != armed_partitions_.size()) {
+      return DataLossError("fault_injector: armed partition count mismatch");
+    }
+  }
+  armed_through_ = armed_through;
+  drop_rngs_ = std::move(rngs);
+  gray_saved_factor_ = std::move(saved_factors);
+  crashes_applied_ = std::move(tallies[0]);
+  restarts_applied_ = std::move(tallies[1]);
+  partition_drops_ = std::move(tallies[2]);
+  loss_drops_ = std::move(tallies[3]);
+  gray_windows_applied_ = std::move(tallies[4]);
+  return Status::Ok();
 }
 
 }  // namespace rpcscope

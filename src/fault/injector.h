@@ -29,6 +29,10 @@
 
 namespace rpcscope {
 
+class CheckpointWriter;
+class CheckpointReader;
+
+// RPCSCOPE_CHECKPOINTED(FaultInjector::CheckpointTo, FaultInjector::RestoreFrom)
 class FaultInjector : public FabricInterceptor {
  public:
   struct Options {
@@ -48,6 +52,17 @@ class FaultInjector : public FabricInterceptor {
   // fire immediately.
   [[nodiscard]] Status Arm();
 
+  // Epoch-gated arming for checkpointed runs (docs/ROBUSTNESS.md
+  // #checkpointrestore): schedules only the fault events whose virtual time
+  // falls in [armed-so-far, end) and remembers `end` as the new arming
+  // watermark, so the event queue never holds timers beyond the current
+  // epoch and drains to full quiescence at its boundary. First call performs
+  // the one-time setup Arm() does (plan validation, partition tables, fabric
+  // hook — partitions and losses are pure time-window checks on frames, so
+  // they are installed whole upfront). Arm() == ArmThrough(kMaxSimTime).
+  // Calls with `end` at or below the watermark are no-ops.
+  [[nodiscard]] Status ArmThrough(SimTime end);
+
   // FabricInterceptor: true = drop the frame (partition or packet loss).
   // Runs in the sending machine's shard domain.
   bool OnSend(MachineId src, MachineId dst, int64_t bytes) override;
@@ -62,6 +77,15 @@ class FaultInjector : public FabricInterceptor {
   uint64_t loss_drops() const { return Sum(loss_drops_); }
   uint64_t gray_windows_applied() const { return Sum(gray_windows_applied_); }
 
+  // Checkpoint support. Serializes the per-shard RNG streams, tallies, the
+  // gray-window saved factors, and the arming watermark; the plan itself is
+  // configuration (the resumed run constructs the injector from the same
+  // plan — validated by fault counts) and mirror counters are restored
+  // through each shard's MetricRegistry, never re-incremented here. Only
+  // valid between epochs: no armed event may be pending.
+  [[nodiscard]] Status CheckpointTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
+
  private:
   // A partition with its groups sorted for binary-search membership tests.
   struct ArmedPartition {
@@ -73,16 +97,24 @@ class FaultInjector : public FabricInterceptor {
 
   static uint64_t Sum(const std::vector<uint64_t>& per_shard);
 
-  void ScheduleCrash(const CrashFault& fault);
-  void ScheduleGray(size_t gray_index);
+  // One-time arming setup: plan validation, sorted partition tables, fabric
+  // hook. Idempotent; shared by Arm()/ArmThrough()/Restore().
+  [[nodiscard]] Status EnsureSetup();
+  void ScheduleCrashEvent(const CrashFault& fault);
+  void ScheduleRestartEvent(const CrashFault& fault);
+  void ScheduleGrayStart(size_t gray_index);
+  void ScheduleGrayEnd(size_t gray_index);
 
-  RpcSystem* system_;
+  RpcSystem* system_;  // NOLINT(detan-checkpoint-field) structural
   FaultPlan plan_;
   Options options_;
   // One loss-RNG stream per shard (drawn only in that shard's domain).
   // Shard 0 keeps the legacy seed so single-shard chaos replays unchanged.
   std::vector<Rng> drop_rngs_;
   bool armed_ = false;
+  // Fault events with virtual time below this are scheduled already (or have
+  // executed). Advanced by ArmThrough; kMaxSimTime after a legacy Arm().
+  SimTime armed_through_ = kMinSimTime;
   std::vector<ArmedPartition> armed_partitions_;
   // Original app_speed_factor per gray fault, captured at window start.
   // Distinct faults may live in distinct shards; each touches only its own
@@ -94,12 +126,13 @@ class FaultInjector : public FabricInterceptor {
   std::vector<uint64_t> partition_drops_;
   std::vector<uint64_t> loss_drops_;
   std::vector<uint64_t> gray_windows_applied_;
-  // Mirror counters, one per shard registry (stable addresses).
-  std::vector<Counter*> crashes_counters_;
-  std::vector<Counter*> restarts_counters_;
-  std::vector<Counter*> partition_drops_counters_;
-  std::vector<Counter*> loss_drops_counters_;
-  std::vector<Counter*> gray_windows_counters_;
+  // Mirror counters, one per shard registry (stable addresses). Restored
+  // through MetricRegistry::Restore, not here.
+  std::vector<Counter*> crashes_counters_;          // NOLINT(detan-checkpoint-field) structural
+  std::vector<Counter*> restarts_counters_;         // NOLINT(detan-checkpoint-field) structural
+  std::vector<Counter*> partition_drops_counters_;  // NOLINT(detan-checkpoint-field) structural
+  std::vector<Counter*> loss_drops_counters_;       // NOLINT(detan-checkpoint-field) structural
+  std::vector<Counter*> gray_windows_counters_;     // NOLINT(detan-checkpoint-field) structural
 };
 
 }  // namespace rpcscope

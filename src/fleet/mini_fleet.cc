@@ -2,7 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <utility>
 
+#include "src/checkpoint/checkpoint.h"
+#include "src/common/check.h"
+#include "src/common/logging.h"
+#include "src/fault/injector.h"
 #include "src/fleet/workload.h"
 
 namespace rpcscope {
@@ -11,36 +18,174 @@ namespace {
 
 constexpr MethodId kServe = 1;
 
+uint64_t DoubleBits(double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
 // One deployed service: a couple of replicas plus a co-located client for
 // issuing child RPCs from handlers. All replicas live in one cluster, so a
 // deployment belongs to exactly one shard domain and its client and RNG are
-// only ever touched from that domain.
-struct Deployment {
+// only ever touched from that domain. CheckpointTo/RestoreFrom cover the mutable
+// run state (handler RNG stream, server and client progress); the placement
+// (service id, machine list) is configuration, written only for validation.
+// RPCSCOPE_CHECKPOINTED(MiniFleetDeployment::CheckpointTo, MiniFleetDeployment::RestoreFrom)
+struct MiniFleetDeployment {
   int32_t service_id = -1;
   std::vector<MachineId> machines;
   std::vector<std::unique_ptr<Server>> servers;
   std::shared_ptr<Client> client;  // Bound to machines[0].
-  std::shared_ptr<Rng> rng;
+  Rng rng{0};
 
-  MachineId Pick(Rng& chooser) const {
-    return machines[chooser.NextBounded(machines.size())];
-  }
+  MachineId Pick(Rng& chooser) const { return machines[chooser.NextBounded(machines.size())]; }
+
+  [[nodiscard]] Status CheckpointTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
 };
 
-}  // namespace
+Status MiniFleetDeployment::CheckpointTo(CheckpointWriter& w) const {
+  w.BeginSection("deployment");
+  w.WriteU32(static_cast<uint32_t>(service_id));
+  w.WriteU32(static_cast<uint32_t>(machines.size()));
+  for (const MachineId m : machines) {
+    w.WriteI64(m);
+  }
+  WriteRngState(w, rng);
+  w.EndSection();
+  for (const auto& server : servers) {
+    if (Status s = server->CheckpointTo(w); !s.ok()) {
+      return s;
+    }
+  }
+  return client->CheckpointTo(w);
+}
 
-MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptions& options) {
+Status MiniFleetDeployment::RestoreFrom(CheckpointReader& r) {
+  if (Status s = r.EnterSection("deployment"); !s.ok()) {
+    return s;
+  }
+  const uint32_t saved_service = r.ReadU32();
+  const uint32_t saved_machine_count = r.ReadU32();
+  std::vector<MachineId> saved_machines;
+  // Bounded by the section payload: the sticky reader zero-fills past it.
+  for (uint32_t i = 0; i < saved_machine_count && r.status().ok(); ++i) {
+    saved_machines.push_back(r.ReadI64());
+  }
+  Rng saved_rng(0);
+  ReadRngState(r, saved_rng);
+  if (Status s = r.LeaveSection(); !s.ok()) {
+    return s;
+  }
+  if (saved_service != static_cast<uint32_t>(service_id) || saved_machines != machines) {
+    return FailedPreconditionError("deployment: checkpoint is for a different placement");
+  }
+  rng = saved_rng;
+  for (auto& server : servers) {
+    if (Status s = server->RestoreFrom(r); !s.ok()) {
+      return s;
+    }
+  }
+  return client->RestoreFrom(r);
+}
+
+// One frontend entry point: its client, replica-chooser stream, root-call
+// tally, and epoch-gated arrival process. The target/byte-size wiring is
+// configuration, written only for validation.
+// RPCSCOPE_CHECKPOINTED(MiniFleetFrontend::CheckpointTo, MiniFleetFrontend::RestoreFrom)
+struct MiniFleetFrontend {
+  uint32_t index = 0;
+  MiniFleetDeployment* target = nullptr;  // NOLINT(detan-checkpoint-field) structural
+  int64_t request_bytes = 0;
+  MachineId machine = -1;
+  std::unique_ptr<Client> client;
+  Rng chooser{0};
+  uint64_t root_count = 0;
+  std::unique_ptr<EpochArrivals> arrivals;
+
+  [[nodiscard]] Status CheckpointTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
+};
+
+Status MiniFleetFrontend::CheckpointTo(CheckpointWriter& w) const {
+  w.BeginSection("frontend");
+  w.WriteU32(index);
+  w.WriteI64(request_bytes);
+  w.WriteI64(machine);
+  WriteRngState(w, chooser);
+  w.WriteU64(root_count);
+  w.EndSection();
+  if (Status s = client->CheckpointTo(w); !s.ok()) {
+    return s;
+  }
+  arrivals->WriteTo(w);
+  return Status::Ok();
+}
+
+Status MiniFleetFrontend::RestoreFrom(CheckpointReader& r) {
+  if (Status s = r.EnterSection("frontend"); !s.ok()) {
+    return s;
+  }
+  const uint32_t saved_index = r.ReadU32();
+  const int64_t saved_bytes = r.ReadI64();
+  const MachineId saved_machine = r.ReadI64();
+  Rng saved_chooser(0);
+  ReadRngState(r, saved_chooser);
+  const uint64_t saved_root_count = r.ReadU64();
+  if (Status s = r.LeaveSection(); !s.ok()) {
+    return s;
+  }
+  if (saved_index != index || saved_bytes != request_bytes || saved_machine != machine) {
+    return FailedPreconditionError("frontend: checkpoint is for a different entry point");
+  }
+  chooser = saved_chooser;
+  root_count = saved_root_count;
+  if (Status s = client->RestoreFrom(r); !s.ok()) {
+    return s;
+  }
+  return arrivals->RestoreFrom(r);
+}
+
+namespace {
+
+RpcSystemOptions MakeSystemOptions(const MiniFleetOptions& options) {
   RpcSystemOptions sys_opts;
   sys_opts.seed = options.seed;
   sys_opts.sim_queue = options.sim_queue;
   sys_opts.num_shards = options.num_shards;
   sys_opts.fabric.congestion_probability = 0.01;
   sys_opts.observability = options.observability;
-  RpcSystem system(sys_opts);
-  if (system.hub() != nullptr && options.window_tap) {
-    system.hub()->SetWindowCloseTap(options.window_tap);
+  return sys_opts;
+}
+
+}  // namespace
+
+MiniFleet::MiniFleet(const ServiceCatalog& catalog, const MiniFleetOptions& options)
+    : options_(options), system_(MakeSystemOptions(options)) {
+  if (system_.hub() != nullptr && options_.window_tap) {
+    system_.hub()->SetWindowCloseTap(options_.window_tap);
   }
-  const Topology& topo = system.topology();
+  BuildGraph(catalog);
+  if (options_.fault_plan != nullptr) {
+    injector_ = std::make_unique<FaultInjector>(&system_, *options_.fault_plan);
+  }
+}
+
+MiniFleet::~MiniFleet() = default;
+
+void MiniFleet::ChildCall(MiniFleetDeployment& caller, MiniFleetDeployment& target,
+                          const std::shared_ptr<ServerCall>& parent, int64_t request_bytes,
+                          CallCallback done) {
+  CallOptions opts = parent->ChildOptions();
+  opts.service_id = target.service_id;
+  const MachineId machine = target.Pick(caller.rng);
+  caller.client->Call(machine, kServe, Payload::Modeled(request_bytes), opts, std::move(done));
+}
+
+void MiniFleet::BuildGraph(const ServiceCatalog& catalog) {
+  const Topology& topo = system_.topology();
   const StudiedServices& ids = catalog.studied();
 
   // Placement. Single-domain runs keep the legacy layout (everything packed
@@ -49,74 +194,62 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   // round-robin across the contiguous shard blocks (RpcSystem::ShardOfCluster)
   // so every shard hosts part of the graph and the Table-1 dependency edges
   // exercise the cross-shard fabric path.
-  const bool spread = system.num_shards() > 1;
-  Rng placement(options.seed ^ 0x111);
+  const bool spread = system_.num_shards() > 1;
+  Rng placement(options_.seed ^ 0x111);
   int next_machine = 0;
   int next_group = 0;
   auto first_cluster_of_shard = [&](int s) {
     // Smallest c with ShardOfCluster(c) == s under the block partition
     // floor(c * N / C): c = ceil(s * C / N).
     return static_cast<ClusterId>(
-        (static_cast<int64_t>(s) * topo.num_clusters() + system.num_shards() - 1) /
-        system.num_shards());
+        (static_cast<int64_t>(s) * topo.num_clusters() + system_.num_shards() - 1) /
+        system_.num_shards());
   };
   auto spread_cluster = [&]() {
     const int g = next_group++;
-    const int s = g % system.num_shards();
+    const int s = g % system_.num_shards();
     const ClusterId first = first_cluster_of_shard(s);
     const ClusterId limit = first_cluster_of_shard(s + 1);
     const int block = static_cast<int>(limit - first);
-    return first + static_cast<ClusterId>((g / system.num_shards()) % block);
+    return first + static_cast<ClusterId>((g / system_.num_shards()) % block);
   };
   auto deploy = [&](int32_t service_id, int replicas, int app_workers) {
-    auto d = std::make_unique<Deployment>();
+    auto d = std::make_unique<MiniFleetDeployment>();
     d->service_id = service_id;
-    d->rng = std::make_shared<Rng>(placement.Fork(static_cast<uint64_t>(service_id)));
+    d->rng = placement.Fork(static_cast<uint64_t>(service_id));
     ServerOptions server_opts;
     server_opts.app_workers = app_workers;
     const ClusterId cluster = spread ? spread_cluster() : 0;
     for (int r = 0; r < replicas; ++r) {
       const MachineId m = spread ? topo.MachineAt(cluster, r) : topo.MachineAt(0, next_machine++);
       d->machines.push_back(m);
-      d->servers.push_back(std::make_unique<Server>(&system, m, server_opts));
+      d->servers.push_back(std::make_unique<Server>(&system_, m, server_opts));
     }
-    d->client = std::make_shared<Client>(&system, d->machines[0]);
-    return d;
+    d->client = std::make_shared<Client>(&system_, d->machines[0]);
+    deployments_.push_back(std::move(d));
+    return deployments_.back().get();
   };
 
-  // --- Deploy the Table-1 services bottom-up.
-  auto network_disk = deploy(ids.network_disk, 3, 8);
-  auto bigtable = deploy(ids.bigtable, 2, 8);
-  auto kv_store = deploy(ids.kv_store, 2, 8);
-  auto ssd_cache = deploy(ids.ssd_cache, 2, 4);
-  auto bigquery = deploy(ids.bigquery, 2, 8);
-  auto video_metadata = deploy(ids.video_metadata, 2, 4);
-  auto spanner = deploy(ids.spanner, 2, 8);
-  auto f1 = deploy(ids.f1, 2, 8);
-  auto ml = deploy(ids.ml_inference, 2, 8);
+  // --- Deploy the Table-1 services bottom-up. The order fixes both the RNG
+  // placement draws (legacy parity) and the per-shard checkpoint layout.
+  MiniFleetDeployment* network_disk = deploy(ids.network_disk, 3, 8);
+  MiniFleetDeployment* bigtable = deploy(ids.bigtable, 2, 8);
+  MiniFleetDeployment* kv_store = deploy(ids.kv_store, 2, 8);
+  MiniFleetDeployment* ssd_cache = deploy(ids.ssd_cache, 2, 4);
+  MiniFleetDeployment* bigquery = deploy(ids.bigquery, 2, 8);
+  MiniFleetDeployment* video_metadata = deploy(ids.video_metadata, 2, 4);
+  MiniFleetDeployment* spanner = deploy(ids.spanner, 2, 8);
+  MiniFleetDeployment* f1 = deploy(ids.f1, 2, 8);
+  MiniFleetDeployment* ml = deploy(ids.ml_inference, 2, 8);
 
-  // Helper: issue a child call linked to the parent span, inheriting the
-  // parent's remaining deadline (ChildOptions fills trace linkage and
-  // parent_deadline_time). The call is owned by the *calling* deployment —
-  // its client issues it and its RNG picks the replica — because the handler
-  // executes in the caller's shard domain and must not touch target-shard
-  // state directly; the fabric is the only cross-shard edge.
-  auto child_call = [](Deployment& caller, Deployment& target,
-                       std::shared_ptr<ServerCall> parent, int64_t request_bytes,
-                       CallCallback done) {
-    CallOptions opts = parent->ChildOptions();
-    opts.service_id = target.service_id;
-    const MachineId machine = target.Pick(*caller.rng);
-    caller.client->Call(machine, kServe, Payload::Modeled(request_bytes), opts,
-                        std::move(done));
-  };
-
-  // --- Handlers wire the Table-1 dependency edges.
+  // --- Handlers wire the Table-1 dependency edges. They capture only stable
+  // MiniFleetDeployment pointers (owned by deployments_) and call the static
+  // ChildCall — no reference to any stack-local survives construction.
   // Network Disk: leaf SSD read, 32 KB responses.
   for (auto& server : network_disk->servers) {
     server->RegisterMethod(kServe, "NetworkDisk/Read",
-                           [d = network_disk.get()](std::shared_ptr<ServerCall> call) {
-                             const double us = d->rng->NextLognormal(std::log(900.0), 0.6);
+                           [d = network_disk](std::shared_ptr<ServerCall> call) {
+                             const double us = d->rng.NextLognormal(std::log(900.0), 0.6);
                              call->Compute(DurationFromMicros(us), [call]() {
                                call->Finish(Status::Ok(), Payload::Modeled(32 * 1024, 1.0));
                              });
@@ -126,12 +259,11 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   for (auto& server : bigtable->servers) {
     server->RegisterMethod(
         kServe, "Bigtable/Search",
-        [d = bigtable.get(), nd = network_disk.get(),
-         &child_call](std::shared_ptr<ServerCall> call) {
-          const double us = d->rng->NextLognormal(std::log(350.0), 0.6);
-          call->Compute(DurationFromMicros(us), [d, nd, &child_call, call]() {
-            if (d->rng->NextBool(0.45)) {
-              child_call(*d, *nd, call, 512, [call](const CallResult&, Payload) {
+        [d = bigtable, nd = network_disk](std::shared_ptr<ServerCall> call) {
+          const double us = d->rng.NextLognormal(std::log(350.0), 0.6);
+          call->Compute(DurationFromMicros(us), [d, nd, call]() {
+            if (d->rng.NextBool(0.45)) {
+              ChildCall(*d, *nd, call, 512, [call](const CallResult&, Payload) {
                 call->Finish(Status::Ok(), Payload::Modeled(2048));
               });
             } else {
@@ -144,12 +276,11 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   for (auto& server : kv_store->servers) {
     server->RegisterMethod(
         kServe, "KVStore/Search",
-        [d = kv_store.get(), bt = bigtable.get(),
-         &child_call](std::shared_ptr<ServerCall> call) {
-          const double us = d->rng->NextLognormal(std::log(25.0), 0.4);
-          call->Compute(DurationFromMicros(us), [d, bt, &child_call, call]() {
-            if (d->rng->NextBool(0.20)) {
-              child_call(*d, *bt, call, 1024, [call](const CallResult&, Payload) {
+        [d = kv_store, bt = bigtable](std::shared_ptr<ServerCall> call) {
+          const double us = d->rng.NextLognormal(std::log(25.0), 0.4);
+          call->Compute(DurationFromMicros(us), [d, bt, call]() {
+            if (d->rng.NextBool(0.20)) {
+              ChildCall(*d, *bt, call, 1024, [call](const CallResult&, Payload) {
                 call->Finish(Status::Ok(), Payload::Modeled(512));
               });
             } else {
@@ -161,8 +292,8 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   // SSD cache: leaf streaming-data lookup.
   for (auto& server : ssd_cache->servers) {
     server->RegisterMethod(kServe, "SSDCache/Lookup",
-                           [d = ssd_cache.get()](std::shared_ptr<ServerCall> call) {
-                             const double us = d->rng->NextLognormal(std::log(260.0), 0.55);
+                           [d = ssd_cache](std::shared_ptr<ServerCall> call) {
+                             const double us = d->rng.NextLognormal(std::log(260.0), 0.55);
                              call->Compute(DurationFromMicros(us), [call]() {
                                call->Finish(Status::Ok(), Payload::Modeled(1024));
                              });
@@ -172,13 +303,12 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   for (auto& server : bigquery->servers) {
     server->RegisterMethod(
         kServe, "BigQuery/Query",
-        [d = bigquery.get(), sc = ssd_cache.get(),
-         &child_call](std::shared_ptr<ServerCall> call) {
+        [d = bigquery, sc = ssd_cache](std::shared_ptr<ServerCall> call) {
           auto pending = std::make_shared<int>(4);
           for (int i = 0; i < 4; ++i) {
-            child_call(*d, *sc, call, 400, [d, call, pending](const CallResult&, Payload) {
+            ChildCall(*d, *sc, call, 400, [d, call, pending](const CallResult&, Payload) {
               if (--*pending == 0) {
-                const double us = d->rng->NextLognormal(std::log(2000.0), 1.0);
+                const double us = d->rng.NextLognormal(std::log(2000.0), 1.0);
                 call->Compute(DurationFromMicros(us), [call]() {
                   call->Finish(Status::Ok(), Payload::Modeled(64 * 1024));
                 });
@@ -190,8 +320,8 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   // Video Metadata: leaf.
   for (auto& server : video_metadata->servers) {
     server->RegisterMethod(kServe, "VideoMetadata/Get",
-                           [d = video_metadata.get()](std::shared_ptr<ServerCall> call) {
-                             const double us = d->rng->NextLognormal(std::log(120.0), 0.6);
+                           [d = video_metadata](std::shared_ptr<ServerCall> call) {
+                             const double us = d->rng.NextLognormal(std::log(120.0), 0.6);
                              call->Compute(DurationFromMicros(us), [call]() {
                                call->Finish(Status::Ok(), Payload::Modeled(4096));
                              });
@@ -201,12 +331,11 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   for (auto& server : spanner->servers) {
     server->RegisterMethod(
         kServe, "Spanner/Read",
-        [d = spanner.get(), nd = network_disk.get(),
-         &child_call](std::shared_ptr<ServerCall> call) {
-          const double us = d->rng->NextLognormal(std::log(380.0), 0.8);
-          call->Compute(DurationFromMicros(us), [d, nd, &child_call, call]() {
-            if (d->rng->NextBool(0.3)) {
-              child_call(*d, *nd, call, 800, [call](const CallResult&, Payload) {
+        [d = spanner, nd = network_disk](std::shared_ptr<ServerCall> call) {
+          const double us = d->rng.NextLognormal(std::log(380.0), 0.8);
+          call->Compute(DurationFromMicros(us), [d, nd, call]() {
+            if (d->rng.NextBool(0.3)) {
+              ChildCall(*d, *nd, call, 800, [call](const CallResult&, Payload) {
                 call->Finish(Status::Ok(), Payload::Modeled(4096));
               });
             } else {
@@ -219,11 +348,11 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   for (auto& server : f1->servers) {
     server->RegisterMethod(
         kServe, "F1/Process",
-        [d = f1.get(), sp = spanner.get(), &child_call](std::shared_ptr<ServerCall> call) {
-          const double us = d->rng->NextLognormal(std::log(700.0), 1.2);
-          call->Compute(DurationFromMicros(us), [d, sp, &child_call, call]() {
-            if (d->rng->NextBool(0.5)) {
-              child_call(*d, *sp, call, 800, [call](const CallResult&, Payload) {
+        [d = f1, sp = spanner](std::shared_ptr<ServerCall> call) {
+          const double us = d->rng.NextLognormal(std::log(700.0), 1.2);
+          call->Compute(DurationFromMicros(us), [d, sp, call]() {
+            if (d->rng.NextBool(0.5)) {
+              ChildCall(*d, *sp, call, 800, [call](const CallResult&, Payload) {
                 call->Finish(Status::Ok(), Payload::Modeled(8192));
               });
             } else {
@@ -235,98 +364,114 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
   // ML Inference: compute-bound leaf.
   for (auto& server : ml->servers) {
     server->RegisterMethod(kServe, "ML/Infer",
-                           [d = ml.get()](std::shared_ptr<ServerCall> call) {
-                             const double us = d->rng->NextLognormal(std::log(1800.0), 0.8);
+                           [d = ml](std::shared_ptr<ServerCall> call) {
+                             const double us = d->rng.NextLognormal(std::log(1800.0), 0.8);
                              call->Compute(DurationFromMicros(us), [call]() {
                                call->Finish(Status::Ok(), Payload::Modeled(2048));
                              });
                            });
   }
 
-  // --- Frontends: each entry point drives its Table-1 server.
-  struct Frontend {
-    Deployment* target;
+  // --- Frontends: each entry point drives its Table-1 server. Arrival chains
+  // stay unscheduled until the first ArmEpoch; EpochArrivals draws the exact
+  // stream PoissonArrivals used to, so legacy fingerprints hold.
+  struct FrontendSpec {
+    MiniFleetDeployment* target;
     int64_t request_bytes;
   };
-  std::vector<Frontend> frontends = {
-      {kv_store.get(), 128},        // Recommendation service -> KV-Store.
-      {bigquery.get(), 2048},       // Analyst queries -> BigQuery.
-      {video_metadata.get(), 32 * 1024},  // Video Search -> Video Metadata.
-      {f1.get(), 75},               // F1 -> F1.
-      {ml.get(), 512},              // ML Client -> ML Inference.
-      {spanner.get(), 800},         // Network information service -> Spanner.
+  const std::vector<FrontendSpec> specs = {
+      {kv_store, 128},              // Recommendation service -> KV-Store.
+      {bigquery, 2048},             // Analyst queries -> BigQuery.
+      {video_metadata, 32 * 1024},  // Video Search -> Video Metadata.
+      {f1, 75},                     // F1 -> F1.
+      {ml, 512},                    // ML Client -> ML Inference.
+      {spanner, 800},               // Network information service -> Spanner.
   };
-  std::vector<std::unique_ptr<Client>> frontend_clients;
-  std::vector<std::unique_ptr<PoissonArrivals>> arrivals;
-  frontend_clients.reserve(frontends.size());
-  arrivals.reserve(frontends.size());
-  Rng workload(options.seed ^ 0x222);
-  // One counter slot per frontend: each arrival callback runs in its own
-  // frontend's shard domain, so a shared counter would be a cross-domain
-  // write under sharding. Summed after the run.
-  std::vector<uint64_t> root_counts(frontends.size(), 0);
-  for (size_t i = 0; i < frontends.size(); ++i) {
+  Rng workload(options_.seed ^ 0x222);
+  frontends_.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
     // Sharded runs also spread the frontends, one cluster each, continuing
     // the round-robin over shard blocks; the arrival process is scheduled on
-    // the frontend's own shard simulator.
-    const MachineId fe_machine = spread ? topo.MachineAt(spread_cluster(), 0)
-                                        : topo.MachineAt(1, static_cast<int>(i));
-    frontend_clients.push_back(std::make_unique<Client>(&system, fe_machine));
-    Client* client = frontend_clients.back().get();
-    Frontend& fe = frontends[i];
-    auto chooser = std::make_shared<Rng>(workload.Fork(i));
-    uint64_t* root_count = &root_counts[i];
-    arrivals.push_back(std::make_unique<PoissonArrivals>(
-        &system.ShardFor(fe_machine).sim(), options.frontend_rps, options.duration,
-        workload.NextUint64(), [client, &fe, chooser, root_count]() {
-          ++*root_count;
+    // the frontend's own shard simulator. Each arrival callback runs in its
+    // own frontend's shard domain, so the per-frontend root_count tally is
+    // never a cross-domain write; Collect sums them.
+    auto fe = std::make_unique<MiniFleetFrontend>();
+    fe->index = static_cast<uint32_t>(i);
+    fe->target = specs[i].target;
+    fe->request_bytes = specs[i].request_bytes;
+    fe->machine = spread ? topo.MachineAt(spread_cluster(), 0)
+                         : topo.MachineAt(1, static_cast<int>(i));
+    fe->client = std::make_unique<Client>(&system_, fe->machine);
+    fe->chooser = workload.Fork(i);
+    MiniFleetFrontend* slot = fe.get();
+    fe->arrivals = std::make_unique<EpochArrivals>(
+        &system_.ShardFor(fe->machine).sim(), options_.frontend_rps, options_.duration,
+        workload.NextUint64(), [slot]() {
+          ++slot->root_count;
           CallOptions opts;
-          opts.service_id = fe.target->service_id;
-          client->Call(fe.target->Pick(*chooser), kServe,
-                       Payload::Modeled(fe.request_bytes), opts,
-                       [](const CallResult&, Payload) {});
-        }));
+          opts.service_id = slot->target->service_id;
+          slot->client->Call(slot->target->Pick(slot->chooser), kServe,
+                             Payload::Modeled(slot->request_bytes), opts,
+                             [](const CallResult&, Payload) {});
+        });
+    frontends_.push_back(std::move(fe));
   }
+}
 
-  // RunSharded drives all configurations: with num_shards == 1 it is exactly
-  // the legacy sim().Run() (same event stream bit-for-bit), and in every case
-  // it performs the final observability flush.
-  system.RunSharded(options.worker_threads);
+Status MiniFleet::ArmThrough(SimTime epoch_end) {
+  // Frontends first, injector second — a fixed order, so the per-shard event
+  // seq numbering is identical whether this epoch is reached by running
+  // through or by restoring a checkpoint.
+  for (auto& fe : frontends_) {
+    fe->arrivals->ArmEpoch(epoch_end);
+  }
+  if (injector_ != nullptr) {
+    return injector_->ArmThrough(epoch_end);
+  }
+  return Status::Ok();
+}
 
+uint64_t MiniFleet::RunSegment(SimTime flush_watermark) {
+  return system_.RunShardedSegment(options_.worker_threads, flush_watermark);
+}
+
+Status MiniFleet::ResyncAt(SimTime barrier) { return system_.ResyncShards(barrier); }
+
+MiniFleetResult MiniFleet::Collect() {
   MiniFleetResult result;
-  for (uint64_t count : root_counts) {
-    result.root_calls += count;
+  for (const auto& fe : frontends_) {
+    result.root_calls += fe->root_count;
   }
-  if (system.num_shards() > 1) {
-    result.events_executed = system.TotalEventsExecuted();
-    result.event_digest = system.ShardedEventDigest();
-    result.rounds = system.last_rounds();
-    result.cross_domain_events = system.last_cross_domain_events();
-    const std::vector<Span> merged = system.MergedSpans();
+  if (system_.num_shards() > 1) {
+    result.events_executed = system_.TotalEventsExecuted();
+    result.event_digest = system_.ShardedEventDigest();
+    result.rounds = system_.last_rounds();
+    result.cross_domain_events = system_.last_cross_domain_events();
+    const std::vector<Span> merged = system_.MergedSpans();
     result.spans.reserve(merged.size());
     for (const Span& span : merged) {
-      if (span.start_time >= options.warmup) {
+      if (span.start_time >= options_.warmup) {
         result.spans.push_back(span);
         ++result.spans_per_service[span.service_id];
       }
     }
   } else {
-    result.events_executed = system.sim().events_executed();
-    result.event_digest = system.sim().event_digest();
+    result.events_executed = system_.sim().events_executed();
+    result.event_digest = system_.sim().event_digest();
     // The executor's single-domain fast path reports one round, so per-round
     // derived stats stay meaningful across shard counts.
-    result.rounds = system.last_rounds();
-    result.cross_domain_events = system.last_cross_domain_events();
-    result.spans.reserve(system.tracer().spans().size());
-    for (const Span& span : system.tracer().spans()) {
-      if (span.start_time >= options.warmup) {
+    result.rounds = system_.last_rounds();
+    result.cross_domain_events = system_.last_cross_domain_events();
+    result.spans.reserve(system_.tracer().spans().size());
+    for (const Span& span : system_.tracer().spans()) {
+      if (span.start_time >= options_.warmup) {
         result.spans.push_back(span);
         ++result.spans_per_service[span.service_id];
       }
     }
   }
 
-  if (const ObservabilityHub* hub = system.hub(); hub != nullptr) {
+  if (const ObservabilityHub* hub = system_.hub(); hub != nullptr) {
     result.streamed_aggregate_digest = hub->AggregateDigest();
     result.exemplar_digest = hub->ExemplarDigest();
     result.spans_streamed = hub->spans_ingested();
@@ -334,16 +479,295 @@ MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptio
     result.reservoir_drops = hub->reservoir_drops();
     result.windows_closed = hub->windows_closed();
     result.late_window_updates = hub->late_window_updates();
-    for (int s = 0; s < system.num_shards(); ++s) {
-      result.peak_buffered_spans =
-          std::max(result.peak_buffered_spans, system.shard(s).stream_sink->peak_buffered_spans());
+    for (int s = 0; s < system_.num_shards(); ++s) {
+      result.peak_buffered_spans = std::max(result.peak_buffered_spans,
+                                            system_.shard(s).stream_sink->peak_buffered_spans());
     }
     // The reference aggregation: replay the canonical post-run merge through
     // a fresh hub. Equal aggregate digests prove the barrier-streamed
     // pipeline lost nothing and double-counted nothing.
     result.replayed_aggregate_digest =
-        ReplayIntoHub(system.MergedSpans(), options.observability).AggregateDigest();
+        ReplayIntoHub(system_.MergedSpans(), options_.observability).AggregateDigest();
   }
+  return result;
+}
+
+uint64_t MiniFleet::ConfigHash(SimDuration checkpoint_every) const {
+  uint64_t h = 14695981039346656037ull;
+  auto fold = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+    h = Mix64(h);
+  };
+  fold(options_.seed);
+  fold(static_cast<uint64_t>(options_.duration));
+  fold(static_cast<uint64_t>(options_.warmup));
+  fold(DoubleBits(options_.frontend_rps));
+  fold(static_cast<uint64_t>(options_.sim_queue));
+  fold(static_cast<uint64_t>(options_.num_shards));
+  const ObservabilityOptions& obs = options_.observability;
+  fold(obs.streaming ? 1 : 0);
+  fold(static_cast<uint64_t>(obs.window));
+  fold(static_cast<uint64_t>(obs.max_windows));
+  fold(static_cast<uint64_t>(obs.max_buffered_spans));
+  fold(static_cast<uint64_t>(obs.reservoir_per_method));
+  fold(obs.reservoir_seed);
+  fold(DoubleBits(obs.latency_histogram.min_value));
+  fold(DoubleBits(obs.latency_histogram.max_value));
+  fold(static_cast<uint64_t>(obs.latency_histogram.buckets_per_decade));
+  fold(static_cast<uint64_t>(checkpoint_every));
+  // Full fault-plan content: a resumed run must execute the same chaos.
+  if (options_.fault_plan == nullptr) {
+    fold(0);
+  } else {
+    const FaultPlan& plan = *options_.fault_plan;
+    fold(1);
+    fold(plan.crashes.size());
+    for (const CrashFault& f : plan.crashes) {
+      fold(static_cast<uint64_t>(f.machine));
+      fold(static_cast<uint64_t>(f.at));
+      fold(static_cast<uint64_t>(f.restart_at));
+    }
+    fold(plan.gray_slowdowns.size());
+    for (const GraySlowFault& f : plan.gray_slowdowns) {
+      fold(static_cast<uint64_t>(f.machine));
+      fold(static_cast<uint64_t>(f.start));
+      fold(static_cast<uint64_t>(f.end));
+      fold(DoubleBits(f.factor));
+    }
+    fold(plan.partitions.size());
+    for (const PartitionFault& f : plan.partitions) {
+      fold(f.group_a.size());
+      for (const MachineId m : f.group_a) {
+        fold(static_cast<uint64_t>(m));
+      }
+      fold(f.group_b.size());
+      for (const MachineId m : f.group_b) {
+        fold(static_cast<uint64_t>(m));
+      }
+      fold(static_cast<uint64_t>(f.start));
+      fold(static_cast<uint64_t>(f.end));
+    }
+    fold(plan.losses.size());
+    for (const PacketLossFault& f : plan.losses) {
+      fold(static_cast<uint64_t>(f.src));
+      fold(static_cast<uint64_t>(f.dst));
+      fold(f.bidirectional ? 1 : 0);
+      fold(static_cast<uint64_t>(f.start));
+      fold(static_cast<uint64_t>(f.end));
+      fold(DoubleBits(f.loss_probability));
+    }
+  }
+  return h;
+}
+
+namespace {
+
+std::string ShardFileName(int s) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04d.ckpt", s);
+  return name;
+}
+
+constexpr char kGlobalFileName[] = "global.ckpt";
+
+}  // namespace
+
+Status MiniFleet::WriteCheckpoint(const std::string& root, uint64_t epoch, uint64_t config_hash,
+                                  int64_t sim_horizon, int keep) {
+  CheckpointSet set(root, epoch);
+  for (int s = 0; s < system_.num_shards(); ++s) {
+    CheckpointWriter w;
+    if (Status st = system_.SerializeShard(s, w); !st.ok()) {
+      return st;
+    }
+    // Fleet-layer components pinned to this shard, in fixed build order.
+    for (const auto& d : deployments_) {
+      if (system_.ShardOf(d->machines[0]) == s) {
+        if (Status st = d->CheckpointTo(w); !st.ok()) {
+          return st;
+        }
+      }
+    }
+    for (const auto& fe : frontends_) {
+      if (system_.ShardOf(fe->machine) == s) {
+        if (Status st = fe->CheckpointTo(w); !st.ok()) {
+          return st;
+        }
+      }
+    }
+    if (Status st = set.AddFile(ShardFileName(s), w); !st.ok()) {
+      return st;
+    }
+  }
+  CheckpointWriter g;
+  if (Status st = system_.SerializeGlobal(g); !st.ok()) {
+    return st;
+  }
+  g.BeginSection("fleet");
+  g.WriteU32(static_cast<uint32_t>(deployments_.size()));
+  g.WriteU32(static_cast<uint32_t>(frontends_.size()));
+  g.WriteBool(injector_ != nullptr);
+  g.EndSection();
+  if (injector_ != nullptr) {
+    if (Status st = injector_->CheckpointTo(g); !st.ok()) {
+      return st;
+    }
+  }
+  if (Status st = set.AddFile(kGlobalFileName, g); !st.ok()) {
+    return st;
+  }
+  if (Status st = set.Commit(config_hash, sim_horizon,
+                             static_cast<uint32_t>(system_.num_shards()));
+      !st.ok()) {
+    return st;
+  }
+  return ApplyRetention(root, keep);
+}
+
+Result<uint64_t> MiniFleet::RestoreCheckpoint(const std::string& ckpt_dir, uint64_t config_hash) {
+  Result<CheckpointManifest> manifest = ValidateCheckpoint(ckpt_dir, config_hash);
+  if (!manifest.ok()) {
+    return manifest.status();
+  }
+  if (manifest->num_shards != static_cast<uint32_t>(system_.num_shards())) {
+    return FailedPreconditionError("checkpoint shard count does not match this fleet");
+  }
+  for (int s = 0; s < system_.num_shards(); ++s) {
+    Result<CheckpointReader> reader = CheckpointReader::FromFile(ckpt_dir + "/" + ShardFileName(s));
+    if (!reader.ok()) {
+      return reader.status();
+    }
+    if (Status st = system_.RestoreShard(s, *reader); !st.ok()) {
+      return st;
+    }
+    for (auto& d : deployments_) {
+      if (system_.ShardOf(d->machines[0]) == s) {
+        if (Status st = d->RestoreFrom(*reader); !st.ok()) {
+          return st;
+        }
+      }
+    }
+    for (auto& fe : frontends_) {
+      if (system_.ShardOf(fe->machine) == s) {
+        if (Status st = fe->RestoreFrom(*reader); !st.ok()) {
+          return st;
+        }
+      }
+    }
+    if (Status st = reader->Complete(); !st.ok()) {
+      return st;
+    }
+  }
+  Result<CheckpointReader> global = CheckpointReader::FromFile(ckpt_dir + "/" + kGlobalFileName);
+  if (!global.ok()) {
+    return global.status();
+  }
+  if (Status st = system_.RestoreGlobal(*global); !st.ok()) {
+    return st;
+  }
+  if (Status st = global->EnterSection("fleet"); !st.ok()) {
+    return st;
+  }
+  const uint32_t saved_deployments = global->ReadU32();
+  const uint32_t saved_frontends = global->ReadU32();
+  const bool saved_injector = global->ReadBool();
+  if (Status st = global->LeaveSection(); !st.ok()) {
+    return st;
+  }
+  if (saved_deployments != deployments_.size() || saved_frontends != frontends_.size() ||
+      saved_injector != (injector_ != nullptr)) {
+    return FailedPreconditionError("checkpoint fleet shape does not match this fleet");
+  }
+  if (injector_ != nullptr) {
+    if (Status st = injector_->RestoreFrom(*global); !st.ok()) {
+      return st;
+    }
+  }
+  if (Status st = global->Complete(); !st.ok()) {
+    return st;
+  }
+  return manifest->epoch;
+}
+
+MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptions& options) {
+  MiniFleet fleet(catalog, options);
+  const Status armed = fleet.ArmThrough(kMaxSimTime);
+  RPCSCOPE_CHECK(armed.ok()) << "fault plan failed to arm: " << armed.message();
+  fleet.RunSegment(kMaxSimTime);
+  return fleet.Collect();
+}
+
+Result<MiniFleetResult> RunMiniFleetCheckpointed(const ServiceCatalog& catalog,
+                                                 const MiniFleetOptions& options,
+                                                 const CheckpointRunOptions& ckpt) {
+  MiniFleet fleet(catalog, options);
+  uint64_t num_epochs = 1;
+  if (ckpt.every > 0) {
+    num_epochs = static_cast<uint64_t>((options.duration + ckpt.every - 1) / ckpt.every);
+    num_epochs = std::max<uint64_t>(num_epochs, 1);
+  }
+  const uint64_t config_hash = fleet.ConfigHash(ckpt.every);
+
+  uint64_t start_epoch = 0;
+  bool resumed = false;
+  if (ckpt.resume && !ckpt.dir.empty()) {
+    Result<std::string> newest = NewestValidCheckpoint(ckpt.dir, config_hash);
+    if (newest.ok()) {
+      Result<uint64_t> epoch = fleet.RestoreCheckpoint(*newest, config_hash);
+      if (!epoch.ok()) {
+        return epoch.status();
+      }
+      start_epoch = *epoch;
+      resumed = true;
+      RPCSCOPE_LOG(kInfo) << "resumed from " << *newest << " (epoch " << start_epoch << ")";
+    } else if (newest.status().code() == StatusCode::kNotFound) {
+      RPCSCOPE_LOG(kWarning) << "resume requested but no valid checkpoint under '" << ckpt.dir
+                             << "'; starting fresh";
+    } else {
+      return newest.status();
+    }
+  }
+
+  uint64_t checkpoints_written = 0;
+  int epochs_run = 0;
+  bool interrupted = false;
+  for (uint64_t k = start_epoch; k < num_epochs; ++k) {
+    const bool final_epoch = k + 1 == num_epochs;
+    const SimTime end = final_epoch ? kMaxSimTime : static_cast<SimTime>(k + 1) * ckpt.every;
+    if (Status s = fleet.ArmThrough(end); !s.ok()) {
+      return s;
+    }
+    fleet.RunSegment(end);
+    ++epochs_run;
+    // Pull every shard clock back to the boundary before snapshotting (and
+    // even when not snapshotting): the serialized clocks must match what a
+    // resumed run reconstructs, and the next segment's arrivals start at the
+    // boundary regardless of how far this segment's cascades ran past it.
+    if (!final_epoch) {
+      if (Status s = fleet.ResyncAt(end); !s.ok()) {
+        return s;
+      }
+    }
+    if (!final_epoch && !ckpt.dir.empty()) {
+      if (Status s =
+              fleet.WriteCheckpoint(ckpt.dir, k + 1, config_hash, options.duration, ckpt.keep);
+          !s.ok()) {
+        return s;
+      }
+      ++checkpoints_written;
+    }
+    if (!final_epoch && ckpt.stop_after_epochs > 0 && epochs_run >= ckpt.stop_after_epochs) {
+      interrupted = true;
+      break;
+    }
+  }
+
+  MiniFleetResult result = fleet.Collect();
+  result.interrupted = interrupted;
+  result.resumed = resumed;
+  result.resumed_epoch = start_epoch;
+  result.checkpoints_written = checkpoints_written;
   return result;
 }
 

@@ -7,21 +7,34 @@
 // their Table-1 dependencies, drives the frontends with open-loop load, and
 // returns the full nested traces — a running miniature of the fleet the paper
 // measured, rather than eight isolated studies.
+//
+// The fleet is a long-lived object so long-horizon runs can be split into
+// epochs and checkpointed at quiescent barriers (docs/ROBUSTNESS.md
+// #checkpointrestore): RunMiniFleet runs one uninterrupted epoch (the legacy
+// behavior, bit-for-bit), RunMiniFleetCheckpointed drives the epoch loop with
+// snapshot/resume.
 #ifndef RPCSCOPE_SRC_FLEET_MINI_FLEET_H_
 #define RPCSCOPE_SRC_FLEET_MINI_FLEET_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/fleet/service_catalog.h"
 #include "src/monitor/stream.h"
 #include "src/rpc/client.h"
 #include "src/rpc/server.h"
 
 namespace rpcscope {
+
+struct FaultPlan;
+class FaultInjector;
+struct MiniFleetDeployment;
+struct MiniFleetFrontend;
 
 struct MiniFleetOptions {
   SimDuration duration = Seconds(4);
@@ -49,6 +62,11 @@ struct MiniFleetOptions {
   // closes a metric window (watermark passed its end). Drive it with a short
   // observability.window to watch fleet RPS/latency evolve during the run.
   std::function<void(const WindowStats&)> window_tap;
+  // Optional chaos: a fault plan executed by a fleet-owned FaultInjector,
+  // epoch-gated so checkpoint barriers stay quiescent. The plan is copied at
+  // construction; the pointer only needs to live through the MiniFleet
+  // constructor. Plan content is folded into the checkpoint config hash.
+  const FaultPlan* fault_plan = nullptr;
 };
 
 struct MiniFleetResult {
@@ -82,11 +100,133 @@ struct MiniFleetResult {
   int64_t windows_closed = 0;
   int64_t late_window_updates = 0;
   size_t peak_buffered_spans = 0;       // Max over shards: bounded-memory proof.
+
+  // Checkpointed-run bookkeeping (RunMiniFleetCheckpointed only).
+  bool interrupted = false;       // Stopped early via stop_after_epochs.
+  bool resumed = false;           // Started from a restored checkpoint.
+  uint64_t resumed_epoch = 0;     // Epoch barriers already done at resume.
+  uint64_t checkpoints_written = 0;
 };
 
-// Deploys the graph, runs it, and collects traces. `catalog` supplies service
-// ids and names (BuildDefault()).
+// The deployed graph as a long-lived object. Construction builds the system,
+// deploys every service, registers handlers, and creates the (unscheduled)
+// frontend arrival processes; nothing runs until ArmThrough + RunSegment.
+//
+// Epoch protocol (docs/ROBUSTNESS.md#checkpointrestore): each iteration arms
+// one virtual-time window and runs the sharded executor until every queue
+// drains. Arrivals and fault events are only planted inside the armed window,
+// so the drain leaves no pending timers — the fleet is quiescent, and
+// WriteCheckpoint/RestoreCheckpoint round-trip its complete state. A run
+// resumed from any barrier replays the remaining epochs bit-for-bit: same
+// event digest, same streamed AggregateDigest as the uninterrupted run with
+// the same cadence.
+class MiniFleet {
+ public:
+  MiniFleet(const ServiceCatalog& catalog, const MiniFleetOptions& options);
+  ~MiniFleet();
+
+  MiniFleet(const MiniFleet&) = delete;
+  MiniFleet& operator=(const MiniFleet&) = delete;
+
+  // Extends every frontend's armed arrival window and the fault injector's
+  // arming watermark to `epoch_end`. Only valid while quiescent (before the
+  // run or between segments); epoch ends must be strictly increasing.
+  // ArmThrough(kMaxSimTime) arms the whole run (the legacy single-epoch shape).
+  [[nodiscard]] Status ArmThrough(SimTime epoch_end);
+
+  // Runs the sharded executor until every queue drains, closing hub windows
+  // only up to `flush_watermark` (pass the epoch end; kMaxSimTime on the
+  // final segment). Returns the executor round count for the segment.
+  uint64_t RunSegment(SimTime flush_watermark);
+
+  // Rewinds every shard clock to the common epoch boundary after a segment
+  // drains (cascades run past the boundary, scattering the clocks). Must be
+  // called at every non-final barrier — before WriteCheckpoint, and on runs
+  // without a checkpoint directory too — so the next segment's cross-shard
+  // sends never target a shard's past and cadenced digests are identical
+  // whether or not snapshots are being written. Requires quiescence.
+  [[nodiscard]] Status ResyncAt(SimTime barrier);
+
+  // Assembles the result from current state. Call after the final segment.
+  MiniFleetResult Collect();
+
+  // Identity of this run configuration for checkpoint validation: folds every
+  // digest-relevant option — seed, horizon, load, topology sharding,
+  // observability layout, the full fault-plan content — plus the checkpoint
+  // cadence (digest equality only holds between runs with the same epoch
+  // boundaries, so resuming under a different cadence must be rejected).
+  uint64_t ConfigHash(SimDuration checkpoint_every) const;
+
+  // Snapshots complete fleet state into `<root>/ckpt-<epoch>` (atomic
+  // directory-rename commit), then prunes to the newest `keep` checkpoints.
+  // Only valid at a quiescent barrier; fails (without writing a committed
+  // checkpoint) if any component still has in-flight work.
+  [[nodiscard]] Status WriteCheckpoint(const std::string& root, uint64_t epoch,
+                                       uint64_t config_hash, int64_t sim_horizon, int keep);
+
+  // Restores complete fleet state from a committed checkpoint directory,
+  // validating the manifest (config hash, per-file CRCs) first and every
+  // section CRC during the read. Any failure is a clean error Status; the
+  // fleet must then be discarded (a failed restore may be partial). Returns
+  // the epoch count the snapshot was taken at. Member files are independent
+  // (one per shard), so a future restore could parallelize; this one is
+  // sequential.
+  [[nodiscard]] Result<uint64_t> RestoreCheckpoint(const std::string& ckpt_dir,
+                                                   uint64_t config_hash);
+
+  RpcSystem& system() { return system_; }
+
+ private:
+  // Issues a child call linked to the parent span, inheriting the parent's
+  // remaining deadline. Owned by the *calling* deployment — its client issues
+  // it and its RNG picks the replica — because the handler executes in the
+  // caller's shard domain and must not touch target-shard state directly; the
+  // fabric is the only cross-shard edge. Static (capture-free call sites) so
+  // handlers only ever capture stable Deployment pointers.
+  static void ChildCall(MiniFleetDeployment& caller, MiniFleetDeployment& target,
+                        const std::shared_ptr<ServerCall>& parent, int64_t request_bytes,
+                        CallCallback done);
+
+  void BuildGraph(const ServiceCatalog& catalog);
+
+  MiniFleetOptions options_;
+  RpcSystem system_;
+  // Fixed deployment/frontend order — checkpoint sections are written and
+  // read in exactly this order within each shard's file.
+  std::vector<std::unique_ptr<MiniFleetDeployment>> deployments_;
+  std::vector<std::unique_ptr<MiniFleetFrontend>> frontends_;
+  std::unique_ptr<FaultInjector> injector_;
+};
+
+// Deploys the graph, runs it uninterrupted, and collects traces. `catalog`
+// supplies service ids and names (BuildDefault()).
 MiniFleetResult RunMiniFleet(const ServiceCatalog& catalog, const MiniFleetOptions& options);
+
+// Checkpointed-run driver configuration.
+struct CheckpointRunOptions {
+  // Checkpoint store root. Empty: never write checkpoints (and `resume` finds
+  // nothing), i.e. a plain cadenced run.
+  std::string dir;
+  // Epoch length in virtual time. <= 0 runs one uninterrupted epoch.
+  SimDuration every = 0;
+  // Retention: keep the newest N committed checkpoints (<= 0 keeps all).
+  int keep = 0;
+  // Resume from the newest *valid* checkpoint under `dir`; corrupt or stale
+  // snapshots are skipped, and with none valid the run starts fresh (logged).
+  bool resume = false;
+  // Test hook: stop after this many epoch segments have run in this process
+  // (after the barrier checkpoint is written), reporting interrupted = true.
+  // 0 runs to completion. Simulates a mid-run kill for resume tests.
+  int stop_after_epochs = 0;
+};
+
+// Runs the fleet in checkpoint_every-sized epochs, snapshotting at each
+// barrier. Digest contract: for a fixed (options, every), any interrupt +
+// resume sequence produces the same final event digest and streamed
+// AggregateDigest as the uninterrupted cadenced run, for any worker_threads.
+[[nodiscard]] Result<MiniFleetResult> RunMiniFleetCheckpointed(const ServiceCatalog& catalog,
+                                                               const MiniFleetOptions& options,
+                                                               const CheckpointRunOptions& ckpt);
 
 }  // namespace rpcscope
 

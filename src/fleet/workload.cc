@@ -1,6 +1,10 @@
 #include "src/fleet/workload.h"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
+
+#include "src/checkpoint/checkpoint.h"
 
 namespace rpcscope {
 
@@ -26,6 +30,89 @@ void PoissonArrivals::ScheduleNext() {
     on_arrival_();
     ScheduleNext();
   });
+}
+
+EpochArrivals::EpochArrivals(Simulator* sim, double rate_per_second, SimTime until, uint64_t seed,
+                             Arrival on_arrival)
+    : sim_(sim),
+      mean_gap_us_(1e6 / rate_per_second),
+      until_(until),
+      rng_(seed),
+      on_arrival_(std::move(on_arrival)) {
+  assert(sim != nullptr);
+  assert(rate_per_second > 0);
+}
+
+void EpochArrivals::ArmEpoch(SimTime epoch_end) {
+  if (epoch_end <= epoch_end_) {
+    return;
+  }
+  epoch_end_ = epoch_end;
+  if (!started_) {
+    // Lazy first draw: same first gap PoissonArrivals draws in its
+    // constructor (first draw of the same seeded stream, from time 0).
+    started_ = true;
+    next_time_ = sim_->Now() + DurationFromMicros(rng_.NextExponential(mean_gap_us_));
+  }
+  ScheduleParked();
+}
+
+void EpochArrivals::ScheduleParked() {
+  if (!started_ || next_time_ >= epoch_end_) {
+    return;  // Parked (or never armed); the next ArmEpoch picks it up.
+  }
+  // max() clamp: on a resumed run the shard clock can already sit past the
+  // parked time (epoch-k cascades run past the boundary before draining).
+  // The uninterrupted cadenced run clamps identically at its own ArmEpoch,
+  // so the event stream stays bit-for-bit equal.
+  sim_->ScheduleAt(std::max(next_time_, sim_->Now()), [this]() {
+    if (sim_->Now() >= until_) {
+      next_time_ = kMaxSimTime;  // Exhausted: never re-armed.
+      return;
+    }
+    ++arrivals_;
+    on_arrival_();
+    next_time_ = sim_->Now() + DurationFromMicros(rng_.NextExponential(mean_gap_us_));
+    ScheduleParked();
+  });
+}
+
+void EpochArrivals::WriteTo(CheckpointWriter& w) const {
+  w.BeginSection("arrivals");
+  w.WriteDouble(mean_gap_us_);
+  w.WriteI64(until_);
+  WriteRngState(w, rng_);
+  w.WriteI64(arrivals_);
+  w.WriteBool(started_);
+  w.WriteI64(next_time_);
+  w.WriteI64(epoch_end_);
+  w.EndSection();
+}
+
+Status EpochArrivals::RestoreFrom(CheckpointReader& r) {
+  if (Status s = r.EnterSection("arrivals"); !s.ok()) {
+    return s;
+  }
+  const double mean_gap_us = r.ReadDouble();
+  const SimTime until = r.ReadI64();
+  Rng rng(0);
+  ReadRngState(r, rng);
+  const int64_t arrivals = r.ReadI64();
+  const bool started = r.ReadBool();
+  const SimTime next_time = r.ReadI64();
+  const SimTime epoch_end = r.ReadI64();
+  if (Status s = r.LeaveSection(); !s.ok()) {
+    return s;
+  }
+  if (mean_gap_us != mean_gap_us_ || until != until_) {
+    return FailedPreconditionError("arrivals: checkpoint is for a different arrival process");
+  }
+  rng_ = rng;
+  arrivals_ = arrivals;
+  started_ = started;
+  next_time_ = next_time;
+  epoch_end_ = epoch_end;
+  return Status::Ok();
 }
 
 double ArrivalRateForUtilization(double utilization, int workers, SimDuration mean_service) {

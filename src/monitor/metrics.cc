@@ -1,6 +1,28 @@
 #include "src/monitor/metrics.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "src/checkpoint/checkpoint.h"
+#include "src/common/check.h"
+
 namespace rpcscope {
+
+namespace {
+
+// Deterministic iteration order over an unordered map keyed by name.
+template <typename Map>
+std::vector<std::string> SortedKeys(const Map& map) {
+  std::vector<std::string> keys;
+  keys.reserve(map.size());
+  for (const auto& [name, unused] : map) {
+    keys.push_back(name);
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace
 
 void TimeSeries::Expire(SimTime now, SimDuration retention) {
   const SimTime cutoff = now - retention;
@@ -87,6 +109,118 @@ void MetricRegistry::SampleAll(SimTime now) {
 const TimeSeries* MetricRegistry::Series(const std::string& name) const {
   auto it = series_.find(name);
   return it == series_.end() ? nullptr : &it->second;
+}
+
+Status MetricRegistry::CheckpointTo(CheckpointWriter& w) const {
+  w.BeginSection("metrics");
+  w.WriteI64(options_.sample_window);
+  w.WriteI64(options_.retention);
+  w.WriteU32(static_cast<uint32_t>(counters_.size()));
+  for (const std::string& name : SortedKeys(counters_)) {
+    w.WriteString(name);
+    w.WriteDouble(counters_.at(name)->value());
+  }
+  w.WriteU32(static_cast<uint32_t>(gauges_.size()));
+  for (const std::string& name : SortedKeys(gauges_)) {
+    w.WriteString(name);
+    w.WriteDouble(gauges_.at(name)->value());
+  }
+  w.WriteU32(static_cast<uint32_t>(distributions_.size()));
+  for (const std::string& name : SortedKeys(distributions_)) {
+    w.WriteString(name);
+    WriteHistogramState(w, distributions_.at(name)->histogram());
+  }
+  w.WriteU32(static_cast<uint32_t>(series_.size()));
+  for (const std::string& name : SortedKeys(series_)) {
+    w.WriteString(name);
+    const std::deque<TimePoint>& points = series_.at(name).points();
+    w.WriteU32(static_cast<uint32_t>(points.size()));
+    for (const TimePoint& p : points) {
+      w.WriteI64(p.time);
+      w.WriteDouble(p.value);
+    }
+  }
+  w.EndSection();
+  return Status::Ok();
+}
+
+Status MetricRegistry::RestoreFrom(CheckpointReader& r) {
+  if (Status s = r.EnterSection("metrics"); !s.ok()) {
+    return s;
+  }
+  const SimDuration sample_window = r.ReadI64();
+  const SimDuration retention = r.ReadI64();
+
+  // Read everything into locals first; nothing is applied until the section
+  // parses clean and the configuration matches.
+  std::vector<std::pair<std::string, double>> counters;
+  const uint32_t num_counters = r.ReadU32();
+  for (uint32_t i = 0; i < num_counters && r.status().ok(); ++i) {
+    std::string name = r.ReadString();
+    const double value = r.ReadDouble();
+    counters.emplace_back(std::move(name), value);
+  }
+  std::vector<std::pair<std::string, double>> gauges;
+  const uint32_t num_gauges = r.ReadU32();
+  for (uint32_t i = 0; i < num_gauges && r.status().ok(); ++i) {
+    std::string name = r.ReadString();
+    const double value = r.ReadDouble();
+    gauges.emplace_back(std::move(name), value);
+  }
+  std::vector<std::pair<std::string, LogHistogram>> distributions;
+  const uint32_t num_distributions = r.ReadU32();
+  for (uint32_t i = 0; i < num_distributions && r.status().ok(); ++i) {
+    std::string name = r.ReadString();
+    LogHistogram hist;
+    if (Status s = ReadHistogramState(r, hist); !s.ok()) {
+      (void)r.LeaveSection();
+      return s;
+    }
+    distributions.emplace_back(std::move(name), std::move(hist));
+  }
+  std::vector<std::pair<std::string, TimeSeries>> series;
+  const uint32_t num_series = r.ReadU32();
+  for (uint32_t i = 0; i < num_series && r.status().ok(); ++i) {
+    std::string name = r.ReadString();
+    const uint32_t num_points = r.ReadU32();
+    TimeSeries ts;
+    for (uint32_t j = 0; j < num_points && r.status().ok(); ++j) {
+      const SimTime time = r.ReadI64();
+      const double value = r.ReadDouble();
+      ts.Append(time, value);
+    }
+    series.emplace_back(std::move(name), std::move(ts));
+  }
+  if (Status s = r.LeaveSection(); !s.ok()) {
+    return s;
+  }
+  if (sample_window != options_.sample_window || retention != options_.retention) {
+    return FailedPreconditionError("metrics: registry options mismatch");
+  }
+
+  // Values land in the existing instrument objects (created during fleet
+  // construction) so Counter*/Gauge* pointers cached by components survive.
+  for (const auto& [name, value] : counters) {
+    Counter& c = GetCounter(name);
+    if (c.value() != 0.0) {
+      return FailedPreconditionError("metrics: restore into non-zero counter " + name);
+    }
+    c.Increment(value);
+    RPCSCOPE_DCHECK(counters_.count(name) == 1);
+  }
+  for (const auto& [name, value] : gauges) {
+    GetGauge(name).Set(value);
+    RPCSCOPE_DCHECK(gauges_.count(name) == 1);
+  }
+  for (auto& [name, hist] : distributions) {
+    GetDistribution(name).mutable_histogram() = std::move(hist);
+    RPCSCOPE_DCHECK(distributions_.count(name) == 1);
+  }
+  series_.clear();
+  for (auto& [name, ts] : series) {
+    series_.emplace(std::move(name), std::move(ts));
+  }
+  return Status::Ok();
 }
 
 }  // namespace rpcscope

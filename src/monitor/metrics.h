@@ -16,9 +16,13 @@
 #include <vector>
 
 #include "src/common/histogram.h"
+#include "src/common/status.h"
 #include "src/common/time.h"
 
 namespace rpcscope {
+
+class CheckpointWriter;
+class CheckpointReader;
 
 // Monotonically increasing counter.
 class Counter {
@@ -48,6 +52,8 @@ class DistributionMetric {
 
   void Record(double value) { hist_.Add(value); }
   const LogHistogram& histogram() const { return hist_; }
+  // Checkpoint restore writes the saved histogram state back in place.
+  LogHistogram& mutable_histogram() { return hist_; }
 
  private:
   LogHistogram hist_;
@@ -79,6 +85,7 @@ class TimeSeries {
   std::deque<TimePoint> points_;
 };
 
+// RPCSCOPE_CHECKPOINTED(MetricRegistry::CheckpointTo, MetricRegistry::RestoreFrom)
 class MetricRegistry {
  public:
   struct Options {
@@ -107,6 +114,14 @@ class MetricRegistry {
 
   const TimeSeries* Series(const std::string& name) const;
   const Options& options() const { return options_; }
+
+  // Checkpoint support. Instruments serialize in sorted-name order (the maps
+  // are unordered; checkpoint bytes must not be). Restore targets a registry
+  // whose instruments are freshly registered but never incremented — values
+  // land in the *existing* Counter/Gauge/Distribution objects so pointers
+  // cached by components at construction stay valid across a restore.
+  [[nodiscard]] Status CheckpointTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
 
  private:
   Options options_;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/common/check.h"
+#include "src/trace/storage.h"
 
 namespace rpcscope {
 
@@ -77,6 +79,26 @@ void StreamStat::Merge(const StreamStat& other) {
   total_nanos.Merge(other.total_nanos);
 }
 
+void StreamStat::WriteTo(CheckpointWriter& w) const {
+  w.WriteI64(count);
+  w.WriteI64(errors);
+  w.WriteU64(total_nanos_sum);
+  w.WriteU64(tax_nanos_sum);
+  w.WriteI64(min_total);
+  w.WriteI64(max_total);
+  WriteHistogramState(w, total_nanos);
+}
+
+Status StreamStat::RestoreFrom(CheckpointReader& r) {
+  count = r.ReadI64();
+  errors = r.ReadI64();
+  total_nanos_sum = r.ReadU64();
+  tax_nanos_sum = r.ReadU64();
+  min_total = r.ReadI64();
+  max_total = r.ReadI64();
+  return ReadHistogramState(r, total_nanos);
+}
+
 void MetricWindowDelta::AddSpan(const Span& span) {
   ++spans;
   if (span.status != StatusCode::kOk) {
@@ -93,6 +115,65 @@ void MetricWindowDelta::Merge(const MetricWindowDelta& other) {
   errors += other.errors;
   total_nanos_sum += other.total_nanos_sum;
   total_nanos.Merge(other.total_nanos);
+}
+
+void MetricWindowDelta::WriteTo(CheckpointWriter& w) const {
+  w.WriteI64(window_start);
+  w.WriteI64(spans);
+  w.WriteI64(errors);
+  w.WriteU64(total_nanos_sum);
+  WriteHistogramState(w, total_nanos);
+}
+
+Status MetricWindowDelta::RestoreFrom(CheckpointReader& r) {
+  window_start = r.ReadI64();
+  spans = r.ReadI64();
+  errors = r.ReadI64();
+  total_nanos_sum = r.ReadU64();
+  return ReadHistogramState(r, total_nanos);
+}
+
+void WindowStats::WriteTo(CheckpointWriter& w) const {
+  w.WriteI64(window_start);
+  w.WriteI64(window_width);
+  w.WriteI64(spans);
+  w.WriteI64(errors);
+  w.WriteU64(total_nanos_sum);
+  w.WriteBool(closed);
+  w.WriteI64(late_updates);
+  WriteHistogramState(w, total_nanos);
+}
+
+Status WindowStats::RestoreFrom(CheckpointReader& r) {
+  window_start = r.ReadI64();
+  window_width = r.ReadI64();
+  spans = r.ReadI64();
+  errors = r.ReadI64();
+  total_nanos_sum = r.ReadU64();
+  closed = r.ReadBool();
+  late_updates = r.ReadI64();
+  return ReadHistogramState(r, total_nanos);
+}
+
+void ObservabilityHub::MethodStream::WriteTo(CheckpointWriter& w) const {
+  stat.WriteTo(w);
+  w.WriteI64(reservoir_seen);
+  WriteRngState(w, reservoir_rng);
+  w.WriteBytes(SerializeSpans(reservoir));
+}
+
+Status ObservabilityHub::MethodStream::RestoreFrom(CheckpointReader& r) {
+  if (Status s = stat.RestoreFrom(r); !s.ok()) {
+    return s;
+  }
+  reservoir_seen = r.ReadI64();
+  ReadRngState(r, reservoir_rng);
+  Result<std::vector<Span>> spans = DeserializeSpans(r.ReadBytes());
+  if (!spans.ok()) {
+    return spans.status();
+  }
+  reservoir = std::move(spans).value();
+  return Status::Ok();
 }
 
 ObservabilityHub::ObservabilityHub(const ObservabilityOptions& options) : options_(options) {
@@ -280,8 +361,153 @@ uint64_t ObservabilityHub::ExemplarDigest() const {
   return digest;
 }
 
+Status ObservabilityHub::CheckpointTo(CheckpointWriter& w) const {
+  w.BeginSection("hub");
+  // Digest-relevant configuration, re-validated on restore.
+  w.WriteI64(options_.window);
+  w.WriteU32(static_cast<uint32_t>(options_.max_windows));
+  w.WriteU32(static_cast<uint32_t>(options_.reservoir_per_method));
+  w.WriteU64(options_.reservoir_seed);
+  w.WriteI64(watermark_);
+  w.WriteI64(spans_ingested_);
+  w.WriteI64(exemplars_ingested_);
+  w.WriteU64(span_buffer_drops_);
+  w.WriteI64(reservoir_drops_);
+  w.WriteI64(windows_closed_);
+  w.WriteI64(windows_evicted_);
+  w.WriteI64(late_window_updates_);
+  w.WriteU32(static_cast<uint32_t>(methods_.size()));
+  for (const auto& [method_id, stream] : methods_) {
+    w.WriteU32(static_cast<uint32_t>(method_id));
+    stream.WriteTo(w);
+  }
+  w.WriteU32(static_cast<uint32_t>(windows_.size()));
+  for (const WindowStats& window : windows_) {
+    window.WriteTo(w);
+  }
+  w.EndSection();
+  return Status::Ok();
+}
+
+Status ObservabilityHub::RestoreFrom(CheckpointReader& r) {
+  if (Status s = r.EnterSection("hub"); !s.ok()) {
+    return s;
+  }
+  const SimDuration window = r.ReadI64();
+  const auto max_windows = static_cast<int>(r.ReadU32());
+  const auto reservoir_per_method = static_cast<int>(r.ReadU32());
+  const uint64_t reservoir_seed = r.ReadU64();
+  if (window != options_.window || max_windows != options_.max_windows ||
+      reservoir_per_method != options_.reservoir_per_method ||
+      reservoir_seed != options_.reservoir_seed) {
+    // Surface the config mismatch with its own code; drain the section first
+    // so the caller could in principle continue past it.
+    (void)r.LeaveSection();
+    return FailedPreconditionError(
+        "checkpoint observability configuration does not match this run");
+  }
+  const SimTime watermark = r.ReadI64();
+  const int64_t spans_ingested = r.ReadI64();
+  const int64_t exemplars_ingested = r.ReadI64();
+  const uint64_t span_buffer_drops = r.ReadU64();
+  const int64_t reservoir_drops = r.ReadI64();
+  const int64_t windows_closed = r.ReadI64();
+  const int64_t windows_evicted = r.ReadI64();
+  const int64_t late_window_updates = r.ReadI64();
+  std::map<int32_t, MethodStream> methods;
+  const uint32_t num_methods = r.ReadU32();
+  int64_t previous_method = -1;
+  for (uint32_t i = 0; i < num_methods && r.status().ok(); ++i) {
+    const auto method_id = static_cast<int32_t>(r.ReadU32());
+    if (static_cast<int64_t>(method_id) <= previous_method) {
+      (void)r.LeaveSection();
+      return DataLossError("hub method ids out of order in checkpoint");
+    }
+    previous_method = method_id;
+    auto it = methods
+                  .emplace(method_id,
+                           MethodStream(options_.latency_histogram,
+                                        Mix64(options_.reservoir_seed ^
+                                              static_cast<uint64_t>(
+                                                  static_cast<uint32_t>(method_id)))))
+                  .first;
+    if (Status s = it->second.RestoreFrom(r); !s.ok()) {
+      (void)r.LeaveSection();
+      return s;
+    }
+  }
+  std::deque<WindowStats> windows;
+  const uint32_t num_windows = r.ReadU32();
+  for (uint32_t i = 0; i < num_windows && r.status().ok(); ++i) {
+    windows.emplace_back(options_.latency_histogram);
+    if (Status s = windows.back().RestoreFrom(r); !s.ok()) {
+      (void)r.LeaveSection();
+      return s;
+    }
+    if (windows.size() > 1 &&
+        windows[windows.size() - 2].window_start >= windows.back().window_start) {
+      (void)r.LeaveSection();
+      return DataLossError("hub windows out of order in checkpoint");
+    }
+  }
+  if (Status s = r.LeaveSection(); !s.ok()) {
+    return s;
+  }
+  watermark_ = watermark;
+  spans_ingested_ = spans_ingested;
+  exemplars_ingested_ = exemplars_ingested;
+  span_buffer_drops_ = span_buffer_drops;
+  reservoir_drops_ = reservoir_drops;
+  windows_closed_ = windows_closed;
+  windows_evicted_ = windows_evicted;
+  late_window_updates_ = late_window_updates;
+  methods_ = std::move(methods);
+  windows_ = std::move(windows);
+  return Status::Ok();
+}
+
 ShardStreamSink::ShardStreamSink(const ObservabilityOptions& options) : options_(options) {
   RPCSCOPE_CHECK_GT(options_.window, 0);
+}
+
+Status ShardStreamSink::CheckpointTo(CheckpointWriter& w) const {
+  if (!method_deltas_.empty() || !window_deltas_.empty() || !buffered_spans_.empty() ||
+      unflushed_drops_ != 0) {
+    return FailedPreconditionError(
+        "shard stream sink has unflushed deltas: checkpoints are only taken "
+        "right after a barrier flush");
+  }
+  w.BeginSection("stream_sink");
+  w.WriteI64(options_.window);  // Validation aid.
+  w.WriteU64(static_cast<uint64_t>(peak_buffered_spans_));
+  w.WriteU64(dropped_spans_);
+  w.WriteI64(spans_seen_);
+  w.EndSection();
+  return Status::Ok();
+}
+
+Status ShardStreamSink::RestoreFrom(CheckpointReader& r) {
+  if (!method_deltas_.empty() || !window_deltas_.empty() || !buffered_spans_.empty() ||
+      unflushed_drops_ != 0) {
+    return FailedPreconditionError("restore into a stream sink with unflushed deltas");
+  }
+  if (Status s = r.EnterSection("stream_sink"); !s.ok()) {
+    return s;
+  }
+  const SimDuration window = r.ReadI64();
+  const uint64_t peak_buffered_spans = r.ReadU64();
+  const uint64_t dropped_spans = r.ReadU64();
+  const int64_t spans_seen = r.ReadI64();
+  if (Status s = r.LeaveSection(); !s.ok()) {
+    return s;
+  }
+  if (window != options_.window) {
+    return FailedPreconditionError("checkpoint sink window does not match this run");
+  }
+  peak_buffered_spans_ = static_cast<size_t>(peak_buffered_spans);
+  dropped_spans_ = dropped_spans;
+  spans_seen_ = spans_seen;
+  return Status::Ok();
 }
 
 void ShardStreamSink::OnSpan(const Span& span) {

@@ -47,16 +47,20 @@
 
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
+#include "src/common/status.h"
 #include "src/common/time.h"
 #include "src/trace/sink.h"
 #include "src/trace/span.h"
 
 namespace rpcscope {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 // Mergeable per-method aggregate. All fields are integers: merging and
 // ingesting commute bit-for-bit regardless of order (sums wrap mod 2^64,
 // which is still associative + commutative).
-// RPCSCOPE_CHECKPOINTED(StreamStat::Merge)
+// RPCSCOPE_CHECKPOINTED(StreamStat::Merge, StreamStat::WriteTo, StreamStat::RestoreFrom)
 struct StreamStat {
   int64_t count = 0;
   int64_t errors = 0;
@@ -71,6 +75,11 @@ struct StreamStat {
 
   void AddSpan(const Span& span);
   void Merge(const StreamStat& other);
+  // Checkpoint support: writes/reads every field inline into the caller's
+  // open section (no section of its own — aggregates nest inside their
+  // owner's frame).
+  void WriteTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
   // Mean over the *non-wrapped* range (sums in any realistic run are far
   // below 2^64 ns ~ 584 years of accumulated latency).
   double MeanTotalNanos() const {
@@ -83,7 +92,7 @@ struct StreamStat {
 // `window` and keyed by the *span start time* — an in-flight RPC that
 // completes after its start window closed is a late update, merged in and
 // counted, never dropped.
-// RPCSCOPE_CHECKPOINTED(MetricWindowDelta::Merge)
+// RPCSCOPE_CHECKPOINTED(MetricWindowDelta::Merge, MetricWindowDelta::WriteTo, MetricWindowDelta::RestoreFrom)
 struct MetricWindowDelta {
   SimTime window_start = 0;
   int64_t spans = 0;
@@ -96,6 +105,8 @@ struct MetricWindowDelta {
 
   void AddSpan(const Span& span);
   void Merge(const MetricWindowDelta& other);
+  void WriteTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
 };
 
 // Receiver of a shard's flushed metric deltas. ObservabilityHub is the
@@ -137,6 +148,7 @@ struct ObservabilityOptions {
 };
 
 // Closed-or-open window summary retained at the hub.
+// RPCSCOPE_CHECKPOINTED(WindowStats::WriteTo, WindowStats::RestoreFrom)
 struct WindowStats {
   SimTime window_start = 0;
   SimDuration window_width = 0;
@@ -159,12 +171,17 @@ struct WindowStats {
   double MeanTotalNanos() const {
     return spans == 0 ? 0.0 : static_cast<double>(total_nanos_sum) / static_cast<double>(spans);
   }
+
+  void WriteTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
 };
 
 // The central aggregation plane. Single-threaded by contract: only the
 // coordinator (barrier) thread or a post-run caller may touch it.
+// RPCSCOPE_CHECKPOINTED(ObservabilityHub::CheckpointTo, ObservabilityHub::RestoreFrom)
 class ObservabilityHub : public MetricSink, public TraceSink {
  public:
+  // RPCSCOPE_CHECKPOINTED(ObservabilityHub::MethodStream::WriteTo, ObservabilityHub::MethodStream::RestoreFrom)
   struct MethodStream {
     StreamStat stat;
     // Exemplar reservoir (Algorithm R over the canonical ingest order).
@@ -174,6 +191,9 @@ class ObservabilityHub : public MetricSink, public TraceSink {
 
     MethodStream(const LogHistogram::Options& histogram_options, uint64_t seed)
         : stat(histogram_options), reservoir_rng(seed) {}
+
+    void WriteTo(CheckpointWriter& w) const;
+    [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
   };
 
   explicit ObservabilityHub(const ObservabilityOptions& options);
@@ -226,11 +246,20 @@ class ObservabilityHub : public MetricSink, public TraceSink {
 
   const ObservabilityOptions& options() const { return options_; }
 
+  // Checkpoint support: the full aggregation state — per-method streams
+  // (stats + reservoirs + reservoir RNGs), retained windows, watermark, and
+  // every counter. Restore requires a hub freshly constructed with the same
+  // digest-relevant options (validated) and replaces its state wholesale, so
+  // AggregateDigest/ExemplarDigest after restore equal the values at save.
+  [[nodiscard]] Status CheckpointTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
+
  private:
   WindowStats& WindowAt(SimTime window_start);
 
   ObservabilityOptions options_;
-  std::function<void(const WindowStats&)> on_window_close_;
+  // Re-attached by the owner after restore, like any live callback.
+  std::function<void(const WindowStats&)> on_window_close_;  // NOLINT(detan-checkpoint-field) structural
   std::map<int32_t, MethodStream> methods_;
   std::deque<WindowStats> windows_;  // Ascending by window_start.
   SimTime watermark_ = kMinSimTime;
@@ -246,6 +275,7 @@ class ObservabilityHub : public MetricSink, public TraceSink {
 // The shard-local half of the pipeline. Owned by a shard context, invoked
 // only from that shard's round execution; flushed by the coordinator at
 // barriers (canonical shard order) via FlushInto.
+// RPCSCOPE_CHECKPOINTED(ShardStreamSink::CheckpointTo, ShardStreamSink::RestoreFrom)
 class ShardStreamSink : public TraceSink {
  public:
   explicit ShardStreamSink(const ObservabilityOptions& options);
@@ -267,6 +297,12 @@ class ShardStreamSink : public TraceSink {
   size_t peak_buffered_spans() const { return peak_buffered_spans_; }
   uint64_t dropped_spans() const { return dropped_spans_; }
   int64_t spans_seen() const { return spans_seen_; }
+
+  // Checkpoint support. Checkpoints happen right after a barrier flush, so
+  // both directions require the delta maps and span buffer to be empty (only
+  // the cumulative counters survive a flush).
+  [[nodiscard]] Status CheckpointTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
 
  private:
   ObservabilityOptions options_;

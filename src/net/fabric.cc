@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/common/check.h"
 
 namespace rpcscope {
@@ -73,6 +74,40 @@ void Fabric::BindDomain(SimDomain* home, std::function<SimDomain*(MachineId)> re
   home_ = home;
   domain_resolver_ = std::move(resolver);
   lookahead_ = lookahead;
+}
+
+Status Fabric::CheckpointTo(CheckpointWriter& w) const {
+  w.BeginSection("fabric");
+  WriteRngState(w, rng_);
+  w.WriteU64(options_.seed);
+  w.WriteU64(messages_sent_);
+  w.WriteI64(bytes_sent_);
+  w.WriteU64(frames_dropped_);
+  w.EndSection();
+  return Status::Ok();
+}
+
+Status Fabric::RestoreFrom(CheckpointReader& r) {
+  if (Status s = r.EnterSection("fabric"); !s.ok()) {
+    return s;
+  }
+  Rng rng(0);
+  ReadRngState(r, rng);
+  const uint64_t seed = r.ReadU64();
+  const uint64_t messages_sent = r.ReadU64();
+  const int64_t bytes_sent = r.ReadI64();
+  const uint64_t frames_dropped = r.ReadU64();
+  if (Status s = r.LeaveSection(); !s.ok()) {
+    return s;
+  }
+  if (seed != options_.seed) {
+    return FailedPreconditionError("checkpoint fabric seed does not match this run");
+  }
+  rng_ = rng;
+  messages_sent_ = messages_sent;
+  bytes_sent_ = bytes_sent;
+  frames_dropped_ = frames_dropped;
+  return Status::Ok();
 }
 
 }  // namespace rpcscope

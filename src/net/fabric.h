@@ -50,6 +50,7 @@ class FabricInterceptor {
   virtual bool OnSend(MachineId src, MachineId dst, int64_t bytes) = 0;
 };
 
+// RPCSCOPE_CHECKPOINTED(CheckpointTo, RestoreFrom)
 class Fabric {
  public:
   using Delivery = std::function<void(SimDuration wire_latency)>;
@@ -90,15 +91,24 @@ class Fabric {
   int64_t bytes_sent() const { return bytes_sent_; }
   uint64_t frames_dropped() const { return frames_dropped_; }
 
+  // Checkpoint support: the congestion RNG stream and traffic counters are
+  // the only mutable state (topology, routing bindings, and the interceptor
+  // are structural and re-established by reconstruction).
+  [[nodiscard]] Status CheckpointTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
+
  private:
-  Simulator* sim_;
-  const Topology* topology_;
+  // Structural members (suppressed below) are wired by the constructor and
+  // BindDomain on both the fresh-run and restore paths; only the RNG stream
+  // and counters carry run state.
+  Simulator* sim_;                // NOLINT(detan-checkpoint-field) structural
+  const Topology* topology_;      // NOLINT(detan-checkpoint-field) structural
   FabricOptions options_;
   Rng rng_;
-  SimDomain* home_ = nullptr;
-  std::function<SimDomain*(MachineId)> domain_resolver_;
-  const LookaheadMatrix* lookahead_ = nullptr;
-  FabricInterceptor* interceptor_ = nullptr;
+  SimDomain* home_ = nullptr;     // NOLINT(detan-checkpoint-field) structural
+  std::function<SimDomain*(MachineId)> domain_resolver_;  // NOLINT(detan-checkpoint-field) structural
+  const LookaheadMatrix* lookahead_ = nullptr;    // NOLINT(detan-checkpoint-field) structural
+  FabricInterceptor* interceptor_ = nullptr;      // NOLINT(detan-checkpoint-field) structural
   uint64_t messages_sent_ = 0;
   int64_t bytes_sent_ = 0;
   uint64_t frames_dropped_ = 0;

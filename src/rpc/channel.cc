@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/checkpoint/checkpoint.h"
+
 namespace rpcscope {
 
 Channel::Channel(Client* client, std::string service_name, std::vector<MachineId> backends,
@@ -263,6 +265,99 @@ void Channel::Call(MethodId method, Payload request, CallOptions options, CallCa
                   OnOutcome(index, canary, result);
                   done(result, std::move(response));
                 });
+}
+
+Status Channel::CheckpointTo(CheckpointWriter& w) const {
+  for (int64_t n : outstanding_) {
+    if (n != 0) {
+      return FailedPreconditionError("channel has outstanding calls at checkpoint");
+    }
+  }
+  if (picked_canary_) {
+    return FailedPreconditionError("channel mid-pick at checkpoint");
+  }
+  w.BeginSection("channel");
+  w.WriteString(service_name_);
+  w.WriteU64(options_.seed);
+  w.WriteU32(static_cast<uint32_t>(backends_.size()));
+  for (MachineId backend : backends_) {
+    w.WriteI64(backend);
+  }
+  w.WriteU32(static_cast<uint32_t>(nearest_order_.size()));
+  WriteRngState(w, rng_);
+  w.WriteU64(round_robin_next_);
+  for (const BackendState& b : health_) {
+    w.WriteU32(static_cast<uint32_t>(b.health));
+    w.WriteI64(b.ejected_until);
+    w.WriteU32(static_cast<uint32_t>(b.consecutive_ejections));
+    w.WriteI64(b.cur_total);
+    w.WriteI64(b.cur_bad);
+    w.WriteI64(b.prev_total);
+    w.WriteI64(b.prev_bad);
+    w.WriteI64(b.half_window_start);
+    w.WriteU64(b.picks);
+    w.WriteU64(b.ejections);
+    w.WriteU64(b.canary_probes);
+    w.WriteU64(b.readmissions);
+  }
+  w.EndSection();
+  return Status::Ok();
+}
+
+Status Channel::RestoreFrom(CheckpointReader& r) {
+  for (int64_t n : outstanding_) {
+    if (n != 0) {
+      return FailedPreconditionError("restore into a channel with outstanding calls");
+    }
+  }
+  if (Status s = r.EnterSection("channel"); !s.ok()) {
+    return s;
+  }
+  const std::string service_name = r.ReadString();
+  const uint64_t seed = r.ReadU64();
+  const uint32_t num_backends = r.ReadU32();
+  std::vector<MachineId> backends;
+  backends.reserve(num_backends);
+  for (uint32_t i = 0; i < num_backends && r.status().ok(); ++i) {
+    backends.push_back(r.ReadI64());
+  }
+  const uint32_t nearest_order_size = r.ReadU32();
+  Rng rng(0);
+  ReadRngState(r, rng);
+  const uint64_t round_robin_next = r.ReadU64();
+  std::vector<BackendState> health(backends.size());
+  for (BackendState& b : health) {
+    const uint32_t h = r.ReadU32();
+    if (r.status().ok() && h > static_cast<uint32_t>(BackendHealth::kProbing)) {
+      (void)r.LeaveSection();
+      return DataLossError("channel: invalid backend health state");
+    }
+    b.health = static_cast<BackendHealth>(h);
+    b.ejected_until = r.ReadI64();
+    b.consecutive_ejections = static_cast<int>(r.ReadU32());
+    b.cur_total = r.ReadI64();
+    b.cur_bad = r.ReadI64();
+    b.prev_total = r.ReadI64();
+    b.prev_bad = r.ReadI64();
+    b.half_window_start = r.ReadI64();
+    b.picks = r.ReadU64();
+    b.ejections = r.ReadU64();
+    b.canary_probes = r.ReadU64();
+    b.readmissions = r.ReadU64();
+  }
+  if (Status s = r.LeaveSection(); !s.ok()) {
+    return s;
+  }
+  if (service_name != service_name_ || seed != options_.seed || backends != backends_ ||
+      nearest_order_size != nearest_order_.size() || health.size() != health_.size()) {
+    return FailedPreconditionError("channel: checkpoint is for a different channel configuration");
+  }
+  rng_ = rng;
+  round_robin_next_ = static_cast<size_t>(round_robin_next);
+  health_ = std::move(health);
+  eligible_.clear();
+  picked_canary_ = false;
+  return Status::Ok();
 }
 
 }  // namespace rpcscope

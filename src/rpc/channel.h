@@ -80,6 +80,7 @@ struct ChannelOptions {
   uint64_t seed = 0xc4a77e1;
 };
 
+// RPCSCOPE_CHECKPOINTED(Channel::CheckpointTo, Channel::RestoreFrom)
 class Channel {
  public:
   // `backends` must be non-empty; the channel keeps a reference to `client`.
@@ -116,6 +117,13 @@ class Channel {
     return health_[backend_index].readmissions;
   }
 
+  // Checkpoint support (docs/ROBUSTNESS.md#checkpointrestore). Valid only at
+  // a quiescent barrier: every outstanding count must be zero. Carries the
+  // pick cursor, RNG stream, and full per-backend ejection state so resumed
+  // picks and breaker decisions continue bit-for-bit.
+  [[nodiscard]] Status CheckpointTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
+
  private:
   struct BackendState {
     BackendHealth health = BackendHealth::kHealthy;
@@ -142,7 +150,7 @@ class Channel {
   void OnOutcome(size_t index, bool canary, const CallResult& result);
   void Eject(size_t index, SimTime now);
 
-  Client* client_;
+  Client* client_;  // NOLINT(detan-checkpoint-field) structural
   std::string service_name_;
   std::vector<MachineId> backends_;
   ChannelOptions options_;
@@ -153,7 +161,7 @@ class Channel {
   std::vector<BackendState> health_;
   // Healthy backend indexes, rebuilt per pick when ejections are active
   // (capacity reused across picks; no steady-state allocation).
-  std::vector<size_t> eligible_;
+  std::vector<size_t> eligible_;  // NOLINT(detan-checkpoint-field) contentless scratch
   // Set by PickIndex when the returned pick is a canary probe.
   bool picked_canary_ = false;
 };

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/rpc/codec.h"
 #include "src/rpc/server.h"
 
@@ -403,6 +404,86 @@ void Client::AttemptFinished(std::shared_ptr<CallState> st, std::shared_ptr<Atte
   result.trace_id = st->trace_id;
   result.span_id = att->span_id;
   st->done(result, std::move(response));
+}
+
+Status Client::CheckpointTo(CheckpointWriter& w) const {
+  if (calls_issued_ != calls_completed_) {
+    return FailedPreconditionError("client has in-flight calls at checkpoint");
+  }
+  w.BeginSection("client");
+  w.WriteI64(machine_);
+  w.WriteDouble(machine_speed_);
+  w.WriteI64(rx_processing_overhead_);
+  WriteRngState(w, backoff_rng_);
+  const RetryBudget::State budget = retry_budget_.SaveState();
+  w.WriteBool(budget.enabled);
+  w.WriteDouble(budget.tokens);
+  w.WriteU64(budget.exhausted);
+  w.WriteU64(calls_issued_);
+  w.WriteU64(calls_completed_);
+  w.WriteU64(retries_attempted_);
+  w.WriteU64(retries_suppressed_);
+  w.WriteU64(queue_rejections_);
+  w.WriteU64(attempt_timeouts_);
+  w.WriteU64(dead_on_arrival_);
+  w.WriteDouble(wasted_cycles_);
+  w.EndSection();
+  if (Status s = tx_pool_.CheckpointTo(w); !s.ok()) {
+    return s;
+  }
+  return rx_pool_.CheckpointTo(w);
+}
+
+Status Client::RestoreFrom(CheckpointReader& r) {
+  if (calls_issued_ != calls_completed_) {
+    return FailedPreconditionError("restore into a client with in-flight calls");
+  }
+  if (Status s = r.EnterSection("client"); !s.ok()) {
+    return s;
+  }
+  const MachineId machine = r.ReadI64();
+  const double machine_speed = r.ReadDouble();
+  const SimDuration rx_processing_overhead = r.ReadI64();
+  Rng backoff_rng(0);
+  ReadRngState(r, backoff_rng);
+  RetryBudget::State budget;
+  budget.enabled = r.ReadBool();
+  budget.tokens = r.ReadDouble();
+  budget.exhausted = r.ReadU64();
+  const uint64_t calls_issued = r.ReadU64();
+  const uint64_t calls_completed = r.ReadU64();
+  const uint64_t retries_attempted = r.ReadU64();
+  const uint64_t retries_suppressed = r.ReadU64();
+  const uint64_t queue_rejections = r.ReadU64();
+  const uint64_t attempt_timeouts = r.ReadU64();
+  const uint64_t dead_on_arrival = r.ReadU64();
+  const double wasted_cycles = r.ReadDouble();
+  if (Status s = r.LeaveSection(); !s.ok()) {
+    return s;
+  }
+  if (machine != machine_ || machine_speed != machine_speed_ ||
+      rx_processing_overhead != rx_processing_overhead_) {
+    return FailedPreconditionError("client: checkpoint is for a different client configuration");
+  }
+  if (calls_issued != calls_completed) {
+    return DataLossError("client: checkpoint recorded in-flight calls");
+  }
+  if (!retry_budget_.RestoreState(budget)) {
+    return FailedPreconditionError("client: retry budget enablement mismatch");
+  }
+  backoff_rng_ = backoff_rng;
+  calls_issued_ = calls_issued;
+  calls_completed_ = calls_completed;
+  retries_attempted_ = retries_attempted;
+  retries_suppressed_ = retries_suppressed;
+  queue_rejections_ = queue_rejections;
+  attempt_timeouts_ = attempt_timeouts;
+  dead_on_arrival_ = dead_on_arrival;
+  wasted_cycles_ = wasted_cycles;
+  if (Status s = tx_pool_.RestoreFrom(r); !s.ok()) {
+    return s;
+  }
+  return rx_pool_.RestoreFrom(r);
 }
 
 }  // namespace rpcscope

@@ -27,6 +27,9 @@
 
 namespace rpcscope {
 
+class CheckpointWriter;
+class CheckpointReader;
+
 struct ClientOptions {
   int tx_workers = 2;
   int rx_workers = 2;
@@ -43,6 +46,7 @@ struct ClientOptions {
   RetryBudget::Options retry_budget;
 };
 
+// RPCSCOPE_CHECKPOINTED(Client::CheckpointTo, Client::RestoreFrom)
 class Client {
  public:
   Client(RpcSystem* system, MachineId machine, const ClientOptions& options = {});
@@ -74,6 +78,13 @@ class Client {
   uint64_t attempt_timeouts() const { return attempt_timeouts_; }
   uint64_t dead_on_arrival() const { return dead_on_arrival_; }
 
+  // Checkpoint support (docs/ROBUSTNESS.md#checkpointrestore). Valid only at
+  // a quiescent barrier: no call may be in flight, so the tx/rx pools must be
+  // idle. Serialize fails with FailedPrecondition otherwise; Restore applies
+  // nothing on any validation or decode error.
+  [[nodiscard]] Status CheckpointTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
+
  private:
   struct CallState;
   struct Attempt;
@@ -91,11 +102,11 @@ class Client {
   void RecordAttemptSpan(const CallState& st, const Attempt& att, StatusCode code);
   void CountCompletion(StatusCode code);
 
-  RpcSystem* system_;
+  RpcSystem* system_;  // NOLINT(detan-checkpoint-field) structural
   MachineId machine_;
   // Owning shard context; declared before the pools so they can bind to its
   // simulator during construction.
-  RpcSystem::ShardContext* shard_;
+  RpcSystem::ShardContext* shard_;  // NOLINT(detan-checkpoint-field) structural
   double machine_speed_;
   ServerResource tx_pool_;
   ServerResource rx_pool_;
@@ -105,7 +116,7 @@ class Client {
   Rng backoff_rng_;
   RetryBudget retry_budget_;
   // Reused across every frame this client encodes/decodes; see WireScratch.
-  WireScratch scratch_;
+  WireScratch scratch_;  // NOLINT(detan-checkpoint-field) contentless scratch
   SimDuration rx_processing_overhead_ = 0;
   uint64_t calls_issued_ = 0;
   uint64_t calls_completed_ = 0;
@@ -116,12 +127,13 @@ class Client {
   uint64_t dead_on_arrival_ = 0;
   double wasted_cycles_ = 0;
   // Cached registry counters (stable addresses; see RpcSystem::metrics()).
-  Counter* retries_counter_;
-  Counter* retry_exhausted_counter_;
-  Counter* queue_rejected_counter_;
-  Counter* attempt_timeout_counter_;
-  Counter* completions_ok_counter_;
-  Counter* completions_err_counter_;
+  // Restored through MetricRegistry::Restore, not here.
+  Counter* retries_counter_;          // NOLINT(detan-checkpoint-field) structural
+  Counter* retry_exhausted_counter_;  // NOLINT(detan-checkpoint-field) structural
+  Counter* queue_rejected_counter_;   // NOLINT(detan-checkpoint-field) structural
+  Counter* attempt_timeout_counter_;  // NOLINT(detan-checkpoint-field) structural
+  Counter* completions_ok_counter_;   // NOLINT(detan-checkpoint-field) structural
+  Counter* completions_err_counter_;  // NOLINT(detan-checkpoint-field) structural
 };
 
 }  // namespace rpcscope

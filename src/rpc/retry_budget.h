@@ -13,8 +13,11 @@
 
 namespace rpcscope {
 
+// RPCSCOPE_CHECKPOINTED(SaveState, RestoreState)
 class RetryBudget {
  public:
+  // Configuration, not checkpointed state: RestoreState only validates the
+  // enablement against a saved snapshot.
   struct Options {
     // Disabled by default: TryConsume() always succeeds (legacy unbudgeted
     // behavior). Enable per client via ClientOptions::retry_budget.
@@ -62,6 +65,24 @@ class RetryBudget {
   // Number of retries suppressed because the bucket was empty — the
   // "retry budget exhausted" metric of the resilience layer.
   uint64_t exhausted() const { return exhausted_; }
+
+  // Checkpoint state: the mutable bucket level and exhaustion tally. The
+  // `enabled` bit rides along purely so restore can confirm it lands on a
+  // budget configured the same way.
+  struct State {
+    bool enabled = false;
+    double tokens = 0;
+    uint64_t exhausted = 0;
+  };
+  State SaveState() const { return State{options_.enabled, tokens_, exhausted_}; }
+  bool RestoreState(const State& state) {
+    if (state.enabled != options_.enabled) {
+      return false;
+    }
+    tokens_ = state.tokens;
+    exhausted_ = state.exhausted;
+    return true;
+  }
 
  private:
   Options options_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/common/check.h"
 #include "src/sim/parallel/shard_executor.h"
 #include "src/trace/span.h"
@@ -134,6 +135,157 @@ uint64_t RpcSystem::RunSharded(int worker_threads) {
   // (and, on the single-domain fast path, everything) and closes all windows.
   FlushObservability(kMaxSimTime);
   return executed;
+}
+
+uint64_t RpcSystem::RunShardedSegment(int worker_threads, SimTime flush_watermark) {
+  std::vector<SimDomain*> domains;
+  domains.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    domains.push_back(&shard->domain);
+  }
+  ShardExecutorOptions exec_options;
+  exec_options.worker_threads = worker_threads;
+  exec_options.lookahead = lookahead_;
+  if (num_shards() > 1) {
+    exec_options.lookahead_matrix = &lookahead_matrix_;
+  }
+  exec_options.clamp_workers_to_hardware = true;
+  if (hub_ != nullptr) {
+    // Round watermarks clamp to the epoch end: the drain executes cascades
+    // past the boundary, but the next epoch's arrivals (armed only up to that
+    // boundary) may still add spans to any window at or past it. Only windows
+    // before the boundary are final at the barrier, so that is the segment's
+    // data-completeness watermark — and the clamp keeps the hub's watermark
+    // monotonic across segments whether or not the process restarts between
+    // them.
+    exec_options.barrier_hook = [this, flush_watermark](SimTime round_end) {
+      FlushObservability(std::min(round_end, flush_watermark));
+    };
+  }
+  ShardExecutor executor(std::move(domains), exec_options);
+  const uint64_t executed = executor.RunToCompletion();
+  last_rounds_ = executor.rounds();
+  last_cross_domain_events_ = executor.cross_domain_events();
+  // Epoch-bounded flush: unlike RunSharded, windows past the epoch end stay
+  // open — the next segment (or a resumed run) continues filling them. Pass
+  // the epoch end itself; on the final segment callers pass kMaxSimTime to
+  // close everything.
+  FlushObservability(flush_watermark);
+  return executed;
+}
+
+Status RpcSystem::ResyncShards(SimTime barrier) {
+  for (auto& shard : shards_) {
+    if (Status s = shard->sim().ResyncAt(barrier); !s.ok()) {
+      return s;
+    }
+  }
+  return Status::Ok();
+}
+
+Status RpcSystem::SerializeShard(int s, CheckpointWriter& w) const {
+  const ShardContext& ctx = *shards_[static_cast<size_t>(s)];
+  w.BeginSection("shard");
+  w.WriteU32(static_cast<uint32_t>(s));
+  w.WriteU32(static_cast<uint32_t>(num_shards()));
+  WriteRngState(w, ctx.rng);
+  w.WriteBool(ctx.stream_sink != nullptr);
+  w.EndSection();
+  if (Status st = ctx.domain.CheckpointTo(w); !st.ok()) {
+    return st;
+  }
+  if (Status st = ctx.fabric.CheckpointTo(w); !st.ok()) {
+    return st;
+  }
+  if (Status st = ctx.tracer.CheckpointTo(w); !st.ok()) {
+    return st;
+  }
+  if (Status st = ctx.metrics.CheckpointTo(w); !st.ok()) {
+    return st;
+  }
+  if (ctx.stream_sink != nullptr) {
+    return ctx.stream_sink->CheckpointTo(w);
+  }
+  return Status::Ok();
+}
+
+Status RpcSystem::RestoreShard(int s, CheckpointReader& r) {
+  ShardContext& ctx = *shards_[static_cast<size_t>(s)];
+  if (Status st = r.EnterSection("shard"); !st.ok()) {
+    return st;
+  }
+  const uint32_t shard_id = r.ReadU32();
+  const uint32_t shard_count = r.ReadU32();
+  Rng rng(0);
+  ReadRngState(r, rng);
+  const bool has_sink = r.ReadBool();
+  if (Status st = r.LeaveSection(); !st.ok()) {
+    return st;
+  }
+  if (shard_id != static_cast<uint32_t>(s) ||
+      shard_count != static_cast<uint32_t>(num_shards())) {
+    return FailedPreconditionError("shard: checkpoint is for a different shard layout");
+  }
+  if (has_sink != (ctx.stream_sink != nullptr)) {
+    return FailedPreconditionError("shard: streaming observability enablement mismatch");
+  }
+  ctx.rng = rng;
+  if (Status st = ctx.domain.RestoreFrom(r); !st.ok()) {
+    return st;
+  }
+  if (Status st = ctx.fabric.RestoreFrom(r); !st.ok()) {
+    return st;
+  }
+  if (Status st = ctx.tracer.RestoreFrom(r); !st.ok()) {
+    return st;
+  }
+  if (Status st = ctx.metrics.RestoreFrom(r); !st.ok()) {
+    return st;
+  }
+  if (ctx.stream_sink != nullptr) {
+    return ctx.stream_sink->RestoreFrom(r);
+  }
+  return Status::Ok();
+}
+
+Status RpcSystem::SerializeGlobal(CheckpointWriter& w) const {
+  w.BeginSection("rpc_system");
+  w.WriteU64(options_.seed);
+  w.WriteU32(static_cast<uint32_t>(shards_.size()));
+  w.WriteU64(last_rounds_);
+  w.WriteU64(last_cross_domain_events_);
+  w.WriteBool(hub_ != nullptr);
+  w.EndSection();
+  if (hub_ != nullptr) {
+    return hub_->CheckpointTo(w);
+  }
+  return Status::Ok();
+}
+
+Status RpcSystem::RestoreGlobal(CheckpointReader& r) {
+  if (Status st = r.EnterSection("rpc_system"); !st.ok()) {
+    return st;
+  }
+  const uint64_t seed = r.ReadU64();
+  const uint32_t shard_count = r.ReadU32();
+  const uint64_t last_rounds = r.ReadU64();
+  const uint64_t last_cross_domain_events = r.ReadU64();
+  const bool has_hub = r.ReadBool();
+  if (Status st = r.LeaveSection(); !st.ok()) {
+    return st;
+  }
+  if (seed != options_.seed || shard_count != shards_.size()) {
+    return FailedPreconditionError("rpc_system: checkpoint is for a different configuration");
+  }
+  if (has_hub != (hub_ != nullptr)) {
+    return FailedPreconditionError("rpc_system: observability hub enablement mismatch");
+  }
+  last_rounds_ = last_rounds;
+  last_cross_domain_events_ = last_cross_domain_events;
+  if (hub_ != nullptr) {
+    return hub_->RestoreFrom(r);
+  }
+  return Status::Ok();
 }
 
 uint64_t RpcSystem::TotalEventsExecuted() const {

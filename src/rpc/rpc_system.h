@@ -38,6 +38,8 @@ namespace rpcscope {
 
 class Server;
 struct Span;
+class CheckpointWriter;
+class CheckpointReader;
 
 struct RpcSystemOptions {
   TopologyOptions topology;
@@ -79,6 +81,7 @@ struct RpcSystemOptions {
   ObservabilityOptions observability;
 };
 
+// RPCSCOPE_CHECKPOINTED(RpcSystem::SerializeGlobal, RpcSystem::RestoreGlobal)
 class RpcSystem {
  public:
   // Everything a shard domain owns. Components pinned to a shard (clients,
@@ -165,6 +168,33 @@ class RpcSystem {
   uint64_t last_rounds() const { return last_rounds_; }
   uint64_t last_cross_domain_events() const { return last_cross_domain_events_; }
 
+  // Epoch-segment variant of RunSharded for checkpointed runs (docs/
+  // ROBUSTNESS.md#checkpointrestore): identical execution, but the final
+  // observability flush advances only to `flush_watermark` (the epoch end)
+  // instead of kMaxSimTime, so hub windows spanning the boundary stay open
+  // for the next segment. Pass kMaxSimTime on the last epoch to close out.
+  uint64_t RunShardedSegment(int worker_threads, SimTime flush_watermark);
+
+  // Re-synchronizes every shard clock to `barrier` after a segment drains
+  // (docs/ROBUSTNESS.md#checkpointrestore). Cascades past the epoch end leave
+  // shard clocks scattered beyond the boundary; the next segment's arrivals
+  // and cross-shard deliveries start at the boundary, so without a resync a
+  // behind-shard could address an ahead-shard's past. Requires quiescence
+  // (fails with FailedPrecondition if any shard still has pending events).
+  [[nodiscard]] Status ResyncShards(SimTime barrier);
+
+  // Checkpoint support. SerializeShard writes one shard's substrate state —
+  // simulator clock/digest, fabric, tracer, metric registry, shard RNG,
+  // stream sink — as a sequence of sections; component state (servers,
+  // clients, channels) is appended by the owning fleet layer into the same
+  // writer. Valid only at a quiescent barrier (queues drained, outboxes
+  // empty); fails with FailedPrecondition otherwise. SerializeGlobal writes
+  // the cross-shard state: the observability hub and executor accumulators.
+  [[nodiscard]] Status SerializeShard(int s, CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreShard(int s, CheckpointReader& r);
+  [[nodiscard]] Status SerializeGlobal(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreGlobal(CheckpointReader& r);
+
   // The streaming aggregation plane; null when observability.streaming is
   // off. RunSharded feeds it at every round barrier and flushes it once more
   // (watermark kMaxSimTime) before returning, so after a run its aggregate
@@ -208,14 +238,14 @@ class RpcSystem {
 
  private:
   RpcSystemOptions options_;
-  Topology topology_;
-  SimDuration lookahead_ = 0;
-  LookaheadMatrix lookahead_matrix_;
+  Topology topology_;              // NOLINT(detan-checkpoint-field) structural
+  SimDuration lookahead_ = 0;      // NOLINT(detan-checkpoint-field) derived from topology
+  LookaheadMatrix lookahead_matrix_;  // NOLINT(detan-checkpoint-field) derived from topology
   std::vector<std::unique_ptr<ShardContext>> shards_;
   std::unique_ptr<ObservabilityHub> hub_;
   uint64_t last_rounds_ = 0;
   uint64_t last_cross_domain_events_ = 0;
-  std::unordered_map<MachineId, Server*> servers_;
+  std::unordered_map<MachineId, Server*> servers_;  // NOLINT(detan-checkpoint-field) structural
 };
 
 }  // namespace rpcscope

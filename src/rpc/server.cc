@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/rpc/codec.h"
 
 namespace rpcscope {
@@ -358,6 +359,89 @@ void Server::FinishStreamCall(ServerCall* call, Status status, Payload chunk,
         // The wire carries all chunks; bandwidth delay scales with the total.
         RespondInflight(fl, std::move(reply), total_wire);
       });
+}
+
+Status Server::CheckpointTo(CheckpointWriter& w) const {
+  if (!inflight_.empty()) {
+    return FailedPreconditionError("server has in-flight calls at checkpoint");
+  }
+  w.BeginSection("server");
+  w.WriteI64(machine_);
+  w.WriteDouble(machine_speed_);
+  // Exogenous knobs are mutated mid-run by fault events; the rest of the
+  // options are construction-time configuration, written for validation.
+  w.WriteU32(static_cast<uint32_t>(options_.app_workers));
+  w.WriteU32(static_cast<uint32_t>(options_.io_workers));
+  w.WriteDouble(options_.app_speed_factor);
+  w.WriteI64(options_.wakeup_latency);
+  w.WriteBool(options_.shed_on_deadline);
+  w.WriteU32(static_cast<uint32_t>(handlers_.size()));
+  w.WriteU32(static_cast<uint32_t>(method_names_.size()));
+  w.WriteBool(up_);
+  w.WriteU64(incarnation_);
+  w.WriteU64(requests_served_);
+  w.WriteU64(requests_shed_);
+  w.WriteU64(crash_killed_calls_);
+  w.WriteDouble(app_time_ewma_ns_);
+  w.EndSection();
+  if (Status s = rx_pool_.CheckpointTo(w); !s.ok()) {
+    return s;
+  }
+  if (Status s = app_pool_.CheckpointTo(w); !s.ok()) {
+    return s;
+  }
+  return tx_pool_.CheckpointTo(w);
+}
+
+Status Server::RestoreFrom(CheckpointReader& r) {
+  if (!inflight_.empty()) {
+    return FailedPreconditionError("restore into a server with in-flight calls");
+  }
+  if (Status s = r.EnterSection("server"); !s.ok()) {
+    return s;
+  }
+  const MachineId machine = r.ReadI64();
+  const double machine_speed = r.ReadDouble();
+  const uint32_t app_workers = r.ReadU32();
+  const uint32_t io_workers = r.ReadU32();
+  const double app_speed_factor = r.ReadDouble();
+  const SimDuration wakeup_latency = r.ReadI64();
+  const bool shed_on_deadline = r.ReadBool();
+  const uint32_t num_handlers = r.ReadU32();
+  const uint32_t num_method_names = r.ReadU32();
+  const bool up = r.ReadBool();
+  const uint64_t incarnation = r.ReadU64();
+  const uint64_t requests_served = r.ReadU64();
+  const uint64_t requests_shed = r.ReadU64();
+  const uint64_t crash_killed_calls = r.ReadU64();
+  const double app_time_ewma_ns = r.ReadDouble();
+  if (Status s = r.LeaveSection(); !s.ok()) {
+    return s;
+  }
+  if (machine != machine_ || machine_speed != machine_speed_ ||
+      app_workers != static_cast<uint32_t>(options_.app_workers) ||
+      io_workers != static_cast<uint32_t>(options_.io_workers)) {
+    return FailedPreconditionError("server: checkpoint is for a different server configuration");
+  }
+  if (num_handlers != handlers_.size() || num_method_names != method_names_.size()) {
+    return FailedPreconditionError("server: registered method set mismatch");
+  }
+  options_.app_speed_factor = app_speed_factor;
+  options_.wakeup_latency = wakeup_latency;
+  options_.shed_on_deadline = shed_on_deadline;
+  up_ = up;
+  incarnation_ = incarnation;
+  requests_served_ = requests_served;
+  requests_shed_ = requests_shed;
+  crash_killed_calls_ = crash_killed_calls;
+  app_time_ewma_ns_ = app_time_ewma_ns;
+  if (Status s = rx_pool_.RestoreFrom(r); !s.ok()) {
+    return s;
+  }
+  if (Status s = app_pool_.RestoreFrom(r); !s.ok()) {
+    return s;
+  }
+  return tx_pool_.RestoreFrom(r);
 }
 
 }  // namespace rpcscope

@@ -33,6 +33,8 @@
 namespace rpcscope {
 
 class Server;
+class CheckpointWriter;
+class CheckpointReader;
 
 // Context handed to method handlers. Handlers must eventually call Finish()
 // exactly once; they may first Compute() virtual work or issue child RPCs
@@ -116,6 +118,7 @@ struct ServerOptions {
   bool shed_on_deadline = false;
 };
 
+// RPCSCOPE_CHECKPOINTED(Server::CheckpointTo, Server::RestoreFrom)
 class Server {
  public:
   Server(RpcSystem* system, MachineId machine, const ServerOptions& options);
@@ -160,6 +163,15 @@ class Server {
   uint64_t requests_shed() const { return requests_shed_; }
   uint64_t crash_killed_calls() const { return crash_killed_calls_; }
 
+  // Checkpoint support (docs/ROBUSTNESS.md#checkpointrestore). Valid only at
+  // a quiescent barrier: no request may be in flight, so the pipeline pools
+  // must be idle and the in-flight registry empty. A *down* server is fine —
+  // up_/incarnation_ are part of the state — its restart is re-armed from the
+  // fault plan by the epoch driver. Serialize fails with FailedPrecondition
+  // when non-quiescent; Restore applies nothing on error.
+  [[nodiscard]] Status CheckpointTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
+
  private:
   friend class ServerCall;
 
@@ -180,18 +192,18 @@ class Server {
   void RegisterInflight(const std::shared_ptr<InflightCall>& fl);
   void UnregisterInflight(const std::shared_ptr<InflightCall>& fl);
 
-  RpcSystem* system_;
+  RpcSystem* system_;  // NOLINT(detan-checkpoint-field) structural
   MachineId machine_;
   // Owning shard context; declared before the pools so they can bind to its
   // simulator during construction.
-  RpcSystem::ShardContext* shard_;
+  RpcSystem::ShardContext* shard_;  // NOLINT(detan-checkpoint-field) structural
   ServerOptions options_;
   double machine_speed_;
   ServerResource rx_pool_;
   ServerResource app_pool_;
   ServerResource tx_pool_;
   // Reused across every frame this server encodes/decodes; see WireScratch.
-  WireScratch scratch_;
+  WireScratch scratch_;  // NOLINT(detan-checkpoint-field) contentless scratch
   std::unordered_map<MethodId, MethodHandler> handlers_;
   std::unordered_map<MethodId, std::string> method_names_;
   // Every accepted request, from fabric delivery until its reply (or error)
@@ -205,8 +217,9 @@ class Server {
   // EWMA of observed handler time, feeding the admission estimate.
   double app_time_ewma_ns_ = 0;
   // Cached registry counters (stable addresses; see RpcSystem::metrics()).
-  Counter* shed_counter_;
-  Counter* crash_killed_counter_;
+  // Restored through MetricRegistry::Restore, not here.
+  Counter* shed_counter_;          // NOLINT(detan-checkpoint-field) structural
+  Counter* crash_killed_counter_;  // NOLINT(detan-checkpoint-field) structural
 };
 
 }  // namespace rpcscope

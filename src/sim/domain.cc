@@ -1,0 +1,53 @@
+#include "src/sim/domain.h"
+
+#include <string>
+
+#include "src/checkpoint/checkpoint.h"
+
+namespace rpcscope {
+
+Status SimDomain::CheckpointTo(CheckpointWriter& w) const {
+  for (const std::vector<RemoteEvent>& box : outbox_) {
+    if (!box.empty()) {
+      return FailedPreconditionError(
+          "domain " + std::to_string(id_) +
+          " has undrained outbox entries: checkpoints are only taken at barriers");
+    }
+  }
+  if (outbox_dirty_) {
+    return FailedPreconditionError("domain outbox dirty flag set at checkpoint");
+  }
+  w.BeginSection("domain");
+  w.WriteU32(static_cast<uint32_t>(id_));
+  w.WriteU32(static_cast<uint32_t>(num_domains_));
+  w.WriteU64(remote_posted_);
+  w.EndSection();
+  return sim_.CheckpointTo(w);
+}
+
+Status SimDomain::RestoreFrom(CheckpointReader& r) {
+  if (Status s = r.EnterSection("domain"); !s.ok()) {
+    return s;
+  }
+  const auto id = static_cast<int>(r.ReadU32());
+  const auto num_domains = static_cast<int>(r.ReadU32());
+  const uint64_t remote_posted = r.ReadU64();
+  if (Status s = r.LeaveSection(); !s.ok()) {
+    return s;
+  }
+  if (id != id_ || num_domains != num_domains_) {
+    return FailedPreconditionError(
+        "checkpoint domain (" + std::to_string(id) + "/" + std::to_string(num_domains) +
+        ") does not match this topology (" + std::to_string(id_) + "/" +
+        std::to_string(num_domains_) + ")");
+  }
+  for (const std::vector<RemoteEvent>& box : outbox_) {
+    if (!box.empty() || outbox_dirty_) {
+      return FailedPreconditionError("restore into a domain with pending outbox events");
+    }
+  }
+  remote_posted_ = remote_posted;
+  return sim_.RestoreFrom(r);
+}
+
+}  // namespace rpcscope

@@ -25,6 +25,7 @@ namespace rpcscope {
 
 class ShardExecutor;
 
+// RPCSCOPE_CHECKPOINTED(CheckpointTo, RestoreFrom)
 class SimDomain {
  public:
   // An event bound for another domain: `fn` must be scheduled there at `when`.
@@ -67,6 +68,13 @@ class SimDomain {
 
   // Total cross-domain events posted so far (for stats/tests).
   uint64_t remote_posted() const { return remote_posted_; }
+
+  // Checkpoint support. Like Simulator's pair, both directions require
+  // quiescence: every outbox must be drained (closures cannot be persisted)
+  // and the embedded simulator's queue empty. id_/num_domains_ are structural
+  // configuration, re-validated rather than restored.
+  [[nodiscard]] Status CheckpointTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
 
  private:
   friend class ShardExecutor;

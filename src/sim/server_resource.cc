@@ -1,8 +1,10 @@
 #include "src/sim/server_resource.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/common/check.h"
 
 namespace rpcscope {
@@ -15,6 +17,14 @@ ServerResource::ServerResource(Simulator* sim, const Options& options)
 
 void ServerResource::UpdateBusyTime() {
   const SimTime now = sim_->Now();
+  if (busy_workers_ == 0) {
+    // An idle stretch contributes nothing, so last_change_ can jump straight
+    // to now — including backwards: a barrier resync (Simulator::ResyncAt)
+    // rewinds the clock below the last drain-cascade Release, and the next
+    // epoch's first grant may execute before that old timestamp.
+    last_change_ = now;
+    return;
+  }
   RPCSCOPE_DCHECK_GE(now, last_change_) << "busy-time accounting saw the clock move backwards";
   busy_time_ += static_cast<SimDuration>(busy_workers_) * (now - last_change_);
   last_change_ = now;
@@ -91,6 +101,68 @@ void ServerResource::Submit(SimDuration service_time, Completion done) {
       done(queue_delay, scaled);
     });
   });
+}
+
+Status ServerResource::CheckpointTo(CheckpointWriter& w) const {
+  if (busy_workers_ != 0 || !queue_.empty() || !low_queue_.empty()) {
+    return FailedPreconditionError(
+        "server resource busy at checkpoint: queued jobs hold callbacks and "
+        "cannot be persisted");
+  }
+  // last_change_ may exceed the (resynced) clock here: the pool's final
+  // Release of the drain can land past the epoch boundary. With zero busy
+  // workers the value is inert — restore clamps it to the restored clock.
+  w.BeginSection("server_resource");
+  w.WriteU32(static_cast<uint32_t>(options_.workers));
+  w.WriteU64(options_.max_queue_depth);
+  w.WriteDouble(speed_factor_);
+  w.WriteU64(jobs_completed_);
+  w.WriteU64(jobs_rejected_);
+  w.WriteU64(jobs_dropped_);
+  w.WriteU64(epoch_);
+  w.WriteI64(busy_time_);
+  w.WriteI64(last_change_);
+  w.EndSection();
+  return Status::Ok();
+}
+
+Status ServerResource::RestoreFrom(CheckpointReader& r) {
+  if (busy_workers_ != 0 || !queue_.empty() || !low_queue_.empty()) {
+    return FailedPreconditionError("restore into a busy server resource");
+  }
+  if (Status s = r.EnterSection("server_resource"); !s.ok()) {
+    return s;
+  }
+  const auto workers = static_cast<int>(r.ReadU32());
+  const uint64_t max_queue_depth = r.ReadU64();
+  const double speed_factor = r.ReadDouble();
+  const uint64_t jobs_completed = r.ReadU64();
+  const uint64_t jobs_rejected = r.ReadU64();
+  const uint64_t jobs_dropped = r.ReadU64();
+  const uint64_t epoch = r.ReadU64();
+  const SimDuration busy_time = r.ReadI64();
+  const SimTime last_change = r.ReadI64();
+  if (Status s = r.LeaveSection(); !s.ok()) {
+    return s;
+  }
+  if (workers != options_.workers || max_queue_depth != options_.max_queue_depth) {
+    return FailedPreconditionError(
+        "checkpoint server-resource shape does not match this configuration");
+  }
+  if (busy_time < 0) {
+    return DataLossError("server-resource busy accounting is negative");
+  }
+  speed_factor_ = speed_factor;
+  jobs_completed_ = jobs_completed;
+  jobs_rejected_ = jobs_rejected;
+  jobs_dropped_ = jobs_dropped;
+  epoch_ = epoch;
+  busy_time_ = busy_time;
+  // The snapshot's last_change can sit past the barrier (final drain Release);
+  // it is inert while idle, so pin it at the restored clock to keep the
+  // accounting's monotonic fast path intact.
+  last_change_ = std::min(last_change, sim_->Now());
+  return Status::Ok();
 }
 
 }  // namespace rpcscope

@@ -17,6 +17,10 @@
 
 namespace rpcscope {
 
+class CheckpointWriter;
+class CheckpointReader;
+
+// RPCSCOPE_CHECKPOINTED(CheckpointTo, RestoreFrom)
 class ServerResource {
  public:
   // Completion callback: (queue_delay, service_time) in virtual time.
@@ -85,6 +89,13 @@ class ServerResource {
   // utilization accounting: utilization = busy_time / (elapsed * workers).
   SimDuration busy_time();
 
+  // Checkpoint support. Requires full quiescence (no busy workers, empty run
+  // queues): queued jobs hold callbacks and cannot be persisted. Counters,
+  // speed factor, crash epoch, and busy-time accounting serialize; Restore
+  // re-validates the structural options instead of restoring them.
+  [[nodiscard]] Status CheckpointTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
+
  private:
   struct Job {
     SimTime enqueue_time;
@@ -94,7 +105,7 @@ class ServerResource {
   void GrantJob(Job job);
   size_t QueuedJobs() const { return queue_.size() + low_queue_.size(); }
 
-  Simulator* sim_;
+  Simulator* sim_;  // NOLINT(detan-checkpoint-field) structural
   Options options_;
   double speed_factor_ = 1.0;
   int busy_workers_ = 0;

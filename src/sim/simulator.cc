@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/common/check.h"
 
 namespace rpcscope {
@@ -79,6 +80,82 @@ uint64_t Simulator::RunBefore(SimTime until) {
   }
   events_executed_ += executed;
   return executed;
+}
+
+Status Simulator::CheckpointTo(CheckpointWriter& w) const {
+  if (!ladder_.Empty() || !heap_.Empty()) {
+    return FailedPreconditionError(
+        "simulator queue not drained: checkpoints are only taken at quiescent "
+        "barriers (events hold closures and cannot be persisted)");
+  }
+  w.BeginSection("sim");
+  w.WriteU8(static_cast<uint8_t>(queue_kind_));
+  w.WriteI64(now_);
+  w.WriteU64(next_seq_);
+  w.WriteU64(events_executed_);
+  w.WriteU64(event_digest_);
+  w.WriteI64(last_time_);
+  w.WriteU64(last_seq_);
+  w.WriteBool(any_executed_);
+  w.EndSection();
+  return Status::Ok();
+}
+
+Status Simulator::RestoreFrom(CheckpointReader& r) {
+  if (!ladder_.Empty() || !heap_.Empty()) {
+    return FailedPreconditionError("restore into a simulator with pending events");
+  }
+  if (Status s = r.EnterSection("sim"); !s.ok()) {
+    return s;
+  }
+  const auto kind = static_cast<SimQueueKind>(r.ReadU8());
+  const SimTime now = r.ReadI64();
+  const uint64_t next_seq = r.ReadU64();
+  const uint64_t events_executed = r.ReadU64();
+  const uint64_t event_digest = r.ReadU64();
+  const SimTime last_time = r.ReadI64();
+  const uint64_t last_seq = r.ReadU64();
+  const bool any_executed = r.ReadBool();
+  if (Status s = r.LeaveSection(); !s.ok()) {
+    return s;
+  }
+  if (kind != queue_kind_) {
+    return FailedPreconditionError(
+        "checkpoint was taken with a different simulator queue kind");
+  }
+  if (now < 0 || next_seq < events_executed) {
+    return DataLossError("simulator checkpoint state is inconsistent");
+  }
+  now_ = now;
+  next_seq_ = next_seq;
+  events_executed_ = events_executed;
+  event_digest_ = event_digest;
+  last_time_ = last_time;
+  last_seq_ = last_seq;
+  any_executed_ = any_executed;
+  return Status::Ok();
+}
+
+Status Simulator::ResyncAt(SimTime barrier) {
+  if (!ladder_.Empty() || !heap_.Empty()) {
+    return FailedPreconditionError(
+        "simulator queue not drained: barrier resync requires quiescence");
+  }
+  if (barrier < 0) {
+    return InvalidArgumentError("barrier resync to a negative time");
+  }
+  now_ = barrier;
+  // The ordering bookkeeping restarts from the barrier: the next event popped
+  // starts a fresh (time, seq) chain, and the ladder's pop floor (stuck at the
+  // pre-resync clock) is discarded with the ladder itself. Sequence counter
+  // and digest carry forward — the digest must keep folding the same global
+  // stream whether or not the run was segmented.
+  last_time_ = 0;
+  last_seq_ = 0;
+  any_executed_ = false;
+  ladder_ = LadderEventQueue();
+  heap_ = BinaryHeapEventQueue();
+  return Status::Ok();
 }
 
 uint64_t Simulator::RunUntil(SimTime until) {

@@ -18,12 +18,17 @@
 #include <cstdint>
 
 #include "src/common/check.h"
+#include "src/common/status.h"
 #include "src/common/time.h"
 #include "src/sim/callback.h"
 #include "src/sim/event_queue.h"
 
 namespace rpcscope {
 
+class CheckpointWriter;
+class CheckpointReader;
+
+// RPCSCOPE_CHECKPOINTED(CheckpointTo, RestoreFrom)
 class Simulator {
  public:
   using Callback = SimCallback;
@@ -75,6 +80,25 @@ class Simulator {
   // identical digests; the determinism regression test, the CI smoke test,
   // and the ladder-vs-heap cross-validation test diff this value.
   uint64_t event_digest() const { return event_digest_; }
+
+  // Checkpoint support (src/checkpoint/). The event queue holds closures and
+  // cannot be persisted, so both directions require a drained queue: the
+  // clock, sequence counter, and digest serialize, and schedulers re-arm
+  // their own future events after Restore. Serialize fails if any event is
+  // pending; Restore fails on a queue-kind mismatch (a checkpoint belongs to
+  // one run configuration) or a pre-populated queue.
+  [[nodiscard]] Status CheckpointTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
+
+  // Re-synchronizes the clock at a quiescent epoch barrier
+  // (docs/ROBUSTNESS.md#checkpointrestore). A drained segment leaves each
+  // shard's clock at its own last cascade event — past the barrier on busy
+  // shards — which would force the next epoch's cross-shard deliveries into
+  // their receivers' past. With the queue empty the clock can simply be set
+  // to the common barrier time: the ladder is rebuilt (its pop floor is as
+  // stale as the clock) and the executed-order bookkeeping restarts, while
+  // the sequence counter and digest continue. Fails if events are pending.
+  [[nodiscard]] Status ResyncAt(SimTime barrier);
 
  private:
   // Queue operations dispatch on queue_kind_: one perfectly-predicted branch

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "src/checkpoint/checkpoint.h"
 #include "src/common/rng.h"
+#include "src/trace/storage.h"
 
 namespace rpcscope {
 
@@ -59,6 +62,49 @@ void TraceCollector::Clear() {
   spans_.clear();
   recorded_ = 0;
   dropped_ = 0;
+}
+
+Status TraceCollector::CheckpointTo(CheckpointWriter& w) const {
+  w.BeginSection("trace_collector");
+  w.WriteU64(sample_threshold_);  // Derived from options_; revalidated on restore.
+  w.WriteU64(options_.id_offset);
+  w.WriteU64(recorded_);
+  w.WriteU64(dropped_);
+  w.WriteU64(next_id_);
+  w.WriteBytes(SerializeSpans(spans_));
+  w.EndSection();
+  return Status::Ok();
+}
+
+Status TraceCollector::RestoreFrom(CheckpointReader& r) {
+  if (Status s = r.EnterSection("trace_collector"); !s.ok()) {
+    return s;
+  }
+  const uint64_t sample_threshold = r.ReadU64();
+  const uint64_t id_offset = r.ReadU64();
+  const uint64_t recorded = r.ReadU64();
+  const uint64_t dropped = r.ReadU64();
+  const uint64_t next_id = r.ReadU64();
+  const std::vector<uint8_t> span_blob = r.ReadBytes();
+  if (Status s = r.LeaveSection(); !s.ok()) {
+    return s;
+  }
+  if (sample_threshold != sample_threshold_ || id_offset != options_.id_offset) {
+    return FailedPreconditionError(
+        "checkpoint trace-collector sampling/id configuration does not match this run");
+  }
+  if (next_id == 0) {
+    return DataLossError("trace-collector id counter is zero");
+  }
+  Result<std::vector<Span>> spans = DeserializeSpans(span_blob);
+  if (!spans.ok()) {
+    return spans.status();
+  }
+  spans_ = std::move(spans).value();
+  recorded_ = recorded;
+  dropped_ = dropped;
+  next_id_ = next_id;
+  return Status::Ok();
 }
 
 }  // namespace rpcscope

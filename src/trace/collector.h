@@ -9,12 +9,19 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/status.h"
 #include "src/trace/span.h"
 
 namespace rpcscope {
 
+class CheckpointWriter;
+class CheckpointReader;
+
+// RPCSCOPE_CHECKPOINTED(CheckpointTo, RestoreFrom)
 class TraceCollector {
  public:
+  // Configuration, not checkpointed state: RestoreFrom validates the saved
+  // sampling setup against it instead of overwriting it.
   struct Options {
     double sampling_probability = 1.0;  // Head-based, per trace id.
     uint64_t seed = 0xdadbeef;
@@ -52,6 +59,13 @@ class TraceCollector {
   double ObservedKeepFraction() const;
 
   void Clear();
+
+  // Checkpoint support: collected spans (as an RSPN codec blob, reusing
+  // src/trace/storage.h), the id counter, and keep/drop tallies. Restore
+  // re-validates sampling options via the derived threshold and replaces any
+  // existing contents wholesale.
+  [[nodiscard]] Status CheckpointTo(CheckpointWriter& w) const;
+  [[nodiscard]] Status RestoreFrom(CheckpointReader& r);
 
  private:
   // No PRNG state: the keep decision is a stateless hash of the trace id

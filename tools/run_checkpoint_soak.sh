@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Checkpoint/restore soak (docs/ROBUSTNESS.md#checkpointrestore): runs the
+# Table-1 mini-fleet through fleet_study's checkpoint mode, kills it mid-run
+# — once with a real SIGKILL while epochs are still executing, once at a
+# deterministic barrier via --stop-after-epochs — resumes from the on-disk
+# snapshot, and diffs the final event digest and streamed AggregateDigest
+# against an uninterrupted run of the same configuration. Any mismatch or
+# crash fails the script. CI runs this in Release and ASan/UBSan legs.
+#
+# Usage: tools/run_checkpoint_soak.sh
+# Env knobs: BUILD_DIR, SOAK_DURATION_MS, SOAK_EVERY_MS, SOAK_WORKERS,
+# SOAK_SEEDS, SOAK_CHAOS_MODES.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+FLEET="$BUILD/examples/fleet_study"
+
+DURATION_MS="${SOAK_DURATION_MS:-2000}"
+EVERY_MS="${SOAK_EVERY_MS:-250}"
+WORKERS="${SOAK_WORKERS:-1 2 8}"
+SEEDS="${SOAK_SEEDS:-5 11 23}"
+# "plain" runs without a fault plan; "chaos" runs under the scripted
+# crash + gray-slowdown + packet-loss plan.
+CHAOS_MODES="${SOAK_CHAOS_MODES:-plain chaos}"
+
+if [[ ! -x "$FLEET" ]]; then
+  echo "ERROR: $FLEET not built; run: cmake --build $BUILD --target fleet_study" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/ckpt-soak.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+# Prints "event_digest streamed_digest" from a completed run's output.
+digests() {
+  awk -F= '/^event_digest=/ {e=$2} /^streamed_digest=/ {s=$2} END {print e, s}' "$1"
+}
+
+failures=0
+for mode in $CHAOS_MODES; do
+  chaos_flag=""
+  [[ "$mode" == "chaos" ]] && chaos_flag="--chaos"
+  for w in $WORKERS; do
+    for seed in $SEEDS; do
+      label="mode=$mode workers=$w seed=$seed"
+      common=(--checkpoint-every="$EVERY_MS" --duration-ms="$DURATION_MS"
+              --workers="$w" --seed="$seed")
+      [[ -n "$chaos_flag" ]] && common+=("$chaos_flag")
+
+      # Uninterrupted cadenced reference (no checkpoint dir: nothing written).
+      ref_out="$WORK/ref-$mode-$w-$seed.txt"
+      "$FLEET" "${common[@]}" >"$ref_out"
+      read -r ref_event ref_streamed < <(digests "$ref_out")
+      if [[ -z "$ref_event" || -z "$ref_streamed" ]]; then
+        echo "FAIL [$label]: reference run produced no digests" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+
+      # Leg 1: real SIGKILL once the first barrier snapshot is on disk. If
+      # the run finishes before the kill lands, that is fine — resume then
+      # restores the newest barrier and must still match.
+      dir="$WORK/kill-$mode-$w-$seed"
+      "$FLEET" "${common[@]}" --checkpoint-dir="$dir" >/dev/null 2>&1 &
+      pid=$!
+      for _ in $(seq 1 200); do
+        if compgen -G "$dir/ckpt-*" >/dev/null 2>&1; then
+          break
+        fi
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.05
+      done
+      kill -9 "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+      if ! compgen -G "$dir/ckpt-*" >/dev/null 2>&1; then
+        echo "FAIL [$label]: no checkpoint committed before the kill" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+      res_out="$WORK/res-$mode-$w-$seed.txt"
+      "$FLEET" "${common[@]}" --resume="$dir" >"$res_out"
+      read -r res_event res_streamed < <(digests "$res_out")
+      if [[ "$res_event" != "$ref_event" || "$res_streamed" != "$ref_streamed" ]]; then
+        echo "FAIL [$label] SIGKILL leg: resumed ($res_event, $res_streamed)" \
+             "!= uninterrupted ($ref_event, $ref_streamed)" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+
+      # Leg 2: deterministic barrier stop (exit 3), then resume. Guarantees
+      # an interrupt-at-barrier case even on hosts where leg 1's kill races
+      # the run to completion.
+      dir2="$WORK/stop-$mode-$w-$seed"
+      rc=0
+      "$FLEET" "${common[@]}" --checkpoint-dir="$dir2" --stop-after-epochs=2 \
+        >/dev/null || rc=$?
+      if [[ "$rc" -ne 3 ]]; then
+        echo "FAIL [$label]: --stop-after-epochs leg exited $rc, want 3" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+      res2_out="$WORK/res2-$mode-$w-$seed.txt"
+      "$FLEET" "${common[@]}" --resume="$dir2" >"$res2_out"
+      read -r res2_event res2_streamed < <(digests "$res2_out")
+      if [[ "$res2_event" != "$ref_event" || "$res2_streamed" != "$ref_streamed" ]]; then
+        echo "FAIL [$label] barrier leg: resumed ($res2_event, $res2_streamed)" \
+             "!= uninterrupted ($ref_event, $ref_streamed)" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+      echo "OK   [$label] event=$ref_event streamed=$ref_streamed"
+    done
+  done
+done
+
+if [[ "$failures" -ne 0 ]]; then
+  echo "checkpoint soak: $failures failure(s)" >&2
+  exit 1
+fi
+echo "checkpoint soak: all digests matched"
