@@ -17,13 +17,30 @@
 // bit-for-bit:
 //
 //   ./fleet_study --checkpoint-dir=DIR --checkpoint-every=MS
-//       [--checkpoint-keep=N] [--resume=DIR] [--chaos] [--seed=S]
+//       [--checkpoint-keep=N] [--resume=DIR] [--chaos] [--rollout] [--seed=S]
 //       [--duration-ms=MS] [--workers=W] [--shards=N] [--stop-after-epochs=K]
+//
+// --rollout stages a policy swap (docs/POLICY.md) at the run's midpoint, so
+// the soak can kill and resume with the rollout in flight.
 //
 // Prints machine-parsable `event_digest=` / `streamed_digest=` lines so the
 // checkpoint-soak CI job can diff an interrupted+resumed run against an
 // uninterrupted one. Exits 0 on a completed run, 3 when stopped early by
 // --stop-after-epochs (the simulated kill), 1 on error or digest mismatch.
+//
+// Policy-rollout mode (docs/POLICY.md) demos the managed policy plane's
+// staged-rollout story with a deliberately bad retry policy (an attempt
+// watchdog far below the fleet's RCT, plus eager retries):
+//
+//   ./fleet_study --policy-rollout=<canary_ms>:<fleet_ms>   (or =demo)
+//       [--seed=S] [--duration-ms=MS] [--workers=W] [--shards=N] [--colocate]
+//
+// Three deterministic runs: a baseline, a canary rollout (the bad policy
+// scoped to the busiest service at canary_ms — the canary gate catches the
+// error spike and halts), and the counterfactual fleet-wide rollout showing
+// the goodput collapse the gate prevented. --colocate places frontends on
+// their target replicas so the bypassed-tax fraction line is live too.
+// Exits 0 when the canary catches the regression.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -96,6 +113,170 @@ const char* FlagValue(const char* arg, const char* flag) {
   return std::strncmp(arg, flag, n) == 0 ? arg + n : nullptr;
 }
 
+// Colocated fast-path accounting line (docs/POLICY.md#colocated-bypass):
+// silent when no call took the bypass.
+void PrintBypassedTax(const MiniFleetResult& result) {
+  const double denom = result.paid_tax_cycles + result.avoided_tax_cycles;
+  if (result.colocated_calls == 0 || denom <= 0) {
+    return;
+  }
+  std::printf("colocated fast path: %llu calls bypassed serialization+wire; "
+              "bypassed-tax fraction %.1f%% (avoided %.3g of %.3g tax cycles)\n",
+              static_cast<unsigned long long>(result.colocated_calls),
+              100.0 * result.avoided_tax_cycles / denom, result.avoided_tax_cycles, denom);
+}
+
+// Ok/total span counts for one scope over [from, to): svc == -1 means every
+// service; exclude flips the service filter (the fleet *minus* the canary).
+struct ScopeStats {
+  int64_t total = 0;
+  int64_t ok = 0;
+  double ErrorRate() const {
+    return total > 0 ? 1.0 - static_cast<double>(ok) / static_cast<double>(total) : 0.0;
+  }
+  double OkPerSec(SimDuration window) const {
+    return window > 0 ? static_cast<double>(ok) / ToSeconds(window) : 0.0;
+  }
+};
+
+ScopeStats StatsFor(const std::vector<Span>& spans, SimTime from, SimTime to, int32_t svc,
+                    bool exclude) {
+  ScopeStats s;
+  for (const Span& span : spans) {
+    if (span.start_time < from || span.start_time >= to) {
+      continue;
+    }
+    if (svc >= 0 && (span.service_id == svc) == exclude) {
+      continue;
+    }
+    ++s.total;
+    if (span.status == StatusCode::kOk) {
+      ++s.ok;
+    }
+  }
+  return s;
+}
+
+int RunPolicyRollout(const char* spec, int argc, char** argv) {
+  MiniFleetOptions options;
+  options.duration = Seconds(4);
+  options.warmup = Millis(500);
+  options.frontend_rps = 600;
+  options.num_shards = 8;
+  options.worker_threads = 2;
+  SimTime canary_at = Millis(1500);
+  SimTime fleet_at = Millis(2500);
+  if (std::strcmp(spec, "demo") != 0 && *spec != '\0') {
+    char* rest = nullptr;
+    canary_at = Millis(std::strtoll(spec, &rest, 10));
+    if (rest == nullptr || *rest != ':') {
+      std::fprintf(stderr, "bad --policy-rollout spec %s (want <canary_ms>:<fleet_ms>)\n", spec);
+      return 1;
+    }
+    fleet_at = Millis(std::atoll(rest + 1));
+  }
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (FlagValue(argv[i], "--policy-rollout=")) {
+      continue;
+    } else if ((v = FlagValue(argv[i], "--seed="))) {
+      options.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if ((v = FlagValue(argv[i], "--duration-ms="))) {
+      options.duration = Millis(std::atoll(v));
+    } else if ((v = FlagValue(argv[i], "--workers="))) {
+      options.worker_threads = std::atoi(v);
+    } else if ((v = FlagValue(argv[i], "--shards="))) {
+      options.num_shards = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--colocate") == 0) {
+      options.colocate_frontends = true;
+    } else {
+      std::fprintf(stderr, "unknown policy-rollout flag: %s\n", argv[i]);
+      return 1;
+    }
+  }
+  if (!(canary_at > options.warmup && fleet_at > canary_at && options.duration > fleet_at)) {
+    std::fprintf(stderr, "rollout stages must satisfy warmup < canary < fleet < duration\n");
+    return 1;
+  }
+
+  // The bad policy under rollout: a watchdog far below the fleet's tens-of-ms
+  // RCT plus eager retries — every slow call burns its whole retry allowance
+  // and still fails, while the duplicate attempts keep the servers busy.
+  MethodPolicy bad;
+  bad.attempt_timeout = Millis(5);
+  bad.max_retries = 4;
+  bad.retry_backoff = Micros(100);
+  bad.retry_backoff_cap = Micros(500);
+
+  const ServiceCatalog services = ServiceCatalog::BuildDefault();
+  std::printf("policy rollout drill: bad retry policy (5ms watchdog, 4 retries); "
+              "canary stage at %s, fleet stage at %s\n",
+              FormatDuration(canary_at).c_str(), FormatDuration(fleet_at).c_str());
+
+  // Run 1 — baseline, no timeline. Also picks the canary scope: the busiest
+  // service, so the canary-window stats have the most samples behind them.
+  const MiniFleetResult baseline = RunMiniFleet(services, options);
+  int32_t canary_svc = -1;
+  int64_t canary_spans = -1;
+  for (const auto& [svc, n] : baseline.spans_per_service) {
+    if (n > canary_spans) {
+      canary_svc = svc;
+      canary_spans = n;
+    }
+  }
+  if (canary_svc < 0) {
+    std::fprintf(stderr, "baseline run produced no spans\n");
+    return 1;
+  }
+  const SimTime end = options.duration;
+  const ScopeStats base_all = StatsFor(baseline.spans, canary_at, end, -1, false);
+  std::printf("baseline:     fleet goodput %.0f ok/s, error rate %.1f%% (canary scope: "
+              "service %d, %lld spans)\n",
+              base_all.OkPerSec(end - canary_at), 100.0 * base_all.ErrorRate(),
+              canary_svc, static_cast<long long>(canary_spans));
+
+  // Run 2 — the guarded rollout: stage 1 scopes the bad policy to the canary
+  // service only. The rest of the fleet keeps the initial policy.
+  MiniFleetOptions canary_run = options;
+  PolicySnapshot canary_stage;
+  canary_stage.SetOverride(canary_svc, -1, bad);
+  canary_run.policy.AddStage(canary_at, canary_stage);
+  const MiniFleetResult canaried = RunMiniFleet(services, canary_run);
+  const ScopeStats canary_before = StatsFor(canaried.spans, 0, canary_at, canary_svc, false);
+  const ScopeStats canary_after = StatsFor(canaried.spans, canary_at, end, canary_svc, false);
+  const ScopeStats rest_after = StatsFor(canaried.spans, canary_at, end, canary_svc, true);
+  std::printf("canary stage: service %d error rate %.1f%% -> %.1f%% after the swap; "
+              "rest of fleet %.1f%%\n",
+              canary_svc, 100.0 * canary_before.ErrorRate(), 100.0 * canary_after.ErrorRate(),
+              100.0 * rest_after.ErrorRate());
+  const bool caught = canary_after.ErrorRate() > canary_before.ErrorRate() + 0.20 &&
+                      canary_after.ErrorRate() > 2.0 * (canary_before.ErrorRate() + 1e-9);
+  PrintBypassedTax(canaried);
+
+  // Run 3 — the counterfactual the gate prevented: stage 2 promotes the bad
+  // policy to the fleet defaults at fleet_at.
+  MiniFleetOptions fleet_run = canary_run;
+  PolicySnapshot fleet_stage;
+  fleet_stage.defaults = bad;
+  fleet_run.policy.AddStage(fleet_at, fleet_stage);
+  const MiniFleetResult collapsed = RunMiniFleet(services, fleet_run);
+  const ScopeStats collapse = StatsFor(collapsed.spans, fleet_at, end, -1, false);
+  const ScopeStats healthy = StatsFor(canaried.spans, fleet_at, end, -1, false);
+  std::printf("counterfactual fleet-wide stage: goodput %.0f ok/s vs %.0f ok/s when halted "
+              "at the canary (error rate %.1f%% vs %.1f%%)\n",
+              collapse.OkPerSec(end - fleet_at), healthy.OkPerSec(end - fleet_at),
+              100.0 * collapse.ErrorRate(), 100.0 * healthy.ErrorRate());
+
+  if (caught && collapse.ErrorRate() > healthy.ErrorRate()) {
+    std::printf("verdict: canary caught the bad policy at %s — rollout halted before the "
+                "fleet-wide stage\n",
+                FormatDuration(canary_at).c_str());
+    return 0;
+  }
+  std::printf("verdict: canary did NOT separate the bad policy from the baseline\n");
+  return 1;
+}
+
 int RunCheckpointed(int argc, char** argv) {
   MiniFleetOptions options;
   options.duration = Seconds(4);
@@ -105,6 +286,7 @@ int RunCheckpointed(int argc, char** argv) {
   options.worker_threads = 2;
   CheckpointRunOptions ckpt;
   bool chaos = false;
+  bool rollout = false;
   for (int i = 1; i < argc; ++i) {
     const char* v = nullptr;
     if ((v = FlagValue(argv[i], "--checkpoint-dir="))) {
@@ -130,10 +312,22 @@ int RunCheckpointed(int argc, char** argv) {
       ckpt.stop_after_epochs = std::atoi(v);
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       chaos = true;
+    } else if (std::strcmp(argv[i], "--rollout") == 0) {
+      rollout = true;
     } else {
       std::fprintf(stderr, "unknown checkpoint-mode flag: %s\n", argv[i]);
       return 1;
     }
+  }
+  if (rollout) {
+    // A mid-run staged policy swap (docs/POLICY.md), so the checkpoint soak
+    // can kill and resume with a rollout in flight. The stage lands at the
+    // run's midpoint barrier; the timeline is part of the checkpoint config
+    // hash, so a resume without --rollout is rejected instead of diverging.
+    PolicySnapshot stage;
+    stage.defaults.attempt_timeout = Millis(50);
+    stage.defaults.max_retries = 1;
+    options.policy.AddStage(options.duration / 2, stage);
   }
   FaultPlan plan;
   if (chaos) {
@@ -158,6 +352,10 @@ int RunCheckpointed(int argc, char** argv) {
     return 3;
   }
   std::printf("events_executed=%llu\n", static_cast<unsigned long long>(result.events_executed));
+  std::printf("policy_version=%llu policy_stages_applied=%llu\n",
+              static_cast<unsigned long long>(result.policy_version),
+              static_cast<unsigned long long>(result.policy_stages_applied));
+  PrintBypassedTax(result);
   std::printf("event_digest=%016llx\n", static_cast<unsigned long long>(result.event_digest));
   std::printf("streamed_digest=%016llx\n",
               static_cast<unsigned long long>(result.streamed_aggregate_digest));
@@ -182,6 +380,11 @@ int main(int argc, char** argv) {
   int64_t samples = 500000;
   if (argc > 1 && std::strcmp(argv[1], "--observe") == 0) {
     return RunObserve(argc > 2 ? Seconds(std::atoll(argv[2])) : Seconds(2));
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (const char* spec = FlagValue(argv[i], "--policy-rollout=")) {
+      return RunPolicyRollout(spec, argc, argv);
+    }
   }
   if (WantsCheckpointMode(argc, argv)) {
     return RunCheckpointed(argc, argv);

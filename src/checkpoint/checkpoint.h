@@ -29,7 +29,9 @@ namespace rpcscope {
 // (resuming across layouts would silently diverge digests, which is strictly
 // worse than re-running).
 inline constexpr uint32_t kCheckpointMagic = 0x54504b43;  // "CKPT" little-endian.
-inline constexpr uint32_t kCheckpointFormatVersion = 1;
+// v2: policy engine sections, client colocated-bypass fields, StreamStat
+// colocated aggregates.
+inline constexpr uint32_t kCheckpointFormatVersion = 2;
 
 // Serializes state into an in-memory, section-framed buffer and commits it to
 // disk atomically. All scalars are little-endian fixed width; doubles are

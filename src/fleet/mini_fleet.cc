@@ -157,6 +157,7 @@ RpcSystemOptions MakeSystemOptions(const MiniFleetOptions& options) {
   sys_opts.num_shards = options.num_shards;
   sys_opts.fabric.congestion_probability = 0.01;
   sys_opts.observability = options.observability;
+  sys_opts.policy = options.policy;
   return sys_opts;
 }
 
@@ -399,9 +400,14 @@ void MiniFleet::BuildGraph(const ServiceCatalog& catalog) {
     fe->index = static_cast<uint32_t>(i);
     fe->target = specs[i].target;
     fe->request_bytes = specs[i].request_bytes;
-    fe->machine = spread ? topo.MachineAt(spread_cluster(), 0)
-                         : topo.MachineAt(1, static_cast<int>(i));
-    fe->client = std::make_unique<Client>(&system_, fe->machine);
+    // Colocated demo wiring puts the frontend on its target's first replica
+    // so root calls that pick that machine qualify for the bypass.
+    fe->machine = options_.colocate_frontends ? specs[i].target->machines[0]
+                  : spread                    ? topo.MachineAt(spread_cluster(), 0)
+                                              : topo.MachineAt(1, static_cast<int>(i));
+    ClientOptions fe_client_opts;
+    fe_client_opts.colocated_bypass = options_.colocate_frontends;
+    fe->client = std::make_unique<Client>(&system_, fe->machine, fe_client_opts);
     fe->chooser = workload.Fork(i);
     MiniFleetFrontend* slot = fe.get();
     fe->arrivals = std::make_unique<EpochArrivals>(
@@ -471,6 +477,16 @@ MiniFleetResult MiniFleet::Collect() {
     }
   }
 
+  result.policy_version = system_.shard(0).policy.version();
+  result.policy_stages_applied = system_.shard(0).policy.stages_applied();
+  for (int s = 0; s < system_.num_shards(); ++s) {
+    MetricRegistry& metrics = system_.shard(s).metrics;
+    result.colocated_calls +=
+        static_cast<uint64_t>(metrics.GetCounter("client.colocated_calls").value());
+    result.paid_tax_cycles += metrics.GetCounter("client.tax_cycles").value();
+    result.avoided_tax_cycles += metrics.GetCounter("client.avoided_tax_cycles").value();
+  }
+
   if (const ObservabilityHub* hub = system_.hub(); hub != nullptr) {
     result.streamed_aggregate_digest = hub->AggregateDigest();
     result.exemplar_digest = hub->ExemplarDigest();
@@ -516,6 +532,10 @@ uint64_t MiniFleet::ConfigHash(SimDuration checkpoint_every) const {
   fold(DoubleBits(obs.latency_histogram.max_value));
   fold(static_cast<uint64_t>(obs.latency_histogram.buckets_per_decade));
   fold(static_cast<uint64_t>(checkpoint_every));
+  // The policy plan and colocation wiring both change event streams: resuming
+  // under a different rollout (or placement) must be rejected.
+  fold(options_.policy.ContentHash());
+  fold(options_.colocate_frontends ? 1 : 0);
   // Full fault-plan content: a resumed run must execute the same chaos.
   if (options_.fault_plan == nullptr) {
     fold(0);

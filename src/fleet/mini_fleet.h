@@ -67,6 +67,16 @@ struct MiniFleetOptions {
   // construction; the pointer only needs to live through the MiniFleet
   // constructor. Plan content is folded into the checkpoint config hash.
   const FaultPlan* fault_plan = nullptr;
+  // Managed policy plane (docs/POLICY.md): the authored snapshot timeline,
+  // forwarded to RpcSystemOptions. Stages apply at conservative-round
+  // barriers; an empty timeline reproduces the pre-policy fleet bit-for-bit.
+  // Timeline content is folded into the checkpoint config hash.
+  PolicyTimeline policy;
+  // Colocated zero-copy fast path demo wiring: place each frontend on its
+  // target deployment's first machine and enable ClientOptions::
+  // colocated_bypass, so root calls that pick that replica skip
+  // serialization and the wire (docs/POLICY.md#colocated-bypass).
+  bool colocate_frontends = false;
 };
 
 struct MiniFleetResult {
@@ -100,6 +110,17 @@ struct MiniFleetResult {
   int64_t windows_closed = 0;
   int64_t late_window_updates = 0;
   size_t peak_buffered_spans = 0;       // Max over shards: bounded-memory proof.
+
+  // Policy-plane state at run end (identical across shards by construction).
+  uint64_t policy_version = 0;
+  uint64_t policy_stages_applied = 0;
+  // Colocated-bypass accounting, summed over all shards' client counters:
+  // attempts that took the fast path, the stack tax actually paid (cycles),
+  // and the tax the bypassed stages avoided. The bypassed-tax fraction is
+  // avoided / (paid + avoided).
+  uint64_t colocated_calls = 0;
+  double paid_tax_cycles = 0;
+  double avoided_tax_cycles = 0;
 
   // Checkpointed-run bookkeeping (RunMiniFleetCheckpointed only).
   bool interrupted = false;       // Stopped early via stop_after_epochs.

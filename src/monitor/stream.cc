@@ -1,6 +1,7 @@
 #include "src/monitor/stream.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "src/checkpoint/checkpoint.h"
@@ -59,6 +60,10 @@ void StreamStat::AddSpan(const Span& span) {
   }
   total_nanos_sum += static_cast<uint64_t>(total);
   tax_nanos_sum += static_cast<uint64_t>(span.latency.Tax());
+  if (span.colocated) {
+    ++colocated;
+    avoided_tax_cycles_sum += static_cast<uint64_t>(std::llround(span.avoided_tax_cycles));
+  }
   total_nanos.Add(static_cast<double>(total));
 }
 
@@ -76,6 +81,8 @@ void StreamStat::Merge(const StreamStat& other) {
   errors += other.errors;
   total_nanos_sum += other.total_nanos_sum;
   tax_nanos_sum += other.tax_nanos_sum;
+  colocated += other.colocated;
+  avoided_tax_cycles_sum += other.avoided_tax_cycles_sum;
   total_nanos.Merge(other.total_nanos);
 }
 
@@ -84,6 +91,8 @@ void StreamStat::WriteTo(CheckpointWriter& w) const {
   w.WriteI64(errors);
   w.WriteU64(total_nanos_sum);
   w.WriteU64(tax_nanos_sum);
+  w.WriteI64(colocated);
+  w.WriteU64(avoided_tax_cycles_sum);
   w.WriteI64(min_total);
   w.WriteI64(max_total);
   WriteHistogramState(w, total_nanos);
@@ -94,6 +103,8 @@ Status StreamStat::RestoreFrom(CheckpointReader& r) {
   errors = r.ReadI64();
   total_nanos_sum = r.ReadU64();
   tax_nanos_sum = r.ReadU64();
+  colocated = r.ReadI64();
+  avoided_tax_cycles_sum = r.ReadU64();
   min_total = r.ReadI64();
   max_total = r.ReadI64();
   return ReadHistogramState(r, total_nanos);
@@ -331,6 +342,8 @@ uint64_t ObservabilityHub::AggregateDigest() const {
     digest = FnvMix(digest, static_cast<uint64_t>(stream.stat.errors));
     digest = FnvMix(digest, stream.stat.total_nanos_sum);
     digest = FnvMix(digest, stream.stat.tax_nanos_sum);
+    digest = FnvMix(digest, static_cast<uint64_t>(stream.stat.colocated));
+    digest = FnvMix(digest, stream.stat.avoided_tax_cycles_sum);
     digest = FnvMix(digest, static_cast<uint64_t>(stream.stat.min_total));
     digest = FnvMix(digest, static_cast<uint64_t>(stream.stat.max_total));
     digest = FoldHistogram(digest, stream.stat.total_nanos);

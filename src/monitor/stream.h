@@ -66,6 +66,11 @@ struct StreamStat {
   int64_t errors = 0;
   uint64_t total_nanos_sum = 0;  // Sum of latency.Total(), wrapping.
   uint64_t tax_nanos_sum = 0;    // Sum of latency.Tax(), wrapping.
+  // Colocated-bypass accounting (docs/POLICY.md#colocated-bypass): spans that
+  // took the fast path, and the cycles their skipped stages would have cost
+  // (rounded to integers so the sum stays ingest-order independent).
+  int64_t colocated = 0;
+  uint64_t avoided_tax_cycles_sum = 0;  // Wrapping.
   SimDuration min_total = 0;     // Valid when count > 0.
   SimDuration max_total = 0;
   LogHistogram total_nanos;      // latency.Total() in nanoseconds.

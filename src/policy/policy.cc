@@ -1,0 +1,175 @@
+#include "src/policy/policy.h"
+
+#include <cstring>
+
+#include "src/checkpoint/checkpoint.h"
+
+namespace rpcscope {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t FnvMix(uint64_t digest, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    digest ^= (value >> (i * 8)) & 0xff;
+    digest *= kFnvPrime;
+  }
+  return digest;
+}
+
+uint64_t FnvMixDouble(uint64_t digest, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return FnvMix(digest, bits);
+}
+
+const PolicySnapshot& EmptySnapshot() {
+  static const PolicySnapshot empty;
+  return empty;
+}
+
+}  // namespace
+
+bool MethodPolicy::IsInherit() const {
+  return pick_policy < 0 && subset_size < 0 && default_deadline < 0 && max_retries < 0 &&
+         hedge_delay < 0 && outlier_enabled < 0 && retry_backoff < 0 && retry_backoff_cap < 0 &&
+         attempt_timeout < 0 && retry_budget_max_tokens < 0 && retry_budget_refill < 0 &&
+         colocated_bypass < 0 && shed_on_deadline < 0;
+}
+
+void MethodPolicy::MergeFrom(const MethodPolicy& over) {
+  if (over.pick_policy >= 0) pick_policy = over.pick_policy;
+  if (over.subset_size >= 0) subset_size = over.subset_size;
+  if (over.default_deadline >= 0) default_deadline = over.default_deadline;
+  if (over.max_retries >= 0) max_retries = over.max_retries;
+  if (over.hedge_delay >= 0) hedge_delay = over.hedge_delay;
+  if (over.outlier_enabled >= 0) outlier_enabled = over.outlier_enabled;
+  if (over.retry_backoff >= 0) retry_backoff = over.retry_backoff;
+  if (over.retry_backoff_cap >= 0) retry_backoff_cap = over.retry_backoff_cap;
+  if (over.attempt_timeout >= 0) attempt_timeout = over.attempt_timeout;
+  if (over.retry_budget_max_tokens >= 0) retry_budget_max_tokens = over.retry_budget_max_tokens;
+  if (over.retry_budget_refill >= 0) retry_budget_refill = over.retry_budget_refill;
+  if (over.colocated_bypass >= 0) colocated_bypass = over.colocated_bypass;
+  if (over.shed_on_deadline >= 0) shed_on_deadline = over.shed_on_deadline;
+}
+
+uint64_t MethodPolicy::ContentHash(uint64_t digest) const {
+  digest = FnvMix(digest, static_cast<uint64_t>(static_cast<int64_t>(pick_policy)));
+  digest = FnvMix(digest, static_cast<uint64_t>(static_cast<int64_t>(subset_size)));
+  digest = FnvMix(digest, static_cast<uint64_t>(default_deadline));
+  digest = FnvMix(digest, static_cast<uint64_t>(static_cast<int64_t>(max_retries)));
+  digest = FnvMix(digest, static_cast<uint64_t>(hedge_delay));
+  digest = FnvMix(digest, static_cast<uint64_t>(static_cast<int64_t>(outlier_enabled)));
+  digest = FnvMix(digest, static_cast<uint64_t>(retry_backoff));
+  digest = FnvMix(digest, static_cast<uint64_t>(retry_backoff_cap));
+  digest = FnvMix(digest, static_cast<uint64_t>(attempt_timeout));
+  digest = FnvMixDouble(digest, retry_budget_max_tokens);
+  digest = FnvMixDouble(digest, retry_budget_refill);
+  digest = FnvMix(digest, static_cast<uint64_t>(static_cast<int64_t>(colocated_bypass)));
+  digest = FnvMix(digest, static_cast<uint64_t>(static_cast<int64_t>(shed_on_deadline)));
+  return digest;
+}
+
+void PolicySnapshot::SetOverride(int32_t service_id, int32_t method_id,
+                                 const MethodPolicy& policy) {
+  overrides[{service_id, method_id}] = policy;
+}
+
+MethodPolicy PolicySnapshot::Resolve(int32_t service_id, int32_t method_id) const {
+  MethodPolicy merged = defaults;
+  auto service_wide = overrides.find({service_id, -1});
+  if (service_wide != overrides.end()) merged.MergeFrom(service_wide->second);
+  if (method_id >= 0) {
+    auto exact = overrides.find({service_id, method_id});
+    if (exact != overrides.end()) merged.MergeFrom(exact->second);
+  }
+  return merged;
+}
+
+uint64_t PolicySnapshot::ContentHash(uint64_t digest) const {
+  digest = FnvMix(digest, version);
+  digest = defaults.ContentHash(digest);
+  digest = FnvMix(digest, overrides.size());
+  // std::map iterates in key order, so the fold is canonical.
+  for (const auto& [key, policy] : overrides) {
+    digest = FnvMix(digest, static_cast<uint64_t>(static_cast<int64_t>(key.first)));
+    digest = FnvMix(digest, static_cast<uint64_t>(static_cast<int64_t>(key.second)));
+    digest = policy.ContentHash(digest);
+  }
+  return digest;
+}
+
+void PolicyTimeline::AddStage(SimTime at, PolicySnapshot snapshot) {
+  if (snapshot.version == 0) snapshot.version = stages.size() + 1;
+  stages.push_back(PolicyStage{at, std::move(snapshot)});
+}
+
+Status PolicyTimeline::Validate() const {
+  SimTime prev = 0;
+  for (const PolicyStage& stage : stages) {
+    if (stage.at <= prev) {
+      return InvalidArgumentError("policy stage times must be positive and strictly increasing");
+    }
+    prev = stage.at;
+  }
+  return Status::Ok();
+}
+
+uint64_t PolicyTimeline::ContentHash() const {
+  uint64_t digest = kFnvOffset;
+  digest = initial.ContentHash(digest);
+  digest = FnvMix(digest, stages.size());
+  for (const PolicyStage& stage : stages) {
+    digest = FnvMix(digest, static_cast<uint64_t>(stage.at));
+    digest = stage.snapshot.ContentHash(digest);
+  }
+  return digest;
+}
+
+const PolicySnapshot& PolicyEngine::current() const {
+  if (timeline_ == nullptr) return EmptySnapshot();
+  if (applied_ == 0) return timeline_->initial;
+  return timeline_->stages[applied_ - 1].snapshot;
+}
+
+void PolicyEngine::ApplyThrough(SimTime watermark) {
+  if (timeline_ == nullptr) return;
+  while (applied_ < timeline_->stages.size() && timeline_->stages[applied_].at <= watermark) {
+    ++applied_;
+  }
+}
+
+Status PolicyEngine::CheckpointTo(CheckpointWriter& w) const {
+  w.BeginSection("policy_engine");
+  uint64_t timeline_hash = timeline_ != nullptr ? timeline_->ContentHash() : 0;
+  w.WriteU64(timeline_hash);
+  w.WriteU64(static_cast<uint64_t>(applied_));
+  w.WriteU64(version());
+  w.EndSection();
+  return Status::Ok();
+}
+
+Status PolicyEngine::RestoreFrom(CheckpointReader& r) {
+  if (Status s = r.EnterSection("policy_engine"); !s.ok()) return s;
+  uint64_t timeline_hash = r.ReadU64();
+  uint64_t applied = r.ReadU64();
+  uint64_t saved_version = r.ReadU64();
+  if (Status s = r.LeaveSection(); !s.ok()) return s;
+  uint64_t expected_hash = timeline_ != nullptr ? timeline_->ContentHash() : 0;
+  if (timeline_hash != expected_hash) {
+    return FailedPreconditionError("policy engine restore under a different policy timeline");
+  }
+  size_t stage_count = timeline_ != nullptr ? timeline_->stages.size() : 0;
+  if (applied > stage_count) {
+    return DataLossError("policy engine checkpoint cursor exceeds timeline stage count");
+  }
+  applied_ = static_cast<size_t>(applied);
+  if (saved_version != version()) {
+    return DataLossError("policy engine checkpoint version mismatch after cursor restore");
+  }
+  return Status::Ok();
+}
+
+}  // namespace rpcscope

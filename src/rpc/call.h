@@ -58,6 +58,14 @@ struct CallOptions {
 
   // Service the target method belongs to (recorded on spans; -1 = unknown).
   int32_t service_id = -1;
+
+  // Per-attempt outcome observer, invoked once per attempt as its span is
+  // recorded, with the attempt's own target, status, and latency. Channel
+  // sets this for outlier ejection: the *call* outcome can't attribute health
+  // (a hedge that rescues a call must not launder the primary backend's
+  // failure into a success sample). Hedge losers report kCancelled.
+  std::function<void(MachineId target, StatusCode code, SimDuration latency)>
+      attempt_observer;
 };
 
 struct CallResult {
@@ -93,6 +101,11 @@ struct ServerReply {
   // in the client's own shard domain (never from the server's).
   SimDuration request_wire = 0;
   CycleBreakdown server_cycles;
+  // Colocated fast path (docs/POLICY.md#colocated-bypass): the response was
+  // never encoded — local_response is the handler's payload handed back by
+  // buffer, response_frame carries only the byte accounting (wire_bytes 0).
+  bool colocated = false;
+  Payload local_response;
 };
 
 using ServerResponder = std::function<void(ServerReply reply)>;
@@ -109,6 +122,14 @@ struct IncomingRequest {
   // One-way wire latency the request experienced; echoed back on the reply
   // (ServerReply::request_wire) for cross-domain-safe latency accounting.
   SimDuration request_wire = 0;
+  // Service the method belongs to (-1 = unknown); lets the server resolve
+  // per-service policy (shedding) without a reverse method registry.
+  int32_t service_id = -1;
+  // Colocated fast path: caller and callee share a MachineId, the request was
+  // never encoded — local_payload is the request handed over by buffer and
+  // request_frame carries only byte accounting (wire_bytes 0, crc unused).
+  bool colocated = false;
+  Payload local_payload;
   ServerResponder respond;
 };
 

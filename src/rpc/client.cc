@@ -10,6 +10,21 @@
 
 namespace rpcscope {
 
+namespace {
+
+// Stack cycles one message direction would have cost through the full
+// serialize/compress/encrypt/checksum/netstack pipeline, minus the RPC
+// library bookkeeping the colocated fast path still charges on both sides —
+// the per-direction "avoided tax" recorded on bypassed spans.
+double AvoidedDirectionTax(const CycleCostModel& costs, int64_t payload_bytes,
+                           int64_t wire_bytes) {
+  const double full = costs.SendSideCost(payload_bytes, wire_bytes).TaxTotal() +
+                      costs.RecvSideCost(payload_bytes, wire_bytes).TaxTotal();
+  return full - 2 * costs.rpclib_fixed_per_side;
+}
+
+}  // namespace
+
 struct Client::CallState {
   CallOptions options;
   CallCallback done;
@@ -21,8 +36,16 @@ struct Client::CallState {
   bool completed = false;
   StatusCode completion_reason = StatusCode::kOk;
   int attempts_started = 0;
+  // Attempts issued but not yet decided. A failed attempt only concludes the
+  // call when it is the last one standing: a hedge that fails fast (e.g. a
+  // crashed backend refusing the connection) must not preempt a primary that
+  // is still working — and vice versa.
+  int attempts_inflight = 0;
   int retries_used = 0;
   bool hedge_launched = false;
+  // Policy-resolved at issue time: attempts to this client's own machine take
+  // the colocated fast path (docs/POLICY.md#colocated-bypass).
+  bool colocated_bypass = false;
 };
 
 struct Client::Attempt {
@@ -38,6 +61,10 @@ struct Client::Attempt {
   int64_t response_wire_bytes = 0;
   int64_t request_payload_bytes = 0;
   int64_t response_payload_bytes = 0;
+  // Colocated fast path: the attempt skipped serialize + wire; the stack
+  // cycles it would have paid accumulate here and surface on the span.
+  bool colocated = false;
+  double avoided_tax_cycles = 0;
 };
 
 Client::Client(RpcSystem* system, MachineId machine, const ClientOptions& options)
@@ -53,12 +80,33 @@ Client::Client(RpcSystem* system, MachineId machine, const ClientOptions& option
                          static_cast<uint64_t>(machine))),
       retry_budget_(options.retry_budget),
       rx_processing_overhead_(options.rx_processing_overhead),
+      colocated_bypass_base_(options.colocated_bypass),
       retries_counter_(&shard_->metrics.GetCounter("client.retries")),
       retry_exhausted_counter_(&shard_->metrics.GetCounter("client.retry_budget_exhausted")),
       queue_rejected_counter_(&shard_->metrics.GetCounter("client.queue_rejected")),
       attempt_timeout_counter_(&shard_->metrics.GetCounter("client.attempt_timeouts")),
       completions_ok_counter_(&shard_->metrics.GetCounter("client.completions_ok")),
-      completions_err_counter_(&shard_->metrics.GetCounter("client.completions_err")) {}
+      completions_err_counter_(&shard_->metrics.GetCounter("client.completions_err")),
+      colocated_counter_(&shard_->metrics.GetCounter("client.colocated_calls")),
+      tax_cycles_counter_(&shard_->metrics.GetCounter("client.tax_cycles")),
+      avoided_tax_counter_(&shard_->metrics.GetCounter("client.avoided_tax_cycles")) {
+  policy_version_seen_ = shard_->policy.version();
+  const MethodPolicy fleet = shard_->policy.current().Resolve(-1, -1);
+  retry_budget_.Reconfigure(fleet.retry_budget_max_tokens, fleet.retry_budget_refill);
+}
+
+MethodPolicy Client::ResolveCallPolicy(int32_t service_id, MethodId method) {
+  const PolicyEngine& engine = shard_->policy;
+  if (engine.version() != policy_version_seen_) {
+    policy_version_seen_ = engine.version();
+    // The retry budget is client-scoped, not method-scoped, so its shape
+    // follows the fleet-wide defaults (service/method entries can't
+    // meaningfully resize a shared bucket).
+    const MethodPolicy fleet = engine.current().Resolve(-1, -1);
+    retry_budget_.Reconfigure(fleet.retry_budget_max_tokens, fleet.retry_budget_refill);
+  }
+  return engine.current().Resolve(service_id, method);
+}
 
 void Client::CountCompletion(StatusCode code) {
   if (code == StatusCode::kOk) {
@@ -79,6 +127,29 @@ void Client::Call(MachineId target, MethodId method, Payload request, const Call
   st->request = std::move(request);
   st->trace_id = options.trace_id != 0 ? options.trace_id : shard_->tracer.NewTraceId();
   st->issue_time = shard_->sim().Now();
+
+  // Managed policy resolution (docs/POLICY.md): retry pacing is owned by the
+  // policy plane outright (a staged rollout of a bad backoff must land even
+  // on calls with library defaults), the remaining knobs fill in only where
+  // the caller/channel left them unset.
+  const MethodPolicy policy = ResolveCallPolicy(st->options.service_id, method);
+  if (policy.retry_backoff >= 0) {
+    st->options.retry_backoff = policy.retry_backoff;
+  }
+  if (policy.retry_backoff_cap >= 0) {
+    st->options.retry_backoff_cap = policy.retry_backoff_cap;
+  }
+  if (policy.max_retries >= 0 && st->options.max_retries == 0) {
+    st->options.max_retries = static_cast<int>(policy.max_retries);
+  }
+  if (policy.attempt_timeout >= 0 && st->options.attempt_timeout == 0) {
+    st->options.attempt_timeout = policy.attempt_timeout;
+  }
+  if (policy.default_deadline >= 0 && st->options.deadline == 0) {
+    st->options.deadline = policy.default_deadline;
+  }
+  st->colocated_bypass =
+      policy.colocated_bypass >= 0 ? policy.colocated_bypass != 0 : colocated_bypass_base_;
 
   // Deadline propagation: a child call never outlives its parent's budget.
   if (st->options.parent_deadline_time > 0) {
@@ -143,6 +214,7 @@ void Client::StartAttempt(std::shared_ptr<CallState> st, MachineId target) {
   att->target = target;
   att->start = shard_->sim().Now();
   ++st->attempts_started;
+  ++st->attempts_inflight;
 
   // Fail fast when the send queue is already over its bound: rejecting before
   // EncodeFrame keeps overload from burning encode cycles on doomed work.
@@ -165,6 +237,11 @@ void Client::StartAttempt(std::shared_ptr<CallState> st, MachineId target) {
       attempt_timeout_counter_->Increment();
       AttemptFinished(st, att, UnavailableError("attempt transport timeout"), Payload());
     });
+  }
+
+  if (st->colocated_bypass && target == machine_) {
+    StartColocatedAttempt(std::move(st), std::move(att));
+    return;
   }
 
   const CycleCostModel& costs = system_->costs();
@@ -217,11 +294,67 @@ void Client::StartAttempt(std::shared_ptr<CallState> st, MachineId target) {
           req.trace_id = st->trace_id;
           req.span_id = att->span_id;
           req.request_wire = wire;
+          req.service_id = st->options.service_id;
           req.respond = [this, st, att](ServerReply reply) {
             OnReply(st, att, std::move(reply));
           };
           server->DeliverRequest(std::move(req));
         });
+  });
+}
+
+void Client::StartColocatedAttempt(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att) {
+  ++colocated_calls_;
+  colocated_counter_->Increment();
+  att->colocated = true;
+  const CycleCostModel& costs = system_->costs();
+  const int64_t payload_bytes = st->request.SerializedSize();
+  // Request direction: only library bookkeeping is charged; everything the
+  // wire pipeline would have cost (against the estimated on-wire size) is
+  // recorded as avoided tax instead.
+  const CycleBreakdown tx_cost = costs.LocalDeliveryCost();
+  att->cycles.Accumulate(tx_cost);
+  att->request_payload_bytes = payload_bytes;
+  att->avoided_tax_cycles +=
+      AvoidedDirectionTax(costs, payload_bytes, EstimateWireBytes(st->request));
+  const SimDuration tx_time = costs.CyclesToDuration(tx_cost.TaxTotal(), machine_speed_);
+
+  tx_pool_.Submit(tx_time, [this, st, att, payload_bytes](SimDuration tx_wait,
+                                                          SimDuration tx_service) {
+    if (tx_wait == ServerResource::kRejected) {
+      AttemptFinished(st, att, ResourceExhaustedError("client tx queue full"), Payload());
+      return;
+    }
+    att->bd[RpcComponent::kClientSendQueue] = tx_wait;
+    att->bd[RpcComponent::kRequestProcStack] = tx_service;
+    // The hand-off stays an event (same machine, same shard) rather than an
+    // inline call so the server pipeline observes the same scheduling
+    // semantics as a delivered frame; kRequestWire stays 0 — no wire.
+    shard_->sim().Schedule(0, [this, st, att, payload_bytes]() {
+      Server* server = system_->ServerAt(att->target);
+      if (server == nullptr) {
+        AttemptFinished(st, att, UnavailableError("no server at target machine"), Payload());
+        return;
+      }
+      if (!server->up()) {
+        AttemptFinished(st, att, UnavailableError("server down"), Payload());
+        return;
+      }
+      IncomingRequest req;
+      req.method = st->method;
+      req.request_frame.payload_bytes = payload_bytes;  // Accounting only; wire_bytes 0.
+      req.client_machine = machine_;
+      req.deadline_time = st->options.deadline > 0 ? st->issue_time + st->options.deadline : 0;
+      req.trace_id = st->trace_id;
+      req.span_id = att->span_id;
+      req.service_id = st->options.service_id;
+      req.colocated = true;
+      // Hand-off by buffer: the request payload crosses to the server without
+      // an encode (copied, not serialized — retries may still need it).
+      req.local_payload = st->request;
+      req.respond = [this, st, att](ServerReply reply) { OnReply(st, att, std::move(reply)); };
+      server->DeliverRequest(std::move(req));
+    });
   });
 }
 
@@ -269,8 +402,17 @@ void Client::OnReply(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att
       reply.response_frame.payload_bytes * std::max(reply.chunk_count, 1);
 
   const CycleCostModel& costs = system_->costs();
-  CycleBreakdown rx_cost = costs.RecvSideCost(reply.response_frame.payload_bytes,
-                                              reply.response_frame.wire_bytes);
+  CycleBreakdown rx_cost;
+  if (reply.colocated) {
+    // Response direction of the fast path: bookkeeping only; the decode
+    // pipeline the response skipped is recorded as avoided tax.
+    rx_cost = costs.LocalDeliveryCost();
+    att->avoided_tax_cycles += AvoidedDirectionTax(costs, reply.response_frame.payload_bytes,
+                                                   EstimateWireBytes(reply.local_response));
+  } else {
+    rx_cost = costs.RecvSideCost(reply.response_frame.payload_bytes,
+                                 reply.response_frame.wire_bytes);
+  }
   if (streamed) {
     // Per-chunk receive costs: the client decodes every chunk.
     CycleBreakdown total;
@@ -294,12 +436,17 @@ void Client::OnReply(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att
     Payload response;
     Status status = reply.status;
     if (status.ok()) {
-      Result<Payload> decoded =
-          DecodeFrame(reply.response_frame, system_->options().encryption_key, scratch_);
-      if (decoded.ok()) {
-        response = std::move(decoded.value());
+      if (reply.colocated) {
+        // The response was never encoded: take the payload by buffer.
+        response = std::move(reply.local_response);
       } else {
-        status = decoded.status();
+        Result<Payload> decoded =
+            DecodeFrame(reply.response_frame, system_->options().encryption_key, scratch_);
+        if (decoded.ok()) {
+          response = std::move(decoded.value());
+        } else {
+          status = decoded.status();
+        }
       }
     }
     AttemptFinished(st, att, std::move(status), std::move(response));
@@ -328,6 +475,19 @@ void Client::RecordAttemptSpan(const CallState& st, const Attempt& att, StatusCo
       static_cast<double>(Mix64(att.span_id ^ 0xc0c) >> 11) * 0x1.0p-53 < p;
   span.normalized_cpu_cycles =
       att.cycles.Total() / system_->costs().normalization_cycles;
+  span.colocated = att.colocated;
+  span.avoided_tax_cycles = att.avoided_tax_cycles;
+  // Fleet tax accounting: paid stack cycles for every attempt, and for
+  // bypassed attempts the tax the fast path saved — the fleet_study
+  // "bypassed-tax fraction" is avoided / (paid + avoided).
+  tax_cycles_counter_->Increment(att.cycles.TaxTotal());
+  if (att.colocated) {
+    avoided_tax_cycles_ += att.avoided_tax_cycles;
+    avoided_tax_counter_->Increment(att.avoided_tax_cycles);
+  }
+  if (st.options.attempt_observer) {
+    st.options.attempt_observer(att.target, code, att.bd.Total());
+  }
   const bool kept = shard_->tracer.Record(span);
   if (kept && shard_->stream_sink != nullptr) {
     // The streaming pipeline taps exactly the kept (head-sampled) stream —
@@ -346,6 +506,7 @@ void Client::AttemptFinished(std::shared_ptr<CallState> st, std::shared_ptr<Atte
     return;  // Already decided (transport watchdog); span recorded once.
   }
   att->finished = true;
+  --st->attempts_inflight;
   StatusCode record_code = status.code();
   if (st->completed) {
     // The call already concluded without this attempt: a hedge loser is
@@ -358,6 +519,14 @@ void Client::AttemptFinished(std::shared_ptr<CallState> st, std::shared_ptr<Atte
     return;
   }
   RecordAttemptSpan(*st, *att, record_code);
+
+  if (!status.ok() && st->attempts_inflight > 0) {
+    // A sibling attempt (the hedge, or the primary the hedge covered for) is
+    // still in flight: let its outcome decide the call instead of failing —
+    // or retrying — while a live attempt may yet succeed.
+    wasted_cycles_ += att->cycles.Total();
+    return;
+  }
 
   if (status.code() == StatusCode::kUnavailable &&
       st->retries_used < st->options.max_retries) {
@@ -427,6 +596,10 @@ Status Client::CheckpointTo(CheckpointWriter& w) const {
   w.WriteU64(attempt_timeouts_);
   w.WriteU64(dead_on_arrival_);
   w.WriteDouble(wasted_cycles_);
+  w.WriteBool(colocated_bypass_base_);
+  w.WriteU64(policy_version_seen_);
+  w.WriteU64(colocated_calls_);
+  w.WriteDouble(avoided_tax_cycles_);
   w.EndSection();
   if (Status s = tx_pool_.CheckpointTo(w); !s.ok()) {
     return s;
@@ -458,11 +631,16 @@ Status Client::RestoreFrom(CheckpointReader& r) {
   const uint64_t attempt_timeouts = r.ReadU64();
   const uint64_t dead_on_arrival = r.ReadU64();
   const double wasted_cycles = r.ReadDouble();
+  const bool colocated_bypass_base = r.ReadBool();
+  const uint64_t policy_version_seen = r.ReadU64();
+  const uint64_t colocated_calls = r.ReadU64();
+  const double avoided_tax_cycles = r.ReadDouble();
   if (Status s = r.LeaveSection(); !s.ok()) {
     return s;
   }
   if (machine != machine_ || machine_speed != machine_speed_ ||
-      rx_processing_overhead != rx_processing_overhead_) {
+      rx_processing_overhead != rx_processing_overhead_ ||
+      colocated_bypass_base != colocated_bypass_base_) {
     return FailedPreconditionError("client: checkpoint is for a different client configuration");
   }
   if (calls_issued != calls_completed) {
@@ -480,6 +658,17 @@ Status Client::RestoreFrom(CheckpointReader& r) {
   attempt_timeouts_ = attempt_timeouts;
   dead_on_arrival_ = dead_on_arrival;
   wasted_cycles_ = wasted_cycles;
+  colocated_calls_ = colocated_calls;
+  avoided_tax_cycles_ = avoided_tax_cycles;
+  // The engine is restored before the components (docs/POLICY.md): re-apply
+  // the fleet-default budget shape for the current snapshot so the derived
+  // budget configuration matches the checkpointed run. The saved version may
+  // legitimately lag the engine's — a client that issued no calls after a
+  // barrier swap never observed the new version — so no equality is required;
+  // the next call resolves against the engine's current snapshot either way.
+  policy_version_seen_ = policy_version_seen;
+  const MethodPolicy fleet = shard_->policy.current().Resolve(-1, -1);
+  retry_budget_.Reconfigure(fleet.retry_budget_max_tokens, fleet.retry_budget_refill);
   if (Status s = tx_pool_.RestoreFrom(r); !s.ok()) {
     return s;
   }

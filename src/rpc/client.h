@@ -44,6 +44,13 @@ struct ClientOptions {
   SimDuration rx_processing_overhead = 0;
   // Retry-storm protection (disabled by default; see RetryBudget).
   RetryBudget::Options retry_budget;
+  // Colocated zero-copy fast path (docs/POLICY.md#colocated-bypass): calls
+  // whose target is this client's own machine skip serialization and the
+  // fabric entirely, handing the payload over by shared buffer and charging
+  // only the RPC library bookkeeping per side. The bypassed stage costs are
+  // recorded on the span as avoided tax. The policy plane can override this
+  // per service/method (MethodPolicy::colocated_bypass).
+  bool colocated_bypass = false;
 };
 
 // RPCSCOPE_CHECKPOINTED(Client::CheckpointTo, Client::RestoreFrom)
@@ -78,6 +85,12 @@ class Client {
   uint64_t attempt_timeouts() const { return attempt_timeouts_; }
   uint64_t dead_on_arrival() const { return dead_on_arrival_; }
 
+  // Colocated-bypass accounting: attempts that took the fast path, and the
+  // stack cycles they would have paid had the call gone through the full
+  // serialize/wire pipeline (the per-span avoided tax, summed).
+  uint64_t colocated_calls() const { return colocated_calls_; }
+  double avoided_tax_cycles() const { return avoided_tax_cycles_; }
+
   // Checkpoint support (docs/ROBUSTNESS.md#checkpointrestore). Valid only at
   // a quiescent barrier: no call may be in flight, so the tx/rx pools must be
   // idle. Serialize fails with FailedPrecondition otherwise; Restore applies
@@ -90,6 +103,13 @@ class Client {
   struct Attempt;
 
   void StartAttempt(std::shared_ptr<CallState> st, MachineId target);
+  // Colocated fast path for an attempt whose target is this machine: no
+  // encode, no fabric — the payload is handed to the local server by buffer
+  // and only RPC library bookkeeping cycles are charged per side.
+  void StartColocatedAttempt(std::shared_ptr<CallState> st, std::shared_ptr<Attempt> att);
+  // Applies the fleet-default retry-budget shape once per policy version and
+  // resolves the per-call policy for (service_id, method).
+  MethodPolicy ResolveCallPolicy(int32_t service_id, MethodId method);
   // Fails an attempt from the frame-delivery path (no server / server down).
   // Runs in the *target's* domain: same-domain completes inline (legacy
   // behavior); cross-domain routes the failure back to the client's domain
@@ -118,6 +138,12 @@ class Client {
   // Reused across every frame this client encodes/decodes; see WireScratch.
   WireScratch scratch_;  // NOLINT(detan-checkpoint-field) contentless scratch
   SimDuration rx_processing_overhead_ = 0;
+  // Constructor-time bypass default; the policy plane's colocated_bypass
+  // tri-state overrides it per call.
+  bool colocated_bypass_base_ = false;
+  // Policy version whose fleet defaults were last applied to the retry
+  // budget. Re-applied (idempotently) after a checkpoint restore.
+  uint64_t policy_version_seen_ = 0;
   uint64_t calls_issued_ = 0;
   uint64_t calls_completed_ = 0;
   uint64_t retries_attempted_ = 0;
@@ -125,7 +151,9 @@ class Client {
   uint64_t queue_rejections_ = 0;
   uint64_t attempt_timeouts_ = 0;
   uint64_t dead_on_arrival_ = 0;
+  uint64_t colocated_calls_ = 0;
   double wasted_cycles_ = 0;
+  double avoided_tax_cycles_ = 0;
   // Cached registry counters (stable addresses; see RpcSystem::metrics()).
   // Restored through MetricRegistry::Restore, not here.
   Counter* retries_counter_;          // NOLINT(detan-checkpoint-field) structural
@@ -134,6 +162,9 @@ class Client {
   Counter* attempt_timeout_counter_;  // NOLINT(detan-checkpoint-field) structural
   Counter* completions_ok_counter_;   // NOLINT(detan-checkpoint-field) structural
   Counter* completions_err_counter_;  // NOLINT(detan-checkpoint-field) structural
+  Counter* colocated_counter_;        // NOLINT(detan-checkpoint-field) structural
+  Counter* tax_cycles_counter_;       // NOLINT(detan-checkpoint-field) structural
+  Counter* avoided_tax_counter_;      // NOLINT(detan-checkpoint-field) structural
 };
 
 }  // namespace rpcscope

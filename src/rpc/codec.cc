@@ -9,6 +9,11 @@
 
 namespace rpcscope {
 
+int64_t EstimateWireBytes(const Payload& payload) {
+  const double body = static_cast<double>(payload.SerializedSize()) * payload.assumed_ratio();
+  return static_cast<int64_t>(std::llround(body)) + kFrameHeaderBytes;
+}
+
 WireFrame EncodeFrame(const Payload& payload, uint64_t key, uint64_t nonce,
                       WireScratch& scratch) {
   WireFrame frame;

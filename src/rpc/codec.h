@@ -60,6 +60,12 @@ WireFrame EncodeFrame(const Payload& payload, uint64_t key, uint64_t nonce);
 // Frame header overhead in bytes (flags + sizes + crc + nonce).
 constexpr int64_t kFrameHeaderBytes = 24;
 
+// What the payload would have cost on the wire had it been encoded, using the
+// payload's assumed compression ratio (the same estimate the modeled encode
+// path charges). The colocated fast path uses it to compute the avoided
+// networking/checksum byte terms without running the pipeline it bypassed.
+int64_t EstimateWireBytes(const Payload& payload);
+
 }  // namespace rpcscope
 
 #endif  // RPCSCOPE_SRC_RPC_CODEC_H_

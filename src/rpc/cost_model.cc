@@ -82,4 +82,10 @@ CycleBreakdown CycleCostModel::RecvSideCost(int64_t payload_bytes, int64_t wire_
   return b;
 }
 
+CycleBreakdown CycleCostModel::LocalDeliveryCost() const {
+  CycleBreakdown b;
+  b[CycleCategory::kRpcLibrary] = rpclib_fixed_per_side;
+  return b;
+}
+
 }  // namespace rpcscope

@@ -98,6 +98,13 @@ struct CycleCostModel {
                               double byte_cost_scale = 1.0) const;
   CycleBreakdown RecvSideCost(int64_t payload_bytes, int64_t wire_bytes,
                               double byte_cost_scale = 1.0) const;
+
+  // Cost of handing a payload to a colocated peer by shared buffer
+  // (docs/POLICY.md#colocated-bypass): only the RPC library bookkeeping is
+  // still charged per side — no serialize/compress/encrypt/checksum/netstack
+  // work happens. The difference SendSideCost + RecvSideCost − 2 × this is
+  // the per-direction "avoided tax" the tracer records on bypassed spans.
+  CycleBreakdown LocalDeliveryCost() const;
 };
 
 }  // namespace rpcscope

@@ -31,6 +31,7 @@ RpcSystem::RpcSystem(const RpcSystemOptions& options)
     : options_(options), topology_(options.topology) {
   const int num_shards = std::clamp(options.num_shards, 1, topology_.num_clusters());
   options_.num_shards = num_shards;
+  RPCSCOPE_CHECK(options_.policy.Validate().ok());
 
   shards_.reserve(static_cast<size_t>(num_shards));
   for (int s = 0; s < num_shards; ++s) {
@@ -49,6 +50,10 @@ RpcSystem::RpcSystem(const RpcSystemOptions& options)
         s == 0 ? options.seed : Mix64(options.seed + static_cast<uint64_t>(s));
     shards_.push_back(std::make_unique<ShardContext>(s, num_shards, options.sim_queue, &topology_,
                                                      fabric_options, trace_options, rng_seed));
+    // Every shard engine walks the same system-owned timeline; the barriers
+    // that advance the cursors use identical watermark sequences, so the
+    // shards never disagree on the snapshot in force.
+    shards_.back()->policy = PolicyEngine(&options_.policy);
   }
 
   if (num_shards > 1) {
@@ -109,6 +114,15 @@ void RpcSystem::FlushObservability(SimTime watermark) {
   hub_->AdvanceWatermark(watermark);
 }
 
+void RpcSystem::AdvancePolicies(SimTime watermark) {
+  if (!options_.policy.has_stages()) {
+    return;
+  }
+  for (auto& shard : shards_) {
+    shard->policy.ApplyThrough(watermark);
+  }
+}
+
 uint64_t RpcSystem::RunSharded(int worker_threads) {
   std::vector<SimDomain*> domains;
   domains.reserve(shards_.size());
@@ -124,8 +138,14 @@ uint64_t RpcSystem::RunSharded(int worker_threads) {
   // Production runs never benefit from more workers than cores — extra
   // threads only add per-round wake/park latency. Determinism is unaffected.
   exec_options.clamp_workers_to_hardware = true;
-  if (hub_ != nullptr) {
-    exec_options.barrier_hook = [this](SimTime round_end) { FlushObservability(round_end); };
+  if (hub_ != nullptr || options_.policy.has_stages()) {
+    // Policy swaps land before the flush so the barrier's watermark means the
+    // same thing for both: everything at or before it ran under the old
+    // snapshot, everything after runs under the new one.
+    exec_options.barrier_hook = [this](SimTime round_end) {
+      AdvancePolicies(round_end);
+      FlushObservability(round_end);
+    };
   }
   ShardExecutor executor(std::move(domains), exec_options);
   const uint64_t executed = executor.RunToCompletion();
@@ -133,6 +153,7 @@ uint64_t RpcSystem::RunSharded(int worker_threads) {
   last_cross_domain_events_ = executor.cross_domain_events();
   // Final flush: drains whatever the last partial round left in the sinks
   // (and, on the single-domain fast path, everything) and closes all windows.
+  AdvancePolicies(kMaxSimTime);
   FlushObservability(kMaxSimTime);
   return executed;
 }
@@ -150,15 +171,19 @@ uint64_t RpcSystem::RunShardedSegment(int worker_threads, SimTime flush_watermar
     exec_options.lookahead_matrix = &lookahead_matrix_;
   }
   exec_options.clamp_workers_to_hardware = true;
-  if (hub_ != nullptr) {
+  if (hub_ != nullptr || options_.policy.has_stages()) {
     // Round watermarks clamp to the epoch end: the drain executes cascades
     // past the boundary, but the next epoch's arrivals (armed only up to that
     // boundary) may still add spans to any window at or past it. Only windows
     // before the boundary are final at the barrier, so that is the segment's
     // data-completeness watermark — and the clamp keeps the hub's watermark
     // monotonic across segments whether or not the process restarts between
-    // them.
+    // them. The policy cursor clamps identically: a stage inside the drain
+    // region past the epoch end must NOT apply this segment, or a run resumed
+    // at the barrier (which replays that region in its next segment, under
+    // the same clamp) would diverge from the uninterrupted run.
     exec_options.barrier_hook = [this, flush_watermark](SimTime round_end) {
+      AdvancePolicies(std::min(round_end, flush_watermark));
       FlushObservability(std::min(round_end, flush_watermark));
     };
   }
@@ -170,6 +195,7 @@ uint64_t RpcSystem::RunShardedSegment(int worker_threads, SimTime flush_watermar
   // open — the next segment (or a resumed run) continues filling them. Pass
   // the epoch end itself; on the final segment callers pass kMaxSimTime to
   // close everything.
+  AdvancePolicies(flush_watermark);
   FlushObservability(flush_watermark);
   return executed;
 }
@@ -204,9 +230,11 @@ Status RpcSystem::SerializeShard(int s, CheckpointWriter& w) const {
     return st;
   }
   if (ctx.stream_sink != nullptr) {
-    return ctx.stream_sink->CheckpointTo(w);
+    if (Status st = ctx.stream_sink->CheckpointTo(w); !st.ok()) {
+      return st;
+    }
   }
-  return Status::Ok();
+  return ctx.policy.CheckpointTo(w);
 }
 
 Status RpcSystem::RestoreShard(int s, CheckpointReader& r) {
@@ -243,9 +271,11 @@ Status RpcSystem::RestoreShard(int s, CheckpointReader& r) {
     return st;
   }
   if (ctx.stream_sink != nullptr) {
-    return ctx.stream_sink->RestoreFrom(r);
+    if (Status st = ctx.stream_sink->RestoreFrom(r); !st.ok()) {
+      return st;
+    }
   }
-  return Status::Ok();
+  return ctx.policy.RestoreFrom(r);
 }
 
 Status RpcSystem::SerializeGlobal(CheckpointWriter& w) const {

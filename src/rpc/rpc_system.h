@@ -28,6 +28,7 @@
 #include "src/monitor/stream.h"
 #include "src/net/fabric.h"
 #include "src/net/topology.h"
+#include "src/policy/policy.h"
 #include "src/rpc/cost_model.h"
 #include "src/sim/domain.h"
 #include "src/sim/lookahead.h"
@@ -72,6 +73,14 @@ struct RpcSystemOptions {
   // threads: it must be thread-safe (or null) when num_shards > 1.
   std::function<void(const Span&)> span_observer;
 
+  // Managed policy plane (src/policy/policy.h, docs/POLICY.md). The timeline's
+  // initial snapshot is in force from time 0; staged snapshots are applied by
+  // every shard's PolicyEngine at conservative-round barriers, so a hot-swap
+  // is deterministic and bit-for-bit identical for any worker count. The
+  // default (empty) timeline reproduces pre-policy behavior exactly: every
+  // component falls back to its own constructor-time options.
+  PolicyTimeline policy;
+
   // Streaming observability pipeline (src/monitor/stream.h). When
   // observability.streaming is true (the default), every shard gets a
   // ShardStreamSink tapping its kept-span stream, and the system owns an
@@ -105,6 +114,11 @@ class RpcSystem {
     TraceCollector tracer;
     MetricRegistry metrics;
     Rng rng;
+    // Shard-local view of the system's policy timeline. Advanced only at
+    // barriers on the coordinator (RpcSystem::AdvancePolicies), read by this
+    // shard's channels/clients/servers during round execution — the same
+    // phase split that keeps sink flushes race-free.
+    PolicyEngine policy;
     // Shard-local streaming sink (null when observability.streaming is off).
     // Written only from this shard's round execution; drained only at
     // barriers on the coordinator (RpcSystem::FlushObservability).
@@ -207,6 +221,13 @@ class RpcSystem {
   // simulator directly (legacy sim().Run()) may call it manually after the
   // run with watermark kMaxSimTime. No-op when streaming is off.
   void FlushObservability(SimTime watermark);
+
+  // Applies every policy-timeline stage with at <= watermark on every shard's
+  // engine (canonical shard order; coordinator-only, like FlushObservability).
+  // Called from the executor's barrier hook and at segment/final flushes so
+  // all shards swap at the same virtual-time barrier for any worker count.
+  // No-op when the timeline has no stages.
+  void AdvancePolicies(SimTime watermark);
 
   // Canonical cross-shard merges. Deterministic for a fixed seed regardless
   // of worker count; with num_shards == 1 they reduce to the legacy values.

@@ -111,6 +111,15 @@ void Server::RespondInflight(const std::shared_ptr<InflightCall>& fl, ServerRepl
   // Echo the request's wire latency so the client fills in its own latency
   // breakdown inside its own shard domain.
   reply.request_wire = fl->req.request_wire;
+  if (fl->req.colocated) {
+    // Colocated fast path: no fabric hop. The caller lives on this machine
+    // (same shard domain); delivery is a zero-delay event and every wire
+    // component stays zero.
+    shard_->sim().Schedule(0, [reply = std::move(reply), respond = std::move(respond)]() mutable {
+      respond(std::move(reply));
+    });
+    return;
+  }
   shard_->fabric.Send(machine_, fl->req.client_machine, wire_bytes,
                       [reply = std::move(reply), respond = std::move(respond)](
                           SimDuration wire) mutable {
@@ -124,12 +133,20 @@ void Server::RespondError(const std::shared_ptr<InflightCall>& fl, const CycleBr
   if (fl->responded) {
     return;
   }
-  WireFrame frame = EncodeFrame(Payload::Modeled(64), system_->options().encryption_key,
-                                fl->req.span_id ^ 0x2, scratch_);
   ServerReply reply;
   reply.status = std::move(status);
   reply.recv_queue = recv_queue;
   reply.server_cycles = cycles;
+  if (fl->req.colocated) {
+    // Error replies to colocated calls stay off the wire too.
+    reply.colocated = true;
+    reply.local_response = Payload::Modeled(64);
+    reply.response_frame.payload_bytes = 64;
+    RespondInflight(fl, std::move(reply), 0);
+    return;
+  }
+  WireFrame frame = EncodeFrame(Payload::Modeled(64), system_->options().encryption_key,
+                                fl->req.span_id ^ 0x2, scratch_);
   reply.response_frame = frame;
   RespondInflight(fl, std::move(reply), frame.wire_bytes);
 }
@@ -171,8 +188,14 @@ void Server::DeliverRequest(IncomingRequest request) {
   fl->req = std::move(request);
   RegisterInflight(fl);
   const CycleCostModel& costs = system_->costs();
+  // Colocated requests arrive by shared buffer: no decrypt/parse pipeline,
+  // only the RPC library hand-off (the skipped stages are the client's
+  // per-span avoided tax; docs/POLICY.md#colocated-bypass).
   const CycleBreakdown rx_cost =
-      costs.RecvSideCost(fl->req.request_frame.payload_bytes, fl->req.request_frame.wire_bytes);
+      fl->req.colocated
+          ? costs.LocalDeliveryCost()
+          : costs.RecvSideCost(fl->req.request_frame.payload_bytes,
+                               fl->req.request_frame.wire_bytes);
 
   const SimDuration rx_time = costs.CyclesToDuration(rx_cost.TaxTotal(), machine_speed_);
   rx_pool_.Submit(rx_time, [this, fl, rx_cost](SimDuration rx_wait, SimDuration rx_service) {
@@ -186,7 +209,13 @@ void Server::DeliverRequest(IncomingRequest request) {
     // would join the app queue (where the depth it must wait behind is
     // known): if the caller's remaining budget cannot cover the expected
     // wait, shed now rather than time the request out after doing the work.
-    if (options_.shed_on_deadline && fl->req.deadline_time > 0 && app_time_ewma_ns_ > 0) {
+    bool shed_on_deadline = options_.shed_on_deadline;
+    const MethodPolicy policy =
+        shard_->policy.current().Resolve(fl->req.service_id, fl->req.method);
+    if (policy.shed_on_deadline >= 0) {
+      shed_on_deadline = policy.shed_on_deadline != 0;
+    }
+    if (shed_on_deadline && fl->req.deadline_time > 0 && app_time_ewma_ns_ > 0) {
       const double expected_wait_ns =
           static_cast<double>(app_pool_.queue_depth()) /
           static_cast<double>(options_.app_workers) * app_time_ewma_ns_;
@@ -228,16 +257,23 @@ void Server::DeliverRequest(IncomingRequest request) {
                        DeadlineExceededError("deadline expired before handler start"));
           return;
         }
-        Result<Payload> decoded =
-            DecodeFrame(fl->req.request_frame, system_->options().encryption_key, scratch_);
-        if (!decoded.ok()) {
-          app_pool_.Release();
-          RespondError(fl, rx_cost, recv_so_far + app_wait + wakeup, decoded.status());
-          return;
+        Payload request_payload;
+        if (fl->req.colocated) {
+          // The payload was handed over by buffer; there is no frame to decode.
+          request_payload = std::move(fl->req.local_payload);
+        } else {
+          Result<Payload> decoded =
+              DecodeFrame(fl->req.request_frame, system_->options().encryption_key, scratch_);
+          if (!decoded.ok()) {
+            app_pool_.Release();
+            RespondError(fl, rx_cost, recv_so_far + app_wait + wakeup, decoded.status());
+            return;
+          }
+          request_payload = std::move(decoded.value());
         }
         auto call = std::make_shared<ServerCall>();
         call->server_ = this;
-        call->request_ = std::move(decoded.value());
+        call->request_ = std::move(request_payload);
         call->method_ = fl->req.method;
         call->client_machine_ = fl->req.client_machine;
         call->deadline_time_ = fl->req.deadline_time;
@@ -281,6 +317,33 @@ void Server::FinishCall(ServerCall* call, Status status, Payload response) {
   const double sample_ns = static_cast<double>(app_time);
   app_time_ewma_ns_ =
       app_time_ewma_ns_ == 0 ? sample_ns : 0.9 * app_time_ewma_ns_ + 0.1 * sample_ns;
+
+  if (fl->req.colocated) {
+    // Colocated fast path: the response is never serialized — it is handed
+    // back by buffer. Only the library hand-off is charged; the skipped
+    // encode/wire stages land on the client span as avoided tax.
+    const CycleBreakdown tx_cost = costs.LocalDeliveryCost();
+    call->cycles_.Accumulate(tx_cost);
+    const SimDuration tx_time = costs.CyclesToDuration(tx_cost.TaxTotal(), machine_speed_);
+    std::shared_ptr<ServerCall> self = call->self_;
+    tx_pool_.Submit(
+        tx_time, [this, self, fl, status = std::move(status), response = std::move(response),
+                  app_time](SimDuration tx_wait, SimDuration tx_service) mutable {
+          ServerReply reply;
+          reply.status = std::move(status);
+          reply.recv_queue = self->recv_queue_;
+          reply.app_time = app_time;
+          reply.send_queue = tx_wait == ServerResource::kRejected ? 0 : tx_wait;
+          reply.resp_proc = tx_service;
+          reply.server_cycles = self->cycles_;
+          reply.colocated = true;
+          reply.response_frame.payload_bytes = response.SerializedSize();
+          reply.local_response = std::move(response);
+          self->self_.reset();
+          RespondInflight(fl, std::move(reply), 0);
+        });
+    return;
+  }
 
   WireFrame frame =
       EncodeFrame(response, system_->options().encryption_key, call->span_id_ ^ 0x1, scratch_);

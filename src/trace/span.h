@@ -81,6 +81,11 @@ struct Span {
   // mirroring §4.2's note that not all traces have cost information).
   bool has_cpu_annotation = false;
   double normalized_cpu_cycles = 0;
+  // Colocated zero-copy fast path (docs/POLICY.md#colocated-bypass): the call
+  // skipped serialization and the wire; avoided_tax_cycles is what the
+  // bypassed stages would have cost — the per-span "avoided tax".
+  bool colocated = false;
+  double avoided_tax_cycles = 0;
 };
 
 }  // namespace rpcscope

@@ -10,7 +10,9 @@ namespace rpcscope {
 namespace {
 
 constexpr char kMagic[4] = {'R', 'S', 'P', 'N'};
-constexpr uint64_t kVersion = 1;
+// v2 appends the colocated-bypass fields (flag + avoided tax cycles) to each
+// record; v1 batches remain readable, decoding those fields as their defaults.
+constexpr uint64_t kVersion = 2;
 
 void PutDouble(std::vector<uint8_t>& out, double value) {
   uint64_t bits;
@@ -54,6 +56,8 @@ std::vector<uint8_t> SerializeSpans(const std::vector<Span>& spans) {
     PutVarint64(out, ZigzagEncode(s.response_wire_bytes));
     PutVarint64(out, s.has_cpu_annotation ? 1 : 0);
     PutDouble(out, s.normalized_cpu_cycles);
+    PutVarint64(out, s.colocated ? 1 : 0);
+    PutDouble(out, s.avoided_tax_cycles);
   }
   return out;
 }
@@ -64,13 +68,13 @@ Result<SpanReader> SpanReader::Open(const std::vector<uint8_t>& bytes) {
   }
   size_t pos = 4;
   uint64_t version, count;
-  if (!GetVarint64(bytes, pos, version) || version != kVersion) {
+  if (!GetVarint64(bytes, pos, version) || version < 1 || version > kVersion) {
     return InvalidArgumentError("unsupported span batch version");
   }
   if (!GetVarint64(bytes, pos, count)) {
     return InternalError("truncated span count");
   }
-  return SpanReader(&bytes, pos, count);
+  return SpanReader(&bytes, pos, count, version);
 }
 
 Result<bool> SpanReader::Next(Span& span) {
@@ -137,6 +141,15 @@ Result<bool> SpanReader::Next(Span& span) {
   s.has_cpu_annotation = u != 0;
   if (!GetDouble(bytes, pos_, s.normalized_cpu_cycles)) {
     return InternalError("truncated cycle annotation");
+  }
+  if (version_ >= 2) {
+    if (!get_u64(u)) {
+      return InternalError("truncated colocated flag");
+    }
+    s.colocated = u != 0;
+    if (!GetDouble(bytes, pos_, s.avoided_tax_cycles)) {
+      return InternalError("truncated avoided tax");
+    }
   }
   ++read_;
   span = s;

@@ -45,12 +45,15 @@ class SpanReader {
   [[nodiscard]] Result<bool> Next(Span& span);
 
  private:
-  SpanReader(const std::vector<uint8_t>* bytes, size_t pos, uint64_t count)
-      : bytes_(bytes), pos_(pos), count_(count) {}
+  SpanReader(const std::vector<uint8_t>* bytes, size_t pos, uint64_t count, uint64_t version)
+      : bytes_(bytes), pos_(pos), count_(count), version_(version) {}
 
   const std::vector<uint8_t>* bytes_;
   size_t pos_;
   uint64_t count_;
+  // Batch format version; v1 records lack the colocated-bypass fields and
+  // decode with their defaults.
+  uint64_t version_;
   uint64_t read_ = 0;
 };
 

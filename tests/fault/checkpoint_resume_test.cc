@@ -200,6 +200,53 @@ TEST(CheckpointResume, DifferentCadenceIsRejectedAndStartsFresh) {
   ExpectSameRun(resumed, reference);
 }
 
+TEST(CheckpointResume, PolicyRolloutSurvivesKillAndResume) {
+  // A staged policy hot-swap (docs/POLICY.md) in a chaos run, interrupted at
+  // barriers on BOTH sides of the swap time (500ms, inside epoch 3 of 4):
+  // resume must replay the rollout bit-for-bit — the restored PolicyEngine
+  // cursor picks the walk up exactly where the checkpoint left it.
+  const FaultPlan plan = ChaosPlan();
+  MiniFleetOptions options = FleetOptions(/*seed=*/17, /*workers=*/2, &plan);
+  PolicySnapshot stage;
+  stage.defaults.attempt_timeout = Millis(50);  // Client-level knob: mini-fleet has no Channels.
+  stage.defaults.max_retries = 1;
+  options.policy.AddStage(Millis(500), stage);
+
+  const MiniFleetResult reference = MustRun(options, {.dir = {}, .every = kEvery});
+  EXPECT_EQ(reference.policy_stages_applied, 1u);
+  EXPECT_EQ(reference.policy_version, 1u);
+
+  for (int kill_after : {2, 3}) {  // Before the swap epoch, and after it.
+    SCOPED_TRACE("killed after epoch " + std::to_string(kill_after));
+    const std::string dir = FreshDir("resume_rollout_k" + std::to_string(kill_after));
+    const MiniFleetResult killed = MustRun(
+        options, {.dir = dir, .every = kEvery, .stop_after_epochs = kill_after});
+    EXPECT_TRUE(killed.interrupted);
+
+    const MiniFleetResult resumed =
+        MustRun(options, {.dir = dir, .every = kEvery, .resume = true});
+    EXPECT_TRUE(resumed.resumed);
+    EXPECT_EQ(resumed.policy_stages_applied, 1u);
+    ExpectSameRun(resumed, reference);
+  }
+
+  // A checkpoint taken under one rollout plan must not restore under another:
+  // the config hash folds the timeline's content hash, so the run starts
+  // fresh instead of silently diverging.
+  const std::string dir = FreshDir("resume_rollout_mismatch");
+  const MiniFleetResult killed =
+      MustRun(options, {.dir = dir, .every = kEvery, .stop_after_epochs = 2});
+  EXPECT_TRUE(killed.interrupted);
+  MiniFleetOptions other = options;
+  other.policy = PolicyTimeline{};
+  PolicySnapshot changed = stage;
+  changed.defaults.max_retries = 4;
+  other.policy.AddStage(Millis(500), changed);
+  const MiniFleetResult fresh =
+      MustRun(other, {.dir = dir, .every = kEvery, .resume = true});
+  EXPECT_FALSE(fresh.resumed);
+}
+
 TEST(CheckpointResume, RetentionBoundsTheStore) {
   const MiniFleetOptions options = FleetOptions(/*seed=*/37, /*workers=*/2, nullptr);
   const std::string dir = FreshDir("resume_retention");

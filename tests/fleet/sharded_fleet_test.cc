@@ -297,6 +297,96 @@ TEST(ShardedFleetTest, MergedSpansAssembleIntoConsistentTraceTrees) {
   EXPECT_EQ(edges_a, edges_b);
 }
 
+TEST(ShardedFleetTest, PolicyRolloutSwapIsWorkerCountInvariant) {
+  // A mid-run policy hot-swap (docs/POLICY.md) must land at the same virtual
+  // barrier for every worker count: digests, span streams, and streamed
+  // aggregates stay bit-for-bit identical across 1/2/8 workers — and the
+  // swap must actually change behavior relative to the no-timeline run.
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  PolicySnapshot stage;
+  // Mini-fleet callers issue direct client calls (no Channels), so the stage
+  // must move a *client-level* knob: a per-attempt watchdog both reshapes the
+  // event stream deterministically and grants slow calls a retry.
+  stage.defaults.attempt_timeout = Millis(50);
+  stage.defaults.max_retries = 1;
+  for (const uint64_t seed : {0xf1ee7ull, 0x5eedull}) {
+    auto with_rollout = [&](int workers) {
+      MiniFleetOptions options = ShardedOptions(seed, 8, workers);
+      options.policy.AddStage(Millis(600), stage);
+      return RunMiniFleet(catalog, options);
+    };
+    const MiniFleetResult one = with_rollout(1);
+    const MiniFleetResult two = with_rollout(2);
+    const MiniFleetResult eight = with_rollout(8);
+
+    EXPECT_EQ(one.policy_stages_applied, 1u) << "seed " << seed;
+    EXPECT_EQ(one.policy_version, 1u) << "seed " << seed;
+    EXPECT_EQ(one.event_digest, two.event_digest) << "seed " << seed;
+    EXPECT_EQ(one.event_digest, eight.event_digest) << "seed " << seed;
+    EXPECT_EQ(one.events_executed, eight.events_executed) << "seed " << seed;
+    EXPECT_EQ(HashSpans(one.spans), HashSpans(two.spans)) << "seed " << seed;
+    EXPECT_EQ(HashSpans(one.spans), HashSpans(eight.spans)) << "seed " << seed;
+    EXPECT_EQ(one.streamed_aggregate_digest, two.streamed_aggregate_digest)
+        << "seed " << seed;
+    EXPECT_EQ(one.streamed_aggregate_digest, eight.streamed_aggregate_digest)
+        << "seed " << seed;
+
+    // The swap is not a no-op: the same fleet without the timeline diverges.
+    const MiniFleetResult baseline = RunMiniFleet(catalog, ShardedOptions(seed, 8, 2));
+    EXPECT_EQ(baseline.policy_version, 0u) << "seed " << seed;
+    EXPECT_NE(baseline.event_digest, one.event_digest) << "seed " << seed;
+  }
+}
+
+TEST(ShardedFleetTest, ColocatedFrontendsBypassWireAndAccountAvoidedTax) {
+  // colocate_frontends places each frontend on its target service's first
+  // machine and enables the bypass: root calls skip serialize + wire (zero
+  // wire-byte spans) while the tax the bypass avoided is accounted — and the
+  // whole thing stays worker-count invariant.
+  const ServiceCatalog catalog = ServiceCatalog::BuildDefault();
+  auto colocated = [&catalog](int workers) {
+    MiniFleetOptions options = ShardedOptions(0xf1ee7, 8, workers);
+    options.colocate_frontends = true;
+    return RunMiniFleet(catalog, options);
+  };
+  const MiniFleetResult one = colocated(1);
+  const MiniFleetResult eight = colocated(8);
+
+  EXPECT_GT(one.colocated_calls, 0u);
+  EXPECT_GT(one.avoided_tax_cycles, 0.0);
+  EXPECT_GT(one.paid_tax_cycles, 0.0);
+  const double fraction =
+      one.avoided_tax_cycles / (one.paid_tax_cycles + one.avoided_tax_cycles);
+  EXPECT_GT(fraction, 0.0);
+  EXPECT_LT(fraction, 1.0);
+
+  uint64_t colocated_spans = 0;
+  for (const Span& s : one.spans) {
+    if (!s.colocated) {
+      continue;
+    }
+    ++colocated_spans;
+    EXPECT_EQ(s.request_wire_bytes, 0);
+    EXPECT_EQ(s.response_wire_bytes, 0);
+    EXPECT_GT(s.avoided_tax_cycles, 0.0);
+  }
+  EXPECT_GT(colocated_spans, 0u);
+  // Nested dependency calls still cross the wire: not everything bypasses.
+  EXPECT_LT(colocated_spans, one.spans.size());
+
+  EXPECT_EQ(one.event_digest, eight.event_digest);
+  EXPECT_EQ(one.colocated_calls, eight.colocated_calls);
+  EXPECT_EQ(one.avoided_tax_cycles, eight.avoided_tax_cycles);
+  EXPECT_EQ(HashSpans(one.spans), HashSpans(eight.spans));
+
+  // The bypass is a real config change (placement + fast path), not a
+  // relabeling: the wire-path fleet has a different digest and no bypass.
+  const MiniFleetResult wire = RunMiniFleet(catalog, ShardedOptions(0xf1ee7, 8, 2));
+  EXPECT_EQ(wire.colocated_calls, 0u);
+  EXPECT_EQ(wire.avoided_tax_cycles, 0.0);
+  EXPECT_NE(wire.event_digest, one.event_digest);
+}
+
 TEST(ShardedFleetTest, ShardCountOneMatchesLegacySingleDomainRun) {
   // num_shards == 1 must be the legacy single-domain fleet, bit for bit:
   // same placement, same seeds, same digest as a default options run.

@@ -300,6 +300,141 @@ TEST_F(ChannelTest, GraySlowBackendEjectedByLatencyThreshold) {
   }
 }
 
+TEST_F(ChannelTest, SubsetEjectionHedgingInterplay) {
+  // The three features compose: with a 2-backend subset, an ejected subset
+  // member must not starve picks (the survivor absorbs them), hedges and
+  // retries must stay inside the subset, and the ejected member must be
+  // readmitted once it recovers — all without touching non-subset machines.
+  ChannelOptions opts;
+  opts.policy = PickPolicy::kRoundRobin;
+  opts.subset_size = 2;
+  opts.hedge_delay = Micros(10);
+  opts.default_deadline = Millis(20);
+  opts.outlier.enabled = true;
+  opts.outlier.min_samples = 4;
+  opts.outlier.failure_rate_threshold = 0.5;
+  opts.outlier.base_ejection = Millis(100);
+  // Near backends only: the cross-continent one cannot meet the 20ms
+  // deadline, so a subset that kept it as sole survivor would conflate
+  // deadline failures with the ejection behavior under test.
+  const std::vector<MachineId> near(backends_.begin(), backends_.begin() + 3);
+  Channel channel(client_.get(), "echo", near, opts);
+  ASSERT_EQ(channel.backends().size(), 2u);
+  const std::set<MachineId> subset(channel.backends().begin(), channel.backends().end());
+
+  // Crash the subset's first member; bring it back inside the first ejection
+  // window so the canary probe after expiry succeeds.
+  const MachineId victim = channel.backends()[0];
+  size_t victim_full = 0;
+  for (size_t s = 0; s < near.size(); ++s) {
+    if (backends_[s] == victim) {
+      victim_full = s;
+    }
+  }
+  servers_[victim_full]->Crash();
+  system_.sim().Schedule(Millis(60), [&]() { servers_[victim_full]->Restart(); });
+
+  int ok = 0, failed = 0;
+  for (int i = 0; i < 400; ++i) {
+    system_.sim().Schedule(Millis(1) * i, [&]() {
+      channel.Call(kEcho, Payload::Modeled(64), [&](const CallResult& r, Payload) {
+        (r.status.ok() ? ok : failed)++;
+      });
+    });
+  }
+  system_.sim().Run();
+
+  // Ejected inside the subset, then readmitted and healthy by the end.
+  EXPECT_GE(channel.ejections(0), 1u);
+  EXPECT_GE(channel.readmissions(0), 1u);
+  EXPECT_EQ(channel.health(0), BackendHealth::kHealthy);
+  EXPECT_GT(servers_[victim_full]->requests_served(), 0u);
+  // No starvation: hedges rescue the picks that landed on the dead member,
+  // so nearly everything still succeeds.
+  EXPECT_GT(ok, 380);
+  // Neither primary picks, hedges, nor canaries ever left the subset.
+  for (size_t s = 0; s < servers_.size(); ++s) {
+    if (!subset.contains(backends_[s])) {
+      EXPECT_EQ(CountServed(s), 0) << s;
+    }
+  }
+  EXPECT_EQ(CountServed(3), 0);  // Not even configured on this channel.
+  for (size_t b = 0; b < channel.backends().size(); ++b) {
+    EXPECT_EQ(channel.outstanding(b), 0) << b;
+  }
+}
+
+TEST(ChannelPolicySwapTest, SwapRebuildsSubsetMidRun) {
+  // A staged policy snapshot that introduces subsetting must take effect at
+  // its swap time: the channel rebuilds its active view on the next pick and
+  // machines outside the new subset see no further traffic. Unit tests drive
+  // the swap directly (single-domain runs have no conservative-round
+  // barriers); sharded runs apply the same watermark at barriers.
+  RpcSystemOptions sys_opts;
+  sys_opts.fabric.congestion_probability = 0;
+  PolicySnapshot snap;
+  snap.defaults.subset_size = 2;
+  sys_opts.policy.AddStage(Millis(50), snap);
+  RpcSystem system(sys_opts);
+
+  Client client(&system, system.topology().MachineAt(0, 30));
+  // All near backends so every in-flight call drains within ~2ms of issue.
+  std::vector<MachineId> backends;
+  std::vector<std::unique_ptr<Server>> servers;
+  for (MachineId m : {system.topology().MachineAt(0, 0), system.topology().MachineAt(0, 1),
+                      system.topology().MachineAt(1, 0), system.topology().MachineAt(1, 1)}) {
+    backends.push_back(m);
+    auto server = std::make_unique<Server>(&system, m, ServerOptions{});
+    server->RegisterMethod(kEcho, "Echo", [](std::shared_ptr<ServerCall> call) {
+      call->Compute(Micros(200), [call]() {
+        call->Finish(Status::Ok(), Payload::Modeled(128));
+      });
+    });
+    servers.push_back(std::move(server));
+  }
+
+  ChannelOptions opts;
+  opts.policy = PickPolicy::kRoundRobin;
+  Channel channel(&client, "echo", backends, opts);
+  EXPECT_EQ(channel.backends().size(), 4u);
+  EXPECT_EQ(channel.policy_version_seen(), 0u);
+
+  system.sim().Schedule(Millis(50), [&]() {
+    system.shard(0).policy.ApplyThrough(system.sim().Now());
+  });
+  int ok = 0;
+  for (int i = 0; i < 100; ++i) {
+    system.sim().Schedule(Millis(1) * i, [&]() {
+      channel.Call(kEcho, Payload::Modeled(64), [&](const CallResult& r, Payload) {
+        if (r.status.ok()) {
+          ++ok;
+        }
+      });
+    });
+  }
+  // Snapshot per-server counts shortly after the swap, once pre-swap
+  // in-flight calls have drained.
+  std::vector<uint64_t> served_at_swap(servers.size(), 0);
+  system.sim().Schedule(Millis(53), [&]() {
+    for (size_t s = 0; s < servers.size(); ++s) {
+      served_at_swap[s] = servers[s]->requests_served();
+    }
+  });
+  system.sim().Run();
+
+  EXPECT_EQ(ok, 100);
+  EXPECT_EQ(channel.policy_version_seen(), 1u);
+  ASSERT_EQ(channel.backends().size(), 2u);
+  const std::set<MachineId> subset(channel.backends().begin(), channel.backends().end());
+  // Before the swap everyone served; after it, non-subset machines froze.
+  for (size_t s = 0; s < servers.size(); ++s) {
+    EXPECT_GT(served_at_swap[s], 0u) << s;
+    if (!subset.contains(backends[s])) {
+      EXPECT_EQ(servers[s]->requests_served(), served_at_swap[s]) << s;
+    }
+  }
+}
+
 TEST_F(ChannelTest, RetryBackoffIsJitteredExponential) {
   // Call an empty machine with retries; measure total time across attempts.
   CallOptions opts;

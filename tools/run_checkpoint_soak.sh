@@ -21,8 +21,10 @@ EVERY_MS="${SOAK_EVERY_MS:-250}"
 WORKERS="${SOAK_WORKERS:-1 2 8}"
 SEEDS="${SOAK_SEEDS:-5 11 23}"
 # "plain" runs without a fault plan; "chaos" runs under the scripted
-# crash + gray-slowdown + packet-loss plan.
-CHAOS_MODES="${SOAK_CHAOS_MODES:-plain chaos}"
+# crash + gray-slowdown + packet-loss plan; "rollout" adds a staged policy
+# swap (docs/POLICY.md) at the run's midpoint on top of the chaos plan, so
+# the kill/resume legs interrupt a rollout in flight.
+CHAOS_MODES="${SOAK_CHAOS_MODES:-plain chaos rollout}"
 
 if [[ ! -x "$FLEET" ]]; then
   echo "ERROR: $FLEET not built; run: cmake --build $BUILD --target fleet_study" >&2
@@ -37,16 +39,24 @@ digests() {
   awk -F= '/^event_digest=/ {e=$2} /^streamed_digest=/ {s=$2} END {print e, s}' "$1"
 }
 
+# Prints "version stages" from a run's policy_version= line.
+policy_state() {
+  awk '/^policy_version=/ {
+    split($1, v, "="); split($2, s, "="); print v[2], s[2]
+  }' "$1"
+}
+
 failures=0
 for mode in $CHAOS_MODES; do
-  chaos_flag=""
-  [[ "$mode" == "chaos" ]] && chaos_flag="--chaos"
+  mode_flags=()
+  [[ "$mode" == "chaos" ]] && mode_flags+=(--chaos)
+  [[ "$mode" == "rollout" ]] && mode_flags+=(--chaos --rollout)
   for w in $WORKERS; do
     for seed in $SEEDS; do
       label="mode=$mode workers=$w seed=$seed"
       common=(--checkpoint-every="$EVERY_MS" --duration-ms="$DURATION_MS"
               --workers="$w" --seed="$seed")
-      [[ -n "$chaos_flag" ]] && common+=("$chaos_flag")
+      [[ ${#mode_flags[@]} -gt 0 ]] && common+=("${mode_flags[@]}")
 
       # Uninterrupted cadenced reference (no checkpoint dir: nothing written).
       ref_out="$WORK/ref-$mode-$w-$seed.txt"
@@ -54,6 +64,12 @@ for mode in $CHAOS_MODES; do
       read -r ref_event ref_streamed < <(digests "$ref_out")
       if [[ -z "$ref_event" || -z "$ref_streamed" ]]; then
         echo "FAIL [$label]: reference run produced no digests" >&2
+        failures=$((failures + 1))
+        continue
+      fi
+      read -r ref_policy ref_stages < <(policy_state "$ref_out")
+      if [[ "$mode" == "rollout" && "$ref_stages" != "1" ]]; then
+        echo "FAIL [$label]: rollout reference applied $ref_stages stages, want 1" >&2
         failures=$((failures + 1))
         continue
       fi
@@ -108,6 +124,34 @@ for mode in $CHAOS_MODES; do
              "!= uninterrupted ($ref_event, $ref_streamed)" >&2
         failures=$((failures + 1))
         continue
+      fi
+
+      # Leg 3 (rollout only): stop at a barrier *past* the midpoint swap, so
+      # the resume restores an engine whose rollout already applied, and the
+      # resumed run must still land on the reference digests and the same
+      # final policy cursor. (Leg 2's epoch-2 stop covers the pre-swap side.)
+      if [[ "$mode" == "rollout" ]]; then
+        dir3="$WORK/swap-$mode-$w-$seed"
+        rc=0
+        "$FLEET" "${common[@]}" --checkpoint-dir="$dir3" --stop-after-epochs=6 \
+          >/dev/null || rc=$?
+        if [[ "$rc" -ne 3 ]]; then
+          echo "FAIL [$label]: post-swap stop leg exited $rc, want 3" >&2
+          failures=$((failures + 1))
+          continue
+        fi
+        res3_out="$WORK/res3-$mode-$w-$seed.txt"
+        "$FLEET" "${common[@]}" --resume="$dir3" >"$res3_out"
+        read -r res3_event res3_streamed < <(digests "$res3_out")
+        read -r res3_policy res3_stages < <(policy_state "$res3_out")
+        if [[ "$res3_event" != "$ref_event" || "$res3_streamed" != "$ref_streamed" ||
+              "$res3_policy" != "$ref_policy" || "$res3_stages" != "$ref_stages" ]]; then
+          echo "FAIL [$label] post-swap leg: resumed ($res3_event, $res3_streamed," \
+               "policy $res3_policy/$res3_stages) != uninterrupted ($ref_event," \
+               "$ref_streamed, policy $ref_policy/$ref_stages)" >&2
+          failures=$((failures + 1))
+          continue
+        fi
       fi
       echo "OK   [$label] event=$ref_event streamed=$ref_streamed"
     done
