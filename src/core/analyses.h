@@ -22,6 +22,7 @@
 #include "src/fleet/service_catalog.h"
 #include "src/monitor/metrics.h"
 #include "src/profile/profile.h"
+#include "src/rpc/stage_model.h"
 
 namespace rpcscope {
 
@@ -118,6 +119,30 @@ FigureReport AnalyzeCrossCluster(const std::vector<CrossClusterPoint>& points);
 // --- Figs. 20 & 21: cycle tax breakdown and per-method cycles.
 FigureReport AnalyzeCycleTax(const ProfileCollector& profile);
 FigureReport AnalyzeMethodCycles(const MethodAggregator& agg);
+
+// --- Offload what-if (docs/TAX.md#reading-offload_whatif-output): reprice
+// sampled fleet RPCs under each stage-cost profile in the catalog and compare
+// fleet-wide completion-time quantiles and the cycle tax against the baseline
+// profile (catalog id 0). The repricing is a span transform in the spirit of
+// Fig. 15: queueing and wire components are left untouched; the two proc+stack
+// components are scaled by the profile/baseline host-cycle ratio for their
+// direction, plus device transfer+execution time when stages are offloaded.
+struct OffloadProfileOutcome {
+  std::string name;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double host_tax_cycles = 0;  // Host-side stage cycles across all messages.
+  double device_cycles = 0;    // Cycles moved to offload devices.
+  std::array<double, kNumTaxCategories> category_cycles{};
+};
+struct OffloadWhatIf {
+  FigureReport report;
+  // One outcome per catalog profile, in catalog (id) order.
+  std::vector<OffloadProfileOutcome> profiles;
+};
+OffloadWhatIf AnalyzeOffloadWhatIf(const std::vector<SampledRpc>& rpcs,
+                                   const CycleCostModel& costs,
+                                   const ProfileCatalog& profiles);
 
 // --- Fig. 22: load balancing across clusters and machines.
 FigureReport AnalyzeLoadBalance(

@@ -1,0 +1,152 @@
+// Offload what-if: the hardware-acceleration counterpart of Fig. 15.
+//
+// Fig. 20/21 show where the fleet's tax cycles go; the offload literature
+// (RPCAcc, kernel-bypass transports, NIC crypto engines, NotNets) asks what
+// happens if individual stages stop running on host CPUs. This analysis
+// replays a fleet sample under every stage-cost profile in a ProfileCatalog
+// and reports the fleet-wide completion-time quantiles and the per-category
+// cycle tax next to the baseline profile. docs/TAX.md documents the method
+// and how to read the output.
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "src/common/stats.h"
+#include "src/core/analyses.h"
+
+namespace rpcscope {
+
+namespace {
+
+// Host-side tax cycles the legacy pipeline charges for one direction of one
+// message. Identical to what the baseline profile produces (a unit test pins
+// that equivalence), so baseline rows double as the pre-offload reference.
+double LegacySideCycles(const CycleCostModel& costs, bool send, int64_t payload_bytes,
+                        int64_t wire_bytes) {
+  const CycleBreakdown b = send ? costs.SendSideCost(payload_bytes, wire_bytes)
+                                : costs.RecvSideCost(payload_bytes, wire_bytes);
+  return b.TaxTotal();
+}
+
+}  // namespace
+
+OffloadWhatIf AnalyzeOffloadWhatIf(const std::vector<SampledRpc>& rpcs,
+                                   const CycleCostModel& costs,
+                                   const ProfileCatalog& profiles) {
+  OffloadWhatIf out;
+  out.report.id = "offload";
+  out.report.title = "Offload what-if: fleet latency and cycle tax per stage-cost profile";
+
+  for (int32_t id = 0; id < static_cast<int32_t>(profiles.size()); ++id) {
+    const TaxProfile& profile = profiles.at(static_cast<size_t>(id));
+    OffloadProfileOutcome outcome;
+    outcome.name = profile.name;
+
+    std::vector<double> totals_ms;
+    totals_ms.reserve(rpcs.size());
+    for (const SampledRpc& rpc : rpcs) {
+      const Span& s = rpc.span;
+      if (s.status != StatusCode::kOk) {
+        continue;
+      }
+      // The four stage-pipeline traversals of a unary call: client-send and
+      // server-recv of the request, server-send and client-recv of the
+      // response. Each is repriced under the profile.
+      struct Side {
+        int64_t payload;
+        int64_t wire;
+        bool send;
+      };
+      const Side req_sides[2] = {{s.request_payload_bytes, s.request_wire_bytes, true},
+                                 {s.request_payload_bytes, s.request_wire_bytes, false}};
+      const Side rsp_sides[2] = {{s.response_payload_bytes, s.response_wire_bytes, true},
+                                 {s.response_payload_bytes, s.response_wire_bytes, false}};
+      double dir_host[2] = {0, 0};    // Profile host cycles: request, response.
+      double dir_base[2] = {0, 0};    // Legacy host cycles: request, response.
+      double dir_device[2] = {0, 0};  // Device cycles: request, response.
+      for (int dir = 0; dir < 2; ++dir) {
+        for (const Side& side : (dir == 0 ? req_sides : rsp_sides)) {
+          const ProfileCost pc = profile.MessageCost(
+              costs, StageCostInput{.payload_bytes = side.payload,
+                                    .wire_bytes = side.wire,
+                                    .send = side.send,
+                                    .colocated = s.colocated});
+          dir_host[dir] += pc.host.TaxTotal();
+          dir_device[dir] += pc.device_cycles;
+          dir_base[dir] += LegacySideCycles(costs, side.send, side.payload, side.wire);
+          for (int i = 0; i < kNumTaxCategories; ++i) {
+            const auto stage = static_cast<size_t>(i);
+            outcome.category_cycles[stage] += pc.host.cycles[stage];
+          }
+          outcome.host_tax_cycles += pc.host.TaxTotal();
+          outcome.device_cycles += pc.device_cycles;
+        }
+      }
+      // Span transform (Fig. 15 method): queueing and wire stay as sampled;
+      // the proc+stack components shrink (or grow) with the host-cycle ratio
+      // of their direction, plus device transfer+execution when offloaded.
+      const double req_ps = static_cast<double>(s.latency[RpcComponent::kRequestProcStack]);
+      const double rsp_ps = static_cast<double>(s.latency[RpcComponent::kResponseProcStack]);
+      const double req_ratio = dir_base[0] > 0 ? dir_host[0] / dir_base[0] : 1.0;
+      const double rsp_ratio = dir_base[1] > 0 ? dir_host[1] / dir_base[1] : 1.0;
+      const double new_req_ps =
+          req_ps * req_ratio + static_cast<double>(profile.DeviceTime(dir_device[0]));
+      const double new_rsp_ps =
+          rsp_ps * rsp_ratio + static_cast<double>(profile.DeviceTime(dir_device[1]));
+      const double total = static_cast<double>(s.latency.Total()) - req_ps - rsp_ps +
+                           new_req_ps + new_rsp_ps;
+      totals_ms.push_back(total / 1.0e6);  // SimDuration is ns.
+    }
+    std::sort(totals_ms.begin(), totals_ms.end());
+    outcome.p50_ms = SortedQuantile(totals_ms, 0.5);
+    outcome.p99_ms = SortedQuantile(totals_ms, 0.99);
+    out.profiles.push_back(std::move(outcome));
+  }
+
+  if (out.profiles.empty()) {
+    return out;
+  }
+  const OffloadProfileOutcome& base = out.profiles.front();
+
+  TextTable latency({"profile", "p50 RCT", "p99 RCT", "d p99", "host tax Gcyc", "d tax",
+                     "device Gcyc"});
+  for (const OffloadProfileOutcome& p : out.profiles) {
+    const double dp99 = base.p99_ms > 0 ? p.p99_ms / base.p99_ms - 1.0 : 0.0;
+    const double dtax =
+        base.host_tax_cycles > 0 ? p.host_tax_cycles / base.host_tax_cycles - 1.0 : 0.0;
+    latency.AddRow({p.name, FormatDouble(p.p50_ms, 3) + "ms", FormatDouble(p.p99_ms, 3) + "ms",
+                    FormatPercent(dp99), FormatDouble(p.host_tax_cycles / 1.0e9, 2),
+                    FormatPercent(dtax), FormatDouble(p.device_cycles / 1.0e9, 2)});
+  }
+  out.report.tables.push_back(latency);
+
+  // Per-category host-cycle deltas vs baseline (Fig. 20's split, repriced).
+  std::vector<std::string> header = {"profile"};
+  for (int i = 0; i < kNumTaxCategories; ++i) {
+    header.emplace_back(CycleCategoryName(static_cast<CycleCategory>(i)));
+  }
+  TextTable categories(header);
+  for (const OffloadProfileOutcome& p : out.profiles) {
+    std::vector<std::string> row = {p.name};
+    for (int i = 0; i < kNumTaxCategories; ++i) {
+      const auto stage = static_cast<size_t>(i);
+      if (&p == &base) {
+        row.push_back(FormatDouble(p.category_cycles[stage] / 1.0e9, 2) + "G");
+      } else {
+        const double b = base.category_cycles[stage];
+        row.push_back(b > 0 ? FormatPercent(p.category_cycles[stage] / b - 1.0)
+                            : FormatDouble(p.category_cycles[stage] / 1.0e9, 2) + "G");
+      }
+    }
+    categories.AddRow(row);
+  }
+  out.report.tables.push_back(categories);
+
+  out.report.notes.push_back(
+      "Baseline row: absolute host cycles per category; other rows: delta vs baseline. "
+      "Queueing and wire components are held fixed; only proc+stack latency and stage "
+      "cycles are repriced (docs/TAX.md#reading-offload_whatif-output).");
+  return out;
+}
+
+}  // namespace rpcscope

@@ -56,6 +56,11 @@ struct MethodPolicy {
   // a call whose target resolves to the caller's own MachineId skips
   // serialization and the wire and hands the payload over by shared buffer.
   int32_t colocated_bypass = -1;      // 0 / 1.
+  // Hardware-offload tax profile: an id into the system's ProfileCatalog
+  // (docs/TAX.md#assigning-profiles-through-the-policy-plane). Resolved per
+  // call on both endpoints; the inherit sentinel keeps the legacy host
+  // pipeline, which is what preserves pre-profile digests bit-for-bit.
+  int32_t tax_profile = -1;           // ProfileCatalog id.
 
   // Server-level knob (resolved per request).
   int32_t shed_on_deadline = -1;      // 0 / 1.

@@ -1,12 +1,8 @@
 // CPU cycle cost model for RPC stack operations.
 //
-// Every stack stage (serialization, compression, encryption, checksum,
-// network stack, RPC library bookkeeping) charges cycles as fixed + per-byte
-// terms; cycles convert to virtual time via the machine clock. The same
-// numbers feed (a) the latency of the proc+stack pipeline stages and (b) the
-// GWP profile used for the cycle-tax figures (Figs. 20, 21). Default
-// coefficients are calibrated so a fleet-representative RPC mix lands at the
-// paper's tax split (compression > networking > serialization > RPC library).
+// Every stack stage charges cycles as fixed + per-byte terms; cycles convert
+// to virtual time via the machine clock. Coefficient calibration, figure
+// provenance, and the pluggable-stage contract live in docs/TAX.md.
 #ifndef RPCSCOPE_SRC_RPC_COST_MODEL_H_
 #define RPCSCOPE_SRC_RPC_COST_MODEL_H_
 
@@ -32,6 +28,17 @@ enum class CycleCategory : int32_t {
 
 constexpr int kNumCycleCategories = 7;
 constexpr int kNumTaxCategories = 6;  // All but kApplication.
+
+// Compile-time sync guards: the counts above, the tax-stage loops
+// (`for i in [0, kNumTaxCategories)`), and the name table in cost_model.cc
+// all assume kApplication is the last enumerator. Growing the enum without
+// updating the constants (or vice versa) must not compile.
+static_assert(static_cast<int32_t>(CycleCategory::kApplication) ==
+                  kNumCycleCategories - 1,
+              "kApplication must be the last CycleCategory and "
+              "kNumCycleCategories must count every enumerator");
+static_assert(kNumTaxCategories == kNumCycleCategories - 1,
+              "every category except kApplication is a tax category");
 
 std::string_view CycleCategoryName(CycleCategory c);
 
@@ -98,6 +105,23 @@ struct CycleCostModel {
                               double byte_cost_scale = 1.0) const;
   CycleBreakdown RecvSideCost(int64_t payload_bytes, int64_t wire_bytes,
                               double byte_cost_scale = 1.0) const;
+
+  // Per-stage view of the same pipeline: exactly the term SendSideCost (send
+  // == true) or RecvSideCost (send == false) charges for `stage`, evaluated
+  // with the same expressions so the doubles are bit-identical. This is the
+  // hook pluggable stage models (src/rpc/stage_model.h) delegate to; the
+  // aggregate costs above are implemented as a loop over StageCycles.
+  // `stage` must be a tax category (not kApplication).
+  double StageCycles(CycleCategory stage, bool send, int64_t payload_bytes,
+                     int64_t wire_bytes, double byte_cost_scale = 1.0) const;
+
+  // Splits StageCycles into its per-message part and its size-dependent part
+  // (per-byte plus, for networking, per-packet). No bit-identity contract —
+  // only scaling-style offload profiles use the split; for every stage
+  // StageFixedCycles + StageByteCycles == StageCycles up to FP rounding.
+  double StageFixedCycles(CycleCategory stage, bool send) const;
+  double StageByteCycles(CycleCategory stage, bool send, int64_t payload_bytes,
+                         int64_t wire_bytes, double byte_cost_scale = 1.0) const;
 
   // Cost of handing a payload to a colocated peer by shared buffer
   // (docs/POLICY.md#colocated-bypass): only the RPC library bookkeeping is

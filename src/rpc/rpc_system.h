@@ -30,6 +30,7 @@
 #include "src/net/topology.h"
 #include "src/policy/policy.h"
 #include "src/rpc/cost_model.h"
+#include "src/rpc/stage_model.h"
 #include "src/sim/domain.h"
 #include "src/sim/lookahead.h"
 #include "src/sim/simulator.h"
@@ -80,6 +81,13 @@ struct RpcSystemOptions {
   // default (empty) timeline reproduces pre-policy behavior exactly: every
   // component falls back to its own constructor-time options.
   PolicyTimeline policy;
+
+  // Hardware-offload tax profiles assignable through the policy plane
+  // (docs/TAX.md): MethodPolicy::tax_profile indexes this catalog. An empty
+  // catalog (the default) is replaced with BuiltinProfileCatalog() at
+  // construction, so built-in profile ids are always resolvable; policies
+  // that never set tax_profile keep the legacy host pipeline bit-for-bit.
+  ProfileCatalog tax_profiles;
 
   // Streaming observability pipeline (src/monitor/stream.h). When
   // observability.streaming is true (the default), every shard gets a
@@ -144,6 +152,12 @@ class RpcSystem {
   const Topology& topology() const { return topology_; }
   const CycleCostModel& costs() const { return options_.costs; }
   const RpcSystemOptions& options() const { return options_; }
+
+  // Offload-profile catalog (never empty — see RpcSystemOptions::tax_profiles).
+  const ProfileCatalog& tax_profiles() const { return options_.tax_profiles; }
+  // nullptr for the inherit sentinel (-1) and unknown ids: callers fall back
+  // to the legacy host pipeline.
+  const TaxProfile* TaxProfileById(int32_t id) const { return options_.tax_profiles.Get(id); }
 
   // Shard-domain structure. Clusters are partitioned into contiguous blocks:
   // shard s owns clusters [ceil(s*C/N), ceil((s+1)*C/N)). Because cluster ids

@@ -19,6 +19,13 @@ struct ServerCall::InflightCall {
   SimDuration recv_known = 0;
   size_t index = 0;  // Position in Server::inflight_ (swap-erase bookkeeping).
   bool responded = false;
+  // Tax profile resolved once at delivery time (ProfileCatalog id; -1 = the
+  // legacy pipeline) so rx and tx sides price consistently even if the policy
+  // plane hot-swaps profiles at a barrier mid-call. See docs/TAX.md.
+  int32_t tax_profile = -1;
+  // Device cycles charged on the receive side; echoed back with the reply
+  // (plus the tx side) so the client owns the whole call's device total.
+  double rx_device_cycles = 0;
 };
 
 MachineId ServerCall::server_machine() const { return server_->machine(); }
@@ -63,8 +70,10 @@ Server::Server(RpcSystem* system, MachineId machine, const ServerOptions& option
                 {.workers = options.app_workers, .max_queue_depth = options.max_app_queue_depth}),
       tx_pool_(&shard_->sim(),
                {.workers = options.io_workers, .max_queue_depth = options.max_io_queue_depth}),
+      accel_pool_(&shard_->sim(), {.workers = options.accel_workers}),
       shed_counter_(&shard_->metrics.GetCounter("server.shed")),
-      crash_killed_counter_(&shard_->metrics.GetCounter("server.crash_killed")) {
+      crash_killed_counter_(&shard_->metrics.GetCounter("server.crash_killed")),
+      device_cycles_counter_(&shard_->metrics.GetCounter("server.device_cycles")) {
   system_->RegisterServer(machine_, this);
 }
 
@@ -137,6 +146,9 @@ void Server::RespondError(const std::shared_ptr<InflightCall>& fl, const CycleBr
   reply.status = std::move(status);
   reply.recv_queue = recv_queue;
   reply.server_cycles = cycles;
+  // Device cycles already spent on the rx side still get accounted, even
+  // though the error reply itself skips the send pipeline.
+  reply.device_cycles = fl->rx_device_cycles;
   if (fl->req.colocated) {
     // Error replies to colocated calls stay off the wire too.
     reply.colocated = true;
@@ -163,6 +175,7 @@ void Server::Crash() {
   rx_pool_.Reset();
   app_pool_.Reset();
   tx_pool_.Reset();
+  accel_pool_.Reset();
   // Answer every registered call with a connection reset. Swap the registry
   // out first: RespondInflight unregisters as it goes.
   std::vector<std::shared_ptr<InflightCall>> killed;
@@ -188,111 +201,148 @@ void Server::DeliverRequest(IncomingRequest request) {
   fl->req = std::move(request);
   RegisterInflight(fl);
   const CycleCostModel& costs = system_->costs();
+  // Offload profile for this request, resolved once at delivery time so rx
+  // and tx price under the same model even across a barrier policy swap
+  // (docs/TAX.md#assigning-profiles-through-the-policy-plane). Resolve() is a
+  // pure read of the current snapshot, so the extra call is deterministic.
+  const int32_t profile_id =
+      shard_->policy.current().Resolve(fl->req.service_id, fl->req.method).tax_profile;
+  const TaxProfile* profile = system_->TaxProfileById(profile_id);
+  fl->tax_profile = profile != nullptr ? profile_id : -1;
   // Colocated requests arrive by shared buffer: no decrypt/parse pipeline,
   // only the RPC library hand-off (the skipped stages are the client's
   // per-span avoided tax; docs/POLICY.md#colocated-bypass).
-  const CycleBreakdown rx_cost =
-      fl->req.colocated
-          ? costs.LocalDeliveryCost()
-          : costs.RecvSideCost(fl->req.request_frame.payload_bytes,
-                               fl->req.request_frame.wire_bytes);
+  CycleBreakdown rx_cost;
+  SimDuration rx_dev_time = 0;
+  if (fl->req.colocated) {
+    rx_cost = costs.LocalDeliveryCost();
+  } else if (profile != nullptr) {
+    const ProfileCost pc = profile->MessageCost(
+        costs, StageCostInput{.payload_bytes = fl->req.request_frame.payload_bytes,
+                              .wire_bytes = fl->req.request_frame.wire_bytes,
+                              .send = false});
+    rx_cost = pc.host;
+    fl->rx_device_cycles = pc.device_cycles;
+    if (pc.device_cycles > 0) {
+      device_cycles_ += pc.device_cycles;
+      device_cycles_counter_->Increment(pc.device_cycles);
+      rx_dev_time = profile->DeviceTime(pc.device_cycles);
+    }
+  } else {
+    rx_cost = costs.RecvSideCost(fl->req.request_frame.payload_bytes,
+                                 fl->req.request_frame.wire_bytes);
+  }
 
   const SimDuration rx_time = costs.CyclesToDuration(rx_cost.TaxTotal(), machine_speed_);
-  rx_pool_.Submit(rx_time, [this, fl, rx_cost](SimDuration rx_wait, SimDuration rx_service) {
-    if (rx_wait == ServerResource::kRejected) {
-      RespondError(fl, rx_cost, 0, ResourceExhaustedError("server rx queue full"));
-      return;
-    }
-    const SimDuration recv_so_far = rx_wait + rx_service;
-    fl->recv_known = recv_so_far;
-    // Breakwater-style admission control, applied at the moment the request
-    // would join the app queue (where the depth it must wait behind is
-    // known): if the caller's remaining budget cannot cover the expected
-    // wait, shed now rather than time the request out after doing the work.
-    bool shed_on_deadline = options_.shed_on_deadline;
-    const MethodPolicy policy =
-        shard_->policy.current().Resolve(fl->req.service_id, fl->req.method);
-    if (policy.shed_on_deadline >= 0) {
-      shed_on_deadline = policy.shed_on_deadline != 0;
-    }
-    if (shed_on_deadline && fl->req.deadline_time > 0 && app_time_ewma_ns_ > 0) {
-      const double expected_wait_ns =
-          static_cast<double>(app_pool_.queue_depth()) /
-          static_cast<double>(options_.app_workers) * app_time_ewma_ns_;
-      if (static_cast<double>(shard_->sim().Now()) + expected_wait_ns >
-          static_cast<double>(fl->req.deadline_time)) {
-        ++requests_shed_;
-        shed_counter_->Increment();
-        RespondError(fl, rx_cost, recv_so_far,
-                     ResourceExhaustedError("server shed: deadline unmeetable"));
+  // With an offloading profile, the frame crosses the device (transfer +
+  // device-clock execution, queued behind other offloaded work) before the
+  // host-side rx pipeline; the device wait lands in the recv-queue component.
+  auto ingest = [this, fl, rx_cost, rx_time](SimDuration dev_extra) {
+    rx_pool_.Submit(rx_time, [this, fl, rx_cost, dev_extra](SimDuration rx_wait,
+                                                           SimDuration rx_service) {
+      if (rx_wait == ServerResource::kRejected) {
+        RespondError(fl, rx_cost, 0, ResourceExhaustedError("server rx queue full"));
         return;
       }
-    }
-    const int priority =
-        options_.request_priority ? options_.request_priority(fl->req) : 0;
-    app_pool_.AcquireWithPriority(priority, [this, fl, rx_cost,
-                                             recv_so_far](SimDuration app_wait) {
-      if (app_wait == ServerResource::kRejected) {
-        RespondError(fl, rx_cost, recv_so_far,
-                     ResourceExhaustedError("server app queue full"));
-        return;
+      const SimDuration recv_so_far = dev_extra + rx_wait + rx_service;
+      fl->recv_known = recv_so_far;
+      // Breakwater-style admission control, applied at the moment the request
+      // would join the app queue (where the depth it must wait behind is
+      // known): if the caller's remaining budget cannot cover the expected
+      // wait, shed now rather than time the request out after doing the work.
+      bool shed_on_deadline = options_.shed_on_deadline;
+      const MethodPolicy policy =
+          shard_->policy.current().Resolve(fl->req.service_id, fl->req.method);
+      if (policy.shed_on_deadline >= 0) {
+        shed_on_deadline = policy.shed_on_deadline != 0;
       }
-      // Scheduler wake-up delay before the handler actually starts running;
-      // the worker is held throughout.
-      const SimDuration wakeup = options_.wakeup_latency;
-      shard_->sim().Schedule(wakeup, [this, fl, rx_cost, recv_so_far, app_wait, wakeup]() {
-        if (fl->responded) {
-          // The server crashed while this request waited for its wakeup: the
-          // caller was already told UNAVAILABLE and the pools were reset, so
-          // there is no worker to release and nothing left to do.
+      if (shed_on_deadline && fl->req.deadline_time > 0 && app_time_ewma_ns_ > 0) {
+        const double expected_wait_ns =
+            static_cast<double>(app_pool_.queue_depth()) /
+            static_cast<double>(options_.app_workers) * app_time_ewma_ns_;
+        if (static_cast<double>(shard_->sim().Now()) + expected_wait_ns >
+            static_cast<double>(fl->req.deadline_time)) {
+          ++requests_shed_;
+          shed_counter_->Increment();
+          RespondError(fl, rx_cost, recv_so_far,
+                       ResourceExhaustedError("server shed: deadline unmeetable"));
           return;
         }
-        fl->recv_known = recv_so_far + app_wait + wakeup;
-        // Deadline short-circuit: if the caller's budget already expired while
-        // the request queued, don't burn handler cycles on a result nobody
-        // will read (the client records the span as DEADLINE_EXCEEDED).
-        if (fl->req.deadline_time > 0 && shard_->sim().Now() > fl->req.deadline_time) {
-          app_pool_.Release();
-          RespondError(fl, rx_cost, recv_so_far + app_wait + wakeup,
-                       DeadlineExceededError("deadline expired before handler start"));
+      }
+      const int priority =
+          options_.request_priority ? options_.request_priority(fl->req) : 0;
+      app_pool_.AcquireWithPriority(priority, [this, fl, rx_cost,
+                                               recv_so_far](SimDuration app_wait) {
+        if (app_wait == ServerResource::kRejected) {
+          RespondError(fl, rx_cost, recv_so_far,
+                       ResourceExhaustedError("server app queue full"));
           return;
         }
-        Payload request_payload;
-        if (fl->req.colocated) {
-          // The payload was handed over by buffer; there is no frame to decode.
-          request_payload = std::move(fl->req.local_payload);
-        } else {
-          Result<Payload> decoded =
-              DecodeFrame(fl->req.request_frame, system_->options().encryption_key, scratch_);
-          if (!decoded.ok()) {
-            app_pool_.Release();
-            RespondError(fl, rx_cost, recv_so_far + app_wait + wakeup, decoded.status());
+        // Scheduler wake-up delay before the handler actually starts running;
+        // the worker is held throughout.
+        const SimDuration wakeup = options_.wakeup_latency;
+        shard_->sim().Schedule(wakeup, [this, fl, rx_cost, recv_so_far, app_wait, wakeup]() {
+          if (fl->responded) {
+            // The server crashed while this request waited for its wakeup: the
+            // caller was already told UNAVAILABLE and the pools were reset, so
+            // there is no worker to release and nothing left to do.
             return;
           }
-          request_payload = std::move(decoded.value());
-        }
-        auto call = std::make_shared<ServerCall>();
-        call->server_ = this;
-        call->request_ = std::move(request_payload);
-        call->method_ = fl->req.method;
-        call->client_machine_ = fl->req.client_machine;
-        call->deadline_time_ = fl->req.deadline_time;
-        call->trace_id_ = fl->req.trace_id;
-        call->span_id_ = fl->req.span_id;
-        call->app_start_ = shard_->sim().Now();
-        call->recv_queue_ = recv_so_far + app_wait + wakeup;
-        call->inflight_ = fl;
-        call->cycles_ = rx_cost;
-        call->self_ = call;
-        auto it = handlers_.find(fl->req.method);
-        if (it == handlers_.end()) {
-          call->Finish(UnimplementedError("no such method"), Payload::Modeled(64));
-          return;
-        }
-        it->second(call);
+          fl->recv_known = recv_so_far + app_wait + wakeup;
+          // Deadline short-circuit: if the caller's budget already expired
+          // while the request queued, don't burn handler cycles on a result
+          // nobody will read (the client records DEADLINE_EXCEEDED).
+          if (fl->req.deadline_time > 0 && shard_->sim().Now() > fl->req.deadline_time) {
+            app_pool_.Release();
+            RespondError(fl, rx_cost, recv_so_far + app_wait + wakeup,
+                         DeadlineExceededError("deadline expired before handler start"));
+            return;
+          }
+          Payload request_payload;
+          if (fl->req.colocated) {
+            // The payload was handed over by buffer; there is no frame to decode.
+            request_payload = std::move(fl->req.local_payload);
+          } else {
+            Result<Payload> decoded =
+                DecodeFrame(fl->req.request_frame, system_->options().encryption_key, scratch_);
+            if (!decoded.ok()) {
+              app_pool_.Release();
+              RespondError(fl, rx_cost, recv_so_far + app_wait + wakeup, decoded.status());
+              return;
+            }
+            request_payload = std::move(decoded.value());
+          }
+          auto call = std::make_shared<ServerCall>();
+          call->server_ = this;
+          call->request_ = std::move(request_payload);
+          call->method_ = fl->req.method;
+          call->client_machine_ = fl->req.client_machine;
+          call->deadline_time_ = fl->req.deadline_time;
+          call->trace_id_ = fl->req.trace_id;
+          call->span_id_ = fl->req.span_id;
+          call->app_start_ = shard_->sim().Now();
+          call->recv_queue_ = recv_so_far + app_wait + wakeup;
+          call->inflight_ = fl;
+          call->cycles_ = rx_cost;
+          call->self_ = call;
+          auto it = handlers_.find(fl->req.method);
+          if (it == handlers_.end()) {
+            call->Finish(UnimplementedError("no such method"), Payload::Modeled(64));
+            return;
+          }
+          it->second(call);
+        });
       });
     });
-  });
+  };
+  if (rx_dev_time > 0) {
+    accel_pool_.Submit(rx_dev_time, [ingest = std::move(ingest)](
+                                        SimDuration dev_wait, SimDuration dev_service) mutable {
+      ingest(dev_wait + dev_service);
+    });
+  } else {
+    ingest(0);
+  }
 }
 
 void Server::FinishCall(ServerCall* call, Status status, Payload response) {
@@ -347,14 +397,35 @@ void Server::FinishCall(ServerCall* call, Status status, Payload response) {
 
   WireFrame frame =
       EncodeFrame(response, system_->options().encryption_key, call->span_id_ ^ 0x1, scratch_);
-  const CycleBreakdown tx_cost = costs.SendSideCost(frame.payload_bytes, frame.wire_bytes);
+  // Price the send side under the profile resolved at delivery time (-1 =
+  // legacy pipeline). Offloaded cycles run on the device after the tx worker
+  // finishes the host-side share; the device wait lands in resp_proc.
+  const TaxProfile* profile = system_->TaxProfileById(fl->tax_profile);
+  CycleBreakdown tx_cost;
+  double tx_device_cycles = 0;
+  SimDuration tx_dev_time = 0;
+  if (profile == nullptr) {
+    tx_cost = costs.SendSideCost(frame.payload_bytes, frame.wire_bytes);
+  } else {
+    const ProfileCost pc = profile->MessageCost(
+        costs, StageCostInput{.payload_bytes = frame.payload_bytes,
+                              .wire_bytes = frame.wire_bytes,
+                              .send = true});
+    tx_cost = pc.host;
+    tx_device_cycles = pc.device_cycles;
+    if (pc.device_cycles > 0) {
+      device_cycles_ += pc.device_cycles;
+      device_cycles_counter_->Increment(pc.device_cycles);
+      tx_dev_time = profile->DeviceTime(pc.device_cycles);
+    }
+  }
   call->cycles_.Accumulate(tx_cost);
   const SimDuration tx_time = costs.CyclesToDuration(tx_cost.TaxTotal(), machine_speed_);
 
   std::shared_ptr<ServerCall> self = call->self_;
   tx_pool_.Submit(
-      tx_time, [this, self, fl, status = std::move(status), frame = std::move(frame), app_time](
-                   SimDuration tx_wait, SimDuration tx_service) mutable {
+      tx_time, [this, self, fl, status = std::move(status), frame = std::move(frame), app_time,
+                tx_device_cycles, tx_dev_time](SimDuration tx_wait, SimDuration tx_service) mutable {
         ServerReply reply;
         reply.status = std::move(status);
         reply.recv_queue = self->recv_queue_;
@@ -362,9 +433,19 @@ void Server::FinishCall(ServerCall* call, Status status, Payload response) {
         reply.send_queue = tx_wait == ServerResource::kRejected ? 0 : tx_wait;
         reply.resp_proc = tx_service;
         reply.server_cycles = self->cycles_;
+        reply.device_cycles = fl->rx_device_cycles + tx_device_cycles;
         reply.response_frame = std::move(frame);
         const int64_t wire_bytes = reply.response_frame.wire_bytes;
         self->self_.reset();
+        if (tx_dev_time > 0) {
+          accel_pool_.Submit(tx_dev_time,
+                             [this, fl, reply = std::move(reply), wire_bytes](
+                                 SimDuration dev_wait, SimDuration dev_service) mutable {
+                               reply.resp_proc += dev_wait + dev_service;
+                               RespondInflight(fl, std::move(reply), wire_bytes);
+                             });
+          return;
+        }
         RespondInflight(fl, std::move(reply), wire_bytes);
       });
 }
@@ -394,10 +475,33 @@ void Server::FinishStreamCall(ServerCall* call, Status status, Payload chunk,
   // what make streams more expensive per byte than one big unary response.
   WireFrame frame =
       EncodeFrame(chunk, system_->options().encryption_key, call->span_id_ ^ 0x3, scratch_);
-  const CycleBreakdown per_chunk = costs.SendSideCost(frame.payload_bytes, frame.wire_bytes);
+  // Each chunk is priced under the profile resolved at delivery time; with
+  // an offloading profile every chunk crosses the device, so the stream's
+  // device cycles scale with chunk count just like its host-side tax.
+  const TaxProfile* profile = system_->TaxProfileById(fl->tax_profile);
+  CycleBreakdown per_chunk;
+  double per_chunk_device = 0;
+  if (profile == nullptr) {
+    per_chunk = costs.SendSideCost(frame.payload_bytes, frame.wire_bytes);
+  } else {
+    const ProfileCost pc = profile->MessageCost(
+        costs, StageCostInput{.payload_bytes = frame.payload_bytes,
+                              .wire_bytes = frame.wire_bytes,
+                              .send = true});
+    per_chunk = pc.host;
+    per_chunk_device = pc.device_cycles;
+  }
   CycleBreakdown tx_cost;
+  double tx_device_cycles = 0;
   for (int c = 0; c < num_chunks; ++c) {
     tx_cost.Accumulate(per_chunk);
+    tx_device_cycles += per_chunk_device;
+  }
+  SimDuration tx_dev_time = 0;
+  if (tx_device_cycles > 0) {
+    device_cycles_ += tx_device_cycles;
+    device_cycles_counter_->Increment(tx_device_cycles);
+    tx_dev_time = profile->DeviceTime(tx_device_cycles);
   }
   call->cycles_.Accumulate(tx_cost);
   // The tx worker is held for the whole stream (chunks go out back-to-back).
@@ -407,7 +511,8 @@ void Server::FinishStreamCall(ServerCall* call, Status status, Payload chunk,
   std::shared_ptr<ServerCall> self = call->self_;
   tx_pool_.Submit(
       tx_time, [this, self, fl, status = std::move(status), frame = std::move(frame), app_time,
-                num_chunks, total_wire](SimDuration tx_wait, SimDuration tx_service) mutable {
+                num_chunks, total_wire, tx_device_cycles,
+                tx_dev_time](SimDuration tx_wait, SimDuration tx_service) mutable {
         ServerReply reply;
         reply.status = std::move(status);
         reply.recv_queue = self->recv_queue_;
@@ -415,11 +520,21 @@ void Server::FinishStreamCall(ServerCall* call, Status status, Payload chunk,
         reply.send_queue = tx_wait == ServerResource::kRejected ? 0 : tx_wait;
         reply.resp_proc = tx_service;
         reply.server_cycles = self->cycles_;
+        reply.device_cycles = fl->rx_device_cycles + tx_device_cycles;
         reply.response_frame = std::move(frame);
         reply.chunk_count = num_chunks;
         reply.stream_wire_bytes = total_wire;
         self->self_.reset();
         // The wire carries all chunks; bandwidth delay scales with the total.
+        if (tx_dev_time > 0) {
+          accel_pool_.Submit(tx_dev_time,
+                             [this, fl, reply = std::move(reply), total_wire](
+                                 SimDuration dev_wait, SimDuration dev_service) mutable {
+                               reply.resp_proc += dev_wait + dev_service;
+                               RespondInflight(fl, std::move(reply), total_wire);
+                             });
+          return;
+        }
         RespondInflight(fl, std::move(reply), total_wire);
       });
 }
@@ -445,6 +560,7 @@ Status Server::CheckpointTo(CheckpointWriter& w) const {
   w.WriteU64(requests_served_);
   w.WriteU64(requests_shed_);
   w.WriteU64(crash_killed_calls_);
+  w.WriteDouble(device_cycles_);
   w.WriteDouble(app_time_ewma_ns_);
   w.EndSection();
   if (Status s = rx_pool_.CheckpointTo(w); !s.ok()) {
@@ -453,7 +569,10 @@ Status Server::CheckpointTo(CheckpointWriter& w) const {
   if (Status s = app_pool_.CheckpointTo(w); !s.ok()) {
     return s;
   }
-  return tx_pool_.CheckpointTo(w);
+  if (Status s = tx_pool_.CheckpointTo(w); !s.ok()) {
+    return s;
+  }
+  return accel_pool_.CheckpointTo(w);
 }
 
 Status Server::RestoreFrom(CheckpointReader& r) {
@@ -477,6 +596,7 @@ Status Server::RestoreFrom(CheckpointReader& r) {
   const uint64_t requests_served = r.ReadU64();
   const uint64_t requests_shed = r.ReadU64();
   const uint64_t crash_killed_calls = r.ReadU64();
+  const double device_cycles = r.ReadDouble();
   const double app_time_ewma_ns = r.ReadDouble();
   if (Status s = r.LeaveSection(); !s.ok()) {
     return s;
@@ -497,6 +617,7 @@ Status Server::RestoreFrom(CheckpointReader& r) {
   requests_served_ = requests_served;
   requests_shed_ = requests_shed;
   crash_killed_calls_ = crash_killed_calls;
+  device_cycles_ = device_cycles;
   app_time_ewma_ns_ = app_time_ewma_ns;
   if (Status s = rx_pool_.RestoreFrom(r); !s.ok()) {
     return s;
@@ -504,7 +625,10 @@ Status Server::RestoreFrom(CheckpointReader& r) {
   if (Status s = app_pool_.RestoreFrom(r); !s.ok()) {
     return s;
   }
-  return tx_pool_.RestoreFrom(r);
+  if (Status s = tx_pool_.RestoreFrom(r); !s.ok()) {
+    return s;
+  }
+  return accel_pool_.RestoreFrom(r);
 }
 
 }  // namespace rpcscope

@@ -58,6 +58,41 @@ TEST(CycleCostModelTest, SendAndRecvBothChargeAllTaxCategories) {
   }
 }
 
+TEST(CycleCostModelTest, StageCyclesRoundTripsTheAggregateCosts) {
+  // The per-stage view must be the very same expressions the aggregate costs
+  // evaluate (the bit-identity hook stage models rely on, docs/TAX.md), so
+  // each category matches exactly — no tolerance.
+  CycleCostModel m;
+  struct Shape {
+    int64_t payload;
+    int64_t wire;
+    double scale;
+  };
+  for (const Shape s : {Shape{0, 0, 1.0}, Shape{100, 80, 1.0}, Shape{100000, 80000, 1.0},
+                        Shape{4096, 3000, 0.05}}) {
+    for (const bool send : {true, false}) {
+      const CycleBreakdown whole = send ? m.SendSideCost(s.payload, s.wire, s.scale)
+                                        : m.RecvSideCost(s.payload, s.wire, s.scale);
+      double sum = 0;
+      for (int i = 0; i < kNumTaxCategories; ++i) {
+        const auto stage = static_cast<CycleCategory>(i);
+        const double cycles = m.StageCycles(stage, send, s.payload, s.wire, s.scale);
+        EXPECT_EQ(cycles, whole[stage])
+            << CycleCategoryName(stage) << " payload=" << s.payload << " send=" << send;
+        sum += cycles;
+      }
+      EXPECT_DOUBLE_EQ(sum, whole.TaxTotal());
+      // The fixed/byte split recombines to the whole stage (up to rounding).
+      for (int i = 0; i < kNumTaxCategories; ++i) {
+        const auto stage = static_cast<CycleCategory>(i);
+        EXPECT_NEAR(m.StageFixedCycles(stage, send) +
+                        m.StageByteCycles(stage, send, s.payload, s.wire, s.scale),
+                    m.StageCycles(stage, send, s.payload, s.wire, s.scale), 1e-9);
+      }
+    }
+  }
+}
+
 TEST(CycleCostModelTest, CategoryNamesComplete) {
   for (int i = 0; i < kNumCycleCategories; ++i) {
     EXPECT_NE(CycleCategoryName(static_cast<CycleCategory>(i)), "invalid");

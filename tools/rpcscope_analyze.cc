@@ -6,8 +6,14 @@
 //
 // Usage:
 //   rpcscope_analyze <spans.bin>... [--analysis=summary|breakdown|whatif|
-//                                     taxratio|sizes|queueing|trees|stream]
+//                                     offload|taxratio|sizes|queueing|trees|
+//                                     stream]
 //                                   [--csv]
+//   rpcscope_analyze --list-profiles
+//
+// --analysis=offload reprices the spans under every built-in stage-cost
+// profile (docs/TAX.md) and compares fleet p50/p99 and per-category cycle
+// tax against the baseline; --list-profiles prints the catalog.
 //
 // --analysis=stream consumes the files incrementally (SpanReader) through the
 // streaming observability pipeline (docs/OBSERVABILITY.md): running per-method
@@ -30,10 +36,23 @@ namespace {
 int Usage() {
   std::fputs(
       "usage: rpcscope_analyze <spans.bin>... [--analysis=NAME] [--csv]\n"
-      "  analyses: summary (default), breakdown, whatif, taxratio, sizes,\n"
-      "            queueing, trees, stream\n",
+      "       rpcscope_analyze --list-profiles\n"
+      "  analyses: summary (default), breakdown, whatif, offload, taxratio,\n"
+      "            sizes, queueing, trees, stream\n",
       stderr);
   return 2;
+}
+
+// --list-profiles: the built-in stage-cost profile catalog (docs/TAX.md).
+int ListProfiles() {
+  const ProfileCatalog catalog = BuiltinProfileCatalog();
+  TextTable t({"id", "profile", "summary", "source"});
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    const TaxProfile& p = catalog.at(i);
+    t.AddRow({std::to_string(i), p.name, p.summary, p.source});
+  }
+  std::fputs(t.Render().c_str(), stdout);
+  return 0;
 }
 
 Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
@@ -189,6 +208,8 @@ int main(int argc, char** argv) {
       analysis = arg.substr(std::strlen("--analysis="));
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg == "--list-profiles") {
+      return ListProfiles();
     } else if (arg.rfind("--", 0) == 0) {
       return Usage();
     } else {
@@ -228,6 +249,18 @@ int main(int argc, char** argv) {
   if (analysis == "breakdown" || analysis == "whatif") {
     std::vector<ServiceSpans> studies = {{"all spans", store.spans()}};
     print(analysis == "breakdown" ? AnalyzeServiceBreakdown(studies) : AnalyzeWhatIf(studies));
+    return 0;
+  }
+  if (analysis == "offload") {
+    std::vector<SampledRpc> rpcs;
+    rpcs.reserve(store.spans().size());
+    for (const Span& s : store.spans()) {
+      SampledRpc rpc;
+      rpc.span = s;
+      rpcs.push_back(std::move(rpc));
+    }
+    const CycleCostModel costs;
+    print(AnalyzeOffloadWhatIf(rpcs, costs, BuiltinProfileCatalog()).report);
     return 0;
   }
 
